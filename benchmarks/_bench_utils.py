@@ -1,0 +1,30 @@
+"""Small helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+# Reproduced tables are also written here so they survive pytest's output
+# capturing (the default `pytest benchmarks/ --benchmark-only` run does not
+# show stdout of passing tests).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _slug(title: str) -> str:
+    text = title.splitlines()[0].lower()
+    text = re.sub(r"[^a-z0-9]+", "_", text).strip("_")
+    return text or "table"
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table and persist it under ``benchmarks/results/``.
+
+    The printed copy shows up with ``pytest -s`` (or in captured output on
+    failure); the persisted copy is what EXPERIMENTS.md points at so the
+    regenerated figures/tables are inspectable after any benchmark run.
+    """
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{_slug(text)}.txt"
+    path.write_text(text + "\n", encoding="utf-8")

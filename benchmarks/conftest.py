@@ -1,0 +1,88 @@
+"""Shared fixtures and configuration for the benchmark suite.
+
+Every benchmark reproduces one table or figure from the paper's Section 5 and
+prints the regenerated rows/series so that ``pytest benchmarks/
+--benchmark-only`` leaves a readable record (captured with ``-s`` or in the
+captured-output section of failures).
+
+The paper's experiments stream hundreds of thousands of points through a Java
+implementation; this reproduction uses reduced stream sizes by default so the
+whole suite finishes in minutes on a laptop.  Set the environment variable
+``REPRO_BENCH_SCALE=large`` for larger streams (closer to the paper's scale,
+much slower).  Absolute numbers are not expected to match the paper; the
+qualitative shape of every series is, and each benchmark asserts that shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_dataset
+
+# Reduced stream sizes (points per dataset) for the default benchmark run.
+_SMALL_SIZES = {
+    "covtype": 6_000,
+    "power": 8_000,
+    "intrusion": 6_000,
+    "drift": 6_000,
+}
+_LARGE_SIZES = {
+    "covtype": 60_000,
+    "power": 80_000,
+    "intrusion": 60_000,
+    "drift": 40_000,
+}
+
+
+def bench_scale() -> str:
+    """The benchmark scale selected via ``REPRO_BENCH_SCALE`` (small or large)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+
+def dataset_points(name: str) -> np.ndarray:
+    """Load a dataset at the benchmark scale."""
+    sizes = _LARGE_SIZES if bench_scale() == "large" else _SMALL_SIZES
+    return load_dataset(name, num_points=sizes[name]).points
+
+
+@pytest.fixture(scope="session")
+def covtype_points() -> np.ndarray:
+    """Covtype-like stream at benchmark scale."""
+    return dataset_points("covtype")
+
+
+@pytest.fixture(scope="session")
+def power_points() -> np.ndarray:
+    """Power-like stream at benchmark scale."""
+    return dataset_points("power")
+
+
+@pytest.fixture(scope="session")
+def intrusion_points() -> np.ndarray:
+    """Intrusion-like stream at benchmark scale."""
+    return dataset_points("intrusion")
+
+
+@pytest.fixture(scope="session")
+def drift_points() -> np.ndarray:
+    """Drift stream at benchmark scale."""
+    return dataset_points("drift")
+
+
+@pytest.fixture(scope="session")
+def all_datasets(covtype_points, power_points, intrusion_points, drift_points):
+    """All four evaluation datasets keyed by name."""
+    return {
+        "Covtype": covtype_points,
+        "Power": power_points,
+        "Intrusion": intrusion_points,
+        "Drift": drift_points,
+    }
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table with surrounding blank lines (shows up with -s)."""
+    print("\n" + text + "\n")

@@ -1,0 +1,57 @@
+"""Ablation: effect of the coreset-tree merge degree r on CC.
+
+DESIGN.md calls out the merge degree as a design choice worth ablating.  A
+larger r makes the tree shallower (fewer levels, so lower coreset levels and
+better theoretical accuracy) but means more buckets may be merged per query.
+This benchmark sweeps r for the CC algorithm and records total time, final
+cost, and memory, asserting that accuracy stays comparable across r (the
+paper's observation that theory is conservative here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import StreamingExperiment, run_experiment
+from repro.bench.report import format_table
+from repro.core.base import StreamingConfig
+from repro.queries.schedule import FixedIntervalSchedule
+
+from _bench_utils import emit
+
+MERGE_DEGREES = (2, 3, 8)
+K = 20
+
+
+def _run(points):
+    rows = []
+    for r in MERGE_DEGREES:
+        config = StreamingConfig(k=K, merge_degree=r, seed=0)
+        experiment = StreamingExperiment(
+            algorithm="cc", config=config, schedule=FixedIntervalSchedule(200)
+        )
+        result = run_experiment(experiment, points)
+        rows.append(
+            {
+                "merge degree r": r,
+                "total_s": result.timing.total_seconds,
+                "query_s": result.timing.query_seconds,
+                "final_cost": result.final_cost,
+                "points_stored": result.memory.points_stored,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("dataset", ["covtype"])
+def test_ablation_merge_degree(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    rows = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
+
+    emit(format_table(rows, title="Ablation: CC vs. coreset-tree merge degree r", precision=3))
+
+    costs = [row["final_cost"] for row in rows]
+    # Accuracy is essentially independent of r in practice.
+    assert max(costs) <= 1.7 * min(costs)
+    # Every configuration keeps a bounded memory footprint.
+    assert all(row["points_stored"] > 0 for row in rows)

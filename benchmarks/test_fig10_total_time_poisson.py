@@ -1,0 +1,52 @@
+"""Figure 10: total time per point vs. Poisson query arrival rate.
+
+Paper shape being reproduced: query time dominates update time at high query
+rates, so the total per-point time follows the same trend as Figure 9 —
+decreasing with rarer queries, with OnlineCC cheapest at every rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import poisson_queries
+from repro.bench.report import format_nested_series
+
+from _bench_utils import emit
+
+MEAN_INTERVALS = (50, 200, 800, 3200)
+ALGORITHMS = ("streamkm++", "cc", "rcc", "onlinecc")
+K = 20
+
+
+def _run(points):
+    return poisson_queries(
+        points, mean_intervals=MEAN_INTERVALS, algorithms=ALGORITHMS, k=K, seed=0
+    )
+
+
+@pytest.mark.parametrize("dataset", ["power"])
+def test_fig10_total_time_vs_poisson_rate(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
+
+    emit(
+        format_nested_series(
+            results,
+            x_label="mean query interval (1/lambda)",
+            metric="total_us",
+            title=f"Figure 10 ({dataset}): total time per point (us) vs. Poisson interval",
+            precision=2,
+        )
+    )
+
+    densest, sparsest = MEAN_INTERVALS[0], MEAN_INTERVALS[-1]
+
+    # Shape 1: total time per point decreases as queries become rarer for the
+    # tree-based algorithms (their query cost dominates).
+    for name in ("streamkm++", "cc", "rcc"):
+        assert results[name][sparsest]["total_us"] < results[name][densest]["total_us"]
+
+    # Shape 2: OnlineCC is the cheapest in total time at the densest rate.
+    densest_totals = {name: results[name][densest]["total_us"] for name in ALGORITHMS}
+    assert densest_totals["onlinecc"] == min(densest_totals.values())

@@ -1,0 +1,59 @@
+"""Figure 11: OnlineCC total runtime vs. the switch threshold alpha.
+
+Paper shape being reproduced: the runtime drops sharply between alpha = 1.2
+and roughly 2.4 (far fewer fallbacks to the CC path), then flattens — larger
+thresholds buy little additional speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import threshold_sweep
+from repro.bench.report import format_table
+
+from _bench_utils import emit
+
+THRESHOLDS = (1.2, 2.4, 3.6, 4.8, 6.0)
+K = 20
+
+
+def _run(points):
+    return threshold_sweep(points, thresholds=THRESHOLDS, k=K, query_interval=100, seed=0)
+
+
+@pytest.mark.parametrize("dataset", ["covtype", "power"])
+def test_fig11_runtime_vs_switch_threshold(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
+
+    rows = [
+        {
+            "alpha": alpha,
+            "update_s": entry["update_seconds"],
+            "query_s": entry["query_seconds"],
+            "total_s": entry["total_seconds"],
+            "final_cost": entry["final_cost"],
+        }
+        for alpha, entry in sorted(results.items())
+    ]
+    emit(
+        format_table(
+            rows,
+            title=f"Figure 11 ({dataset}): OnlineCC runtime vs. switch threshold",
+            precision=3,
+        )
+    )
+
+    # Shape 1: query time at the loosest threshold is no more than at the
+    # tightest threshold (fewer fallbacks can only help).
+    assert results[6.0]["query_seconds"] <= results[1.2]["query_seconds"] * 1.1
+
+    # Shape 2: most of the improvement is realised by alpha ~ 2.4; beyond
+    # that the curve flattens (the remaining gain is comparatively small).
+    drop_12_to_24 = results[1.2]["query_seconds"] - results[2.4]["query_seconds"]
+    drop_24_to_60 = results[2.4]["query_seconds"] - results[6.0]["query_seconds"]
+    assert drop_12_to_24 >= drop_24_to_60 - 0.05 * results[1.2]["query_seconds"]
+
+    # Shape 3: accuracy does not collapse as the threshold loosens.
+    assert results[6.0]["final_cost"] <= 3.0 * results[1.2]["final_cost"]

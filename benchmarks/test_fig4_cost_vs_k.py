@@ -1,0 +1,63 @@
+"""Figure 4: k-means cost vs. number of clusters k.
+
+Paper shape being reproduced:
+* Sequential k-means has distinctly higher cost than every coreset-based
+  algorithm (on the Intrusion data by orders of magnitude).
+* streamkm++, CC, RCC, and OnlineCC all land within a small factor of the
+  batch k-means++ baseline.
+* Cost decreases as k grows for every algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import cost_vs_k
+from repro.bench.report import format_series_table
+
+from _bench_utils import emit
+
+K_VALUES = (10, 20, 30)
+ALGORITHMS = ("sequential", "streamkm++", "cc", "rcc", "onlinecc")
+
+
+def _run_figure4(points, seed: int = 0):
+    return cost_vs_k(
+        points,
+        k_values=K_VALUES,
+        algorithms=ALGORITHMS,
+        query_interval=200,
+        include_batch=True,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["covtype", "power", "intrusion", "drift"])
+def test_fig4_cost_vs_k(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run_figure4, args=(points,), rounds=1, iterations=1)
+
+    emit(
+        format_series_table(
+            results,
+            x_label="k",
+            title=f"Figure 4 ({dataset}): k-means cost vs. number of clusters",
+            precision=4,
+        )
+    )
+
+    # Shape 1: cost decreases with k for the coreset algorithms and the batch baseline.
+    for name in ("cc", "streamkm++", "kmeans++"):
+        assert results[name][K_VALUES[-1]] < results[name][K_VALUES[0]]
+
+    # Shape 2: every coreset-based algorithm tracks the batch baseline.
+    for name in ("streamkm++", "cc", "rcc", "onlinecc"):
+        for k in K_VALUES:
+            assert results[name][k] <= 3.0 * results["kmeans++"][k]
+
+    # Shape 3: Sequential k-means never beats CC and is far worse on the
+    # heavily skewed Intrusion-like data.
+    for k in K_VALUES:
+        assert results["sequential"][k] >= 0.8 * results["cc"][k]
+    if dataset == "intrusion":
+        assert results["sequential"][K_VALUES[-1]] > 3.0 * results["cc"][K_VALUES[-1]]

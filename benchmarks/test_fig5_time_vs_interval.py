@@ -1,0 +1,64 @@
+"""Figure 5: total runtime over the stream vs. the query interval q.
+
+Paper shape being reproduced:
+* OnlineCC's total time is the smallest and essentially flat in q.
+* streamkm++, CC, and RCC get cheaper as queries become rarer (larger q).
+* CC is no slower than streamkm++ when queries are frequent (the caching
+  speed-up), and all algorithms converge as q grows very large.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import time_vs_query_interval
+from repro.bench.report import format_series_table
+
+from _bench_utils import emit
+
+INTERVALS = (50, 100, 200, 800, 3200)
+ALGORITHMS = ("streamkm++", "cc", "rcc", "onlinecc")
+K = 20
+
+
+def _run_figure5(points):
+    return time_vs_query_interval(
+        points, intervals=INTERVALS, algorithms=ALGORITHMS, k=K, seed=0
+    )
+
+
+@pytest.mark.parametrize("dataset", ["covtype", "power"])
+def test_fig5_total_time_vs_query_interval(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run_figure5, args=(points,), rounds=1, iterations=1)
+
+    emit(
+        format_series_table(
+            results,
+            x_label="query interval q",
+            title=f"Figure 5 ({dataset}): total time (s) vs. query interval",
+            precision=3,
+        )
+    )
+
+    smallest_q = INTERVALS[0]
+    largest_q = INTERVALS[-1]
+
+    # Shape 1: tree-based algorithms speed up when queries become rarer.
+    for name in ("streamkm++", "cc", "rcc"):
+        assert results[name][largest_q] < results[name][smallest_q]
+
+    # Shape 2: OnlineCC is the cheapest at the highest query rate, and CC
+    # does not lose to streamkm++ there (the point of coreset caching).
+    assert results["onlinecc"][smallest_q] == min(
+        results[name][smallest_q] for name in ALGORITHMS
+    )
+    assert results["cc"][smallest_q] <= 1.3 * results["streamkm++"][smallest_q]
+
+    # Shape 3: OnlineCC's total time is far less sensitive to the query rate
+    # than streamkm++'s.  (In the paper OnlineCC is essentially flat; at this
+    # reduced stream scale its occasional CC fallbacks still scale mildly
+    # with the number of queries, so we assert relative flatness.)
+    online_ratio = results["onlinecc"][smallest_q] / results["onlinecc"][largest_q]
+    streamkm_ratio = results["streamkm++"][smallest_q] / results["streamkm++"][largest_q]
+    assert online_ratio <= streamkm_ratio

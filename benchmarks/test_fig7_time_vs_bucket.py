@@ -1,0 +1,61 @@
+"""Figure 7: average runtime per point vs. bucket size m.
+
+Paper shape being reproduced:
+* Per-point runtime grows with the bucket size for every algorithm (both
+  update and query work are proportional to m).
+* OnlineCC has the smallest total per-point time at every bucket size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import time_vs_bucket_size
+from repro.bench.report import format_nested_series
+
+from _bench_utils import emit
+
+MULTIPLIERS = (20, 60, 100)
+ALGORITHMS = ("streamkm++", "cc", "rcc", "onlinecc")
+K = 20
+
+
+def _run_figure7(points):
+    return time_vs_bucket_size(
+        points,
+        bucket_multipliers=MULTIPLIERS,
+        algorithms=ALGORITHMS,
+        k=K,
+        query_interval=200,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["covtype", "power"])
+def test_fig7_runtime_vs_bucket_size(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run_figure7, args=(points,), rounds=1, iterations=1)
+
+    for metric in ("update_us", "query_us", "total_us"):
+        emit(
+            format_nested_series(
+                results,
+                x_label="bucket size (x k)",
+                metric=metric,
+                title=f"Figure 7 ({dataset}): {metric} per point vs. bucket size",
+                precision=2,
+            )
+        )
+
+    smallest, largest = MULTIPLIERS[0], MULTIPLIERS[-1]
+
+    # Shape 1: total per-point time grows with bucket size for the
+    # coreset-tree algorithms.
+    for name in ("streamkm++", "cc"):
+        assert results[name][largest]["total_us"] > results[name][smallest]["total_us"]
+
+    # Shape 2: OnlineCC has the lowest query time per point everywhere.
+    for multiplier in MULTIPLIERS:
+        online_query = results["onlinecc"][multiplier]["query_us"]
+        for name in ("streamkm++", "cc", "rcc"):
+            assert online_query <= results[name][multiplier]["query_us"]

@@ -1,0 +1,47 @@
+"""Figure 8: update time per point vs. Poisson query arrival rate.
+
+Paper shape being reproduced: the update path is independent of the query
+schedule, so the per-point update time stays roughly flat as the mean query
+interval changes, for every algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import poisson_queries
+from repro.bench.report import format_nested_series
+
+from _bench_utils import emit
+
+MEAN_INTERVALS = (50, 200, 800, 3200)
+ALGORITHMS = ("streamkm++", "cc", "rcc", "onlinecc")
+K = 20
+
+
+def _run(points):
+    return poisson_queries(
+        points, mean_intervals=MEAN_INTERVALS, algorithms=ALGORITHMS, k=K, seed=0
+    )
+
+
+@pytest.mark.parametrize("dataset", ["covtype"])
+def test_fig8_update_time_vs_poisson_rate(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
+
+    emit(
+        format_nested_series(
+            results,
+            x_label="mean query interval (1/lambda)",
+            metric="update_us",
+            title=f"Figure 8 ({dataset}): update time per point (us) vs. Poisson interval",
+            precision=2,
+        )
+    )
+
+    # Shape: update time is insensitive to the query arrival rate (within a
+    # small factor; timing noise on short runs prevents exact equality).
+    for name in ALGORITHMS:
+        series = [results[name][interval]["update_us"] for interval in MEAN_INTERVALS]
+        assert max(series) <= 5.0 * min(series)

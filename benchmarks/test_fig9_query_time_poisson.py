@@ -1,0 +1,54 @@
+"""Figure 9: query time per point vs. Poisson query arrival rate.
+
+Paper shape being reproduced:
+* Query time per point drops as queries become rarer, for every algorithm.
+* streamkm++ pays the most query time (no caching).
+* OnlineCC pays the least (O(1) fast path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import poisson_queries
+from repro.bench.report import format_nested_series
+
+from _bench_utils import emit
+
+MEAN_INTERVALS = (50, 200, 800, 3200)
+ALGORITHMS = ("streamkm++", "cc", "rcc", "onlinecc")
+K = 20
+
+
+def _run(points):
+    return poisson_queries(
+        points, mean_intervals=MEAN_INTERVALS, algorithms=ALGORITHMS, k=K, seed=0
+    )
+
+
+@pytest.mark.parametrize("dataset", ["covtype"])
+def test_fig9_query_time_vs_poisson_rate(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    results = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
+
+    emit(
+        format_nested_series(
+            results,
+            x_label="mean query interval (1/lambda)",
+            metric="query_us",
+            title=f"Figure 9 ({dataset}): query time per point (us) vs. Poisson interval",
+            precision=2,
+        )
+    )
+
+    densest, sparsest = MEAN_INTERVALS[0], MEAN_INTERVALS[-1]
+
+    # Shape 1: query time per point decreases when queries become rarer.
+    for name in ALGORITHMS:
+        assert results[name][sparsest]["query_us"] < results[name][densest]["query_us"]
+
+    # Shape 2: at the densest query rate, streamkm++ is the most expensive of
+    # the coreset-tree family and OnlineCC the cheapest overall.
+    densest_queries = {name: results[name][densest]["query_us"] for name in ALGORITHMS}
+    assert densest_queries["onlinecc"] == min(densest_queries.values())
+    assert densest_queries["streamkm++"] >= densest_queries["cc"] * 0.8

@@ -1,0 +1,96 @@
+"""Table 1 (empirical check): growth of query-time work for CT vs. CC.
+
+Table 1 is an asymptotic statement, not a measured table, so this benchmark
+verifies the quantity behind it empirically: the number of (weighted) points
+that must be merged to answer a query.  For CT that is the union of all
+active buckets — Theta(m * r * log N / log r); for CC it is at most the
+cached prefix plus (r - 1) tree buckets — Theta(m * r), independent of N.
+The benchmark streams an increasing number of base buckets through both
+structures and asserts that CT's query input keeps growing while CC's stays
+bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cached_tree import CachedCoresetTree
+from repro.core.coreset_tree import CoresetTree
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.coreset.construction import make_constructor
+from repro.bench.report import format_table
+
+from _bench_utils import emit
+
+MERGE_DEGREE = 2
+BUCKET_SIZE = 60
+CHECKPOINTS = (15, 63, 255)
+
+
+def _base_bucket(index: int, rng: np.random.Generator) -> Bucket:
+    return Bucket(
+        data=WeightedPointSet.from_points(rng.normal(size=(BUCKET_SIZE, 4))),
+        start=index,
+        end=index,
+        level=0,
+    )
+
+
+def _measure_query_inputs():
+    rng = np.random.default_rng(0)
+    ct = CoresetTree(make_constructor(k=5, coreset_size=BUCKET_SIZE, seed=0), MERGE_DEGREE)
+    cc = CachedCoresetTree(make_constructor(k=5, coreset_size=BUCKET_SIZE, seed=0), MERGE_DEGREE)
+
+    rows = []
+    for index in range(1, max(CHECKPOINTS) + 1):
+        ct.insert_bucket(_base_bucket(index, rng))
+        cc.insert_bucket(_base_bucket(index, rng))
+        # CC queries after every bucket, as in the paper's query model; this
+        # is what keeps its cache warm.
+        cc_query_points = _cc_query_input_size(cc)
+        if index in CHECKPOINTS:
+            rows.append(
+                {
+                    "N (base buckets)": index,
+                    "CT points merged at query": ct.query_coreset().size,
+                    "CC points merged at query": cc_query_points,
+                }
+            )
+    return rows
+
+
+def _cc_query_input_size(cc: CachedCoresetTree) -> int:
+    """Points fed into the merge for one CC query (prefix + suffix buckets)."""
+    from repro.core.numeral import major
+
+    n = cc.num_base_buckets
+    n1 = major(n, cc.merge_degree)
+    prefix = cc.cache.lookup(n1) if n1 > 0 else None
+    if prefix is None:
+        size = sum(bucket.size for bucket in cc.tree.active_buckets())
+    else:
+        size = prefix.size + sum(b.size for b in cc.tree.suffix_buckets(after=n1))
+    # Perform the actual query so the cache stays in the per-bucket-query regime.
+    cc.query_coreset()
+    return size
+
+
+def test_table1_query_work_growth(benchmark):
+    rows = benchmark.pedantic(_measure_query_inputs, rounds=1, iterations=1)
+    emit(
+        format_table(
+            rows,
+            title="Table 1 (empirical): points merged per query, CT vs. CC",
+            precision=0,
+        )
+    )
+
+    ct_sizes = [row["CT points merged at query"] for row in rows]
+    cc_sizes = [row["CC points merged at query"] for row in rows]
+
+    # CT's query input grows with log N (more active buckets to union).
+    assert ct_sizes[-1] > ct_sizes[0]
+    # CC's query input stays bounded by ~r buckets regardless of N.
+    assert max(cc_sizes) <= MERGE_DEGREE * BUCKET_SIZE + BUCKET_SIZE
+    # And by the last checkpoint CT is merging substantially more than CC.
+    assert ct_sizes[-1] >= 2 * cc_sizes[-1]

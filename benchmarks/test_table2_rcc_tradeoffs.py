@@ -1,0 +1,47 @@
+"""Table 2: RCC trade-offs as a function of the nesting depth iota.
+
+The paper's Table 2 lists asymptotic trade-offs (coreset level, query cost,
+update cost, memory) for two settings of iota.  This benchmark measures the
+empirical counterparts over a sweep of nesting depths: the maximum level of
+any coreset returned at query time (accuracy proxy) and the stored-point
+footprint (memory), asserting the qualitative trade-off — deeper nesting
+costs more memory while keeping the returned coreset level low.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import rcc_tradeoffs
+from repro.bench.report import format_table
+
+from _bench_utils import emit
+
+DEPTHS = (0, 1, 2, 3)
+
+
+def _run(points):
+    return rcc_tradeoffs(points, nesting_depths=DEPTHS, k=20, bucket_size=200, seed=0)
+
+
+@pytest.mark.parametrize("dataset", ["covtype"])
+def test_table2_rcc_tradeoffs(benchmark, dataset, request):
+    points = request.getfixturevalue(f"{dataset}_points")
+    rows = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
+
+    emit(format_table(rows, title="Table 2 (empirical): RCC trade-offs vs. nesting depth"))
+
+    by_depth = {int(row["nesting_depth"]): row for row in rows}
+
+    # Outer merge degree follows 2^(2^iota).
+    assert by_depth[0]["outer_merge_degree"] == 2.0
+    assert by_depth[3]["outer_merge_degree"] == 256.0
+
+    # Memory grows with the nesting depth (more inner structures and caches).
+    assert by_depth[3]["stored_points"] >= by_depth[0]["stored_points"]
+
+    # The coreset level returned at query time stays small for every depth
+    # (far below the number of buckets, which is what naive merging would give).
+    for depth in DEPTHS:
+        assert by_depth[depth]["max_query_level"] <= by_depth[depth]["num_buckets"] / 2
+        assert by_depth[depth]["max_query_level"] <= 12

@@ -1,0 +1,47 @@
+"""Table 4: memory cost (points stored and megabytes) per dataset per algorithm.
+
+Paper shape being reproduced:
+* streamkm++ uses the least memory (it keeps only the coreset tree).
+* CC needs more (tree + cache) but stays below ~2x streamkm++.
+* OnlineCC is essentially CC plus k online centers.
+* RCC has the largest footprint.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import memory_table
+from repro.bench.report import format_table
+
+from _bench_utils import emit
+
+ALGORITHMS = ("streamkm++", "cc", "rcc", "onlinecc")
+K = 20
+
+
+def _run(datasets):
+    return memory_table(datasets, algorithms=ALGORITHMS, k=K, query_interval=200, seed=0)
+
+
+def test_table4_memory_cost(benchmark, all_datasets):
+    rows = benchmark.pedantic(_run, args=(all_datasets,), rounds=1, iterations=1)
+
+    emit(format_table(rows, title="Table 4: memory cost (points stored / MB)", precision=2))
+
+    for row in rows:
+        streamkm = row["streamkm++_points"]
+        cc = row["cc_points"]
+        rcc = row["rcc_points"]
+        onlinecc = row["onlinecc_points"]
+
+        # streamkm++ <= CC <= RCC; OnlineCC tracks CC closely.
+        assert streamkm <= cc
+        assert cc <= rcc
+        assert abs(onlinecc - cc) <= K + 2 * K * 20  # k centers + one partial bucket
+
+        # CC's overhead over streamkm++ stays within the paper's ~2x bound
+        # (allow slack for the partial bucket on short streams).
+        assert cc <= 2.5 * streamkm
+
+        # Megabyte figures are consistent with the point counts.
+        assert row["cc_mb"] > 0
+        assert row["rcc_mb"] >= row["cc_mb"]

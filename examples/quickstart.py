@@ -1,0 +1,75 @@
+"""Quickstart: stream points into CC and query cluster centers on the fly.
+
+This example generates a simple Gaussian-mixture stream, feeds it to the
+CachedCoresetTree (CC) clusterer, queries the cluster centers every 1,000
+points, and compares the final answer to a batch k-means++ run on the full
+data — demonstrating the library's central claim that the streaming answer
+matches the batch answer while using a small memory footprint.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CachedCoresetTreeClusterer,
+    StreamingConfig,
+    kmeans_cost,
+    weighted_kmeans,
+)
+
+
+def make_stream(num_points: int = 20_000, num_clusters: int = 10, dimension: int = 8,
+                seed: int = 0) -> np.ndarray:
+    """A simple shuffled Gaussian-mixture stream."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=25.0, size=(num_clusters, dimension))
+    labels = rng.integers(0, num_clusters, size=num_points)
+    points = centers[labels] + rng.normal(scale=1.0, size=(num_points, dimension))
+    rng.shuffle(points, axis=0)
+    return points
+
+
+def main() -> None:
+    points = make_stream()
+    k = 10
+
+    config = StreamingConfig(k=k, seed=42)
+    clusterer = CachedCoresetTreeClusterer(config)
+
+    print(f"Streaming {points.shape[0]} points ({points.shape[1]}-dimensional), k={k}")
+    print(f"Base bucket size m = {config.bucket_size} points\n")
+
+    query_every = 1_000
+    for start in range(0, points.shape[0], query_every):
+        chunk = points[start : start + query_every]
+        clusterer.insert_many(chunk)
+        result = clusterer.query()
+        seen = points[: start + chunk.shape[0]]
+        cost = kmeans_cost(seen, result.centers)
+        print(
+            f"after {clusterer.points_seen:>6} points: "
+            f"k-means cost = {cost:12.1f}, "
+            f"stored points = {clusterer.stored_points():>5}"
+        )
+
+    # Compare the final streaming answer against batch k-means++ on all data.
+    streaming_cost = kmeans_cost(points, clusterer.query().centers)
+    batch = weighted_kmeans(points, k, rng=np.random.default_rng(42))
+    batch_cost = kmeans_cost(points, batch.centers)
+
+    print("\n--- final comparison ---")
+    print(f"streaming CC cost : {streaming_cost:12.1f}")
+    print(f"batch k-means++   : {batch_cost:12.1f}")
+    print(f"ratio             : {streaming_cost / batch_cost:12.3f}")
+    print(
+        f"memory            : {clusterer.stored_points()} stored points "
+        f"vs {points.shape[0]} in the stream "
+        f"({clusterer.stored_points() / points.shape[0]:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — Streaming k-means clustering with fast queries.
+
+A from-scratch reproduction of *"Streaming k-Means Clustering with Fast
+Queries"* (Zhang, Tangwongsan, Tirthapura; ICDE 2017).  The package provides:
+
+* the paper's algorithms — CT (coreset tree / streamkm++), CC (coreset tree
+  with coreset caching), RCC (recursive coreset cache), and OnlineCC (the
+  hybrid with sequential k-means);
+* the substrates they depend on — k-means++/Lloyd, sensitivity-sampling
+  coresets, merge-and-reduce buckets;
+* baselines (Sequential k-means, streamkm++, BIRCH, CluStream, STREAMLS);
+* dataset generators mirroring the paper's evaluation data; and
+* a benchmark harness that reproduces every figure and table of Section 5.
+
+Quickstart::
+
+    from repro import StreamingConfig, CachedCoresetTreeClusterer
+
+    clusterer = CachedCoresetTreeClusterer(StreamingConfig(k=10, seed=0))
+    clusterer.insert_many(points)          # any (n, d) array
+    centers = clusterer.query().centers    # (10, d) cluster centers
+"""
+
+from .baselines import (
+    BirchClusterer,
+    CluStreamClusterer,
+    SequentialKMeans,
+    StreamKMpp,
+    StreamLSClusterer,
+)
+from .core import (
+    CachedCoresetTree,
+    CachedCoresetTreeClusterer,
+    CoresetCache,
+    CoresetTree,
+    CoresetTreeClusterer,
+    OnlineCCClusterer,
+    QueryResult,
+    RecursiveCachedClusterer,
+    RecursiveCachedTree,
+    StreamClusterDriver,
+    StreamingClusterer,
+    StreamingConfig,
+)
+from .coreset import Bucket, CoresetConfig, CoresetConstructor, WeightedPointSet
+from .data import PointStream, load_dataset
+from .kmeans import BatchKMeans, KMeansConfig, kmeans_cost, kmeanspp_seeding, weighted_kmeans
+from .queries import FixedIntervalSchedule, PoissonSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BirchClusterer",
+    "CluStreamClusterer",
+    "SequentialKMeans",
+    "StreamKMpp",
+    "StreamLSClusterer",
+    "CachedCoresetTree",
+    "CachedCoresetTreeClusterer",
+    "CoresetCache",
+    "CoresetTree",
+    "CoresetTreeClusterer",
+    "OnlineCCClusterer",
+    "QueryResult",
+    "RecursiveCachedClusterer",
+    "RecursiveCachedTree",
+    "StreamClusterDriver",
+    "StreamingClusterer",
+    "StreamingConfig",
+    "Bucket",
+    "CoresetConfig",
+    "CoresetConstructor",
+    "WeightedPointSet",
+    "PointStream",
+    "load_dataset",
+    "BatchKMeans",
+    "KMeansConfig",
+    "kmeans_cost",
+    "kmeanspp_seeding",
+    "weighted_kmeans",
+    "FixedIntervalSchedule",
+    "PoissonSchedule",
+    "__version__",
+]

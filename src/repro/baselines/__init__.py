@@ -1,0 +1,18 @@
+"""Baseline streaming clustering algorithms the paper compares against."""
+
+from .birch import BirchClusterer, ClusteringFeature
+from .clustream import CluStreamClusterer, MicroCluster
+from .sequential import SequentialKMeans
+from .streamkmpp import StreamKMpp, streamkmpp_config
+from .streamls import StreamLSClusterer
+
+__all__ = [
+    "BirchClusterer",
+    "ClusteringFeature",
+    "CluStreamClusterer",
+    "MicroCluster",
+    "SequentialKMeans",
+    "StreamKMpp",
+    "streamkmpp_config",
+    "StreamLSClusterer",
+]

@@ -1,0 +1,189 @@
+"""CluStream-style microcluster clustering (Aggarwal et al., VLDB 2003).
+
+Related-work substrate: the online phase maintains a fixed budget of
+*microclusters* (clustering features extended with timestamps).  An arriving
+point joins its nearest microcluster when it falls within that microcluster's
+maximum boundary (a multiple of its RMS radius); otherwise a new microcluster
+is created and room is made by either deleting the stalest microcluster or
+merging the two closest ones.  The offline phase answers queries by running a
+weighted k-means over the microcluster centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import QueryResult, StreamingClusterer
+from ..kmeans.batch import weighted_kmeans
+
+__all__ = ["MicroCluster", "CluStreamClusterer"]
+
+
+class MicroCluster:
+    """A CluStream microcluster: CF statistics plus time statistics."""
+
+    __slots__ = ("count", "linear_sum", "square_sum", "time_sum", "last_update")
+
+    def __init__(self, point: np.ndarray, timestamp: int) -> None:
+        p = np.asarray(point, dtype=np.float64)
+        self.count = 1.0
+        self.linear_sum = p.copy()
+        self.square_sum = float(np.dot(p, p))
+        self.time_sum = float(timestamp)
+        self.last_update = timestamp
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Mean of absorbed points."""
+        return self.linear_sum / self.count
+
+    @property
+    def rms_radius(self) -> float:
+        """Root-mean-square deviation of absorbed points from the centroid."""
+        centroid = self.centroid
+        variance = self.square_sum / self.count - float(np.dot(centroid, centroid))
+        return float(np.sqrt(max(variance, 0.0)))
+
+    @property
+    def mean_timestamp(self) -> float:
+        """Average arrival time of absorbed points (recency measure)."""
+        return self.time_sum / self.count
+
+    def absorb(self, point: np.ndarray, timestamp: int) -> None:
+        """Add one point observed at ``timestamp``."""
+        p = np.asarray(point, dtype=np.float64)
+        self.count += 1.0
+        self.linear_sum += p
+        self.square_sum += float(np.dot(p, p))
+        self.time_sum += float(timestamp)
+        self.last_update = timestamp
+
+    def merge(self, other: "MicroCluster") -> None:
+        """Merge another microcluster into this one."""
+        self.count += other.count
+        self.linear_sum += other.linear_sum
+        self.square_sum += other.square_sum
+        self.time_sum += other.time_sum
+        self.last_update = max(self.last_update, other.last_update)
+
+
+class CluStreamClusterer(StreamingClusterer):
+    """Streaming clusterer with a bounded set of microclusters.
+
+    Parameters
+    ----------
+    k:
+        Number of centers returned by queries.
+    num_microclusters:
+        Budget of microclusters (the paper's ``q``, typically 10x–100x ``k``).
+    boundary_factor:
+        A point joins its nearest microcluster if its distance to the
+        centroid is at most ``boundary_factor * rms_radius`` (singleton
+        microclusters use the distance to the closest other centroid).
+    recency_horizon:
+        A microcluster whose mean timestamp is more than this many points old
+        is considered stale and may be deleted to make room.
+    seed:
+        Seed for the query-time k-means.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        num_microclusters: int | None = None,
+        boundary_factor: float = 2.0,
+        recency_horizon: int = 5000,
+        seed: int | None = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.num_microclusters = num_microclusters if num_microclusters is not None else 10 * k
+        if self.num_microclusters < k:
+            raise ValueError("num_microclusters must be at least k")
+        self.boundary_factor = boundary_factor
+        self.recency_horizon = recency_horizon
+        self._clusters: list[MicroCluster] = []
+        self._points_seen = 0
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def num_active_microclusters(self) -> int:
+        """Number of microclusters currently maintained."""
+        return len(self._clusters)
+
+    def insert(self, point: np.ndarray) -> None:
+        """Route one point to a microcluster (absorb, or create + make room)."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        self._points_seen += 1
+        timestamp = self._points_seen
+
+        if not self._clusters:
+            self._clusters.append(MicroCluster(row, timestamp))
+            return
+
+        centroids = np.vstack([mc.centroid for mc in self._clusters])
+        diffs = centroids - row[None, :]
+        distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        nearest = int(np.argmin(distances))
+        boundary = self._boundary(nearest, distances)
+
+        if distances[nearest] <= boundary:
+            self._clusters[nearest].absorb(row, timestamp)
+            return
+
+        self._clusters.append(MicroCluster(row, timestamp))
+        if len(self._clusters) > self.num_microclusters:
+            self._make_room(timestamp)
+
+    def query(self) -> QueryResult:
+        """Offline phase: weighted k-means over microcluster centroids."""
+        if not self._clusters:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        centroids = np.vstack([mc.centroid for mc in self._clusters])
+        weights = np.array([mc.count for mc in self._clusters], dtype=np.float64)
+        result = weighted_kmeans(
+            centroids, self.k, weights=weights, n_init=3, rng=self._rng
+        )
+        return QueryResult(
+            centers=result.centers,
+            coreset_points=centroids.shape[0],
+            from_cache=False,
+        )
+
+    def stored_points(self) -> int:
+        """Each microcluster stores the equivalent of one weighted point."""
+        return len(self._clusters)
+
+    def _boundary(self, index: int, distances: np.ndarray) -> float:
+        cluster = self._clusters[index]
+        if cluster.count > 1:
+            return self.boundary_factor * max(cluster.rms_radius, 1e-12)
+        # Singleton: use half the distance to the closest *other* centroid
+        # (the usual CluStream proxy for an unknown radius; the half keeps a
+        # lone microcluster from annexing a neighbouring cluster outright).
+        # With no other microcluster yet, force a new one to be created.
+        if distances.shape[0] == 1:
+            return 0.0
+        others = np.delete(distances, index)
+        return 0.5 * float(np.min(others))
+
+    def _make_room(self, timestamp: int) -> None:
+        """Delete the stalest microcluster, or merge the two closest ones."""
+        stalest = min(range(len(self._clusters)), key=lambda i: self._clusters[i].mean_timestamp)
+        if timestamp - self._clusters[stalest].mean_timestamp > self.recency_horizon:
+            del self._clusters[stalest]
+            return
+        centroids = np.vstack([mc.centroid for mc in self._clusters])
+        diffs = centroids[:, None, :] - centroids[None, :, :]
+        sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+        np.fill_diagonal(sq, np.inf)
+        i, j = np.unravel_index(int(np.argmin(sq)), sq.shape)
+        keep, drop = (i, j) if i < j else (j, i)
+        self._clusters[keep].merge(self._clusters[drop])
+        del self._clusters[drop]

@@ -1,0 +1,69 @@
+"""Sequential k-means streaming baseline (MacQueen, via Spark MLlib's scheme).
+
+This is the paper's first baseline (Section 5.2): the Spark MLlib streaming
+k-means implementation, modified to run sequentially, with the initial centers
+set to the first ``k`` points of the stream (rather than random Gaussians) so
+that no cluster starts empty.  Updates cost O(kd) per point and queries cost
+O(1), but there is no approximation guarantee — Figure 4 shows its cost can be
+orders of magnitude above the coreset-based algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import QueryResult, StreamingClusterer
+from ..kmeans.sequential import SequentialKMeansState
+
+__all__ = ["SequentialKMeans"]
+
+
+class SequentialKMeans(StreamingClusterer):
+    """Streaming clusterer applying one MacQueen update per arriving point.
+
+    Parameters
+    ----------
+    k:
+        Number of cluster centers to maintain.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._state: SequentialKMeansState | None = None
+        self._points_seen = 0
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def centers(self) -> np.ndarray | None:
+        """The currently maintained centers (None before the first point)."""
+        if self._state is None:
+            return None
+        return self._state.centers
+
+    def insert(self, point: np.ndarray) -> None:
+        """Apply one sequential k-means update."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._state is None:
+            self._state = SequentialKMeansState(self.k, row.shape[0])
+        self._state.update(row)
+        self._points_seen += 1
+
+    def query(self) -> QueryResult:
+        """Return the maintained centers (O(1))."""
+        if self._state is None:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        return QueryResult(
+            centers=self._state.centers.copy(),
+            coreset_points=0,
+            from_cache=True,
+        )
+
+    def stored_points(self) -> int:
+        """Only the ``k`` centers are stored."""
+        return self.k if self._state is not None else 0

@@ -1,0 +1,32 @@
+"""streamkm++ baseline (Ackermann et al., JEA 2012).
+
+The paper treats streamkm++ as the current state of the art and notes that it
+is exactly the CT algorithm with merge degree ``r = 2`` and a bucket size of
+``20 * k``.  This module provides that configuration as a named class so the
+benchmarks can refer to "StreamKM++" directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.base import StreamingConfig
+from ..core.driver import CoresetTreeClusterer
+
+__all__ = ["StreamKMpp", "streamkmpp_config"]
+
+
+def streamkmpp_config(config: StreamingConfig) -> StreamingConfig:
+    """Return ``config`` pinned to streamkm++'s choices (``r = 2``)."""
+    return replace(config, merge_degree=2)
+
+
+class StreamKMpp(CoresetTreeClusterer):
+    """The streamkm++ algorithm: a binary-merging coreset tree.
+
+    Any ``merge_degree`` present in the supplied configuration is overridden
+    to 2, because that is what defines streamkm++.
+    """
+
+    def __init__(self, config: StreamingConfig) -> None:
+        super().__init__(streamkmpp_config(config))

@@ -1,0 +1,167 @@
+"""STREAMLS-style divide-and-conquer streaming clustering (Guha et al., TKDE 2003).
+
+Related-work substrate: the stream is consumed in chunks; each chunk is
+clustered into ``k`` weighted representatives (we use k-means++ + Lloyd in
+place of the original local-search bicriteria routine, as the later
+divide-and-conquer variant of Ailon et al. does).  The weighted
+representatives of many chunks are themselves re-clustered when their number
+exceeds a chunk's worth, giving a hierarchy of at most logarithmic depth.  A
+query clusters the union of all retained representatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import QueryResult, StreamingClusterer
+from ..kmeans.batch import weighted_kmeans
+from ..kmeans.cost import assign_points
+
+__all__ = ["StreamLSClusterer"]
+
+
+class _WeightedLevel:
+    """Weighted representatives accumulated at one level of the hierarchy."""
+
+    def __init__(self, dimension: int) -> None:
+        self.points: list[np.ndarray] = []
+        self.weights: list[float] = []
+        self.dimension = dimension
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    def extend(self, points: np.ndarray, weights: np.ndarray) -> None:
+        for row, weight in zip(points, weights):
+            self.points.append(np.asarray(row, dtype=np.float64))
+            self.weights.append(float(weight))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.vstack(self.points),
+            np.asarray(self.weights, dtype=np.float64),
+        )
+
+    def clear(self) -> None:
+        self.points = []
+        self.weights = []
+
+
+class StreamLSClusterer(StreamingClusterer):
+    """Divide-and-conquer streaming clusterer.
+
+    Parameters
+    ----------
+    k:
+        Number of centers returned by queries.
+    chunk_size:
+        Number of raw points per chunk (defaults to ``40 * k``).
+    fanout:
+        How many sets of ``k`` representatives accumulate at a level before
+        they are re-clustered into the next level.
+    seed:
+        Seed for all internal k-means++ runs.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        chunk_size: int | None = None,
+        fanout: int = 10,
+        seed: int | None = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.k = k
+        self.chunk_size = chunk_size if chunk_size is not None else 40 * k
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.fanout = fanout
+        self._buffer: list[np.ndarray] = []
+        self._levels: list[_WeightedLevel] = []
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    def insert(self, point: np.ndarray) -> None:
+        """Buffer one point; cluster the chunk when the buffer fills."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+        self._buffer.append(row)
+        self._points_seen += 1
+        if len(self._buffer) >= self.chunk_size:
+            self._flush_chunk()
+
+    def query(self) -> QueryResult:
+        """Cluster the union of buffered points and retained representatives."""
+        points, weights = self._collect_all()
+        if points.shape[0] == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        result = weighted_kmeans(
+            points, self.k, weights=weights, n_init=3, rng=self._rng
+        )
+        return QueryResult(
+            centers=result.centers,
+            coreset_points=points.shape[0],
+            from_cache=False,
+        )
+
+    def stored_points(self) -> int:
+        """Buffered raw points plus all retained weighted representatives."""
+        return len(self._buffer) + sum(level.size for level in self._levels)
+
+    def _flush_chunk(self) -> None:
+        points = np.vstack(self._buffer)
+        weights = np.ones(points.shape[0], dtype=np.float64)
+        self._buffer = []
+        self._promote(0, points, weights)
+
+    def _promote(self, level_index: int, points: np.ndarray, weights: np.ndarray) -> None:
+        representatives, rep_weights = self._summarise(points, weights)
+        while len(self._levels) <= level_index:
+            self._levels.append(_WeightedLevel(self._dimension or points.shape[1]))
+        level = self._levels[level_index]
+        level.extend(representatives, rep_weights)
+        if level.size >= self.fanout * self.k:
+            merged_points, merged_weights = level.as_arrays()
+            level.clear()
+            self._promote(level_index + 1, merged_points, merged_weights)
+
+    def _summarise(
+        self, points: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cluster a weighted set into ``k`` representatives carrying its weight."""
+        result = weighted_kmeans(
+            points, self.k, weights=weights, n_init=2, rng=self._rng
+        )
+        labels, _ = assign_points(points, result.centers)
+        rep_weights = np.zeros(result.centers.shape[0], dtype=np.float64)
+        np.add.at(rep_weights, labels, weights)
+        occupied = rep_weights > 0
+        return result.centers[occupied], rep_weights[occupied]
+
+    def _collect_all(self) -> tuple[np.ndarray, np.ndarray]:
+        pieces: list[np.ndarray] = []
+        weight_pieces: list[np.ndarray] = []
+        if self._buffer:
+            buffered = np.vstack(self._buffer)
+            pieces.append(buffered)
+            weight_pieces.append(np.ones(buffered.shape[0], dtype=np.float64))
+        for level in self._levels:
+            if level.size:
+                pts, wts = level.as_arrays()
+                pieces.append(pts)
+                weight_pieces.append(wts)
+        if not pieces:
+            dim = self._dimension or 1
+            return np.empty((0, dim)), np.empty(0)
+        return np.vstack(pieces), np.concatenate(weight_pieces)

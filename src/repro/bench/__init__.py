@@ -1,0 +1,43 @@
+"""Experiment harness, per-figure drivers, and report formatting."""
+
+from .experiments import (
+    DEFAULT_ALGORITHMS,
+    cost_vs_bucket_size,
+    cost_vs_k,
+    dataset_table,
+    memory_table,
+    poisson_queries,
+    rcc_tradeoffs,
+    threshold_sweep,
+    time_vs_bucket_size,
+    time_vs_query_interval,
+)
+from .harness import (
+    ALGORITHM_NAMES,
+    RunResult,
+    StreamingExperiment,
+    make_algorithm,
+    run_experiment,
+)
+from .report import format_nested_series, format_series_table, format_table
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "cost_vs_bucket_size",
+    "cost_vs_k",
+    "dataset_table",
+    "memory_table",
+    "poisson_queries",
+    "rcc_tradeoffs",
+    "threshold_sweep",
+    "time_vs_bucket_size",
+    "time_vs_query_interval",
+    "ALGORITHM_NAMES",
+    "RunResult",
+    "StreamingExperiment",
+    "make_algorithm",
+    "run_experiment",
+    "format_nested_series",
+    "format_series_table",
+    "format_table",
+]

@@ -1,0 +1,293 @@
+"""Per-figure and per-table experiment drivers.
+
+Each function reproduces one artefact from the paper's evaluation (Section 5)
+and returns plain dictionaries/lists so benchmarks and examples can print or
+assert on them without extra plumbing.  The paper's exact sweep values are the
+defaults, but every sweep is parameterisable so the test suite can run reduced
+versions quickly.
+
+Mapping to the paper (see also DESIGN.md §3):
+
+* :func:`cost_vs_k`                — Figure 4
+* :func:`time_vs_query_interval`   — Figure 5
+* :func:`cost_vs_bucket_size`      — Figure 6
+* :func:`time_vs_bucket_size`      — Figure 7
+* :func:`poisson_queries`          — Figures 8, 9, 10
+* :func:`threshold_sweep`          — Figure 11
+* :func:`dataset_table`            — Table 3
+* :func:`memory_table`             — Table 4
+* :func:`rcc_tradeoffs`            — Table 2
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.base import StreamingConfig
+from ..core.recursive_cache import RecursiveCachedTree, merge_degree_for_order
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..data.loaders import PAPER_SIZES, dataset_names, load_dataset
+from ..kmeans.batch import weighted_kmeans
+from ..kmeans.cost import kmeans_cost
+from ..queries.schedule import FixedIntervalSchedule, PoissonSchedule
+from .harness import RunResult, StreamingExperiment, run_experiment
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "cost_vs_k",
+    "time_vs_query_interval",
+    "cost_vs_bucket_size",
+    "time_vs_bucket_size",
+    "poisson_queries",
+    "threshold_sweep",
+    "dataset_table",
+    "memory_table",
+    "rcc_tradeoffs",
+]
+
+# The algorithm line-up of the paper's figures.
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("sequential", "streamkm++", "cc", "rcc", "onlinecc")
+
+
+def _run(
+    algorithm: str,
+    points: np.ndarray,
+    config: StreamingConfig,
+    schedule,
+    **kwargs,
+) -> RunResult:
+    experiment = StreamingExperiment(
+        algorithm=algorithm, config=config, schedule=schedule, **kwargs
+    )
+    return run_experiment(experiment, points)
+
+
+def cost_vs_k(
+    points: np.ndarray,
+    k_values: tuple[int, ...] = (10, 20, 30, 40, 50),
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    query_interval: int = 100,
+    include_batch: bool = True,
+    seed: int = 0,
+) -> dict[str, dict[int, float]]:
+    """Figure 4: final k-means cost as a function of the number of clusters.
+
+    Returns ``{algorithm: {k: cost}}``; the batch k-means++ baseline appears
+    under the key ``"kmeans++"`` when ``include_batch`` is True.
+    """
+    results: dict[str, dict[int, float]] = {name: {} for name in algorithms}
+    if include_batch:
+        results["kmeans++"] = {}
+    for k in k_values:
+        config = StreamingConfig(k=k, seed=seed)
+        schedule = FixedIntervalSchedule(query_interval)
+        for name in algorithms:
+            run = _run(name, points, config, schedule)
+            results[name][k] = run.final_cost
+        if include_batch:
+            batch = weighted_kmeans(points, k, rng=np.random.default_rng(seed))
+            results["kmeans++"][k] = kmeans_cost(points, batch.centers)
+    return results
+
+
+def time_vs_query_interval(
+    points: np.ndarray,
+    intervals: tuple[int, ...] = (50, 100, 200, 400, 800, 1600, 3200),
+    algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
+    k: int = 30,
+    seed: int = 0,
+) -> dict[str, dict[int, float]]:
+    """Figure 5: total runtime (seconds) over the stream vs. the query interval q."""
+    config = StreamingConfig(k=k, seed=seed)
+    results: dict[str, dict[int, float]] = {name: {} for name in algorithms}
+    for interval in intervals:
+        schedule = FixedIntervalSchedule(interval)
+        for name in algorithms:
+            run = _run(name, points, config, schedule)
+            results[name][interval] = run.timing.total_seconds
+    return results
+
+
+def cost_vs_bucket_size(
+    points: np.ndarray,
+    bucket_multipliers: tuple[int, ...] = (20, 40, 60, 80, 100),
+    algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
+    k: int = 30,
+    query_interval: int = 100,
+    seed: int = 0,
+) -> dict[str, dict[int, float]]:
+    """Figure 6: final k-means cost vs. bucket size m (multiples of k)."""
+    results: dict[str, dict[int, float]] = {name: {} for name in algorithms}
+    schedule = FixedIntervalSchedule(query_interval)
+    for multiplier in bucket_multipliers:
+        config = StreamingConfig(k=k, coreset_size=multiplier * k, seed=seed)
+        for name in algorithms:
+            run = _run(name, points, config, schedule)
+            results[name][multiplier] = run.final_cost
+    return results
+
+
+def time_vs_bucket_size(
+    points: np.ndarray,
+    bucket_multipliers: tuple[int, ...] = (20, 40, 60, 80, 100),
+    algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
+    k: int = 30,
+    query_interval: int = 100,
+    seed: int = 0,
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Figure 7: average runtime per point (microseconds) vs. bucket size m.
+
+    Returns ``{algorithm: {multiplier: {"update_us": .., "query_us": .., "total_us": ..}}}``.
+    """
+    results: dict[str, dict[int, dict[str, float]]] = {name: {} for name in algorithms}
+    schedule = FixedIntervalSchedule(query_interval)
+    for multiplier in bucket_multipliers:
+        config = StreamingConfig(k=k, coreset_size=multiplier * k, seed=seed)
+        for name in algorithms:
+            run = _run(name, points, config, schedule)
+            results[name][multiplier] = {
+                "update_us": run.timing.update_time_per_point() * 1e6,
+                "query_us": run.timing.query_time_per_point() * 1e6,
+                "total_us": run.timing.total_time_per_point() * 1e6,
+            }
+    return results
+
+
+def poisson_queries(
+    points: np.ndarray,
+    mean_intervals: tuple[int, ...] = (50, 100, 200, 400, 800, 1600, 3200),
+    algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
+    k: int = 30,
+    seed: int = 0,
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Figures 8–10: per-point update/query/total time under Poisson query arrivals.
+
+    The paper parameterises by arrival rate lambda; we index results by the
+    mean inter-arrival interval ``1 / lambda`` (in points) which is the same
+    sweep expressed in more readable units.
+    """
+    config = StreamingConfig(k=k, seed=seed)
+    results: dict[str, dict[int, dict[str, float]]] = {name: {} for name in algorithms}
+    for mean_interval in mean_intervals:
+        schedule = PoissonSchedule.from_mean_interval(mean_interval, seed=seed)
+        for name in algorithms:
+            run = _run(name, points, config, schedule)
+            results[name][mean_interval] = {
+                "update_us": run.timing.update_time_per_point() * 1e6,
+                "query_us": run.timing.query_time_per_point() * 1e6,
+                "total_us": run.timing.total_time_per_point() * 1e6,
+                "num_queries": float(run.num_queries),
+            }
+    return results
+
+
+def threshold_sweep(
+    points: np.ndarray,
+    thresholds: tuple[float, ...] = (1.2, 2.4, 3.6, 4.8, 6.0),
+    k: int = 30,
+    query_interval: int = 100,
+    seed: int = 0,
+) -> dict[float, dict[str, float]]:
+    """Figure 11: OnlineCC total update/query time vs. the switch threshold alpha."""
+    config = StreamingConfig(k=k, seed=seed)
+    schedule = FixedIntervalSchedule(query_interval)
+    results: dict[float, dict[str, float]] = {}
+    for alpha in thresholds:
+        run = _run(
+            "onlinecc", points, config, schedule, switch_threshold=alpha
+        )
+        results[alpha] = {
+            "update_seconds": run.timing.update_seconds,
+            "query_seconds": run.timing.query_seconds,
+            "total_seconds": run.timing.total_seconds,
+            "final_cost": run.final_cost,
+        }
+    return results
+
+
+def dataset_table(scale: str = "default") -> list[dict[str, object]]:
+    """Table 3: the datasets, their sizes, dimensions, and descriptions."""
+    rows: list[dict[str, object]] = []
+    for name in dataset_names():
+        info = load_dataset(name, scale=scale)
+        paper_n, paper_d = PAPER_SIZES[name]
+        rows.append(
+            {
+                "dataset": info.name,
+                "num_points": info.num_points,
+                "dimension": info.dimension,
+                "paper_num_points": paper_n,
+                "paper_dimension": paper_d,
+                "description": info.description,
+            }
+        )
+    return rows
+
+
+def memory_table(
+    datasets: dict[str, np.ndarray],
+    algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
+    k: int = 30,
+    query_interval: int = 100,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Table 4: memory cost (points stored and MB) per dataset per algorithm."""
+    config = StreamingConfig(k=k, seed=seed)
+    schedule = FixedIntervalSchedule(query_interval)
+    rows: list[dict[str, object]] = []
+    for dataset_name, points in datasets.items():
+        row: dict[str, object] = {"dataset": dataset_name}
+        for name in algorithms:
+            run = _run(name, points, config, schedule)
+            row[f"{name}_points"] = run.memory.points_stored
+            row[f"{name}_mb"] = run.memory.megabytes
+        rows.append(row)
+    return rows
+
+
+def rcc_tradeoffs(
+    points: np.ndarray,
+    nesting_depths: tuple[int, ...] = (0, 1, 2, 3),
+    k: int = 30,
+    bucket_size: int | None = None,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Table 2 (empirical version): RCC behaviour as a function of nesting depth.
+
+    For each nesting depth the stream is ingested bucket-by-bucket, a query is
+    issued after every bucket, and we record the maximum coreset level ever
+    returned, the stored-point footprint, and the outer merge degree.
+    """
+    config = StreamingConfig(k=k, coreset_size=bucket_size, seed=seed)
+    m = config.bucket_size
+    data = np.asarray(points, dtype=np.float64)
+    num_buckets = data.shape[0] // m
+    rows: list[dict[str, float]] = []
+    for depth in nesting_depths:
+        constructor = config.make_constructor()
+        structure = RecursiveCachedTree(constructor, nesting_depth=depth)
+        max_query_level = 0
+        for index in range(num_buckets):
+            block = data[index * m : (index + 1) * m]
+            bucket = Bucket(
+                data=WeightedPointSet.from_points(block),
+                start=index + 1,
+                end=index + 1,
+                level=0,
+            )
+            structure.insert_bucket(bucket)
+            result = structure.query_coreset_bucket()
+            if result is not None:
+                max_query_level = max(max_query_level, result.level)
+        rows.append(
+            {
+                "nesting_depth": float(depth),
+                "outer_merge_degree": float(merge_degree_for_order(depth)),
+                "max_query_level": float(max_query_level),
+                "stored_points": float(structure.stored_points()),
+                "num_buckets": float(num_buckets),
+            }
+        )
+    return rows

@@ -1,0 +1,206 @@
+"""The experiment harness: replay a stream against an algorithm and a query schedule.
+
+This is the machinery behind every figure and table in the paper's Section 5:
+points are fed to a :class:`~repro.core.base.StreamingClusterer` one at a
+time; whenever the query schedule says a query is due, the clusterer is asked
+for centers; update time, query time, memory, and the final clustering cost
+are recorded.
+
+Algorithm construction goes through a small registry of named factories so
+that benchmarks, examples, and tests refer to algorithms by the same names the
+paper uses ("sequential", "streamkm++", "cc", "rcc", "onlinecc").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.sequential import SequentialKMeans
+from ..baselines.streamkmpp import StreamKMpp
+from ..core.base import StreamingClusterer, StreamingConfig
+from ..core.driver import (
+    CachedCoresetTreeClusterer,
+    CoresetTreeClusterer,
+    RecursiveCachedClusterer,
+)
+from ..core.online_cc import OnlineCCClusterer
+from ..kmeans.cost import kmeans_cost
+from ..metrics.memory import MemoryUsage
+from ..metrics.timing import TimingBreakdown
+from ..queries.schedule import FixedIntervalSchedule, QuerySchedule
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "make_algorithm",
+    "RunResult",
+    "StreamingExperiment",
+    "run_experiment",
+]
+
+ALGORITHM_NAMES: tuple[str, ...] = (
+    "sequential",
+    "streamkm++",
+    "ct",
+    "cc",
+    "rcc",
+    "onlinecc",
+)
+
+
+def make_algorithm(
+    name: str,
+    config: StreamingConfig,
+    nesting_depth: int = 3,
+    switch_threshold: float = 1.2,
+) -> StreamingClusterer:
+    """Instantiate a streaming clusterer by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"sequential"``, ``"streamkm++"``, ``"ct"``, ``"cc"``,
+        ``"rcc"``, ``"onlinecc"`` (case-insensitive).
+    config:
+        Shared streaming configuration (k, bucket size, merge degree, seed).
+    nesting_depth:
+        RCC nesting depth (ignored by other algorithms).
+    switch_threshold:
+        OnlineCC's fallback threshold alpha (ignored by other algorithms).
+    """
+    key = name.lower()
+    if key == "sequential":
+        return SequentialKMeans(config.k)
+    if key in ("streamkm++", "streamkmpp"):
+        return StreamKMpp(config)
+    if key == "ct":
+        return CoresetTreeClusterer(config)
+    if key == "cc":
+        return CachedCoresetTreeClusterer(config)
+    if key == "rcc":
+        return RecursiveCachedClusterer(config, nesting_depth=nesting_depth)
+    if key == "onlinecc":
+        return OnlineCCClusterer(config, switch_threshold=switch_threshold)
+    raise KeyError(f"unknown algorithm {name!r}; available: {ALGORITHM_NAMES}")
+
+
+@dataclass
+class RunResult:
+    """Everything measured while replaying one stream against one algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        The registry name of the algorithm.
+    timing:
+        Update/query time breakdown (seconds).
+    memory:
+        Peak memory snapshot (points stored, converted to MB on demand).
+    final_cost:
+        k-means cost of the *last* query's centers over the whole stream.
+    final_centers:
+        Centers returned by the last query (shape ``(k, d)``).
+    num_queries:
+        Number of queries answered during the run.
+    query_costs:
+        Optional per-query costs (populated when ``track_query_costs`` is set).
+    """
+
+    algorithm: str
+    timing: TimingBreakdown
+    memory: MemoryUsage
+    final_cost: float
+    final_centers: np.ndarray
+    num_queries: int
+    query_costs: list[float] = field(default_factory=list)
+
+
+@dataclass
+class StreamingExperiment:
+    """Configuration of a single harness run.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the algorithm to run.
+    config:
+        Streaming configuration handed to the algorithm factory.
+    schedule:
+        Query schedule (defaults to one query every 100 points, the paper's
+        default).
+    nesting_depth / switch_threshold:
+        Forwarded to :func:`make_algorithm`.
+    track_query_costs:
+        When True, the k-means cost of every query answer is evaluated over
+        the points seen so far (slow; used only by accuracy-focused tests).
+    """
+
+    algorithm: str
+    config: StreamingConfig
+    schedule: QuerySchedule = field(default_factory=lambda: FixedIntervalSchedule(100))
+    nesting_depth: int = 3
+    switch_threshold: float = 1.2
+    track_query_costs: bool = False
+
+
+def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunResult:
+    """Replay ``points`` through the configured algorithm and schedule."""
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+
+    algorithm = make_algorithm(
+        experiment.algorithm,
+        experiment.config,
+        nesting_depth=experiment.nesting_depth,
+        switch_threshold=experiment.switch_threshold,
+    )
+    schedule_positions = experiment.schedule.query_positions(data.shape[0])
+    query_set = set(int(p) for p in schedule_positions)
+
+    timing = TimingBreakdown()
+    peak_points = 0
+    last_centers: np.ndarray | None = None
+    query_costs: list[float] = []
+    num_queries = 0
+
+    for index in range(data.shape[0]):
+        start = time.perf_counter()
+        algorithm.insert(data[index])
+        timing.add_update(time.perf_counter() - start)
+
+        position = index + 1
+        if position in query_set:
+            start = time.perf_counter()
+            result = algorithm.query()
+            timing.add_query(time.perf_counter() - start)
+            last_centers = result.centers
+            num_queries += 1
+            peak_points = max(peak_points, algorithm.stored_points())
+            if experiment.track_query_costs:
+                query_costs.append(kmeans_cost(data[:position], result.centers))
+
+    if last_centers is None:
+        # No scheduled query fired (short stream): issue one final query so
+        # that every run produces centers and a cost.
+        start = time.perf_counter()
+        result = algorithm.query()
+        timing.add_query(time.perf_counter() - start)
+        last_centers = result.centers
+        num_queries += 1
+
+    peak_points = max(peak_points, algorithm.stored_points())
+    final_cost = kmeans_cost(data, last_centers)
+
+    return RunResult(
+        algorithm=experiment.algorithm,
+        timing=timing,
+        memory=MemoryUsage(points_stored=peak_points, dimension=data.shape[1]),
+        final_cost=final_cost,
+        final_centers=last_centers,
+        num_queries=num_queries,
+        query_costs=query_costs,
+    )

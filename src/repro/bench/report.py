@@ -1,0 +1,102 @@
+"""Plain-text report formatting for benchmark output.
+
+The benchmark harness prints tables shaped like the paper's figures and
+tables so that a run of ``pytest benchmarks/ --benchmark-only`` produces a
+readable record of the reproduced series.  Everything here is purely
+presentational: simple fixed-width tables, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series_table", "format_nested_series"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered = [
+        {column: _format_value(row.get(column, ""), precision) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        for column in columns
+    }
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rendered:
+        lines.append(" | ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render ``{series_name: {x: y}}`` with one row per x and one column per series.
+
+    This is the shape of most of the paper's figures (one line per algorithm).
+    """
+    if not series:
+        return (title + "\n(no series)") if title else "(no series)"
+    x_values: list[object] = []
+    for mapping in series.values():
+        for x in mapping:
+            if x not in x_values:
+                x_values.append(x)
+    x_values.sort(key=lambda value: (isinstance(value, str), value))
+
+    rows = []
+    for x in x_values:
+        row: dict[str, object] = {x_label: x}
+        for name, mapping in series.items():
+            if x in mapping:
+                row[name] = mapping[x]
+        rows.append(row)
+    columns = [x_label, *series.keys()]
+    return format_table(rows, columns=columns, title=title, precision=precision)
+
+
+def format_nested_series(
+    series: Mapping[str, Mapping[object, Mapping[str, float]]],
+    x_label: str,
+    metric: str,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Like :func:`format_series_table` but extracting one metric from nested dicts.
+
+    Used for the Figure 7–10 results, which store several metrics per
+    (algorithm, x) pair.
+    """
+    flattened = {
+        name: {x: values[metric] for x, values in mapping.items() if metric in values}
+        for name, mapping in series.items()
+    }
+    return format_series_table(flattened, x_label=x_label, title=title, precision=precision)

@@ -1,0 +1,181 @@
+"""Command-line interface for running streaming clustering experiments.
+
+Usage examples::
+
+    # Run one algorithm over one dataset with a fixed query interval
+    python -m repro.cli run --algorithm cc --dataset covtype --k 20 \
+        --num-points 10000 --query-interval 200
+
+    # Regenerate one of the paper's figures (reduced scale) and export its data
+    python -m repro.cli figure fig4 --dataset power --num-points 6000 \
+        --output fig4_power.json
+
+    # List the available datasets and algorithms
+    python -m repro.cli list
+
+The CLI is a thin wrapper over :mod:`repro.bench`; everything it does is also
+available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench.experiments import (
+    cost_vs_k,
+    memory_table,
+    poisson_queries,
+    threshold_sweep,
+    time_vs_query_interval,
+)
+from .bench.harness import ALGORITHM_NAMES, StreamingExperiment, run_experiment
+from .bench.report import format_nested_series, format_series_table, format_table
+from .core.base import StreamingConfig
+from .data.loaders import dataset_names, load_dataset
+from .io.serialization import series_to_json
+from .queries.schedule import FixedIntervalSchedule, PoissonSchedule
+
+__all__ = ["main", "build_parser"]
+
+FIGURES = ("fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "table4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming k-means clustering with fast queries (ICDE 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one algorithm over one dataset")
+    run.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="cc")
+    run.add_argument("--dataset", choices=dataset_names(), default="covtype")
+    run.add_argument("--k", type=int, default=30)
+    run.add_argument("--num-points", type=int, default=10_000)
+    run.add_argument("--bucket-size", type=int, default=None)
+    run.add_argument("--query-interval", type=int, default=100)
+    run.add_argument("--poisson", action="store_true", help="use a Poisson query schedule")
+    run.add_argument("--seed", type=int, default=0)
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--dataset", choices=dataset_names(), default="covtype")
+    figure.add_argument("--num-points", type=int, default=6_000)
+    figure.add_argument("--k", type=int, default=20)
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--output", type=str, default=None, help="write series data to JSON")
+
+    subparsers.add_parser("list", help="list available datasets and algorithms")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
+    config = StreamingConfig(
+        k=args.k, coreset_size=args.bucket_size, seed=args.seed
+    )
+    if args.poisson:
+        schedule = PoissonSchedule.from_mean_interval(args.query_interval, seed=args.seed)
+    else:
+        schedule = FixedIntervalSchedule(args.query_interval)
+
+    result = run_experiment(
+        StreamingExperiment(algorithm=args.algorithm, config=config, schedule=schedule),
+        info.points,
+    )
+    rows = [
+        {
+            "dataset": info.name,
+            "algorithm": args.algorithm,
+            "k": args.k,
+            "points": info.num_points,
+            "queries": result.num_queries,
+            "update_s": result.timing.update_seconds,
+            "query_s": result.timing.query_seconds,
+            "total_s": result.timing.total_seconds,
+            "final_cost": result.final_cost,
+            "stored_points": result.memory.points_stored,
+            "memory_mb": result.memory.megabytes,
+        }
+    ]
+    print(format_table(rows, title="Run summary"))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
+    points = info.points
+    name = args.name
+
+    if name == "fig4":
+        series = cost_vs_k(
+            points, k_values=(10, 20, 30), query_interval=200, seed=args.seed
+        )
+        print(format_series_table(series, x_label="k", title=f"Figure 4 ({info.name})"))
+    elif name == "fig5":
+        series = time_vs_query_interval(
+            points, intervals=(50, 100, 200, 800, 3200), k=args.k, seed=args.seed
+        )
+        print(
+            format_series_table(
+                series, x_label="query interval", title=f"Figure 5 ({info.name})"
+            )
+        )
+    elif name in ("fig8", "fig9", "fig10"):
+        metric = {"fig8": "update_us", "fig9": "query_us", "fig10": "total_us"}[name]
+        nested = poisson_queries(
+            points, mean_intervals=(50, 200, 800, 3200), k=args.k, seed=args.seed
+        )
+        print(
+            format_nested_series(
+                nested,
+                x_label="mean query interval",
+                metric=metric,
+                title=f"Figure {name[3:]} ({info.name}): {metric}",
+            )
+        )
+        series = {
+            algo: {interval: values[metric] for interval, values in mapping.items()}
+            for algo, mapping in nested.items()
+        }
+    elif name == "fig11":
+        sweep = threshold_sweep(points, k=args.k, seed=args.seed)
+        rows = [{"alpha": alpha, **entry} for alpha, entry in sorted(sweep.items())]
+        print(format_table(rows, title=f"Figure 11 ({info.name})"))
+        series = {"total_seconds": {alpha: entry["total_seconds"] for alpha, entry in sweep.items()}}
+    else:  # table4
+        rows = memory_table({info.name: points}, k=args.k, seed=args.seed)
+        print(format_table(rows, title="Table 4"))
+        series = {
+            "points": {key: float(value) for key, value in rows[0].items() if key != "dataset"}
+        }
+
+    if args.output:
+        path = series_to_json(args.output, series)
+        print(f"\nSeries data written to {path}")
+    return 0
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    print("Datasets  :", ", ".join(dataset_names()))
+    print("Algorithms:", ", ".join(ALGORITHM_NAMES))
+    print("Figures   :", ", ".join(FIGURES))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    return _command_list(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Core streaming clustering algorithms: CT, CC, RCC, and OnlineCC."""
+
+from .base import ClusteringStructure, QueryResult, StreamingClusterer, StreamingConfig
+from .cache import CoresetCache
+from .cached_tree import CachedCoresetTree
+from .coreset_tree import CoresetTree
+from .driver import (
+    CachedCoresetTreeClusterer,
+    CoresetTreeClusterer,
+    RecursiveCachedClusterer,
+    StreamClusterDriver,
+)
+from .numeral import digits, major, minor, num_nonzero_digits, prefixsum
+from .online_cc import OnlineCCClusterer
+from .recursive_cache import RecursiveCachedTree, merge_degree_for_order
+
+__all__ = [
+    "ClusteringStructure",
+    "QueryResult",
+    "StreamingClusterer",
+    "StreamingConfig",
+    "CoresetCache",
+    "CachedCoresetTree",
+    "CoresetTree",
+    "CachedCoresetTreeClusterer",
+    "CoresetTreeClusterer",
+    "RecursiveCachedClusterer",
+    "StreamClusterDriver",
+    "digits",
+    "major",
+    "minor",
+    "num_nonzero_digits",
+    "prefixsum",
+    "OnlineCCClusterer",
+    "RecursiveCachedTree",
+    "merge_degree_for_order",
+]

@@ -1,0 +1,184 @@
+"""Common interfaces and configuration for the streaming clustering algorithms.
+
+Two layers of abstraction mirror the paper's "driver" design (Algorithm 1):
+
+* :class:`ClusteringStructure` — the clustering data structure ``D`` behind
+  the driver.  It consumes *base buckets* (batches of ``m`` points) and can
+  produce, on demand, a weighted coreset of everything inserted so far.
+  CT, CC, and RCC implement this interface.
+
+* :class:`StreamingClusterer` — the user-facing object.  It consumes points
+  one at a time (or in arrays), buffers them into base buckets, and answers
+  cluster-center queries.  The generic :class:`~repro.core.driver.StreamClusterDriver`
+  wraps any :class:`ClusteringStructure`; OnlineCC implements the interface
+  directly because it also does per-point work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.construction import CoresetConfig, CoresetConstructor, CoresetMethod
+
+__all__ = [
+    "StreamingConfig",
+    "ClusteringStructure",
+    "StreamingClusterer",
+    "QueryResult",
+]
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Configuration shared by all streaming clustering algorithms.
+
+    Attributes
+    ----------
+    k:
+        Number of cluster centers returned by queries.
+    coreset_size:
+        Base-bucket size ``m`` (also the size of every constructed coreset).
+        The paper defaults to ``20 * k``.
+    merge_degree:
+        The coreset-tree merge degree ``r`` (2 reproduces streamkm++).
+    coreset_method:
+        Which coreset construction to use (see
+        :class:`~repro.coreset.construction.CoresetConfig`).
+    n_init:
+        Number of k-means++ restarts when extracting centers at query time.
+    lloyd_iterations:
+        Lloyd refinement iterations applied after seeding at query time.
+    seed:
+        Seed for all randomness inside the algorithm (coreset sampling and
+        k-means++).  ``None`` draws fresh entropy.
+    """
+
+    k: int
+    coreset_size: int | None = None
+    merge_degree: int = 2
+    coreset_method: CoresetMethod = "sensitivity"
+    n_init: int = 5
+    lloyd_iterations: int = 20
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.merge_degree < 2:
+            raise ValueError(f"merge_degree must be >= 2, got {self.merge_degree}")
+        if self.coreset_size is not None and self.coreset_size <= 0:
+            raise ValueError("coreset_size must be positive when given")
+        if self.n_init <= 0:
+            raise ValueError("n_init must be positive")
+        if self.lloyd_iterations < 0:
+            raise ValueError("lloyd_iterations must be non-negative")
+
+    @property
+    def bucket_size(self) -> int:
+        """The base-bucket size ``m`` (defaults to ``20 * k``)."""
+        return self.coreset_size if self.coreset_size is not None else 20 * self.k
+
+    def coreset_config(self) -> CoresetConfig:
+        """The coreset-construction configuration implied by this config."""
+        return CoresetConfig(
+            k=self.k,
+            coreset_size=self.bucket_size,
+            method=self.coreset_method,
+        )
+
+    def make_constructor(self, seed: int | None = None) -> CoresetConstructor:
+        """Create a coreset constructor; ``seed`` overrides the config seed."""
+        effective_seed = seed if seed is not None else self.seed
+        return CoresetConstructor(self.coreset_config(), seed=effective_seed)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Cluster centers returned by a clustering query.
+
+    Attributes
+    ----------
+    centers:
+        Array of shape ``(k, d)``.
+    coreset_points:
+        Number of weighted points the final k-means++ ran on (0 when the
+        answer came from a purely online path, as in OnlineCC's fast path).
+    from_cache:
+        True when the answer reused a cached coreset (CC/RCC) or the online
+        centers (OnlineCC) rather than merging the full tree.
+    """
+
+    centers: np.ndarray
+    coreset_points: int = 0
+    from_cache: bool = False
+
+
+class ClusteringStructure(ABC):
+    """The clustering data structure ``D`` of Algorithm 1.
+
+    Implementations consume full base buckets and can produce a coreset of
+    everything inserted so far.  They also expose simple accounting hooks the
+    benchmarks use (stored points, maximum coreset level).
+    """
+
+    @abstractmethod
+    def insert_bucket(self, bucket: Bucket) -> None:
+        """Insert one base bucket (``level == 0``) into the structure."""
+
+    @abstractmethod
+    def query_coreset(self) -> WeightedPointSet:
+        """Return a weighted coreset of all points inserted so far.
+
+        Implementations are allowed to update internal caches as a side
+        effect (that is the whole point of CC/RCC).
+        """
+
+    @abstractmethod
+    def stored_points(self) -> int:
+        """Number of weighted points currently held (for memory accounting)."""
+
+    @abstractmethod
+    def max_level(self) -> int:
+        """Maximum coreset level currently present in the structure."""
+
+    @property
+    @abstractmethod
+    def num_base_buckets(self) -> int:
+        """How many base buckets have been inserted so far (``N``)."""
+
+
+class StreamingClusterer(ABC):
+    """User-facing streaming clustering interface.
+
+    Concrete algorithms: CT, CC, RCC (via the driver) and OnlineCC, plus the
+    baselines in :mod:`repro.baselines`.
+    """
+
+    @abstractmethod
+    def insert(self, point: np.ndarray) -> None:
+        """Insert a single point from the stream."""
+
+    def insert_many(self, points: np.ndarray) -> None:
+        """Insert an array of points, in order (convenience wrapper)."""
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        for row in arr:
+            self.insert(row)
+
+    @abstractmethod
+    def query(self) -> QueryResult:
+        """Return ``k`` cluster centers for everything observed so far."""
+
+    @abstractmethod
+    def stored_points(self) -> int:
+        """Number of weighted points held in memory (for Table 4)."""
+
+    @property
+    @abstractmethod
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far (``n``)."""

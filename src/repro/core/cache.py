@@ -1,0 +1,97 @@
+"""The coreset cache used by CC and RCC.
+
+The cache maps a *right endpoint* ``u`` (a number of base buckets) to a
+coreset bucket whose span is ``[1, u]``.  After a query at time ``N`` the
+freshly computed coreset for ``[1, N]`` is stored under key ``N``, and every
+key that is not in ``prefixsum(N, r) ∪ {N}`` is evicted (Algorithm 3, lines
+18–19).  Fact 2 guarantees that, when queries arrive at least once per base
+bucket, the key ``major(N, r)`` needed by the next query is always present.
+"""
+
+from __future__ import annotations
+
+from ..coreset.bucket import Bucket
+from .numeral import prefixsum
+
+__all__ = ["CoresetCache"]
+
+
+class CoresetCache:
+    """Keyed store of prefix coresets with prefixsum-based eviction.
+
+    Parameters
+    ----------
+    merge_degree:
+        The base ``r`` used for the prefixsum eviction rule.
+    """
+
+    def __init__(self, merge_degree: int) -> None:
+        if merge_degree < 2:
+            raise ValueError(f"merge_degree must be >= 2, got {merge_degree}")
+        self._merge_degree = merge_degree
+        self._entries: dict[int, Bucket] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, endpoint: int) -> bool:
+        return endpoint in self._entries
+
+    @property
+    def merge_degree(self) -> int:
+        """The base ``r`` used for eviction decisions."""
+        return self._merge_degree
+
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups (instrumentation for benchmarks)."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups."""
+        return self._misses
+
+    def keys(self) -> set[int]:
+        """The set of right endpoints currently cached."""
+        return set(self._entries)
+
+    def buckets(self) -> list[Bucket]:
+        """All cached coresets (does not count as lookups for hit statistics)."""
+        return list(self._entries.values())
+
+    def lookup(self, endpoint: int) -> Bucket | None:
+        """Return the cached coreset with span ``[1, endpoint]``, if present."""
+        bucket = self._entries.get(endpoint)
+        if bucket is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return bucket
+
+    def store(self, bucket: Bucket) -> None:
+        """Insert a prefix coreset (its span must start at base bucket 1)."""
+        if bucket.start != 1:
+            raise ValueError(
+                f"cache stores prefix coresets only; got span [{bucket.start},{bucket.end}]"
+            )
+        self._entries[bucket.end] = bucket
+
+    def evict_stale(self, num_base_buckets: int) -> int:
+        """Drop every key outside ``prefixsum(N, r) ∪ {N}``; return how many were dropped."""
+        keep = prefixsum(num_base_buckets, self._merge_degree)
+        keep.add(num_base_buckets)
+        stale = [key for key in self._entries if key not in keep]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def stored_points(self) -> int:
+        """Total number of weighted points held by cached coresets."""
+        return sum(bucket.size for bucket in self._entries.values())
+
+    def clear(self) -> None:
+        """Remove every cached coreset (used when RCC resets inner structures)."""
+        self._entries.clear()

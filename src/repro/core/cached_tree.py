@@ -1,0 +1,148 @@
+"""CC — the coreset tree with coreset caching (Algorithm 3).
+
+CC keeps the same r-way coreset tree as CT for updates, plus a
+:class:`~repro.core.cache.CoresetCache` that remembers coresets computed for
+recent queries.  When a query arrives with ``N`` base buckets ingested:
+
+1. If a coreset for ``[1, N]`` is already cached, return it.
+2. Otherwise split ``[1, N]`` into ``[1, N1]`` (``N1 = major(N, r)``), ideally
+   served from the cache, and ``[N1 + 1, N]``, served by the at most ``r - 1``
+   tree buckets covering that suffix.
+3. Merge the pieces into a single coreset, store it in the cache under key
+   ``N``, evict keys outside ``prefixsum(N, r) ∪ {N}``, and return it.
+
+If the cache does not hold ``N1`` (queries were infrequent), the algorithm
+falls back to CT's full merge — so CC is never worse than CT by more than the
+cost of one coreset construction.
+"""
+
+from __future__ import annotations
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.construction import CoresetConstructor
+from ..coreset.merge import union_buckets
+from .base import ClusteringStructure
+from .cache import CoresetCache
+from .coreset_tree import CoresetTree
+from .numeral import major
+
+__all__ = ["CachedCoresetTree"]
+
+
+class CachedCoresetTree(ClusteringStructure):
+    """Coreset tree + coreset cache (the paper's CC algorithm).
+
+    Parameters
+    ----------
+    constructor:
+        Coreset constructor shared by tree merges and cache refreshes.
+    merge_degree:
+        Merge degree ``r`` of the underlying tree and of the cache's
+        prefixsum eviction rule.
+    """
+
+    def __init__(self, constructor: CoresetConstructor, merge_degree: int = 2) -> None:
+        self._constructor = constructor
+        self._tree = CoresetTree(constructor, merge_degree=merge_degree)
+        self._cache = CoresetCache(merge_degree)
+        self._fallbacks = 0
+        self._cached_answers = 0
+
+    @property
+    def tree(self) -> CoresetTree:
+        """The underlying coreset tree (exposed for tests and instrumentation)."""
+        return self._tree
+
+    @property
+    def cache(self) -> CoresetCache:
+        """The coreset cache (exposed for tests and instrumentation)."""
+        return self._cache
+
+    @property
+    def merge_degree(self) -> int:
+        """Merge degree ``r``."""
+        return self._tree.merge_degree
+
+    @property
+    def num_base_buckets(self) -> int:
+        """Number of base buckets inserted so far (``N``)."""
+        return self._tree.num_base_buckets
+
+    @property
+    def fallback_count(self) -> int:
+        """How many queries had to fall back to the full CT merge."""
+        return self._fallbacks
+
+    @property
+    def cached_answer_count(self) -> int:
+        """How many queries were answered straight from the cache."""
+        return self._cached_answers
+
+    def insert_bucket(self, bucket: Bucket) -> None:
+        """Insert a base bucket (identical to CT-Update)."""
+        self._tree.insert_bucket(bucket)
+
+    def query_coreset(self) -> WeightedPointSet:
+        """Return a coreset for buckets ``[1, N]``, updating the cache."""
+        return self.query_coreset_bucket().data
+
+    def query_coreset_bucket(self) -> Bucket:
+        """Same as :meth:`query_coreset` but keeps the span/level metadata."""
+        n = self._tree.num_base_buckets
+        if n == 0:
+            return Bucket(
+                data=WeightedPointSet.empty(self._dimension_hint()),
+                start=1,
+                end=1,
+                level=0,
+            )
+
+        exact = self._cache.lookup(n)
+        if exact is not None:
+            self._cached_answers += 1
+            return exact
+
+        n1 = major(n, self.merge_degree)
+        pieces: list[Bucket]
+        cached_prefix = self._cache.lookup(n1) if n1 > 0 else None
+        if cached_prefix is None:
+            # When major(N) = 0 the whole span is covered by the coreset tree
+            # directly (Lemma 5 base case).  When major(N) > 0 but the cache
+            # does not hold it (infrequent queries), this is a genuine
+            # fallback to the plain CT union.
+            if n1 > 0:
+                self._fallbacks += 1
+            pieces = self._tree.active_buckets()
+        else:
+            suffix = self._tree.suffix_buckets(after=n1)
+            pieces = [cached_prefix, *suffix]
+
+        combined = union_buckets(pieces)
+        summary = self._constructor.build(combined.data)
+        result = Bucket(
+            data=summary,
+            start=1,
+            end=n,
+            level=combined.level + 1,
+        )
+        self._cache.store(result)
+        self._cache.evict_stale(n)
+        return result
+
+    def stored_points(self) -> int:
+        """Points stored by the tree plus the cache (Table 4 accounting)."""
+        return self._tree.stored_points() + self._cache.stored_points()
+
+    def max_level(self) -> int:
+        """Maximum coreset level across the tree and the cache."""
+        tree_level = self._tree.max_level()
+        cache_level = max(
+            (bucket.level for bucket in self._cache.buckets()), default=0
+        )
+        return max(tree_level, cache_level)
+
+    def _dimension_hint(self) -> int:
+        buckets = self._tree.active_buckets()
+        if buckets:
+            return buckets[0].data.dimension
+        return 1

@@ -1,0 +1,134 @@
+"""CT — the r-way merging coreset tree (Algorithm 2, generalised streamkm++).
+
+The tree keeps buckets at multiple levels.  Level 0 holds base buckets of
+``m`` raw points; a level-``j`` bucket is a coreset summarising ``r^j`` base
+buckets.  Whenever a level accumulates ``r`` buckets they are merged (via the
+coreset constructor) into one bucket at the next level — exactly the carry
+propagation of incrementing a base-``r`` counter.  The distribution of
+buckets over levels therefore follows the base-``r`` digits of ``N``, the
+number of base buckets inserted so far.
+
+Answering a query unions every active bucket in the tree; the driver combines
+the union with the partially-filled base bucket and runs k-means++ on it.
+"""
+
+from __future__ import annotations
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.construction import CoresetConstructor
+from ..coreset.merge import merge_buckets
+from .base import ClusteringStructure
+
+__all__ = ["CoresetTree"]
+
+
+class CoresetTree(ClusteringStructure):
+    """r-way merging coreset tree.
+
+    Parameters
+    ----------
+    constructor:
+        The coreset constructor used for every merge.
+    merge_degree:
+        The merge degree ``r >= 2``.  ``r = 2`` reproduces streamkm++.
+    """
+
+    def __init__(self, constructor: CoresetConstructor, merge_degree: int = 2) -> None:
+        if merge_degree < 2:
+            raise ValueError(f"merge_degree must be >= 2, got {merge_degree}")
+        self._constructor = constructor
+        self._merge_degree = merge_degree
+        # _levels[j] is the list of active buckets at level j, oldest first.
+        self._levels: list[list[Bucket]] = []
+        self._num_base_buckets = 0
+        self._merge_count = 0
+
+    @property
+    def merge_degree(self) -> int:
+        """The merge degree ``r``."""
+        return self._merge_degree
+
+    @property
+    def num_base_buckets(self) -> int:
+        """Number of base buckets inserted so far (``N``)."""
+        return self._num_base_buckets
+
+    @property
+    def merge_count(self) -> int:
+        """How many coreset merges have been performed (for instrumentation)."""
+        return self._merge_count
+
+    @property
+    def levels(self) -> list[list[Bucket]]:
+        """Read-only view of the per-level bucket lists (oldest first)."""
+        return [list(level) for level in self._levels]
+
+    def insert_bucket(self, bucket: Bucket) -> None:
+        """Insert a base bucket and propagate carries (CT-Update)."""
+        if bucket.level != 0:
+            raise ValueError("CoresetTree.insert_bucket expects a level-0 base bucket")
+        expected_index = self._num_base_buckets + 1
+        if bucket.start != expected_index or bucket.end != expected_index:
+            raise ValueError(
+                f"expected base bucket with span [{expected_index},{expected_index}], "
+                f"got [{bucket.start},{bucket.end}]"
+            )
+        self._num_base_buckets += 1
+        self._append_at_level(0, bucket)
+        level = 0
+        while len(self._levels[level]) >= self._merge_degree:
+            to_merge = self._levels[level]
+            merged = merge_buckets(to_merge, self._constructor)
+            self._merge_count += 1
+            self._levels[level] = []
+            self._append_at_level(level + 1, merged)
+            level += 1
+
+    def active_buckets(self) -> list[Bucket]:
+        """All active buckets, ordered by span (oldest range first)."""
+        buckets = [b for level in self._levels for b in level]
+        return sorted(buckets, key=lambda b: b.start)
+
+    def buckets_at_level(self, level: int) -> list[Bucket]:
+        """Active buckets at one level (empty list when the level is empty)."""
+        if level < 0 or level >= len(self._levels):
+            return []
+        return list(self._levels[level])
+
+    def query_coreset(self) -> WeightedPointSet:
+        """Union of all active buckets (CT-Coreset)."""
+        buckets = self.active_buckets()
+        if not buckets:
+            return WeightedPointSet.empty(self._dimension_hint())
+        return WeightedPointSet.union_all([b.data for b in buckets])
+
+    def suffix_buckets(self, after: int) -> list[Bucket]:
+        """Active buckets whose span starts after base bucket ``after``.
+
+        Used by CC to fetch the coresets covering ``[after + 1, N]`` without
+        touching the buckets already summarised by a cached coreset.
+        """
+        return [b for b in self.active_buckets() if b.start > after]
+
+    def stored_points(self) -> int:
+        """Total number of weighted points across all active buckets."""
+        return sum(b.size for level in self._levels for b in level)
+
+    def max_level(self) -> int:
+        """Highest level that currently holds at least one bucket."""
+        highest = 0
+        for level, buckets in enumerate(self._levels):
+            if buckets:
+                highest = level
+        return highest
+
+    def _append_at_level(self, level: int, bucket: Bucket) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+        self._levels[level].append(bucket)
+
+    def _dimension_hint(self) -> int:
+        for level in self._levels:
+            for bucket in level:
+                return bucket.data.dimension
+        return 1

@@ -1,0 +1,190 @@
+"""The stream-clustering driver (Algorithm 1) and the CT/CC/RCC clusterers.
+
+The driver buffers arriving points into base buckets of ``m`` points.  When a
+bucket fills it is handed to the clustering structure ``D``; at query time the
+structure's coreset is unioned with the partially-filled bucket and k-means++
+(plus Lloyd refinement) extracts ``k`` centers.
+
+:class:`StreamClusterDriver` is generic over any
+:class:`~repro.core.base.ClusteringStructure`; the concrete classes
+:class:`CoresetTreeClusterer` (CT), :class:`CachedCoresetTreeClusterer` (CC),
+and :class:`RecursiveCachedClusterer` (RCC) simply plug in the right structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..kmeans.batch import weighted_kmeans
+from .base import ClusteringStructure, QueryResult, StreamingClusterer, StreamingConfig
+from .cached_tree import CachedCoresetTree
+from .coreset_tree import CoresetTree
+from .recursive_cache import RecursiveCachedTree
+
+__all__ = [
+    "StreamClusterDriver",
+    "CoresetTreeClusterer",
+    "CachedCoresetTreeClusterer",
+    "RecursiveCachedClusterer",
+]
+
+
+class StreamClusterDriver(StreamingClusterer):
+    """Generic driver that batches points and delegates to a clustering structure.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration (``k``, bucket size, query-time
+        k-means++ settings, seed).
+    structure:
+        The clustering data structure ``D`` (CT, CC, or RCC).
+    """
+
+    def __init__(self, config: StreamingConfig, structure: ClusteringStructure) -> None:
+        self.config = config
+        self._structure = structure
+        self._bucket_size = config.bucket_size
+        self._buffer: list[np.ndarray] = []
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._rng = np.random.default_rng(config.seed)
+
+    @property
+    def structure(self) -> ClusteringStructure:
+        """The underlying clustering data structure."""
+        return self._structure
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def dimension(self) -> int | None:
+        """Dimensionality of the stream (None until the first point arrives)."""
+        return self._dimension
+
+    def insert(self, point: np.ndarray) -> None:
+        """Buffer one point; flush a base bucket when the buffer reaches ``m``."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+        elif row.shape[0] != self._dimension:
+            raise ValueError(
+                f"point has dimension {row.shape[0]}, expected {self._dimension}"
+            )
+        self._buffer.append(row)
+        self._points_seen += 1
+        if len(self._buffer) >= self._bucket_size:
+            self._flush_buffer()
+
+    def insert_many(self, points: np.ndarray) -> None:
+        """Insert an array of points, flushing base buckets as they fill."""
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[0] == 0:
+            return
+        if self._dimension is None:
+            self._dimension = arr.shape[1]
+        elif arr.shape[1] != self._dimension:
+            raise ValueError(
+                f"points have dimension {arr.shape[1]}, expected {self._dimension}"
+            )
+        for row in arr:
+            self._buffer.append(row)
+            self._points_seen += 1
+            if len(self._buffer) >= self._bucket_size:
+                self._flush_buffer()
+
+    def query(self) -> QueryResult:
+        """Merge the structure's coreset with the partial bucket and run k-means++."""
+        coreset = self._structure.query_coreset()
+        partial = self._partial_bucket_points()
+        combined = coreset.union(partial) if partial.size else coreset
+        if combined.size == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        result = weighted_kmeans(
+            combined.points,
+            self.config.k,
+            weights=combined.weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.lloyd_iterations,
+            rng=self._rng,
+        )
+        return QueryResult(
+            centers=result.centers,
+            coreset_points=combined.size,
+            from_cache=False,
+        )
+
+    def stored_points(self) -> int:
+        """Points held by the structure plus the partial base bucket."""
+        return self._structure.stored_points() + len(self._buffer)
+
+    def _flush_buffer(self) -> None:
+        index = self._structure.num_base_buckets + 1
+        data = WeightedPointSet.from_points(np.vstack(self._buffer))
+        self._structure.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
+        self._buffer = []
+
+    def _partial_bucket_points(self) -> WeightedPointSet:
+        if not self._buffer:
+            return WeightedPointSet.empty(self._dimension or 1)
+        return WeightedPointSet.from_points(np.vstack(self._buffer))
+
+
+class CoresetTreeClusterer(StreamClusterDriver):
+    """CT: the r-way merging coreset tree behind the generic driver.
+
+    With ``merge_degree=2`` this is the streamkm++ algorithm.
+    """
+
+    def __init__(self, config: StreamingConfig) -> None:
+        constructor = config.make_constructor()
+        structure = CoresetTree(constructor, merge_degree=config.merge_degree)
+        super().__init__(config, structure)
+
+    @property
+    def tree(self) -> CoresetTree:
+        """The underlying coreset tree."""
+        return self.structure  # type: ignore[return-value]
+
+
+class CachedCoresetTreeClusterer(StreamClusterDriver):
+    """CC: coreset tree plus coreset cache behind the generic driver."""
+
+    def __init__(self, config: StreamingConfig) -> None:
+        constructor = config.make_constructor()
+        structure = CachedCoresetTree(constructor, merge_degree=config.merge_degree)
+        super().__init__(config, structure)
+
+    @property
+    def cached_tree(self) -> CachedCoresetTree:
+        """The underlying cached coreset tree."""
+        return self.structure  # type: ignore[return-value]
+
+    def query(self) -> QueryResult:
+        result = super().query()
+        cached = self.cached_tree.cached_answer_count > 0 or len(self.cached_tree.cache) > 0
+        return QueryResult(
+            centers=result.centers,
+            coreset_points=result.coreset_points,
+            from_cache=cached,
+        )
+
+
+class RecursiveCachedClusterer(StreamClusterDriver):
+    """RCC: recursive coreset cache behind the generic driver."""
+
+    def __init__(self, config: StreamingConfig, nesting_depth: int = 3) -> None:
+        constructor = config.make_constructor()
+        structure = RecursiveCachedTree(constructor, nesting_depth=nesting_depth)
+        super().__init__(config, structure)
+
+    @property
+    def recursive_tree(self) -> RecursiveCachedTree:
+        """The underlying recursive cached structure."""
+        return self.structure  # type: ignore[return-value]

@@ -1,0 +1,86 @@
+"""Base-r numeral decompositions used by the coreset cache.
+
+The CC algorithm keys its cache by the *right endpoints* of coreset spans and
+decides what to keep and what to merge using the representation of the number
+of base buckets ``N`` in base ``r`` (Section 4.1):
+
+* ``digits(N, r)`` — the non-zero terms ``beta_i * r^alpha_i`` of ``N``.
+* ``minor(N, r)`` — the smallest non-zero term.
+* ``major(N, r)`` — ``N - minor(N, r)``.
+* ``prefixsum(N, r)`` — the partial sums obtained by dropping the 1, 2, ...
+  smallest non-zero terms; these are exactly the cache keys worth retaining.
+
+Example from the paper: ``N = 47``, ``r = 3`` gives ``47 = 1*27 + 2*9 + 2*1``,
+so ``minor = 2``, ``major = 45``, ``prefixsum = {27, 45}``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["digits", "minor", "major", "prefixsum", "num_nonzero_digits"]
+
+
+def _validate(n: int, r: int) -> None:
+    if r < 2:
+        raise ValueError(f"base r must be at least 2, got {r}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+
+
+def digits(n: int, r: int) -> list[tuple[int, int]]:
+    """Non-zero digits of ``n`` in base ``r`` as ``(beta, alpha)`` pairs.
+
+    The pairs are ordered from the least significant digit to the most
+    significant, so ``n == sum(beta * r**alpha for beta, alpha in digits(n, r))``.
+    """
+    _validate(n, r)
+    result: list[tuple[int, int]] = []
+    alpha = 0
+    remaining = n
+    while remaining > 0:
+        beta = remaining % r
+        if beta:
+            result.append((beta, alpha))
+        remaining //= r
+        alpha += 1
+    return result
+
+
+def num_nonzero_digits(n: int, r: int) -> int:
+    """Number of non-zero digits of ``n`` in base ``r`` (chi(N) in Lemma 5)."""
+    return len(digits(n, r))
+
+
+def minor(n: int, r: int) -> int:
+    """The smallest non-zero term ``beta_0 * r^alpha_0`` of ``n`` in base ``r``.
+
+    Returns 0 when ``n`` is 0.
+    """
+    terms = digits(n, r)
+    if not terms:
+        return 0
+    beta, alpha = terms[0]
+    return beta * r**alpha
+
+
+def major(n: int, r: int) -> int:
+    """``n`` minus its smallest non-zero term; 0 when ``n`` has a single term."""
+    return n - minor(n, r)
+
+
+def prefixsum(n: int, r: int) -> set[int]:
+    """Partial sums of ``n``'s base-r expansion, dropping 1, 2, ... smallest terms.
+
+    Formally, writing ``n = sum_{i=0}^{j} beta_i r^{alpha_i}`` with
+    ``alpha_0 < alpha_1 < ... < alpha_j``, the set contains
+    ``n_kappa = sum_{i=kappa}^{j} beta_i r^{alpha_i}`` for ``kappa = 1 .. j``.
+    The set is empty when ``n`` has at most one non-zero digit.
+    """
+    terms = digits(n, r)
+    result: set[int] = set()
+    remaining = n
+    # Drop terms from the least significant upward; each drop produces one
+    # prefix sum, except that dropping the last term would produce 0.
+    for beta, alpha in terms[:-1]:
+        remaining -= beta * r**alpha
+        result.add(remaining)
+    return result

@@ -1,0 +1,201 @@
+"""OnlineCC — the hybrid of CC and Sequential k-means (Algorithm 7).
+
+OnlineCC maintains two views of the stream simultaneously:
+
+* a :class:`~repro.core.cached_tree.CachedCoresetTree` (CC), which is provably
+  accurate but pays a coreset merge + k-means++ per query, and
+* a set of MacQueen-style online centers ``C`` together with an *upper bound*
+  ``phi_now`` on their clustering cost, both updated in O(kd) per point.
+
+A query normally returns the online centers in O(1).  Only when the cost
+bound has drifted above ``alpha * phi_prev`` — where ``phi_prev`` is the cost
+recorded at the previous fallback — does the algorithm fall back to CC:
+recompute a coreset, run k-means++ on it, reset the online centers to that
+solution, and refresh the bounds.  Lemma 10 shows ``phi_now`` really is an
+upper bound on the true cost of the online centers, and Lemma 11 turns that
+into the same O(log k) approximation guarantee as CC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..kmeans.batch import weighted_kmeans
+from ..kmeans.cost import kmeans_cost
+from ..kmeans.sequential import SequentialKMeansState
+from .base import QueryResult, StreamingClusterer, StreamingConfig
+from .cached_tree import CachedCoresetTree
+
+__all__ = ["OnlineCCClusterer"]
+
+
+class OnlineCCClusterer(StreamingClusterer):
+    """The OnlineCC streaming clusterer.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration.
+    switch_threshold:
+        The factor ``alpha > 1`` by which the cost bound may exceed the last
+        fallback cost before the next query falls back to CC (paper default
+        1.2; Figure 11 sweeps 1.2–6.0).
+    coreset_epsilon:
+        The ``epsilon`` used when converting the coreset cost into the upper
+        bound ``phi_now = phi_prev / (1 - epsilon)`` after a fallback.
+    """
+
+    def __init__(
+        self,
+        config: StreamingConfig,
+        switch_threshold: float = 1.2,
+        coreset_epsilon: float = 0.1,
+    ) -> None:
+        if switch_threshold <= 1.0:
+            raise ValueError(
+                f"switch_threshold must exceed 1.0, got {switch_threshold}"
+            )
+        if not 0.0 < coreset_epsilon < 1.0:
+            raise ValueError("coreset_epsilon must lie strictly between 0 and 1")
+        self.config = config
+        self.switch_threshold = switch_threshold
+        self.coreset_epsilon = coreset_epsilon
+
+        constructor = config.make_constructor()
+        self._cc = CachedCoresetTree(constructor, merge_degree=config.merge_degree)
+        self._bucket_size = config.bucket_size
+        self._rng = np.random.default_rng(config.seed)
+
+        self._buffer: list[np.ndarray] = []
+        self._points_seen = 0
+        self._dimension: int | None = None
+
+        self._online: SequentialKMeansState | None = None
+        self._phi_now = 0.0
+        self._phi_prev = 0.0
+        self._fallback_count = 0
+        self._fast_answers = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def fallback_count(self) -> int:
+        """How many queries fell back to the CC path."""
+        return self._fallback_count
+
+    @property
+    def fast_answer_count(self) -> int:
+        """How many queries were answered from the online centers in O(1)."""
+        return self._fast_answers
+
+    @property
+    def cached_tree(self) -> CachedCoresetTree:
+        """The embedded CC structure (exposed for tests and benchmarks)."""
+        return self._cc
+
+    @property
+    def cost_bound(self) -> float:
+        """Current upper bound ``phi_now`` on the online centers' cost."""
+        return self._phi_now
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, point: np.ndarray) -> None:
+        """Process one stream point through both the online and the CC path."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+            self._online = SequentialKMeansState(self.config.k, self._dimension)
+        elif row.shape[0] != self._dimension:
+            raise ValueError(
+                f"point has dimension {row.shape[0]}, expected {self._dimension}"
+            )
+        assert self._online is not None
+
+        # Online path: MacQueen update plus the running cost upper bound.
+        self._phi_now += self._online.update(row)
+
+        # CC path: buffer into base buckets.
+        self._buffer.append(row)
+        self._points_seen += 1
+        if len(self._buffer) >= self._bucket_size:
+            self._flush_buffer()
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self) -> QueryResult:
+        """Return cluster centers, using the O(1) fast path whenever allowed."""
+        if self._points_seen == 0 or self._online is None:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+
+        needs_fallback = (
+            not self._online.is_initialized
+            or self._phi_prev == 0.0
+            or self._phi_now > self.switch_threshold * self._phi_prev
+        )
+        if not needs_fallback:
+            self._fast_answers += 1
+            return QueryResult(
+                centers=self._online.centers.copy(),
+                coreset_points=0,
+                from_cache=True,
+            )
+        return self._fallback_query()
+
+    def stored_points(self) -> int:
+        """Points held by the CC structure, the partial bucket, and the online centers."""
+        online_points = self.config.k if self._online is not None else 0
+        return self._cc.stored_points() + len(self._buffer) + online_points
+
+    # -- internals ---------------------------------------------------------------
+
+    def _fallback_query(self) -> QueryResult:
+        self._fallback_count += 1
+        coreset = self._cc.query_coreset()
+        partial = self._partial_bucket_points()
+        combined = coreset.union(partial) if partial.size else coreset
+        if combined.size == 0:
+            combined = partial
+
+        result = weighted_kmeans(
+            combined.points,
+            self.config.k,
+            weights=combined.weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.lloyd_iterations,
+            rng=self._rng,
+        )
+
+        # Reset the online state to the freshly computed solution and refresh
+        # the cost bounds (lines 14-16 of Algorithm 7).
+        self._phi_prev = kmeans_cost(combined.points, result.centers, combined.weights)
+        self._phi_now = self._phi_prev / (1.0 - self.coreset_epsilon)
+        if self._phi_prev == 0.0:
+            # A zero-cost solution (e.g. fewer distinct points than k) would
+            # otherwise force a fallback on every subsequent query.
+            self._phi_prev = np.finfo(np.float64).tiny
+        assert self._online is not None
+        self._online.set_centers(result.centers)
+
+        return QueryResult(
+            centers=result.centers,
+            coreset_points=combined.size,
+            from_cache=False,
+        )
+
+    def _flush_buffer(self) -> None:
+        index = self._cc.num_base_buckets + 1
+        data = WeightedPointSet.from_points(np.vstack(self._buffer))
+        self._cc.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
+        self._buffer = []
+
+    def _partial_bucket_points(self) -> WeightedPointSet:
+        if not self._buffer:
+            return WeightedPointSet.empty(self._dimension or 1)
+        return WeightedPointSet.from_points(np.vstack(self._buffer))

@@ -1,0 +1,243 @@
+"""RCC — the recursive coreset cache (Algorithms 4, 5, and 6).
+
+RCC applies the coreset-caching idea recursively.  An order-``i`` structure
+``RCC(i)`` uses merge degree ``r_i = 2^(2^i)`` and keeps, per level, both a
+plain list of buckets (like a coreset tree level) and an inner ``RCC(i - 1)``
+structure holding the same buckets but organised for fast retrieval.  At query
+time only two coresets are merged per order — one from the cache and one from
+the inner structure covering the newest buckets — so the number of coresets
+merged is ``2 * nesting_depth = O(log log N)`` while the level (and hence the
+approximation error) of the returned coreset stays ``O(1)``.
+
+With nesting depth ``iota = 3`` the merge degrees of the successive orders are
+256, 16, 4, and 2, matching the paper's ``N^{1/2}, N^{1/4}, N^{1/8}``
+configuration for streams of around ``2^16`` base buckets.
+"""
+
+from __future__ import annotations
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.construction import CoresetConstructor
+from ..coreset.merge import merge_buckets, union_buckets
+from .base import ClusteringStructure
+from .numeral import major, prefixsum
+
+__all__ = ["RecursiveCachedTree", "merge_degree_for_order"]
+
+
+def merge_degree_for_order(order: int) -> int:
+    """The merge degree ``r_i = 2^(2^i)`` used by an order-``i`` RCC structure."""
+    if order < 0:
+        raise ValueError(f"order must be non-negative, got {order}")
+    return 2 ** (2**order)
+
+
+class _RccNode:
+    """One order of the recursive structure (``R`` in Algorithms 4–6)."""
+
+    def __init__(self, order: int, constructor: CoresetConstructor) -> None:
+        self.order = order
+        self.merge_degree = merge_degree_for_order(order)
+        self._constructor = constructor
+        self._levels: list[list[Bucket]] = []
+        self._children: list["_RccNode | None"] = []
+        self._cache: dict[int, Bucket] = {}
+        self.num_buckets = 0
+
+    # -- update path -------------------------------------------------------
+
+    def insert(self, bucket: Bucket) -> None:
+        """RCC-Update: append at level 0, recurse, and propagate merges."""
+        self.num_buckets += 1
+        self._append(0, bucket)
+        if self.order > 0:
+            self._child(0).insert(bucket)
+
+        level = 0
+        while len(self._levels[level]) >= self.merge_degree:
+            merged = merge_buckets(self._levels[level], self._constructor)
+            self._append(level + 1, merged)
+            if self.order > 0:
+                self._child(level + 1).insert(merged)
+            self._levels[level] = []
+            if self.order > 0:
+                self._children[level] = _RccNode(self.order - 1, self._constructor)
+            level += 1
+
+    # -- query path ---------------------------------------------------------
+
+    def query(self) -> Bucket | None:
+        """RCC-Coreset: return a coreset bucket covering everything inserted."""
+        if self.num_buckets == 0:
+            return None
+
+        n1 = major(self.num_buckets, self.merge_degree)
+        cached_prefix = self._cache.get(n1) if n1 > 0 else None
+
+        if cached_prefix is None:
+            pieces = self._full_union_pieces()
+        else:
+            newest = self._newest_piece()
+            pieces = [cached_prefix] + ([newest] if newest is not None else [])
+
+        combined = union_buckets(pieces)
+        summary = self._constructor.build(combined.data)
+        result = Bucket(
+            data=summary,
+            start=combined.start,
+            end=combined.end,
+            level=combined.level + 1,
+        )
+        self._cache[self.num_buckets] = result
+        self._evict_stale()
+        return result
+
+    def _full_union_pieces(self) -> list[Bucket]:
+        """Fallback: coresets covering every level (cache could not help)."""
+        pieces: list[Bucket] = []
+        for level, buckets in enumerate(self._levels):
+            if not buckets:
+                continue
+            if self.order > 0:
+                child = self._children[level]
+                piece = child.query() if child is not None else None
+                if piece is not None:
+                    pieces.append(piece)
+                else:
+                    pieces.extend(buckets)
+            else:
+                pieces.extend(buckets)
+        return pieces
+
+    def _newest_piece(self) -> Bucket | None:
+        """Coreset of the buckets at the lowest non-empty level."""
+        for level, buckets in enumerate(self._levels):
+            if not buckets:
+                continue
+            if self.order > 0:
+                child = self._children[level]
+                if child is not None and child.num_buckets == len(buckets):
+                    piece = child.query()
+                    if piece is not None:
+                        return piece
+            if len(buckets) == 1:
+                return buckets[0]
+            return union_buckets(buckets)
+        return None
+
+    def _evict_stale(self) -> None:
+        keep = prefixsum(self.num_buckets, self.merge_degree)
+        keep.add(self.num_buckets)
+        for key in [k for k in self._cache if k not in keep]:
+            del self._cache[key]
+
+    # -- accounting ----------------------------------------------------------
+
+    def stored_points(self) -> int:
+        total = sum(b.size for level in self._levels for b in level)
+        total += sum(b.size for b in self._cache.values())
+        if self.order > 0:
+            total += sum(
+                child.stored_points() for child in self._children if child is not None
+            )
+        return total
+
+    def max_level(self) -> int:
+        highest = 0
+        for buckets in self._levels:
+            for bucket in buckets:
+                highest = max(highest, bucket.level)
+        for bucket in self._cache.values():
+            highest = max(highest, bucket.level)
+        if self.order > 0:
+            for child in self._children:
+                if child is not None:
+                    highest = max(highest, child.max_level())
+        return highest
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_level(self, level: int) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+            self._children.append(
+                _RccNode(self.order - 1, self._constructor) if self.order > 0 else None
+            )
+
+    def _append(self, level: int, bucket: Bucket) -> None:
+        self._ensure_level(level)
+        self._levels[level].append(bucket)
+
+    def _child(self, level: int) -> "_RccNode":
+        self._ensure_level(level)
+        child = self._children[level]
+        assert child is not None
+        return child
+
+
+class RecursiveCachedTree(ClusteringStructure):
+    """The RCC clustering structure (user-facing wrapper over :class:`_RccNode`).
+
+    Parameters
+    ----------
+    constructor:
+        Coreset constructor shared by every merge at every order.
+    nesting_depth:
+        The order ``iota`` of the outermost structure.  The paper's
+        experiments use 3.
+    """
+
+    def __init__(self, constructor: CoresetConstructor, nesting_depth: int = 3) -> None:
+        if nesting_depth < 0:
+            raise ValueError(f"nesting_depth must be non-negative, got {nesting_depth}")
+        self._constructor = constructor
+        self._nesting_depth = nesting_depth
+        self._root = _RccNode(nesting_depth, constructor)
+        self._num_base_buckets = 0
+
+    @property
+    def nesting_depth(self) -> int:
+        """The order ``iota`` of the outermost RCC structure."""
+        return self._nesting_depth
+
+    @property
+    def merge_degree(self) -> int:
+        """Merge degree of the outermost structure (``2^(2^iota)``)."""
+        return self._root.merge_degree
+
+    @property
+    def num_base_buckets(self) -> int:
+        """Number of base buckets inserted so far."""
+        return self._num_base_buckets
+
+    def insert_bucket(self, bucket: Bucket) -> None:
+        """Insert one base bucket into the recursive structure."""
+        if bucket.level != 0:
+            raise ValueError("RecursiveCachedTree.insert_bucket expects a base bucket")
+        expected = self._num_base_buckets + 1
+        if bucket.start != expected or bucket.end != expected:
+            raise ValueError(
+                f"expected base bucket with span [{expected},{expected}], "
+                f"got [{bucket.start},{bucket.end}]"
+            )
+        self._num_base_buckets += 1
+        self._root.insert(bucket)
+
+    def query_coreset(self) -> WeightedPointSet:
+        """Return a coreset of everything inserted so far, updating the caches."""
+        bucket = self.query_coreset_bucket()
+        if bucket is None:
+            return WeightedPointSet.empty(1)
+        return bucket.data
+
+    def query_coreset_bucket(self) -> Bucket | None:
+        """Bucket-level variant of :meth:`query_coreset` (keeps span and level)."""
+        return self._root.query()
+
+    def stored_points(self) -> int:
+        """Points stored across all levels, caches, and inner structures."""
+        return self._root.stored_points()
+
+    def max_level(self) -> int:
+        """Maximum coreset level currently stored anywhere in the structure."""
+        return self._root.max_level()

@@ -1,0 +1,38 @@
+"""Weighted point sets, coreset constructions, and merge-and-reduce primitives."""
+
+from .bucket import Bucket, WeightedPointSet
+from .construction import (
+    CoresetConfig,
+    CoresetConstructor,
+    kmeanspp_coreset,
+    make_constructor,
+    sensitivity_coreset,
+    uniform_coreset,
+)
+from .merge import (
+    as_weighted_set,
+    covered_range,
+    merge_buckets,
+    reduce_bucket,
+    spans_are_disjoint,
+    total_points,
+    union_buckets,
+)
+
+__all__ = [
+    "Bucket",
+    "WeightedPointSet",
+    "CoresetConfig",
+    "CoresetConstructor",
+    "kmeanspp_coreset",
+    "make_constructor",
+    "sensitivity_coreset",
+    "uniform_coreset",
+    "as_weighted_set",
+    "covered_range",
+    "merge_buckets",
+    "reduce_bucket",
+    "spans_are_disjoint",
+    "total_points",
+    "union_buckets",
+]

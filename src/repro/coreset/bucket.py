@@ -1,0 +1,160 @@
+"""Weighted point sets ("buckets") — the unit of storage in coreset trees.
+
+A *bucket* in the paper is either a base bucket (m raw stream points, each
+with weight 1) or a coreset summarising some contiguous range of base buckets.
+Every bucket records its *span* ``[start, end]`` in base-bucket indices
+(1-based, inclusive, matching the paper's ``[l, r]`` notation) and its
+*level* in the merge hierarchy, which the accuracy analysis (Lemma 1) depends
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WeightedPointSet", "Bucket"]
+
+
+@dataclass(frozen=True)
+class WeightedPointSet:
+    """An immutable weighted set of points in R^d.
+
+    Attributes
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    weights:
+        Array of shape ``(n,)`` with positive weights.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+        w = np.asarray(self.weights, dtype=np.float64)
+        if w.ndim != 1 or w.shape[0] != pts.shape[0]:
+            raise ValueError(
+                f"weights must have shape ({pts.shape[0]},), got {w.shape}"
+            )
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "weights", w)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "WeightedPointSet":
+        """Wrap raw points with unit weights."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        return cls(points=pts, weights=np.ones(pts.shape[0], dtype=np.float64))
+
+    @classmethod
+    def empty(cls, dimension: int) -> "WeightedPointSet":
+        """An empty weighted set of the given dimensionality."""
+        return cls(
+            points=np.empty((0, dimension), dtype=np.float64),
+            weights=np.empty(0, dtype=np.float64),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of (weighted) points stored."""
+        return int(self.points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the points."""
+        return int(self.points.shape[1])
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all weights (the number of original points represented)."""
+        return float(np.sum(self.weights))
+
+    def union(self, other: "WeightedPointSet") -> "WeightedPointSet":
+        """Multiset union of two weighted point sets."""
+        if self.size == 0:
+            return other
+        if other.size == 0:
+            return self
+        if self.dimension != other.dimension:
+            raise ValueError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+        return WeightedPointSet(
+            points=np.vstack([self.points, other.points]),
+            weights=np.concatenate([self.weights, other.weights]),
+        )
+
+    @staticmethod
+    def union_all(sets: list["WeightedPointSet"]) -> "WeightedPointSet":
+        """Union an arbitrary list of weighted point sets."""
+        non_empty = [s for s in sets if s.size > 0]
+        if not non_empty:
+            if sets:
+                return WeightedPointSet.empty(sets[0].dimension)
+            raise ValueError("union_all requires at least one set")
+        if len(non_empty) == 1:
+            return non_empty[0]
+        return WeightedPointSet(
+            points=np.vstack([s.points for s in non_empty]),
+            weights=np.concatenate([s.weights for s in non_empty]),
+        )
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A weighted point set annotated with its span and coreset level.
+
+    Attributes
+    ----------
+    data:
+        The stored (possibly summarised) points.
+    start:
+        First base-bucket index covered (1-based, inclusive).
+    end:
+        Last base-bucket index covered (1-based, inclusive).
+    level:
+        Coreset level: 0 for raw base buckets, and one more than the maximum
+        level of its inputs for every merge (Definition 2 in the paper).
+    """
+
+    data: WeightedPointSet
+    start: int
+    end: int
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start <= 0 or self.end <= 0:
+            raise ValueError("bucket span indices are 1-based and must be positive")
+        if self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end}]")
+        if self.level < 0:
+            raise ValueError("level must be non-negative")
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The ``[start, end]`` range of base buckets this bucket summarises."""
+        return (self.start, self.end)
+
+    @property
+    def num_base_buckets(self) -> int:
+        """How many base buckets the span covers."""
+        return self.end - self.start + 1
+
+    @property
+    def size(self) -> int:
+        """Number of stored points."""
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Bucket(span=[{self.start},{self.end}], level={self.level}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,241 @@
+"""Coreset construction for the k-means metric.
+
+The default construction is *sensitivity (importance) sampling* in the style
+of Feldman, Schmidt & Sohler (SODA 2013), which the paper cites as the best
+known construction (Theorem 2): seed a bicriteria solution with k-means++,
+compute an upper bound on each point's sensitivity, sample ``m`` points with
+probability proportional to sensitivity, and re-weight so that cost estimates
+remain unbiased.  The result is a weighted set of ``m`` points that is a
+(k, eps)-coreset with high probability for m = O(k / eps^2).
+
+Two alternative constructions are provided for ablation benchmarks:
+
+* ``uniform`` — sample m points uniformly (no sensitivity), re-weighted.
+* ``kmeanspp`` — run k-means++ to pick m points and assign each input point's
+  weight to its nearest representative (the construction used by the original
+  streamkm++ paper's coreset trees).
+
+All constructions consume and produce :class:`~repro.coreset.bucket.WeightedPointSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from ..kmeans.cost import assign_points
+from ..kmeans.kmeanspp import kmeanspp_seeding
+from .bucket import WeightedPointSet
+
+__all__ = [
+    "CoresetConfig",
+    "CoresetConstructor",
+    "sensitivity_coreset",
+    "uniform_coreset",
+    "kmeanspp_coreset",
+    "make_constructor",
+]
+
+CoresetMethod = Literal["sensitivity", "uniform", "kmeanspp"]
+
+
+@dataclass(frozen=True)
+class CoresetConfig:
+    """Parameters shared by all coreset constructions.
+
+    Attributes
+    ----------
+    k:
+        Number of clusters the coreset must preserve costs for.
+    coreset_size:
+        Target number of points ``m`` in each constructed coreset.  The paper
+        uses ``m = 20 * k`` by default (Section 5.2).
+    method:
+        Which construction to use: ``"sensitivity"`` (default, the
+        Feldman–Schmidt–Sohler style importance sampling), ``"uniform"``, or
+        ``"kmeanspp"``.
+    seed_centers:
+        Number of centers used for the bicriteria solution inside sensitivity
+        sampling.  Defaults to ``k`` when None.
+    """
+
+    k: int
+    coreset_size: int
+    method: CoresetMethod = "sensitivity"
+    seed_centers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.coreset_size <= 0:
+            raise ValueError(f"coreset_size must be positive, got {self.coreset_size}")
+        if self.method not in ("sensitivity", "uniform", "kmeanspp"):
+            raise ValueError(f"unknown coreset method {self.method!r}")
+        if self.seed_centers is not None and self.seed_centers <= 0:
+            raise ValueError("seed_centers must be positive when given")
+
+
+def _passthrough_if_small(data: WeightedPointSet, m: int) -> WeightedPointSet | None:
+    """Return the input unchanged when it already fits within the target size."""
+    if data.size <= m:
+        return data
+    return None
+
+
+def sensitivity_coreset(
+    data: WeightedPointSet,
+    k: int,
+    m: int,
+    rng: np.random.Generator,
+    seed_centers: int | None = None,
+) -> WeightedPointSet:
+    """Importance-sampling coreset of size ``m`` for the k-means metric.
+
+    The sensitivity upper bound for point ``x`` assigned to bicriteria center
+    ``b(x)`` with cluster weight ``W(b(x))`` and global cost ``C`` is
+
+        s(x) = w(x) * d^2(x, B) / C  +  w(x) / W(b(x))
+
+    (up to constant factors).  Points are sampled with probability
+    ``p(x) = s(x) / sum(s)`` and given weight ``w(x) / (m * p(x))`` so that
+    the weighted cost of the sample is an unbiased estimator of the cost of
+    the input for every candidate center set.
+    """
+    small = _passthrough_if_small(data, m)
+    if small is not None:
+        return small
+
+    pts = data.points
+    w = data.weights
+    n_seeds = seed_centers if seed_centers is not None else k
+    n_seeds = min(n_seeds, data.size)
+
+    centers = kmeanspp_seeding(pts, n_seeds, weights=w, rng=rng)
+    labels, sq = assign_points(pts, centers)
+
+    weighted_sq = w * sq
+    total_cost = float(np.sum(weighted_sq))
+
+    cluster_weight = np.zeros(centers.shape[0], dtype=np.float64)
+    np.add.at(cluster_weight, labels, w)
+    # Every occupied cluster has positive weight; guard unoccupied ones anyway.
+    cluster_weight = np.maximum(cluster_weight, np.finfo(np.float64).tiny)
+
+    if total_cost <= 0.0:
+        # Degenerate case: every point coincides with a seed.  Sensitivities
+        # collapse to the per-cluster share.
+        sensitivities = w / cluster_weight[labels]
+    else:
+        sensitivities = weighted_sq / total_cost + w / cluster_weight[labels]
+
+    total_sensitivity = float(np.sum(sensitivities))
+    probabilities = sensitivities / total_sensitivity
+
+    indices = rng.choice(data.size, size=m, replace=True, p=probabilities)
+    sample_points = pts[indices]
+    sample_weights = w[indices] / (m * probabilities[indices])
+
+    return WeightedPointSet(points=sample_points, weights=sample_weights)
+
+
+def uniform_coreset(
+    data: WeightedPointSet,
+    k: int,
+    m: int,
+    rng: np.random.Generator,
+) -> WeightedPointSet:
+    """Uniform-sampling "coreset" (no sensitivity), used as an ablation baseline."""
+    small = _passthrough_if_small(data, m)
+    if small is not None:
+        return small
+    probabilities = data.weights / data.total_weight
+    indices = rng.choice(data.size, size=m, replace=True, p=probabilities)
+    sample_points = data.points[indices]
+    sample_weights = np.full(m, data.total_weight / m, dtype=np.float64)
+    return WeightedPointSet(points=sample_points, weights=sample_weights)
+
+
+def kmeanspp_coreset(
+    data: WeightedPointSet,
+    k: int,
+    m: int,
+    rng: np.random.Generator,
+) -> WeightedPointSet:
+    """Coreset of ``m`` k-means++ representatives carrying their cluster weights.
+
+    This mirrors the construction used by streamkm++'s coreset trees: run
+    k-means++ D² sampling to pick ``m`` representatives and move each input
+    point's weight onto its nearest representative.
+    """
+    small = _passthrough_if_small(data, m)
+    if small is not None:
+        return small
+    representatives = kmeanspp_seeding(data.points, m, weights=data.weights, rng=rng)
+    labels, _ = assign_points(data.points, representatives)
+    rep_weights = np.zeros(representatives.shape[0], dtype=np.float64)
+    np.add.at(rep_weights, labels, data.weights)
+    occupied = rep_weights > 0
+    return WeightedPointSet(
+        points=representatives[occupied],
+        weights=rep_weights[occupied],
+    )
+
+
+class CoresetConstructor:
+    """Callable object that builds coresets according to a :class:`CoresetConfig`.
+
+    The constructor owns a :class:`numpy.random.Generator` so repeated calls
+    draw fresh randomness while the whole pipeline stays reproducible from a
+    single seed.
+    """
+
+    def __init__(self, config: CoresetConfig, seed: int | None = None) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self._builders: dict[str, Callable[..., WeightedPointSet]] = {
+            "sensitivity": self._build_sensitivity,
+            "uniform": self._build_uniform,
+            "kmeanspp": self._build_kmeanspp,
+        }
+
+    @property
+    def coreset_size(self) -> int:
+        """Target coreset size ``m``."""
+        return self.config.coreset_size
+
+    def build(self, data: WeightedPointSet) -> WeightedPointSet:
+        """Construct a coreset of the configured size from ``data``."""
+        if data.size == 0:
+            return data
+        return self._builders[self.config.method](data)
+
+    __call__ = build
+
+    def _build_sensitivity(self, data: WeightedPointSet) -> WeightedPointSet:
+        return sensitivity_coreset(
+            data,
+            self.config.k,
+            self.config.coreset_size,
+            self._rng,
+            seed_centers=self.config.seed_centers,
+        )
+
+    def _build_uniform(self, data: WeightedPointSet) -> WeightedPointSet:
+        return uniform_coreset(data, self.config.k, self.config.coreset_size, self._rng)
+
+    def _build_kmeanspp(self, data: WeightedPointSet) -> WeightedPointSet:
+        return kmeanspp_coreset(data, self.config.k, self.config.coreset_size, self._rng)
+
+
+def make_constructor(
+    k: int,
+    coreset_size: int,
+    method: CoresetMethod = "sensitivity",
+    seed: int | None = None,
+) -> CoresetConstructor:
+    """Convenience factory for a :class:`CoresetConstructor`."""
+    return CoresetConstructor(
+        CoresetConfig(k=k, coreset_size=coreset_size, method=method), seed=seed
+    )

@@ -1,0 +1,114 @@
+"""Merge-and-reduce operations on buckets (the Bentley–Saxe style step).
+
+Merging coresets is the single primitive every streaming algorithm in the
+paper builds on: take several buckets, union their weighted points, construct
+a fresh coreset of the union, and record the new span and level.  Observation
+1 guarantees the union of coresets is a coreset of the union of their
+underlying point sets; Observation 2 (and Lemma 1) track how the
+approximation error compounds with the level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bucket import Bucket, WeightedPointSet
+from .construction import CoresetConstructor
+
+__all__ = ["union_buckets", "merge_buckets", "reduce_bucket"]
+
+
+def _validate_contiguous(buckets: list[Bucket]) -> list[Bucket]:
+    """Sort buckets by span and check that they cover a contiguous range."""
+    ordered = sorted(buckets, key=lambda b: b.start)
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.start != previous.end + 1:
+            raise ValueError(
+                "buckets must cover a contiguous range of base buckets; "
+                f"gap between span [{previous.start},{previous.end}] and "
+                f"[{current.start},{current.end}]"
+            )
+    return ordered
+
+
+def union_buckets(buckets: list[Bucket]) -> Bucket:
+    """Union the points of contiguous buckets without re-summarising them.
+
+    The resulting bucket's level is the maximum of the input levels (a pure
+    union does not add a coreset-construction step, per Observation 1).
+    """
+    if not buckets:
+        raise ValueError("union_buckets requires at least one bucket")
+    ordered = _validate_contiguous(buckets)
+    data = WeightedPointSet.union_all([b.data for b in ordered])
+    return Bucket(
+        data=data,
+        start=ordered[0].start,
+        end=ordered[-1].end,
+        level=max(b.level for b in ordered),
+    )
+
+
+def merge_buckets(buckets: list[Bucket], constructor: CoresetConstructor) -> Bucket:
+    """Merge contiguous buckets into a single coreset bucket one level higher.
+
+    This is the "carry" operation of the coreset tree: union the inputs and
+    reduce the union to ``m`` points.  The level of the result is one more
+    than the maximum input level (Definition 2).
+    """
+    if not buckets:
+        raise ValueError("merge_buckets requires at least one bucket")
+    combined = union_buckets(buckets)
+    summary = constructor.build(combined.data)
+    return Bucket(
+        data=summary,
+        start=combined.start,
+        end=combined.end,
+        level=combined.level + 1,
+    )
+
+
+def reduce_bucket(bucket: Bucket, constructor: CoresetConstructor) -> Bucket:
+    """Re-summarise a single bucket, increasing its level by one.
+
+    Used by the caching algorithms when they store the coreset computed at
+    query time back into the cache (line 17 of Algorithm 3).
+    """
+    summary = constructor.build(bucket.data)
+    return Bucket(
+        data=summary,
+        start=bucket.start,
+        end=bucket.end,
+        level=bucket.level + 1,
+    )
+
+
+def total_points(buckets: list[Bucket]) -> int:
+    """Total number of stored points across a list of buckets."""
+    return int(sum(b.size for b in buckets))
+
+
+def spans_are_disjoint(buckets: list[Bucket]) -> bool:
+    """True when no two buckets cover overlapping base-bucket ranges."""
+    ordered = sorted(buckets, key=lambda b: b.start)
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.start <= previous.end:
+            return False
+    return True
+
+
+def covered_range(buckets: list[Bucket]) -> tuple[int, int]:
+    """The smallest and largest base-bucket index covered by ``buckets``."""
+    if not buckets:
+        raise ValueError("covered_range requires at least one bucket")
+    return (
+        min(b.start for b in buckets),
+        max(b.end for b in buckets),
+    )
+
+
+def as_weighted_set(buckets: list[Bucket], dimension: int) -> WeightedPointSet:
+    """Union the data of ``buckets`` into one weighted set (empty-safe)."""
+    if not buckets:
+        return WeightedPointSet.empty(dimension)
+    return WeightedPointSet.union_all([b.data for b in buckets])

@@ -1,0 +1,32 @@
+"""Datasets, synthetic generators, and stream abstractions."""
+
+from .drift import RBFDriftGenerator, RBFDriftSpec
+from .loaders import (
+    PAPER_SIZES,
+    DatasetInfo,
+    dataset_names,
+    load_covtype,
+    load_dataset,
+    load_drift,
+    load_intrusion,
+    load_power,
+)
+from .stream import PointStream
+from .synthetic import GaussianMixtureSpec, add_uniform_outliers, generate_mixture
+
+__all__ = [
+    "RBFDriftGenerator",
+    "RBFDriftSpec",
+    "PAPER_SIZES",
+    "DatasetInfo",
+    "dataset_names",
+    "load_covtype",
+    "load_dataset",
+    "load_drift",
+    "load_intrusion",
+    "load_power",
+    "PointStream",
+    "GaussianMixtureSpec",
+    "add_uniform_outliers",
+    "generate_mixture",
+]

@@ -1,0 +1,97 @@
+"""Point-stream abstraction: ordered replay, shuffling, and chunked iteration.
+
+A :class:`PointStream` wraps an in-memory array and replays it in order,
+optionally pre-shuffled with a seed (the paper shuffles every non-streaming
+dataset before use).  Chunked iteration lets the benchmark harness interleave
+point arrivals with query events efficiently without a Python-level loop per
+point where that matters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["PointStream"]
+
+
+class PointStream:
+    """Replayable, optionally shuffled, stream of points.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    shuffle:
+        When True, a seeded permutation is applied once up front.
+    seed:
+        Seed for the shuffle permutation.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        shuffle: bool = False,
+        seed: int | None = None,
+    ) -> None:
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {arr.shape}")
+        if shuffle:
+            rng = np.random.default_rng(seed)
+            arr = arr[rng.permutation(arr.shape[0])]
+        self._points = arr
+        self._cursor = 0
+
+    @property
+    def num_points(self) -> int:
+        """Total number of points in the stream."""
+        return int(self._points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the points."""
+        return int(self._points.shape[1])
+
+    @property
+    def position(self) -> int:
+        """Number of points already consumed."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every point has been consumed."""
+        return self._cursor >= self.num_points
+
+    def reset(self) -> None:
+        """Rewind the stream to the beginning (same order as before)."""
+        self._cursor = 0
+
+    def next_point(self) -> np.ndarray:
+        """Consume and return the next point."""
+        if self.exhausted:
+            raise StopIteration("stream exhausted")
+        point = self._points[self._cursor]
+        self._cursor += 1
+        return point
+
+    def take(self, count: int) -> np.ndarray:
+        """Consume and return up to ``count`` points as a contiguous block."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        end = min(self._cursor + count, self.num_points)
+        block = self._points[self._cursor : end]
+        self._cursor = end
+        return block
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        while not self.exhausted:
+            yield self.next_point()
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        """Yield successive blocks of at most ``chunk_size`` points."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        while not self.exhausted:
+            yield self.take(chunk_size)

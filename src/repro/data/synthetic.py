@@ -1,0 +1,149 @@
+"""Synthetic Gaussian-mixture data generators.
+
+The paper evaluates on UCI datasets (Covtype, Power, Intrusion) that we cannot
+ship.  All algorithms interact with the data only through Euclidean geometry
+on a point stream, so we substitute seeded Gaussian-mixture generators whose
+*structure* (dimensionality, number and relative size of clusters, spread,
+outlier behaviour) matches each dataset's character.  See DESIGN.md §4 for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GaussianMixtureSpec", "generate_mixture", "add_uniform_outliers"]
+
+
+@dataclass(frozen=True)
+class GaussianMixtureSpec:
+    """Description of a Gaussian mixture used to synthesise a dataset.
+
+    Attributes
+    ----------
+    dimension:
+        Dimensionality ``d`` of the generated points.
+    num_clusters:
+        Number of mixture components.
+    cluster_weights:
+        Relative probability of each component; uniform when None.  A
+        heavy-tailed choice mimics datasets such as Intrusion, where a few
+        behaviours dominate.
+    center_spread:
+        Standard deviation of the component centers around the origin.
+    cluster_scale:
+        Per-component standard deviation of points around their center.  A
+        scalar applies to all components; an array gives per-component scales.
+    correlated:
+        When True, a random linear map is applied to each component so
+        features are correlated (mimics sensor-style datasets such as Power).
+    """
+
+    dimension: int
+    num_clusters: int
+    cluster_weights: tuple[float, ...] | None = None
+    center_spread: float = 10.0
+    cluster_scale: float | tuple[float, ...] = 1.0
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if self.num_clusters <= 0:
+            raise ValueError("num_clusters must be positive")
+        if self.cluster_weights is not None:
+            if len(self.cluster_weights) != self.num_clusters:
+                raise ValueError("cluster_weights must have num_clusters entries")
+            if any(w <= 0 for w in self.cluster_weights):
+                raise ValueError("cluster_weights must be positive")
+        if isinstance(self.cluster_scale, tuple):
+            if len(self.cluster_scale) != self.num_clusters:
+                raise ValueError("cluster_scale tuple must have num_clusters entries")
+
+
+def generate_mixture(
+    spec: GaussianMixtureSpec,
+    num_points: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``num_points`` samples from the described mixture.
+
+    Returns
+    -------
+    (points, labels):
+        ``points`` has shape ``(num_points, d)``; ``labels`` records the
+        generating component of each point (useful for sanity checks, the
+        streaming algorithms never see them).
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+
+    centers = rng.normal(0.0, spec.center_spread, size=(spec.num_clusters, spec.dimension))
+
+    if spec.cluster_weights is None:
+        probabilities = np.full(spec.num_clusters, 1.0 / spec.num_clusters)
+    else:
+        weights = np.asarray(spec.cluster_weights, dtype=np.float64)
+        probabilities = weights / weights.sum()
+
+    if isinstance(spec.cluster_scale, tuple):
+        scales = np.asarray(spec.cluster_scale, dtype=np.float64)
+    else:
+        scales = np.full(spec.num_clusters, float(spec.cluster_scale))
+
+    transforms: list[np.ndarray | None] = [None] * spec.num_clusters
+    if spec.correlated:
+        for i in range(spec.num_clusters):
+            random_matrix = rng.normal(0.0, 1.0, size=(spec.dimension, spec.dimension))
+            # Blend with the identity so the transform stays well-conditioned.
+            transforms[i] = 0.7 * np.eye(spec.dimension) + 0.3 * random_matrix / np.sqrt(
+                spec.dimension
+            )
+
+    labels = rng.choice(spec.num_clusters, size=num_points, p=probabilities)
+    noise = rng.normal(0.0, 1.0, size=(num_points, spec.dimension))
+
+    points = np.empty((num_points, spec.dimension), dtype=np.float64)
+    for component in range(spec.num_clusters):
+        mask = labels == component
+        if not np.any(mask):
+            continue
+        local = noise[mask] * scales[component]
+        transform = transforms[component]
+        if transform is not None:
+            local = local @ transform.T
+        points[mask] = centers[component] + local
+    return points, labels
+
+
+def add_uniform_outliers(
+    points: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+    spread: float = 50.0,
+) -> np.ndarray:
+    """Replace a fraction of points with uniform outliers (Intrusion-style noise).
+
+    Parameters
+    ----------
+    points:
+        The clean points, shape ``(n, d)``.
+    fraction:
+        Fraction of rows to replace, in ``[0, 1)``.
+    spread:
+        Half-width of the uniform cube the outliers are drawn from.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    if fraction == 0.0:
+        return points
+    result = points.copy()
+    n, d = result.shape
+    num_outliers = int(round(fraction * n))
+    if num_outliers == 0:
+        return result
+    indices = rng.choice(n, size=num_outliers, replace=False)
+    result[indices] = rng.uniform(-spread, spread, size=(num_outliers, d))
+    return result

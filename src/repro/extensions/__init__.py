@@ -1,0 +1,34 @@
+"""Extensions beyond the paper's core algorithms.
+
+The paper's conclusion lists three natural follow-ups, all implemented here:
+
+* streaming k-median with coreset caching (:mod:`repro.extensions.kmedian`),
+* time-decaying weights and sliding windows for concept drift
+  (:mod:`repro.extensions.decay`),
+* clustering over distributed / parallel streams
+  (:mod:`repro.extensions.distributed`).
+"""
+
+from .decay import DecayedCoresetClusterer, SlidingWindowClusterer
+from .distributed import DistributedCoordinator, StreamShard
+from .kmedian import (
+    KMedianCachedClusterer,
+    KMedianConfig,
+    kmedian_cost,
+    kmedian_seeding,
+    kmedian_sensitivity_coreset,
+    weighted_kmedian,
+)
+
+__all__ = [
+    "DecayedCoresetClusterer",
+    "SlidingWindowClusterer",
+    "DistributedCoordinator",
+    "StreamShard",
+    "KMedianCachedClusterer",
+    "KMedianConfig",
+    "kmedian_cost",
+    "kmedian_seeding",
+    "kmedian_sensitivity_coreset",
+    "weighted_kmedian",
+]

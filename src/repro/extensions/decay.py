@@ -1,0 +1,214 @@
+"""Time-decayed and sliding-window streaming clustering.
+
+The paper's conclusion lists "improved handling of concept drift, through the
+use of time-decaying weights" as an open direction.  This module provides two
+such mechanisms built on the same bucket machinery as the main algorithms:
+
+* :class:`DecayedCoresetClusterer` — every time a new base bucket is
+  completed, the weights of all previously stored buckets are multiplied by a
+  decay factor ``gamma`` (0 < gamma <= 1).  A bucket completed ``t`` buckets
+  ago therefore carries weight ``gamma^t``, i.e. an exponential forgetting
+  horizon of roughly ``m / (1 - gamma)`` points.
+
+* :class:`SlidingWindowClusterer` — only the most recent ``window_buckets``
+  base buckets participate in queries.  Buckets are kept individually (no
+  cross-bucket merging) so expired ones can be dropped exactly; each bucket is
+  summarised to at most ``m`` points, so memory is
+  ``O(window_buckets * m)``.
+
+Both return k-means++ centers of the (decayed / windowed) coreset at query
+time, so the accuracy machinery of the main library carries over.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..coreset.bucket import WeightedPointSet
+from ..coreset.construction import CoresetConstructor
+from ..core.base import QueryResult, StreamingClusterer, StreamingConfig
+from ..kmeans.batch import weighted_kmeans
+
+__all__ = ["DecayedCoresetClusterer", "SlidingWindowClusterer"]
+
+
+class DecayedCoresetClusterer(StreamingClusterer):
+    """Exponentially time-decayed clustering over bucket summaries.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration (k, bucket size, query-time settings).
+    decay:
+        Per-bucket decay factor ``gamma`` in (0, 1].  ``1.0`` disables decay
+        (every bucket keeps full weight); smaller values forget faster.
+    min_weight:
+        Buckets whose accumulated decay factor falls below this threshold are
+        dropped entirely, bounding memory at roughly
+        ``log(min_weight) / log(decay)`` buckets.
+    """
+
+    def __init__(
+        self,
+        config: StreamingConfig,
+        decay: float = 0.95,
+        min_weight: float = 1e-3,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if not 0.0 < min_weight < 1.0:
+            raise ValueError("min_weight must be in (0, 1)")
+        self.config = config
+        self.decay = decay
+        self.min_weight = min_weight
+        self._constructor: CoresetConstructor = config.make_constructor()
+        # Each entry: (summary, current decay multiplier).
+        self._summaries: deque[tuple[WeightedPointSet, float]] = deque()
+        self._buffer: list[np.ndarray] = []
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._rng = np.random.default_rng(config.seed)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def num_summaries(self) -> int:
+        """Number of decayed bucket summaries currently retained."""
+        return len(self._summaries)
+
+    def insert(self, point: np.ndarray) -> None:
+        """Buffer a point; on a full bucket, decay existing summaries and add a new one."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+        elif row.shape[0] != self._dimension:
+            raise ValueError(
+                f"point has dimension {row.shape[0]}, expected {self._dimension}"
+            )
+        self._buffer.append(row)
+        self._points_seen += 1
+        if len(self._buffer) >= self.config.bucket_size:
+            self._complete_bucket()
+
+    def query(self) -> QueryResult:
+        """k-means++ over the decay-weighted union of summaries and the partial bucket."""
+        combined = self._decayed_union()
+        if combined.size == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        result = weighted_kmeans(
+            combined.points,
+            self.config.k,
+            weights=combined.weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.lloyd_iterations,
+            rng=self._rng,
+        )
+        return QueryResult(centers=result.centers, coreset_points=combined.size, from_cache=False)
+
+    def stored_points(self) -> int:
+        """Summary points plus the partial bucket."""
+        return sum(summary.size for summary, _ in self._summaries) + len(self._buffer)
+
+    def _complete_bucket(self) -> None:
+        data = WeightedPointSet.from_points(np.vstack(self._buffer))
+        self._buffer = []
+        summary = self._constructor.build(data)
+        # Age every existing summary by one bucket and drop the negligible ones.
+        aged: deque[tuple[WeightedPointSet, float]] = deque()
+        for existing, multiplier in self._summaries:
+            new_multiplier = multiplier * self.decay
+            if new_multiplier >= self.min_weight:
+                aged.append((existing, new_multiplier))
+        aged.append((summary, 1.0))
+        self._summaries = aged
+
+    def _decayed_union(self) -> WeightedPointSet:
+        pieces: list[WeightedPointSet] = []
+        for summary, multiplier in self._summaries:
+            pieces.append(
+                WeightedPointSet(points=summary.points, weights=summary.weights * multiplier)
+            )
+        if self._buffer:
+            pieces.append(WeightedPointSet.from_points(np.vstack(self._buffer)))
+        if not pieces:
+            return WeightedPointSet.empty(self._dimension or 1)
+        return WeightedPointSet.union_all(pieces)
+
+
+class SlidingWindowClusterer(StreamingClusterer):
+    """Clustering over the most recent ``window_buckets`` base buckets only.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration.
+    window_buckets:
+        Number of most-recent base buckets that participate in queries; the
+        window therefore covers ``window_buckets * m`` points (plus the
+        partial bucket).
+    """
+
+    def __init__(self, config: StreamingConfig, window_buckets: int = 10) -> None:
+        if window_buckets <= 0:
+            raise ValueError("window_buckets must be positive")
+        self.config = config
+        self.window_buckets = window_buckets
+        self._constructor: CoresetConstructor = config.make_constructor()
+        self._summaries: deque[WeightedPointSet] = deque(maxlen=window_buckets)
+        self._buffer: list[np.ndarray] = []
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._rng = np.random.default_rng(config.seed)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def window_points(self) -> int:
+        """Number of stream points currently covered by the window."""
+        return len(self._summaries) * self.config.bucket_size + len(self._buffer)
+
+    def insert(self, point: np.ndarray) -> None:
+        """Buffer a point; on a full bucket, summarise it and slide the window."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+        elif row.shape[0] != self._dimension:
+            raise ValueError(
+                f"point has dimension {row.shape[0]}, expected {self._dimension}"
+            )
+        self._buffer.append(row)
+        self._points_seen += 1
+        if len(self._buffer) >= self.config.bucket_size:
+            data = WeightedPointSet.from_points(np.vstack(self._buffer))
+            self._buffer = []
+            self._summaries.append(self._constructor.build(data))
+
+    def query(self) -> QueryResult:
+        """k-means++ over the window's bucket summaries plus the partial bucket."""
+        pieces = list(self._summaries)
+        if self._buffer:
+            pieces.append(WeightedPointSet.from_points(np.vstack(self._buffer)))
+        if not pieces:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        combined = WeightedPointSet.union_all(pieces)
+        result = weighted_kmeans(
+            combined.points,
+            self.config.k,
+            weights=combined.weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.lloyd_iterations,
+            rng=self._rng,
+        )
+        return QueryResult(centers=result.centers, coreset_points=combined.size, from_cache=False)
+
+    def stored_points(self) -> int:
+        """Summary points in the window plus the partial bucket."""
+        return sum(summary.size for summary in self._summaries) + len(self._buffer)

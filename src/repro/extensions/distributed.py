@@ -1,0 +1,169 @@
+"""Clustering over distributed / parallel streams.
+
+The paper's conclusion names "clustering on distributed and parallel streams"
+as an open question.  This module provides a simulation-friendly realisation:
+each logical stream shard runs its own CC structure locally (no coordination
+on the update path), and a coordinator answers global clustering queries by
+collecting one coreset per shard — exactly the cheap per-shard query the CC
+cache makes possible — merging them (Observation 1: a union of coresets is a
+coreset of the union), and running k-means++ on the merged summary.
+
+Routing policies cover the common deployment shapes:
+
+* ``round_robin`` — load balancing, every shard sees a slice of everything;
+* ``hash`` — deterministic partitioning by point content;
+* ``random`` — seeded random assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..coreset.bucket import WeightedPointSet
+from ..core.base import QueryResult, StreamingClusterer, StreamingConfig
+from ..core.cached_tree import CachedCoresetTree
+from ..coreset.construction import CoresetConstructor
+from ..kmeans.batch import weighted_kmeans
+
+__all__ = ["StreamShard", "DistributedCoordinator"]
+
+RoutingPolicy = Literal["round_robin", "hash", "random"]
+
+
+class StreamShard:
+    """One shard: a CC structure plus its partial base bucket."""
+
+    def __init__(self, config: StreamingConfig, shard_index: int) -> None:
+        self.shard_index = shard_index
+        self.config = config
+        seed = None if config.seed is None else config.seed + shard_index
+        self._constructor = CoresetConstructor(config.coreset_config(), seed=seed)
+        self._structure = CachedCoresetTree(
+            self._constructor, merge_degree=config.merge_degree
+        )
+        self._buffer: list[np.ndarray] = []
+        self.points_seen = 0
+
+    def insert(self, point: np.ndarray) -> None:
+        """Add one point to this shard's local state."""
+        self._buffer.append(np.asarray(point, dtype=np.float64).reshape(-1))
+        self.points_seen += 1
+        if len(self._buffer) >= self.config.bucket_size:
+            from ..coreset.bucket import Bucket
+
+            index = self._structure.num_base_buckets + 1
+            data = WeightedPointSet.from_points(np.vstack(self._buffer))
+            self._structure.insert_bucket(
+                Bucket(data=data, start=index, end=index, level=0)
+            )
+            self._buffer = []
+
+    def local_coreset(self, dimension: int) -> WeightedPointSet:
+        """This shard's contribution to a global query (cached coreset + partial bucket)."""
+        coreset = self._structure.query_coreset()
+        if self._buffer:
+            partial = WeightedPointSet.from_points(np.vstack(self._buffer))
+            coreset = coreset.union(partial) if coreset.size else partial
+        if coreset.size == 0:
+            return WeightedPointSet.empty(dimension)
+        return coreset
+
+    def stored_points(self) -> int:
+        """Points held by this shard (structure plus partial bucket)."""
+        return self._structure.stored_points() + len(self._buffer)
+
+
+class DistributedCoordinator(StreamingClusterer):
+    """Routes a stream across shards and answers global clustering queries.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration applied to every shard.
+    num_shards:
+        Number of parallel shards (simulated workers).
+    routing:
+        How points are assigned to shards: ``"round_robin"`` (default),
+        ``"hash"``, or ``"random"``.
+    """
+
+    def __init__(
+        self,
+        config: StreamingConfig,
+        num_shards: int = 4,
+        routing: RoutingPolicy = "round_robin",
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if routing not in ("round_robin", "hash", "random"):
+            raise ValueError(f"unknown routing policy {routing!r}")
+        self.config = config
+        self.routing = routing
+        self.shards = [StreamShard(config, index) for index in range(num_shards)]
+        self._next_shard = 0
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._rng = np.random.default_rng(config.seed)
+        self._route_rng = np.random.default_rng(
+            None if config.seed is None else config.seed + 10_007
+        )
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the simulated cluster."""
+        return len(self.shards)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of points routed across all shards."""
+        return self._points_seen
+
+    def insert(self, point: np.ndarray) -> None:
+        """Route one point to a shard according to the routing policy."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+        elif row.shape[0] != self._dimension:
+            raise ValueError(
+                f"point has dimension {row.shape[0]}, expected {self._dimension}"
+            )
+        self.shards[self._route(row)].insert(row)
+        self._points_seen += 1
+
+    def query(self) -> QueryResult:
+        """Merge every shard's coreset and extract k centers globally."""
+        if self._points_seen == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        dimension = self._dimension or 1
+        pieces = [shard.local_coreset(dimension) for shard in self.shards]
+        pieces = [piece for piece in pieces if piece.size > 0]
+        combined = WeightedPointSet.union_all(pieces)
+        result = weighted_kmeans(
+            combined.points,
+            self.config.k,
+            weights=combined.weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.lloyd_iterations,
+            rng=self._rng,
+        )
+        return QueryResult(centers=result.centers, coreset_points=combined.size, from_cache=True)
+
+    def stored_points(self) -> int:
+        """Total points held across all shards."""
+        return sum(shard.stored_points() for shard in self.shards)
+
+    def shard_loads(self) -> list[int]:
+        """Points routed to each shard (for load-balance inspection)."""
+        return [shard.points_seen for shard in self.shards]
+
+    def _route(self, point: np.ndarray) -> int:
+        if self.routing == "round_robin":
+            index = self._next_shard
+            self._next_shard = (self._next_shard + 1) % len(self.shards)
+            return index
+        if self.routing == "hash":
+            digest = hash(point.tobytes())
+            return digest % len(self.shards)
+        return int(self._route_rng.integers(0, len(self.shards)))

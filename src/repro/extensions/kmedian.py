@@ -1,0 +1,348 @@
+"""Streaming k-median with coreset caching.
+
+The paper's conclusion names streaming k-median as the natural next target
+for the coreset-caching framework ("applying it to streaming k-median seems
+natural").  This module provides that extension:
+
+* weighted k-median cost (sum of weighted Euclidean distances, not squared),
+* D-sampling seeding (the k-median analogue of k-means++ — probabilities
+  proportional to distance rather than squared distance),
+* a weighted Lloyd-style refinement that moves each center to the
+  coordinate-wise weighted median of its cluster (the classical surrogate for
+  the geometric median, exact per coordinate under the L1 metric and a good
+  heuristic under L2),
+* sensitivity-sampling coresets for the k-median metric, and
+* :class:`KMedianCachedClusterer`, a CC-style streaming clusterer that reuses
+  the coreset tree + coreset cache machinery with the k-median primitives
+  swapped in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.merge import union_buckets
+from ..core.base import QueryResult, StreamingClusterer
+from ..core.cache import CoresetCache
+from ..core.coreset_tree import CoresetTree
+from ..core.numeral import major
+from ..kmeans.cost import pairwise_squared_distances
+
+__all__ = [
+    "kmedian_cost",
+    "kmedian_seeding",
+    "weighted_kmedian",
+    "kmedian_sensitivity_coreset",
+    "KMedianConfig",
+    "KMedianCachedClusterer",
+]
+
+
+def _distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Euclidean (not squared) distances, shape (n, k)."""
+    return np.sqrt(pairwise_squared_distances(points, centers))
+
+
+def kmedian_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Weighted k-median cost: sum of weighted distances to the nearest center."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    if pts.shape[0] == 0:
+        return 0.0
+    nearest = np.min(_distances(pts, centers), axis=1)
+    if weights is None:
+        return float(np.sum(nearest))
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (pts.shape[0],):
+        raise ValueError(f"weights must have shape ({pts.shape[0]},), got {w.shape}")
+    return float(np.dot(w, nearest))
+
+
+def kmedian_seeding(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """D-sampling seeding for k-median (probabilities proportional to distance)."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("cannot seed centers from an empty point set")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if rng is None:
+        rng = np.random.default_rng()
+    w = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+
+    if k >= n:
+        return pts.copy()
+
+    centers = np.empty((k, pts.shape[1]), dtype=np.float64)
+    base_probs = w / np.sum(w)
+    centers[0] = pts[rng.choice(n, p=base_probs)]
+    closest = _distances(pts, centers[0:1]).ravel()
+
+    for i in range(1, k):
+        scores = w * closest
+        total = float(np.sum(scores))
+        if total <= 0.0:
+            idx = rng.choice(n, p=base_probs)
+        else:
+            idx = rng.choice(n, p=scores / total)
+        centers[i] = pts[idx]
+        np.minimum(closest, _distances(pts, centers[i : i + 1]).ravel(), out=closest)
+    return centers
+
+
+def _weighted_median_per_coordinate(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Coordinate-wise weighted median of a weighted point set."""
+    order = np.argsort(points, axis=0)
+    result = np.empty(points.shape[1], dtype=np.float64)
+    total = float(np.sum(weights))
+    for column in range(points.shape[1]):
+        sorted_values = points[order[:, column], column]
+        sorted_weights = weights[order[:, column]]
+        cumulative = np.cumsum(sorted_weights)
+        index = int(np.searchsorted(cumulative, total / 2.0))
+        index = min(index, points.shape[0] - 1)
+        result[column] = sorted_values[index]
+    return result
+
+
+@dataclass(frozen=True)
+class KMedianResult:
+    """Outcome of a batch weighted k-median run."""
+
+    centers: np.ndarray
+    cost: float
+    iterations: int
+
+
+def weighted_kmedian(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None = None,
+    n_init: int = 3,
+    max_iterations: int = 15,
+    rng: np.random.Generator | None = None,
+) -> KMedianResult:
+    """Batch weighted k-median: D-sampling seeding + alternating median updates."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    if rng is None:
+        rng = np.random.default_rng()
+    n = pts.shape[0]
+    w = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+
+    if n <= k:
+        centers = np.vstack([pts, np.repeat(pts[-1:], k - n, axis=0)]) if n < k else pts.copy()
+        return KMedianResult(centers=centers, cost=kmedian_cost(pts, centers, w), iterations=0)
+
+    best: KMedianResult | None = None
+    for _ in range(n_init):
+        centers = kmedian_seeding(pts, k, weights=w, rng=rng)
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            labels = np.argmin(_distances(pts, centers), axis=1)
+            new_centers = centers.copy()
+            for cluster in range(k):
+                mask = labels == cluster
+                if not np.any(mask):
+                    # Re-seed an empty cluster with the worst-served point.
+                    worst = int(np.argmax(np.min(_distances(pts, centers), axis=1)))
+                    new_centers[cluster] = pts[worst]
+                    continue
+                new_centers[cluster] = _weighted_median_per_coordinate(pts[mask], w[mask])
+            movement = float(np.sum(np.abs(new_centers - centers)))
+            centers = new_centers
+            if movement <= 1e-9:
+                break
+        candidate = KMedianResult(
+            centers=centers, cost=kmedian_cost(pts, centers, w), iterations=iterations
+        )
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def kmedian_sensitivity_coreset(
+    data: WeightedPointSet,
+    k: int,
+    m: int,
+    rng: np.random.Generator,
+) -> WeightedPointSet:
+    """Importance-sampling coreset for the k-median metric (distance, not squared)."""
+    if data.size <= m:
+        return data
+    pts, w = data.points, data.weights
+    seeds = kmedian_seeding(pts, min(k, data.size), weights=w, rng=rng)
+    dist = _distances(pts, seeds)
+    labels = np.argmin(dist, axis=1)
+    nearest = dist[np.arange(dist.shape[0]), labels]
+
+    weighted_dist = w * nearest
+    total_cost = float(np.sum(weighted_dist))
+    cluster_weight = np.zeros(seeds.shape[0], dtype=np.float64)
+    np.add.at(cluster_weight, labels, w)
+    cluster_weight = np.maximum(cluster_weight, np.finfo(np.float64).tiny)
+
+    if total_cost <= 0.0:
+        sensitivities = w / cluster_weight[labels]
+    else:
+        sensitivities = weighted_dist / total_cost + w / cluster_weight[labels]
+    probabilities = sensitivities / float(np.sum(sensitivities))
+
+    indices = rng.choice(data.size, size=m, replace=True, p=probabilities)
+    return WeightedPointSet(
+        points=pts[indices],
+        weights=w[indices] / (m * probabilities[indices]),
+    )
+
+
+class _KMedianCoresetConstructor:
+    """Adapter giving the coreset tree a k-median coreset builder."""
+
+    def __init__(self, k: int, coreset_size: int, seed: int | None = None) -> None:
+        self.k = k
+        self.coreset_size = coreset_size
+        self._rng = np.random.default_rng(seed)
+
+    def build(self, data: WeightedPointSet) -> WeightedPointSet:
+        if data.size == 0:
+            return data
+        return kmedian_sensitivity_coreset(data, self.k, self.coreset_size, self._rng)
+
+    __call__ = build
+
+
+@dataclass(frozen=True)
+class KMedianConfig:
+    """Configuration for the streaming k-median clusterer.
+
+    Attributes mirror :class:`~repro.core.base.StreamingConfig` but the final
+    extraction step is weighted k-median instead of k-means++.
+    """
+
+    k: int
+    coreset_size: int | None = None
+    merge_degree: int = 2
+    n_init: int = 3
+    max_iterations: int = 15
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.merge_degree < 2:
+            raise ValueError("merge_degree must be >= 2")
+        if self.coreset_size is not None and self.coreset_size <= 0:
+            raise ValueError("coreset_size must be positive when given")
+
+    @property
+    def bucket_size(self) -> int:
+        """Base-bucket size m (defaults to 20 * k, as for k-means)."""
+        return self.coreset_size if self.coreset_size is not None else 20 * self.k
+
+
+class KMedianCachedClusterer(StreamingClusterer):
+    """CC-style streaming k-median clusterer (coreset tree + coreset cache)."""
+
+    def __init__(self, config: KMedianConfig) -> None:
+        self.config = config
+        self._constructor = _KMedianCoresetConstructor(
+            config.k, config.bucket_size, seed=config.seed
+        )
+        self._tree = CoresetTree(self._constructor, merge_degree=config.merge_degree)
+        self._cache = CoresetCache(config.merge_degree)
+        self._buffer: list[np.ndarray] = []
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._rng = np.random.default_rng(config.seed)
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of stream points observed so far."""
+        return self._points_seen
+
+    @property
+    def cache(self) -> CoresetCache:
+        """The coreset cache (exposed for tests)."""
+        return self._cache
+
+    def insert(self, point: np.ndarray) -> None:
+        """Buffer one point; flush a base bucket when the buffer reaches m."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._dimension is None:
+            self._dimension = row.shape[0]
+        elif row.shape[0] != self._dimension:
+            raise ValueError(
+                f"point has dimension {row.shape[0]}, expected {self._dimension}"
+            )
+        self._buffer.append(row)
+        self._points_seen += 1
+        if len(self._buffer) >= self.config.bucket_size:
+            index = self._tree.num_base_buckets + 1
+            data = WeightedPointSet.from_points(np.vstack(self._buffer))
+            self._tree.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
+            self._buffer = []
+
+    def query(self) -> QueryResult:
+        """Return k median centers from the cached coreset plus the partial bucket."""
+        coreset = self._query_coreset()
+        if self._buffer:
+            partial = WeightedPointSet.from_points(np.vstack(self._buffer))
+            coreset = coreset.union(partial) if coreset.size else partial
+        if coreset.size == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        result = weighted_kmedian(
+            coreset.points,
+            self.config.k,
+            weights=coreset.weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.max_iterations,
+            rng=self._rng,
+        )
+        return QueryResult(
+            centers=result.centers, coreset_points=coreset.size, from_cache=len(self._cache) > 0
+        )
+
+    def stored_points(self) -> int:
+        """Points held by the tree, the cache, and the partial bucket."""
+        return self._tree.stored_points() + self._cache.stored_points() + len(self._buffer)
+
+    def _query_coreset(self) -> WeightedPointSet:
+        """The CC query path (Algorithm 3) with the k-median constructor."""
+        n = self._tree.num_base_buckets
+        if n == 0:
+            return WeightedPointSet.empty(self._dimension or 1)
+        exact = self._cache.lookup(n)
+        if exact is not None:
+            return exact.data
+
+        n1 = major(n, self.config.merge_degree)
+        cached_prefix = self._cache.lookup(n1) if n1 > 0 else None
+        if cached_prefix is None:
+            pieces = self._tree.active_buckets()
+        else:
+            pieces = [cached_prefix, *self._tree.suffix_buckets(after=n1)]
+        combined = union_buckets(pieces)
+        summary = self._constructor.build(combined.data)
+        bucket = Bucket(data=summary, start=1, end=n, level=combined.level + 1)
+        self._cache.store(bucket)
+        self._cache.evict_stale(n)
+        return summary

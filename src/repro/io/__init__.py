@@ -1,0 +1,23 @@
+"""Persistence helpers: centers, query results, CSV/JSON experiment data."""
+
+from .serialization import (
+    load_centers,
+    load_query_result,
+    results_from_csv,
+    results_to_csv,
+    save_centers,
+    save_query_result,
+    series_from_json,
+    series_to_json,
+)
+
+__all__ = [
+    "load_centers",
+    "load_query_result",
+    "results_from_csv",
+    "results_to_csv",
+    "save_centers",
+    "save_query_result",
+    "series_from_json",
+    "series_to_json",
+]

@@ -1,0 +1,116 @@
+"""Saving and loading cluster centers and experiment results.
+
+A downstream deployment needs to persist two things: the cluster centers a
+query returned (so other services can assign incoming records to clusters
+without talking to the streaming process) and the measurements an experiment
+produced (so results can be compared across runs).  Both are covered here
+with plain ``.npz`` / JSON / CSV files — no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.base import QueryResult
+
+__all__ = [
+    "save_centers",
+    "load_centers",
+    "save_query_result",
+    "load_query_result",
+    "results_to_csv",
+    "results_from_csv",
+    "series_to_json",
+    "series_from_json",
+]
+
+
+def save_centers(path: str | Path, centers: np.ndarray) -> Path:
+    """Save a center matrix to an ``.npz`` file and return the path written."""
+    target = Path(path)
+    arr = np.asarray(centers, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"centers must be 2-D, got shape {arr.shape}")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(target, centers=arr)
+    return target if target.suffix == ".npz" else target.with_suffix(target.suffix + ".npz")
+
+
+def load_centers(path: str | Path) -> np.ndarray:
+    """Load a center matrix previously written by :func:`save_centers`."""
+    with np.load(Path(path)) as payload:
+        if "centers" not in payload:
+            raise KeyError(f"{path} does not contain a 'centers' array")
+        return np.asarray(payload["centers"], dtype=np.float64)
+
+
+def save_query_result(path: str | Path, result: QueryResult) -> Path:
+    """Save a full :class:`~repro.core.base.QueryResult` (centers + metadata)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        target,
+        centers=np.asarray(result.centers, dtype=np.float64),
+        coreset_points=np.asarray([result.coreset_points], dtype=np.int64),
+        from_cache=np.asarray([int(result.from_cache)], dtype=np.int64),
+    )
+    return target if target.suffix == ".npz" else target.with_suffix(target.suffix + ".npz")
+
+
+def load_query_result(path: str | Path) -> QueryResult:
+    """Load a :class:`~repro.core.base.QueryResult` written by :func:`save_query_result`."""
+    with np.load(Path(path)) as payload:
+        return QueryResult(
+            centers=np.asarray(payload["centers"], dtype=np.float64),
+            coreset_points=int(payload["coreset_points"][0]),
+            from_cache=bool(payload["from_cache"][0]),
+        )
+
+
+def results_to_csv(path: str | Path, rows: Sequence[Mapping[str, object]]) -> Path:
+    """Write a list of result rows (dicts) to a CSV file.
+
+    The header is the union of all keys, in first-appearance order, so rows
+    with heterogeneous keys (e.g. different algorithm columns) are handled.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(target, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+    return target
+
+
+def results_from_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read rows written by :func:`results_to_csv` (values come back as strings)."""
+    with open(Path(path), newline="", encoding="utf-8") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]
+
+
+def series_to_json(path: str | Path, series: Mapping[str, Mapping[object, float]]) -> Path:
+    """Write a ``{series: {x: y}}`` mapping (a figure's data) to JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    serialisable = {
+        str(name): {str(x): float(y) for x, y in mapping.items()}
+        for name, mapping in series.items()
+    }
+    target.write_text(json.dumps(serialisable, indent=2, sort_keys=True), encoding="utf-8")
+    return target
+
+
+def series_from_json(path: str | Path) -> dict[str, dict[str, float]]:
+    """Read figure data written by :func:`series_to_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

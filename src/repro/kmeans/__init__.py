@@ -1,0 +1,29 @@
+"""Batch and incremental k-means primitives used throughout the library."""
+
+from .batch import BatchKMeans, KMeansConfig, KMeansResult, weighted_kmeans
+from .cost import (
+    assign_points,
+    cluster_sizes,
+    kmeans_cost,
+    pairwise_squared_distances,
+    per_cluster_cost,
+)
+from .kmeanspp import kmeanspp_seeding
+from .lloyd import LloydResult, lloyd_iterations
+from .sequential import SequentialKMeansState
+
+__all__ = [
+    "BatchKMeans",
+    "KMeansConfig",
+    "KMeansResult",
+    "weighted_kmeans",
+    "assign_points",
+    "cluster_sizes",
+    "kmeans_cost",
+    "pairwise_squared_distances",
+    "per_cluster_cost",
+    "kmeanspp_seeding",
+    "LloydResult",
+    "lloyd_iterations",
+    "SequentialKMeansState",
+]

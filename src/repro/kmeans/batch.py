@@ -1,0 +1,165 @@
+"""Batch k-means estimator: k-means++ seeding + Lloyd refinement + restarts.
+
+This is the "k-means++" accuracy baseline of the paper's Figure 4 — a batch
+algorithm that sees the whole dataset at once, which streaming algorithms
+cannot beat.  It is also the routine the streaming algorithms call to extract
+``k`` centers from a (weighted) coreset at query time.
+
+Following Section 5.2 of the paper, a query runs up to ``n_init`` independent
+k-means++ seedings, refines each with up to 20 Lloyd iterations, and keeps the
+best (lowest-cost) solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cost import kmeans_cost
+from .kmeanspp import kmeanspp_seeding
+from .lloyd import lloyd_iterations
+
+__all__ = ["KMeansConfig", "KMeansResult", "weighted_kmeans", "BatchKMeans"]
+
+
+@dataclass(frozen=True)
+class KMeansConfig:
+    """Configuration for the batch k-means solver.
+
+    Attributes
+    ----------
+    k:
+        Number of clusters.
+    n_init:
+        Number of independent k-means++ restarts (paper uses 5).
+    max_iterations:
+        Lloyd iterations per restart (paper uses 20).
+    tolerance:
+        Convergence tolerance on total squared center movement.
+    """
+
+    k: int
+    n_init: int = 5
+    max_iterations: int = 20
+    tolerance: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.n_init <= 0:
+            raise ValueError(f"n_init must be positive, got {self.n_init}")
+        if self.max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Best clustering found by :func:`weighted_kmeans`."""
+
+    centers: np.ndarray
+    cost: float
+    iterations: int
+    restarts: int
+
+
+def weighted_kmeans(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None = None,
+    n_init: int = 5,
+    max_iterations: int = 20,
+    tolerance: float = 1e-7,
+    rng: np.random.Generator | None = None,
+) -> KMeansResult:
+    """Cluster a weighted point set with k-means++ + Lloyd, keeping the best run.
+
+    If the input contains fewer than ``k`` points the returned center set is
+    the points themselves padded by repetition so that exactly ``k`` rows are
+    always returned; downstream cost computations are unaffected by duplicate
+    centers.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+    if rng is None:
+        rng = np.random.default_rng()
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty point set")
+
+    if n <= k:
+        centers = np.vstack([pts, np.repeat(pts[-1:], k - n, axis=0)]) if n < k else pts.copy()
+        return KMeansResult(
+            centers=centers,
+            cost=kmeans_cost(pts, centers, weights),
+            iterations=0,
+            restarts=0,
+        )
+
+    best: KMeansResult | None = None
+    for restart in range(n_init):
+        seeds = kmeanspp_seeding(pts, k, weights=weights, rng=rng)
+        refined = lloyd_iterations(
+            pts,
+            seeds,
+            weights=weights,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+        candidate = KMeansResult(
+            centers=refined.centers,
+            cost=refined.cost,
+            iterations=refined.iterations,
+            restarts=restart + 1,
+        )
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    assert best is not None
+    return best
+
+
+@dataclass
+class BatchKMeans:
+    """Object-style wrapper around :func:`weighted_kmeans`.
+
+    Provides a scikit-learn-flavoured ``fit`` / ``predict`` interface so that
+    examples and benchmarks can treat the batch baseline uniformly with the
+    streaming algorithms.
+    """
+
+    config: KMeansConfig
+    seed: int | None = None
+    centers_: np.ndarray | None = field(default=None, init=False)
+    cost_: float | None = field(default=None, init=False)
+
+    def fit(self, points: np.ndarray, weights: np.ndarray | None = None) -> "BatchKMeans":
+        """Cluster ``points`` and store the resulting centers on the estimator."""
+        rng = np.random.default_rng(self.seed)
+        result = weighted_kmeans(
+            points,
+            self.config.k,
+            weights=weights,
+            n_init=self.config.n_init,
+            max_iterations=self.config.max_iterations,
+            tolerance=self.config.tolerance,
+            rng=rng,
+        )
+        self.centers_ = result.centers
+        self.cost_ = result.cost
+        return self
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Return the index of the nearest fitted center for each point."""
+        if self.centers_ is None:
+            raise RuntimeError("BatchKMeans.predict called before fit")
+        from .cost import assign_points
+
+        labels, _ = assign_points(points, self.centers_)
+        return labels
+
+    def cost(self, points: np.ndarray, weights: np.ndarray | None = None) -> float:
+        """k-means cost of ``points`` against the fitted centers."""
+        if self.centers_ is None:
+            raise RuntimeError("BatchKMeans.cost called before fit")
+        return kmeans_cost(points, self.centers_, weights)

@@ -1,0 +1,152 @@
+"""k-means cost (within-cluster sum of squares) and assignment utilities.
+
+The paper measures clustering accuracy as the *k-means cost*, also called the
+within-cluster sum of squares (SSQ):
+
+    phi_C(P) = sum_{x in P} w(x) * min_{c in C} ||x - c||^2
+
+All functions here operate on dense numpy arrays and accept optional
+per-point weights, because coresets are weighted point sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairwise_squared_distances",
+    "assign_points",
+    "kmeans_cost",
+    "per_cluster_cost",
+    "cluster_sizes",
+]
+
+
+def _as_2d(points: np.ndarray) -> np.ndarray:
+    """Return ``points`` as a 2-D float64 array of shape (n, d)."""
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"points must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+def pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between every point and every center.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    centers:
+        Array of shape ``(k, d)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n, k)`` where entry ``(i, j)`` is
+        ``||points[i] - centers[j]||^2``.  Values are clipped at zero to
+        guard against tiny negative values from floating-point cancellation.
+    """
+    pts = _as_2d(points)
+    ctr = _as_2d(centers)
+    if pts.shape[1] != ctr.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: points have d={pts.shape[1]}, "
+            f"centers have d={ctr.shape[1]}"
+        )
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed via BLAS.
+    p_sq = np.einsum("ij,ij->i", pts, pts)
+    c_sq = np.einsum("ij,ij->i", ctr, ctr)
+    cross = pts @ ctr.T
+    dist = p_sq[:, None] - 2.0 * cross + c_sq[None, :]
+    np.maximum(dist, 0.0, out=dist)
+    return dist
+
+
+def assign_points(points: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each point to its nearest center.
+
+    Returns
+    -------
+    (labels, sq_distances):
+        ``labels`` has shape ``(n,)`` with the index of the nearest center,
+        ``sq_distances`` has shape ``(n,)`` with the squared distance to it.
+    """
+    dist = pairwise_squared_distances(points, centers)
+    labels = np.argmin(dist, axis=1)
+    sq = dist[np.arange(dist.shape[0]), labels]
+    return labels, sq
+
+
+def kmeans_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Weighted k-means cost of ``points`` against ``centers``.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    centers:
+        Array of shape ``(k, d)``.
+    weights:
+        Optional array of shape ``(n,)``; defaults to all ones.
+    """
+    pts = _as_2d(points)
+    if pts.shape[0] == 0:
+        return 0.0
+    _, sq = assign_points(pts, centers)
+    if weights is None:
+        return float(np.sum(sq))
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (pts.shape[0],):
+        raise ValueError(
+            f"weights must have shape ({pts.shape[0]},), got {w.shape}"
+        )
+    return float(np.dot(w, sq))
+
+
+def per_cluster_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Weighted cost contributed by each cluster, as an array of shape (k,)."""
+    pts = _as_2d(points)
+    ctr = _as_2d(centers)
+    k = ctr.shape[0]
+    out = np.zeros(k, dtype=np.float64)
+    if pts.shape[0] == 0:
+        return out
+    labels, sq = assign_points(pts, ctr)
+    if weights is None:
+        contributions = sq
+    else:
+        contributions = sq * np.asarray(weights, dtype=np.float64)
+    np.add.at(out, labels, contributions)
+    return out
+
+
+def cluster_sizes(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Total weight assigned to each cluster, as an array of shape (k,)."""
+    pts = _as_2d(points)
+    ctr = _as_2d(centers)
+    k = ctr.shape[0]
+    out = np.zeros(k, dtype=np.float64)
+    if pts.shape[0] == 0:
+        return out
+    labels, _ = assign_points(pts, ctr)
+    if weights is None:
+        w = np.ones(pts.shape[0], dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+    np.add.at(out, labels, w)
+    return out

@@ -1,0 +1,105 @@
+"""k-means++ seeding (Arthur & Vassilvitskii, SODA 2007), weighted variant.
+
+The paper relies on k-means++ both as the final clustering step on the merged
+coreset (Theorem 1) and, internally, as the sampling backbone of coreset
+construction.  Coresets are weighted point sets, so the seeding procedure here
+supports per-point weights: a point is chosen with probability proportional to
+``w(x) * D^2(x, chosen_centers)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cost import pairwise_squared_distances
+
+__all__ = ["kmeanspp_seeding"]
+
+
+def _validate_inputs(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("cannot seed centers from an empty point set")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if weights is None:
+        w = np.ones(n, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        if not np.any(w > 0):
+            raise ValueError("at least one weight must be positive")
+    return pts, w
+
+
+def kmeanspp_seeding(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Select ``k`` initial centers using weighted D² sampling.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    k:
+        Number of centers to select.  If ``k >= n`` the unique points are
+        returned (padded by repeating points if necessary), matching the
+        common convention for small inputs.
+    weights:
+        Optional non-negative weights of shape ``(n,)``.
+    rng:
+        Source of randomness; defaults to ``np.random.default_rng()``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(min(k, n) <= k, d)`` holding the selected centers.
+        When the input has fewer distinct points than ``k`` the result may
+        contain fewer than ``k`` rows; callers that require exactly ``k``
+        centers should handle that case (the library's estimators do).
+    """
+    pts, w = _validate_inputs(points, k, weights)
+    if rng is None:
+        rng = np.random.default_rng()
+    n = pts.shape[0]
+
+    if k >= n:
+        return pts.copy()
+
+    centers = np.empty((k, pts.shape[1]), dtype=np.float64)
+
+    # First center: sampled proportionally to weight.
+    probs = w / np.sum(w)
+    first = rng.choice(n, p=probs)
+    centers[0] = pts[first]
+
+    # Maintain the squared distance from each point to its nearest center.
+    closest_sq = pairwise_squared_distances(pts, centers[0:1]).ravel()
+
+    for i in range(1, k):
+        scores = w * closest_sq
+        total = np.sum(scores)
+        if total <= 0.0:
+            # All remaining mass sits exactly on already-chosen centers:
+            # fall back to weighted uniform sampling.
+            idx = rng.choice(n, p=probs)
+        else:
+            idx = rng.choice(n, p=scores / total)
+        centers[i] = pts[idx]
+        new_sq = pairwise_squared_distances(pts, centers[i : i + 1]).ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+
+    return centers

@@ -1,0 +1,124 @@
+"""Weighted Lloyd's algorithm (the classical k-means iteration).
+
+The paper's evaluation pipeline runs k-means++ seeding followed by up to 20
+Lloyd iterations to refine the centers extracted from a coreset (Section 5.2).
+This module provides that refinement step for weighted point sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cost import assign_points, kmeans_cost
+
+__all__ = ["LloydResult", "lloyd_iterations"]
+
+
+@dataclass(frozen=True)
+class LloydResult:
+    """Outcome of running Lloyd's algorithm.
+
+    Attributes
+    ----------
+    centers:
+        Final cluster centers, shape ``(k, d)``.
+    cost:
+        Weighted k-means cost of the input against ``centers``.
+    iterations:
+        Number of iterations actually performed.
+    converged:
+        True if the assignment stopped changing (or center movement fell
+        below tolerance) before the iteration limit.
+    """
+
+    centers: np.ndarray
+    cost: float
+    iterations: int
+    converged: bool
+
+
+def lloyd_iterations(
+    points: np.ndarray,
+    centers: np.ndarray,
+    weights: np.ndarray | None = None,
+    max_iterations: int = 20,
+    tolerance: float = 1e-7,
+) -> LloydResult:
+    """Refine ``centers`` with weighted Lloyd iterations.
+
+    Empty clusters are re-seeded with the point that currently has the
+    largest weighted squared distance to its assigned center, which keeps the
+    number of clusters constant (a standard remedy, also used by scikit-learn
+    and MLlib).
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    centers:
+        Initial centers of shape ``(k, d)``; not modified in place.
+    weights:
+        Optional non-negative weights of shape ``(n,)``.
+    max_iterations:
+        Upper bound on the number of assignment/update rounds.
+    tolerance:
+        Convergence threshold on the total squared movement of centers.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    ctr = np.array(centers, dtype=np.float64, copy=True)
+    if pts.ndim != 2 or ctr.ndim != 2:
+        raise ValueError("points and centers must both be 2-D arrays")
+    n = pts.shape[0]
+    k = ctr.shape[0]
+    if weights is None:
+        w = np.ones(n, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+
+    if n == 0 or max_iterations <= 0:
+        return LloydResult(
+            centers=ctr,
+            cost=kmeans_cost(pts, ctr, w if n else None),
+            iterations=0,
+            converged=True,
+        )
+
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        labels, sq = assign_points(pts, ctr)
+
+        new_centers = np.zeros_like(ctr)
+        cluster_weight = np.zeros(k, dtype=np.float64)
+        np.add.at(new_centers, labels, pts * w[:, None])
+        np.add.at(cluster_weight, labels, w)
+
+        empty = cluster_weight <= 0.0
+        occupied = ~empty
+        new_centers[occupied] /= cluster_weight[occupied, None]
+
+        if np.any(empty):
+            # Re-seed each empty cluster with the currently worst-served point.
+            weighted_sq = w * sq
+            order = np.argsort(weighted_sq)[::-1]
+            cursor = 0
+            for idx in np.flatnonzero(empty):
+                new_centers[idx] = pts[order[cursor % n]]
+                cursor += 1
+
+        movement = float(np.sum((new_centers - ctr) ** 2))
+        ctr = new_centers
+        if movement <= tolerance:
+            converged = True
+            break
+
+    return LloydResult(
+        centers=ctr,
+        cost=kmeans_cost(pts, ctr, w),
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,106 @@
+"""Sequential (MacQueen / online Lloyd's) k-means.
+
+MacQueen's 1967 algorithm maintains ``k`` centers and, for each arriving
+point, moves the nearest center toward the point by the centroid-update rule
+
+    c' = (w * c + p) / (w + 1)
+
+where ``w`` is the number of points currently assigned to ``c``.  It is very
+fast (O(kd) per point, O(1) per query) but has no approximation guarantee; the
+paper uses it both as a baseline (via the Spark MLlib implementation, modified
+to run sequentially with first-k initialisation) and as the fast path of the
+OnlineCC algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SequentialKMeansState"]
+
+
+class SequentialKMeansState:
+    """Incrementally-maintained centers under the MacQueen update rule.
+
+    The state is deliberately minimal so that it can be embedded both in the
+    standalone :class:`repro.baselines.sequential.SequentialKMeans` baseline
+    and in :class:`repro.core.online_cc.OnlineCC`.
+
+    Parameters
+    ----------
+    k:
+        Number of centers to maintain.
+    dimension:
+        Dimensionality of the input points.
+    """
+
+    def __init__(self, k: int, dimension: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.k = k
+        self.dimension = dimension
+        self._centers = np.zeros((k, dimension), dtype=np.float64)
+        self._weights = np.zeros(k, dtype=np.float64)
+        self._initialized = 0
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Current centers (only the initialised rows are meaningful)."""
+        return self._centers
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Number of points (weight) absorbed by each center."""
+        return self._weights
+
+    @property
+    def is_initialized(self) -> bool:
+        """True once all ``k`` centers have been seeded."""
+        return self._initialized >= self.k
+
+    def set_centers(self, centers: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Replace the maintained centers (used when OnlineCC falls back to CC)."""
+        ctr = np.asarray(centers, dtype=np.float64)
+        if ctr.shape != (self.k, self.dimension):
+            raise ValueError(
+                f"centers must have shape ({self.k}, {self.dimension}), got {ctr.shape}"
+            )
+        self._centers = ctr.copy()
+        if weights is None:
+            self._weights = np.ones(self.k, dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (self.k,):
+                raise ValueError(f"weights must have shape ({self.k},), got {w.shape}")
+            self._weights = np.maximum(w.copy(), 1.0)
+        self._initialized = self.k
+
+    def update(self, point: np.ndarray) -> float:
+        """Absorb one point and return its squared distance to the center it joined.
+
+        During the initialisation phase (first ``k`` distinct arrivals) the
+        point simply becomes a new center, mirroring the paper's choice of
+        seeding with the first ``k`` points of the stream; the returned
+        distance is then 0.
+        """
+        p = np.asarray(point, dtype=np.float64).reshape(-1)
+        if p.shape[0] != self.dimension:
+            raise ValueError(
+                f"point has dimension {p.shape[0]}, expected {self.dimension}"
+            )
+        if self._initialized < self.k:
+            idx = self._initialized
+            self._centers[idx] = p
+            self._weights[idx] = 1.0
+            self._initialized += 1
+            return 0.0
+
+        diffs = self._centers - p[None, :]
+        sq = np.einsum("ij,ij->i", diffs, diffs)
+        nearest = int(np.argmin(sq))
+        w = self._weights[nearest]
+        self._centers[nearest] = (w * self._centers[nearest] + p) / (w + 1.0)
+        self._weights[nearest] = w + 1.0
+        return float(sq[nearest])

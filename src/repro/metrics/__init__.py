@@ -1,0 +1,16 @@
+"""Evaluation metrics: timing, memory, and clustering accuracy."""
+
+from .accuracy import center_set_distance, cost_ratio, sse
+from .memory import BYTES_PER_VALUE, MemoryUsage, peak
+from .timing import Stopwatch, TimingBreakdown
+
+__all__ = [
+    "center_set_distance",
+    "cost_ratio",
+    "sse",
+    "BYTES_PER_VALUE",
+    "MemoryUsage",
+    "peak",
+    "Stopwatch",
+    "TimingBreakdown",
+]

@@ -1,0 +1,65 @@
+"""Clustering-accuracy metrics.
+
+The paper's accuracy metric is the k-means cost (within-cluster sum of
+squares, SSQ) of the returned centers evaluated on the *entire* point set
+observed so far.  This module wraps that plus a couple of auxiliary measures
+(cost ratio to a reference solution, center-set distance) used by the tests to
+verify that the streaming algorithms track the batch baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kmeans.cost import kmeans_cost
+
+__all__ = ["sse", "cost_ratio", "center_set_distance"]
+
+
+def sse(points: np.ndarray, centers: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Within-cluster sum of squares of ``points`` against ``centers``.
+
+    This is an alias of :func:`repro.kmeans.cost.kmeans_cost` named after the
+    paper's SSQ terminology.
+    """
+    return kmeans_cost(points, centers, weights)
+
+
+def cost_ratio(
+    points: np.ndarray,
+    centers: np.ndarray,
+    reference_centers: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Cost of ``centers`` divided by the cost of ``reference_centers``.
+
+    A ratio near 1 means the candidate solution matches the reference (for
+    example, a streaming algorithm matching batch k-means++); values below 1
+    mean the candidate is actually better on this dataset.
+    """
+    reference = kmeans_cost(points, reference_centers, weights)
+    candidate = kmeans_cost(points, centers, weights)
+    if reference <= 0.0:
+        return np.inf if candidate > 0.0 else 1.0
+    return candidate / reference
+
+
+def center_set_distance(centers_a: np.ndarray, centers_b: np.ndarray) -> float:
+    """Symmetric Hausdorff-style distance between two center sets.
+
+    For each center in one set, the distance to the nearest center of the
+    other set is taken; the maximum over both directions is returned.  Used
+    in tests to check that repeated queries return stable solutions.
+    """
+    a = np.asarray(centers_a, dtype=np.float64)
+    b = np.asarray(centers_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("center sets must be 2-D arrays")
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ValueError("center sets must be non-empty")
+
+    diffs = a[:, None, :] - b[None, :, :]
+    sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+    a_to_b = np.sqrt(np.min(sq, axis=1)).max()
+    b_to_a = np.sqrt(np.min(sq, axis=0)).max()
+    return float(max(a_to_b, b_to_a))

@@ -1,0 +1,53 @@
+"""Memory accounting in points and bytes (the paper's Table 4 convention).
+
+The paper measures memory as the number of points stored by the internal data
+structures (coreset tree + coreset cache + any online state) and converts to
+bytes assuming 8 bytes (a double) per dimension per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryUsage", "BYTES_PER_VALUE"]
+
+BYTES_PER_VALUE = 8  # one IEEE-754 double per coordinate, as in the paper
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """Snapshot of an algorithm's memory footprint.
+
+    Attributes
+    ----------
+    points_stored:
+        Number of (weighted) points held by the algorithm's state.
+    dimension:
+        Dimensionality of each point.
+    """
+
+    points_stored: int
+    dimension: int
+
+    def __post_init__(self) -> None:
+        if self.points_stored < 0:
+            raise ValueError("points_stored must be non-negative")
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+
+    @property
+    def bytes_estimate(self) -> int:
+        """Estimated bytes: points * dimension * 8."""
+        return self.points_stored * self.dimension * BYTES_PER_VALUE
+
+    @property
+    def megabytes(self) -> float:
+        """Estimated size in binary megabytes, as reported in Table 4."""
+        return self.bytes_estimate / (1024.0 * 1024.0)
+
+
+def peak(usages: list[MemoryUsage]) -> MemoryUsage:
+    """The snapshot with the largest point count (peak usage over a run)."""
+    if not usages:
+        raise ValueError("peak requires at least one snapshot")
+    return max(usages, key=lambda usage: usage.points_stored)

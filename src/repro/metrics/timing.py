@@ -1,0 +1,107 @@
+"""Timing accounting: separate update-time and query-time accumulators.
+
+The paper reports runtime in two parts (Section 5.2): *update time* (the time
+to ingest new points) and *query time* (the time to answer cluster-center
+queries), each reported both in total over the stream and averaged per point.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["TimingBreakdown", "Stopwatch"]
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulated update and query times for one algorithm run.
+
+    All durations are in seconds.
+    """
+
+    update_seconds: float = 0.0
+    query_seconds: float = 0.0
+    num_updates: int = 0
+    num_queries: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Update time plus query time."""
+        return self.update_seconds + self.query_seconds
+
+    def add_update(self, seconds: float, num_points: int = 1) -> None:
+        """Record time spent ingesting ``num_points`` points."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.update_seconds += seconds
+        self.num_updates += num_points
+
+    def add_query(self, seconds: float) -> None:
+        """Record time spent answering one clustering query."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.query_seconds += seconds
+        self.num_queries += 1
+
+    def update_time_per_point(self) -> float:
+        """Average update time per ingested point (seconds)."""
+        if self.num_updates == 0:
+            return 0.0
+        return self.update_seconds / self.num_updates
+
+    def query_time_per_point(self) -> float:
+        """Query time amortised over ingested points (seconds), as in the paper."""
+        if self.num_updates == 0:
+            return 0.0
+        return self.query_seconds / self.num_updates
+
+    def query_time_per_query(self) -> float:
+        """Average wall-clock time of a single query (seconds)."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.query_seconds / self.num_queries
+
+    def total_time_per_point(self) -> float:
+        """Total (update + query) time amortised per ingested point (seconds)."""
+        if self.num_updates == 0:
+            return 0.0
+        return self.total_seconds / self.num_updates
+
+    def merged_with(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        """Sum of two breakdowns (useful when aggregating repeated runs)."""
+        return TimingBreakdown(
+            update_seconds=self.update_seconds + other.update_seconds,
+            query_seconds=self.query_seconds + other.query_seconds,
+            num_updates=self.num_updates + other.num_updates,
+            num_queries=self.num_queries + other.num_queries,
+        )
+
+
+class Stopwatch:
+    """Tiny perf_counter-based stopwatch with a context-manager interface."""
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds accumulated so far."""
+        return self._elapsed
+
+    @contextmanager
+    def measure(self):
+        """Context manager that adds the block's duration to the stopwatch."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._elapsed += time.perf_counter() - start
+
+    @staticmethod
+    def time_call(func, *args, **kwargs) -> tuple[float, object]:
+        """Call ``func`` and return ``(elapsed_seconds, result)``."""
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return time.perf_counter() - start, result

@@ -1,0 +1,5 @@
+"""Query-arrival schedules for the benchmark harness."""
+
+from .schedule import FixedIntervalSchedule, PoissonSchedule, QuerySchedule
+
+__all__ = ["FixedIntervalSchedule", "PoissonSchedule", "QuerySchedule"]

@@ -1,0 +1,90 @@
+"""Query-arrival schedules: fixed interval and Poisson process.
+
+The paper evaluates two query models (Section 5.2):
+
+* a **fixed interval** ``q``: one clustering query every ``q`` points
+  (default ``q = 100``), and
+* a **Poisson process** with arrival rate ``lambda``: inter-arrival gaps are
+  exponentially distributed with mean ``1 / lambda`` points, with
+  ``1 / lambda`` swept over {50, 100, 200, 400, 800, 1600, 3200}.
+
+A schedule is consumed as a sorted list of 1-based point indices: a query
+fires immediately *after* the point with that index has been processed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["QuerySchedule", "FixedIntervalSchedule", "PoissonSchedule"]
+
+
+class QuerySchedule(ABC):
+    """Produces the stream positions at which clustering queries fire."""
+
+    @abstractmethod
+    def query_positions(self, stream_length: int) -> np.ndarray:
+        """Sorted, unique, 1-based positions in ``[1, stream_length]``."""
+
+    def count(self, stream_length: int) -> int:
+        """Number of queries that fire over a stream of the given length."""
+        return int(self.query_positions(stream_length).shape[0])
+
+
+class FixedIntervalSchedule(QuerySchedule):
+    """One query every ``interval`` points (after points q, 2q, 3q, ...)."""
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+
+    def query_positions(self, stream_length: int) -> np.ndarray:
+        if stream_length <= 0:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(self.interval, stream_length + 1, self.interval, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"FixedIntervalSchedule(interval={self.interval})"
+
+
+class PoissonSchedule(QuerySchedule):
+    """Poisson query arrivals with the given rate (per point).
+
+    The inter-arrival gaps are exponential with mean ``1 / rate`` points,
+    rounded up to at least one point so two queries never land on the same
+    position.
+    """
+
+    def __init__(self, rate: float, seed: int | None = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    @classmethod
+    def from_mean_interval(cls, mean_interval: float, seed: int | None = None) -> "PoissonSchedule":
+        """Build a schedule whose mean inter-query gap is ``mean_interval`` points."""
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        return cls(rate=1.0 / mean_interval, seed=seed)
+
+    def query_positions(self, stream_length: int) -> np.ndarray:
+        if stream_length <= 0:
+            return np.empty(0, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        positions: list[int] = []
+        current = 0.0
+        while True:
+            gap = rng.exponential(1.0 / self.rate)
+            current += max(gap, 1.0)
+            index = int(np.ceil(current))
+            if index > stream_length:
+                break
+            positions.append(index)
+        return np.unique(np.asarray(positions, dtype=np.int64))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"PoissonSchedule(rate={self.rate}, seed={self.seed})"

@@ -1,0 +1,93 @@
+"""Unit tests for the BIRCH-style CF-layer clusterer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.birch import BirchClusterer, ClusteringFeature
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestClusteringFeature:
+    def test_single_point(self):
+        cf = ClusteringFeature(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(cf.centroid, [1.0, 2.0])
+        assert cf.radius == pytest.approx(0.0)
+        assert cf.count == 1.0
+
+    def test_absorb_updates_centroid(self):
+        cf = ClusteringFeature(np.array([0.0, 0.0]))
+        cf.absorb(np.array([2.0, 0.0]))
+        np.testing.assert_allclose(cf.centroid, [1.0, 0.0])
+        assert cf.radius == pytest.approx(1.0)
+        assert cf.count == 2.0
+
+    def test_merge(self):
+        a = ClusteringFeature(np.array([0.0]))
+        b = ClusteringFeature(np.array([4.0]))
+        a.merge(b)
+        assert a.count == 2.0
+        np.testing.assert_allclose(a.centroid, [2.0])
+
+    def test_radius_never_negative(self):
+        cf = ClusteringFeature(np.array([1e8, 1e8]))
+        cf.absorb(np.array([1e8, 1e8]))
+        assert cf.radius >= 0.0
+
+
+class TestBirchClusterer:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BirchClusterer(k=0)
+        with pytest.raises(ValueError):
+            BirchClusterer(k=3, threshold=0.0)
+        with pytest.raises(ValueError):
+            BirchClusterer(k=5, max_features=3)
+
+    def test_query_before_points_raises(self):
+        with pytest.raises(RuntimeError):
+            BirchClusterer(k=2).query()
+
+    def test_nearby_points_share_a_feature(self):
+        clusterer = BirchClusterer(k=2, threshold=1.0)
+        clusterer.insert(np.array([0.0, 0.0]))
+        clusterer.insert(np.array([0.1, 0.1]))
+        assert clusterer.num_features == 1
+
+    def test_distant_points_open_new_features(self):
+        clusterer = BirchClusterer(k=2, threshold=1.0)
+        clusterer.insert(np.array([0.0, 0.0]))
+        clusterer.insert(np.array([100.0, 100.0]))
+        assert clusterer.num_features == 2
+
+    def test_capacity_bound_enforced(self, rng):
+        clusterer = BirchClusterer(k=3, threshold=0.01, max_features=20)
+        points = rng.uniform(-100, 100, size=(500, 3))
+        for point in points:
+            clusterer.insert(point)
+        assert clusterer.num_features <= 20
+        assert clusterer.stored_points() <= 20
+
+    def test_compaction_increases_threshold(self, rng):
+        clusterer = BirchClusterer(k=3, threshold=0.01, max_features=10)
+        initial_threshold = clusterer.threshold
+        for point in rng.uniform(-50, 50, size=(200, 2)):
+            clusterer.insert(point)
+        assert clusterer.threshold > initial_threshold
+
+    def test_clusters_blobs(self, blob_points, blob_centers):
+        clusterer = BirchClusterer(k=4, threshold=3.0, max_features=100, seed=0)
+        for point in blob_points:
+            clusterer.insert(point)
+        result = clusterer.query()
+        assert result.centers.shape == (4, 4)
+        cost = kmeans_cost(blob_points, result.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 5.0 * reference
+
+    def test_points_seen(self, blob_points):
+        clusterer = BirchClusterer(k=4)
+        for point in blob_points[:55]:
+            clusterer.insert(point)
+        assert clusterer.points_seen == 55

@@ -1,0 +1,93 @@
+"""Unit tests for the CluStream microcluster clusterer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.clustream import CluStreamClusterer, MicroCluster
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestMicroCluster:
+    def test_single_point(self):
+        mc = MicroCluster(np.array([1.0, 1.0]), timestamp=5)
+        np.testing.assert_allclose(mc.centroid, [1.0, 1.0])
+        assert mc.rms_radius == pytest.approx(0.0)
+        assert mc.mean_timestamp == pytest.approx(5.0)
+
+    def test_absorb(self):
+        mc = MicroCluster(np.array([0.0]), timestamp=1)
+        mc.absorb(np.array([2.0]), timestamp=3)
+        np.testing.assert_allclose(mc.centroid, [1.0])
+        assert mc.mean_timestamp == pytest.approx(2.0)
+        assert mc.last_update == 3
+
+    def test_merge(self):
+        a = MicroCluster(np.array([0.0]), timestamp=1)
+        b = MicroCluster(np.array([4.0]), timestamp=9)
+        a.merge(b)
+        assert a.count == 2.0
+        np.testing.assert_allclose(a.centroid, [2.0])
+        assert a.last_update == 9
+
+
+class TestCluStreamClusterer:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CluStreamClusterer(k=0)
+        with pytest.raises(ValueError):
+            CluStreamClusterer(k=10, num_microclusters=5)
+
+    def test_default_microcluster_budget(self):
+        assert CluStreamClusterer(k=7).num_microclusters == 70
+
+    def test_query_before_points_raises(self):
+        with pytest.raises(RuntimeError):
+            CluStreamClusterer(k=2).query()
+
+    def test_budget_enforced(self, rng):
+        clusterer = CluStreamClusterer(k=3, num_microclusters=15, seed=0)
+        for point in rng.uniform(-100, 100, size=(400, 3)):
+            clusterer.insert(point)
+        assert clusterer.num_active_microclusters <= 15
+        assert clusterer.stored_points() <= 15
+
+    def test_nearby_points_absorbed(self):
+        clusterer = CluStreamClusterer(k=2, num_microclusters=10)
+        clusterer.insert(np.array([0.0, 0.0]))
+        clusterer.insert(np.array([10.0, 0.0]))
+        # Third point is close to the first microcluster (within the singleton
+        # boundary, which is the distance to the nearest other centroid).
+        clusterer.insert(np.array([0.5, 0.0]))
+        assert clusterer.num_active_microclusters == 2
+
+    def test_clusters_blobs(self, blob_points, blob_centers):
+        clusterer = CluStreamClusterer(k=4, num_microclusters=40, seed=0)
+        for point in blob_points:
+            clusterer.insert(point)
+        result = clusterer.query()
+        cost = kmeans_cost(blob_points, result.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 5.0 * reference
+
+    def test_points_seen(self, blob_points):
+        clusterer = CluStreamClusterer(k=3)
+        for point in blob_points[:42]:
+            clusterer.insert(point)
+        assert clusterer.points_seen == 42
+
+    def test_stale_cluster_deleted_under_drift(self):
+        clusterer = CluStreamClusterer(
+            k=2, num_microclusters=4, recency_horizon=50, seed=0
+        )
+        rng = np.random.default_rng(0)
+        # Old regime.
+        for point in rng.normal(loc=0.0, size=(100, 2)):
+            clusterer.insert(point)
+        # New regime far away, long after: old microclusters become stale and
+        # must eventually be evicted rather than merged forever.
+        for offset in (100.0, 200.0, 300.0, 400.0, 500.0):
+            for point in rng.normal(loc=offset, size=(60, 2)):
+                clusterer.insert(point)
+        assert clusterer.num_active_microclusters <= 4

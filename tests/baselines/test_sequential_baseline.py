@@ -1,0 +1,76 @@
+"""Unit tests for the Sequential k-means streaming baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential import SequentialKMeans
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestSequentialKMeans:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SequentialKMeans(0)
+
+    def test_query_before_points_raises(self):
+        clusterer = SequentialKMeans(3)
+        with pytest.raises(RuntimeError, match="before any point"):
+            clusterer.query()
+
+    def test_centers_none_before_points(self):
+        assert SequentialKMeans(3).centers is None
+
+    def test_query_is_constant_size(self, blob_points):
+        clusterer = SequentialKMeans(4)
+        clusterer.insert_many(blob_points)
+        result = clusterer.query()
+        assert result.centers.shape == (4, blob_points.shape[1])
+        assert result.from_cache
+        assert result.coreset_points == 0
+
+    def test_stored_points_is_k(self, blob_points):
+        clusterer = SequentialKMeans(7)
+        clusterer.insert_many(blob_points[:50])
+        assert clusterer.stored_points() == 7
+
+    def test_points_seen(self, blob_points):
+        clusterer = SequentialKMeans(4)
+        clusterer.insert_many(blob_points[:321])
+        assert clusterer.points_seen == 321
+
+    def test_reasonable_on_easy_blobs(self, blob_points, blob_centers):
+        clusterer = SequentialKMeans(4)
+        clusterer.insert_many(blob_points)
+        cost = kmeans_cost(blob_points, clusterer.query().centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        # Sequential k-means has no guarantee but should not be absurd on
+        # well-separated blobs when the first k points hit distinct clusters.
+        assert cost < 100.0 * reference
+
+    def test_worse_than_coreset_algorithms_on_skewed_data(self):
+        """The qualitative Figure 4 relationship: Sequential trails CC badly."""
+        from repro.core.base import StreamingConfig
+        from repro.core.driver import CachedCoresetTreeClusterer
+
+        rng = np.random.default_rng(3)
+        # Highly imbalanced clusters: the first k points all come from one
+        # giant cluster, which is the failure mode of first-k initialisation.
+        big = rng.normal(loc=0.0, scale=1.0, size=(3000, 6))
+        small_clusters = [
+            rng.normal(loc=50.0 * (i + 1), scale=1.0, size=(30, 6)) for i in range(5)
+        ]
+        points = np.vstack([big, *small_clusters])
+
+        sequential = SequentialKMeans(6)
+        sequential.insert_many(points)
+        seq_cost = kmeans_cost(points, sequential.query().centers)
+
+        cc = CachedCoresetTreeClusterer(
+            StreamingConfig(k=6, coreset_size=120, n_init=3, lloyd_iterations=10, seed=0)
+        )
+        cc.insert_many(points)
+        cc_cost = kmeans_cost(points, cc.query().centers)
+
+        assert seq_cost > 2.0 * cc_cost

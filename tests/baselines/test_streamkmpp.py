@@ -1,0 +1,48 @@
+"""Unit tests for the streamkm++ baseline wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.streamkmpp import StreamKMpp, streamkmpp_config
+from repro.core.base import StreamingConfig
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestStreamKMppConfig:
+    def test_merge_degree_forced_to_two(self):
+        config = StreamingConfig(k=5, merge_degree=8)
+        pinned = streamkmpp_config(config)
+        assert pinned.merge_degree == 2
+        assert pinned.k == 5
+
+    def test_other_fields_preserved(self):
+        config = StreamingConfig(k=5, coreset_size=77, seed=9, n_init=4)
+        pinned = streamkmpp_config(config)
+        assert pinned.coreset_size == 77
+        assert pinned.seed == 9
+        assert pinned.n_init == 4
+
+
+class TestStreamKMpp:
+    def test_is_binary_coreset_tree(self, small_config):
+        clusterer = StreamKMpp(small_config)
+        assert clusterer.tree.merge_degree == 2
+
+    def test_overrides_other_merge_degree(self):
+        config = StreamingConfig(k=4, coreset_size=50, merge_degree=5, seed=1)
+        clusterer = StreamKMpp(config)
+        assert clusterer.tree.merge_degree == 2
+
+    def test_end_to_end_quality(self, small_config, blob_points, blob_centers):
+        clusterer = StreamKMpp(small_config)
+        clusterer.insert_many(blob_points)
+        result = clusterer.query()
+        cost = kmeans_cost(blob_points, result.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 3.0 * reference
+
+    def test_query_center_count(self, small_config, blob_points):
+        clusterer = StreamKMpp(small_config)
+        clusterer.insert_many(blob_points[:700])
+        assert clusterer.query().centers.shape[0] == small_config.k

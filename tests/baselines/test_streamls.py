@@ -1,0 +1,64 @@
+"""Unit tests for the STREAMLS-style divide-and-conquer clusterer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.streamls import StreamLSClusterer
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestStreamLSClusterer:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StreamLSClusterer(k=0)
+        with pytest.raises(ValueError):
+            StreamLSClusterer(k=3, fanout=1)
+        with pytest.raises(ValueError):
+            StreamLSClusterer(k=3, chunk_size=0)
+
+    def test_default_chunk_size(self):
+        assert StreamLSClusterer(k=5).chunk_size == 200
+
+    def test_query_before_points_raises(self):
+        with pytest.raises(RuntimeError):
+            StreamLSClusterer(k=2).query()
+
+    def test_query_from_partial_chunk(self, rng):
+        clusterer = StreamLSClusterer(k=3, chunk_size=100, seed=0)
+        for point in rng.normal(size=(30, 2)):
+            clusterer.insert(point)
+        result = clusterer.query()
+        assert result.centers.shape == (3, 2)
+
+    def test_representatives_bounded(self, rng):
+        clusterer = StreamLSClusterer(k=3, chunk_size=50, fanout=4, seed=0)
+        for point in rng.normal(size=(2000, 2)):
+            clusterer.insert(point)
+        # Stored points: buffer (< chunk) plus at most fanout*k per level and
+        # only logarithmically many levels.
+        assert clusterer.stored_points() < 50 + 4 * 3 * 10
+
+    def test_promotion_to_higher_levels(self, rng):
+        clusterer = StreamLSClusterer(k=2, chunk_size=20, fanout=2, seed=0)
+        for point in rng.normal(size=(400, 2)):
+            clusterer.insert(point)
+        # After 20 chunks with fanout 2, several levels of promotion must have
+        # occurred, so the representative count stays small.
+        assert clusterer.stored_points() < 400
+
+    def test_clusters_blobs(self, blob_points, blob_centers):
+        clusterer = StreamLSClusterer(k=4, chunk_size=200, seed=0)
+        for point in blob_points:
+            clusterer.insert(point)
+        result = clusterer.query()
+        cost = kmeans_cost(blob_points, result.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 4.0 * reference
+
+    def test_points_seen(self, blob_points):
+        clusterer = StreamLSClusterer(k=3)
+        for point in blob_points[:77]:
+            clusterer.insert(point)
+        assert clusterer.points_seen == 77

@@ -1,0 +1,124 @@
+"""Unit tests for the experiment harness and algorithm registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential import SequentialKMeans
+from repro.baselines.streamkmpp import StreamKMpp
+from repro.bench.harness import (
+    ALGORITHM_NAMES,
+    StreamingExperiment,
+    make_algorithm,
+    run_experiment,
+)
+from repro.core.base import StreamingConfig
+from repro.core.driver import (
+    CachedCoresetTreeClusterer,
+    CoresetTreeClusterer,
+    RecursiveCachedClusterer,
+)
+from repro.core.online_cc import OnlineCCClusterer
+from repro.queries.schedule import FixedIntervalSchedule, PoissonSchedule
+
+
+@pytest.fixture()
+def config() -> StreamingConfig:
+    return StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=0)
+
+
+class TestMakeAlgorithm:
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [
+            ("sequential", SequentialKMeans),
+            ("streamkm++", StreamKMpp),
+            ("streamkmpp", StreamKMpp),
+            ("ct", CoresetTreeClusterer),
+            ("cc", CachedCoresetTreeClusterer),
+            ("rcc", RecursiveCachedClusterer),
+            ("onlinecc", OnlineCCClusterer),
+        ],
+    )
+    def test_registry_dispatch(self, config, name, expected_type):
+        algorithm = make_algorithm(name, config)
+        assert isinstance(algorithm, expected_type)
+
+    def test_case_insensitive(self, config):
+        assert isinstance(make_algorithm("CC", config), CachedCoresetTreeClusterer)
+
+    def test_unknown_name_raises(self, config):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_algorithm("dbscan", config)
+
+    def test_all_registry_names_constructible(self, config):
+        for name in ALGORITHM_NAMES:
+            assert make_algorithm(name, config) is not None
+
+    def test_parameters_forwarded(self, config):
+        rcc = make_algorithm("rcc", config, nesting_depth=1)
+        assert rcc.recursive_tree.nesting_depth == 1
+        online = make_algorithm("onlinecc", config, switch_threshold=3.0)
+        assert online.switch_threshold == 3.0
+
+
+class TestRunExperiment:
+    def test_basic_run(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="cc", config=config, schedule=FixedIntervalSchedule(500)
+        )
+        result = run_experiment(experiment, blob_points)
+        assert result.algorithm == "cc"
+        assert result.final_centers.shape == (4, 4)
+        assert result.final_cost > 0.0
+        assert result.num_queries == blob_points.shape[0] // 500
+        assert result.timing.num_updates == blob_points.shape[0]
+        assert result.timing.num_queries == result.num_queries
+        assert result.memory.points_stored > 0
+        assert result.memory.dimension == 4
+
+    def test_query_fires_even_if_schedule_empty(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="sequential",
+            config=config,
+            schedule=FixedIntervalSchedule(10_000_000),
+        )
+        result = run_experiment(experiment, blob_points[:300])
+        assert result.num_queries == 1
+        assert result.final_centers.shape[0] == 4
+
+    def test_track_query_costs(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="cc",
+            config=config,
+            schedule=FixedIntervalSchedule(500),
+            track_query_costs=True,
+        )
+        result = run_experiment(experiment, blob_points[:1500])
+        assert len(result.query_costs) == 3
+        assert all(cost > 0.0 for cost in result.query_costs)
+
+    def test_poisson_schedule_runs(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="onlinecc",
+            config=config,
+            schedule=PoissonSchedule.from_mean_interval(400, seed=1),
+        )
+        result = run_experiment(experiment, blob_points[:1200])
+        assert result.num_queries >= 1
+
+    def test_invalid_points_raise(self, config):
+        experiment = StreamingExperiment(algorithm="cc", config=config)
+        with pytest.raises(ValueError):
+            run_experiment(experiment, np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            run_experiment(experiment, np.zeros(5))
+
+    def test_timing_is_positive(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="streamkm++", config=config, schedule=FixedIntervalSchedule(200)
+        )
+        result = run_experiment(experiment, blob_points[:600])
+        assert result.timing.update_seconds > 0.0
+        assert result.timing.query_seconds > 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for report-table formatting."""
+
+from __future__ import annotations
+
+from repro.bench.report import format_nested_series, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        rows = [
+            {"dataset": "Covtype", "cost": 1.234567, "points": 1000},
+            {"dataset": "Power", "cost": 2.5, "points": 2000},
+        ]
+        text = format_table(rows, title="Results")
+        assert "Results" in text
+        assert "Covtype" in text
+        assert "Power" in text
+        assert "dataset" in text
+        # Header separator present.
+        assert "---" in text
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_scientific_notation_for_large_values(self):
+        text = format_table([{"value": 1.5e9}])
+        assert "e+" in text
+
+    def test_missing_cell_rendered_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text.count("\n") == 3
+
+
+class TestFormatSeriesTable:
+    def test_one_row_per_x(self):
+        series = {"cc": {10: 1.0, 20: 2.0}, "rcc": {10: 1.5, 20: 2.5}}
+        text = format_series_table(series, x_label="k", title="Figure 4")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 4"
+        assert "k" in lines[1] and "cc" in lines[1] and "rcc" in lines[1]
+        assert len(lines) == 5  # title + header + separator + 2 data rows
+
+    def test_empty_series(self):
+        assert "(no series)" in format_series_table({}, x_label="k")
+
+    def test_union_of_x_values(self):
+        series = {"a": {1: 1.0}, "b": {2: 2.0}}
+        text = format_series_table(series, x_label="x")
+        assert len(text.splitlines()) == 4
+
+
+class TestFormatNestedSeries:
+    def test_metric_extraction(self):
+        series = {
+            "cc": {50: {"update_us": 1.0, "query_us": 5.0}},
+            "onlinecc": {50: {"update_us": 2.0, "query_us": 0.5}},
+        }
+        text = format_nested_series(series, x_label="interval", metric="query_us")
+        assert "5.0" in text
+        assert "0.5" in text
+        assert "update_us" not in text

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.core.base import StreamingConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def blob_points() -> np.ndarray:
+    """Well-separated Gaussian blobs: 4 clusters, 2000 points, 4 dimensions."""
+    generator = np.random.default_rng(7)
+    centers = np.array(
+        [
+            [0.0, 0.0, 0.0, 0.0],
+            [20.0, 0.0, 0.0, 0.0],
+            [0.0, 20.0, 0.0, 0.0],
+            [0.0, 0.0, 20.0, 0.0],
+        ]
+    )
+    blocks = [
+        generator.normal(loc=center, scale=1.0, size=(500, 4)) for center in centers
+    ]
+    points = np.vstack(blocks)
+    generator.shuffle(points, axis=0)
+    return points
+
+
+@pytest.fixture(scope="session")
+def blob_centers() -> np.ndarray:
+    """The true centers of :func:`blob_points`."""
+    return np.array(
+        [
+            [0.0, 0.0, 0.0, 0.0],
+            [20.0, 0.0, 0.0, 0.0],
+            [0.0, 20.0, 0.0, 0.0],
+            [0.0, 0.0, 20.0, 0.0],
+        ]
+    )
+
+
+@pytest.fixture()
+def small_config() -> StreamingConfig:
+    """Small, fast streaming configuration used across algorithm tests."""
+    return StreamingConfig(k=4, coreset_size=50, merge_degree=2, n_init=2, lloyd_iterations=5, seed=3)
+
+
+def make_base_bucket(points: np.ndarray, index: int) -> Bucket:
+    """Helper: wrap raw points as the ``index``-th base bucket (1-based)."""
+    return Bucket(
+        data=WeightedPointSet.from_points(points),
+        start=index,
+        end=index,
+        level=0,
+    )
+
+
+@pytest.fixture()
+def bucket_factory():
+    """Expose :func:`make_base_bucket` to tests as a fixture."""
+    return make_base_bucket

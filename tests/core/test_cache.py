@@ -1,0 +1,109 @@
+"""Unit tests for the coreset cache (prefixsum retention and eviction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CoresetCache
+from repro.core.numeral import major, prefixsum
+from repro.coreset.bucket import Bucket, WeightedPointSet
+
+
+def _prefix_bucket(end: int, size: int = 5, level: int = 1) -> Bucket:
+    return Bucket(
+        data=WeightedPointSet.from_points(np.zeros((size, 2))),
+        start=1,
+        end=end,
+        level=level,
+    )
+
+
+class TestCoresetCache:
+    def test_store_and_lookup(self):
+        cache = CoresetCache(merge_degree=2)
+        bucket = _prefix_bucket(4)
+        cache.store(bucket)
+        assert 4 in cache
+        assert cache.lookup(4) is bucket
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = CoresetCache(merge_degree=2)
+        assert cache.lookup(3) is None
+        assert cache.misses == 1
+
+    def test_store_rejects_non_prefix_span(self):
+        cache = CoresetCache(merge_degree=2)
+        bad = Bucket(
+            data=WeightedPointSet.from_points(np.zeros((2, 2))), start=2, end=5, level=1
+        )
+        with pytest.raises(ValueError, match="prefix"):
+            cache.store(bad)
+
+    def test_eviction_keeps_prefixsum_and_current(self):
+        cache = CoresetCache(merge_degree=2)
+        for end in range(1, 12):
+            cache.store(_prefix_bucket(end))
+        n = 11
+        dropped = cache.evict_stale(n)
+        expected_keys = (prefixsum(n, 2) | {n}) & set(range(1, 12))
+        assert cache.keys() == expected_keys
+        assert dropped == 11 - len(expected_keys)
+
+    def test_stored_points(self):
+        cache = CoresetCache(merge_degree=3)
+        cache.store(_prefix_bucket(1, size=4))
+        cache.store(_prefix_bucket(3, size=6))
+        assert cache.stored_points() == 10
+
+    def test_clear(self):
+        cache = CoresetCache(merge_degree=2)
+        cache.store(_prefix_bucket(2))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_buckets_listing_does_not_affect_stats(self):
+        cache = CoresetCache(merge_degree=2)
+        cache.store(_prefix_bucket(2))
+        _ = cache.buckets()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_merge_degree(self):
+        with pytest.raises(ValueError):
+            CoresetCache(merge_degree=1)
+
+    def test_store_overwrites_same_key(self):
+        cache = CoresetCache(merge_degree=2)
+        first = _prefix_bucket(5, size=3)
+        second = _prefix_bucket(5, size=9)
+        cache.store(first)
+        cache.store(second)
+        assert len(cache) == 1
+        assert cache.lookup(5).size == 9
+
+
+class TestCacheInvariantUnderQueryEveryBucket:
+    """Lemma 4: querying after every bucket keeps major(N, r) available."""
+
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_major_always_available(self, r):
+        cache = CoresetCache(merge_degree=r)
+        for n in range(1, 200):
+            n1 = major(n, r)
+            if n1 > 0:
+                assert n1 in cache, f"major({n},{r})={n1} missing from cache"
+            # Simulate the query: store the coreset for [1, n], then evict.
+            cache.store(_prefix_bucket(n))
+            cache.evict_stale(n)
+
+    @pytest.mark.parametrize("r", [2, 3, 5])
+    def test_cache_size_stays_logarithmic(self, r):
+        cache = CoresetCache(merge_degree=r)
+        import math
+
+        for n in range(1, 500):
+            cache.store(_prefix_bucket(n))
+            cache.evict_stale(n)
+            bound = int(math.log(n, r)) + 2
+            assert len(cache) <= bound

@@ -1,0 +1,141 @@
+"""Unit tests for the cached coreset tree (CC, Algorithm 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cached_tree import CachedCoresetTree
+from repro.core.numeral import major, prefixsum
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.coreset.construction import make_constructor
+
+
+def _base_bucket(index: int, num_points: int = 30, dimension: int = 2) -> Bucket:
+    rng = np.random.default_rng(index)
+    return Bucket(
+        data=WeightedPointSet.from_points(rng.normal(size=(num_points, dimension))),
+        start=index,
+        end=index,
+        level=0,
+    )
+
+
+def _make_cc(r: int = 2, m: int = 30) -> CachedCoresetTree:
+    constructor = make_constructor(k=3, coreset_size=m, seed=0)
+    return CachedCoresetTree(constructor, merge_degree=r)
+
+
+class TestCachedCoresetTreeQueries:
+    def test_query_returns_coreset_of_size_m(self):
+        cc = _make_cc(m=30)
+        for n in range(1, 9):
+            cc.insert_bucket(_base_bucket(n))
+        coreset = cc.query_coreset()
+        assert 0 < coreset.size <= 30
+
+    def test_query_empty_structure(self):
+        cc = _make_cc()
+        coreset = cc.query_coreset()
+        assert coreset.size == 0
+
+    def test_query_bucket_spans_everything(self):
+        cc = _make_cc()
+        for n in range(1, 14):
+            cc.insert_bucket(_base_bucket(n))
+            bucket = cc.query_coreset_bucket()
+            assert bucket.start == 1
+            assert bucket.end == n
+
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_cache_keys_follow_prefixsum(self, r):
+        cc = _make_cc(r=r)
+        for n in range(1, 40):
+            cc.insert_bucket(_base_bucket(n))
+            cc.query_coreset()
+            expected = prefixsum(n, r) | {n}
+            assert cc.cache.keys() <= expected
+            assert n in cc.cache.keys()
+
+    @pytest.mark.parametrize("r", [2, 3])
+    def test_no_fallback_when_querying_every_bucket(self, r):
+        """Lemma 4: with a query after every bucket, major(N) is always cached."""
+        cc = _make_cc(r=r)
+        for n in range(1, 60):
+            cc.insert_bucket(_base_bucket(n))
+            cc.query_coreset()
+        assert cc.fallback_count == 0
+
+    def test_fallback_used_when_queries_are_sparse(self):
+        cc = _make_cc(r=2)
+        # Insert many buckets, querying only once at a point where the needed
+        # prefix was never cached.
+        for n in range(1, 12):
+            cc.insert_bucket(_base_bucket(n))
+        cc.query_coreset()
+        assert cc.fallback_count >= 1
+
+    def test_repeated_query_same_n_served_from_cache(self):
+        cc = _make_cc()
+        for n in range(1, 6):
+            cc.insert_bucket(_base_bucket(n))
+        first = cc.query_coreset_bucket()
+        before = cc.cached_answer_count
+        second = cc.query_coreset_bucket()
+        assert second is first
+        assert cc.cached_answer_count == before + 1
+
+    def test_level_bound_lemma5(self):
+        """Lemma 5: the returned coreset level is at most ceil(2 log_r N) - 1."""
+        for r in (2, 3):
+            cc = _make_cc(r=r)
+            for n in range(1, 65):
+                cc.insert_bucket(_base_bucket(n))
+                bucket = cc.query_coreset_bucket()
+                if n == 1:
+                    continue
+                bound = math.ceil(2 * math.log(n, r))
+                assert bucket.level <= max(bound, 1), f"r={r}, N={n}, level={bucket.level}"
+
+    def test_memory_within_constant_factor_of_tree(self):
+        cc = _make_cc(r=2, m=30)
+        for n in range(1, 40):
+            cc.insert_bucket(_base_bucket(n, num_points=30))
+            cc.query_coreset()
+        tree_points = cc.tree.stored_points()
+        assert cc.stored_points() <= 3 * tree_points + 30
+
+    def test_max_level_accounts_for_cache(self):
+        cc = _make_cc()
+        for n in range(1, 20):
+            cc.insert_bucket(_base_bucket(n))
+            cc.query_coreset()
+        assert cc.max_level() >= cc.tree.max_level()
+
+
+class TestCachedCoresetTreeUpdates:
+    def test_update_identical_to_ct(self):
+        """CC-Update is exactly CT-Update: same tree shape as a plain CT."""
+        from repro.core.coreset_tree import CoresetTree
+
+        constructor_a = make_constructor(k=3, coreset_size=30, seed=0)
+        constructor_b = make_constructor(k=3, coreset_size=30, seed=0)
+        cc = CachedCoresetTree(constructor_a, merge_degree=3)
+        ct = CoresetTree(constructor_b, merge_degree=3)
+        for n in range(1, 30):
+            cc.insert_bucket(_base_bucket(n))
+            ct.insert_bucket(_base_bucket(n))
+            assert [len(level) for level in cc.tree.levels] == [
+                len(level) for level in ct.levels
+            ]
+
+    def test_num_base_buckets(self):
+        cc = _make_cc()
+        for n in range(1, 6):
+            cc.insert_bucket(_base_bucket(n))
+        assert cc.num_base_buckets == 5
+
+    def test_merge_degree_property(self):
+        assert _make_cc(r=4).merge_degree == 4

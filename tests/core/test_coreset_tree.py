@@ -1,0 +1,153 @@
+"""Unit tests for the r-way merging coreset tree (CT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coreset_tree import CoresetTree
+from repro.core.numeral import digits
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.coreset.construction import make_constructor
+
+
+def _base_bucket(index: int, num_points: int = 30, dimension: int = 2, seed: int | None = None) -> Bucket:
+    rng = np.random.default_rng(index if seed is None else seed)
+    return Bucket(
+        data=WeightedPointSet.from_points(rng.normal(size=(num_points, dimension))),
+        start=index,
+        end=index,
+        level=0,
+    )
+
+
+def _make_tree(r: int = 2, m: int = 30) -> CoresetTree:
+    constructor = make_constructor(k=3, coreset_size=m, seed=0)
+    return CoresetTree(constructor, merge_degree=r)
+
+
+class TestCoresetTreeStructure:
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_bucket_counts_follow_base_r_digits(self, r):
+        """The number of buckets per level equals the base-r digits of N."""
+        tree = _make_tree(r=r)
+        for n in range(1, 30):
+            tree.insert_bucket(_base_bucket(n))
+            per_level = {alpha: beta for beta, alpha in digits(n, r)}
+            for level in range(tree.max_level() + 1):
+                expected = per_level.get(level, 0)
+                assert len(tree.buckets_at_level(level)) == expected, (
+                    f"N={n}, level={level}"
+                )
+
+    def test_level_counts_match_figure1(self):
+        """Reproduce Figure 1: a 3-way tree after 1, 4, 6, and 9 base buckets."""
+        tree = _make_tree(r=3)
+        snapshots = {}
+        for n in range(1, 10):
+            tree.insert_bucket(_base_bucket(n))
+            snapshots[n] = [len(tree.buckets_at_level(j)) for j in range(3)]
+        assert snapshots[1] == [1, 0, 0]
+        assert snapshots[4] == [1, 1, 0]
+        assert snapshots[6] == [0, 2, 0]
+        assert snapshots[9] == [0, 0, 1]
+
+    def test_active_buckets_cover_stream_contiguously(self):
+        tree = _make_tree(r=3)
+        for n in range(1, 25):
+            tree.insert_bucket(_base_bucket(n))
+            buckets = tree.active_buckets()
+            assert buckets[0].start == 1
+            assert buckets[-1].end == n
+            for previous, current in zip(buckets, buckets[1:]):
+                assert current.start == previous.end + 1
+
+    def test_max_level_bounded_by_log(self):
+        import math
+
+        tree = _make_tree(r=2)
+        for n in range(1, 70):
+            tree.insert_bucket(_base_bucket(n))
+            bound = math.ceil(math.log2(n)) if n > 1 else 0
+            assert tree.max_level() <= bound
+
+    def test_merge_count(self):
+        # With r = 2 and N buckets, the number of merges equals N minus the
+        # number of ones in N's binary representation.
+        tree = _make_tree(r=2)
+        total = 40
+        for n in range(1, total + 1):
+            tree.insert_bucket(_base_bucket(n))
+        assert tree.merge_count == total - bin(total).count("1")
+
+    def test_insert_wrong_index_raises(self):
+        tree = _make_tree()
+        tree.insert_bucket(_base_bucket(1))
+        with pytest.raises(ValueError, match="expected base bucket"):
+            tree.insert_bucket(_base_bucket(5))
+
+    def test_insert_non_base_level_raises(self):
+        tree = _make_tree()
+        bad = Bucket(
+            data=WeightedPointSet.from_points(np.zeros((2, 2))), start=1, end=1, level=1
+        )
+        with pytest.raises(ValueError, match="level-0"):
+            tree.insert_bucket(bad)
+
+    def test_invalid_merge_degree(self):
+        constructor = make_constructor(k=3, coreset_size=10, seed=0)
+        with pytest.raises(ValueError):
+            CoresetTree(constructor, merge_degree=1)
+
+
+class TestCoresetTreeQuery:
+    def test_query_on_empty_tree(self):
+        tree = _make_tree()
+        result = tree.query_coreset()
+        assert result.size == 0
+
+    def test_query_unions_all_active_buckets(self):
+        tree = _make_tree(r=2, m=30)
+        for n in range(1, 8):
+            tree.insert_bucket(_base_bucket(n))
+        coreset = tree.query_coreset()
+        expected = sum(b.size for b in tree.active_buckets())
+        assert coreset.size == expected
+
+    def test_query_preserves_total_weight_roughly(self):
+        tree = _make_tree(r=2, m=40)
+        total_points = 0
+        for n in range(1, 17):
+            bucket = _base_bucket(n, num_points=40)
+            total_points += bucket.size
+            tree.insert_bucket(bucket)
+        coreset = tree.query_coreset()
+        assert coreset.total_weight == pytest.approx(total_points, rel=0.3)
+
+    def test_suffix_buckets(self):
+        tree = _make_tree(r=2)
+        for n in range(1, 11):
+            tree.insert_bucket(_base_bucket(n))
+        suffix = tree.suffix_buckets(after=8)
+        assert all(b.start > 8 for b in suffix)
+        covered = sorted((b.start, b.end) for b in suffix)
+        assert covered[0][0] == 9
+        assert covered[-1][1] == 10
+
+    def test_stored_points_bounded(self):
+        # Each level holds fewer than r buckets of at most m points.
+        import math
+
+        m, r = 30, 3
+        tree = _make_tree(r=r, m=m)
+        for n in range(1, 82):
+            tree.insert_bucket(_base_bucket(n, num_points=m))
+            levels = math.ceil(math.log(max(n, 2), r)) + 1
+            assert tree.stored_points() <= m * (r - 1) * (levels + 1)
+
+    def test_levels_property_returns_copies(self):
+        tree = _make_tree()
+        tree.insert_bucket(_base_bucket(1))
+        levels = tree.levels
+        levels[0].clear()
+        assert len(tree.buckets_at_level(0)) == 1

@@ -1,0 +1,151 @@
+"""Unit tests for the stream-clustering driver and the CT/CC/RCC clusterers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import (
+    CachedCoresetTreeClusterer,
+    CoresetTreeClusterer,
+    RecursiveCachedClusterer,
+)
+from repro.kmeans.cost import kmeans_cost
+
+
+ALL_CLUSTERERS = [CoresetTreeClusterer, CachedCoresetTreeClusterer, RecursiveCachedClusterer]
+
+
+class TestStreamingConfig:
+    def test_default_bucket_size_is_20k(self):
+        config = StreamingConfig(k=30)
+        assert config.bucket_size == 600
+
+    def test_explicit_bucket_size(self):
+        config = StreamingConfig(k=10, coreset_size=250)
+        assert config.bucket_size == 250
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"k": 5, "merge_degree": 1},
+            {"k": 5, "coreset_size": 0},
+            {"k": 5, "n_init": 0},
+            {"k": 5, "lloyd_iterations": -1},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamingConfig(**kwargs)
+
+    def test_make_constructor_uses_config(self):
+        config = StreamingConfig(k=7, coreset_size=99, coreset_method="uniform", seed=3)
+        constructor = config.make_constructor()
+        assert constructor.coreset_size == 99
+        assert constructor.config.method == "uniform"
+
+
+class TestDriverBatching:
+    def test_points_buffered_until_bucket_full(self, small_config):
+        clusterer = CoresetTreeClusterer(small_config)
+        for i in range(small_config.bucket_size - 1):
+            clusterer.insert(np.array([float(i), 0.0]))
+        assert clusterer.structure.num_base_buckets == 0
+        clusterer.insert(np.array([0.0, 0.0]))
+        assert clusterer.structure.num_base_buckets == 1
+
+    def test_insert_many_equivalent_to_insert_loop(self, small_config, blob_points):
+        a = CoresetTreeClusterer(small_config)
+        b = CoresetTreeClusterer(small_config)
+        subset = blob_points[:170]
+        a.insert_many(subset)
+        for row in subset:
+            b.insert(row)
+        assert a.points_seen == b.points_seen == 170
+        assert a.structure.num_base_buckets == b.structure.num_base_buckets
+
+    def test_points_seen_counts_everything(self, small_config, blob_points):
+        clusterer = CachedCoresetTreeClusterer(small_config)
+        clusterer.insert_many(blob_points[:333])
+        assert clusterer.points_seen == 333
+
+    def test_dimension_mismatch_raises(self, small_config):
+        clusterer = CoresetTreeClusterer(small_config)
+        clusterer.insert(np.zeros(3))
+        with pytest.raises(ValueError, match="dimension"):
+            clusterer.insert(np.zeros(4))
+        with pytest.raises(ValueError, match="dimension"):
+            clusterer.insert_many(np.zeros((2, 5)))
+
+    def test_insert_many_empty_is_noop(self, small_config):
+        clusterer = CoresetTreeClusterer(small_config)
+        clusterer.insert_many(np.empty((0, 2)))
+        assert clusterer.points_seen == 0
+
+
+class TestDriverQueries:
+    @pytest.mark.parametrize("clusterer_cls", ALL_CLUSTERERS)
+    def test_query_before_any_point_raises(self, small_config, clusterer_cls):
+        clusterer = clusterer_cls(small_config)
+        with pytest.raises(RuntimeError, match="before any point"):
+            clusterer.query()
+
+    @pytest.mark.parametrize("clusterer_cls", ALL_CLUSTERERS)
+    def test_query_returns_k_centers(self, small_config, blob_points, clusterer_cls):
+        clusterer = clusterer_cls(small_config)
+        clusterer.insert_many(blob_points[:500])
+        result = clusterer.query()
+        assert result.centers.shape == (small_config.k, blob_points.shape[1])
+
+    @pytest.mark.parametrize("clusterer_cls", ALL_CLUSTERERS)
+    def test_query_includes_partial_bucket(self, small_config, clusterer_cls):
+        # Fewer points than one bucket: the query must still work, answering
+        # from the partial buffer alone.
+        clusterer = clusterer_cls(small_config)
+        rng = np.random.default_rng(0)
+        clusterer.insert_many(rng.normal(size=(small_config.bucket_size - 5, 2)))
+        result = clusterer.query()
+        assert result.centers.shape[0] == small_config.k
+
+    @pytest.mark.parametrize("clusterer_cls", ALL_CLUSTERERS)
+    def test_clusters_separated_blobs_well(self, small_config, blob_points, blob_centers, clusterer_cls):
+        clusterer = clusterer_cls(small_config)
+        clusterer.insert_many(blob_points)
+        result = clusterer.query()
+        cost = kmeans_cost(blob_points, result.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 3.0 * reference
+
+    def test_interleaved_queries_and_inserts(self, small_config, blob_points):
+        clusterer = CachedCoresetTreeClusterer(small_config)
+        chunk = 100
+        for start in range(0, 1000, chunk):
+            clusterer.insert_many(blob_points[start : start + chunk])
+            result = clusterer.query()
+            assert result.centers.shape[0] == small_config.k
+
+    def test_stored_points_includes_buffer(self, small_config):
+        clusterer = CoresetTreeClusterer(small_config)
+        rng = np.random.default_rng(0)
+        clusterer.insert_many(rng.normal(size=(30, 2)))
+        assert clusterer.stored_points() == 30
+
+    def test_cc_marks_cache_usage(self, small_config, blob_points):
+        clusterer = CachedCoresetTreeClusterer(small_config)
+        clusterer.insert_many(blob_points[:400])
+        result = clusterer.query()
+        assert result.from_cache
+
+    def test_rcc_nesting_depth_forwarded(self, small_config):
+        clusterer = RecursiveCachedClusterer(small_config, nesting_depth=1)
+        assert clusterer.recursive_tree.nesting_depth == 1
+
+    def test_reproducible_given_seed(self, blob_points):
+        config = StreamingConfig(k=4, coreset_size=50, seed=5, n_init=2, lloyd_iterations=5)
+        a = CachedCoresetTreeClusterer(config)
+        b = CachedCoresetTreeClusterer(config)
+        a.insert_many(blob_points[:600])
+        b.insert_many(blob_points[:600])
+        np.testing.assert_array_equal(a.query().centers, b.query().centers)

@@ -1,0 +1,97 @@
+"""Unit tests for the base-r numeral decomposition (major/minor/prefixsum)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.numeral import digits, major, minor, num_nonzero_digits, prefixsum
+
+
+class TestDigits:
+    def test_paper_example(self):
+        # 47 = 1*27 + 2*9 + 2*1 in base 3.
+        assert digits(47, 3) == [(2, 0), (2, 2), (1, 3)]
+
+    def test_zero(self):
+        assert digits(0, 2) == []
+
+    def test_reconstruction(self):
+        for n in range(0, 200):
+            for r in (2, 3, 5, 10):
+                assert sum(beta * r**alpha for beta, alpha in digits(n, r)) == n
+
+    def test_digit_bounds(self):
+        for n in range(1, 300):
+            for r in (2, 3, 4, 7):
+                for beta, _ in digits(n, r):
+                    assert 0 < beta < r
+
+    @pytest.mark.parametrize("n,r", [(-1, 2), (5, 1), (5, 0)])
+    def test_invalid_inputs(self, n, r):
+        with pytest.raises(ValueError):
+            digits(n, r)
+
+
+class TestMinorMajor:
+    def test_paper_example(self):
+        assert minor(47, 3) == 2
+        assert major(47, 3) == 45
+
+    def test_single_term_has_zero_major(self):
+        assert major(8, 2) == 0
+        assert major(2 * 9, 3) == 0  # 2*3^2 is a single non-zero digit
+
+    def test_zero(self):
+        assert minor(0, 2) == 0
+        assert major(0, 2) == 0
+
+    def test_major_plus_minor_is_n(self):
+        for n in range(0, 500):
+            for r in (2, 3, 4):
+                assert major(n, r) + minor(n, r) == n
+
+    def test_minor_is_power_times_digit(self):
+        # minor is always of the form beta * r^alpha with 0 < beta < r.
+        for n in range(1, 300):
+            for r in (2, 3, 5):
+                m = minor(n, r)
+                terms = digits(m, r)
+                assert len(terms) == 1
+
+
+class TestPrefixsum:
+    def test_paper_example(self):
+        assert prefixsum(47, 3) == {27, 45}
+
+    def test_single_digit_empty(self):
+        assert prefixsum(8, 2) == set()
+        assert prefixsum(5, 10) == set()
+
+    def test_zero_empty(self):
+        assert prefixsum(0, 3) == set()
+
+    def test_contains_major(self):
+        for n in range(2, 400):
+            for r in (2, 3, 4):
+                if major(n, r) != 0:
+                    assert major(n, r) in prefixsum(n, r)
+
+    def test_fact2_prefix_subset(self):
+        # Fact 2: prefixsum(N + 1, r) is a subset of prefixsum(N, r) + {N}.
+        for r in (2, 3, 4, 5):
+            for n in range(1, 400):
+                assert prefixsum(n + 1, r) <= (prefixsum(n, r) | {n})
+
+    def test_size_bound(self):
+        # |prefixsum(n, r)| = (number of non-zero digits) - 1.
+        for n in range(1, 300):
+            for r in (2, 3):
+                assert len(prefixsum(n, r)) == num_nonzero_digits(n, r) - 1
+
+
+class TestNumNonzeroDigits:
+    def test_values(self):
+        assert num_nonzero_digits(0, 2) == 0
+        assert num_nonzero_digits(7, 2) == 3
+        assert num_nonzero_digits(8, 2) == 1
+        assert num_nonzero_digits(47, 3) == 3

@@ -1,0 +1,149 @@
+"""Unit tests for the OnlineCC hybrid clusterer (Algorithm 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.online_cc import OnlineCCClusterer
+from repro.kmeans.cost import kmeans_cost
+
+
+@pytest.fixture()
+def config() -> StreamingConfig:
+    return StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=2)
+
+
+class TestOnlineCCConstruction:
+    def test_invalid_threshold_raises(self, config):
+        with pytest.raises(ValueError, match="switch_threshold"):
+            OnlineCCClusterer(config, switch_threshold=1.0)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.2, 1.5])
+    def test_invalid_epsilon_raises(self, config, epsilon):
+        with pytest.raises(ValueError, match="epsilon"):
+            OnlineCCClusterer(config, coreset_epsilon=epsilon)
+
+    def test_query_before_points_raises(self, config):
+        clusterer = OnlineCCClusterer(config)
+        with pytest.raises(RuntimeError, match="before any point"):
+            clusterer.query()
+
+
+class TestOnlineCCBehaviour:
+    def test_first_query_falls_back_to_cc(self, config, blob_points):
+        clusterer = OnlineCCClusterer(config)
+        clusterer.insert_many(blob_points[:200])
+        result = clusterer.query()
+        assert clusterer.fallback_count == 1
+        assert not result.from_cache
+        assert result.coreset_points > 0
+
+    def test_subsequent_queries_use_fast_path_on_stationary_data(self, config, blob_points):
+        # Warm up on most of the stream first so that the per-query growth of
+        # the cost bound (about 100 new points per 1600 seen) stays well below
+        # the fallback threshold.
+        clusterer = OnlineCCClusterer(config, switch_threshold=2.0)
+        clusterer.insert_many(blob_points[:1600])
+        clusterer.query()  # initial fallback
+        fast_before = clusterer.fast_answer_count
+        for start in range(1600, 2000, 100):
+            clusterer.insert_many(blob_points[start : start + 100])
+            result = clusterer.query()
+            assert result.centers.shape == (config.k, blob_points.shape[1])
+        assert clusterer.fast_answer_count > fast_before
+        assert clusterer.fallback_count <= 2
+
+    def test_fast_path_answers_have_zero_coreset_points(self, config, blob_points):
+        clusterer = OnlineCCClusterer(config)
+        clusterer.insert_many(blob_points[:400])
+        clusterer.query()
+        clusterer.insert_many(blob_points[400:500])
+        result = clusterer.query()
+        if result.from_cache:
+            assert result.coreset_points == 0
+
+    def test_cost_bound_tracks_true_cost(self, config, blob_points):
+        """Lemma 10 (empirical form): phi_now tracks the true cost of the online centers.
+
+        The exact upper-bound guarantee assumes a perfect (k, eps)-coreset at
+        each fallback; with a sampled coreset of modest size the bound can be
+        off by the coreset's sampling error, so we check it within a factor of
+        two rather than exactly.
+        """
+        clusterer = OnlineCCClusterer(config)
+        seen = []
+        for index, point in enumerate(blob_points[:1200]):
+            clusterer.insert(point)
+            seen.append(point)
+            if (index + 1) % 200 == 0:
+                result = clusterer.query()
+                true_cost = kmeans_cost(np.vstack(seen), result.centers)
+                assert clusterer.cost_bound >= 0.5 * true_cost
+
+    def test_cost_bound_grows_monotonically_between_fallbacks(self, config, blob_points):
+        """Between fallbacks phi_now only accumulates (it never decreases)."""
+        clusterer = OnlineCCClusterer(config)
+        clusterer.insert_many(blob_points[:600])
+        clusterer.query()  # fallback establishes phi_prev / phi_now
+        previous_bound = clusterer.cost_bound
+        fallbacks = clusterer.fallback_count
+        for start in range(600, 1200, 100):
+            clusterer.insert_many(blob_points[start : start + 100])
+            if clusterer.fallback_count == fallbacks:
+                assert clusterer.cost_bound >= previous_bound
+            previous_bound = clusterer.cost_bound
+            fallbacks = clusterer.fallback_count
+
+    def test_drift_triggers_fallback(self, config):
+        """A sudden distribution shift inflates the bound and forces a CC fallback."""
+        rng = np.random.default_rng(0)
+        clusterer = OnlineCCClusterer(config, switch_threshold=1.2)
+        # Phase 1: tight clusters near the origin.
+        phase1 = rng.normal(scale=0.5, size=(600, 3))
+        clusterer.insert_many(phase1)
+        clusterer.query()
+        fallbacks_before = clusterer.fallback_count
+        # Phase 2: clusters move very far away; the old centers become awful.
+        phase2 = rng.normal(loc=500.0, scale=0.5, size=(600, 3))
+        clusterer.insert_many(phase2)
+        clusterer.query()
+        assert clusterer.fallback_count > fallbacks_before
+
+    def test_higher_threshold_means_fewer_fallbacks(self, blob_points):
+        config = StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=2)
+        strict = OnlineCCClusterer(config, switch_threshold=1.05)
+        loose = OnlineCCClusterer(config, switch_threshold=6.0)
+        for clusterer in (strict, loose):
+            for start in range(0, 2000, 100):
+                clusterer.insert_many(blob_points[start : start + 100])
+                clusterer.query()
+        assert loose.fallback_count <= strict.fallback_count
+
+    def test_accuracy_matches_blobs(self, config, blob_points, blob_centers):
+        clusterer = OnlineCCClusterer(config)
+        for start in range(0, blob_points.shape[0], 200):
+            clusterer.insert_many(blob_points[start : start + 200])
+            clusterer.query()
+        final = clusterer.query()
+        cost = kmeans_cost(blob_points, final.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 3.0 * reference
+
+    def test_stored_points_accounting(self, config, blob_points):
+        clusterer = OnlineCCClusterer(config)
+        clusterer.insert_many(blob_points[:75])
+        # 75 buffered points (no full bucket yet) + k online centers.
+        assert clusterer.stored_points() == 75 + config.k
+
+    def test_dimension_mismatch_raises(self, config):
+        clusterer = OnlineCCClusterer(config)
+        clusterer.insert(np.zeros(3))
+        with pytest.raises(ValueError, match="dimension"):
+            clusterer.insert(np.zeros(5))
+
+    def test_points_seen(self, config, blob_points):
+        clusterer = OnlineCCClusterer(config)
+        clusterer.insert_many(blob_points[:123])
+        assert clusterer.points_seen == 123

@@ -1,0 +1,139 @@
+"""Unit tests for the recursive coreset cache (RCC, Algorithms 4-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recursive_cache import RecursiveCachedTree, merge_degree_for_order
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.coreset.construction import make_constructor
+
+
+def _base_bucket(index: int, num_points: int = 20, dimension: int = 2) -> Bucket:
+    rng = np.random.default_rng(index)
+    return Bucket(
+        data=WeightedPointSet.from_points(rng.normal(size=(num_points, dimension))),
+        start=index,
+        end=index,
+        level=0,
+    )
+
+
+def _make_rcc(depth: int = 2, m: int = 20) -> RecursiveCachedTree:
+    constructor = make_constructor(k=3, coreset_size=m, seed=0)
+    return RecursiveCachedTree(constructor, nesting_depth=depth)
+
+
+class TestMergeDegreeForOrder:
+    def test_values(self):
+        assert merge_degree_for_order(0) == 2
+        assert merge_degree_for_order(1) == 4
+        assert merge_degree_for_order(2) == 16
+        assert merge_degree_for_order(3) == 256
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            merge_degree_for_order(-1)
+
+
+class TestRecursiveCachedTree:
+    def test_empty_query(self):
+        rcc = _make_rcc()
+        assert rcc.query_coreset_bucket() is None
+        assert rcc.query_coreset().size == 0
+
+    def test_query_spans_everything(self):
+        rcc = _make_rcc(depth=1)
+        for n in range(1, 25):
+            rcc.insert_bucket(_base_bucket(n))
+            bucket = rcc.query_coreset_bucket()
+            assert bucket is not None
+            assert bucket.start == 1
+            assert bucket.end == n
+
+    def test_query_size_bounded_by_m(self):
+        rcc = _make_rcc(depth=1, m=20)
+        for n in range(1, 20):
+            rcc.insert_bucket(_base_bucket(n, num_points=20))
+        coreset = rcc.query_coreset()
+        assert 0 < coreset.size <= 20
+
+    @pytest.mark.parametrize("depth", [0, 1, 2])
+    def test_total_weight_roughly_preserved(self, depth):
+        rcc = _make_rcc(depth=depth, m=40)
+        total = 0
+        for n in range(1, 21):
+            bucket = _base_bucket(n, num_points=40)
+            total += bucket.size
+            rcc.insert_bucket(bucket)
+        coreset = rcc.query_coreset()
+        assert coreset.total_weight == pytest.approx(total, rel=0.45)
+
+    def test_num_base_buckets(self):
+        rcc = _make_rcc()
+        for n in range(1, 8):
+            rcc.insert_bucket(_base_bucket(n))
+        assert rcc.num_base_buckets == 7
+
+    def test_insert_wrong_index_raises(self):
+        rcc = _make_rcc()
+        rcc.insert_bucket(_base_bucket(1))
+        with pytest.raises(ValueError, match="expected base bucket"):
+            rcc.insert_bucket(_base_bucket(3))
+
+    def test_insert_non_base_level_raises(self):
+        rcc = _make_rcc()
+        bad = Bucket(
+            data=WeightedPointSet.from_points(np.zeros((2, 2))), start=1, end=1, level=2
+        )
+        with pytest.raises(ValueError, match="base bucket"):
+            rcc.insert_bucket(bad)
+
+    def test_invalid_depth_raises(self):
+        constructor = make_constructor(k=3, coreset_size=10, seed=0)
+        with pytest.raises(ValueError):
+            RecursiveCachedTree(constructor, nesting_depth=-1)
+
+    def test_level_stays_small_with_high_merge_degree(self):
+        """With a large outer merge degree, queried coresets stay at O(1) level."""
+        rcc = _make_rcc(depth=2, m=20)  # outer merge degree 16
+        max_level = 0
+        for n in range(1, 40):
+            rcc.insert_bucket(_base_bucket(n))
+            bucket = rcc.query_coreset_bucket()
+            assert bucket is not None
+            max_level = max(max_level, bucket.level)
+        # The level must stay far below the linear-in-N growth that naive
+        # repeated merging would produce (39 buckets -> level 39).
+        assert max_level <= 8
+
+    def test_deeper_nesting_uses_more_memory(self):
+        shallow = _make_rcc(depth=0, m=20)
+        deep = _make_rcc(depth=2, m=20)
+        for n in range(1, 30):
+            shallow.insert_bucket(_base_bucket(n))
+            deep.insert_bucket(_base_bucket(n))
+            shallow.query_coreset()
+            deep.query_coreset()
+        assert deep.stored_points() >= shallow.stored_points()
+
+    def test_merge_degree_property(self):
+        assert _make_rcc(depth=2).merge_degree == 16
+
+    def test_query_after_every_bucket_is_consistent(self):
+        """Query results remain valid across a long run with caching in effect."""
+        rcc = _make_rcc(depth=1, m=30)
+        for n in range(1, 50):
+            rcc.insert_bucket(_base_bucket(n, num_points=30))
+            bucket = rcc.query_coreset_bucket()
+            assert bucket is not None
+            assert bucket.data.size > 0
+            assert bucket.end == n
+
+    def test_max_level_reported(self):
+        rcc = _make_rcc(depth=1)
+        for n in range(1, 18):
+            rcc.insert_bucket(_base_bucket(n))
+        rcc.query_coreset()
+        assert rcc.max_level() >= 1

@@ -1,0 +1,107 @@
+"""Unit tests for weighted point sets and buckets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coreset.bucket import Bucket, WeightedPointSet
+
+
+class TestWeightedPointSet:
+    def test_from_points_unit_weights(self):
+        pts = WeightedPointSet.from_points(np.arange(6, dtype=float).reshape(3, 2))
+        assert pts.size == 3
+        assert pts.dimension == 2
+        np.testing.assert_array_equal(pts.weights, np.ones(3))
+        assert pts.total_weight == pytest.approx(3.0)
+
+    def test_from_points_promotes_1d(self):
+        pts = WeightedPointSet.from_points(np.array([1.0, 2.0, 3.0]))
+        assert pts.size == 1
+        assert pts.dimension == 3
+
+    def test_empty(self):
+        empty = WeightedPointSet.empty(5)
+        assert empty.size == 0
+        assert empty.dimension == 5
+        assert empty.total_weight == 0.0
+
+    def test_union(self):
+        a = WeightedPointSet.from_points(np.zeros((2, 3)))
+        b = WeightedPointSet(points=np.ones((1, 3)), weights=np.array([4.0]))
+        combined = a.union(b)
+        assert combined.size == 3
+        assert combined.total_weight == pytest.approx(6.0)
+
+    def test_union_with_empty_returns_other(self):
+        a = WeightedPointSet.from_points(np.zeros((2, 3)))
+        empty = WeightedPointSet.empty(3)
+        assert a.union(empty) is a
+        assert empty.union(a) is a
+
+    def test_union_dimension_mismatch_raises(self):
+        a = WeightedPointSet.from_points(np.zeros((2, 3)))
+        b = WeightedPointSet.from_points(np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            a.union(b)
+
+    def test_union_all(self):
+        sets = [WeightedPointSet.from_points(np.full((2, 2), float(i))) for i in range(3)]
+        combined = WeightedPointSet.union_all(sets)
+        assert combined.size == 6
+
+    def test_union_all_with_empties(self):
+        sets = [WeightedPointSet.empty(2), WeightedPointSet.from_points(np.ones((1, 2)))]
+        combined = WeightedPointSet.union_all(sets)
+        assert combined.size == 1
+
+    def test_union_all_all_empty(self):
+        combined = WeightedPointSet.union_all([WeightedPointSet.empty(4)])
+        assert combined.size == 0
+        assert combined.dimension == 4
+
+    def test_union_all_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            WeightedPointSet.union_all([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedPointSet(points=np.zeros((1, 2)), weights=np.array([-1.0]))
+
+    def test_weight_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            WeightedPointSet(points=np.zeros((2, 2)), weights=np.ones(3))
+
+    def test_non_2d_points_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            WeightedPointSet(points=np.zeros(3), weights=np.ones(3))
+
+
+class TestBucket:
+    def test_basic_properties(self):
+        data = WeightedPointSet.from_points(np.zeros((5, 2)))
+        bucket = Bucket(data=data, start=3, end=6, level=2)
+        assert bucket.span == (3, 6)
+        assert bucket.num_base_buckets == 4
+        assert bucket.size == 5
+        assert bucket.level == 2
+
+    def test_base_bucket_defaults_to_level_zero(self):
+        data = WeightedPointSet.from_points(np.zeros((2, 2)))
+        bucket = Bucket(data=data, start=1, end=1)
+        assert bucket.level == 0
+
+    @pytest.mark.parametrize(
+        "start,end,level",
+        [(0, 1, 0), (1, 0, 0), (-1, 2, 0), (3, 2, 0), (1, 2, -1)],
+    )
+    def test_invalid_spans_and_levels(self, start, end, level):
+        data = WeightedPointSet.from_points(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            Bucket(data=data, start=start, end=end, level=level)
+
+    def test_repr_mentions_span(self):
+        data = WeightedPointSet.from_points(np.zeros((1, 2)))
+        bucket = Bucket(data=data, start=2, end=4, level=1)
+        assert "[2,4]" in repr(bucket)

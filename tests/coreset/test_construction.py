@@ -1,0 +1,141 @@
+"""Unit tests for coreset constructions (sensitivity, uniform, k-means++)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coreset.bucket import WeightedPointSet
+from repro.coreset.construction import (
+    CoresetConfig,
+    CoresetConstructor,
+    kmeanspp_coreset,
+    make_constructor,
+    sensitivity_coreset,
+    uniform_coreset,
+)
+from repro.kmeans.cost import kmeans_cost
+
+
+@pytest.fixture()
+def blob_set(blob_points) -> WeightedPointSet:
+    return WeightedPointSet.from_points(blob_points)
+
+
+class TestCoresetConfig:
+    def test_defaults(self):
+        config = CoresetConfig(k=5, coreset_size=100)
+        assert config.method == "sensitivity"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0, "coreset_size": 10},
+            {"k": 3, "coreset_size": 0},
+            {"k": 3, "coreset_size": 10, "method": "magic"},
+            {"k": 3, "coreset_size": 10, "seed_centers": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CoresetConfig(**kwargs)
+
+
+class TestSensitivityCoreset:
+    def test_size_and_dimension(self, blob_set):
+        rng = np.random.default_rng(0)
+        coreset = sensitivity_coreset(blob_set, k=4, m=80, rng=rng)
+        assert coreset.size == 80
+        assert coreset.dimension == blob_set.dimension
+
+    def test_total_weight_approximately_preserved(self, blob_set):
+        rng = np.random.default_rng(1)
+        coreset = sensitivity_coreset(blob_set, k=4, m=200, rng=rng)
+        # Importance sampling preserves total weight in expectation.
+        assert coreset.total_weight == pytest.approx(blob_set.total_weight, rel=0.3)
+
+    def test_cost_preserved_on_good_centers(self, blob_set, blob_points, blob_centers):
+        rng = np.random.default_rng(2)
+        coreset = sensitivity_coreset(blob_set, k=4, m=300, rng=rng)
+        full_cost = kmeans_cost(blob_points, blob_centers)
+        coreset_cost = kmeans_cost(coreset.points, blob_centers, coreset.weights)
+        assert coreset_cost == pytest.approx(full_cost, rel=0.35)
+
+    def test_small_input_passthrough(self):
+        data = WeightedPointSet.from_points(np.arange(10, dtype=float).reshape(5, 2))
+        rng = np.random.default_rng(0)
+        coreset = sensitivity_coreset(data, k=2, m=10, rng=rng)
+        assert coreset is data
+
+    def test_degenerate_identical_points(self):
+        data = WeightedPointSet.from_points(np.zeros((500, 3)))
+        rng = np.random.default_rng(0)
+        coreset = sensitivity_coreset(data, k=2, m=20, rng=rng)
+        assert coreset.size == 20
+        np.testing.assert_allclose(coreset.points, 0.0)
+        assert coreset.total_weight == pytest.approx(500.0, rel=0.01)
+
+
+class TestUniformCoreset:
+    def test_size_and_weight(self, blob_set):
+        rng = np.random.default_rng(0)
+        coreset = uniform_coreset(blob_set, k=4, m=100, rng=rng)
+        assert coreset.size == 100
+        assert coreset.total_weight == pytest.approx(blob_set.total_weight)
+
+    def test_passthrough_small(self):
+        data = WeightedPointSet.from_points(np.ones((3, 2)))
+        coreset = uniform_coreset(data, k=2, m=5, rng=np.random.default_rng(0))
+        assert coreset is data
+
+
+class TestKmeansppCoreset:
+    def test_size_at_most_m(self, blob_set):
+        rng = np.random.default_rng(0)
+        coreset = kmeanspp_coreset(blob_set, k=4, m=60, rng=rng)
+        assert 0 < coreset.size <= 60
+
+    def test_weight_exactly_preserved(self, blob_set):
+        rng = np.random.default_rng(1)
+        coreset = kmeanspp_coreset(blob_set, k=4, m=60, rng=rng)
+        assert coreset.total_weight == pytest.approx(blob_set.total_weight)
+
+    def test_representatives_are_input_points(self, blob_set, blob_points):
+        rng = np.random.default_rng(2)
+        coreset = kmeanspp_coreset(blob_set, k=4, m=30, rng=rng)
+        for row in coreset.points:
+            distances = np.linalg.norm(blob_points - row, axis=1)
+            assert np.min(distances) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCoresetConstructor:
+    @pytest.mark.parametrize("method", ["sensitivity", "uniform", "kmeanspp"])
+    def test_build_dispatches(self, blob_set, method):
+        constructor = make_constructor(k=4, coreset_size=50, method=method, seed=0)
+        coreset = constructor.build(blob_set)
+        assert coreset.size <= max(50, blob_set.size)
+        assert coreset.dimension == blob_set.dimension
+
+    def test_empty_input_returned_unchanged(self):
+        constructor = make_constructor(k=4, coreset_size=50, seed=0)
+        empty = WeightedPointSet.empty(3)
+        assert constructor.build(empty) is empty
+
+    def test_callable_alias(self, blob_set):
+        constructor = make_constructor(k=4, coreset_size=50, seed=0)
+        assert constructor(blob_set).size == constructor.coreset_size
+
+    def test_reproducible_with_same_seed(self, blob_set):
+        a = make_constructor(k=4, coreset_size=50, seed=42).build(blob_set)
+        b = make_constructor(k=4, coreset_size=50, seed=42).build(blob_set)
+        np.testing.assert_array_equal(a.points, b.points)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_different_seeds_differ(self, blob_set):
+        a = make_constructor(k=4, coreset_size=50, seed=1).build(blob_set)
+        b = make_constructor(k=4, coreset_size=50, seed=2).build(blob_set)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_coreset_size_property(self):
+        constructor = CoresetConstructor(CoresetConfig(k=3, coreset_size=77))
+        assert constructor.coreset_size == 77

@@ -1,0 +1,115 @@
+"""Unit tests for bucket union / merge-and-reduce operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.coreset.construction import make_constructor
+from repro.coreset.merge import (
+    as_weighted_set,
+    covered_range,
+    merge_buckets,
+    reduce_bucket,
+    spans_are_disjoint,
+    total_points,
+    union_buckets,
+)
+
+
+def _bucket(points: np.ndarray, start: int, end: int, level: int = 0) -> Bucket:
+    return Bucket(
+        data=WeightedPointSet.from_points(points), start=start, end=end, level=level
+    )
+
+
+@pytest.fixture()
+def constructor():
+    return make_constructor(k=3, coreset_size=20, seed=0)
+
+
+class TestUnionBuckets:
+    def test_contiguous_union(self):
+        a = _bucket(np.zeros((5, 2)), 1, 2, level=1)
+        b = _bucket(np.ones((3, 2)), 3, 3, level=0)
+        combined = union_buckets([b, a])
+        assert combined.span == (1, 3)
+        assert combined.size == 8
+        assert combined.level == 1  # max of inputs; union adds no level
+
+    def test_gap_raises(self):
+        a = _bucket(np.zeros((2, 2)), 1, 1)
+        c = _bucket(np.zeros((2, 2)), 3, 3)
+        with pytest.raises(ValueError, match="contiguous"):
+            union_buckets([a, c])
+
+    def test_single_bucket(self):
+        a = _bucket(np.zeros((2, 2)), 5, 7, level=2)
+        combined = union_buckets([a])
+        assert combined.span == (5, 7)
+        assert combined.level == 2
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            union_buckets([])
+
+
+class TestMergeBuckets:
+    def test_merge_increases_level(self, constructor):
+        buckets = [_bucket(np.random.default_rng(i).normal(size=(50, 2)), i + 1, i + 1) for i in range(2)]
+        merged = merge_buckets(buckets, constructor)
+        assert merged.level == 1
+        assert merged.span == (1, 2)
+        assert merged.size <= constructor.coreset_size
+
+    def test_merge_respects_max_input_level(self, constructor):
+        low = _bucket(np.zeros((30, 2)), 1, 2, level=1)
+        high = _bucket(np.ones((30, 2)), 3, 4, level=3)
+        merged = merge_buckets([low, high], constructor)
+        assert merged.level == 4
+
+    def test_merge_empty_list_raises(self, constructor):
+        with pytest.raises(ValueError):
+            merge_buckets([], constructor)
+
+
+class TestReduceBucket:
+    def test_reduce_shrinks_and_raises_level(self, constructor):
+        bucket = _bucket(np.random.default_rng(0).normal(size=(200, 2)), 1, 4, level=2)
+        reduced = reduce_bucket(bucket, constructor)
+        assert reduced.size <= constructor.coreset_size
+        assert reduced.level == 3
+        assert reduced.span == bucket.span
+
+
+class TestHelpers:
+    def test_total_points(self):
+        buckets = [_bucket(np.zeros((3, 2)), 1, 1), _bucket(np.zeros((4, 2)), 2, 2)]
+        assert total_points(buckets) == 7
+
+    def test_spans_are_disjoint_true(self):
+        buckets = [_bucket(np.zeros((1, 2)), 1, 2), _bucket(np.zeros((1, 2)), 3, 5)]
+        assert spans_are_disjoint(buckets)
+
+    def test_spans_are_disjoint_false(self):
+        buckets = [_bucket(np.zeros((1, 2)), 1, 3), _bucket(np.zeros((1, 2)), 3, 5)]
+        assert not spans_are_disjoint(buckets)
+
+    def test_covered_range(self):
+        buckets = [_bucket(np.zeros((1, 2)), 4, 6), _bucket(np.zeros((1, 2)), 1, 3)]
+        assert covered_range(buckets) == (1, 6)
+
+    def test_covered_range_empty_raises(self):
+        with pytest.raises(ValueError):
+            covered_range([])
+
+    def test_as_weighted_set(self):
+        buckets = [_bucket(np.zeros((2, 3)), 1, 1), _bucket(np.ones((3, 3)), 2, 2)]
+        combined = as_weighted_set(buckets, dimension=3)
+        assert combined.size == 5
+
+    def test_as_weighted_set_empty(self):
+        combined = as_weighted_set([], dimension=4)
+        assert combined.size == 0
+        assert combined.dimension == 4

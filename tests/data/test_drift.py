@@ -1,0 +1,91 @@
+"""Unit tests for the RBF drifting-centers generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.drift import RBFDriftGenerator, RBFDriftSpec
+
+
+class TestRBFDriftSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0},
+            {"num_centers": 0},
+            {"points_per_step": 0},
+            {"drift_speed": -1.0},
+            {"min_std": 0.0},
+            {"min_std": 2.0, "max_std": 1.0},
+        ],
+    )
+    def test_invalid_spec(self, kwargs):
+        with pytest.raises(ValueError):
+            RBFDriftSpec(**kwargs)
+
+    def test_paper_defaults(self):
+        spec = RBFDriftSpec()
+        assert spec.dimension == 68
+        assert spec.num_centers == 20
+        assert spec.points_per_step == 100
+
+
+class TestRBFDriftGenerator:
+    def test_step_shape(self):
+        spec = RBFDriftSpec(dimension=5, num_centers=3, points_per_step=10)
+        generator = RBFDriftGenerator(spec, seed=0)
+        block = generator.step()
+        assert block.shape == (30, 5)
+        assert generator.steps_emitted == 1
+
+    def test_generate_exact_count(self):
+        spec = RBFDriftSpec(dimension=4, num_centers=2, points_per_step=7)
+        generator = RBFDriftGenerator(spec, seed=1)
+        points = generator.generate(100)
+        assert points.shape == (100, 4)
+
+    def test_deterministic_with_seed(self):
+        spec = RBFDriftSpec(dimension=3, num_centers=2, points_per_step=5)
+        a = RBFDriftGenerator(spec, seed=9).generate(50)
+        b = RBFDriftGenerator(spec, seed=9).generate(50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_centers_actually_drift(self):
+        spec = RBFDriftSpec(dimension=3, num_centers=4, points_per_step=5, drift_speed=0.5)
+        generator = RBFDriftGenerator(spec, seed=2)
+        before = generator.centers
+        for _ in range(20):
+            generator.step()
+        after = generator.centers
+        movement = np.linalg.norm(after - before, axis=1)
+        assert np.all(movement > 0.0)
+
+    def test_centers_stay_bounded_with_bounce(self):
+        spec = RBFDriftSpec(
+            dimension=2,
+            num_centers=3,
+            points_per_step=2,
+            drift_speed=5.0,
+            bound=20.0,
+            bounce=True,
+        )
+        generator = RBFDriftGenerator(spec, seed=3)
+        for _ in range(200):
+            generator.step()
+        # Allow a single-step overshoot beyond the reflecting boundary.
+        assert np.all(np.abs(generator.centers) <= 20.0 + 5.0)
+
+    def test_distribution_shifts_over_time(self):
+        """Early and late windows of the stream should have different means."""
+        spec = RBFDriftSpec(dimension=4, num_centers=3, points_per_step=20, drift_speed=0.5)
+        generator = RBFDriftGenerator(spec, seed=4)
+        points = generator.generate(6000)
+        early = points[:1000].mean(axis=0)
+        late = points[-1000:].mean(axis=0)
+        assert np.linalg.norm(early - late) > 0.5
+
+    def test_invalid_generate_count(self):
+        generator = RBFDriftGenerator(RBFDriftSpec(dimension=2, num_centers=1), seed=0)
+        with pytest.raises(ValueError):
+            generator.generate(0)

@@ -1,0 +1,91 @@
+"""Unit tests for the dataset registry (Table 3 stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    PAPER_SIZES,
+    dataset_names,
+    load_covtype,
+    load_dataset,
+    load_drift,
+    load_intrusion,
+    load_power,
+)
+
+
+class TestRegistry:
+    def test_dataset_names(self):
+        assert set(dataset_names()) == {"covtype", "power", "intrusion", "drift"}
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_load_dataset_case_insensitive(self):
+        info = load_dataset("Covtype", num_points=500)
+        assert info.name == "Covtype"
+
+    def test_paper_sizes_match_table3(self):
+        assert PAPER_SIZES["covtype"] == (581_012, 54)
+        assert PAPER_SIZES["power"] == (2_049_280, 7)
+        assert PAPER_SIZES["intrusion"] == (494_021, 34)
+        assert PAPER_SIZES["drift"] == (200_000, 68)
+
+
+class TestLoaders:
+    @pytest.mark.parametrize(
+        "loader,dimension",
+        [
+            (load_covtype, 54),
+            (load_power, 7),
+            (load_intrusion, 34),
+            (load_drift, 68),
+        ],
+    )
+    def test_dimensions_match_paper(self, loader, dimension):
+        info = loader(num_points=400)
+        assert info.dimension == dimension
+        assert info.paper_dimension == dimension
+        assert info.num_points == 400
+
+    def test_default_sizes_are_reasonable(self):
+        info = load_dataset("power")
+        assert 5_000 <= info.num_points <= 100_000
+
+    def test_deterministic_by_seed(self):
+        a = load_covtype(num_points=300, seed=1)
+        b = load_covtype(num_points=300, seed=1)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = load_power(num_points=300, seed=1)
+        b = load_power(num_points=300, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_invalid_num_points(self):
+        with pytest.raises(ValueError):
+            load_covtype(num_points=0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_covtype(scale="huge")
+
+    def test_intrusion_has_outliers_and_skew(self):
+        info = load_intrusion(num_points=5000)
+        norms = np.linalg.norm(info.points, axis=1)
+        # Outliers are injected far from the bulk, so the max norm should be
+        # several times the median norm.
+        assert np.max(norms) > 3.0 * np.median(norms)
+
+    def test_load_dataset_forwards_seed(self):
+        a = load_dataset("drift", num_points=300, seed=5)
+        b = load_dataset("drift", num_points=300, seed=5)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_points_are_finite(self):
+        for name in dataset_names():
+            info = load_dataset(name, num_points=500)
+            assert np.all(np.isfinite(info.points))

@@ -1,0 +1,82 @@
+"""Unit tests for the PointStream abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stream import PointStream
+
+
+class TestPointStream:
+    def test_basic_iteration(self):
+        data = np.arange(12, dtype=float).reshape(6, 2)
+        stream = PointStream(data)
+        collected = np.vstack(list(stream))
+        np.testing.assert_array_equal(collected, data)
+        assert stream.exhausted
+
+    def test_properties(self):
+        stream = PointStream(np.zeros((10, 3)))
+        assert stream.num_points == 10
+        assert stream.dimension == 3
+        assert stream.position == 0
+
+    def test_take(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        stream = PointStream(data)
+        first = stream.take(3)
+        assert first.shape == (3, 2)
+        assert stream.position == 3
+        rest = stream.take(100)
+        assert rest.shape == (7, 2)
+        assert stream.exhausted
+
+    def test_take_invalid_count(self):
+        stream = PointStream(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            stream.take(0)
+
+    def test_next_point_after_exhaustion_raises(self):
+        stream = PointStream(np.zeros((1, 2)))
+        stream.next_point()
+        with pytest.raises(StopIteration):
+            stream.next_point()
+
+    def test_reset(self):
+        data = np.arange(6, dtype=float).reshape(3, 2)
+        stream = PointStream(data)
+        stream.take(3)
+        stream.reset()
+        assert stream.position == 0
+        np.testing.assert_array_equal(stream.next_point(), data[0])
+
+    def test_shuffle_is_permutation(self):
+        data = np.arange(100, dtype=float).reshape(50, 2)
+        stream = PointStream(data, shuffle=True, seed=3)
+        shuffled = np.vstack(list(stream))
+        assert not np.array_equal(shuffled, data)
+        np.testing.assert_array_equal(
+            np.sort(shuffled.ravel()), np.sort(data.ravel())
+        )
+
+    def test_shuffle_deterministic(self):
+        data = np.arange(40, dtype=float).reshape(20, 2)
+        a = np.vstack(list(PointStream(data, shuffle=True, seed=7)))
+        b = np.vstack(list(PointStream(data, shuffle=True, seed=7)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_iter_chunks(self):
+        data = np.arange(14, dtype=float).reshape(7, 2)
+        stream = PointStream(data)
+        chunks = list(stream.iter_chunks(3))
+        assert [c.shape[0] for c in chunks] == [3, 3, 1]
+        np.testing.assert_array_equal(np.vstack(chunks), data)
+
+    def test_iter_chunks_invalid(self):
+        with pytest.raises(ValueError):
+            list(PointStream(np.zeros((3, 2))).iter_chunks(0))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            PointStream(np.zeros(5))

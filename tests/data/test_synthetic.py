@@ -1,0 +1,106 @@
+"""Unit tests for the Gaussian-mixture generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import GaussianMixtureSpec, add_uniform_outliers, generate_mixture
+
+
+class TestGaussianMixtureSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0, "num_clusters": 3},
+            {"dimension": 2, "num_clusters": 0},
+            {"dimension": 2, "num_clusters": 3, "cluster_weights": (1.0, 2.0)},
+            {"dimension": 2, "num_clusters": 2, "cluster_weights": (1.0, -1.0)},
+            {"dimension": 2, "num_clusters": 2, "cluster_scale": (1.0, 1.0, 1.0)},
+        ],
+    )
+    def test_invalid_spec(self, kwargs):
+        with pytest.raises(ValueError):
+            GaussianMixtureSpec(**kwargs)
+
+
+class TestGenerateMixture:
+    def test_shape_and_labels(self):
+        spec = GaussianMixtureSpec(dimension=5, num_clusters=3)
+        points, labels = generate_mixture(spec, 500, np.random.default_rng(0))
+        assert points.shape == (500, 5)
+        assert labels.shape == (500,)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_deterministic_with_seed(self):
+        spec = GaussianMixtureSpec(dimension=3, num_clusters=2)
+        a, _ = generate_mixture(spec, 100, np.random.default_rng(5))
+        b, _ = generate_mixture(spec, 100, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_weights_control_cluster_sizes(self):
+        spec = GaussianMixtureSpec(
+            dimension=2, num_clusters=2, cluster_weights=(9.0, 1.0)
+        )
+        _, labels = generate_mixture(spec, 5000, np.random.default_rng(1))
+        fraction = np.mean(labels == 0)
+        assert fraction == pytest.approx(0.9, abs=0.03)
+
+    def test_cluster_scale_controls_spread(self):
+        tight_spec = GaussianMixtureSpec(dimension=2, num_clusters=1, cluster_scale=0.1)
+        wide_spec = GaussianMixtureSpec(dimension=2, num_clusters=1, cluster_scale=5.0)
+        tight, _ = generate_mixture(tight_spec, 1000, np.random.default_rng(2))
+        wide, _ = generate_mixture(wide_spec, 1000, np.random.default_rng(2))
+        assert np.std(tight - tight.mean(axis=0)) < np.std(wide - wide.mean(axis=0))
+
+    def test_correlated_mixes_features(self):
+        spec = GaussianMixtureSpec(dimension=4, num_clusters=1, correlated=True)
+        points, _ = generate_mixture(spec, 3000, np.random.default_rng(3))
+        centred = points - points.mean(axis=0)
+        correlation = np.corrcoef(centred, rowvar=False)
+        off_diagonal = correlation[~np.eye(4, dtype=bool)]
+        assert np.max(np.abs(off_diagonal)) > 0.05
+
+    def test_invalid_num_points(self):
+        spec = GaussianMixtureSpec(dimension=2, num_clusters=1)
+        with pytest.raises(ValueError):
+            generate_mixture(spec, 0, np.random.default_rng(0))
+
+    def test_clusters_are_separated_relative_to_scale(self):
+        spec = GaussianMixtureSpec(
+            dimension=8, num_clusters=4, center_spread=30.0, cluster_scale=0.5
+        )
+        points, labels = generate_mixture(spec, 2000, np.random.default_rng(4))
+        centroids = np.vstack(
+            [points[labels == c].mean(axis=0) for c in range(4) if np.any(labels == c)]
+        )
+        pairwise = np.linalg.norm(
+            centroids[:, None, :] - centroids[None, :, :], axis=-1
+        )
+        np.fill_diagonal(pairwise, np.inf)
+        assert np.min(pairwise) > 5.0
+
+
+class TestAddUniformOutliers:
+    def test_zero_fraction_returns_same_values(self):
+        points = np.random.default_rng(0).normal(size=(100, 3))
+        result = add_uniform_outliers(points, 0.0, np.random.default_rng(1))
+        np.testing.assert_array_equal(result, points)
+
+    def test_fraction_replaced(self):
+        points = np.zeros((1000, 2))
+        result = add_uniform_outliers(points, 0.1, np.random.default_rng(2), spread=50.0)
+        changed = np.any(result != 0.0, axis=1)
+        assert np.sum(changed) == 100
+
+    def test_original_not_modified(self):
+        points = np.zeros((100, 2))
+        add_uniform_outliers(points, 0.5, np.random.default_rng(3))
+        np.testing.assert_array_equal(points, 0.0)
+
+    def test_invalid_fraction(self):
+        points = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            add_uniform_outliers(points, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            add_uniform_outliers(points, -0.1, np.random.default_rng(0))

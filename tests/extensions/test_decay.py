@@ -1,0 +1,134 @@
+"""Unit tests for time-decayed and sliding-window clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.extensions.decay import DecayedCoresetClusterer, SlidingWindowClusterer
+from repro.kmeans.cost import kmeans_cost
+
+
+@pytest.fixture()
+def config() -> StreamingConfig:
+    return StreamingConfig(k=3, coreset_size=50, n_init=2, lloyd_iterations=5, seed=0)
+
+
+def _two_phase_stream(seed: int = 0, phase_points: int = 1500, dimension: int = 3):
+    """A stream whose clusters jump to a new location halfway through."""
+    rng = np.random.default_rng(seed)
+    old = rng.normal(loc=0.0, scale=1.0, size=(phase_points, dimension))
+    new = rng.normal(loc=50.0, scale=1.0, size=(phase_points, dimension))
+    return old, new
+
+
+class TestDecayedCoresetClusterer:
+    def test_invalid_parameters(self, config):
+        with pytest.raises(ValueError):
+            DecayedCoresetClusterer(config, decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedCoresetClusterer(config, decay=1.5)
+        with pytest.raises(ValueError):
+            DecayedCoresetClusterer(config, min_weight=0.0)
+
+    def test_query_before_points_raises(self, config):
+        with pytest.raises(RuntimeError):
+            DecayedCoresetClusterer(config).query()
+
+    def test_query_shape(self, config, blob_points):
+        clusterer = DecayedCoresetClusterer(config, decay=0.9)
+        clusterer.insert_many(blob_points[:600])
+        assert clusterer.query().centers.shape == (3, 4)
+
+    def test_old_data_forgotten_after_shift(self, config):
+        """With aggressive decay, centers follow the new regime after a shift."""
+        old, new = _two_phase_stream()
+        clusterer = DecayedCoresetClusterer(config, decay=0.5)
+        clusterer.insert_many(old)
+        clusterer.insert_many(new)
+        centers = clusterer.query().centers
+        # All centers should sit near the new location (50), not the old (0).
+        assert np.all(np.linalg.norm(centers - 50.0, axis=1) < np.linalg.norm(centers, axis=1))
+
+    def test_no_decay_keeps_both_phases(self, config):
+        old, new = _two_phase_stream(phase_points=800)
+        clusterer = DecayedCoresetClusterer(config, decay=1.0)
+        clusterer.insert_many(old)
+        clusterer.insert_many(new)
+        centers = clusterer.query().centers
+        near_old = np.any(np.linalg.norm(centers, axis=1) < 10.0)
+        near_new = np.any(np.linalg.norm(centers - 50.0, axis=1) < 10.0)
+        assert near_old and near_new
+
+    def test_negligible_summaries_dropped(self, config):
+        clusterer = DecayedCoresetClusterer(config, decay=0.5, min_weight=1e-2)
+        rng = np.random.default_rng(0)
+        clusterer.insert_many(rng.normal(size=(2000, 3)))
+        # With decay 0.5 and threshold 1e-2, only ~log2(100) + 1 ~ 8 summaries survive.
+        assert clusterer.num_summaries <= 9
+
+    def test_stored_points_bounded(self, config):
+        clusterer = DecayedCoresetClusterer(config, decay=0.7)
+        rng = np.random.default_rng(1)
+        clusterer.insert_many(rng.normal(size=(3000, 3)))
+        assert clusterer.stored_points() < 3000
+
+    def test_dimension_mismatch(self, config):
+        clusterer = DecayedCoresetClusterer(config)
+        clusterer.insert(np.zeros(2))
+        with pytest.raises(ValueError):
+            clusterer.insert(np.zeros(3))
+
+    def test_points_seen(self, config, blob_points):
+        clusterer = DecayedCoresetClusterer(config)
+        clusterer.insert_many(blob_points[:77])
+        assert clusterer.points_seen == 77
+
+
+class TestSlidingWindowClusterer:
+    def test_invalid_window(self, config):
+        with pytest.raises(ValueError):
+            SlidingWindowClusterer(config, window_buckets=0)
+
+    def test_query_before_points_raises(self, config):
+        with pytest.raises(RuntimeError):
+            SlidingWindowClusterer(config).query()
+
+    def test_window_caps_memory(self, config):
+        clusterer = SlidingWindowClusterer(config, window_buckets=4)
+        rng = np.random.default_rng(0)
+        clusterer.insert_many(rng.normal(size=(5000, 3)))
+        assert clusterer.stored_points() <= 4 * config.bucket_size + config.bucket_size
+        assert clusterer.window_points <= 5 * config.bucket_size
+
+    def test_only_recent_data_clustered(self, config):
+        old, new = _two_phase_stream(phase_points=1000)
+        clusterer = SlidingWindowClusterer(config, window_buckets=3)
+        clusterer.insert_many(old)
+        clusterer.insert_many(new)
+        centers = clusterer.query().centers
+        # The window (3 buckets of 50 points) contains only new-regime data.
+        assert np.all(np.linalg.norm(centers - 50.0, axis=1) < 10.0)
+
+    def test_accuracy_within_window(self, config, blob_points, blob_centers):
+        clusterer = SlidingWindowClusterer(
+            StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=0),
+            window_buckets=50,
+        )
+        clusterer.insert_many(blob_points)
+        cost = kmeans_cost(blob_points, clusterer.query().centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 3.0 * reference
+
+    def test_partial_bucket_included(self, config):
+        clusterer = SlidingWindowClusterer(config, window_buckets=2)
+        rng = np.random.default_rng(3)
+        clusterer.insert_many(rng.normal(size=(20, 3)))
+        result = clusterer.query()
+        assert result.centers.shape == (3, 3)
+
+    def test_points_seen(self, config, blob_points):
+        clusterer = SlidingWindowClusterer(config)
+        clusterer.insert_many(blob_points[:91])
+        assert clusterer.points_seen == 91

@@ -1,0 +1,84 @@
+"""Unit tests for distributed / parallel stream clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.extensions.distributed import DistributedCoordinator
+from repro.kmeans.cost import kmeans_cost
+
+
+@pytest.fixture()
+def config() -> StreamingConfig:
+    return StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=0)
+
+
+class TestDistributedCoordinator:
+    def test_invalid_parameters(self, config):
+        with pytest.raises(ValueError):
+            DistributedCoordinator(config, num_shards=0)
+        with pytest.raises(ValueError):
+            DistributedCoordinator(config, routing="broadcast")
+
+    def test_query_before_points_raises(self, config):
+        with pytest.raises(RuntimeError):
+            DistributedCoordinator(config).query()
+
+    def test_round_robin_balances_load(self, config, blob_points):
+        coordinator = DistributedCoordinator(config, num_shards=4, routing="round_robin")
+        coordinator.insert_many(blob_points[:1000])
+        loads = coordinator.shard_loads()
+        assert sum(loads) == 1000
+        assert max(loads) - min(loads) <= 1
+
+    def test_random_routing_covers_all_shards(self, config, blob_points):
+        coordinator = DistributedCoordinator(config, num_shards=4, routing="random")
+        coordinator.insert_many(blob_points[:1000])
+        assert all(load > 0 for load in coordinator.shard_loads())
+
+    def test_hash_routing_is_deterministic_per_point(self, config):
+        coordinator = DistributedCoordinator(config, num_shards=4, routing="hash")
+        point = np.array([1.0, 2.0, 3.0, 4.0])
+        shard_a = coordinator._route(point)
+        shard_b = coordinator._route(point)
+        assert shard_a == shard_b
+
+    @pytest.mark.parametrize("routing", ["round_robin", "random"])
+    def test_global_query_quality(self, config, blob_points, blob_centers, routing):
+        coordinator = DistributedCoordinator(config, num_shards=4, routing=routing)
+        coordinator.insert_many(blob_points)
+        result = coordinator.query()
+        assert result.centers.shape == (4, 4)
+        cost = kmeans_cost(blob_points, result.centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost <= 3.0 * reference
+
+    def test_matches_single_shard_quality(self, config, blob_points):
+        """Sharding should not materially hurt accuracy versus one CC instance."""
+        single = DistributedCoordinator(config, num_shards=1)
+        sharded = DistributedCoordinator(config, num_shards=4)
+        single.insert_many(blob_points)
+        sharded.insert_many(blob_points)
+        single_cost = kmeans_cost(blob_points, single.query().centers)
+        sharded_cost = kmeans_cost(blob_points, sharded.query().centers)
+        assert sharded_cost <= 2.0 * single_cost
+
+    def test_memory_split_across_shards(self, config, blob_points):
+        coordinator = DistributedCoordinator(config, num_shards=4)
+        coordinator.insert_many(blob_points)
+        per_shard = [shard.stored_points() for shard in coordinator.shards]
+        assert sum(per_shard) == coordinator.stored_points()
+        assert all(points > 0 for points in per_shard)
+
+    def test_points_seen(self, config, blob_points):
+        coordinator = DistributedCoordinator(config, num_shards=3)
+        coordinator.insert_many(blob_points[:321])
+        assert coordinator.points_seen == 321
+
+    def test_dimension_mismatch(self, config):
+        coordinator = DistributedCoordinator(config)
+        coordinator.insert(np.zeros(4))
+        with pytest.raises(ValueError):
+            coordinator.insert(np.zeros(2))

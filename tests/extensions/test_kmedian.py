@@ -1,0 +1,168 @@
+"""Unit tests for the streaming k-median extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coreset.bucket import WeightedPointSet
+from repro.extensions.kmedian import (
+    KMedianCachedClusterer,
+    KMedianConfig,
+    kmedian_cost,
+    kmedian_seeding,
+    kmedian_sensitivity_coreset,
+    weighted_kmedian,
+)
+
+
+class TestKMedianCost:
+    def test_simple_values(self):
+        points = np.array([[0.0], [3.0]])
+        centers = np.array([[0.0]])
+        assert kmedian_cost(points, centers) == pytest.approx(3.0)
+
+    def test_weighted(self):
+        points = np.array([[0.0], [4.0]])
+        centers = np.array([[0.0]])
+        assert kmedian_cost(points, centers, weights=np.array([1.0, 2.0])) == pytest.approx(8.0)
+
+    def test_zero_for_exact_centers(self, blob_points):
+        # sqrt of the tiny floating-point cancellation residue per point means
+        # "zero" accumulates to ~1e-4 over a couple of thousand points.
+        assert kmedian_cost(blob_points, blob_points) == pytest.approx(0.0, abs=1e-2)
+
+    def test_empty_points(self):
+        assert kmedian_cost(np.empty((0, 2)), np.zeros((1, 2))) == 0.0
+
+    def test_wrong_weight_shape(self):
+        with pytest.raises(ValueError):
+            kmedian_cost(np.zeros((3, 2)), np.zeros((1, 2)), weights=np.ones(2))
+
+    def test_less_outlier_sensitive_than_kmeans(self):
+        """The defining property of k-median: linear (not quadratic) outlier impact."""
+        from repro.kmeans.cost import kmeans_cost
+
+        points = np.vstack([np.zeros((99, 1)), [[100.0]]])
+        centers = np.array([[0.0]])
+        assert kmedian_cost(points, centers) == pytest.approx(100.0)
+        assert kmeans_cost(points, centers) == pytest.approx(10_000.0)
+
+
+class TestKMedianSeeding:
+    def test_returns_k_points_from_input(self, blob_points):
+        centers = kmedian_seeding(blob_points, 4, rng=np.random.default_rng(0))
+        assert centers.shape == (4, blob_points.shape[1])
+        for center in centers:
+            assert np.min(np.linalg.norm(blob_points - center, axis=1)) == pytest.approx(0.0)
+
+    def test_k_geq_n(self):
+        points = np.zeros((3, 2))
+        assert kmedian_seeding(points, 5, rng=np.random.default_rng(0)).shape == (3, 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmedian_seeding(np.empty((0, 2)), 2)
+        with pytest.raises(ValueError):
+            kmedian_seeding(np.zeros((5, 2)), 0)
+        with pytest.raises(ValueError):
+            kmedian_seeding(np.zeros(5), 2)
+
+
+class TestWeightedKMedian:
+    def test_recovers_blobs(self, blob_points, blob_centers):
+        result = weighted_kmedian(blob_points, 4, rng=np.random.default_rng(0))
+        assert result.centers.shape == (4, 4)
+        reference = kmedian_cost(blob_points, blob_centers)
+        assert result.cost <= 1.5 * reference
+
+    def test_cost_consistent_with_centers(self, blob_points):
+        result = weighted_kmedian(blob_points, 4, rng=np.random.default_rng(1))
+        assert result.cost == pytest.approx(kmedian_cost(blob_points, result.centers))
+
+    def test_median_robust_to_outlier(self):
+        # One far outlier: the k-median center of the cluster stays near the
+        # bulk (a k-means centroid would be dragged noticeably).
+        points = np.vstack([np.random.default_rng(0).normal(size=(50, 1)), [[1000.0]]])
+        result = weighted_kmedian(points, 1, rng=np.random.default_rng(0), n_init=1)
+        assert abs(result.centers[0, 0]) < 5.0
+
+    def test_fewer_points_than_k(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = weighted_kmedian(points, 4, rng=np.random.default_rng(0))
+        assert result.centers.shape == (4, 2)
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            weighted_kmedian(np.empty((0, 2)), 2)
+
+
+class TestKMedianCoreset:
+    def test_size_and_finiteness(self, blob_points):
+        data = WeightedPointSet.from_points(blob_points)
+        coreset = kmedian_sensitivity_coreset(data, k=4, m=100, rng=np.random.default_rng(0))
+        assert coreset.size == 100
+        assert np.all(np.isfinite(coreset.weights))
+
+    def test_passthrough_small(self):
+        data = WeightedPointSet.from_points(np.zeros((5, 2)))
+        assert kmedian_sensitivity_coreset(data, 2, 10, np.random.default_rng(0)) is data
+
+    def test_cost_roughly_preserved(self, blob_points, blob_centers):
+        data = WeightedPointSet.from_points(blob_points)
+        coreset = kmedian_sensitivity_coreset(data, k=4, m=400, rng=np.random.default_rng(1))
+        full = kmedian_cost(blob_points, blob_centers)
+        approx = kmedian_cost(coreset.points, blob_centers, coreset.weights)
+        assert approx == pytest.approx(full, rel=0.35)
+
+
+class TestKMedianConfig:
+    def test_default_bucket_size(self):
+        assert KMedianConfig(k=10).bucket_size == 200
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"k": 0}, {"k": 3, "merge_degree": 1}, {"k": 3, "coreset_size": 0}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            KMedianConfig(**kwargs)
+
+
+class TestKMedianCachedClusterer:
+    def test_query_before_points_raises(self):
+        clusterer = KMedianCachedClusterer(KMedianConfig(k=3, coreset_size=50, seed=0))
+        with pytest.raises(RuntimeError):
+            clusterer.query()
+
+    def test_end_to_end_on_blobs(self, blob_points, blob_centers):
+        clusterer = KMedianCachedClusterer(KMedianConfig(k=4, coreset_size=60, seed=0))
+        clusterer.insert_many(blob_points)
+        result = clusterer.query()
+        assert result.centers.shape == (4, 4)
+        cost = kmedian_cost(blob_points, result.centers)
+        reference = kmedian_cost(blob_points, blob_centers)
+        assert cost <= 2.0 * reference
+
+    def test_cache_populated_by_queries(self, blob_points):
+        clusterer = KMedianCachedClusterer(KMedianConfig(k=4, coreset_size=60, seed=0))
+        for start in range(0, 1200, 120):
+            clusterer.insert_many(blob_points[start : start + 120])
+            clusterer.query()
+        assert len(clusterer.cache) >= 1
+
+    def test_dimension_mismatch(self):
+        clusterer = KMedianCachedClusterer(KMedianConfig(k=2, coreset_size=20, seed=0))
+        clusterer.insert(np.zeros(3))
+        with pytest.raises(ValueError):
+            clusterer.insert(np.zeros(4))
+
+    def test_memory_stays_bounded(self, blob_points):
+        clusterer = KMedianCachedClusterer(KMedianConfig(k=4, coreset_size=50, seed=0))
+        clusterer.insert_many(blob_points)
+        clusterer.query()
+        assert clusterer.stored_points() < blob_points.shape[0]
+
+    def test_points_seen(self, blob_points):
+        clusterer = KMedianCachedClusterer(KMedianConfig(k=4, coreset_size=50, seed=0))
+        clusterer.insert_many(blob_points[:130])
+        assert clusterer.points_seen == 130

@@ -1,0 +1,140 @@
+"""Integration tests: full streams, interleaved queries, accuracy vs. batch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import StreamingExperiment, make_algorithm, run_experiment
+from repro.core.base import StreamingConfig
+from repro.data.loaders import load_dataset
+from repro.data.stream import PointStream
+from repro.kmeans.batch import weighted_kmeans
+from repro.kmeans.cost import kmeans_cost
+from repro.queries.schedule import FixedIntervalSchedule
+
+
+STREAMING_ALGOS = ("streamkm++", "ct", "cc", "rcc", "onlinecc")
+
+
+@pytest.fixture(scope="module")
+def mixture_stream() -> np.ndarray:
+    rng = np.random.default_rng(99)
+    centers = rng.normal(scale=20.0, size=(8, 10))
+    labels = rng.integers(0, 8, size=4000)
+    return centers[labels] + rng.normal(scale=1.0, size=(4000, 10))
+
+
+@pytest.fixture(scope="module")
+def fast_config() -> StreamingConfig:
+    return StreamingConfig(k=8, coreset_size=160, n_init=2, lloyd_iterations=8, seed=7)
+
+
+class TestAccuracyAgainstBatch:
+    """The paper's headline accuracy claim: coreset-based streaming matches batch."""
+
+    @pytest.mark.parametrize("algorithm", STREAMING_ALGOS)
+    def test_streaming_cost_close_to_batch(self, mixture_stream, fast_config, algorithm):
+        clusterer = make_algorithm(algorithm, fast_config)
+        clusterer.insert_many(mixture_stream)
+        streaming_cost = kmeans_cost(mixture_stream, clusterer.query().centers)
+
+        batch = weighted_kmeans(
+            mixture_stream, fast_config.k, n_init=2, rng=np.random.default_rng(7)
+        )
+        batch_cost = kmeans_cost(mixture_stream, batch.centers)
+        assert streaming_cost <= 2.0 * batch_cost
+
+    def test_sequential_is_much_worse_on_skewed_stream(self, fast_config):
+        """Reproduces the Figure 4 Intrusion observation qualitatively."""
+        info = load_dataset("intrusion", num_points=6000, seed=1)
+        points = info.points
+
+        sequential = make_algorithm("sequential", fast_config)
+        sequential.insert_many(points)
+        seq_cost = kmeans_cost(points, sequential.query().centers)
+
+        cc = make_algorithm("cc", fast_config)
+        cc.insert_many(points)
+        cc_cost = kmeans_cost(points, cc.query().centers)
+
+        assert seq_cost > 3.0 * cc_cost
+
+
+class TestInterleavedQueries:
+    @pytest.mark.parametrize("algorithm", STREAMING_ALGOS)
+    def test_queries_every_chunk_are_consistent(self, mixture_stream, fast_config, algorithm):
+        clusterer = make_algorithm(algorithm, fast_config)
+        stream = PointStream(mixture_stream)
+        previous_cost = None
+        for chunk in stream.iter_chunks(500):
+            clusterer.insert_many(chunk)
+            centers = clusterer.query().centers
+            assert centers.shape == (fast_config.k, mixture_stream.shape[1])
+            seen = mixture_stream[: stream.position]
+            cost = kmeans_cost(seen, centers)
+            assert np.isfinite(cost)
+            if previous_cost is not None:
+                # Costs grow as more points arrive but should never explode
+                # relative to the amount of data seen.
+                assert cost < 100.0 * previous_cost + 1e6
+            previous_cost = cost
+
+    def test_cc_faster_than_ct_at_high_query_rate(self, mixture_stream, fast_config):
+        """The paper's central claim: caching cuts query time vs. plain CT."""
+        schedule = FixedIntervalSchedule(160)
+        ct_run = run_experiment(
+            StreamingExperiment(algorithm="ct", config=fast_config, schedule=schedule),
+            mixture_stream,
+        )
+        cc_run = run_experiment(
+            StreamingExperiment(algorithm="cc", config=fast_config, schedule=schedule),
+            mixture_stream,
+        )
+        # CC merges at most r buckets per query; CT merges every active
+        # bucket.  Allow generous slack to keep the test robust on slow CI.
+        assert cc_run.timing.query_seconds <= ct_run.timing.query_seconds * 1.25
+
+    def test_onlinecc_query_time_is_smallest(self, mixture_stream, fast_config):
+        schedule = FixedIntervalSchedule(160)
+        runs = {}
+        for name in ("streamkm++", "onlinecc"):
+            runs[name] = run_experiment(
+                StreamingExperiment(algorithm=name, config=fast_config, schedule=schedule),
+                mixture_stream,
+            )
+        assert (
+            runs["onlinecc"].timing.query_seconds
+            < runs["streamkm++"].timing.query_seconds
+        )
+
+
+class TestDatasetsEndToEnd:
+    @pytest.mark.parametrize("dataset", ["covtype", "power", "intrusion", "drift"])
+    def test_cc_runs_on_every_dataset(self, dataset):
+        info = load_dataset(dataset, num_points=3000)
+        config = StreamingConfig(k=10, coreset_size=200, n_init=2, lloyd_iterations=5, seed=0)
+        experiment = StreamingExperiment(
+            algorithm="cc", config=config, schedule=FixedIntervalSchedule(500)
+        )
+        result = run_experiment(experiment, info.points)
+        assert result.final_centers.shape == (10, info.dimension)
+        assert result.final_cost > 0.0
+        assert result.memory.points_stored > 0
+
+
+class TestMemoryRelationships:
+    def test_table4_ordering(self, mixture_stream, fast_config):
+        """streamkm++ <= CC ≈ OnlineCC <= RCC in stored points (Table 4)."""
+        schedule = FixedIntervalSchedule(200)
+        stored = {}
+        for name in ("streamkm++", "cc", "rcc", "onlinecc"):
+            run = run_experiment(
+                StreamingExperiment(algorithm=name, config=fast_config, schedule=schedule),
+                mixture_stream,
+            )
+            stored[name] = run.memory.points_stored
+        assert stored["streamkm++"] <= stored["cc"]
+        assert stored["cc"] <= stored["rcc"]
+        # OnlineCC adds only the k online centers on top of CC.
+        assert abs(stored["onlinecc"] - stored["cc"]) <= fast_config.k + fast_config.bucket_size

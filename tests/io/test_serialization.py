@@ -1,0 +1,100 @@
+"""Unit tests for persistence helpers (centers, query results, CSV/JSON)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import QueryResult
+from repro.io.serialization import (
+    load_centers,
+    load_query_result,
+    results_from_csv,
+    results_to_csv,
+    save_centers,
+    save_query_result,
+    series_from_json,
+    series_to_json,
+)
+
+
+class TestCenters:
+    def test_roundtrip(self, tmp_path):
+        centers = np.random.default_rng(0).normal(size=(5, 3))
+        path = save_centers(tmp_path / "centers.npz", centers)
+        loaded = load_centers(path)
+        np.testing.assert_allclose(loaded, centers)
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_centers(tmp_path / "bad.npz", np.zeros(5))
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(KeyError):
+            load_centers(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "nested" / "deeper" / "centers.npz"
+        save_centers(target, np.zeros((2, 2)))
+        assert target.exists()
+
+
+class TestQueryResult:
+    def test_roundtrip(self, tmp_path):
+        result = QueryResult(
+            centers=np.arange(6, dtype=float).reshape(3, 2),
+            coreset_points=123,
+            from_cache=True,
+        )
+        path = save_query_result(tmp_path / "result.npz", result)
+        loaded = load_query_result(path)
+        np.testing.assert_allclose(loaded.centers, result.centers)
+        assert loaded.coreset_points == 123
+        assert loaded.from_cache is True
+
+    def test_roundtrip_false_flag(self, tmp_path):
+        result = QueryResult(centers=np.zeros((2, 2)), coreset_points=0, from_cache=False)
+        loaded = load_query_result(save_query_result(tmp_path / "r.npz", result))
+        assert loaded.from_cache is False
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"algorithm": "cc", "cost": 1.5, "points": 100},
+            {"algorithm": "rcc", "cost": 2.5, "points": 200},
+        ]
+        path = results_to_csv(tmp_path / "results.csv", rows)
+        loaded = results_from_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0]["algorithm"] == "cc"
+        assert float(loaded[1]["cost"]) == pytest.approx(2.5)
+
+    def test_heterogeneous_keys(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = results_to_csv(tmp_path / "mixed.csv", rows)
+        loaded = results_from_csv(path)
+        assert loaded[0]["a"] == "1"
+        assert loaded[0]["b"] == ""
+        assert loaded[1]["b"] == "2"
+
+    def test_empty_rows(self, tmp_path):
+        path = results_to_csv(tmp_path / "empty.csv", [])
+        assert results_from_csv(path) == []
+
+
+class TestJsonSeries:
+    def test_roundtrip(self, tmp_path):
+        series = {"cc": {50: 1.25, 100: 0.75}, "rcc": {50: 1.5}}
+        path = series_to_json(tmp_path / "fig.json", series)
+        loaded = series_from_json(path)
+        assert loaded["cc"]["50"] == pytest.approx(1.25)
+        assert loaded["rcc"]["50"] == pytest.approx(1.5)
+
+    def test_handles_numpy_values(self, tmp_path):
+        series = {"cc": {np.int64(10): np.float64(3.5)}}
+        path = series_to_json(tmp_path / "np.json", series)
+        loaded = series_from_json(path)
+        assert loaded["cc"]["10"] == pytest.approx(3.5)

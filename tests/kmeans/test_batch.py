@@ -1,0 +1,108 @@
+"""Unit tests for the batch k-means estimator (k-means++ + Lloyd + restarts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmeans.batch import BatchKMeans, KMeansConfig, weighted_kmeans
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestKMeansConfig:
+    def test_defaults(self):
+        config = KMeansConfig(k=5)
+        assert config.n_init == 5
+        assert config.max_iterations == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"k": -2},
+            {"k": 3, "n_init": 0},
+            {"k": 3, "max_iterations": -1},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            KMeansConfig(**kwargs)
+
+
+class TestWeightedKmeans:
+    def test_shape_and_quality_on_blobs(self, blob_points, blob_centers):
+        result = weighted_kmeans(blob_points, 4, rng=np.random.default_rng(0))
+        assert result.centers.shape == (4, 4)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert result.cost <= 1.5 * reference
+
+    def test_cost_matches_reported_centers(self, blob_points):
+        result = weighted_kmeans(blob_points, 4, rng=np.random.default_rng(1))
+        assert result.cost == pytest.approx(kmeans_cost(blob_points, result.centers))
+
+    def test_more_restarts_never_hurt_much(self, blob_points):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        single = weighted_kmeans(blob_points, 4, n_init=1, rng=rng_a)
+        many = weighted_kmeans(blob_points, 4, n_init=5, rng=rng_b)
+        assert many.cost <= single.cost * 1.0 + 1e-9
+
+    def test_fewer_points_than_k(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = weighted_kmeans(points, 5, rng=np.random.default_rng(0))
+        assert result.centers.shape == (5, 2)
+        assert result.cost == pytest.approx(0.0)
+
+    def test_exactly_k_points(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        result = weighted_kmeans(points, 4, rng=np.random.default_rng(0))
+        assert result.centers.shape == (4, 2)
+        assert result.cost == pytest.approx(0.0)
+
+    def test_weights_respected(self):
+        # Nearly all weight on two locations: centers must land there.
+        points = np.array([[0.0], [100.0], [50.0]])
+        weights = np.array([1000.0, 1000.0, 0.001])
+        result = weighted_kmeans(points, 2, weights=weights, rng=np.random.default_rng(0))
+        found = np.sort(result.centers.ravel())
+        assert found[0] == pytest.approx(0.0, abs=1.0)
+        assert found[1] == pytest.approx(100.0, abs=1.0)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            weighted_kmeans(np.empty((0, 2)), 3)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            weighted_kmeans(np.zeros(5), 2)
+
+
+class TestBatchKMeans:
+    def test_fit_predict_roundtrip(self, blob_points):
+        model = BatchKMeans(KMeansConfig(k=4), seed=0)
+        model.fit(blob_points)
+        assert model.centers_ is not None
+        labels = model.predict(blob_points)
+        assert labels.shape == (blob_points.shape[0],)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_cost_method(self, blob_points):
+        model = BatchKMeans(KMeansConfig(k=4), seed=0).fit(blob_points)
+        assert model.cost(blob_points) == pytest.approx(
+            kmeans_cost(blob_points, model.centers_)
+        )
+
+    def test_predict_before_fit_raises(self, blob_points):
+        model = BatchKMeans(KMeansConfig(k=4))
+        with pytest.raises(RuntimeError, match="before fit"):
+            model.predict(blob_points)
+
+    def test_cost_before_fit_raises(self, blob_points):
+        model = BatchKMeans(KMeansConfig(k=4))
+        with pytest.raises(RuntimeError, match="before fit"):
+            model.cost(blob_points)
+
+    def test_same_seed_reproducible(self, blob_points):
+        a = BatchKMeans(KMeansConfig(k=4), seed=11).fit(blob_points)
+        b = BatchKMeans(KMeansConfig(k=4), seed=11).fit(blob_points)
+        np.testing.assert_array_equal(a.centers_, b.centers_)

@@ -1,0 +1,133 @@
+"""Unit tests for k-means cost and assignment utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmeans.cost import (
+    assign_points,
+    cluster_sizes,
+    kmeans_cost,
+    pairwise_squared_distances,
+    per_cluster_cost,
+)
+
+
+class TestPairwiseSquaredDistances:
+    def test_simple_distances(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        centers = np.array([[0.0, 0.0]])
+        dist = pairwise_squared_distances(points, centers)
+        assert dist.shape == (2, 1)
+        assert dist[0, 0] == pytest.approx(0.0)
+        assert dist[1, 0] == pytest.approx(25.0)
+
+    def test_multiple_centers(self):
+        points = np.array([[1.0, 0.0]])
+        centers = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 1.0]])
+        dist = pairwise_squared_distances(points, centers)
+        np.testing.assert_allclose(dist, [[1.0, 1.0, 1.0]])
+
+    def test_never_negative(self):
+        generator = np.random.default_rng(0)
+        points = generator.normal(size=(100, 8)) * 1e6
+        dist = pairwise_squared_distances(points, points[:5])
+        assert np.all(dist >= 0.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            pairwise_squared_distances(np.zeros((3, 2)), np.zeros((2, 3)))
+
+    def test_one_dimensional_point_is_promoted(self):
+        dist = pairwise_squared_distances(np.array([1.0, 2.0]), np.array([[0.0, 0.0]]))
+        assert dist.shape == (1, 1)
+        assert dist[0, 0] == pytest.approx(5.0)
+
+    def test_three_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_squared_distances(np.zeros((2, 2, 2)), np.zeros((1, 2)))
+
+
+class TestAssignPoints:
+    def test_assigns_to_nearest(self):
+        points = np.array([[0.0], [10.0], [4.9]])
+        centers = np.array([[0.0], [10.0]])
+        labels, sq = assign_points(points, centers)
+        np.testing.assert_array_equal(labels, [0, 1, 0])
+        assert sq[2] == pytest.approx(4.9**2)
+
+    def test_single_center(self):
+        points = np.arange(10, dtype=float).reshape(-1, 1)
+        labels, _ = assign_points(points, np.array([[0.0]]))
+        assert np.all(labels == 0)
+
+
+class TestKmeansCost:
+    def test_zero_cost_when_points_equal_centers(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert kmeans_cost(points, points) == pytest.approx(0.0)
+
+    def test_unweighted_cost(self):
+        points = np.array([[0.0], [2.0]])
+        centers = np.array([[1.0]])
+        assert kmeans_cost(points, centers) == pytest.approx(2.0)
+
+    def test_weighted_cost(self):
+        points = np.array([[0.0], [2.0]])
+        centers = np.array([[1.0]])
+        weights = np.array([3.0, 1.0])
+        assert kmeans_cost(points, centers, weights) == pytest.approx(4.0)
+
+    def test_empty_points_cost_is_zero(self):
+        assert kmeans_cost(np.empty((0, 3)), np.zeros((2, 3))) == 0.0
+
+    def test_wrong_weight_shape_raises(self):
+        with pytest.raises(ValueError, match="weights"):
+            kmeans_cost(np.zeros((3, 2)), np.zeros((1, 2)), weights=np.ones(2))
+
+    def test_cost_decreases_with_better_centers(self, blob_points, blob_centers):
+        good = kmeans_cost(blob_points, blob_centers)
+        bad = kmeans_cost(blob_points, np.zeros((4, 4)))
+        assert good < bad
+
+
+class TestPerClusterCost:
+    def test_sums_to_total_cost(self, blob_points, blob_centers):
+        per_cluster = per_cluster_cost(blob_points, blob_centers)
+        total = kmeans_cost(blob_points, blob_centers)
+        assert per_cluster.shape == (4,)
+        assert per_cluster.sum() == pytest.approx(total)
+
+    def test_empty_cluster_has_zero_cost(self):
+        points = np.array([[0.0], [0.1]])
+        centers = np.array([[0.0], [100.0]])
+        per_cluster = per_cluster_cost(points, centers)
+        assert per_cluster[1] == pytest.approx(0.0)
+
+    def test_weighted(self):
+        points = np.array([[1.0], [-1.0]])
+        centers = np.array([[0.0]])
+        per_cluster = per_cluster_cost(points, centers, weights=np.array([2.0, 3.0]))
+        assert per_cluster[0] == pytest.approx(5.0)
+
+    def test_empty_points(self):
+        out = per_cluster_cost(np.empty((0, 2)), np.zeros((3, 2)))
+        np.testing.assert_array_equal(out, np.zeros(3))
+
+
+class TestClusterSizes:
+    def test_unweighted_sizes(self):
+        points = np.array([[0.0], [0.1], [10.0]])
+        centers = np.array([[0.0], [10.0]])
+        sizes = cluster_sizes(points, centers)
+        np.testing.assert_allclose(sizes, [2.0, 1.0])
+
+    def test_weighted_sizes_sum_to_total_weight(self, blob_points, blob_centers):
+        weights = np.linspace(0.5, 2.0, blob_points.shape[0])
+        sizes = cluster_sizes(blob_points, blob_centers, weights)
+        assert sizes.sum() == pytest.approx(weights.sum())
+
+    def test_empty_points(self):
+        sizes = cluster_sizes(np.empty((0, 2)), np.zeros((2, 2)))
+        np.testing.assert_array_equal(sizes, np.zeros(2))

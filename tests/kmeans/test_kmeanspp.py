@@ -1,0 +1,90 @@
+"""Unit tests for weighted k-means++ seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmeans.cost import kmeans_cost
+from repro.kmeans.kmeanspp import kmeanspp_seeding
+
+
+class TestKmeansppSeeding:
+    def test_returns_k_centers(self, blob_points):
+        rng = np.random.default_rng(0)
+        centers = kmeanspp_seeding(blob_points, 4, rng=rng)
+        assert centers.shape == (4, blob_points.shape[1])
+
+    def test_centers_are_input_points(self, blob_points):
+        rng = np.random.default_rng(1)
+        centers = kmeanspp_seeding(blob_points, 5, rng=rng)
+        for center in centers:
+            distances = np.linalg.norm(blob_points - center, axis=1)
+            assert np.min(distances) == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_at_least_n_returns_all_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        centers = kmeanspp_seeding(points, 5, rng=np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+        np.testing.assert_allclose(np.sort(centers, axis=0), np.sort(points, axis=0))
+
+    def test_seeding_finds_separated_clusters(self, blob_points, blob_centers):
+        # With well-separated blobs, D^2 sampling should pick one point from
+        # each blob almost always; cost should be near the true clustering cost.
+        rng = np.random.default_rng(2)
+        centers = kmeanspp_seeding(blob_points, 4, rng=rng)
+        cost = kmeans_cost(blob_points, centers)
+        reference = kmeans_cost(blob_points, blob_centers)
+        assert cost < 5.0 * reference
+
+    def test_deterministic_given_seed(self, blob_points):
+        a = kmeanspp_seeding(blob_points, 3, rng=np.random.default_rng(9))
+        b = kmeanspp_seeding(blob_points, 3, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_weights_bias_selection(self):
+        # Two groups; one has overwhelming weight, so the first chosen center
+        # almost surely comes from it.
+        points = np.vstack([np.zeros((5, 2)), np.full((5, 2), 100.0)])
+        weights = np.array([1e6] * 5 + [1e-6] * 5)
+        hits = 0
+        for seed in range(20):
+            centers = kmeanspp_seeding(
+                points, 1, weights=weights, rng=np.random.default_rng(seed)
+            )
+            if np.allclose(centers[0], 0.0):
+                hits += 1
+        assert hits == 20
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 3))
+        centers = kmeanspp_seeding(points, 2, rng=np.random.default_rng(0))
+        assert centers.shape == (2, 3)
+        np.testing.assert_array_equal(centers, np.zeros((2, 3)))
+
+    def test_invalid_k_raises(self, blob_points):
+        with pytest.raises(ValueError, match="k must be positive"):
+            kmeanspp_seeding(blob_points, 0)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            kmeanspp_seeding(np.empty((0, 2)), 3)
+
+    def test_negative_weights_raise(self, blob_points):
+        weights = np.ones(blob_points.shape[0])
+        weights[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            kmeanspp_seeding(blob_points, 2, weights=weights)
+
+    def test_all_zero_weights_raise(self):
+        points = np.ones((4, 2))
+        with pytest.raises(ValueError, match="positive"):
+            kmeanspp_seeding(points, 2, weights=np.zeros(4))
+
+    def test_wrong_weight_shape_raises(self, blob_points):
+        with pytest.raises(ValueError, match="shape"):
+            kmeanspp_seeding(blob_points, 2, weights=np.ones(3))
+
+    def test_one_dimensional_points_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kmeanspp_seeding(np.array([1.0, 2.0, 3.0]), 2)

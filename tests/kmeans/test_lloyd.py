@@ -1,0 +1,76 @@
+"""Unit tests for weighted Lloyd's iterations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmeans.cost import kmeans_cost
+from repro.kmeans.lloyd import LloydResult, lloyd_iterations
+
+
+class TestLloydIterations:
+    def test_cost_never_worse_than_initial(self, blob_points):
+        initial = blob_points[:4].copy()
+        before = kmeans_cost(blob_points, initial)
+        result = lloyd_iterations(blob_points, initial, max_iterations=10)
+        assert result.cost <= before + 1e-9
+
+    def test_recovers_separated_blobs(self, blob_points, blob_centers):
+        # Start from a perturbed version of the truth; Lloyd should converge
+        # right back to (approximately) the blob means.
+        initial = blob_centers + 2.0
+        result = lloyd_iterations(blob_points, initial, max_iterations=20)
+        for true_center in blob_centers:
+            nearest = np.min(np.linalg.norm(result.centers - true_center, axis=1))
+            assert nearest < 0.5
+
+    def test_converged_flag_on_fixed_point(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        centers = np.array([[0.5], [10.5]])
+        result = lloyd_iterations(points, centers, max_iterations=5)
+        assert result.converged
+        np.testing.assert_allclose(result.centers, centers)
+
+    def test_zero_iterations(self, blob_points):
+        initial = blob_points[:3]
+        result = lloyd_iterations(blob_points, initial, max_iterations=0)
+        assert result.iterations == 0
+        np.testing.assert_array_equal(result.centers, initial)
+
+    def test_does_not_modify_input_centers(self, blob_points):
+        initial = blob_points[:4].copy()
+        snapshot = initial.copy()
+        lloyd_iterations(blob_points, initial, max_iterations=3)
+        np.testing.assert_array_equal(initial, snapshot)
+
+    def test_empty_cluster_reseeded(self):
+        # Second center is far away from every point and would become empty.
+        points = np.vstack([np.zeros((20, 2)), np.ones((20, 2))])
+        centers = np.array([[0.5, 0.5], [1000.0, 1000.0]])
+        result = lloyd_iterations(points, centers, max_iterations=10)
+        assert result.centers.shape == (2, 2)
+        # After reseeding, both clusters should land within the data's range.
+        assert np.all(result.centers <= 1.5) and np.all(result.centers >= -0.5)
+        assert result.cost < kmeans_cost(points, centers)
+
+    def test_weighted_pull(self):
+        # A heavily-weighted point drags the centroid toward itself.
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([1.0, 99.0])
+        result = lloyd_iterations(points, np.array([[5.0]]), weights=weights)
+        assert result.centers[0, 0] == pytest.approx(9.9)
+
+    def test_empty_points(self):
+        result = lloyd_iterations(np.empty((0, 2)), np.zeros((2, 2)))
+        assert isinstance(result, LloydResult)
+        assert result.iterations == 0
+        assert result.cost == 0.0
+
+    def test_wrong_weight_shape_raises(self, blob_points):
+        with pytest.raises(ValueError, match="weights"):
+            lloyd_iterations(blob_points, blob_points[:2], weights=np.ones(3))
+
+    def test_non_2d_inputs_raise(self):
+        with pytest.raises(ValueError, match="2-D"):
+            lloyd_iterations(np.zeros(5), np.zeros((2, 1)))

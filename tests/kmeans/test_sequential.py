@@ -1,0 +1,91 @@
+"""Unit tests for the MacQueen sequential k-means state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmeans.sequential import SequentialKMeansState
+
+
+class TestSequentialKMeansState:
+    def test_initialisation_phase_uses_first_k_points(self):
+        state = SequentialKMeansState(k=3, dimension=2)
+        first = [np.array([0.0, 0.0]), np.array([5.0, 5.0]), np.array([10.0, 0.0])]
+        for point in first:
+            assert state.update(point) == 0.0
+        assert state.is_initialized
+        np.testing.assert_allclose(state.centers, np.vstack(first))
+
+    def test_not_initialized_before_k_points(self):
+        state = SequentialKMeansState(k=5, dimension=2)
+        state.update(np.zeros(2))
+        assert not state.is_initialized
+
+    def test_centroid_update_rule(self):
+        state = SequentialKMeansState(k=1, dimension=1)
+        state.update(np.array([0.0]))
+        # Weight is now 1, the next point moves the center to the midpoint.
+        sq = state.update(np.array([2.0]))
+        assert sq == pytest.approx(4.0)
+        assert state.centers[0, 0] == pytest.approx(1.0)
+        assert state.weights[0] == pytest.approx(2.0)
+        # Third point: new centroid is (1*2 + 5)/3.
+        state.update(np.array([5.0]))
+        assert state.centers[0, 0] == pytest.approx((2.0 + 5.0) / 3.0)
+
+    def test_update_returns_squared_distance_to_nearest(self):
+        state = SequentialKMeansState(k=2, dimension=1)
+        state.update(np.array([0.0]))
+        state.update(np.array([10.0]))
+        sq = state.update(np.array([9.0]))
+        assert sq == pytest.approx(1.0)
+
+    def test_nearest_center_moves(self):
+        state = SequentialKMeansState(k=2, dimension=1)
+        state.update(np.array([0.0]))
+        state.update(np.array([10.0]))
+        state.update(np.array([8.0]))
+        # Center 0 untouched, center 1 moved toward 8.
+        assert state.centers[0, 0] == pytest.approx(0.0)
+        assert state.centers[1, 0] == pytest.approx(9.0)
+
+    def test_set_centers_overrides_state(self):
+        state = SequentialKMeansState(k=2, dimension=2)
+        new_centers = np.array([[1.0, 1.0], [2.0, 2.0]])
+        state.set_centers(new_centers)
+        assert state.is_initialized
+        np.testing.assert_allclose(state.centers, new_centers)
+        # Weights reset to at least 1 so the update rule stays well-defined.
+        assert np.all(state.weights >= 1.0)
+
+    def test_set_centers_with_weights(self):
+        state = SequentialKMeansState(k=2, dimension=1)
+        state.set_centers(np.array([[0.0], [1.0]]), weights=np.array([5.0, 3.0]))
+        np.testing.assert_allclose(state.weights, [5.0, 3.0])
+
+    def test_set_centers_wrong_shape_raises(self):
+        state = SequentialKMeansState(k=2, dimension=2)
+        with pytest.raises(ValueError, match="shape"):
+            state.set_centers(np.zeros((3, 2)))
+
+    def test_wrong_dimension_point_raises(self):
+        state = SequentialKMeansState(k=2, dimension=3)
+        with pytest.raises(ValueError, match="dimension"):
+            state.update(np.zeros(2))
+
+    @pytest.mark.parametrize("k,d", [(0, 2), (2, 0), (-1, 3)])
+    def test_invalid_construction(self, k, d):
+        with pytest.raises(ValueError):
+            SequentialKMeansState(k=k, dimension=d)
+
+    def test_tracks_blob_centers_roughly(self, blob_points, blob_centers):
+        state = SequentialKMeansState(k=4, dimension=4)
+        # Feed one point from each blob first so initialisation is spread out.
+        for center in blob_centers:
+            state.update(center)
+        for point in blob_points:
+            state.update(point)
+        for true_center in blob_centers:
+            nearest = np.min(np.linalg.norm(state.centers - true_center, axis=1))
+            assert nearest < 2.0

@@ -1,0 +1,136 @@
+"""Unit tests for timing, memory, and accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import center_set_distance, cost_ratio, sse
+from repro.metrics.memory import BYTES_PER_VALUE, MemoryUsage, peak
+from repro.metrics.timing import Stopwatch, TimingBreakdown
+
+
+class TestTimingBreakdown:
+    def test_accumulation(self):
+        timing = TimingBreakdown()
+        timing.add_update(0.5, num_points=10)
+        timing.add_update(0.5, num_points=10)
+        timing.add_query(2.0)
+        assert timing.total_seconds == pytest.approx(3.0)
+        assert timing.num_updates == 20
+        assert timing.num_queries == 1
+
+    def test_per_point_averages(self):
+        timing = TimingBreakdown()
+        timing.add_update(1.0, num_points=100)
+        timing.add_query(1.0)
+        assert timing.update_time_per_point() == pytest.approx(0.01)
+        assert timing.query_time_per_point() == pytest.approx(0.01)
+        assert timing.total_time_per_point() == pytest.approx(0.02)
+        assert timing.query_time_per_query() == pytest.approx(1.0)
+
+    def test_zero_division_guards(self):
+        timing = TimingBreakdown()
+        assert timing.update_time_per_point() == 0.0
+        assert timing.query_time_per_point() == 0.0
+        assert timing.query_time_per_query() == 0.0
+        assert timing.total_time_per_point() == 0.0
+
+    def test_negative_rejected(self):
+        timing = TimingBreakdown()
+        with pytest.raises(ValueError):
+            timing.add_update(-1.0)
+        with pytest.raises(ValueError):
+            timing.add_query(-0.1)
+
+    def test_merged_with(self):
+        a = TimingBreakdown(update_seconds=1.0, query_seconds=2.0, num_updates=10, num_queries=1)
+        b = TimingBreakdown(update_seconds=3.0, query_seconds=4.0, num_updates=20, num_queries=2)
+        merged = a.merged_with(b)
+        assert merged.update_seconds == pytest.approx(4.0)
+        assert merged.query_seconds == pytest.approx(6.0)
+        assert merged.num_updates == 30
+        assert merged.num_queries == 3
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            sum(range(1000))
+        with watch.measure():
+            sum(range(1000))
+        assert watch.elapsed > 0.0
+
+    def test_time_call(self):
+        elapsed, result = Stopwatch.time_call(sum, range(100))
+        assert result == 4950
+        assert elapsed >= 0.0
+
+
+class TestMemoryUsage:
+    def test_bytes_and_megabytes(self):
+        usage = MemoryUsage(points_stored=1000, dimension=10)
+        assert usage.bytes_estimate == 1000 * 10 * BYTES_PER_VALUE
+        assert usage.megabytes == pytest.approx(usage.bytes_estimate / (1024**2))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MemoryUsage(points_stored=-1, dimension=3)
+        with pytest.raises(ValueError):
+            MemoryUsage(points_stored=5, dimension=0)
+
+    def test_peak(self):
+        usages = [
+            MemoryUsage(points_stored=10, dimension=2),
+            MemoryUsage(points_stored=50, dimension=2),
+            MemoryUsage(points_stored=30, dimension=2),
+        ]
+        assert peak(usages).points_stored == 50
+
+    def test_peak_empty_raises(self):
+        with pytest.raises(ValueError):
+            peak([])
+
+
+class TestAccuracyMetrics:
+    def test_sse_matches_kmeans_cost(self, blob_points, blob_centers):
+        from repro.kmeans.cost import kmeans_cost
+
+        assert sse(blob_points, blob_centers) == pytest.approx(
+            kmeans_cost(blob_points, blob_centers)
+        )
+
+    def test_cost_ratio_identity(self, blob_points, blob_centers):
+        assert cost_ratio(blob_points, blob_centers, blob_centers) == pytest.approx(1.0)
+
+    def test_cost_ratio_worse_centers(self, blob_points, blob_centers):
+        worse = np.zeros_like(blob_centers)
+        assert cost_ratio(blob_points, worse, blob_centers) > 1.0
+
+    def test_cost_ratio_zero_reference(self):
+        points = np.zeros((5, 2))
+        perfect = np.zeros((1, 2))
+        off = np.ones((1, 2))
+        assert cost_ratio(points, perfect, perfect) == 1.0
+        assert cost_ratio(points, off, perfect) == np.inf
+
+    def test_center_set_distance_zero_for_identical(self, blob_centers):
+        assert center_set_distance(blob_centers, blob_centers) == pytest.approx(0.0)
+
+    def test_center_set_distance_symmetric(self, blob_centers):
+        other = blob_centers + 1.0
+        assert center_set_distance(blob_centers, other) == pytest.approx(
+            center_set_distance(other, blob_centers)
+        )
+
+    def test_center_set_distance_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert center_set_distance(a, b) == pytest.approx(5.0)
+
+    def test_center_set_distance_invalid(self):
+        with pytest.raises(ValueError):
+            center_set_distance(np.zeros((0, 2)), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            center_set_distance(np.zeros(3), np.zeros((1, 3)))

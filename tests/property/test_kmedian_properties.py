@@ -1,0 +1,90 @@
+"""Property-based tests for the k-median extension."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coreset.bucket import WeightedPointSet
+from repro.extensions.kmedian import (
+    kmedian_cost,
+    kmedian_seeding,
+    kmedian_sensitivity_coreset,
+)
+from repro.kmeans.cost import kmeans_cost
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def points_and_centers(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    k = draw(st.integers(min_value=1, max_value=4))
+    d = draw(st.integers(min_value=1, max_value=3))
+    points = draw(
+        st.lists(st.lists(finite_floats, min_size=d, max_size=d), min_size=n, max_size=n)
+    )
+    centers = draw(
+        st.lists(st.lists(finite_floats, min_size=d, max_size=d), min_size=k, max_size=k)
+    )
+    return np.array(points), np.array(centers)
+
+
+@given(data=points_and_centers())
+def test_kmedian_cost_non_negative(data):
+    points, centers = data
+    assert kmedian_cost(points, centers) >= 0.0
+
+
+@given(data=points_and_centers())
+def test_adding_a_center_never_increases_kmedian_cost(data):
+    points, centers = data
+    extra = np.vstack([centers, points[:1]])
+    assert kmedian_cost(points, extra) <= kmedian_cost(points, centers) + 1e-9
+
+
+@given(data=points_and_centers(), scale=st.floats(min_value=0.1, max_value=10.0))
+def test_kmedian_cost_scales_linearly_with_weights(data, scale):
+    points, centers = data
+    base = kmedian_cost(points, centers)
+    weighted = kmedian_cost(points, centers, weights=np.full(points.shape[0], scale))
+    assert abs(weighted - base * scale) <= 1e-6 * max(1.0, abs(base * scale))
+
+
+@given(data=points_and_centers())
+def test_kmedian_cost_bounded_by_kmeans_relationship(data):
+    """Cauchy-Schwarz: (sum d_i)^2 <= n * sum d_i^2, relating the two objectives."""
+    points, centers = data
+    n = points.shape[0]
+    median_cost = kmedian_cost(points, centers)
+    means_cost = kmeans_cost(points, centers)
+    assert median_cost**2 <= n * means_cost + 1e-6 * max(1.0, n * means_cost)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=30, deadline=None)
+def test_kmedian_seeding_returns_input_points(n, k, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 3))
+    centers = kmedian_seeding(points, k, rng=rng)
+    assert centers.shape[0] == min(k, n)
+    for center in centers:
+        assert np.min(np.linalg.norm(points - center, axis=1)) <= 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=20, deadline=None)
+def test_kmedian_coreset_size_and_weights(seed):
+    rng = np.random.default_rng(seed)
+    data = WeightedPointSet.from_points(rng.normal(size=(300, 3)))
+    coreset = kmedian_sensitivity_coreset(data, k=3, m=80, rng=rng)
+    assert coreset.size == 80
+    assert np.all(coreset.weights >= 0.0)
+    assert np.all(np.isfinite(coreset.weights))
+    # Total weight preserved within a generous statistical margin.
+    assert 0.4 * data.total_weight <= coreset.total_weight <= 2.5 * data.total_weight

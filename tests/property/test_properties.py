@@ -1,0 +1,299 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import CoresetCache
+from repro.core.coreset_tree import CoresetTree
+from repro.core.numeral import digits, major, minor, num_nonzero_digits, prefixsum
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.coreset.construction import make_constructor
+from repro.kmeans.cost import kmeans_cost, pairwise_squared_distances
+from repro.queries.schedule import FixedIntervalSchedule, PoissonSchedule
+
+
+# ---------------------------------------------------------------------------
+# Base-r numeral decomposition
+# ---------------------------------------------------------------------------
+
+
+@given(n=st.integers(min_value=0, max_value=10_000_000), r=st.integers(min_value=2, max_value=16))
+def test_digits_reconstruct_n(n, r):
+    assert sum(beta * r**alpha for beta, alpha in digits(n, r)) == n
+
+
+@given(n=st.integers(min_value=0, max_value=10_000_000), r=st.integers(min_value=2, max_value=16))
+def test_major_minor_partition(n, r):
+    assert major(n, r) + minor(n, r) == n
+    assert major(n, r) >= 0
+    assert minor(n, r) >= 0
+
+
+@given(n=st.integers(min_value=1, max_value=1_000_000), r=st.integers(min_value=2, max_value=12))
+def test_minor_is_single_digit_term(n, r):
+    m = minor(n, r)
+    assert num_nonzero_digits(m, r) == 1
+
+
+@given(n=st.integers(min_value=1, max_value=200_000), r=st.integers(min_value=2, max_value=10))
+def test_prefixsum_members_are_prefixes_of_expansion(n, r):
+    terms = sorted(digits(n, r), key=lambda t: -t[1])  # most significant first
+    partial_sums = set()
+    running = 0
+    for beta, alpha in terms[:-1]:
+        running += beta * r**alpha
+        partial_sums.add(running)
+    assert prefixsum(n, r) == partial_sums
+
+
+@given(n=st.integers(min_value=1, max_value=100_000), r=st.integers(min_value=2, max_value=10))
+def test_fact2_prefixsum_evolution(n, r):
+    """Fact 2: prefixsum(N+1, r) is contained in prefixsum(N, r) plus {N}."""
+    assert prefixsum(n + 1, r) <= (prefixsum(n, r) | {n})
+
+
+@given(n=st.integers(min_value=2, max_value=1_000_000), r=st.integers(min_value=2, max_value=10))
+def test_prefixsum_size_logarithmic(n, r):
+    assert len(prefixsum(n, r)) <= math.log(n, r) + 1
+
+
+# ---------------------------------------------------------------------------
+# Cost function invariants
+# ---------------------------------------------------------------------------
+
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def points_and_centers(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    k = draw(st.integers(min_value=1, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=4))
+    points = draw(
+        st.lists(
+            st.lists(finite_floats, min_size=d, max_size=d), min_size=n, max_size=n
+        )
+    )
+    centers = draw(
+        st.lists(
+            st.lists(finite_floats, min_size=d, max_size=d), min_size=k, max_size=k
+        )
+    )
+    return np.array(points), np.array(centers)
+
+
+@given(data=points_and_centers())
+def test_cost_is_non_negative(data):
+    points, centers = data
+    assert kmeans_cost(points, centers) >= 0.0
+
+
+@given(data=points_and_centers())
+def test_distances_non_negative(data):
+    points, centers = data
+    assert np.all(pairwise_squared_distances(points, centers) >= 0.0)
+
+
+@given(data=points_and_centers())
+def test_cost_near_zero_when_centers_contain_all_points(data):
+    points, _ = data
+    # The BLAS-friendly ||x||^2 - 2 x.c + ||c||^2 expansion loses a few ulps
+    # of precision for very large coordinates, so "zero" is relative to the
+    # squared magnitude of the data.
+    scale = float(np.max(np.abs(points))) if points.size else 0.0
+    tolerance = 1e-7 * points.shape[0] * max(1.0, scale**2)
+    assert kmeans_cost(points, points) <= tolerance
+
+
+@given(data=points_and_centers(), scale=st.floats(min_value=0.1, max_value=10.0))
+def test_cost_scales_with_uniform_weights(data, scale):
+    points, centers = data
+    base = kmeans_cost(points, centers)
+    weighted = kmeans_cost(points, centers, weights=np.full(points.shape[0], scale))
+    assert weighted == np.float64(base * scale) or abs(weighted - base * scale) <= 1e-6 * max(
+        1.0, abs(base * scale)
+    )
+
+
+@given(data=points_and_centers())
+def test_adding_a_center_never_increases_cost(data):
+    points, centers = data
+    extra = np.vstack([centers, points[:1]])
+    assert kmeans_cost(points, extra) <= kmeans_cost(points, centers) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Weighted point sets
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def weighted_sets(draw, dimension=3):
+    n = draw(st.integers(min_value=0, max_value=25))
+    points = draw(
+        st.lists(
+            st.lists(finite_floats, min_size=dimension, max_size=dimension),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return WeightedPointSet(
+        points=np.array(points, dtype=float).reshape(n, dimension),
+        weights=np.array(weights, dtype=float),
+    )
+
+
+@given(a=weighted_sets(), b=weighted_sets())
+def test_union_preserves_size_and_weight(a, b):
+    combined = a.union(b)
+    assert combined.size == a.size + b.size
+    assert combined.total_weight == np.float64(a.total_weight + b.total_weight) or abs(
+        combined.total_weight - (a.total_weight + b.total_weight)
+    ) <= 1e-9
+
+
+@given(a=weighted_sets())
+def test_union_with_empty_is_identity(a):
+    empty = WeightedPointSet.empty(3)
+    assert a.union(empty).size == a.size
+    assert empty.union(a).size == a.size
+
+
+# ---------------------------------------------------------------------------
+# Coreset construction invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    m=st.integers(min_value=5, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_coreset_size_never_exceeds_target_or_input(n, m, seed):
+    rng = np.random.default_rng(seed)
+    data = WeightedPointSet.from_points(rng.normal(size=(n, 3)))
+    constructor = make_constructor(k=3, coreset_size=m, seed=seed)
+    coreset = constructor.build(data)
+    assert coreset.size <= max(m, 0) or coreset.size <= n
+    assert coreset.size <= max(m, n)
+    assert np.all(coreset.weights >= 0.0)
+    assert np.all(np.isfinite(coreset.points))
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_coreset_weight_preservation_statistical(seed):
+    rng = np.random.default_rng(seed)
+    data = WeightedPointSet.from_points(rng.normal(size=(400, 2)))
+    constructor = make_constructor(k=4, coreset_size=150, seed=seed)
+    coreset = constructor.build(data)
+    # Importance sampling preserves total weight in expectation; allow a wide
+    # statistical margin for any single draw.
+    assert 0.5 * data.total_weight <= coreset.total_weight <= 2.0 * data.total_weight
+
+
+# ---------------------------------------------------------------------------
+# Coreset tree structural invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    num_buckets=st.integers(min_value=1, max_value=40),
+    r=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_tree_levels_match_digits_for_any_r(num_buckets, r):
+    constructor = make_constructor(k=2, coreset_size=8, seed=0)
+    tree = CoresetTree(constructor, merge_degree=r)
+    rng = np.random.default_rng(0)
+    for index in range(1, num_buckets + 1):
+        bucket = Bucket(
+            data=WeightedPointSet.from_points(rng.normal(size=(8, 2))),
+            start=index,
+            end=index,
+            level=0,
+        )
+        tree.insert_bucket(bucket)
+    per_level = {alpha: beta for beta, alpha in digits(num_buckets, r)}
+    for level in range(tree.max_level() + 1):
+        assert len(tree.buckets_at_level(level)) == per_level.get(level, 0)
+    buckets = tree.active_buckets()
+    assert buckets[0].start == 1
+    assert buckets[-1].end == num_buckets
+    for previous, current in zip(buckets, buckets[1:]):
+        assert current.start == previous.end + 1
+
+
+# ---------------------------------------------------------------------------
+# Cache eviction invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    total=st.integers(min_value=1, max_value=300),
+    r=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_cache_always_holds_major_when_queried_every_step(total, r):
+    cache = CoresetCache(merge_degree=r)
+    for n in range(1, total + 1):
+        n1 = major(n, r)
+        if n1 > 0:
+            assert n1 in cache
+        cache.store(
+            Bucket(
+                data=WeightedPointSet.from_points(np.zeros((1, 2))),
+                start=1,
+                end=n,
+                level=1,
+            )
+        )
+        cache.evict_stale(n)
+        assert cache.keys() <= (prefixsum(n, r) | {n})
+
+
+# ---------------------------------------------------------------------------
+# Query schedules
+# ---------------------------------------------------------------------------
+
+
+@given(
+    interval=st.integers(min_value=1, max_value=500),
+    length=st.integers(min_value=0, max_value=5000),
+)
+def test_fixed_schedule_positions_valid(interval, length):
+    positions = FixedIntervalSchedule(interval).query_positions(length)
+    assert positions.shape[0] == length // interval
+    if positions.size:
+        assert positions[0] == interval
+        assert positions[-1] <= length
+        assert np.all(np.diff(positions) == interval)
+
+
+@given(
+    mean_interval=st.integers(min_value=1, max_value=500),
+    length=st.integers(min_value=0, max_value=3000),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_poisson_schedule_positions_valid(mean_interval, length, seed):
+    schedule = PoissonSchedule.from_mean_interval(mean_interval, seed=seed)
+    positions = schedule.query_positions(length)
+    if positions.size:
+        assert positions[0] >= 1
+        assert positions[-1] <= length
+        assert np.all(np.diff(positions) > 0)

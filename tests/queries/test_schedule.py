@@ -1,0 +1,73 @@
+"""Unit tests for query schedules (fixed interval and Poisson)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries.schedule import FixedIntervalSchedule, PoissonSchedule
+
+
+class TestFixedIntervalSchedule:
+    def test_positions(self):
+        schedule = FixedIntervalSchedule(100)
+        positions = schedule.query_positions(350)
+        np.testing.assert_array_equal(positions, [100, 200, 300])
+
+    def test_exact_multiple(self):
+        schedule = FixedIntervalSchedule(50)
+        positions = schedule.query_positions(200)
+        np.testing.assert_array_equal(positions, [50, 100, 150, 200])
+
+    def test_count(self):
+        assert FixedIntervalSchedule(100).count(1000) == 10
+
+    def test_interval_longer_than_stream(self):
+        assert FixedIntervalSchedule(1000).query_positions(500).size == 0
+
+    def test_empty_stream(self):
+        assert FixedIntervalSchedule(10).query_positions(0).size == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            FixedIntervalSchedule(0)
+
+
+class TestPoissonSchedule:
+    def test_positions_sorted_unique_and_in_range(self):
+        schedule = PoissonSchedule(rate=0.02, seed=0)
+        positions = schedule.query_positions(5000)
+        assert positions.size > 0
+        assert np.all(positions >= 1)
+        assert np.all(positions <= 5000)
+        assert np.all(np.diff(positions) > 0)
+
+    def test_mean_interval_roughly_matches_rate(self):
+        schedule = PoissonSchedule.from_mean_interval(100, seed=1)
+        positions = schedule.query_positions(100_000)
+        mean_gap = np.mean(np.diff(positions))
+        assert mean_gap == pytest.approx(100, rel=0.15)
+
+    def test_higher_rate_means_more_queries(self):
+        dense = PoissonSchedule(rate=0.02, seed=2).count(10_000)
+        sparse = PoissonSchedule(rate=0.002, seed=2).count(10_000)
+        assert dense > sparse
+
+    def test_deterministic_with_seed(self):
+        a = PoissonSchedule(rate=0.01, seed=5).query_positions(2000)
+        b = PoissonSchedule(rate=0.01, seed=5).query_positions(2000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_stream(self):
+        assert PoissonSchedule(rate=0.1, seed=0).query_positions(0).size == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonSchedule(rate=0.0)
+        with pytest.raises(ValueError):
+            PoissonSchedule.from_mean_interval(0)
+
+    def test_paper_sweep_intervals_construct(self):
+        for mean_interval in (50, 100, 200, 400, 800, 1600, 3200):
+            schedule = PoissonSchedule.from_mean_interval(mean_interval, seed=0)
+            assert schedule.rate == pytest.approx(1.0 / mean_interval)

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "cc"
+        assert args.dataset == "covtype"
+        assert args.k == 30
+
+    def test_figure_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "dbscan"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "covtype" in out
+        assert "onlinecc" in out
+        assert "fig4" in out
+
+    def test_run_command_small(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--algorithm",
+                "cc",
+                "--dataset",
+                "power",
+                "--k",
+                "5",
+                "--num-points",
+                "1500",
+                "--query-interval",
+                "500",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Run summary" in out
+        assert "cc" in out
+
+    def test_run_command_poisson(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--algorithm",
+                "onlinecc",
+                "--dataset",
+                "power",
+                "--k",
+                "5",
+                "--num-points",
+                "1200",
+                "--query-interval",
+                "400",
+                "--poisson",
+            ]
+        )
+        assert exit_code == 0
+        assert "onlinecc" in capsys.readouterr().out
+
+    def test_figure_fig4_with_output(self, tmp_path, capsys):
+        output = tmp_path / "fig4.json"
+        exit_code = main(
+            [
+                "figure",
+                "fig4",
+                "--dataset",
+                "power",
+                "--num-points",
+                "1500",
+                "--k",
+                "5",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        data = json.loads(output.read_text())
+        assert "cc" in data
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_figure_fig11(self, capsys):
+        exit_code = main(
+            ["figure", "fig11", "--dataset", "power", "--num-points", "1200", "--k", "5"]
+        )
+        assert exit_code == 0
+        assert "Figure 11" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Package-level tests: public exports, version, and subpackage imports."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.coreset",
+            "repro.kmeans",
+            "repro.baselines",
+            "repro.data",
+            "repro.queries",
+            "repro.metrics",
+            "repro.bench",
+            "repro.extensions",
+            "repro.io",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.coreset",
+            "repro.kmeans",
+            "repro.baselines",
+            "repro.data",
+            "repro.queries",
+            "repro.metrics",
+            "repro.bench",
+            "repro.extensions",
+            "repro.io",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name), f"{module}.__all__ lists missing {name}"
+
+    def test_streaming_clusterers_share_interface(self):
+        from repro.core.base import StreamingClusterer
+
+        for cls in (
+            repro.CoresetTreeClusterer,
+            repro.CachedCoresetTreeClusterer,
+            repro.RecursiveCachedClusterer,
+            repro.OnlineCCClusterer,
+            repro.SequentialKMeans,
+            repro.StreamKMpp,
+            repro.BirchClusterer,
+            repro.CluStreamClusterer,
+            repro.StreamLSClusterer,
+        ):
+            assert issubclass(cls, StreamingClusterer)
+
+    def test_docstrings_on_public_classes(self):
+        for name in (
+            "CachedCoresetTreeClusterer",
+            "RecursiveCachedClusterer",
+            "OnlineCCClusterer",
+            "StreamingConfig",
+            "WeightedPointSet",
+            "CoresetConstructor",
+        ):
+            assert getattr(repro, name).__doc__, f"{name} is missing a docstring"
