@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import QueryResult, StreamingClusterer
+from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_dimension
 from ..kmeans.batch import weighted_kmeans
 
 __all__ = ["ClusteringFeature", "BirchClusterer"]
@@ -97,6 +97,7 @@ class BirchClusterer(StreamingClusterer):
         self.max_features = max_features
         self._features: list[ClusteringFeature] = []
         self._points_seen = 0
+        self._dimension: int | None = None
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -112,6 +113,23 @@ class BirchClusterer(StreamingClusterer):
     def insert(self, point: np.ndarray) -> None:
         """Absorb a point into its nearest CF or open a new CF."""
         row = np.asarray(point, dtype=np.float64).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
+        self._insert_row(row)
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Absorb a batch of points (validation paid once per batch).
+
+        CF absorption is order-dependent (each point may open or grow the CF
+        later points are matched against), so the routing loop remains.
+        """
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        for row in arr:
+            self._insert_row(row)
+
+    def _insert_row(self, row: np.ndarray) -> None:
         self._points_seen += 1
         if not self._features:
             self._features.append(ClusteringFeature(row))

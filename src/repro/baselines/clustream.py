@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import QueryResult, StreamingClusterer
+from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_dimension
 from ..kmeans.batch import weighted_kmeans
 
 __all__ = ["MicroCluster", "CluStreamClusterer"]
@@ -105,6 +105,7 @@ class CluStreamClusterer(StreamingClusterer):
         self.recency_horizon = recency_horizon
         self._clusters: list[MicroCluster] = []
         self._points_seen = 0
+        self._dimension: int | None = None
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -120,6 +121,24 @@ class CluStreamClusterer(StreamingClusterer):
     def insert(self, point: np.ndarray) -> None:
         """Route one point to a microcluster (absorb, or create + make room)."""
         row = np.asarray(point, dtype=np.float64).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
+        self._insert_row(row)
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Route a batch of points (validation paid once per batch).
+
+        Microcluster maintenance is order-dependent (absorption changes the
+        centroid and radius later points are tested against), so routing
+        stays a loop over pre-coerced rows.
+        """
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        for row in arr:
+            self._insert_row(row)
+
+    def _insert_row(self, row: np.ndarray) -> None:
         self._points_seen += 1
         timestamp = self._points_seen
 

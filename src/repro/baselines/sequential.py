@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import QueryResult, StreamingClusterer
+from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_dimension
 from ..kmeans.sequential import SequentialKMeansState
 
 __all__ = ["SequentialKMeans"]
@@ -53,6 +53,23 @@ class SequentialKMeans(StreamingClusterer):
             self._state = SequentialKMeansState(self.k, row.shape[0])
         self._state.update(row)
         self._points_seen += 1
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Apply MacQueen updates to a batch (validation paid once per batch).
+
+        The update rule itself is order-dependent and stays sequential; this
+        override only removes the per-point coercion overhead.
+        """
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        require_dimension(
+            self._state.dimension if self._state is not None else None, arr.shape[1]
+        )
+        if self._state is None:
+            self._state = SequentialKMeansState(self.k, arr.shape[1])
+        self._state.update_many(arr)
+        self._points_seen += arr.shape[0]
 
     def query(self) -> QueryResult:
         """Return the maintained centers (O(1))."""

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import QueryResult, StreamingClusterer
+from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_dimension
+from ..core.buffer import BucketBuffer
 from ..kmeans.batch import weighted_kmeans
 from ..kmeans.cost import assign_points
 
@@ -80,7 +81,7 @@ class StreamLSClusterer(StreamingClusterer):
         if self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         self.fanout = fanout
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(self.chunk_size)
         self._levels: list[_WeightedLevel] = []
         self._points_seen = 0
         self._dimension: int | None = None
@@ -94,12 +95,21 @@ class StreamLSClusterer(StreamingClusterer):
     def insert(self, point: np.ndarray) -> None:
         """Buffer one point; cluster the chunk when the buffer fills."""
         row = np.asarray(point, dtype=np.float64).reshape(-1)
-        if self._dimension is None:
-            self._dimension = row.shape[0]
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
         self._buffer.append(row)
         self._points_seen += 1
-        if len(self._buffer) >= self.chunk_size:
+        if self._buffer.is_full:
             self._flush_chunk()
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Insert a batch: full chunks are zero-copy slices of the input."""
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        self._points_seen += arr.shape[0]
+        for block in self._buffer.take_full_blocks(arr):
+            self._cluster_chunk(block)
 
     def query(self) -> QueryResult:
         """Cluster the union of buffered points and retained representatives."""
@@ -117,12 +127,13 @@ class StreamLSClusterer(StreamingClusterer):
 
     def stored_points(self) -> int:
         """Buffered raw points plus all retained weighted representatives."""
-        return len(self._buffer) + sum(level.size for level in self._levels)
+        return self._buffer.size + sum(level.size for level in self._levels)
 
     def _flush_chunk(self) -> None:
-        points = np.vstack(self._buffer)
+        self._cluster_chunk(self._buffer.drain())
+
+    def _cluster_chunk(self, points: np.ndarray) -> None:
         weights = np.ones(points.shape[0], dtype=np.float64)
-        self._buffer = []
         self._promote(0, points, weights)
 
     def _promote(self, level_index: int, points: np.ndarray, weights: np.ndarray) -> None:
@@ -152,8 +163,8 @@ class StreamLSClusterer(StreamingClusterer):
     def _collect_all(self) -> tuple[np.ndarray, np.ndarray]:
         pieces: list[np.ndarray] = []
         weight_pieces: list[np.ndarray] = []
-        if self._buffer:
-            buffered = np.vstack(self._buffer)
+        if not self._buffer.is_empty:
+            buffered = self._buffer.snapshot()
             pieces.append(buffered)
             weight_pieces.append(np.ones(buffered.shape[0], dtype=np.float64))
         for level in self._levels:

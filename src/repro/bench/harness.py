@@ -1,10 +1,13 @@
 """The experiment harness: replay a stream against an algorithm and a query schedule.
 
 This is the machinery behind every figure and table in the paper's Section 5:
-points are fed to a :class:`~repro.core.base.StreamingClusterer` one at a
-time; whenever the query schedule says a query is due, the clusterer is asked
-for centers; update time, query time, memory, and the final clustering cost
-are recorded.
+the stream is fed to a :class:`~repro.core.base.StreamingClusterer` in
+maximal batches between query events (``ingest_mode="batch"``, the default,
+exercising the vectorized ``insert_batch`` pipeline) or point-by-point
+(``ingest_mode="point"``, the paper's original measurement style); whenever
+the query schedule says a query is due, the clusterer is asked for centers;
+update time (per point *and* per batch), query time, memory, and the final
+clustering cost are recorded.
 
 Algorithm construction goes through a small registry of named factories so
 that benchmarks, examples, and tests refer to algorithms by the same names the
@@ -22,6 +25,7 @@ import numpy as np
 from ..baselines.sequential import SequentialKMeans
 from ..baselines.streamkmpp import StreamKMpp
 from ..core.base import StreamingClusterer, StreamingConfig
+from ..data.stream import PointStream
 from ..core.driver import (
     CachedCoresetTreeClusterer,
     CoresetTreeClusterer,
@@ -136,6 +140,13 @@ class StreamingExperiment:
     track_query_costs:
         When True, the k-means cost of every query answer is evaluated over
         the points seen so far (slow; used only by accuracy-focused tests).
+    ingest_mode:
+        ``"batch"`` (default) feeds the stream through ``insert_batch`` in
+        maximal blocks between query events; ``"point"`` times one ``insert``
+        call per point, reproducing the pre-vectorization measurement.
+    chunk_size:
+        Optional cap on batch length in batch mode (None = one batch per
+        inter-query segment).
     """
 
     algorithm: str
@@ -144,6 +155,8 @@ class StreamingExperiment:
     nesting_depth: int = 3
     switch_threshold: float = 1.2
     track_query_costs: bool = False
+    ingest_mode: str = "batch"
+    chunk_size: int | None = None
 
 
 def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunResult:
@@ -151,6 +164,10 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
     data = np.asarray(points, dtype=np.float64)
     if data.ndim != 2 or data.shape[0] == 0:
         raise ValueError("points must be a non-empty 2-D array")
+    if experiment.ingest_mode not in ("batch", "point"):
+        raise ValueError(
+            f"ingest_mode must be 'batch' or 'point', got {experiment.ingest_mode!r}"
+        )
 
     algorithm = make_algorithm(
         experiment.algorithm,
@@ -167,21 +184,32 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
     query_costs: list[float] = []
     num_queries = 0
 
-    for index in range(data.shape[0]):
+    def run_query(position: int) -> None:
+        nonlocal last_centers, num_queries, peak_points
         start = time.perf_counter()
-        algorithm.insert(data[index])
-        timing.add_update(time.perf_counter() - start)
+        result = algorithm.query()
+        timing.add_query(time.perf_counter() - start)
+        last_centers = result.centers
+        num_queries += 1
+        peak_points = max(peak_points, algorithm.stored_points())
+        if experiment.track_query_costs:
+            query_costs.append(kmeans_cost(data[:position], result.centers))
 
-        position = index + 1
-        if position in query_set:
+    if experiment.ingest_mode == "batch":
+        stream = PointStream(data)
+        for block in stream.iter_segments(query_set, chunk_size=experiment.chunk_size):
             start = time.perf_counter()
-            result = algorithm.query()
-            timing.add_query(time.perf_counter() - start)
-            last_centers = result.centers
-            num_queries += 1
-            peak_points = max(peak_points, algorithm.stored_points())
-            if experiment.track_query_costs:
-                query_costs.append(kmeans_cost(data[:position], result.centers))
+            algorithm.insert_batch(block)
+            timing.add_batch_update(time.perf_counter() - start, block.shape[0])
+            if stream.position in query_set:
+                run_query(stream.position)
+    else:
+        for index in range(data.shape[0]):
+            start = time.perf_counter()
+            algorithm.insert(data[index])
+            timing.add_update(time.perf_counter() - start)
+            if index + 1 in query_set:
+                run_query(index + 1)
 
     if last_centers is None:
         # No scheduled query fired (short stream): issue one final query so

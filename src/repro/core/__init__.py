@@ -1,6 +1,7 @@
 """Core streaming clustering algorithms: CT, CC, RCC, and OnlineCC."""
 
 from .base import ClusteringStructure, QueryResult, StreamingClusterer, StreamingConfig
+from .buffer import BucketBuffer
 from .cache import CoresetCache
 from .cached_tree import CachedCoresetTree
 from .coreset_tree import CoresetTree
@@ -19,6 +20,7 @@ __all__ = [
     "QueryResult",
     "StreamingClusterer",
     "StreamingConfig",
+    "BucketBuffer",
     "CoresetCache",
     "CachedCoresetTree",
     "CoresetTree",

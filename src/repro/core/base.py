@@ -29,7 +29,54 @@ __all__ = [
     "ClusteringStructure",
     "StreamingClusterer",
     "QueryResult",
+    "coerce_batch",
+    "require_dimension",
+    "validate_base_buckets",
 ]
+
+
+def coerce_batch(points: np.ndarray) -> np.ndarray:
+    """Coerce a batch of points to a 2-D float64 array (one validation per batch)."""
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        # An empty 1-D input is an empty batch, not a single 0-dimensional
+        # point: reshaping it to (1, 0) would defeat the callers' empty-batch
+        # guards and poison their stream dimension with 0.
+        arr = arr.reshape(1, -1) if arr.size else arr.reshape(0, 0)
+    if arr.ndim != 2:
+        raise ValueError(f"points must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+def require_dimension(current: int | None, dimension: int, what: str = "points") -> int:
+    """Return the stream dimension, validating ``dimension`` against ``current``.
+
+    The shared first-point-sets-it / later-points-must-match rule every
+    clusterer applies: pass the stored dimension (or None before the first
+    point) and assign the result back.
+    """
+    if current is None:
+        return dimension
+    if dimension != current:
+        raise ValueError(f"{what} dimension is {dimension}, expected {current}")
+    return current
+
+
+def validate_base_buckets(buckets: list[Bucket], expected_start: int, owner: str) -> None:
+    """Check that ``buckets`` are consecutive base buckets from ``expected_start``.
+
+    Shared by every structure's ``insert_buckets``: each bucket must be
+    level 0 with the next single-index span.
+    """
+    for offset, bucket in enumerate(buckets):
+        if bucket.level != 0:
+            raise ValueError(f"{owner}.insert_buckets expects level-0 base buckets")
+        index = expected_start + offset
+        if bucket.start != index or bucket.end != index:
+            raise ValueError(
+                f"expected base bucket with span [{index},{index}], "
+                f"got [{bucket.start},{bucket.end}]"
+            )
 
 
 @dataclass(frozen=True)
@@ -129,6 +176,17 @@ class ClusteringStructure(ABC):
     def insert_bucket(self, bucket: Bucket) -> None:
         """Insert one base bucket (``level == 0``) into the structure."""
 
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Insert several consecutive base buckets at once.
+
+        The default delegates to :meth:`insert_bucket`; tree-shaped
+        implementations override it with an amortized carry propagation that
+        performs all merges of one level in a single pass.  The final state
+        must be identical to inserting the buckets one at a time.
+        """
+        for bucket in buckets:
+            self.insert_bucket(bucket)
+
     @abstractmethod
     def query_coreset(self) -> WeightedPointSet:
         """Return a weighted coreset of all points inserted so far.
@@ -162,13 +220,22 @@ class StreamingClusterer(ABC):
     def insert(self, point: np.ndarray) -> None:
         """Insert a single point from the stream."""
 
-    def insert_many(self, points: np.ndarray) -> None:
-        """Insert an array of points, in order (convenience wrapper)."""
-        arr = np.asarray(points, dtype=np.float64)
-        if arr.ndim == 1:
-            arr = arr.reshape(1, -1)
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Insert an array of points, in order — the batch ingestion contract.
+
+        Every algorithm (CT/CC/RCC, OnlineCC, and the baselines) accepts
+        batches through this method and must produce exactly the state a
+        point-by-point :meth:`insert` loop would.  The default coerces once
+        and loops; vectorizable algorithms override it with zero-copy bucket
+        slicing (see :class:`~repro.core.driver.StreamClusterDriver`).
+        """
+        arr = coerce_batch(points)
         for row in arr:
             self.insert(row)
+
+    def insert_many(self, points: np.ndarray) -> None:
+        """Insert an array of points, in order (alias of :meth:`insert_batch`)."""
+        self.insert_batch(points)
 
     @abstractmethod
     def query(self) -> QueryResult:

@@ -1,0 +1,176 @@
+"""Preallocated base-bucket buffer for vectorized stream ingestion.
+
+The driver collects arriving points into base buckets of ``m`` points before
+handing them to the clustering structure.  The original implementation kept a
+``list[np.ndarray]`` of single rows and paid a Python-level ``append`` per
+point plus an ``np.vstack`` per bucket; :class:`BucketBuffer` replaces that
+with one preallocated ``(m, d)`` array and a fill cursor, so batch ingestion
+copies at most the ragged head and tail of an incoming array and *slices* all
+interior full buckets directly out of it (zero copy).
+
+:meth:`BucketBuffer.take_full_blocks` is the single primitive every batch
+ingestion path (driver, OnlineCC, shards, decay/window extensions, StreamLS)
+builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BucketBuffer"]
+
+
+class BucketBuffer:
+    """Fixed-capacity row buffer backing the driver's partial base bucket.
+
+    Parameters
+    ----------
+    capacity:
+        Bucket size ``m``: the number of rows a full buffer holds.
+    dimension:
+        Dimensionality of the rows.  May be omitted and set lazily on the
+        first append/fill (streams reveal their dimension with the first
+        point).
+
+    Notes
+    -----
+    The backing array is allocated once and reused across buckets: draining
+    the buffer returns a *copy* of the filled region and resets the cursor,
+    so callers may retain drained blocks indefinitely.  Blocks produced by
+    :meth:`take_full_blocks` that were sliced out of the caller's input array
+    are views into that input, not into the buffer.
+    """
+
+    def __init__(self, capacity: int, dimension: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._data: np.ndarray | None = None
+        self._size = 0
+        if dimension is not None:
+            self._allocate(dimension)
+
+    def _allocate(self, dimension: int) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self._data = np.empty((self._capacity, dimension), dtype=np.float64)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """The bucket size ``m``."""
+        return self._capacity
+
+    @property
+    def dimension(self) -> int | None:
+        """Row dimensionality (None until the first row arrives)."""
+        return None if self._data is None else int(self._data.shape[1])
+
+    @property
+    def size(self) -> int:
+        """Number of rows currently buffered."""
+        return self._size
+
+    @property
+    def remaining(self) -> int:
+        """Rows still needed to complete the current bucket."""
+        return self._capacity - self._size
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no rows are buffered."""
+        return self._size == 0
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer holds a complete bucket."""
+        return self._size >= self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, row: np.ndarray) -> None:
+        """Append one row (already validated by the caller)."""
+        if self._data is None:
+            self._allocate(row.shape[0])
+        assert self._data is not None
+        if self._size >= self._capacity:
+            raise ValueError("cannot append to a full BucketBuffer")
+        self._data[self._size] = row
+        self._size += 1
+
+    def fill(self, arr: np.ndarray, offset: int = 0) -> int:
+        """Copy rows from ``arr[offset:]`` until the buffer is full or ``arr`` ends.
+
+        Returns the number of rows consumed from ``arr``.
+        """
+        if self._data is None:
+            self._allocate(arr.shape[1])
+        assert self._data is not None
+        take = min(self._capacity - self._size, arr.shape[0] - offset)
+        if take <= 0:
+            return 0
+        self._data[self._size : self._size + take] = arr[offset : offset + take]
+        self._size += take
+        return take
+
+    def drain(self) -> np.ndarray:
+        """Return a copy of the filled region and reset the cursor.
+
+        The copy is required because the backing array is reused for the next
+        bucket while the drained block lives on inside the structure.
+        """
+        if self._data is None or self._size == 0:
+            raise ValueError("cannot drain an empty BucketBuffer")
+        block = self._data[: self._size].copy()
+        self._size = 0
+        return block
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the filled region without resetting (for query-time unions)."""
+        if self._data is None or self._size == 0:
+            dim = self.dimension or 1
+            return np.empty((0, dim), dtype=np.float64)
+        return self._data[: self._size].copy()
+
+    def clear(self) -> None:
+        """Discard all buffered rows."""
+        self._size = 0
+
+    # -- batch splitting -----------------------------------------------------
+
+    def take_full_blocks(self, arr: np.ndarray) -> list[np.ndarray]:
+        """Split a batch into full ``(m, d)`` blocks, keeping the ragged tail.
+
+        The incoming array is consumed entirely: rows first top up the
+        partially-filled buffer (head copy); every aligned run of ``m`` rows
+        after that is returned as a zero-copy slice of ``arr``; the remaining
+        ``< m`` tail rows are copied into the buffer for the next call.
+
+        Returns the completed blocks in arrival order.  The first block may be
+        a drained copy (when the buffer was partially filled); all others are
+        views into ``arr``.  No per-point Python work is performed — the only
+        loop is one iteration per *full bucket*.
+        """
+        n = arr.shape[0]
+        if n == 0:
+            return []
+        blocks: list[np.ndarray] = []
+        pos = 0
+        if self._size > 0:
+            pos = self.fill(arr)
+            if self.is_full:
+                blocks.append(self.drain())
+            else:
+                return blocks  # arr exhausted inside the partial bucket
+        m = self._capacity
+        num_full = (n - pos) // m
+        for i in range(num_full):
+            blocks.append(arr[pos + i * m : pos + (i + 1) * m])
+        pos += num_full * m
+        if pos < n:
+            self.fill(arr, offset=pos)
+        return blocks

@@ -82,6 +82,14 @@ class CachedCoresetTree(ClusteringStructure):
         """Insert a base bucket (identical to CT-Update)."""
         self._tree.insert_bucket(bucket)
 
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Insert several base buckets with the tree's amortized carry pass.
+
+        The cache is query-maintained and untouched by inserts, so batch
+        insertion delegates straight to :meth:`CoresetTree.insert_buckets`.
+        """
+        self._tree.insert_buckets(buckets)
+
     def query_coreset(self) -> WeightedPointSet:
         """Return a coreset for buckets ``[1, N]``, updating the cache."""
         return self.query_coreset_bucket().data

@@ -17,7 +17,7 @@ from __future__ import annotations
 from ..coreset.bucket import Bucket, WeightedPointSet
 from ..coreset.construction import CoresetConstructor
 from ..coreset.merge import merge_buckets
-from .base import ClusteringStructure
+from .base import ClusteringStructure, validate_base_buckets
 
 __all__ = ["CoresetTree"]
 
@@ -84,6 +84,38 @@ class CoresetTree(ClusteringStructure):
             self._append_at_level(level + 1, merged)
             level += 1
 
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Insert several consecutive base buckets with amortized carries.
+
+        Instead of cascading a full carry propagation per bucket, all new
+        buckets are appended to level 0 and each level is then settled in a
+        single pass: every complete group of ``r`` oldest buckets merges into
+        one bucket carried to the next level.  Because merge randomness is
+        span-keyed (see :meth:`~repro.coreset.construction.CoresetConstructor.build_for_span`)
+        and merged spans are always the same aligned ``r^j`` blocks, the final
+        tree is bit-identical to inserting the buckets one at a time.
+        """
+        if not buckets:
+            return
+        validate_base_buckets(buckets, self._num_base_buckets + 1, "CoresetTree")
+        self._num_base_buckets += len(buckets)
+        self._ensure_level(0)
+        self._levels[0].extend(buckets)
+        level = 0
+        while level < len(self._levels):
+            pending = self._levels[level]
+            if len(pending) >= self._merge_degree:
+                carried: list[Bucket] = []
+                while len(pending) >= self._merge_degree:
+                    group = pending[: self._merge_degree]
+                    pending = pending[self._merge_degree :]
+                    carried.append(merge_buckets(group, self._constructor))
+                    self._merge_count += 1
+                self._levels[level] = pending
+                self._ensure_level(level + 1)
+                self._levels[level + 1].extend(carried)
+            level += 1
+
     def active_buckets(self) -> list[Bucket]:
         """All active buckets, ordered by span (oldest range first)."""
         buckets = [b for level in self._levels for b in level]
@@ -122,9 +154,12 @@ class CoresetTree(ClusteringStructure):
                 highest = level
         return highest
 
-    def _append_at_level(self, level: int, bucket: Bucket) -> None:
+    def _ensure_level(self, level: int) -> None:
         while len(self._levels) <= level:
             self._levels.append([])
+
+    def _append_at_level(self, level: int, bucket: Bucket) -> None:
+        self._ensure_level(level)
         self._levels[level].append(bucket)
 
     def _dimension_hint(self) -> int:

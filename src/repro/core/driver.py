@@ -5,6 +5,12 @@ bucket fills it is handed to the clustering structure ``D``; at query time the
 structure's coreset is unioned with the partially-filled bucket and k-means++
 (plus Lloyd refinement) extracts ``k`` centers.
 
+The ingestion pipeline is batch-first: :meth:`StreamClusterDriver.insert_batch`
+slices full base buckets directly out of the incoming array (zero copy, no
+per-point Python work) and hands them to the structure in one amortized
+``insert_buckets`` call; :meth:`StreamClusterDriver.insert` is a thin
+per-point wrapper over the same preallocated bucket buffer.
+
 :class:`StreamClusterDriver` is generic over any
 :class:`~repro.core.base.ClusteringStructure`; the concrete classes
 :class:`CoresetTreeClusterer` (CT), :class:`CachedCoresetTreeClusterer` (CC),
@@ -15,9 +21,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
 from ..kmeans.batch import weighted_kmeans
-from .base import ClusteringStructure, QueryResult, StreamingClusterer, StreamingConfig
+from .base import (
+    ClusteringStructure,
+    QueryResult,
+    StreamingClusterer,
+    StreamingConfig,
+    coerce_batch,
+    require_dimension,
+)
+from .buffer import BucketBuffer
 from .cached_tree import CachedCoresetTree
 from .coreset_tree import CoresetTree
 from .recursive_cache import RecursiveCachedTree
@@ -46,7 +60,7 @@ class StreamClusterDriver(StreamingClusterer):
         self.config = config
         self._structure = structure
         self._bucket_size = config.bucket_size
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(config.bucket_size)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -67,37 +81,49 @@ class StreamClusterDriver(StreamingClusterer):
         return self._dimension
 
     def insert(self, point: np.ndarray) -> None:
-        """Buffer one point; flush a base bucket when the buffer reaches ``m``."""
+        """Buffer one point; flush a base bucket when the buffer reaches ``m``.
+
+        Thin per-point wrapper over the batch machinery: one row lands in the
+        preallocated :class:`~repro.core.buffer.BucketBuffer` and a full
+        buffer is handed to the structure as a base bucket.
+        """
         row = np.asarray(point, dtype=np.float64).reshape(-1)
-        if self._dimension is None:
-            self._dimension = row.shape[0]
-        elif row.shape[0] != self._dimension:
-            raise ValueError(
-                f"point has dimension {row.shape[0]}, expected {self._dimension}"
-            )
+        self._require_dimension(row.shape[0], what="point")
         self._buffer.append(row)
         self._points_seen += 1
-        if len(self._buffer) >= self._bucket_size:
+        if self._buffer.is_full:
             self._flush_buffer()
 
-    def insert_many(self, points: np.ndarray) -> None:
-        """Insert an array of points, flushing base buckets as they fill."""
-        arr = np.asarray(points, dtype=np.float64)
-        if arr.ndim == 1:
-            arr = arr.reshape(1, -1)
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Vectorized batch insert: full buckets are zero-copy slices.
+
+        The ragged head tops up the partial bucket and the ragged tail is
+        copied into it; every aligned run of ``m`` interior rows becomes a
+        base bucket that references the input array directly (no per-point
+        Python work).  All completed buckets are handed to the structure in
+        one :meth:`~repro.core.base.ClusteringStructure.insert_buckets` call
+        so carry propagation is amortized across the batch.
+
+        Because full buckets alias the input, the caller must not mutate the
+        array after inserting it (pass a copy to keep ownership).  The views
+        also keep the whole input array alive until those buckets are merged
+        into sampled coresets — callers streaming very large arrays they
+        intend to discard can pass copies to trade one memcpy for earlier
+        reclamation.
+        """
+        arr = coerce_batch(points)
         if arr.shape[0] == 0:
             return
-        if self._dimension is None:
-            self._dimension = arr.shape[1]
-        elif arr.shape[1] != self._dimension:
-            raise ValueError(
-                f"points have dimension {arr.shape[1]}, expected {self._dimension}"
+        self._require_dimension(arr.shape[1], what="points")
+        blocks = self._buffer.take_full_blocks(arr)
+        self._points_seen += arr.shape[0]
+        if blocks:
+            self._structure.insert_buckets(
+                make_base_buckets(blocks, self._structure.num_base_buckets + 1)
             )
-        for row in arr:
-            self._buffer.append(row)
-            self._points_seen += 1
-            if len(self._buffer) >= self._bucket_size:
-                self._flush_buffer()
+
+    def _require_dimension(self, dimension: int, what: str = "point") -> None:
+        self._dimension = require_dimension(self._dimension, dimension, what=what)
 
     def query(self) -> QueryResult:
         """Merge the structure's coreset with the partial bucket and run k-means++."""
@@ -122,18 +148,17 @@ class StreamClusterDriver(StreamingClusterer):
 
     def stored_points(self) -> int:
         """Points held by the structure plus the partial base bucket."""
-        return self._structure.stored_points() + len(self._buffer)
+        return self._structure.stored_points() + self._buffer.size
 
     def _flush_buffer(self) -> None:
         index = self._structure.num_base_buckets + 1
-        data = WeightedPointSet.from_points(np.vstack(self._buffer))
+        data = WeightedPointSet.from_points(self._buffer.drain())
         self._structure.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
-        self._buffer = []
 
     def _partial_bucket_points(self) -> WeightedPointSet:
-        if not self._buffer:
+        if self._buffer.is_empty:
             return WeightedPointSet.empty(self._dimension or 1)
-        return WeightedPointSet.from_points(np.vstack(self._buffer))
+        return WeightedPointSet.from_points(self._buffer.snapshot())
 
 
 class CoresetTreeClusterer(StreamClusterDriver):

@@ -20,11 +20,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
 from ..kmeans.batch import weighted_kmeans
 from ..kmeans.cost import kmeans_cost
 from ..kmeans.sequential import SequentialKMeansState
-from .base import QueryResult, StreamingClusterer, StreamingConfig
+from .base import (
+    QueryResult,
+    StreamingClusterer,
+    StreamingConfig,
+    coerce_batch,
+    require_dimension,
+)
+from .buffer import BucketBuffer
 from .cached_tree import CachedCoresetTree
 
 __all__ = ["OnlineCCClusterer"]
@@ -64,10 +71,9 @@ class OnlineCCClusterer(StreamingClusterer):
 
         constructor = config.make_constructor()
         self._cc = CachedCoresetTree(constructor, merge_degree=config.merge_degree)
-        self._bucket_size = config.bucket_size
         self._rng = np.random.default_rng(config.seed)
 
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(config.bucket_size)
         self._points_seen = 0
         self._dimension: int | None = None
 
@@ -124,8 +130,36 @@ class OnlineCCClusterer(StreamingClusterer):
         # CC path: buffer into base buckets.
         self._buffer.append(row)
         self._points_seen += 1
-        if len(self._buffer) >= self._bucket_size:
+        if self._buffer.is_full:
             self._flush_buffer()
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Batch insert: vectorized bucket slicing for CC, sequential MacQueen.
+
+        The CC side consumes the batch through zero-copy bucket slicing and
+        one amortized ``insert_buckets`` call, exactly like the driver.  The
+        online side is MacQueen's rule, which is order-dependent by
+        definition, so it loops — but over pre-coerced rows, with validation
+        paid once per batch.
+        """
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        if self._online is None:
+            self._online = SequentialKMeansState(self.config.k, self._dimension)
+
+        # Accumulate into phi_now with per-point associativity so the cost
+        # bound (and hence every fallback decision) matches the insert loop
+        # bit for bit.
+        self._phi_now = self._online.update_many(arr, initial=self._phi_now)
+
+        blocks = self._buffer.take_full_blocks(arr)
+        self._points_seen += arr.shape[0]
+        if blocks:
+            self._cc.insert_buckets(
+                make_base_buckets(blocks, self._cc.num_base_buckets + 1)
+            )
 
     # -- queries ---------------------------------------------------------------
 
@@ -151,7 +185,7 @@ class OnlineCCClusterer(StreamingClusterer):
     def stored_points(self) -> int:
         """Points held by the CC structure, the partial bucket, and the online centers."""
         online_points = self.config.k if self._online is not None else 0
-        return self._cc.stored_points() + len(self._buffer) + online_points
+        return self._cc.stored_points() + self._buffer.size + online_points
 
     # -- internals ---------------------------------------------------------------
 
@@ -191,11 +225,10 @@ class OnlineCCClusterer(StreamingClusterer):
 
     def _flush_buffer(self) -> None:
         index = self._cc.num_base_buckets + 1
-        data = WeightedPointSet.from_points(np.vstack(self._buffer))
+        data = WeightedPointSet.from_points(self._buffer.drain())
         self._cc.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
-        self._buffer = []
 
     def _partial_bucket_points(self) -> WeightedPointSet:
-        if not self._buffer:
+        if self._buffer.is_empty:
             return WeightedPointSet.empty(self._dimension or 1)
-        return WeightedPointSet.from_points(np.vstack(self._buffer))
+        return WeightedPointSet.from_points(self._buffer.snapshot())

@@ -19,7 +19,7 @@ from __future__ import annotations
 from ..coreset.bucket import Bucket, WeightedPointSet
 from ..coreset.construction import CoresetConstructor
 from ..coreset.merge import merge_buckets, union_buckets
-from .base import ClusteringStructure
+from .base import ClusteringStructure, validate_base_buckets
 from .numeral import major, prefixsum
 
 __all__ = ["RecursiveCachedTree", "merge_degree_for_order"]
@@ -62,6 +62,44 @@ class _RccNode:
             self._levels[level] = []
             if self.order > 0:
                 self._children[level] = _RccNode(self.order - 1, self._constructor)
+            level += 1
+
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Batch RCC-Update: settle each level in one amortized pass.
+
+        Matches the sequential semantics exactly: a level that merged during
+        the batch leaves behind only its post-merge suffix, so its inner
+        structure is rebuilt from that suffix (in the sequential flow the
+        inner structure is reset at the last merge and then receives exactly
+        those buckets).  Span-keyed merge randomness makes the resulting
+        buckets bit-identical to one-at-a-time insertion.
+        """
+        if not buckets:
+            return
+        self.num_buckets += len(buckets)
+        self._ensure_level(0)
+        self._levels[0].extend(buckets)
+        if self.order > 0:
+            self._child(0).insert_buckets(buckets)
+
+        level = 0
+        while level < len(self._levels):
+            pending = self._levels[level]
+            carried: list[Bucket] = []
+            while len(pending) >= self.merge_degree:
+                group = pending[: self.merge_degree]
+                pending = pending[self.merge_degree :]
+                carried.append(merge_buckets(group, self._constructor))
+            if carried:
+                self._levels[level] = pending
+                if self.order > 0:
+                    self._children[level] = _RccNode(self.order - 1, self._constructor)
+                    if pending:
+                        self._children[level].insert_buckets(pending)
+                self._ensure_level(level + 1)
+                self._levels[level + 1].extend(carried)
+                if self.order > 0:
+                    self._child(level + 1).insert_buckets(carried)
             level += 1
 
     # -- query path ---------------------------------------------------------
@@ -222,6 +260,14 @@ class RecursiveCachedTree(ClusteringStructure):
             )
         self._num_base_buckets += 1
         self._root.insert(bucket)
+
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Insert several consecutive base buckets in one amortized pass."""
+        if not buckets:
+            return
+        validate_base_buckets(buckets, self._num_base_buckets + 1, "RecursiveCachedTree")
+        self._num_base_buckets += len(buckets)
+        self._root.insert_buckets(buckets)
 
     def query_coreset(self) -> WeightedPointSet:
         """Return a coreset of everything inserted so far, updating the caches."""

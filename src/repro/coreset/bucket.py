@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["WeightedPointSet", "Bucket"]
+__all__ = ["WeightedPointSet", "Bucket", "make_base_buckets"]
 
 
 @dataclass(frozen=True)
@@ -93,13 +93,28 @@ class WeightedPointSet:
         )
 
     @staticmethod
-    def union_all(sets: list["WeightedPointSet"]) -> "WeightedPointSet":
-        """Union an arbitrary list of weighted point sets."""
+    def union_all(
+        sets: list["WeightedPointSet"], dimension: int | None = None
+    ) -> "WeightedPointSet":
+        """Union an arbitrary list of weighted point sets.
+
+        Dimension handling is uniform across all inputs: every set (empty or
+        not) must agree on the dimensionality, and a mismatch raises
+        ``ValueError`` just as :meth:`union` does.  An empty *list* needs the
+        explicit ``dimension`` argument, since there is nothing to infer from.
+        """
+        dims = {s.dimension for s in sets}
+        if dimension is not None:
+            dims.add(int(dimension))
+        if len(dims) > 1:
+            raise ValueError(f"dimension mismatch across sets: {sorted(dims)}")
+        if not dims:
+            raise ValueError(
+                "union_all of an empty list needs an explicit dimension"
+            )
         non_empty = [s for s in sets if s.size > 0]
         if not non_empty:
-            if sets:
-                return WeightedPointSet.empty(sets[0].dimension)
-            raise ValueError("union_all requires at least one set")
+            return WeightedPointSet.empty(dims.pop())
         if len(non_empty) == 1:
             return non_empty[0]
         return WeightedPointSet(
@@ -158,3 +173,22 @@ class Bucket:
             f"Bucket(span=[{self.start},{self.end}], level={self.level}, "
             f"size={self.size})"
         )
+
+
+def make_base_buckets(blocks: list[np.ndarray], start: int) -> list["Bucket"]:
+    """Wrap point blocks as consecutive base buckets starting at index ``start``.
+
+    The shared tail of every batch-ingestion path: each ``(m, d)`` block from
+    :meth:`~repro.core.buffer.BucketBuffer.take_full_blocks` becomes a
+    level-0 bucket with the next base-bucket index, preserving zero-copy
+    (``WeightedPointSet.from_points`` does not copy float64 arrays).
+    """
+    return [
+        Bucket(
+            data=WeightedPointSet.from_points(block),
+            start=start + offset,
+            end=start + offset,
+            level=0,
+        )
+        for offset, block in enumerate(blocks)
+    ]

@@ -32,6 +32,7 @@ from .bucket import WeightedPointSet
 __all__ = [
     "CoresetConfig",
     "CoresetConstructor",
+    "span_keyed_rng",
     "sensitivity_coreset",
     "uniform_coreset",
     "kmeanspp_coreset",
@@ -39,6 +40,19 @@ __all__ = [
 ]
 
 CoresetMethod = Literal["sensitivity", "uniform", "kmeanspp"]
+
+
+def span_keyed_rng(entropy: int, level: int, start: int, end: int) -> np.random.Generator:
+    """Deterministic generator keyed by a merge's span and level.
+
+    The single source of truth for the span-keyed randomness scheme: every
+    constructor (k-means and the k-median adapter) derives merge randomness
+    through this function, so batch and per-point ingestion stay equivalent
+    across all of them.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=[int(entropy), int(level), int(start), int(end)])
+    )
 
 
 @dataclass(frozen=True)
@@ -130,14 +144,20 @@ def sensitivity_coreset(
     else:
         sensitivities = weighted_sq / total_cost + w / cluster_weight[labels]
 
-    total_sensitivity = float(np.sum(sensitivities))
-    probabilities = sensitivities / total_sensitivity
+    cdf = np.cumsum(sensitivities)
+    probabilities = sensitivities / cdf[-1]
 
-    indices = rng.choice(data.size, size=m, replace=True, p=probabilities)
+    indices = _sample_from_cdf(rng, cdf, m)
     sample_points = pts[indices]
     sample_weights = w[indices] / (m * probabilities[indices])
 
     return WeightedPointSet(points=sample_points, weights=sample_weights)
+
+
+def _sample_from_cdf(rng: np.random.Generator, cdf: np.ndarray, size: int) -> np.ndarray:
+    """Draw ``size`` indices with replacement, proportional to the CDF increments."""
+    draws = np.searchsorted(cdf, rng.random(size) * cdf[-1], side="right")
+    return np.minimum(draws, cdf.shape[0] - 1)
 
 
 def uniform_coreset(
@@ -150,8 +170,13 @@ def uniform_coreset(
     small = _passthrough_if_small(data, m)
     if small is not None:
         return small
-    probabilities = data.weights / data.total_weight
-    indices = rng.choice(data.size, size=m, replace=True, p=probabilities)
+    w = data.weights
+    if np.all(w == w[0]):
+        # Equal weights (e.g. any union of base buckets): sampling reduces to
+        # a plain integer draw, skipping the CDF entirely.
+        indices = rng.integers(0, data.size, size=m)
+    else:
+        indices = _sample_from_cdf(rng, np.cumsum(w), m)
     sample_points = data.points[indices]
     sample_weights = np.full(m, data.total_weight / m, dtype=np.float64)
     return WeightedPointSet(points=sample_points, weights=sample_weights)
@@ -186,14 +211,27 @@ def kmeanspp_coreset(
 class CoresetConstructor:
     """Callable object that builds coresets according to a :class:`CoresetConfig`.
 
-    The constructor owns a :class:`numpy.random.Generator` so repeated calls
-    draw fresh randomness while the whole pipeline stays reproducible from a
-    single seed.
+    Two sources of randomness coexist:
+
+    * a shared scratch :class:`numpy.random.Generator` (``build``), used for
+      query-time constructions, where the calling order is the natural key to
+      reproducibility; and
+    * *span-keyed* streams (``build_for_span``), used for tree merges.  The
+      randomness of a merge is derived deterministically from the constructor
+      seed and the merged bucket's ``(level, start, end)``, so a merge's
+      output depends only on its inputs — not on how many other merges or
+      queries ran before it.  This makes batch ingestion bit-identical to
+      per-point ingestion and keeps the update path independent of the query
+      schedule.
     """
 
     def __init__(self, config: CoresetConfig, seed: int | None = None) -> None:
         self.config = config
         self._rng = np.random.default_rng(seed)
+        # Root entropy for the span-keyed streams.  With no seed given, draw
+        # fresh entropy once so that merge randomness is still internally
+        # consistent for the lifetime of this constructor.
+        self._entropy = int(np.random.SeedSequence().entropy) if seed is None else int(seed)
         self._builders: dict[str, Callable[..., WeightedPointSet]] = {
             "sensitivity": self._build_sensitivity,
             "uniform": self._build_uniform,
@@ -205,28 +243,53 @@ class CoresetConstructor:
         """Target coreset size ``m``."""
         return self.config.coreset_size
 
+    def rng_for_span(self, level: int, start: int, end: int) -> np.random.Generator:
+        """Deterministic generator for the merge producing span ``[start, end]``."""
+        return span_keyed_rng(self._entropy, level, start, end)
+
     def build(self, data: WeightedPointSet) -> WeightedPointSet:
-        """Construct a coreset of the configured size from ``data``."""
+        """Construct a coreset of the configured size from ``data``.
+
+        Uses the shared scratch generator: repeated calls advance one stream.
+        """
         if data.size == 0:
             return data
-        return self._builders[self.config.method](data)
+        return self._builders[self.config.method](data, self._rng)
 
     __call__ = build
 
-    def _build_sensitivity(self, data: WeightedPointSet) -> WeightedPointSet:
+    def build_for_span(
+        self, data: WeightedPointSet, *, level: int, start: int, end: int
+    ) -> WeightedPointSet:
+        """Construct a coreset whose randomness is keyed by ``(level, start, end)``.
+
+        Used for tree merges so that the result is a pure function of the
+        constructor seed, the span metadata, and the input data.
+        """
+        if data.size == 0:
+            return data
+        return self._builders[self.config.method](data, self.rng_for_span(level, start, end))
+
+    def _build_sensitivity(
+        self, data: WeightedPointSet, rng: np.random.Generator
+    ) -> WeightedPointSet:
         return sensitivity_coreset(
             data,
             self.config.k,
             self.config.coreset_size,
-            self._rng,
+            rng,
             seed_centers=self.config.seed_centers,
         )
 
-    def _build_uniform(self, data: WeightedPointSet) -> WeightedPointSet:
-        return uniform_coreset(data, self.config.k, self.config.coreset_size, self._rng)
+    def _build_uniform(
+        self, data: WeightedPointSet, rng: np.random.Generator
+    ) -> WeightedPointSet:
+        return uniform_coreset(data, self.config.k, self.config.coreset_size, rng)
 
-    def _build_kmeanspp(self, data: WeightedPointSet) -> WeightedPointSet:
-        return kmeanspp_coreset(data, self.config.k, self.config.coreset_size, self._rng)
+    def _build_kmeanspp(
+        self, data: WeightedPointSet, rng: np.random.Generator
+    ) -> WeightedPointSet:
+        return kmeanspp_coreset(data, self.config.k, self.config.coreset_size, rng)
 
 
 def make_constructor(

@@ -10,8 +10,6 @@ approximation error compounds with the level.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .bucket import Bucket, WeightedPointSet
 from .construction import CoresetConstructor
 
@@ -54,12 +52,19 @@ def merge_buckets(buckets: list[Bucket], constructor: CoresetConstructor) -> Buc
 
     This is the "carry" operation of the coreset tree: union the inputs and
     reduce the union to ``m`` points.  The level of the result is one more
-    than the maximum input level (Definition 2).
+    than the maximum input level (Definition 2).  The construction randomness
+    is keyed by the merged span and level, so the result depends only on the
+    inputs — batch and per-point ingestion therefore produce identical trees.
     """
     if not buckets:
         raise ValueError("merge_buckets requires at least one bucket")
     combined = union_buckets(buckets)
-    summary = constructor.build(combined.data)
+    summary = constructor.build_for_span(
+        combined.data,
+        level=combined.level + 1,
+        start=combined.start,
+        end=combined.end,
+    )
     return Bucket(
         data=summary,
         start=combined.start,
@@ -109,6 +114,6 @@ def covered_range(buckets: list[Bucket]) -> tuple[int, int]:
 
 def as_weighted_set(buckets: list[Bucket], dimension: int) -> WeightedPointSet:
     """Union the data of ``buckets`` into one weighted set (empty-safe)."""
-    if not buckets:
-        return WeightedPointSet.empty(dimension)
-    return WeightedPointSet.union_all([b.data for b in buckets])
+    return WeightedPointSet.union_all(
+        [b.data for b in buckets], dimension=dimension
+    )

@@ -9,11 +9,21 @@ point where that matters.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["PointStream"]
+__all__ = ["PointStream", "StreamExhausted"]
+
+
+class StreamExhausted(Exception):
+    """Raised when a point is requested from a fully-consumed stream.
+
+    Deliberately *not* a :class:`StopIteration` subclass: under PEP 479 a
+    ``StopIteration`` raised inside a generator is converted to a
+    ``RuntimeError``, silently changing the failure mode for any generator
+    that calls :meth:`PointStream.next_point`.
+    """
 
 
 class PointStream:
@@ -69,9 +79,15 @@ class PointStream:
         self._cursor = 0
 
     def next_point(self) -> np.ndarray:
-        """Consume and return the next point."""
+        """Consume and return the next point.
+
+        Raises
+        ------
+        StreamExhausted
+            When every point has already been consumed.
+        """
         if self.exhausted:
-            raise StopIteration("stream exhausted")
+            raise StreamExhausted("stream exhausted")
         point = self._points[self._cursor]
         self._cursor += 1
         return point
@@ -95,3 +111,27 @@ class PointStream:
             raise ValueError("chunk_size must be positive")
         while not self.exhausted:
             yield self.take(chunk_size)
+
+    def iter_segments(
+        self,
+        boundaries: Iterable[int],
+        chunk_size: int | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield blocks that never straddle a boundary position.
+
+        The benchmark harness feeds an algorithm between query events with
+        maximal batches: ``boundaries`` are the 1-based stream positions at
+        which a query fires, and every yielded block ends exactly at the next
+        boundary (or at the end of the stream).  ``chunk_size`` optionally
+        caps block length, which bounds the ingestion latency of a very long
+        query-free stretch.
+        """
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive when given")
+        bounds = sorted({int(b) for b in boundaries if 0 < int(b) <= self.num_points})
+        for bound in bounds:
+            while self._cursor < bound:
+                limit = bound - self._cursor
+                yield self.take(limit if chunk_size is None else min(chunk_size, limit))
+        while not self.exhausted:
+            yield self.take(chunk_size if chunk_size is not None else self.num_points - self._cursor)

@@ -28,7 +28,14 @@ import numpy as np
 
 from ..coreset.bucket import WeightedPointSet
 from ..coreset.construction import CoresetConstructor
-from ..core.base import QueryResult, StreamingClusterer, StreamingConfig
+from ..core.base import (
+    QueryResult,
+    StreamingClusterer,
+    StreamingConfig,
+    coerce_batch,
+    require_dimension,
+)
+from ..core.buffer import BucketBuffer
 from ..kmeans.batch import weighted_kmeans
 
 __all__ = ["DecayedCoresetClusterer", "SlidingWindowClusterer"]
@@ -66,7 +73,7 @@ class DecayedCoresetClusterer(StreamingClusterer):
         self._constructor: CoresetConstructor = config.make_constructor()
         # Each entry: (summary, current decay multiplier).
         self._summaries: deque[tuple[WeightedPointSet, float]] = deque()
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(config.bucket_size)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -92,8 +99,18 @@ class DecayedCoresetClusterer(StreamingClusterer):
             )
         self._buffer.append(row)
         self._points_seen += 1
-        if len(self._buffer) >= self.config.bucket_size:
-            self._complete_bucket()
+        if self._buffer.is_full:
+            self._complete_bucket(self._buffer.drain())
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Insert a batch: completed buckets are zero-copy slices of the input."""
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        self._points_seen += arr.shape[0]
+        for block in self._buffer.take_full_blocks(arr):
+            self._complete_bucket(block)
 
     def query(self) -> QueryResult:
         """k-means++ over the decay-weighted union of summaries and the partial bucket."""
@@ -112,11 +129,10 @@ class DecayedCoresetClusterer(StreamingClusterer):
 
     def stored_points(self) -> int:
         """Summary points plus the partial bucket."""
-        return sum(summary.size for summary, _ in self._summaries) + len(self._buffer)
+        return sum(summary.size for summary, _ in self._summaries) + self._buffer.size
 
-    def _complete_bucket(self) -> None:
-        data = WeightedPointSet.from_points(np.vstack(self._buffer))
-        self._buffer = []
+    def _complete_bucket(self, block: np.ndarray) -> None:
+        data = WeightedPointSet.from_points(block)
         summary = self._constructor.build(data)
         # Age every existing summary by one bucket and drop the negligible ones.
         aged: deque[tuple[WeightedPointSet, float]] = deque()
@@ -133,8 +149,8 @@ class DecayedCoresetClusterer(StreamingClusterer):
             pieces.append(
                 WeightedPointSet(points=summary.points, weights=summary.weights * multiplier)
             )
-        if self._buffer:
-            pieces.append(WeightedPointSet.from_points(np.vstack(self._buffer)))
+        if not self._buffer.is_empty:
+            pieces.append(WeightedPointSet.from_points(self._buffer.snapshot()))
         if not pieces:
             return WeightedPointSet.empty(self._dimension or 1)
         return WeightedPointSet.union_all(pieces)
@@ -160,7 +176,7 @@ class SlidingWindowClusterer(StreamingClusterer):
         self.window_buckets = window_buckets
         self._constructor: CoresetConstructor = config.make_constructor()
         self._summaries: deque[WeightedPointSet] = deque(maxlen=window_buckets)
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(config.bucket_size)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -173,7 +189,7 @@ class SlidingWindowClusterer(StreamingClusterer):
     @property
     def window_points(self) -> int:
         """Number of stream points currently covered by the window."""
-        return len(self._summaries) * self.config.bucket_size + len(self._buffer)
+        return len(self._summaries) * self.config.bucket_size + self._buffer.size
 
     def insert(self, point: np.ndarray) -> None:
         """Buffer a point; on a full bucket, summarise it and slide the window."""
@@ -186,16 +202,27 @@ class SlidingWindowClusterer(StreamingClusterer):
             )
         self._buffer.append(row)
         self._points_seen += 1
-        if len(self._buffer) >= self.config.bucket_size:
-            data = WeightedPointSet.from_points(np.vstack(self._buffer))
-            self._buffer = []
-            self._summaries.append(self._constructor.build(data))
+        if self._buffer.is_full:
+            self._summarise_bucket(self._buffer.drain())
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Insert a batch: completed window buckets are zero-copy slices."""
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        self._points_seen += arr.shape[0]
+        for block in self._buffer.take_full_blocks(arr):
+            self._summarise_bucket(block)
+
+    def _summarise_bucket(self, block: np.ndarray) -> None:
+        self._summaries.append(self._constructor.build(WeightedPointSet.from_points(block)))
 
     def query(self) -> QueryResult:
         """k-means++ over the window's bucket summaries plus the partial bucket."""
         pieces = list(self._summaries)
-        if self._buffer:
-            pieces.append(WeightedPointSet.from_points(np.vstack(self._buffer)))
+        if not self._buffer.is_empty:
+            pieces.append(WeightedPointSet.from_points(self._buffer.snapshot()))
         if not pieces:
             raise RuntimeError("cannot answer a clustering query before any point arrives")
         combined = WeightedPointSet.union_all(pieces)

@@ -21,8 +21,15 @@ from typing import Literal
 
 import numpy as np
 
-from ..coreset.bucket import WeightedPointSet
-from ..core.base import QueryResult, StreamingClusterer, StreamingConfig
+from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
+from ..core.base import (
+    QueryResult,
+    StreamingClusterer,
+    StreamingConfig,
+    coerce_batch,
+    require_dimension,
+)
+from ..core.buffer import BucketBuffer
 from ..core.cached_tree import CachedCoresetTree
 from ..coreset.construction import CoresetConstructor
 from ..kmeans.batch import weighted_kmeans
@@ -43,28 +50,41 @@ class StreamShard:
         self._structure = CachedCoresetTree(
             self._constructor, merge_degree=config.merge_degree
         )
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(config.bucket_size)
+        self._dimension: int | None = None
         self.points_seen = 0
 
     def insert(self, point: np.ndarray) -> None:
         """Add one point to this shard's local state."""
-        self._buffer.append(np.asarray(point, dtype=np.float64).reshape(-1))
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
+        self._buffer.append(row)
         self.points_seen += 1
-        if len(self._buffer) >= self.config.bucket_size:
-            from ..coreset.bucket import Bucket
-
+        if self._buffer.is_full:
             index = self._structure.num_base_buckets + 1
-            data = WeightedPointSet.from_points(np.vstack(self._buffer))
+            data = WeightedPointSet.from_points(self._buffer.drain())
             self._structure.insert_bucket(
                 Bucket(data=data, start=index, end=index, level=0)
             )
-            self._buffer = []
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Add a batch to this shard: full buckets are sliced, not looped."""
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        blocks = self._buffer.take_full_blocks(arr)
+        self.points_seen += arr.shape[0]
+        if blocks:
+            self._structure.insert_buckets(
+                make_base_buckets(blocks, self._structure.num_base_buckets + 1)
+            )
 
     def local_coreset(self, dimension: int) -> WeightedPointSet:
         """This shard's contribution to a global query (cached coreset + partial bucket)."""
         coreset = self._structure.query_coreset()
-        if self._buffer:
-            partial = WeightedPointSet.from_points(np.vstack(self._buffer))
+        if not self._buffer.is_empty:
+            partial = WeightedPointSet.from_points(self._buffer.snapshot())
             coreset = coreset.union(partial) if coreset.size else partial
         if coreset.size == 0:
             return WeightedPointSet.empty(dimension)
@@ -72,7 +92,7 @@ class StreamShard:
 
     def stored_points(self) -> int:
         """Points held by this shard (structure plus partial bucket)."""
-        return self._structure.stored_points() + len(self._buffer)
+        return self._structure.stored_points() + self._buffer.size
 
 
 class DistributedCoordinator(StreamingClusterer):
@@ -131,6 +151,42 @@ class DistributedCoordinator(StreamingClusterer):
             )
         self.shards[self._route(row)].insert(row)
         self._points_seen += 1
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Route a batch of points across the shards.
+
+        Round-robin routing is fully vectorized: the rows destined for shard
+        ``s`` form the strided slice ``arr[offset_s :: num_shards]`` (original
+        order preserved), so each shard ingests one batch with zero per-point
+        work.  Random routing partitions with one vectorized draw.  Hash
+        routing must inspect each row's bytes and falls back to the per-point
+        path.
+        """
+        arr = coerce_batch(points)
+        n = arr.shape[0]
+        if n == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        num = len(self.shards)
+        if self.routing == "round_robin":
+            for shard_index in range(num):
+                offset = (shard_index - self._next_shard) % num
+                block = arr[offset::num]
+                if block.shape[0]:
+                    self.shards[shard_index].insert_batch(block)
+            self._next_shard = (self._next_shard + n) % num
+            self._points_seen += n
+        elif self.routing == "random":
+            assignments = self._route_rng.integers(0, num, size=n)
+            for shard_index in range(num):
+                block = arr[assignments == shard_index]
+                if block.shape[0]:
+                    self.shards[shard_index].insert_batch(block)
+            self._points_seen += n
+        else:  # hash routing inspects each row individually
+            for row in arr:
+                self.shards[self._route(row)].insert(row)
+                self._points_seen += 1
 
     def query(self) -> QueryResult:
         """Merge every shard's coreset and extract k centers globally."""

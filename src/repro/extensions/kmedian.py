@@ -23,9 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
+from ..coreset.construction import span_keyed_rng
 from ..coreset.merge import union_buckets
-from ..core.base import QueryResult, StreamingClusterer
+from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_dimension
+from ..core.buffer import BucketBuffer
 from ..core.cache import CoresetCache
 from ..core.coreset_tree import CoresetTree
 from ..core.numeral import major
@@ -215,12 +217,19 @@ def kmedian_sensitivity_coreset(
 
 
 class _KMedianCoresetConstructor:
-    """Adapter giving the coreset tree a k-median coreset builder."""
+    """Adapter giving the coreset tree a k-median coreset builder.
+
+    Implements the same two-stream randomness contract as
+    :class:`~repro.coreset.construction.CoresetConstructor`: a shared scratch
+    generator for query-time builds and span-keyed streams for tree merges
+    (so batch and per-point ingestion produce identical trees).
+    """
 
     def __init__(self, k: int, coreset_size: int, seed: int | None = None) -> None:
         self.k = k
         self.coreset_size = coreset_size
         self._rng = np.random.default_rng(seed)
+        self._entropy = int(np.random.SeedSequence().entropy) if seed is None else int(seed)
 
     def build(self, data: WeightedPointSet) -> WeightedPointSet:
         if data.size == 0:
@@ -228,6 +237,14 @@ class _KMedianCoresetConstructor:
         return kmedian_sensitivity_coreset(data, self.k, self.coreset_size, self._rng)
 
     __call__ = build
+
+    def build_for_span(
+        self, data: WeightedPointSet, *, level: int, start: int, end: int
+    ) -> WeightedPointSet:
+        if data.size == 0:
+            return data
+        rng = span_keyed_rng(self._entropy, level, start, end)
+        return kmedian_sensitivity_coreset(data, self.k, self.coreset_size, rng)
 
 
 @dataclass(frozen=True)
@@ -269,7 +286,7 @@ class KMedianCachedClusterer(StreamingClusterer):
         )
         self._tree = CoresetTree(self._constructor, merge_degree=config.merge_degree)
         self._cache = CoresetCache(config.merge_degree)
-        self._buffer: list[np.ndarray] = []
+        self._buffer = BucketBuffer(config.bucket_size)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -295,17 +312,29 @@ class KMedianCachedClusterer(StreamingClusterer):
             )
         self._buffer.append(row)
         self._points_seen += 1
-        if len(self._buffer) >= self.config.bucket_size:
+        if self._buffer.is_full:
             index = self._tree.num_base_buckets + 1
-            data = WeightedPointSet.from_points(np.vstack(self._buffer))
+            data = WeightedPointSet.from_points(self._buffer.drain())
             self._tree.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
-            self._buffer = []
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Insert a batch: full base buckets are zero-copy slices of the input."""
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        blocks = self._buffer.take_full_blocks(arr)
+        self._points_seen += arr.shape[0]
+        if blocks:
+            self._tree.insert_buckets(
+                make_base_buckets(blocks, self._tree.num_base_buckets + 1)
+            )
 
     def query(self) -> QueryResult:
         """Return k median centers from the cached coreset plus the partial bucket."""
         coreset = self._query_coreset()
-        if self._buffer:
-            partial = WeightedPointSet.from_points(np.vstack(self._buffer))
+        if not self._buffer.is_empty:
+            partial = WeightedPointSet.from_points(self._buffer.snapshot())
             coreset = coreset.union(partial) if coreset.size else partial
         if coreset.size == 0:
             raise RuntimeError("cannot answer a clustering query before any point arrives")
@@ -323,7 +352,7 @@ class KMedianCachedClusterer(StreamingClusterer):
 
     def stored_points(self) -> int:
         """Points held by the tree, the cache, and the partial bucket."""
-        return self._tree.stored_points() + self._cache.stored_points() + len(self._buffer)
+        return self._tree.stored_points() + self._cache.stored_points() + self._buffer.size
 
     def _query_coreset(self) -> WeightedPointSet:
         """The CC query path (Algorithm 3) with the k-median constructor."""

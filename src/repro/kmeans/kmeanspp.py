@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .cost import pairwise_squared_distances
-
 __all__ = ["kmeanspp_seeding"]
 
 
@@ -81,25 +79,42 @@ def kmeanspp_seeding(
 
     centers = np.empty((k, pts.shape[1]), dtype=np.float64)
 
-    # First center: sampled proportionally to weight.
-    probs = w / np.sum(w)
-    first = rng.choice(n, p=probs)
+    # Precompute ||x||^2 once: each round then needs only one matrix-vector
+    # product against the newly chosen center instead of a full pairwise call
+    # (this loop dominates every coreset merge on the stream's update path).
+    pts_sq = np.einsum("ij,ij->i", pts, pts)
+    weight_cdf = np.cumsum(w)
+
+    def sq_to_center(center: np.ndarray) -> np.ndarray:
+        dist = pts_sq - 2.0 * (pts @ center) + float(center @ center)
+        np.maximum(dist, 0.0, out=dist)
+        return dist
+
+    # First center: sampled proportionally to weight (inverse-CDF sampling;
+    # equivalent to rng.choice(p=...) but without rebuilding the distribution
+    # object on every draw).
+    first = _inverse_cdf_sample(rng, weight_cdf)
     centers[0] = pts[first]
 
     # Maintain the squared distance from each point to its nearest center.
-    closest_sq = pairwise_squared_distances(pts, centers[0:1]).ravel()
+    closest_sq = sq_to_center(centers[0])
 
     for i in range(1, k):
         scores = w * closest_sq
-        total = np.sum(scores)
-        if total <= 0.0:
+        score_cdf = np.cumsum(scores)
+        if score_cdf[-1] <= 0.0:
             # All remaining mass sits exactly on already-chosen centers:
             # fall back to weighted uniform sampling.
-            idx = rng.choice(n, p=probs)
+            idx = _inverse_cdf_sample(rng, weight_cdf)
         else:
-            idx = rng.choice(n, p=scores / total)
+            idx = _inverse_cdf_sample(rng, score_cdf)
         centers[i] = pts[idx]
-        new_sq = pairwise_squared_distances(pts, centers[i : i + 1]).ravel()
-        np.minimum(closest_sq, new_sq, out=closest_sq)
+        np.minimum(closest_sq, sq_to_center(centers[i]), out=closest_sq)
 
     return centers
+
+
+def _inverse_cdf_sample(rng: np.random.Generator, cdf: np.ndarray) -> int:
+    """Draw one index with probability proportional to the CDF's increments."""
+    u = rng.random() * cdf[-1]
+    return min(int(np.searchsorted(cdf, u, side="right")), cdf.shape[0] - 1)

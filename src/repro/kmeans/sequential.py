@@ -104,3 +104,39 @@ class SequentialKMeansState:
         self._centers[nearest] = (w * self._centers[nearest] + p) / (w + 1.0)
         self._weights[nearest] = w + 1.0
         return float(sq[nearest])
+
+    def update_many(self, points: np.ndarray, initial: float = 0.0) -> float:
+        """Absorb a pre-validated ``(n, d)`` batch of points.
+
+        Returns ``initial`` plus each point's squared distance, added in
+        per-point order — the same float associativity as a caller doing
+        ``acc += update(row)`` in a loop, so batch and per-point ingestion
+        accumulate bit-identical cost bounds.
+
+        MacQueen's rule is inherently sequential (each update moves the
+        center later points are compared against), so the loop remains — but
+        batch callers skip the per-point coercion and validation of
+        :meth:`update`, which dominates its cost for small ``k``.
+        """
+        total = initial
+        start = 0
+        n = points.shape[0]
+        # Seed any remaining uninitialised centers straight from the batch
+        # (each contributes distance 0, leaving the accumulator unchanged).
+        if self._initialized < self.k:
+            take = min(self.k - self._initialized, n)
+            self._centers[self._initialized : self._initialized + take] = points[:take]
+            self._weights[self._initialized : self._initialized + take] = 1.0
+            self._initialized += take
+            start = take
+        centers, weights = self._centers, self._weights
+        for i in range(start, n):
+            p = points[i]
+            diffs = centers - p
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            nearest = int(np.argmin(sq))
+            w = weights[nearest]
+            centers[nearest] = (w * centers[nearest] + p) / (w + 1.0)
+            weights[nearest] = w + 1.0
+            total += float(sq[nearest])
+        return total

@@ -18,13 +18,17 @@ __all__ = ["TimingBreakdown", "Stopwatch"]
 class TimingBreakdown:
     """Accumulated update and query times for one algorithm run.
 
-    All durations are in seconds.
+    All durations are in seconds.  Updates arrive either point-by-point
+    (``num_batches`` stays 0) or as timed batches through
+    :meth:`add_batch_update`, in which case both per-point and per-batch
+    averages are meaningful.
     """
 
     update_seconds: float = 0.0
     query_seconds: float = 0.0
     num_updates: int = 0
     num_queries: int = 0
+    num_batches: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -38,6 +42,11 @@ class TimingBreakdown:
         self.update_seconds += seconds
         self.num_updates += num_points
 
+    def add_batch_update(self, seconds: float, num_points: int) -> None:
+        """Record one timed ``insert_batch`` call covering ``num_points`` points."""
+        self.add_update(seconds, num_points)
+        self.num_batches += 1
+
     def add_query(self, seconds: float) -> None:
         """Record time spent answering one clustering query."""
         if seconds < 0:
@@ -50,6 +59,18 @@ class TimingBreakdown:
         if self.num_updates == 0:
             return 0.0
         return self.update_seconds / self.num_updates
+
+    def update_time_per_batch(self) -> float:
+        """Average wall-clock time of one ingestion batch (seconds)."""
+        if self.num_batches == 0:
+            return 0.0
+        return self.update_seconds / self.num_batches
+
+    def update_points_per_second(self) -> float:
+        """Ingestion throughput over the whole run (points per second)."""
+        if self.update_seconds <= 0.0:
+            return 0.0
+        return self.num_updates / self.update_seconds
 
     def query_time_per_point(self) -> float:
         """Query time amortised over ingested points (seconds), as in the paper."""
@@ -76,6 +97,7 @@ class TimingBreakdown:
             query_seconds=self.query_seconds + other.query_seconds,
             num_updates=self.num_updates + other.num_updates,
             num_queries=self.num_queries + other.num_queries,
+            num_batches=self.num_batches + other.num_batches,
         )
 
 

@@ -40,6 +40,15 @@ class TestSequentialKMeans:
         clusterer.insert_many(blob_points[:321])
         assert clusterer.points_seen == 321
 
+    def test_insert_batch_rejects_dimension_mismatch(self, blob_points):
+        # Regression: without validation the (k, d) - (d',) broadcast would
+        # silently corrupt the centers instead of raising.
+        clusterer = SequentialKMeans(4)
+        clusterer.insert_batch(blob_points[:50])
+        with pytest.raises(ValueError, match="dimension"):
+            clusterer.insert_batch(np.zeros((5, blob_points.shape[1] + 1)))
+        assert clusterer.points_seen == 50
+
     def test_reasonable_on_easy_blobs(self, blob_points, blob_centers):
         clusterer = SequentialKMeans(4)
         clusterer.insert_many(blob_points)

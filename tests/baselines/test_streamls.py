@@ -62,3 +62,14 @@ class TestStreamLSClusterer:
         for point in blob_points[:77]:
             clusterer.insert(point)
         assert clusterer.points_seen == 77
+
+    def test_rejects_dimension_mismatch(self, blob_points):
+        # Regression: mismatched blocks used to enter the level structure and
+        # only blow up much later inside query()'s vstack.
+        clusterer = StreamLSClusterer(k=3, chunk_size=10)
+        clusterer.insert_batch(blob_points[:25])
+        with pytest.raises(ValueError, match="dimension"):
+            clusterer.insert_batch(np.zeros((5, blob_points.shape[1] + 1)))
+        with pytest.raises(ValueError, match="dimension"):
+            clusterer.insert(np.zeros(blob_points.shape[1] + 1))
+        assert clusterer.query().centers.shape == (3, blob_points.shape[1])

@@ -122,3 +122,64 @@ class TestRunExperiment:
         result = run_experiment(experiment, blob_points[:600])
         assert result.timing.update_seconds > 0.0
         assert result.timing.query_seconds > 0.0
+
+
+class TestIngestModes:
+    def test_batch_mode_records_batches(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="cc", config=config, schedule=FixedIntervalSchedule(500)
+        )
+        result = run_experiment(experiment, blob_points)
+        # One batch per inter-query segment (2000 points / 500 interval).
+        assert result.timing.num_batches == 4
+        assert result.timing.num_updates == blob_points.shape[0]
+        assert result.timing.update_time_per_batch() > 0.0
+
+    def test_point_mode_matches_seed_accounting(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="cc",
+            config=config,
+            schedule=FixedIntervalSchedule(500),
+            ingest_mode="point",
+        )
+        result = run_experiment(experiment, blob_points[:1000])
+        assert result.timing.num_batches == 0
+        assert result.timing.num_updates == 1000
+
+    @pytest.mark.parametrize("algorithm", ["ct", "cc", "rcc", "sequential", "onlinecc"])
+    def test_modes_produce_identical_centers(self, config, blob_points, algorithm):
+        results = {}
+        for mode in ("batch", "point"):
+            experiment = StreamingExperiment(
+                algorithm=algorithm,
+                config=config,
+                schedule=FixedIntervalSchedule(400),
+                ingest_mode=mode,
+            )
+            results[mode] = run_experiment(experiment, blob_points[:1200])
+        np.testing.assert_allclose(
+            results["batch"].final_centers, results["point"].final_centers
+        )
+        assert results["batch"].num_queries == results["point"].num_queries
+        assert (
+            results["batch"].memory.points_stored
+            == results["point"].memory.points_stored
+        )
+
+    def test_chunk_size_caps_batches(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="ct",
+            config=config,
+            schedule=FixedIntervalSchedule(500),
+            chunk_size=100,
+        )
+        result = run_experiment(experiment, blob_points)
+        assert result.timing.num_batches == 20
+        assert result.timing.num_updates == blob_points.shape[0]
+
+    def test_invalid_ingest_mode_raises(self, config, blob_points):
+        experiment = StreamingExperiment(
+            algorithm="ct", config=config, ingest_mode="stream"
+        )
+        with pytest.raises(ValueError, match="ingest_mode"):
+            run_experiment(experiment, blob_points[:100])

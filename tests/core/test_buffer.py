@@ -1,0 +1,128 @@
+"""Unit tests for the preallocated BucketBuffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import BucketBuffer
+
+
+class TestBucketBufferBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BucketBuffer(0)
+
+    def test_lazy_dimension(self):
+        buffer = BucketBuffer(4)
+        assert buffer.dimension is None
+        buffer.append(np.array([1.0, 2.0]))
+        assert buffer.dimension == 2
+        assert buffer.size == 1
+
+    def test_append_until_full(self):
+        buffer = BucketBuffer(3, dimension=2)
+        for i in range(3):
+            assert not buffer.is_full
+            buffer.append(np.array([float(i), 0.0]))
+        assert buffer.is_full
+        with pytest.raises(ValueError):
+            buffer.append(np.zeros(2))
+
+    def test_drain_copies_and_resets(self):
+        buffer = BucketBuffer(3, dimension=2)
+        buffer.append(np.array([1.0, 2.0]))
+        buffer.append(np.array([3.0, 4.0]))
+        block = buffer.drain()
+        assert buffer.is_empty
+        np.testing.assert_array_equal(block, [[1.0, 2.0], [3.0, 4.0]])
+        # The drained block must survive buffer reuse.
+        buffer.append(np.array([9.0, 9.0]))
+        np.testing.assert_array_equal(block, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_drain_empty_raises(self):
+        with pytest.raises(ValueError):
+            BucketBuffer(3, dimension=2).drain()
+
+    def test_snapshot_does_not_reset(self):
+        buffer = BucketBuffer(3, dimension=2)
+        buffer.append(np.array([1.0, 2.0]))
+        snap = buffer.snapshot()
+        assert buffer.size == 1
+        np.testing.assert_array_equal(snap, [[1.0, 2.0]])
+
+    def test_snapshot_empty(self):
+        assert BucketBuffer(3, dimension=2).snapshot().shape == (0, 2)
+
+    def test_fill_consumes_up_to_capacity(self):
+        buffer = BucketBuffer(4)
+        arr = np.arange(12, dtype=float).reshape(6, 2)
+        consumed = buffer.fill(arr)
+        assert consumed == 4
+        assert buffer.is_full
+        consumed = buffer.fill(arr, offset=4)
+        assert consumed == 0
+
+
+class TestTakeFullBlocks:
+    def test_pure_slicing_when_aligned(self):
+        buffer = BucketBuffer(5)
+        arr = np.arange(30, dtype=float).reshape(15, 2)
+        blocks = buffer.take_full_blocks(arr)
+        assert [b.shape[0] for b in blocks] == [5, 5, 5]
+        assert buffer.is_empty
+        # Aligned blocks are zero-copy views into the input.
+        for block in blocks:
+            assert np.shares_memory(block, arr)
+        np.testing.assert_array_equal(np.vstack(blocks), arr)
+
+    def test_ragged_head_and_tail(self):
+        buffer = BucketBuffer(5, dimension=1)
+        buffer.append(np.array([100.0]))
+        buffer.append(np.array([101.0]))
+        arr = np.arange(11, dtype=float).reshape(11, 1)
+        blocks = buffer.take_full_blocks(arr)
+        # 2 buffered + 11 incoming = 13 points -> 2 full buckets + 3 left over.
+        assert [b.shape[0] for b in blocks] == [5, 5]
+        assert buffer.size == 3
+        combined = np.vstack(blocks + [buffer.snapshot()])
+        np.testing.assert_array_equal(
+            combined.ravel(), [100.0, 101.0] + list(range(11))
+        )
+        # The head block was drained from the buffer (a copy), the interior
+        # block is a slice of the input.
+        assert not np.shares_memory(blocks[0], arr)
+        assert np.shares_memory(blocks[1], arr)
+
+    def test_batch_smaller_than_remaining_space(self):
+        buffer = BucketBuffer(10, dimension=1)
+        buffer.append(np.array([0.0]))
+        blocks = buffer.take_full_blocks(np.ones((3, 1)))
+        assert blocks == []
+        assert buffer.size == 4
+
+    def test_empty_batch(self):
+        buffer = BucketBuffer(4, dimension=2)
+        assert buffer.take_full_blocks(np.empty((0, 2))) == []
+
+    def test_matches_per_point_appends(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(137, 3))
+        batch = BucketBuffer(8)
+        batch_blocks = []
+        pos = 0
+        step_rng = np.random.default_rng(1)
+        while pos < arr.shape[0]:
+            step = int(step_rng.integers(1, 25))
+            batch_blocks.extend(batch.take_full_blocks(arr[pos : pos + step]))
+            pos += step
+        point = BucketBuffer(8)
+        point_blocks = []
+        for row in arr:
+            point.append(row)
+            if point.is_full:
+                point_blocks.append(point.drain())
+        assert len(batch_blocks) == len(point_blocks)
+        for a, b in zip(batch_blocks, point_blocks):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(batch.snapshot(), point.snapshot())

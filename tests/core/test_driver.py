@@ -84,6 +84,59 @@ class TestDriverBatching:
         clusterer.insert_many(np.empty((0, 2)))
         assert clusterer.points_seen == 0
 
+    def test_insert_batch_equivalent_to_insert_loop(self, small_config, blob_points):
+        a = CoresetTreeClusterer(small_config)
+        b = CoresetTreeClusterer(small_config)
+        subset = blob_points[:470]
+        a.insert_batch(subset)
+        for row in subset:
+            b.insert(row)
+        assert a.points_seen == b.points_seen == 470
+        assert a.structure.num_base_buckets == b.structure.num_base_buckets
+        assert a.stored_points() == b.stored_points()
+        np.testing.assert_array_equal(a.query().centers, b.query().centers)
+
+    def test_full_buckets_are_zero_copy_slices(self, small_config):
+        # The vectorized path must slice aligned full buckets straight out of
+        # the incoming array: the level-0 bucket's points share memory with
+        # the caller's batch, proving no per-point copies happened.
+        m = small_config.bucket_size
+        arr = np.random.default_rng(0).normal(size=(m, 2))
+        clusterer = CoresetTreeClusterer(small_config)
+        clusterer.insert_batch(arr)
+        level0 = clusterer.tree.buckets_at_level(0)
+        assert len(level0) == 1
+        assert np.shares_memory(level0[0].data.points, arr)
+
+    def test_ragged_head_block_is_copied(self, small_config):
+        # A bucket completed from a partially-filled buffer cannot alias the
+        # input (the buffer is reused), so it must be a copy.
+        m = small_config.bucket_size
+        clusterer = CoresetTreeClusterer(small_config)
+        clusterer.insert(np.zeros(2))
+        arr = np.random.default_rng(1).normal(size=(m - 1, 2))
+        clusterer.insert_batch(arr)
+        level0 = clusterer.tree.buckets_at_level(0)
+        assert len(level0) == 1
+        assert not np.shares_memory(level0[0].data.points, arr)
+
+    def test_insert_batch_1d_input(self, small_config):
+        clusterer = CoresetTreeClusterer(small_config)
+        clusterer.insert_batch(np.zeros(3))
+        assert clusterer.points_seen == 1
+        assert clusterer.dimension == 3
+
+    def test_insert_batch_empty_1d_does_not_poison_dimension(self, small_config):
+        # Regression: an empty 1-D array is an empty batch, not a single
+        # 0-dimensional point — it must not lock the stream dimension to 0.
+        clusterer = CoresetTreeClusterer(small_config)
+        clusterer.insert_batch(np.array([]))
+        assert clusterer.points_seen == 0
+        assert clusterer.dimension is None
+        clusterer.insert_batch(np.ones((5, 3)))
+        assert clusterer.points_seen == 5
+        assert clusterer.dimension == 3
+
 
 class TestDriverQueries:
     @pytest.mark.parametrize("clusterer_cls", ALL_CLUSTERERS)

@@ -61,9 +61,46 @@ class TestWeightedPointSet:
         assert combined.size == 0
         assert combined.dimension == 4
 
+    def test_union_all_all_empty_multiple(self):
+        # Regression: several empty sets of the *same* dimension must union to
+        # an empty set of that dimension, not raise and not guess.
+        combined = WeightedPointSet.union_all(
+            [WeightedPointSet.empty(3), WeightedPointSet.empty(3)]
+        )
+        assert combined.size == 0
+        assert combined.dimension == 3
+
+    def test_union_all_all_empty_dimension_mismatch_raises(self):
+        # Regression: the old code silently picked sets[0].dimension; now any
+        # disagreement is an error, empty or not.
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            WeightedPointSet.union_all(
+                [WeightedPointSet.empty(2), WeightedPointSet.empty(5)]
+            )
+
+    def test_union_all_mixed_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            WeightedPointSet.union_all(
+                [
+                    WeightedPointSet.from_points(np.ones((2, 2))),
+                    WeightedPointSet.from_points(np.ones((2, 3))),
+                ]
+            )
+
     def test_union_all_empty_list_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="explicit dimension"):
             WeightedPointSet.union_all([])
+
+    def test_union_all_empty_list_with_dimension(self):
+        combined = WeightedPointSet.union_all([], dimension=7)
+        assert combined.size == 0
+        assert combined.dimension == 7
+
+    def test_union_all_explicit_dimension_must_agree(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            WeightedPointSet.union_all(
+                [WeightedPointSet.from_points(np.ones((1, 2)))], dimension=3
+            )
 
     def test_negative_weights_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.stream import PointStream
+from repro.data.stream import PointStream, StreamExhausted
 
 
 class TestPointStream:
@@ -40,8 +40,41 @@ class TestPointStream:
     def test_next_point_after_exhaustion_raises(self):
         stream = PointStream(np.zeros((1, 2)))
         stream.next_point()
-        with pytest.raises(StopIteration):
+        with pytest.raises(StreamExhausted):
             stream.next_point()
+
+    def test_stream_exhausted_is_not_stop_iteration(self):
+        # PEP 479: a StopIteration leaking out of a generator frame becomes a
+        # RuntimeError, so the sentinel must not subclass StopIteration.
+        assert not issubclass(StreamExhausted, StopIteration)
+
+        def consume_via_generator():
+            stream = PointStream(np.zeros((1, 2)))
+            stream.next_point()
+            yield stream.next_point()
+
+        with pytest.raises(StreamExhausted):
+            next(consume_via_generator())
+
+    def test_iter_segments_blocks_end_at_boundaries(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        stream = PointStream(data)
+        blocks = list(stream.iter_segments([3, 7]))
+        assert [b.shape[0] for b in blocks] == [3, 4, 3]
+        np.testing.assert_array_equal(np.vstack(blocks), data)
+
+    def test_iter_segments_chunk_cap(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        stream = PointStream(data)
+        blocks = list(stream.iter_segments([7], chunk_size=3))
+        assert [b.shape[0] for b in blocks] == [3, 3, 1, 3]
+        np.testing.assert_array_equal(np.vstack(blocks), data)
+
+    def test_iter_segments_ignores_out_of_range_boundaries(self):
+        data = np.arange(8, dtype=float).reshape(4, 2)
+        stream = PointStream(data)
+        blocks = list(stream.iter_segments([0, 2, 99]))
+        assert [b.shape[0] for b in blocks] == [2, 2]
 
     def test_reset(self):
         data = np.arange(6, dtype=float).reshape(3, 2)

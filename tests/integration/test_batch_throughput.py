@@ -1,0 +1,103 @@
+"""Throughput acceptance test: vectorized ingestion vs. the seed per-point path.
+
+``_seed_style_ingest`` below is a frozen replica of the pre-vectorization
+driver loop (per-point ``np.asarray`` + ``list.append``, one ``np.vstack``
+and one ``insert_bucket`` per full bucket).  The vectorized ``insert_batch``
+path must beat it by at least 5x at the paper-scale bucket size ``m = 2000``
+on a 100k-point covtype-like synthetic stream.
+
+The coreset construction is pinned to ``uniform`` and the merge degree to 8
+(CT is the paper's r-way tree; higher r also lowers union traffic) so both
+paths share a small, identical merge cost and the measurement isolates the
+ingestion pipeline — the thing this comparison is about.  Both paths must
+also finish in exactly the same structure state (span-keyed merge
+randomness), which is asserted alongside the timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.coreset_tree import CoresetTree
+from repro.core.driver import CoresetTreeClusterer
+from repro.coreset.bucket import Bucket, WeightedPointSet
+from repro.data.loaders import load_covtype
+
+NUM_POINTS = 100_000
+BUCKET_SIZE = 2_000
+REQUIRED_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def covtype_stream() -> np.ndarray:
+    return load_covtype(num_points=NUM_POINTS).points
+
+
+def _seed_style_ingest(points: np.ndarray, config: StreamingConfig) -> CoresetTree:
+    """The seed driver's per-point insert path, frozen for comparison."""
+    structure = CoresetTree(config.make_constructor(), merge_degree=config.merge_degree)
+    buffer: list[np.ndarray] = []
+    dimension: int | None = None
+    bucket_size = config.bucket_size
+    for point in points:
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        if dimension is None:
+            dimension = row.shape[0]
+        elif row.shape[0] != dimension:
+            raise ValueError("dimension mismatch")
+        buffer.append(row)
+        if len(buffer) >= bucket_size:
+            index = structure.num_base_buckets + 1
+            data = WeightedPointSet.from_points(np.vstack(buffer))
+            structure.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
+            buffer = []
+    return structure
+
+
+def _best_of(n: int, func, *args):
+    best_time, result = np.inf, None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = func(*args)
+        best_time = min(best_time, time.perf_counter() - start)
+    return best_time, result
+
+
+def test_insert_batch_at_least_5x_faster_than_seed_path(covtype_stream):
+    config = StreamingConfig(
+        k=20, coreset_size=BUCKET_SIZE, coreset_method="uniform", merge_degree=8, seed=0
+    )
+
+    def batch_ingest(points):
+        clusterer = CoresetTreeClusterer(config)
+        clusterer.insert_batch(points)
+        return clusterer
+
+    seed_seconds, seed_structure = _best_of(2, _seed_style_ingest, covtype_stream, config)
+    batch_seconds, clusterer = _best_of(3, batch_ingest, covtype_stream)
+
+    # Both pipelines end in the identical structure (the speedup is not
+    # bought with a different clustering state).
+    assert clusterer.tree.num_base_buckets == seed_structure.num_base_buckets
+    assert clusterer.tree.stored_points() == seed_structure.stored_points()
+    for bucket_a, bucket_b in zip(
+        clusterer.tree.active_buckets(), seed_structure.active_buckets()
+    ):
+        assert bucket_a.span == bucket_b.span
+        assert bucket_a.level == bucket_b.level
+        np.testing.assert_array_equal(bucket_a.data.points, bucket_b.data.points)
+
+    speedup = seed_seconds / batch_seconds
+    throughput = NUM_POINTS / batch_seconds
+    print(
+        f"\nbatch ingest: {batch_seconds * 1e3:.1f} ms ({throughput:,.0f} pts/s), "
+        f"seed-style: {seed_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batch ingestion only {speedup:.1f}x faster than the seed per-point "
+        f"path (required {REQUIRED_SPEEDUP}x)"
+    )

@@ -52,6 +52,26 @@ class TestTimingBreakdown:
         assert merged.num_updates == 30
         assert merged.num_queries == 3
 
+    def test_batch_accounting(self):
+        timing = TimingBreakdown()
+        timing.add_batch_update(0.2, num_points=400)
+        timing.add_batch_update(0.1, num_points=100)
+        assert timing.num_batches == 2
+        assert timing.num_updates == 500
+        assert timing.update_time_per_batch() == pytest.approx(0.15)
+        assert timing.update_time_per_point() == pytest.approx(0.3 / 500)
+        assert timing.update_points_per_second() == pytest.approx(500 / 0.3)
+
+    def test_batch_accounting_zero_guards(self):
+        timing = TimingBreakdown()
+        assert timing.update_time_per_batch() == 0.0
+        assert timing.update_points_per_second() == 0.0
+
+    def test_merged_with_batches(self):
+        a = TimingBreakdown(update_seconds=1.0, num_updates=10, num_batches=2)
+        b = TimingBreakdown(update_seconds=1.0, num_updates=10, num_batches=3)
+        assert a.merged_with(b).num_batches == 5
+
 
 class TestStopwatch:
     def test_measure_accumulates(self):

@@ -1,0 +1,174 @@
+"""Property-based tests: batch ingestion is equivalent to per-point ingestion.
+
+The vectorized ``insert_batch`` pipeline (zero-copy bucket slicing plus
+amortized ``insert_buckets`` carry propagation) must leave CT, CC, and RCC in
+*exactly* the state a point-by-point ``insert`` loop produces: same level
+structure, same spans, same stored-point counts — and, because tree-merge
+randomness is span-keyed, bit-identical stored coresets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import (
+    CachedCoresetTreeClusterer,
+    CoresetTreeClusterer,
+    RecursiveCachedClusterer,
+)
+from repro.core.online_cc import OnlineCCClusterer
+
+ALL_DRIVER_CLUSTERERS = [
+    CoresetTreeClusterer,
+    CachedCoresetTreeClusterer,
+    RecursiveCachedClusterer,
+]
+
+
+@st.composite
+def stream_and_config(draw):
+    n = draw(st.integers(min_value=1, max_value=260))
+    d = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=4, max_value=24))
+    r = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, d))
+    config = StreamingConfig(
+        k=2, coreset_size=m, merge_degree=r, n_init=1, lloyd_iterations=2, seed=seed
+    )
+    return points, config
+
+
+def ingest_three_ways(clusterer_cls, points, config, chunk_seed):
+    """One big batch, a per-point loop, and random-sized chunks."""
+    whole = clusterer_cls(config)
+    whole.insert_batch(points)
+
+    loop = clusterer_cls(config)
+    for row in points:
+        loop.insert(row)
+
+    chunked = clusterer_cls(config)
+    rng = np.random.default_rng(chunk_seed)
+    pos = 0
+    while pos < points.shape[0]:
+        step = int(rng.integers(1, 3 * config.bucket_size))
+        chunked.insert_batch(points[pos : pos + step])
+        pos += step
+    return whole, loop, chunked
+
+
+def assert_tree_identical(tree_a, tree_b):
+    levels_a, levels_b = tree_a.levels, tree_b.levels
+    assert len(levels_a) == len(levels_b)
+    for buckets_a, buckets_b in zip(levels_a, levels_b):
+        assert len(buckets_a) == len(buckets_b)
+        for bucket_a, bucket_b in zip(buckets_a, buckets_b):
+            assert bucket_a.span == bucket_b.span
+            assert bucket_a.level == bucket_b.level
+            np.testing.assert_array_equal(bucket_a.data.points, bucket_b.data.points)
+            np.testing.assert_array_equal(bucket_a.data.weights, bucket_b.data.weights)
+
+
+def assert_rcc_node_identical(node_a, node_b):
+    assert node_a.order == node_b.order
+    assert node_a.num_buckets == node_b.num_buckets
+    assert len(node_a._levels) == len(node_b._levels)
+    for buckets_a, buckets_b in zip(node_a._levels, node_b._levels):
+        assert len(buckets_a) == len(buckets_b)
+        for bucket_a, bucket_b in zip(buckets_a, buckets_b):
+            assert bucket_a.span == bucket_b.span
+            assert bucket_a.level == bucket_b.level
+            np.testing.assert_array_equal(bucket_a.data.points, bucket_b.data.points)
+    for child_a, child_b in zip(node_a._children, node_b._children):
+        assert (child_a is None) == (child_b is None)
+        if child_a is not None:
+            assert_rcc_node_identical(child_a, child_b)
+
+
+@given(data=stream_and_config(), chunk_seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_ct_batch_equals_per_point(data, chunk_seed):
+    points, config = data
+    whole, loop, chunked = ingest_three_ways(
+        CoresetTreeClusterer, points, config, chunk_seed
+    )
+    for candidate in (whole, chunked):
+        assert candidate.points_seen == loop.points_seen
+        assert candidate.stored_points() == loop.stored_points()
+        assert candidate.tree.num_base_buckets == loop.tree.num_base_buckets
+        assert candidate.tree.merge_count == loop.tree.merge_count
+        assert candidate.tree.max_level() == loop.tree.max_level()
+        assert_tree_identical(candidate.tree, loop.tree)
+
+
+@given(data=stream_and_config(), chunk_seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None)
+def test_cc_batch_equals_per_point(data, chunk_seed):
+    points, config = data
+    whole, loop, chunked = ingest_three_ways(
+        CachedCoresetTreeClusterer, points, config, chunk_seed
+    )
+    for candidate in (whole, chunked):
+        assert candidate.points_seen == loop.points_seen
+        assert candidate.stored_points() == loop.stored_points()
+        assert_tree_identical(candidate.cached_tree.tree, loop.cached_tree.tree)
+    # Queries on identical states give identical answers (same query RNG).
+    if points.shape[0] > 0:
+        np.testing.assert_array_equal(whole.query().centers, loop.query().centers)
+
+
+@given(data=stream_and_config(), chunk_seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_rcc_batch_equals_per_point(data, chunk_seed):
+    points, config = data
+    whole, loop, chunked = ingest_three_ways(
+        RecursiveCachedClusterer, points, config, chunk_seed
+    )
+    for candidate in (whole, chunked):
+        assert candidate.points_seen == loop.points_seen
+        assert candidate.stored_points() == loop.stored_points()
+        assert candidate.recursive_tree.num_base_buckets == loop.recursive_tree.num_base_buckets
+        assert candidate.recursive_tree.max_level() == loop.recursive_tree.max_level()
+        assert_rcc_node_identical(
+            candidate.recursive_tree._root, loop.recursive_tree._root
+        )
+
+
+@given(data=stream_and_config())
+@settings(max_examples=10, deadline=None)
+def test_online_cc_batch_equals_per_point(data):
+    points, config = data
+    whole = OnlineCCClusterer(config)
+    whole.insert_batch(points)
+    loop = OnlineCCClusterer(config)
+    for row in points:
+        loop.insert(row)
+    assert whole.points_seen == loop.points_seen
+    assert whole.stored_points() == loop.stored_points()
+    # update_many accumulates with per-point associativity, so the cost bound
+    # (and therefore every fallback decision) is bit-identical.
+    assert whole.cost_bound == loop.cost_bound
+    assert_tree_identical(whole.cached_tree.tree, loop.cached_tree.tree)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    m=st.integers(min_value=4, max_value=32),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_partial_bucket_preserved_across_batches(n, m, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 2))
+    config = StreamingConfig(k=2, coreset_size=m, n_init=1, lloyd_iterations=1, seed=seed)
+    clusterer = CoresetTreeClusterer(config)
+    clusterer.insert_batch(points)
+    assert clusterer.points_seen == n
+    expected_buckets, leftover = divmod(n, m)
+    assert clusterer.tree.num_base_buckets == expected_buckets
+    assert clusterer.stored_points() == clusterer.tree.stored_points() + leftover

@@ -41,7 +41,12 @@ def test_kmedian_cost_non_negative(data):
 def test_adding_a_center_never_increases_kmedian_cost(data):
     points, centers = data
     extra = np.vstack([centers, points[:1]])
-    assert kmedian_cost(points, extra) <= kmedian_cost(points, centers) + 1e-9
+    # Distances come from the BLAS-friendly ||x||^2 - 2 x.c + ||c||^2
+    # expansion, whose rounding differs with the center matrix's shape, so
+    # "never increases" holds only up to a magnitude-relative tolerance.
+    scale = max(float(np.max(np.abs(points))), float(np.max(np.abs(centers))), 1.0)
+    tolerance = 1e-7 * points.shape[0] * scale
+    assert kmedian_cost(points, extra) <= kmedian_cost(points, centers) + tolerance
 
 
 @given(data=points_and_centers(), scale=st.floats(min_value=0.1, max_value=10.0))

@@ -125,7 +125,12 @@ def test_cost_scales_with_uniform_weights(data, scale):
 def test_adding_a_center_never_increases_cost(data):
     points, centers = data
     extra = np.vstack([centers, points[:1]])
-    assert kmeans_cost(points, extra) <= kmeans_cost(points, centers) + 1e-9
+    # Squared distances come from the BLAS expansion, whose rounding depends
+    # on the center matrix's shape, so "never increases" holds only up to a
+    # tolerance relative to the squared coordinate magnitude.
+    scale = max(float(np.max(np.abs(points))), float(np.max(np.abs(centers))), 1.0)
+    tolerance = 1e-7 * points.shape[0] * scale**2
+    assert kmeans_cost(points, extra) <= kmeans_cost(points, centers) + tolerance
 
 
 # ---------------------------------------------------------------------------
