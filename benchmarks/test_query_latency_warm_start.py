@@ -1,0 +1,103 @@
+"""Query-serving latency: warm-start pipeline vs. the from-scratch query path.
+
+The paper's headline is *fast queries*; after the insert path was vectorized
+(PR 1) the dominant per-query cost became the k-means++ + Lloyd extraction
+re-run from scratch on every query.  This benchmark measures the serving
+layer's effect under the harshest figure-5-style workload — a clustering
+query after EVERY point (q = 1) — and records:
+
+* per-query latency percentiles with warm-start refinement enabled vs.
+  disabled (disabled reproduces the pre-serving-layer query path; the true
+  pre-PR path was strictly slower because it also lacked the vectorized
+  assignment/scatter kernels), and
+* the warm/cold/drift and coreset-cache hit/miss counters threaded through
+  ``StreamingClusterer.query``.
+
+A second table shows the batched multi-k amortization: a figure-4-style
+k-sweep answered by one ``query_multi_k`` call per algorithm.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit
+
+from repro.bench.experiments import multi_k_query_costs, query_latency_profile
+from repro.bench.report import format_series_table, format_table
+
+
+def test_query_latency_q1_warm_vs_cold(covtype_points) -> None:
+    """q=1 workload: warm-start serving must beat the cold path by >= 2x median."""
+    points = covtype_points[:2000]
+    k = 10
+    algorithms = ("cc", "rcc")
+
+    warm = query_latency_profile(
+        points, algorithms=algorithms, k=k, query_interval=1, seed=0, warm_start=True
+    )
+    cold = query_latency_profile(
+        points, algorithms=algorithms, k=k, query_interval=1, seed=0, warm_start=False
+    )
+
+    rows = []
+    for name in algorithms:
+        speedup = cold[name]["median_us"] / max(warm[name]["median_us"], 1e-9)
+        rows.append(
+            {
+                "algorithm": name,
+                "cold_median_us": cold[name]["median_us"],
+                "warm_median_us": warm[name]["median_us"],
+                "median_speedup": speedup,
+                "cold_p95_us": cold[name]["p95_us"],
+                "warm_p95_us": warm[name]["p95_us"],
+                "warm_queries": warm[name]["warm"],
+                "cold_fallbacks": warm[name]["cold"],
+                "drift_fallbacks": warm[name]["drift_fallbacks"],
+                "cache_hits": warm[name]["cache_hits"],
+                "cache_misses": warm[name]["cache_misses"],
+            }
+        )
+    emit(
+        format_table(
+            rows,
+            title=(
+                "Query latency (q=1): warm-start serving vs from-scratch "
+                "k-means++ per query (covtype-like, k=10)"
+            ),
+            precision=1,
+        )
+    )
+
+    for row in rows:
+        # Acceptance: >= 2x median per-query speedup over the cold path.
+        assert row["median_speedup"] >= 2.0, row
+        # In a q=1 steady state nearly every query should be warm-served.
+        assert row["warm_queries"] >= 0.9 * (row["warm_queries"] + row["cold_fallbacks"])
+
+    # Warm and cold must agree on clustering quality (the property tests
+    # bound this tightly; here we just guard against gross regressions).
+    for name in algorithms:
+        assert warm[name]["final_cost"] <= 2.0 * cold[name]["final_cost"] + 1e-9
+
+
+def test_multi_k_sweep_amortizes_assembly(covtype_points) -> None:
+    """One batched multi-k query reproduces the figure-4 cost-vs-k shape."""
+    points = covtype_points[:4000]
+    k_values = (10, 20, 30)
+    results = multi_k_query_costs(
+        points, k_values=k_values, algorithms=("ct", "cc", "rcc"), seed=0, n_init=3
+    )
+    emit(
+        format_series_table(
+            results,
+            x_label="k",
+            title=(
+                "Multi-k batched query (one coreset assembly per algorithm): "
+                "k-means cost vs k (covtype-like)"
+            ),
+            precision=1,
+        )
+    )
+    for name, series in results.items():
+        costs = [series[k] for k in k_values]
+        # Cost must decrease as k grows (the figure-4 shape).
+        assert costs[0] > costs[-1], (name, costs)

@@ -1,0 +1,26 @@
+"""Shared helpers for the runnable examples.
+
+The examples default to stream sizes that make their output interesting
+(tens of thousands of points).  CI smoke-runs them with the environment
+variable ``REPRO_EXAMPLE_SCALE=small``, which shrinks every stream by ~10x
+so the whole tour finishes in seconds while still exercising the same code
+paths (multiple base buckets, merges, cache activity).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["scale_factor", "scaled"]
+
+
+def scale_factor() -> float:
+    """The stream-size multiplier selected via ``REPRO_EXAMPLE_SCALE``."""
+    if os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "small":
+        return 0.1
+    return 1.0
+
+
+def scaled(num_points: int, minimum: int = 500) -> int:
+    """Scale a stream size by :func:`scale_factor`, with a usable floor."""
+    return max(minimum, int(num_points * scale_factor()))

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+from _example_utils import scaled
 
 from repro import (
     BirchClusterer,
@@ -83,7 +84,8 @@ def run_related_work_baselines(points: np.ndarray, k: int) -> list[dict[str, obj
 
 
 def main() -> None:
-    dataset = load_covtype(num_points=8_000, seed=5)
+    """Run every algorithm on the same stream and print the comparison table."""
+    dataset = load_covtype(num_points=scaled(8_000), seed=5)
     points = dataset.points
     k = 15
 

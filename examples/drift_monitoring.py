@@ -17,12 +17,14 @@ Run with:  python examples/drift_monitoring.py
 from __future__ import annotations
 
 import numpy as np
+from _example_utils import scaled
 
 from repro import OnlineCCClusterer, StreamingConfig, kmeans_cost
 from repro.data.drift import RBFDriftGenerator, RBFDriftSpec
 
 
 def main() -> None:
+    """Stream a drifting RBF mixture through OnlineCC and report fallbacks."""
     spec = RBFDriftSpec(
         dimension=16,
         num_centers=8,
@@ -38,7 +40,7 @@ def main() -> None:
     )
 
     num_windows = 30
-    window_points = 1_000
+    window_points = scaled(1_000, minimum=300)
     print(
         f"Drifting stream: {spec.num_centers} centers, dimension {spec.dimension}, "
         f"drift speed {spec.drift_speed} per step"

@@ -11,6 +11,7 @@ Run with:  python examples/extensions_tour.py
 from __future__ import annotations
 
 import numpy as np
+from _example_utils import scaled
 
 from repro.core.base import StreamingConfig
 from repro.core.driver import CachedCoresetTreeClusterer
@@ -23,9 +24,10 @@ from repro.kmeans.cost import kmeans_cost
 def kmedian_demo() -> None:
     """Streaming k-median: robust to the outliers that inflate k-means."""
     rng = np.random.default_rng(0)
-    clean = rng.normal(scale=1.0, size=(5000, 6)) + rng.normal(
+    n = scaled(5_000)
+    clean = rng.normal(scale=1.0, size=(n, 6)) + rng.normal(
         scale=20.0, size=(5, 6)
-    )[rng.integers(0, 5, 5000)]
+    )[rng.integers(0, 5, n)]
     outliers = rng.uniform(-500, 500, size=(50, 6))
     points = np.vstack([clean, outliers])
     rng.shuffle(points, axis=0)
@@ -46,10 +48,11 @@ def kmedian_demo() -> None:
 def drift_demo() -> None:
     """Decay and sliding windows: follow the data when its distribution shifts."""
     rng = np.random.default_rng(1)
-    old = rng.normal(loc=0.0, size=(5000, 4))
-    new = rng.normal(loc=80.0, size=(5000, 4))
+    half = scaled(5_000)
+    old = rng.normal(loc=0.0, size=(half, 4))
+    new = rng.normal(loc=80.0, size=(half, 4))
     points = np.vstack([old, new])
-    recent = points[-2500:]
+    recent = points[-half // 2 :]
 
     config = StreamingConfig(k=4, seed=0)
     plain = CachedCoresetTreeClusterer(config)
@@ -70,8 +73,9 @@ def drift_demo() -> None:
 def distributed_demo() -> None:
     """Sharded streams: per-shard CC structures, one merged answer."""
     rng = np.random.default_rng(2)
+    n = scaled(12_000)
     centers = rng.normal(scale=30.0, size=(6, 8))
-    points = centers[rng.integers(0, 6, 12_000)] + rng.normal(size=(12_000, 8))
+    points = centers[rng.integers(0, 6, n)] + rng.normal(size=(n, 8))
 
     coordinator = DistributedCoordinator(StreamingConfig(k=6, seed=0), num_shards=4)
     coordinator.insert_many(points)
@@ -85,6 +89,7 @@ def distributed_demo() -> None:
 
 
 def main() -> None:
+    """Run the k-median, drift, and distributed demos back to back."""
     kmedian_demo()
     drift_demo()
     distributed_demo()

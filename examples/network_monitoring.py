@@ -4,10 +4,14 @@ The paper's motivating scenario is an application (network monitoring, sensor
 analysis) that needs cluster centers in near real time.  This example streams
 the Intrusion-like dataset through four algorithms — Sequential k-means,
 streamkm++, CC, and OnlineCC — issuing a clustering query every 100 points,
-and reports for each the total update time, total query time, and the final
-clustering cost.  It shows the two headline results:
+and reports for each the total update time, total query time, median
+per-query latency, warm-served query count, and the final clustering cost.
+It shows three headline results:
 
-* OnlineCC and CC answer queries far faster than streamkm++;
+* with warm-start serving (the library default) every coreset algorithm
+  answers queries in sub-millisecond steady state;
+* under the paper's from-scratch query model, OnlineCC and CC answer queries
+  far faster than streamkm++ (the paper's original claim);
 * Sequential k-means is fast but its clustering cost is much worse on this
   skewed data.
 
@@ -16,15 +20,18 @@ Run with:  python examples/network_monitoring.py
 
 from __future__ import annotations
 
+from _example_utils import scaled
+
 from repro.bench.harness import StreamingExperiment, run_experiment
-from repro.bench.report import format_table
+from repro.bench.report import format_table, latency_summary
 from repro.core.base import StreamingConfig
 from repro.data.loaders import load_intrusion
 from repro.queries.schedule import FixedIntervalSchedule
 
 
 def main() -> None:
-    dataset = load_intrusion(num_points=10_000, seed=3)
+    """Compare the algorithms under a frequent-query monitoring workload."""
+    dataset = load_intrusion(num_points=scaled(10_000), seed=3)
     points = dataset.points
     k = 20
     query_interval = 100
@@ -51,6 +58,9 @@ def main() -> None:
                 "query_s": result.timing.query_seconds,
                 "total_s": result.timing.total_seconds,
                 "queries": result.num_queries,
+                "median_query_us": latency_summary(result.query_latencies)["median_us"],
+                "warm": result.serving.warm_queries,
+                "cache_hits": result.serving.cache_hits,
                 "final_cost": result.final_cost,
                 "stored_points": result.memory.points_stored,
             }
@@ -59,10 +69,26 @@ def main() -> None:
     print(format_table(rows, title="Frequent-query comparison (Intrusion-like stream)"))
 
     by_name = {row["algorithm"]: row for row in rows}
-    speedup = by_name["streamkm++"]["query_s"] / max(by_name["onlinecc"]["query_s"], 1e-9)
     cost_gap = by_name["sequential"]["final_cost"] / by_name["cc"]["final_cost"]
-    print(f"\nOnlineCC query-time speed-up over streamkm++: {speedup:.1f}x")
-    print(f"Sequential k-means cost vs. CC cost:          {cost_gap:.1f}x worse")
+    print(f"\nSequential k-means cost vs. CC cost: {cost_gap:.1f}x worse")
+
+    # The paper's timing claim is about the from-scratch query model, so
+    # re-measure streamkm++ vs OnlineCC with warm-start serving disabled.
+    from dataclasses import replace
+
+    cold_config = replace(config, warm_start=False)
+    cold_query_s = {}
+    for algorithm in ("streamkm++", "onlinecc"):
+        result = run_experiment(
+            StreamingExperiment(algorithm=algorithm, config=cold_config, schedule=schedule),
+            points,
+        )
+        cold_query_s[algorithm] = result.timing.query_seconds
+    speedup = cold_query_s["streamkm++"] / max(cold_query_s["onlinecc"], 1e-9)
+    print(
+        f"Paper's from-scratch query model: OnlineCC answers queries "
+        f"{speedup:.1f}x faster than streamkm++"
+    )
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 import numpy as np
+from _example_utils import scaled
 
 from repro import (
     CachedCoresetTreeClusterer,
@@ -21,9 +22,11 @@ from repro import (
 )
 
 
-def make_stream(num_points: int = 20_000, num_clusters: int = 10, dimension: int = 8,
+def make_stream(num_points: int | None = None, num_clusters: int = 10, dimension: int = 8,
                 seed: int = 0) -> np.ndarray:
     """A simple shuffled Gaussian-mixture stream."""
+    if num_points is None:
+        num_points = scaled(20_000)
     rng = np.random.default_rng(seed)
     centers = rng.normal(scale=25.0, size=(num_clusters, dimension))
     labels = rng.integers(0, num_clusters, size=num_points)
@@ -33,6 +36,7 @@ def make_stream(num_points: int = 20_000, num_clusters: int = 10, dimension: int
 
 
 def main() -> None:
+    """Stream the mixture into CC, query as it flows, compare against batch."""
     points = make_stream()
     k = 10
 

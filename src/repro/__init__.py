@@ -29,6 +29,7 @@ from .baselines import (
     StreamLSClusterer,
 )
 from .core import (
+    CacheStats,
     CachedCoresetTree,
     CachedCoresetTreeClusterer,
     CoresetCache,
@@ -45,7 +46,7 @@ from .core import (
 from .coreset import Bucket, CoresetConfig, CoresetConstructor, WeightedPointSet
 from .data import PointStream, load_dataset
 from .kmeans import BatchKMeans, KMeansConfig, kmeans_cost, kmeanspp_seeding, weighted_kmeans
-from .queries import FixedIntervalSchedule, PoissonSchedule
+from .queries import FixedIntervalSchedule, PoissonSchedule, QueryEngine, QueryStats
 
 __version__ = "1.0.0"
 
@@ -55,6 +56,7 @@ __all__ = [
     "SequentialKMeans",
     "StreamKMpp",
     "StreamLSClusterer",
+    "CacheStats",
     "CachedCoresetTree",
     "CachedCoresetTreeClusterer",
     "CoresetCache",
@@ -80,5 +82,7 @@ __all__ = [
     "weighted_kmeans",
     "FixedIntervalSchedule",
     "PoissonSchedule",
+    "QueryEngine",
+    "QueryStats",
     "__version__",
 ]

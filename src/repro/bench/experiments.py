@@ -17,6 +17,15 @@ Mapping to the paper (see also DESIGN.md §3):
 * :func:`dataset_table`            — Table 3
 * :func:`memory_table`             — Table 4
 * :func:`rcc_tradeoffs`            — Table 2
+
+Two additional drivers exercise the query-serving pipeline beyond the paper:
+
+* :func:`query_latency_profile`    — per-query latency percentiles and
+  warm/cold/cache counters under a figure-5-style workload (any interval,
+  including the q=1 stress case);
+* :func:`multi_k_query_costs`      — a figure-4-style k-sweep answered by
+  ONE batched multi-k query per algorithm instead of one full stream replay
+  per (algorithm, k) pair.
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ from ..data.loaders import PAPER_SIZES, dataset_names, load_dataset
 from ..kmeans.batch import weighted_kmeans
 from ..kmeans.cost import kmeans_cost
 from ..queries.schedule import FixedIntervalSchedule, PoissonSchedule
-from .harness import RunResult, StreamingExperiment, run_experiment
+from .harness import RunResult, StreamingExperiment, make_algorithm, run_experiment
+from .report import latency_summary
 
 __all__ = [
     "DEFAULT_ALGORITHMS",
@@ -45,6 +55,8 @@ __all__ = [
     "dataset_table",
     "memory_table",
     "rcc_tradeoffs",
+    "query_latency_profile",
+    "multi_k_query_costs",
 ]
 
 # The algorithm line-up of the paper's figures.
@@ -101,9 +113,16 @@ def time_vs_query_interval(
     algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
     k: int = 30,
     seed: int = 0,
+    warm_start: bool = False,
 ) -> dict[str, dict[int, float]]:
-    """Figure 5: total runtime (seconds) over the stream vs. the query interval q."""
-    config = StreamingConfig(k=k, seed=seed)
+    """Figure 5: total runtime (seconds) over the stream vs. the query interval q.
+
+    ``warm_start`` defaults to False: the paper's figures measure the
+    from-scratch query path, and the relative timing claims asserted by the
+    figure benchmarks hold in that model (warm-start serving collapses query
+    cost for every coreset algorithm and is measured by its own benchmark).
+    """
+    config = StreamingConfig(k=k, seed=seed, warm_start=warm_start)
     results: dict[str, dict[int, float]] = {name: {} for name in algorithms}
     for interval in intervals:
         schedule = FixedIntervalSchedule(interval)
@@ -139,15 +158,20 @@ def time_vs_bucket_size(
     k: int = 30,
     query_interval: int = 100,
     seed: int = 0,
+    warm_start: bool = False,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Figure 7: average runtime per point (microseconds) vs. bucket size m.
 
     Returns ``{algorithm: {multiplier: {"update_us": .., "query_us": .., "total_us": ..}}}``.
+    Timing figures default to the paper's from-scratch query model
+    (``warm_start=False``).
     """
     results: dict[str, dict[int, dict[str, float]]] = {name: {} for name in algorithms}
     schedule = FixedIntervalSchedule(query_interval)
     for multiplier in bucket_multipliers:
-        config = StreamingConfig(k=k, coreset_size=multiplier * k, seed=seed)
+        config = StreamingConfig(
+            k=k, coreset_size=multiplier * k, seed=seed, warm_start=warm_start
+        )
         for name in algorithms:
             run = _run(name, points, config, schedule)
             results[name][multiplier] = {
@@ -165,14 +189,16 @@ def poisson_queries(
     algorithms: tuple[str, ...] = ("streamkm++", "cc", "rcc", "onlinecc"),
     k: int = 30,
     seed: int = 0,
+    warm_start: bool = False,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Figures 8–10: per-point update/query/total time under Poisson query arrivals.
 
     The paper parameterises by arrival rate lambda; we index results by the
     mean inter-arrival interval ``1 / lambda`` (in points) which is the same
-    sweep expressed in more readable units.
+    sweep expressed in more readable units.  Timing figures default to the
+    paper's from-scratch query model (``warm_start=False``).
     """
-    config = StreamingConfig(k=k, seed=seed)
+    config = StreamingConfig(k=k, seed=seed, warm_start=warm_start)
     results: dict[str, dict[int, dict[str, float]]] = {name: {} for name in algorithms}
     for mean_interval in mean_intervals:
         schedule = PoissonSchedule.from_mean_interval(mean_interval, seed=seed)
@@ -194,9 +220,14 @@ def threshold_sweep(
     k: int = 30,
     query_interval: int = 100,
     seed: int = 0,
+    warm_start: bool = False,
 ) -> dict[float, dict[str, float]]:
-    """Figure 11: OnlineCC total update/query time vs. the switch threshold alpha."""
-    config = StreamingConfig(k=k, seed=seed)
+    """Figure 11: OnlineCC total update/query time vs. the switch threshold alpha.
+
+    Timing figures default to the paper's from-scratch query model
+    (``warm_start=False``).
+    """
+    config = StreamingConfig(k=k, seed=seed, warm_start=warm_start)
     schedule = FixedIntervalSchedule(query_interval)
     results: dict[float, dict[str, float]] = {}
     for alpha in thresholds:
@@ -209,6 +240,87 @@ def threshold_sweep(
             "total_seconds": run.timing.total_seconds,
             "final_cost": run.final_cost,
         }
+    return results
+
+
+def query_latency_profile(
+    points: np.ndarray,
+    algorithms: tuple[str, ...] = ("cc", "rcc"),
+    k: int = 10,
+    query_interval: int = 1,
+    seed: int = 0,
+    warm_start: bool = True,
+    coreset_size: int | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-query latency percentiles under a figure-5-style fixed-interval workload.
+
+    With ``query_interval=1`` (a query after every point) this is the
+    query-serving stress test: steady-state latency is dominated by the
+    center-extraction path, which is exactly what warm-start refinement
+    accelerates.  Returns, per algorithm, the
+    :func:`~repro.bench.report.latency_summary` percentiles plus the serving
+    counters (warm/cold/drift, cache hits/misses).
+
+    Set ``warm_start=False`` to measure the from-scratch query path (the
+    pre-serving-layer behavior) for comparison.
+    """
+    config = StreamingConfig(
+        k=k, coreset_size=coreset_size, seed=seed, warm_start=warm_start
+    )
+    schedule = FixedIntervalSchedule(query_interval)
+    results: dict[str, dict[str, float]] = {}
+    for name in algorithms:
+        run = _run(name, points, config, schedule)
+        row = latency_summary(run.query_latencies)
+        row.update(
+            {
+                "warm": float(run.serving.warm_queries),
+                "cold": float(run.serving.cold_queries),
+                "drift_fallbacks": float(run.serving.drift_fallbacks),
+                "cache_hits": float(run.serving.cache_hits),
+                "cache_misses": float(run.serving.cache_misses),
+                "final_cost": run.final_cost,
+            }
+        )
+        results[name] = row
+    return results
+
+
+def multi_k_query_costs(
+    points: np.ndarray,
+    k_values: tuple[int, ...] = (10, 20, 30, 40, 50),
+    algorithms: tuple[str, ...] = ("ct", "cc", "rcc", "onlinecc"),
+    build_k: int | None = None,
+    include_batch: bool = False,
+    seed: int = 0,
+    n_init: int = 5,
+) -> dict[str, dict[int, float]]:
+    """Figure-4-style k-sweep served by ONE batched multi-k query per algorithm.
+
+    Unlike :func:`cost_vs_k` — which replays the whole stream once per
+    ``(algorithm, k)`` pair so that the *structure* is also built for each
+    ``k`` — this driver ingests the stream once per algorithm (with the
+    structure sized for ``build_k``, default ``max(k_values)``) and then
+    answers the entire sweep from one coreset assembly via
+    ``query_multi_k``.  Returns ``{algorithm: {k: cost over the stream}}``,
+    with a ``"kmeans++"`` batch baseline when ``include_batch`` is set.
+    """
+    build = build_k if build_k is not None else max(k_values)
+    results: dict[str, dict[int, float]] = {}
+    data = np.asarray(points, dtype=np.float64)
+    for name in algorithms:
+        config = StreamingConfig(k=build, seed=seed, n_init=n_init)
+        algorithm = make_algorithm(name, config)
+        algorithm.insert_batch(data)
+        sweep = algorithm.query_multi_k(k_values)
+        results[name] = {
+            k: kmeans_cost(data, result.centers) for k, result in sweep.items()
+        }
+    if include_batch:
+        results["kmeans++"] = {}
+        for k in k_values:
+            batch = weighted_kmeans(points, k, rng=np.random.default_rng(seed))
+            results["kmeans++"][k] = kmeans_cost(points, batch.centers)
     return results
 
 

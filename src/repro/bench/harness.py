@@ -24,7 +24,7 @@ import numpy as np
 
 from ..baselines.sequential import SequentialKMeans
 from ..baselines.streamkmpp import StreamKMpp
-from ..core.base import StreamingClusterer, StreamingConfig
+from ..core.base import ClusteringStructure, StreamingClusterer, StreamingConfig
 from ..data.stream import PointStream
 from ..core.driver import (
     CachedCoresetTreeClusterer,
@@ -41,7 +41,9 @@ __all__ = [
     "ALGORITHM_NAMES",
     "make_algorithm",
     "RunResult",
+    "ServingStats",
     "StreamingExperiment",
+    "collect_serving_stats",
     "run_experiment",
 ]
 
@@ -91,6 +93,57 @@ def make_algorithm(
     raise KeyError(f"unknown algorithm {name!r}; available: {ALGORITHM_NAMES}")
 
 
+def collect_serving_stats(algorithm: StreamingClusterer) -> "ServingStats":
+    """Read the serving-pipeline counters off any clusterer, tolerating absence.
+
+    Coreset-backed algorithms expose a ``query_engine`` (warm/cold/drift
+    counters) and a structure with ``cache_stats()``; baselines that bypass
+    the serving pipeline yield all-zero stats.
+    """
+    engine = getattr(algorithm, "query_engine", None)
+    structure = getattr(algorithm, "structure", None)
+    if structure is None:
+        structure = getattr(algorithm, "cached_tree", None)
+    cache = None
+    if isinstance(structure, ClusteringStructure):
+        cache = structure.cache_stats()
+    return ServingStats(
+        warm_queries=engine.warm_queries if engine is not None else 0,
+        cold_queries=engine.cold_queries if engine is not None else 0,
+        drift_fallbacks=engine.drift_fallbacks if engine is not None else 0,
+        refreshes=engine.refreshes if engine is not None else 0,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate query-serving counters collected at the end of a run.
+
+    Attributes
+    ----------
+    warm_queries:
+        Queries answered by the warm-start Lloyd descent alone.
+    cold_queries:
+        Queries that ran the full cold k-means++ path.
+    drift_fallbacks:
+        Warm attempts rejected by the cost-ratio guard.
+    refreshes:
+        Scheduled cold re-anchors after a full warm streak.
+    cache_hits / cache_misses:
+        Cumulative coreset-cache lookup counters of the algorithm's
+        structure (0 for cache-less algorithms).
+    """
+
+    warm_queries: int = 0
+    cold_queries: int = 0
+    drift_fallbacks: int = 0
+    refreshes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
 @dataclass
 class RunResult:
     """Everything measured while replaying one stream against one algorithm.
@@ -111,6 +164,12 @@ class RunResult:
         Number of queries answered during the run.
     query_costs:
         Optional per-query costs (populated when ``track_query_costs`` is set).
+    query_latencies:
+        Wall-clock seconds of every individual query, in order — the raw
+        series behind per-query latency percentiles.
+    serving:
+        Warm/cold/drift and cache hit/miss counters from the serving
+        pipeline (zeros for algorithms that bypass it).
     """
 
     algorithm: str
@@ -120,6 +179,8 @@ class RunResult:
     final_centers: np.ndarray
     num_queries: int
     query_costs: list[float] = field(default_factory=list)
+    query_latencies: list[float] = field(default_factory=list)
+    serving: ServingStats = field(default_factory=ServingStats)
 
 
 @dataclass
@@ -175,20 +236,22 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         nesting_depth=experiment.nesting_depth,
         switch_threshold=experiment.switch_threshold,
     )
-    schedule_positions = experiment.schedule.query_positions(data.shape[0])
-    query_set = set(int(p) for p in schedule_positions)
+    query_set = experiment.schedule.query_set(data.shape[0])
 
     timing = TimingBreakdown()
     peak_points = 0
     last_centers: np.ndarray | None = None
     query_costs: list[float] = []
+    query_latencies: list[float] = []
     num_queries = 0
 
     def run_query(position: int) -> None:
         nonlocal last_centers, num_queries, peak_points
         start = time.perf_counter()
         result = algorithm.query()
-        timing.add_query(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        timing.add_query(elapsed)
+        query_latencies.append(elapsed)
         last_centers = result.centers
         num_queries += 1
         peak_points = max(peak_points, algorithm.stored_points())
@@ -216,7 +279,9 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         # that every run produces centers and a cost.
         start = time.perf_counter()
         result = algorithm.query()
-        timing.add_query(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        timing.add_query(elapsed)
+        query_latencies.append(elapsed)
         last_centers = result.centers
         num_queries += 1
 
@@ -231,4 +296,6 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         final_centers=last_centers,
         num_queries=num_queries,
         query_costs=query_costs,
+        query_latencies=query_latencies,
+        serving=collect_serving_stats(algorithm),
     )

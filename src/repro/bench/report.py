@@ -8,9 +8,14 @@ presentational: simple fixed-width tables, no plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_series_table", "format_nested_series"]
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_nested_series",
+    "latency_summary",
+]
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -81,6 +86,30 @@ def format_series_table(
         rows.append(row)
     columns = [x_label, *series.keys()]
     return format_table(rows, columns=columns, title=title, precision=precision)
+
+
+def latency_summary(latencies: Iterable[float]) -> dict[str, float]:
+    """Percentile summary of a per-query latency series, in microseconds.
+
+    Returns ``{"queries", "median_us", "p95_us", "max_us", "mean_us"}`` —
+    the row shape the query-latency benchmarks feed to :func:`format_table`.
+    An empty series yields all zeros.
+    """
+    values = sorted(float(v) for v in latencies)
+    if not values:
+        return {"queries": 0.0, "median_us": 0.0, "p95_us": 0.0, "max_us": 0.0, "mean_us": 0.0}
+
+    def pct(q: float) -> float:
+        index = min(len(values) - 1, int(round(q * (len(values) - 1))))
+        return values[index]
+
+    return {
+        "queries": float(len(values)),
+        "median_us": pct(0.5) * 1e6,
+        "p95_us": pct(0.95) * 1e6,
+        "max_us": values[-1] * 1e6,
+        "mean_us": sum(values) / len(values) * 1e6,
+    }
 
 
 def format_nested_series(

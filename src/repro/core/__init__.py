@@ -2,7 +2,7 @@
 
 from .base import ClusteringStructure, QueryResult, StreamingClusterer, StreamingConfig
 from .buffer import BucketBuffer
-from .cache import CoresetCache
+from .cache import CacheStats, CoresetCache
 from .cached_tree import CachedCoresetTree
 from .coreset_tree import CoresetTree
 from .driver import (
@@ -21,6 +21,7 @@ __all__ = [
     "StreamingClusterer",
     "StreamingConfig",
     "BucketBuffer",
+    "CacheStats",
     "CoresetCache",
     "CachedCoresetTree",
     "CoresetTree",

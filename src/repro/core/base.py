@@ -18,11 +18,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..coreset.bucket import Bucket, WeightedPointSet
 from ..coreset.construction import CoresetConfig, CoresetConstructor, CoresetMethod
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..queries.serving import QueryEngine, QueryStats
+    from .cache import CacheStats
 
 __all__ = [
     "StreamingConfig",
@@ -102,6 +107,20 @@ class StreamingConfig:
     seed:
         Seed for all randomness inside the algorithm (coreset sampling and
         k-means++).  ``None`` draws fresh entropy.
+    warm_start:
+        Enable warm-start query refinement: seed Lloyd's algorithm from the
+        previous query's centers instead of re-running all ``n_init``
+        k-means++ seedings (see :class:`~repro.queries.serving.QueryEngine`).
+        Disabling it reproduces the from-scratch query path.
+    warm_start_drift_ratio:
+        Cost-ratio guard of the warm-start path: a warm solution whose
+        normalized cost exceeds this multiple of the previous query's
+        normalized cost falls back to the full cold k-means++ run.
+    warm_start_refresh_interval:
+        Periodic cold re-anchor: after this many consecutive warm-served
+        queries the next query also runs the cold path (keeping the better
+        answer), bounding how long a stable-but-suboptimal warm optimum can
+        persist.  ``None`` disables the re-anchor.
     """
 
     k: int
@@ -111,6 +130,9 @@ class StreamingConfig:
     n_init: int = 5
     lloyd_iterations: int = 20
     seed: int | None = None
+    warm_start: bool = True
+    warm_start_drift_ratio: float = 2.0
+    warm_start_refresh_interval: int | None = 64
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -123,6 +145,10 @@ class StreamingConfig:
             raise ValueError("n_init must be positive")
         if self.lloyd_iterations < 0:
             raise ValueError("lloyd_iterations must be non-negative")
+        if self.warm_start_drift_ratio <= 1.0:
+            raise ValueError("warm_start_drift_ratio must exceed 1.0")
+        if self.warm_start_refresh_interval is not None and self.warm_start_refresh_interval < 1:
+            raise ValueError("warm_start_refresh_interval must be >= 1 or None")
 
     @property
     def bucket_size(self) -> int:
@@ -142,6 +168,22 @@ class StreamingConfig:
         effective_seed = seed if seed is not None else self.seed
         return CoresetConstructor(self.coreset_config(), seed=effective_seed)
 
+    def make_query_engine(self) -> "QueryEngine":
+        """Create the query-serving engine implied by this config.
+
+        One engine instance per clusterer: it owns the warm-start state and
+        the warm/cold/drift counters for that clusterer's queries.
+        """
+        from ..queries.serving import QueryEngine
+
+        return QueryEngine(
+            n_init=self.n_init,
+            max_iterations=self.lloyd_iterations,
+            warm_start=self.warm_start,
+            drift_ratio=self.warm_start_drift_ratio,
+            refresh_interval=self.warm_start_refresh_interval,
+        )
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -157,11 +199,19 @@ class QueryResult:
     from_cache:
         True when the answer reused a cached coreset (CC/RCC) or the online
         centers (OnlineCC) rather than merging the full tree.
+    warm_start:
+        True when the centers came from the warm-start Lloyd descent (seeded
+        from the previous query) rather than fresh k-means++ restarts.
+    stats:
+        Per-query serving statistics (assembly/solve timing, cache counters);
+        ``None`` for algorithms that bypass the serving pipeline.
     """
 
     centers: np.ndarray
     coreset_points: int = 0
     from_cache: bool = False
+    warm_start: bool = False
+    stats: "QueryStats | None" = None
 
 
 class ClusteringStructure(ABC):
@@ -203,6 +253,15 @@ class ClusteringStructure(ABC):
     def max_level(self) -> int:
         """Maximum coreset level currently present in the structure."""
 
+    def cache_stats(self) -> "CacheStats | None":
+        """Aggregate coreset-cache lookup counters, or ``None`` if cache-less.
+
+        CC reports its single :class:`~repro.core.cache.CoresetCache`; RCC
+        aggregates the caches of every recursive order.  The default (CT) has
+        no cache.
+        """
+        return None
+
     @property
     @abstractmethod
     def num_base_buckets(self) -> int:
@@ -240,6 +299,18 @@ class StreamingClusterer(ABC):
     @abstractmethod
     def query(self) -> QueryResult:
         """Return ``k`` cluster centers for everything observed so far."""
+
+    def query_multi_k(self, ks: Sequence[int]) -> dict[int, QueryResult]:
+        """Answer one batched query for several values of ``k`` at once.
+
+        Coreset-backed algorithms assemble the query coreset once and
+        amortize it across the whole k-sweep (the Figure 4/6 access
+        pattern).  Algorithms whose state is tied to a single ``k`` do not
+        support this and raise :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched multi-k queries"
+        )
 
     @abstractmethod
     def stored_points(self) -> int:

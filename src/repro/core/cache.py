@@ -6,14 +6,61 @@ freshly computed coreset for ``[1, N]`` is stored under key ``N``, and every
 key that is not in ``prefixsum(N, r) ∪ {N}`` is evicted (Algorithm 3, lines
 18–19).  Fact 2 guarantees that, when queries arrive at least once per base
 bucket, the key ``major(N, r)`` needed by the next query is always present.
+
+RCC reuses the same class at every recursive order: an inner structure keys
+its cache by *its own* bucket count rather than by a global prefix endpoint,
+so :meth:`CoresetCache.store` accepts an explicit key for that case.  Every
+lookup — CC's and RCC's alike — feeds the hit/miss counters that the
+query-serving pipeline reports per query.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..coreset.bucket import Bucket
 from .numeral import prefixsum
 
-__all__ = ["CoresetCache"]
+__all__ = ["CacheStats", "CoresetCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative lookup counters of one or more coreset caches.
+
+    Attributes
+    ----------
+    hits:
+        Lookups that found a cached coreset.
+    misses:
+        Lookups that found nothing (the query had to merge more pieces).
+    entries:
+        Number of coresets currently cached.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Sum of two counter sets (used by RCC to aggregate its orders)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            entries=self.entries + other.entries,
+        )
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none occurred)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
 
 
 class CoresetCache:
@@ -54,6 +101,10 @@ class CoresetCache:
         """Number of failed lookups."""
         return self._misses
 
+    def stats(self) -> CacheStats:
+        """Snapshot of the lookup counters and current size."""
+        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._entries))
+
     def keys(self) -> set[int]:
         """The set of right endpoints currently cached."""
         return set(self._entries)
@@ -63,7 +114,7 @@ class CoresetCache:
         return list(self._entries.values())
 
     def lookup(self, endpoint: int) -> Bucket | None:
-        """Return the cached coreset with span ``[1, endpoint]``, if present."""
+        """Return the cached coreset stored under ``endpoint``, if present."""
         bucket = self._entries.get(endpoint)
         if bucket is None:
             self._misses += 1
@@ -71,13 +122,22 @@ class CoresetCache:
             self._hits += 1
         return bucket
 
-    def store(self, bucket: Bucket) -> None:
-        """Insert a prefix coreset (its span must start at base bucket 1)."""
-        if bucket.start != 1:
-            raise ValueError(
-                f"cache stores prefix coresets only; got span [{bucket.start},{bucket.end}]"
-            )
-        self._entries[bucket.end] = bucket
+    def store(self, bucket: Bucket, key: int | None = None) -> None:
+        """Insert a coreset under ``key`` (default: the bucket's right endpoint).
+
+        Without an explicit ``key`` the bucket must be a *prefix* coreset
+        (span starting at base bucket 1), which is the CC invariant.  RCC's
+        inner structures pass their own bucket count as ``key`` because their
+        buckets carry global spans.
+        """
+        if key is None:
+            if bucket.start != 1:
+                raise ValueError(
+                    f"cache stores prefix coresets only; got span "
+                    f"[{bucket.start},{bucket.end}]"
+                )
+            key = bucket.end
+        self._entries[key] = bucket
 
     def evict_stale(self, num_base_buckets: int) -> int:
         """Drop every key outside ``prefixsum(N, r) ∪ {N}``; return how many were dropped."""

@@ -22,7 +22,7 @@ from ..coreset.bucket import Bucket, WeightedPointSet
 from ..coreset.construction import CoresetConstructor
 from ..coreset.merge import union_buckets
 from .base import ClusteringStructure
-from .cache import CoresetCache
+from .cache import CacheStats, CoresetCache
 from .coreset_tree import CoresetTree
 from .numeral import major
 
@@ -136,6 +136,10 @@ class CachedCoresetTree(ClusteringStructure):
         self._cache.store(result)
         self._cache.evict_stale(n)
         return result
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the coreset cache (Algorithm 3's lookups)."""
+        return self._cache.stats()
 
     def stored_points(self) -> int:
         """Points stored by the tree plus the cache (Table 4 accounting)."""

@@ -2,14 +2,20 @@
 
 The driver buffers arriving points into base buckets of ``m`` points.  When a
 bucket fills it is handed to the clustering structure ``D``; at query time the
-structure's coreset is unioned with the partially-filled bucket and k-means++
-(plus Lloyd refinement) extracts ``k`` centers.
+structure's coreset is unioned with the partially-filled bucket and the
+query-serving engine (:class:`~repro.queries.serving.QueryEngine`) extracts
+``k`` centers — warm-starting Lloyd from the previous query's centers when
+the drift guard allows, running the full k-means++ restarts otherwise.
 
 The ingestion pipeline is batch-first: :meth:`StreamClusterDriver.insert_batch`
 slices full base buckets directly out of the incoming array (zero copy, no
 per-point Python work) and hands them to the structure in one amortized
 ``insert_buckets`` call; :meth:`StreamClusterDriver.insert` is a thin
-per-point wrapper over the same preallocated bucket buffer.
+per-point wrapper over the same preallocated bucket buffer.  The query
+pipeline is the mirror image: one coreset assembly per query (or per multi-k
+sweep via :meth:`StreamClusterDriver.query_multi_k`), one warm Lloyd descent
+in steady state, and per-query timing plus cache hit/miss counters recorded
+in :class:`~repro.queries.serving.QueryStats`.
 
 :class:`StreamClusterDriver` is generic over any
 :class:`~repro.core.base.ClusteringStructure`; the concrete classes
@@ -19,10 +25,12 @@ and :class:`RecursiveCachedClusterer` (RCC) simply plug in the right structure.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
-from ..kmeans.batch import weighted_kmeans
+from ..queries.serving import QueryStats
 from .base import (
     ClusteringStructure,
     QueryResult,
@@ -35,6 +43,7 @@ from .buffer import BucketBuffer
 from .cached_tree import CachedCoresetTree
 from .coreset_tree import CoresetTree
 from .recursive_cache import RecursiveCachedTree
+from .serving_mixin import CoresetServingMixin
 
 __all__ = [
     "StreamClusterDriver",
@@ -44,7 +53,7 @@ __all__ = [
 ]
 
 
-class StreamClusterDriver(StreamingClusterer):
+class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
     """Generic driver that batches points and delegates to a clustering structure.
 
     Parameters
@@ -64,6 +73,8 @@ class StreamClusterDriver(StreamingClusterer):
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
+        self._engine = config.make_query_engine()
+        self._last_query_stats: QueryStats | None = None
 
     @property
     def structure(self) -> ClusteringStructure:
@@ -126,25 +137,35 @@ class StreamClusterDriver(StreamingClusterer):
         self._dimension = require_dimension(self._dimension, dimension, what=what)
 
     def query(self) -> QueryResult:
-        """Merge the structure's coreset with the partial bucket and run k-means++."""
+        """Answer one clustering query through the serving pipeline.
+
+        Assembles the query coreset (structure coreset plus the partial base
+        bucket), hands it to the :class:`~repro.queries.serving.QueryEngine`
+        — warm-start Lloyd in steady state, cold k-means++ on the first query
+        or after drift — and records per-query timing and cache counters in
+        :attr:`last_query_stats`.
+        """
+        return self._serve_query(self.config.k)
+
+    def query_multi_k(self, ks: Sequence[int]) -> dict[int, QueryResult]:
+        """Answer a batched query for several ``k`` values at once.
+
+        The coreset is assembled (and its squared norms computed) exactly
+        once for the whole sweep; each ``k`` then costs only its own center
+        extraction.  This is the fast path behind the Figure 4/6 harness's
+        k-sweeps.  Each returned result's ``stats`` carries its amortized
+        share of the sweep's assembly/solve wall-clock.
+        """
+        return self._serve_multi_k(ks)
+
+    def _coreset_pieces(self) -> WeightedPointSet:
+        """Merge the structure's coreset with the partial bucket."""
         coreset = self._structure.query_coreset()
         partial = self._partial_bucket_points()
-        combined = coreset.union(partial) if partial.size else coreset
-        if combined.size == 0:
-            raise RuntimeError("cannot answer a clustering query before any point arrives")
-        result = weighted_kmeans(
-            combined.points,
-            self.config.k,
-            weights=combined.weights,
-            n_init=self.config.n_init,
-            max_iterations=self.config.lloyd_iterations,
-            rng=self._rng,
-        )
-        return QueryResult(
-            centers=result.centers,
-            coreset_points=combined.size,
-            from_cache=False,
-        )
+        return coreset.union(partial) if partial.size else coreset
+
+    def _structure_cache_stats(self):
+        return self._structure.cache_stats()
 
     def stored_points(self) -> int:
         """Points held by the structure plus the partial base bucket."""
@@ -191,14 +212,9 @@ class CachedCoresetTreeClusterer(StreamClusterDriver):
         """The underlying cached coreset tree."""
         return self.structure  # type: ignore[return-value]
 
-    def query(self) -> QueryResult:
-        result = super().query()
-        cached = self.cached_tree.cached_answer_count > 0 or len(self.cached_tree.cache) > 0
-        return QueryResult(
-            centers=result.centers,
-            coreset_points=result.coreset_points,
-            from_cache=cached,
-        )
+    def _answered_from_cache(self) -> bool:
+        cached = self.cached_tree
+        return cached.cached_answer_count > 0 or len(cached.cache) > 0
 
 
 class RecursiveCachedClusterer(StreamClusterDriver):

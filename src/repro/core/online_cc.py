@@ -18,12 +18,13 @@ into the same O(log k) approximation guarantee as CC.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
-from ..kmeans.batch import weighted_kmeans
-from ..kmeans.cost import kmeans_cost
 from ..kmeans.sequential import SequentialKMeansState
+from ..queries.serving import QueryStats
 from .base import (
     QueryResult,
     StreamingClusterer,
@@ -33,11 +34,12 @@ from .base import (
 )
 from .buffer import BucketBuffer
 from .cached_tree import CachedCoresetTree
+from .serving_mixin import CoresetServingMixin
 
 __all__ = ["OnlineCCClusterer"]
 
 
-class OnlineCCClusterer(StreamingClusterer):
+class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
     """The OnlineCC streaming clusterer.
 
     Parameters
@@ -72,6 +74,8 @@ class OnlineCCClusterer(StreamingClusterer):
         constructor = config.make_constructor()
         self._cc = CachedCoresetTree(constructor, merge_degree=config.merge_degree)
         self._rng = np.random.default_rng(config.seed)
+        self._engine = config.make_query_engine()
+        self._last_query_stats: QueryStats | None = None
 
         self._buffer = BucketBuffer(config.bucket_size)
         self._points_seen = 0
@@ -189,26 +193,41 @@ class OnlineCCClusterer(StreamingClusterer):
 
     # -- internals ---------------------------------------------------------------
 
-    def _fallback_query(self) -> QueryResult:
-        self._fallback_count += 1
+    def query_multi_k(self, ks: Sequence[int]) -> dict[int, QueryResult]:
+        """Serve a k-sweep from one coreset assembly (read-only CC path).
+
+        Multi-k sweeps always go through the coreset (the online centers
+        exist only for the configured ``k``) and do not touch the online
+        state or the cost bounds — Algorithm 7's bookkeeping is reserved for
+        the single-k :meth:`query` flow.  Per-k ``stats`` carry amortized
+        shares of the sweep's wall-clock.
+        """
+        if self._points_seen == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        return self._serve_multi_k(ks)
+
+    def _coreset_pieces(self) -> WeightedPointSet:
+        """Merge the embedded CC's coreset with the partial bucket."""
         coreset = self._cc.query_coreset()
         partial = self._partial_bucket_points()
-        combined = coreset.union(partial) if partial.size else coreset
-        if combined.size == 0:
-            combined = partial
+        return coreset.union(partial) if partial.size else coreset
 
-        result = weighted_kmeans(
-            combined.points,
-            self.config.k,
-            weights=combined.weights,
-            n_init=self.config.n_init,
-            max_iterations=self.config.lloyd_iterations,
-            rng=self._rng,
-        )
+    def _structure_cache_stats(self):
+        return self._cc.cache_stats()
+
+    def _fallback_query(self) -> QueryResult:
+        self._fallback_count += 1
+        # Force the cold path: Algorithm 7 re-anchors phi_prev/phi_now on
+        # this answer's cost, so it must be of from-scratch k-means++ quality
+        # (a warm-only answer may legally be up to drift_ratio worse, which
+        # would stretch the online phase beyond what Lemma 11 assumes).
+        result = self._serve_query(self.config.k, force_cold=True)
+        assert result.stats is not None
 
         # Reset the online state to the freshly computed solution and refresh
-        # the cost bounds (lines 14-16 of Algorithm 7).
-        self._phi_prev = kmeans_cost(combined.points, result.centers, combined.weights)
+        # the cost bounds (lines 14-16 of Algorithm 7).  The engine already
+        # evaluated the weighted cost of its solution on the coreset.
+        self._phi_prev = result.stats.cost
         self._phi_now = self._phi_prev / (1.0 - self.coreset_epsilon)
         if self._phi_prev == 0.0:
             # A zero-cost solution (e.g. fewer distinct points than k) would
@@ -216,12 +235,7 @@ class OnlineCCClusterer(StreamingClusterer):
             self._phi_prev = np.finfo(np.float64).tiny
         assert self._online is not None
         self._online.set_centers(result.centers)
-
-        return QueryResult(
-            centers=result.centers,
-            coreset_points=combined.size,
-            from_cache=False,
-        )
+        return result
 
     def _flush_buffer(self) -> None:
         index = self._cc.num_base_buckets + 1

@@ -20,7 +20,8 @@ from ..coreset.bucket import Bucket, WeightedPointSet
 from ..coreset.construction import CoresetConstructor
 from ..coreset.merge import merge_buckets, union_buckets
 from .base import ClusteringStructure, validate_base_buckets
-from .numeral import major, prefixsum
+from .cache import CacheStats, CoresetCache
+from .numeral import major
 
 __all__ = ["RecursiveCachedTree", "merge_degree_for_order"]
 
@@ -41,7 +42,9 @@ class _RccNode:
         self._constructor = constructor
         self._levels: list[list[Bucket]] = []
         self._children: list["_RccNode | None"] = []
-        self._cache: dict[int, Bucket] = {}
+        # The same keyed cache CC uses, with this node's bucket count as the
+        # key space (inner buckets carry global spans, so keys are explicit).
+        self._cache = CoresetCache(self.merge_degree)
         self.num_buckets = 0
 
     # -- update path -------------------------------------------------------
@@ -110,7 +113,7 @@ class _RccNode:
             return None
 
         n1 = major(self.num_buckets, self.merge_degree)
-        cached_prefix = self._cache.get(n1) if n1 > 0 else None
+        cached_prefix = self._cache.lookup(n1) if n1 > 0 else None
 
         if cached_prefix is None:
             pieces = self._full_union_pieces()
@@ -126,8 +129,8 @@ class _RccNode:
             end=combined.end,
             level=combined.level + 1,
         )
-        self._cache[self.num_buckets] = result
-        self._evict_stale()
+        self._cache.store(result, key=self.num_buckets)
+        self._cache.evict_stale(self.num_buckets)
         return result
 
     def _full_union_pieces(self) -> list[Bucket]:
@@ -163,17 +166,12 @@ class _RccNode:
             return union_buckets(buckets)
         return None
 
-    def _evict_stale(self) -> None:
-        keep = prefixsum(self.num_buckets, self.merge_degree)
-        keep.add(self.num_buckets)
-        for key in [k for k in self._cache if k not in keep]:
-            del self._cache[key]
-
     # -- accounting ----------------------------------------------------------
 
     def stored_points(self) -> int:
+        """Points held by this node's levels and cache plus all inner structures."""
         total = sum(b.size for level in self._levels for b in level)
-        total += sum(b.size for b in self._cache.values())
+        total += self._cache.stored_points()
         if self.order > 0:
             total += sum(
                 child.stored_points() for child in self._children if child is not None
@@ -181,17 +179,27 @@ class _RccNode:
         return total
 
     def max_level(self) -> int:
+        """Highest coreset level stored anywhere under this node."""
         highest = 0
         for buckets in self._levels:
             for bucket in buckets:
                 highest = max(highest, bucket.level)
-        for bucket in self._cache.values():
+        for bucket in self._cache.buckets():
             highest = max(highest, bucket.level)
         if self.order > 0:
             for child in self._children:
                 if child is not None:
                     highest = max(highest, child.max_level())
         return highest
+
+    def cache_stats(self) -> CacheStats:
+        """Lookup counters aggregated over this node and every inner structure."""
+        stats = self._cache.stats()
+        if self.order > 0:
+            for child in self._children:
+                if child is not None:
+                    stats = stats.merged_with(child.cache_stats())
+        return stats
 
     # -- internals -----------------------------------------------------------
 
@@ -279,6 +287,16 @@ class RecursiveCachedTree(ClusteringStructure):
     def query_coreset_bucket(self) -> Bucket | None:
         """Bucket-level variant of :meth:`query_coreset` (keeps span and level)."""
         return self._root.query()
+
+    def cache_stats(self) -> CacheStats:
+        """Cache lookup counters aggregated across every recursive order.
+
+        Counters of inner structures that have since been reset (their level
+        merged away) are not included; the root order's cache — which serves
+        the top-level ``major(N)`` lookups — is never reset, so the aggregate
+        remains a faithful picture of query-time cache behavior.
+        """
+        return self._root.cache_stats()
 
     def stored_points(self) -> int:
         """Points stored across all levels, caches, and inner structures."""

@@ -1,0 +1,150 @@
+"""Shared query-serving plumbing for coreset-backed clusterers.
+
+:class:`StreamClusterDriver` (CT/CC/RCC) and
+:class:`~repro.core.online_cc.OnlineCCClusterer`'s fallback path run the same
+query flow: assemble the coreset (structure coreset ∪ partial base bucket,
+timed), hand it to the :class:`~repro.queries.serving.QueryEngine`, and record
+:class:`~repro.queries.serving.QueryStats`.  This mixin holds that flow once
+so the two user-facing classes cannot drift apart; they provide the
+structure-specific hooks (:meth:`_coreset_pieces`,
+:meth:`_structure_cache_stats`, :meth:`_answered_from_cache`).
+
+For batched multi-k sweeps the assembly and solve wall-clock are shared by
+the whole sweep, so each per-k :class:`QueryStats` carries its **amortized
+share** (total divided by the number of ``k`` values): summing the returned
+stats reproduces the sweep's real wall-clock instead of overcounting it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..coreset.bucket import WeightedPointSet
+from ..queries.serving import QueryEngine, QueryStats, Solution
+from .base import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .cache import CacheStats
+
+__all__ = ["CoresetServingMixin"]
+
+
+class CoresetServingMixin:
+    """Query flow shared by every clusterer that serves from a coreset.
+
+    Hosts require three attributes — ``_engine`` (:class:`QueryEngine`),
+    ``_rng`` (the query-time randomness), and ``_last_query_stats`` — and
+    override the hooks below.
+    """
+
+    _engine: QueryEngine
+    _rng: np.random.Generator
+    _last_query_stats: QueryStats | None
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _coreset_pieces(self) -> WeightedPointSet:
+        """Assemble the (untimed) query coreset; overridden per structure."""
+        raise NotImplementedError
+
+    def _structure_cache_stats(self) -> "CacheStats | None":
+        """Coreset-cache counters of the backing structure (None if cache-less)."""
+        return None
+
+    def _answered_from_cache(self) -> bool:
+        """Whether this query reused cached coresets (CC overrides)."""
+        return False
+
+    # -- shared flow ---------------------------------------------------------
+
+    @property
+    def query_engine(self) -> QueryEngine:
+        """The query-serving engine (warm-start state and counters)."""
+        return self._engine
+
+    @property
+    def last_query_stats(self) -> QueryStats | None:
+        """Serving statistics of the most recent served query (None before one).
+
+        After a multi-k sweep this holds the final ``k``'s stats, whose
+        timing fields are that query's amortized share of the sweep.
+        """
+        return self._last_query_stats
+
+    def _assemble_coreset(self) -> tuple[WeightedPointSet, float]:
+        """Run :meth:`_coreset_pieces` under a timer; reject empty streams."""
+        start = time.perf_counter()
+        combined = self._coreset_pieces()
+        elapsed = time.perf_counter() - start
+        if combined.size == 0:
+            raise RuntimeError("cannot answer a clustering query before any point arrives")
+        return combined, elapsed
+
+    def _serve_query(self, k: int, force_cold: bool = False) -> QueryResult:
+        """Answer one single-k query through the serving pipeline.
+
+        ``force_cold`` always runs the cold k-means++ path (keeping a warm
+        candidate only if it is better) — used by callers that anchor other
+        state on the answer's quality, like OnlineCC's cost bounds.
+        """
+        combined, assembly_seconds = self._assemble_coreset()
+        start = time.perf_counter()
+        solution = self._engine.solve(combined, k, self._rng, force_cold=force_cold)
+        solve_seconds = time.perf_counter() - start
+        stats = self._record_stats(combined.size, assembly_seconds, solve_seconds, solution)
+        return QueryResult(
+            centers=solution.centers,
+            coreset_points=combined.size,
+            from_cache=self._answered_from_cache(),
+            warm_start=solution.warm_start,
+            stats=stats,
+        )
+
+    def _serve_multi_k(self, ks: Sequence[int]) -> dict[int, QueryResult]:
+        """Answer a batched k-sweep; per-k stats carry amortized time shares."""
+        combined, assembly_seconds = self._assemble_coreset()
+        start = time.perf_counter()
+        solutions = self._engine.solve_multi(combined, tuple(int(k) for k in ks), self._rng)
+        solve_seconds = time.perf_counter() - start
+        from_cache = self._answered_from_cache()
+        share = 1.0 / max(len(solutions), 1)
+        results: dict[int, QueryResult] = {}
+        for k, solution in solutions.items():
+            stats = self._record_stats(
+                combined.size,
+                assembly_seconds * share,
+                solve_seconds * share,
+                solution,
+            )
+            results[k] = QueryResult(
+                centers=solution.centers,
+                coreset_points=combined.size,
+                from_cache=from_cache,
+                warm_start=solution.warm_start,
+                stats=stats,
+            )
+        return results
+
+    def _record_stats(
+        self,
+        coreset_points: int,
+        assembly_seconds: float,
+        solve_seconds: float,
+        solution: Solution,
+    ) -> QueryStats:
+        cache = self._structure_cache_stats()
+        stats = QueryStats(
+            assembly_seconds=assembly_seconds,
+            solve_seconds=solve_seconds,
+            coreset_points=coreset_points,
+            warm_start=solution.warm_start,
+            drift_fallback=solution.drift_fallback,
+            cost=solution.cost,
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
+        )
+        self._last_query_stats = stats
+        return stats

@@ -7,6 +7,8 @@ from .cost import (
     kmeans_cost,
     pairwise_squared_distances,
     per_cluster_cost,
+    squared_norms,
+    weighted_cluster_sums,
 )
 from .kmeanspp import kmeanspp_seeding
 from .lloyd import LloydResult, lloyd_iterations
@@ -22,6 +24,8 @@ __all__ = [
     "kmeans_cost",
     "pairwise_squared_distances",
     "per_cluster_cost",
+    "squared_norms",
+    "weighted_cluster_sums",
     "kmeanspp_seeding",
     "LloydResult",
     "lloyd_iterations",

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .cost import kmeans_cost
+from .cost import kmeans_cost, squared_norms
 from .kmeanspp import kmeanspp_seeding
 from .lloyd import lloyd_iterations
 
@@ -71,6 +71,7 @@ def weighted_kmeans(
     max_iterations: int = 20,
     tolerance: float = 1e-7,
     rng: np.random.Generator | None = None,
+    points_sq: np.ndarray | None = None,
 ) -> KMeansResult:
     """Cluster a weighted point set with k-means++ + Lloyd, keeping the best run.
 
@@ -78,6 +79,10 @@ def weighted_kmeans(
     the points themselves padded by repetition so that exactly ``k`` rows are
     always returned; downstream cost computations are unaffected by duplicate
     centers.
+
+    The squared point norms are computed once and shared across all
+    ``n_init`` seedings and every Lloyd iteration (pass ``points_sq`` to
+    share them across *calls* as well, as the multi-k query path does).
     """
     pts = np.asarray(points, dtype=np.float64)
     if pts.ndim != 2:
@@ -97,15 +102,18 @@ def weighted_kmeans(
             restarts=0,
         )
 
+    pts_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq, dtype=np.float64)
+
     best: KMeansResult | None = None
     for restart in range(n_init):
-        seeds = kmeanspp_seeding(pts, k, weights=weights, rng=rng)
+        seeds = kmeanspp_seeding(pts, k, weights=weights, rng=rng, points_sq=pts_sq)
         refined = lloyd_iterations(
             pts,
             seeds,
             weights=weights,
             max_iterations=max_iterations,
             tolerance=tolerance,
+            points_sq=pts_sq,
         )
         candidate = KMeansResult(
             centers=refined.centers,

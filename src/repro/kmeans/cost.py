@@ -14,8 +14,10 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "squared_norms",
     "pairwise_squared_distances",
     "assign_points",
+    "weighted_cluster_sums",
     "kmeans_cost",
     "per_cluster_cost",
     "cluster_sizes",
@@ -30,6 +32,17 @@ def _as_2d(points: np.ndarray) -> np.ndarray:
     if arr.ndim != 2:
         raise ValueError(f"points must be 1-D or 2-D, got shape {arr.shape}")
     return arr
+
+
+def squared_norms(points: np.ndarray) -> np.ndarray:
+    """Row-wise squared Euclidean norms ``||x||^2``, shape ``(n,)``.
+
+    The query-serving pipeline computes these once per coreset and reuses
+    them across every k-means++ restart, Lloyd iteration, and multi-k sweep
+    (each of which otherwise pays one ``O(nd)`` pass per call).
+    """
+    pts = _as_2d(points)
+    return np.einsum("ij,ij->i", pts, pts)
 
 
 def pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
@@ -65,8 +78,27 @@ def pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.nd
     return dist
 
 
-def assign_points(points: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Assign each point to its nearest center.
+def assign_points(
+    points: np.ndarray,
+    centers: np.ndarray,
+    points_sq: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each point to its nearest center in one matrix multiply.
+
+    The nearest center of ``x`` minimizes ``||c||^2 - 2 x.c`` (the ``||x||^2``
+    term is constant per point), so the argmin needs only the cross-product
+    GEMM plus the center norms; the per-point ``||x||^2`` is added back just
+    for the ``n`` winning entries to recover true squared distances.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    centers:
+        Array of shape ``(k, d)``.
+    points_sq:
+        Optional precomputed :func:`squared_norms` of ``points``; pass it when
+        calling repeatedly on the same points (Lloyd iterations, restarts).
 
     Returns
     -------
@@ -74,16 +106,71 @@ def assign_points(points: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, 
         ``labels`` has shape ``(n,)`` with the index of the nearest center,
         ``sq_distances`` has shape ``(n,)`` with the squared distance to it.
     """
-    dist = pairwise_squared_distances(points, centers)
-    labels = np.argmin(dist, axis=1)
-    sq = dist[np.arange(dist.shape[0]), labels]
+    pts = _as_2d(points)
+    ctr = _as_2d(centers)
+    if pts.shape[1] != ctr.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: points have d={pts.shape[1]}, "
+            f"centers have d={ctr.shape[1]}"
+        )
+    p_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq, dtype=np.float64)
+    c_sq = np.einsum("ij,ij->i", ctr, ctr)
+    # Partial distances: ||c||^2 - 2 x.c  (same argmin as the full distance).
+    partial = pts @ ctr.T
+    partial *= -2.0
+    partial += c_sq[None, :]
+    labels = np.argmin(partial, axis=1)
+    sq = partial[np.arange(partial.shape[0]), labels] + p_sq
+    np.maximum(sq, 0.0, out=sq)
     return labels, sq
+
+
+def weighted_cluster_sums(
+    points: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weighted per-cluster coordinate sums and total weights in one pass.
+
+    The scatter is a flat ``np.bincount`` over ``label * d + column`` indices,
+    which is substantially faster than ``np.add.at`` (the latter falls back to
+    a per-element ufunc inner loop).  This is the center-update step of
+    Lloyd's algorithm.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    labels:
+        Cluster index per point, shape ``(n,)``, values in ``[0, k)``.
+    weights:
+        Non-negative per-point weights, shape ``(n,)``.
+    k:
+        Number of clusters.
+
+    Returns
+    -------
+    (sums, cluster_weight):
+        ``sums`` has shape ``(k, d)`` holding ``sum_i w_i x_i`` per cluster;
+        ``cluster_weight`` has shape ``(k,)`` holding ``sum_i w_i``.
+    """
+    pts = _as_2d(points)
+    n, d = pts.shape
+    weighted = pts * weights[:, None]
+    flat_index = labels[:, None] * d + np.arange(d)[None, :]
+    sums = np.bincount(
+        flat_index.ravel(), weights=weighted.ravel(), minlength=k * d
+    ).reshape(k, d)
+    cluster_weight = np.bincount(labels, weights=weights, minlength=k)
+    return sums, cluster_weight
 
 
 def kmeans_cost(
     points: np.ndarray,
     centers: np.ndarray,
     weights: np.ndarray | None = None,
+    points_sq: np.ndarray | None = None,
 ) -> float:
     """Weighted k-means cost of ``points`` against ``centers``.
 
@@ -95,11 +182,13 @@ def kmeans_cost(
         Array of shape ``(k, d)``.
     weights:
         Optional array of shape ``(n,)``; defaults to all ones.
+    points_sq:
+        Optional precomputed :func:`squared_norms` of ``points``.
     """
     pts = _as_2d(points)
     if pts.shape[0] == 0:
         return 0.0
-    _, sq = assign_points(pts, centers)
+    _, sq = assign_points(pts, centers, points_sq=points_sq)
     if weights is None:
         return float(np.sum(sq))
     w = np.asarray(weights, dtype=np.float64)

@@ -45,6 +45,7 @@ def kmeanspp_seeding(
     k: int,
     weights: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
+    points_sq: np.ndarray | None = None,
 ) -> np.ndarray:
     """Select ``k`` initial centers using weighted D² sampling.
 
@@ -60,6 +61,10 @@ def kmeanspp_seeding(
         Optional non-negative weights of shape ``(n,)``.
     rng:
         Source of randomness; defaults to ``np.random.default_rng()``.
+    points_sq:
+        Optional precomputed squared norms ``||x||^2`` of shape ``(n,)``
+        (see :func:`~repro.kmeans.cost.squared_norms`); shared across the
+        restarts of one query by the serving pipeline.
 
     Returns
     -------
@@ -82,7 +87,10 @@ def kmeanspp_seeding(
     # Precompute ||x||^2 once: each round then needs only one matrix-vector
     # product against the newly chosen center instead of a full pairwise call
     # (this loop dominates every coreset merge on the stream's update path).
-    pts_sq = np.einsum("ij,ij->i", pts, pts)
+    if points_sq is None:
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+    else:
+        pts_sq = np.asarray(points_sq, dtype=np.float64)
     weight_cdf = np.cumsum(w)
 
     def sq_to_center(center: np.ndarray) -> np.ndarray:

@@ -3,6 +3,14 @@
 The paper's evaluation pipeline runs k-means++ seeding followed by up to 20
 Lloyd iterations to refine the centers extracted from a coreset (Section 5.2).
 This module provides that refinement step for weighted point sets.
+
+The iteration is fully vectorized: each round costs one GEMM (the point ×
+center cross product inside :func:`~repro.kmeans.cost.assign_points`) plus a
+flat-``bincount`` scatter for the center update
+(:func:`~repro.kmeans.cost.weighted_cluster_sums`).  Callers that refine the
+same point set repeatedly — k-means++ restarts, warm-started queries, multi-k
+sweeps — pass precomputed squared norms so no per-call ``O(nd)`` norm pass is
+repeated.
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cost import assign_points, kmeans_cost
+from .cost import assign_points, kmeans_cost, squared_norms, weighted_cluster_sums
 
 __all__ = ["LloydResult", "lloyd_iterations"]
 
@@ -45,6 +53,7 @@ def lloyd_iterations(
     weights: np.ndarray | None = None,
     max_iterations: int = 20,
     tolerance: float = 1e-7,
+    points_sq: np.ndarray | None = None,
 ) -> LloydResult:
     """Refine ``centers`` with weighted Lloyd iterations.
 
@@ -65,6 +74,9 @@ def lloyd_iterations(
         Upper bound on the number of assignment/update rounds.
     tolerance:
         Convergence threshold on the total squared movement of centers.
+    points_sq:
+        Optional precomputed :func:`~repro.kmeans.cost.squared_norms` of
+        ``points``, shared across restarts by the query-serving pipeline.
     """
     pts = np.asarray(points, dtype=np.float64)
     ctr = np.array(centers, dtype=np.float64, copy=True)
@@ -87,15 +99,14 @@ def lloyd_iterations(
             converged=True,
         )
 
+    p_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq, dtype=np.float64)
+
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        labels, sq = assign_points(pts, ctr)
+        labels, sq = assign_points(pts, ctr, points_sq=p_sq)
 
-        new_centers = np.zeros_like(ctr)
-        cluster_weight = np.zeros(k, dtype=np.float64)
-        np.add.at(new_centers, labels, pts * w[:, None])
-        np.add.at(cluster_weight, labels, w)
+        new_centers, cluster_weight = weighted_cluster_sums(pts, labels, w, k)
 
         empty = cluster_weight <= 0.0
         occupied = ~empty
@@ -118,7 +129,7 @@ def lloyd_iterations(
 
     return LloydResult(
         centers=ctr,
-        cost=kmeans_cost(pts, ctr, w),
+        cost=kmeans_cost(pts, ctr, w, points_sq=p_sq),
         iterations=iterations,
         converged=converged,
     )

@@ -1,5 +1,13 @@
-"""Query-arrival schedules for the benchmark harness."""
+"""Query-side machinery: arrival schedules and the serving pipeline."""
 
 from .schedule import FixedIntervalSchedule, PoissonSchedule, QuerySchedule
+from .serving import QueryEngine, QueryStats, Solution
 
-__all__ = ["FixedIntervalSchedule", "PoissonSchedule", "QuerySchedule"]
+__all__ = [
+    "FixedIntervalSchedule",
+    "PoissonSchedule",
+    "QuerySchedule",
+    "QueryEngine",
+    "QueryStats",
+    "Solution",
+]

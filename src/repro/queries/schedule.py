@@ -28,6 +28,14 @@ class QuerySchedule(ABC):
     def query_positions(self, stream_length: int) -> np.ndarray:
         """Sorted, unique, 1-based positions in ``[1, stream_length]``."""
 
+    def query_set(self, stream_length: int) -> set[int]:
+        """The query positions as a set of ints (the harness's lookup shape).
+
+        The experiment harness tests membership once per stream segment, so
+        it consumes schedules through this set rather than the sorted array.
+        """
+        return {int(position) for position in self.query_positions(stream_length)}
+
     def count(self, stream_length: int) -> int:
         """Number of queries that fire over a stream of the given length."""
         return int(self.query_positions(stream_length).shape[0])
@@ -42,6 +50,7 @@ class FixedIntervalSchedule(QuerySchedule):
         self.interval = interval
 
     def query_positions(self, stream_length: int) -> np.ndarray:
+        """Multiples of ``interval`` up to ``stream_length`` (1-based positions)."""
         if stream_length <= 0:
             return np.empty(0, dtype=np.int64)
         return np.arange(self.interval, stream_length + 1, self.interval, dtype=np.int64)
@@ -72,6 +81,7 @@ class PoissonSchedule(QuerySchedule):
         return cls(rate=1.0 / mean_interval, seed=seed)
 
     def query_positions(self, stream_length: int) -> np.ndarray:
+        """Sampled arrival positions (exponential gaps, >= 1 point apart)."""
         if stream_length <= 0:
             return np.empty(0, dtype=np.int64)
         rng = np.random.default_rng(self.seed)

@@ -1,0 +1,356 @@
+"""The vectorized query-serving pipeline with warm-start refinement.
+
+The paper makes per-query *coreset assembly* cheap (Algorithms 3–6); after
+PR 1 vectorized the insert path, the dominant per-query cost in this
+reproduction became the k-means++ + Lloyd extraction re-run from scratch on
+every query.  :class:`QueryEngine` is the query-side counterpart of the
+batch-ingestion pipeline:
+
+* **Warm-start refinement** — the centers returned by the previous query are
+  cached (per ``k``) and the next query seeds Lloyd's algorithm directly from
+  them, skipping all ``n_init`` k-means++ seedings.  Because a streaming
+  coreset's span only ever grows, consecutive query coresets summarise nearly
+  identical point sets and the previous optimum is an excellent seed; in
+  steady state a query costs one Lloyd descent instead of ``n_init``
+  (seeding + descent) runs.
+* **Drift guard** — warm starts are heuristic, so every warm solution is
+  checked against the previous query's *normalized* cost (cost per unit of
+  coreset weight, which is scale-free as the stream grows).  If the warm cost
+  exceeds ``drift_ratio`` times the previous normalized cost the engine falls
+  back to the full cold k-means++ path and keeps the better of the two
+  solutions, so a distribution shift can never lock the engine into a stale
+  optimum.
+* **Periodic cold re-anchor** — the guard compares against a baseline that
+  the warm path itself updates, so a *stable but bad* local optimum would
+  ratchet the baseline and never trip it.  Every ``refresh_interval``
+  consecutive warm serves the engine therefore re-runs the cold path anyway
+  and keeps the better solution, bounding how long a degraded optimum can
+  survive regardless of how gradually the stream drifts.
+* **Batched multi-k queries** — :meth:`QueryEngine.solve_multi` amortizes one
+  coreset assembly (and one squared-norm pass) across a sweep of ``k`` values,
+  which is exactly the access pattern of the paper's Figure 4/6 harness.
+
+The engine is deliberately structure-agnostic: it consumes a
+:class:`~repro.coreset.bucket.WeightedPointSet` and is embedded by
+:class:`~repro.core.driver.StreamClusterDriver` (CT/CC/RCC) and by
+:class:`~repro.core.online_cc.OnlineCCClusterer`'s fallback path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coreset.bucket import WeightedPointSet
+from ..kmeans.batch import weighted_kmeans
+from ..kmeans.cost import squared_norms
+from ..kmeans.lloyd import lloyd_iterations
+
+__all__ = ["QueryStats", "Solution", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One solved clustering query.
+
+    Attributes
+    ----------
+    centers:
+        Array of shape ``(k, d)``.
+    cost:
+        Weighted k-means cost of the coreset against ``centers``.
+    warm_start:
+        True when the answer came from the warm-start Lloyd descent alone.
+    drift_fallback:
+        True when warm centers existed but failed the cost-ratio guard, so
+        the cold path ran as well (the better solution was kept).
+    """
+
+    centers: np.ndarray
+    cost: float
+    warm_start: bool
+    drift_fallback: bool
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Timing and provenance of one served query (threaded into benchmarks).
+
+    Attributes
+    ----------
+    assembly_seconds:
+        Wall-clock time spent assembling the query coreset (structure merge
+        plus the partial-bucket union).  For a batched multi-k sweep each
+        per-k stats object carries its amortized share of the sweep's total,
+        so summing over the sweep reproduces the real wall-clock.
+    solve_seconds:
+        Wall-clock time spent extracting centers (warm Lloyd and/or cold
+        k-means++ restarts); amortized per ``k`` for multi-k sweeps like
+        ``assembly_seconds``.
+    coreset_points:
+        Number of weighted points the solver ran on.
+    warm_start / drift_fallback:
+        Provenance flags copied from the :class:`Solution`.
+    cost:
+        Weighted k-means cost of the solution on the coreset.
+    cache_hits / cache_misses:
+        Cumulative coreset-cache lookup counters of the underlying structure
+        at the time the query finished (0 for cache-less structures).
+    """
+
+    assembly_seconds: float
+    solve_seconds: float
+    coreset_points: int
+    warm_start: bool
+    drift_fallback: bool
+    cost: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Assembly plus solve time."""
+        return self.assembly_seconds + self.solve_seconds
+
+
+@dataclass
+class _WarmState:
+    """Warm-start seed for one ``k``: previous centers, cost scale, warm streak."""
+
+    centers: np.ndarray
+    normalized_cost: float
+    streak: int = 0
+
+
+class QueryEngine:
+    """Warm-startable k-means solver shared by all coreset-backed clusterers.
+
+    Parameters
+    ----------
+    n_init:
+        Number of k-means++ restarts on the cold path (paper uses 5).
+    max_iterations:
+        Lloyd iteration cap per descent (paper uses 20).
+    warm_start:
+        Enable warm-start refinement.  When False every query runs the cold
+        path, reproducing the pre-serving-layer behavior.
+    drift_ratio:
+        Cost-ratio guard: a warm solution whose normalized cost exceeds
+        ``drift_ratio`` times the previous query's normalized cost triggers a
+        cold fallback.  Must be > 1.
+    refresh_interval:
+        Periodic cold re-anchor: after this many *consecutive* warm serves
+        for one ``k``, the next query runs the cold path as well (keeping the
+        better solution).  The drift guard's baseline is self-referential, so
+        this bounds how long a stable-but-suboptimal warm optimum can
+        persist.  ``None`` disables the re-anchor.
+    tolerance:
+        Lloyd convergence tolerance on total squared center movement.
+    """
+
+    def __init__(
+        self,
+        n_init: int = 5,
+        max_iterations: int = 20,
+        warm_start: bool = True,
+        drift_ratio: float = 2.0,
+        refresh_interval: int | None = 64,
+        tolerance: float = 1e-7,
+    ) -> None:
+        if n_init <= 0:
+            raise ValueError(f"n_init must be positive, got {n_init}")
+        if max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        if drift_ratio <= 1.0:
+            raise ValueError(f"drift_ratio must exceed 1.0, got {drift_ratio}")
+        if refresh_interval is not None and refresh_interval < 1:
+            raise ValueError("refresh_interval must be >= 1 (or None to disable)")
+        self._n_init = n_init
+        self._max_iterations = max_iterations
+        self._warm_start = warm_start
+        self._drift_ratio = drift_ratio
+        self._refresh_interval = refresh_interval
+        self._tolerance = tolerance
+        self._states: dict[int, _WarmState] = {}
+        self._warm_queries = 0
+        self._cold_queries = 0
+        self._drift_fallbacks = 0
+        self._refreshes = 0
+
+    # -- instrumentation -----------------------------------------------------
+
+    @property
+    def warm_start_enabled(self) -> bool:
+        """Whether warm-start refinement is active."""
+        return self._warm_start
+
+    @property
+    def warm_queries(self) -> int:
+        """Queries answered by the warm-start Lloyd descent alone."""
+        return self._warm_queries
+
+    @property
+    def cold_queries(self) -> int:
+        """Queries that ran the full cold k-means++ path."""
+        return self._cold_queries
+
+    @property
+    def drift_fallbacks(self) -> int:
+        """Warm attempts rejected by the cost-ratio guard (subset of cold)."""
+        return self._drift_fallbacks
+
+    @property
+    def refreshes(self) -> int:
+        """Scheduled cold re-anchors after a full warm streak (subset of cold)."""
+        return self._refreshes
+
+    def reset(self) -> None:
+        """Drop all warm-start state (counters are preserved)."""
+        self._states.clear()
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(
+        self,
+        coreset: WeightedPointSet,
+        k: int,
+        rng: np.random.Generator,
+        force_cold: bool = False,
+    ) -> Solution:
+        """Extract ``k`` centers from ``coreset``, warm-starting when possible.
+
+        Parameters
+        ----------
+        coreset:
+            The assembled weighted coreset (structure coreset unioned with
+            the partial base bucket).
+        k:
+            Number of centers to return.
+        rng:
+            Randomness for the cold k-means++ path (the warm path draws
+            nothing, so a warm-served query leaves ``rng`` untouched).
+        force_cold:
+            Always run the cold k-means++ path (the warm descent still runs
+            as an extra candidate and the better solution is kept, but the
+            answer is never *worse* than a from-scratch solve in expectation).
+            OnlineCC uses this on its fallback path so the Algorithm 7 cost
+            bounds are re-anchored at cold-path quality.
+        """
+        if coreset.size == 0:
+            raise ValueError("cannot solve a query on an empty coreset")
+        pts_sq = squared_norms(coreset.points)
+        return self._solve_prepared(coreset, k, rng, pts_sq, force_cold=force_cold)
+
+    def solve_multi(
+        self,
+        coreset: WeightedPointSet,
+        ks: tuple[int, ...] | list[int],
+        rng: np.random.Generator,
+    ) -> dict[int, Solution]:
+        """Solve one coreset for several ``k`` values in one batched query.
+
+        The coreset assembly, validation, and squared-norm pass are paid
+        once and amortized across the whole k-sweep (the Figure 4/6 access
+        pattern).  Warm-start state is tracked independently per ``k``.
+        """
+        if coreset.size == 0:
+            raise ValueError("cannot solve a query on an empty coreset")
+        if not ks:
+            raise ValueError("ks must contain at least one value")
+        pts_sq = squared_norms(coreset.points)
+        return {int(k): self._solve_prepared(coreset, int(k), rng, pts_sq) for k in ks}
+
+    # -- internals ---------------------------------------------------------------
+
+    def _solve_prepared(
+        self,
+        coreset: WeightedPointSet,
+        k: int,
+        rng: np.random.Generator,
+        pts_sq: np.ndarray,
+        force_cold: bool = False,
+    ) -> Solution:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        pts = coreset.points
+        weights = coreset.weights
+        total_weight = float(np.sum(weights))
+
+        state = self._states.get(k)
+        warm_usable = (
+            self._warm_start
+            and state is not None
+            and state.centers.shape[1] == pts.shape[1]
+            and pts.shape[0] > k
+        )
+
+        warm_result = None
+        drift_fallback = False
+        if warm_usable:
+            assert state is not None
+            needs_refresh = (
+                self._refresh_interval is not None
+                and state.streak >= self._refresh_interval
+            )
+            warm_result = lloyd_iterations(
+                pts,
+                state.centers,
+                weights=weights,
+                max_iterations=self._max_iterations,
+                tolerance=self._tolerance,
+                points_sq=pts_sq,
+            )
+            warm_normalized = warm_result.cost / total_weight if total_weight > 0 else 0.0
+            guard_ok = warm_normalized <= self._drift_ratio * state.normalized_cost
+            if guard_ok and not needs_refresh and not force_cold:
+                self._warm_queries += 1
+                self._remember(k, warm_result.centers, warm_normalized, streak=state.streak + 1)
+                return Solution(
+                    centers=warm_result.centers,
+                    cost=warm_result.cost,
+                    warm_start=True,
+                    drift_fallback=False,
+                )
+            if not guard_ok:
+                drift_fallback = True
+                self._drift_fallbacks += 1
+            elif needs_refresh and not force_cold:
+                # Scheduled re-anchor: the guard's baseline is updated by the
+                # warm path itself, so periodically re-run the cold path to
+                # bound how long a stable-but-bad optimum can survive.
+                self._refreshes += 1
+
+        cold = weighted_kmeans(
+            pts,
+            k,
+            weights=weights,
+            n_init=self._n_init,
+            max_iterations=self._max_iterations,
+            tolerance=self._tolerance,
+            rng=rng,
+            points_sq=pts_sq if pts.shape[0] > k else None,
+        )
+        self._cold_queries += 1
+
+        centers, cost = cold.centers, cold.cost
+        if warm_result is not None and warm_result.cost < cost:
+            # The guard fired because the data drifted, yet the warm descent
+            # still found the better optimum — keep it.
+            centers, cost = warm_result.centers, warm_result.cost
+
+        normalized = cost / total_weight if total_weight > 0 else 0.0
+        self._remember(k, centers, normalized)
+        return Solution(
+            centers=centers,
+            cost=cost,
+            warm_start=False,
+            drift_fallback=drift_fallback,
+        )
+
+    def _remember(
+        self, k: int, centers: np.ndarray, normalized_cost: float, streak: int = 0
+    ) -> None:
+        self._states[k] = _WarmState(
+            centers=centers.copy(), normalized_cost=normalized_cost, streak=streak
+        )

@@ -95,21 +95,33 @@ class TestInterleavedQueries:
         )
 
     def test_cc_faster_than_ct_at_high_query_rate(self, mixture_stream, fast_config):
-        """The paper's central claim: caching cuts query time vs. plain CT."""
+        """The paper's central claim: caching cuts query time vs. plain CT.
+
+        Measured with warm-start refinement disabled: the claim is about the
+        per-query coreset assembly + from-scratch k-means++ extraction cost
+        (Section 4), which warm starts deliberately bypass in steady state
+        (that speedup has its own tests and benchmarks).
+        """
+        from dataclasses import replace
+
+        config = replace(fast_config, warm_start=False)
         schedule = FixedIntervalSchedule(160)
-        ct_seconds = self._best_query_seconds("ct", mixture_stream, fast_config, schedule)
-        cc_seconds = self._best_query_seconds("cc", mixture_stream, fast_config, schedule)
+        ct_seconds = self._best_query_seconds("ct", mixture_stream, config, schedule)
+        cc_seconds = self._best_query_seconds("cc", mixture_stream, config, schedule)
         # CC merges at most r buckets per query; CT merges every active
         # bucket.  Allow slack to stay robust on slow CI.
         assert cc_seconds <= ct_seconds * 1.25
 
     def test_onlinecc_query_time_is_smallest(self, mixture_stream, fast_config):
+        from dataclasses import replace
+
+        config = replace(fast_config, warm_start=False)
         schedule = FixedIntervalSchedule(160)
         skm_seconds = self._best_query_seconds(
-            "streamkm++", mixture_stream, fast_config, schedule
+            "streamkm++", mixture_stream, config, schedule
         )
         online_seconds = self._best_query_seconds(
-            "onlinecc", mixture_stream, fast_config, schedule
+            "onlinecc", mixture_stream, config, schedule
         )
         assert online_seconds < skm_seconds
 

@@ -1,0 +1,162 @@
+"""Property tests: warm-start queries match cold-start quality; Fact 2 counters.
+
+Two families of invariants guard the query-serving pipeline:
+
+* **Equivalence** — on static and on drifting streams, a clusterer with
+  warm-start refinement must return centers whose cost (over the points seen
+  so far) stays within the approximation tolerance of an identically
+  configured cold-start clusterer.  The paper's guarantee is a constant
+  (O(log k)) approximation through the coreset; the engine's drift guard
+  additionally bounds any warm answer by ``drift_ratio`` times the previous
+  query's normalized cost, so a modest multiplicative envelope must hold.
+
+* **Fact 2 accounting** — when queries arrive at least once per base bucket,
+  the coreset needed for ``major(N, r)`` is always cached (Fact 2), so CC
+  must never fall back to the full CT merge, and the cache's hit/miss
+  counters are exactly predictable from the numeral decomposition: every
+  query at a fresh ``N`` misses the exact-``N`` probe and hits the
+  ``major(N, r)`` probe whenever ``major(N, r) > 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import CachedCoresetTreeClusterer
+from repro.core.numeral import major
+from repro.kmeans.cost import kmeans_cost
+
+# Small but non-trivial streams keep hypothesis runs fast while exercising
+# multiple buckets, merges, and cache evictions per example.
+BUCKET = 60
+
+
+def _mixture(sample_seed: int, n: int, d: int = 4, num_blobs: int = 4) -> np.ndarray:
+    """Well-separated fixed mixture; ``sample_seed`` varies only the sample."""
+    blob_centers = np.random.default_rng(777).normal(scale=25.0, size=(num_blobs, d))
+    rng = np.random.default_rng(sample_seed)
+    labels = rng.integers(0, num_blobs, n)
+    return blob_centers[labels] + rng.normal(scale=1.0, size=(n, d))
+
+
+def _paired_clusterers(k: int, seed: int):
+    config = StreamingConfig(
+        k=k, coreset_size=BUCKET, n_init=2, lloyd_iterations=8, seed=seed, warm_start=True
+    )
+    warm = CachedCoresetTreeClusterer(config)
+    cold = CachedCoresetTreeClusterer(replace(config, warm_start=False))
+    return warm, cold
+
+
+@given(
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=200),
+    num_chunks=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=15, deadline=None)
+def test_warm_cost_within_tolerance_on_static_stream(k, seed, num_chunks):
+    """Every warm query's cost is within a small factor of the cold query's."""
+    warm, cold = _paired_clusterers(k, seed)
+    # As many blobs as clusters: distinct local optima of widely different
+    # cost would otherwise make ANY seeding-sensitive comparison flaky.
+    stream = _mixture(seed, num_chunks * 150, num_blobs=k)
+    for chunk_index in range(num_chunks):
+        chunk = stream[chunk_index * 150 : (chunk_index + 1) * 150]
+        warm.insert_batch(chunk)
+        cold.insert_batch(chunk)
+        seen = stream[: (chunk_index + 1) * 150]
+        warm_cost = kmeans_cost(seen, warm.query().centers)
+        cold_cost = kmeans_cost(seen, cold.query().centers)
+        # Both are coreset-based approximations of the same stream; the warm
+        # path must not degrade quality beyond a small constant envelope.
+        assert warm_cost <= 2.0 * cold_cost + 1e-6
+    # In steady state the warm path actually serves queries warm.
+    assert warm.query_engine.warm_queries >= 1
+    assert cold.query_engine.warm_queries == 0
+
+
+@given(
+    k=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+    shift=st.floats(min_value=100.0, max_value=400.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_warm_cost_within_tolerance_on_drifting_stream(k, seed, shift):
+    """An abrupt distribution shift must not let warm queries go stale."""
+    warm, cold = _paired_clusterers(k, seed)
+    before = _mixture(seed, 300, num_blobs=k)
+    after = _mixture(seed + 1, 300, num_blobs=k) + shift
+    stream = np.vstack([before, after])
+    for chunk_index in range(4):
+        chunk = stream[chunk_index * 150 : (chunk_index + 1) * 150]
+        warm.insert_batch(chunk)
+        cold.insert_batch(chunk)
+        seen = stream[: (chunk_index + 1) * 150]
+        warm_cost = kmeans_cost(seen, warm.query().centers)
+        cold_cost = kmeans_cost(seen, cold.query().centers)
+        assert warm_cost <= 2.0 * cold_cost + 1e-6
+
+
+def test_drift_guard_fires_on_abrupt_shift():
+    """A hard jump between two consecutive queries triggers the cost-ratio guard."""
+    warm, _ = _paired_clusterers(k=3, seed=0)
+    warm.insert_batch(_mixture(0, 400))
+    warm.query()
+    warm.query()  # steady state: warm-served
+    assert warm.query_engine.warm_queries >= 1
+    # Flood the stream with a far-away distribution, then query again.
+    warm.insert_batch(_mixture(1, 4000) + 1000.0)
+    warm.query()
+    assert warm.query_engine.drift_fallbacks >= 1
+
+
+class TestFact2CacheAccounting:
+    """Hit/miss counters must match the Fact 2 schedule exactly."""
+
+    @given(
+        num_buckets=st.integers(min_value=1, max_value=20),
+        merge_degree=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_query_per_bucket_counters(self, num_buckets, merge_degree, seed):
+        config = StreamingConfig(
+            k=3,
+            coreset_size=BUCKET,
+            merge_degree=merge_degree,
+            n_init=1,
+            lloyd_iterations=3,
+            seed=seed,
+        )
+        clusterer = CachedCoresetTreeClusterer(config)
+        stream = _mixture(seed, num_buckets * BUCKET)
+        for index in range(num_buckets):
+            clusterer.insert_batch(stream[index * BUCKET : (index + 1) * BUCKET])
+            clusterer.query()
+
+        structure = clusterer.cached_tree
+        # Fact 2: with a query after every bucket, major(N, r) is always
+        # cached, so the CT fallback path is never taken.
+        assert structure.fallback_count == 0
+        # No repeated N, so every exact-N probe misses ...
+        stats = structure.cache_stats()
+        assert stats.misses == num_buckets
+        # ... and the major(N, r) probe hits exactly when major(N, r) > 0.
+        expected_hits = sum(
+            1 for n in range(1, num_buckets + 1) if major(n, merge_degree) > 0
+        )
+        assert stats.hits == expected_hits
+
+    def test_repeated_query_hits_exact_endpoint(self):
+        config = StreamingConfig(k=3, coreset_size=BUCKET, n_init=1, seed=0)
+        clusterer = CachedCoresetTreeClusterer(config)
+        clusterer.insert_batch(_mixture(0, 3 * BUCKET))
+        clusterer.query()
+        assert clusterer.cached_tree.cached_answer_count == 0
+        clusterer.query()  # same N: answered straight from the cache
+        assert clusterer.cached_tree.cached_answer_count == 1

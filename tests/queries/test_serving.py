@@ -1,0 +1,288 @@
+"""Unit tests for the query-serving engine (warm start, drift guard, multi-k)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import (
+    CachedCoresetTreeClusterer,
+    CoresetTreeClusterer,
+    RecursiveCachedClusterer,
+)
+from repro.core.online_cc import OnlineCCClusterer
+from repro.coreset.bucket import WeightedPointSet
+from repro.kmeans.cost import kmeans_cost
+from repro.queries.serving import QueryEngine
+
+
+def blob_set(seed: int = 0, n: int = 400, d: int = 5, spread: float = 12.0) -> WeightedPointSet:
+    """Sample from a FIXED mixture; ``seed`` only varies the sample, not the blobs."""
+    centers = np.random.default_rng(1234).normal(scale=spread, size=(4, d))
+    rng = np.random.default_rng(seed)
+    points = centers[rng.integers(0, 4, n)] + rng.normal(size=(n, d))
+    return WeightedPointSet.from_points(points)
+
+
+class TestQueryEngineBasics:
+    def test_first_query_is_cold(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        solution = engine.solve(blob_set(), 4, np.random.default_rng(0))
+        assert not solution.warm_start
+        assert engine.cold_queries == 1
+        assert engine.warm_queries == 0
+
+    def test_second_query_is_warm_on_static_data(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)
+        solution = engine.solve(blob_set(seed=1), 4, rng)
+        assert solution.warm_start
+        assert engine.warm_queries == 1
+
+    def test_warm_query_leaves_rng_untouched(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)
+        state_before = rng.bit_generator.state
+        solution = engine.solve(blob_set(seed=1), 4, rng)
+        assert solution.warm_start
+        assert rng.bit_generator.state == state_before
+
+    def test_disabled_warm_start_always_cold(self):
+        engine = QueryEngine(n_init=2, max_iterations=5, warm_start=False)
+        rng = np.random.default_rng(0)
+        for seed in range(3):
+            solution = engine.solve(blob_set(seed=seed), 4, rng)
+            assert not solution.warm_start
+        assert engine.cold_queries == 3
+        assert engine.warm_queries == 0
+
+    def test_drift_triggers_cold_fallback(self):
+        engine = QueryEngine(n_init=2, max_iterations=5, drift_ratio=1.5)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)
+        # A wildly different distribution: previous centers are useless.
+        shifted = WeightedPointSet.from_points(
+            np.random.default_rng(9).normal(loc=500.0, scale=40.0, size=(400, 5))
+        )
+        solution = engine.solve(shifted, 4, rng)
+        assert not solution.warm_start
+        assert solution.drift_fallback
+        assert engine.drift_fallbacks == 1
+
+    def test_solution_cost_matches_centers(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        data = blob_set()
+        solution = engine.solve(data, 4, np.random.default_rng(0))
+        expected = kmeans_cost(data.points, solution.centers, data.weights)
+        assert solution.cost == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_coreset_raises(self):
+        engine = QueryEngine()
+        with pytest.raises(ValueError):
+            engine.solve(WeightedPointSet.empty(3), 2, np.random.default_rng(0))
+
+    def test_tiny_coreset_pads_to_k(self):
+        engine = QueryEngine(n_init=2)
+        tiny = WeightedPointSet.from_points(np.ones((2, 3)))
+        solution = engine.solve(tiny, 5, np.random.default_rng(0))
+        assert solution.centers.shape == (5, 3)
+
+    def test_reset_forgets_warm_state(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)
+        engine.reset()
+        solution = engine.solve(blob_set(seed=1), 4, rng)
+        assert not solution.warm_start
+
+    def test_scheduled_refresh_reanchors_after_warm_streak(self):
+        engine = QueryEngine(n_init=2, max_iterations=5, refresh_interval=3)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)  # cold
+        for seed in (1, 2, 3):  # exactly refresh_interval warm serves
+            assert engine.solve(blob_set(seed=seed), 4, rng).warm_start
+        # The next query after a full warm streak is a cold re-anchor.
+        solution = engine.solve(blob_set(seed=4), 4, rng)
+        assert not solution.warm_start
+        assert not solution.drift_fallback
+        assert engine.refreshes == 1
+        assert engine.warm_queries == 3
+        # The streak restarts after the re-anchor.
+        assert engine.solve(blob_set(seed=5), 4, rng).warm_start
+
+    def test_force_cold_runs_cold_path_and_reanchors(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)
+        solution = engine.solve(blob_set(seed=1), 4, rng, force_cold=True)
+        assert not solution.warm_start
+        assert not solution.drift_fallback
+        assert engine.cold_queries == 2
+        assert engine.refreshes == 0 and engine.drift_fallbacks == 0
+
+    def test_refresh_interval_one_alternates(self):
+        engine = QueryEngine(n_init=2, max_iterations=5, refresh_interval=1)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)  # cold
+        assert engine.solve(blob_set(seed=1), 4, rng).warm_start  # streak 1
+        assert not engine.solve(blob_set(seed=2), 4, rng).warm_start  # re-anchor
+        assert engine.solve(blob_set(seed=3), 4, rng).warm_start
+
+    def test_refresh_disabled_with_none(self):
+        engine = QueryEngine(n_init=2, max_iterations=5, refresh_interval=None)
+        rng = np.random.default_rng(0)
+        engine.solve(blob_set(), 4, rng)
+        for seed in range(1, 12):
+            assert engine.solve(blob_set(seed=seed), 4, rng).warm_start
+        assert engine.refreshes == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QueryEngine(n_init=0)
+        with pytest.raises(ValueError):
+            QueryEngine(drift_ratio=1.0)
+        with pytest.raises(ValueError):
+            QueryEngine(refresh_interval=0)
+
+
+class TestSolveMulti:
+    def test_per_k_solutions_and_states(self):
+        engine = QueryEngine(n_init=2, max_iterations=5)
+        rng = np.random.default_rng(0)
+        data = blob_set()
+        first = engine.solve_multi(data, (2, 4, 6), rng)
+        assert set(first) == {2, 4, 6}
+        for k, solution in first.items():
+            assert solution.centers.shape == (k, data.points.shape[1])
+            assert not solution.warm_start
+        second = engine.solve_multi(blob_set(seed=1), (2, 4, 6), rng)
+        assert all(solution.warm_start for solution in second.values())
+
+    def test_larger_k_never_costs_more(self):
+        engine = QueryEngine(n_init=3, max_iterations=10)
+        data = blob_set()
+        solutions = engine.solve_multi(data, (2, 8), np.random.default_rng(0))
+        assert solutions[8].cost <= solutions[2].cost * 1.0 + 1e-9
+
+    def test_empty_ks_raises(self):
+        engine = QueryEngine()
+        with pytest.raises(ValueError):
+            engine.solve_multi(blob_set(), (), np.random.default_rng(0))
+
+
+class TestDriverIntegration:
+    @staticmethod
+    def _stream(seed: int = 0, n: int = 3000, d: int = 6) -> np.ndarray:
+        """Sample from a FIXED mixture; ``seed`` only varies the sample."""
+        centers = np.random.default_rng(4321).normal(scale=15.0, size=(5, d))
+        rng = np.random.default_rng(seed)
+        return centers[rng.integers(0, 5, n)] + rng.normal(size=(n, d))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [CoresetTreeClusterer, CachedCoresetTreeClusterer, RecursiveCachedClusterer],
+    )
+    def test_query_stats_are_recorded(self, factory):
+        clusterer = factory(StreamingConfig(k=5, coreset_size=200, n_init=2, seed=0))
+        clusterer.insert_batch(self._stream())
+        assert clusterer.last_query_stats is None
+        first = clusterer.query()
+        assert not first.warm_start
+        assert first.stats is not None
+        assert first.stats.coreset_points == first.coreset_points
+        assert first.stats.assembly_seconds >= 0.0
+        assert first.stats.solve_seconds >= 0.0
+        clusterer.insert_batch(self._stream(seed=1))
+        second = clusterer.query()
+        assert second.warm_start
+        assert clusterer.query_engine.warm_queries == 1
+        assert clusterer.last_query_stats is second.stats
+
+    def test_cc_stats_expose_cache_counters(self):
+        clusterer = CachedCoresetTreeClusterer(
+            StreamingConfig(k=5, coreset_size=200, n_init=2, seed=0)
+        )
+        clusterer.insert_batch(self._stream())
+        result = clusterer.query()
+        stats = clusterer.structure.cache_stats()
+        assert stats is not None
+        assert result.stats is not None
+        assert result.stats.cache_misses == stats.misses
+        assert result.stats.cache_hits == stats.hits
+        assert stats.lookups == stats.hits + stats.misses
+
+    def test_rcc_cache_stats_aggregate(self):
+        clusterer = RecursiveCachedClusterer(
+            StreamingConfig(k=5, coreset_size=100, n_init=2, seed=0), nesting_depth=2
+        )
+        clusterer.insert_batch(self._stream(n=4000))
+        for _ in range(3):
+            clusterer.query()
+            clusterer.insert_batch(self._stream(seed=2, n=500))
+        stats = clusterer.structure.cache_stats()
+        assert stats is not None
+        assert stats.lookups > 0
+
+    def test_ct_has_no_cache_stats(self):
+        clusterer = CoresetTreeClusterer(StreamingConfig(k=5, coreset_size=200, seed=0))
+        clusterer.insert_batch(self._stream())
+        assert clusterer.structure.cache_stats() is None
+        result = clusterer.query()
+        assert result.stats is not None
+        assert result.stats.cache_hits == 0
+        assert result.stats.cache_misses == 0
+
+    def test_driver_multi_k_matches_kmeans_shapes(self):
+        clusterer = CachedCoresetTreeClusterer(
+            StreamingConfig(k=8, coreset_size=200, n_init=2, seed=0)
+        )
+        stream = self._stream()
+        clusterer.insert_batch(stream)
+        results = clusterer.query_multi_k((3, 5, 8))
+        assert set(results) == {3, 5, 8}
+        for k, result in results.items():
+            assert result.centers.shape == (k, stream.shape[1])
+            cost = kmeans_cost(stream, result.centers)
+            assert np.isfinite(cost) and cost > 0
+
+    def test_multi_k_stats_are_amortized_shares(self):
+        clusterer = CachedCoresetTreeClusterer(
+            StreamingConfig(k=8, coreset_size=200, n_init=2, seed=0)
+        )
+        clusterer.insert_batch(self._stream())
+        results = clusterer.query_multi_k((3, 5, 8))
+        assemblies = {result.stats.assembly_seconds for result in results.values()}
+        solves = {result.stats.solve_seconds for result in results.values()}
+        # Every k carries the same 1/len(ks) share, so summing over the sweep
+        # reproduces the sweep's real wall-clock instead of overcounting it.
+        assert len(assemblies) == 1 and len(solves) == 1
+        assert all(share > 0 for share in assemblies | solves)
+
+    def test_onlinecc_multi_k_does_not_touch_online_state(self):
+        clusterer = OnlineCCClusterer(StreamingConfig(k=5, coreset_size=200, n_init=2, seed=0))
+        stream = self._stream()
+        clusterer.insert_batch(stream)
+        clusterer.query()  # establishes the online bounds via a fallback
+        phi_now, phi_prev = clusterer.cost_bound, clusterer._phi_prev
+        fallbacks = clusterer.fallback_count
+        results = clusterer.query_multi_k((3, 5))
+        assert set(results) == {3, 5}
+        assert clusterer.cost_bound == phi_now
+        assert clusterer._phi_prev == phi_prev
+        assert clusterer.fallback_count == fallbacks
+
+    def test_warm_start_disabled_via_config(self):
+        config = StreamingConfig(k=5, coreset_size=200, n_init=2, seed=0, warm_start=False)
+        clusterer = CachedCoresetTreeClusterer(config)
+        clusterer.insert_batch(self._stream())
+        clusterer.query()
+        clusterer.query()
+        assert clusterer.query_engine.warm_queries == 0
+        assert clusterer.query_engine.cold_queries == 2
+
+    def test_config_rejects_bad_drift_ratio(self):
+        with pytest.raises(ValueError):
+            StreamingConfig(k=3, warm_start_drift_ratio=0.9)

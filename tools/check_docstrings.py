@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API (pydocstyle's D1xx family).
+
+Dependency-free equivalent of the ruff/pydocstyle missing-docstring rules,
+enforced in CI (the container policy forbids extra packages, so the check is
+implemented on the stdlib ``ast`` module):
+
+* D100 — public module must have a docstring
+* D101 — public class must have a docstring
+* D102 — public method must have a docstring
+* D103 — public function must have a docstring
+* D104 — public package (``__init__.py``) must have a docstring
+
+"Public" follows the underscore convention: any name starting with ``_`` is
+exempt, as is everything inside it.  Dunder methods other than ``__init__``'s
+class are exempt (pydocstyle D105 is not enforced).  Nested (closure)
+functions are not part of the API and are exempt.
+
+Usage::
+
+    python tools/check_docstrings.py [root ...]
+
+Defaults to checking ``src/repro``.  Exits non-zero listing every violation
+as ``path:line: CODE symbol``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOTS = ("src/repro",)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    return ast.get_docstring(node, clean=False) is not None
+
+
+def _iter_violations(path: Path, tree: ast.Module):
+    """Yield ``(lineno, code, symbol)`` for every missing public docstring."""
+    if not _has_docstring(tree):
+        code = "D104" if path.name == "__init__.py" else "D100"
+        yield 1, code, path.stem
+
+    def walk(node: ast.AST, prefix: str, inside_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if not _is_public(child.name):
+                    continue
+                if not _has_docstring(child):
+                    yield_list.append((child.lineno, "D101", f"{prefix}{child.name}"))
+                walk(child, f"{prefix}{child.name}.", True)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # dunders: D105/D107 not enforced
+                if not _is_public(name):
+                    continue
+                if not _has_docstring(child):
+                    code = "D102" if inside_class else "D103"
+                    yield_list.append((child.lineno, code, f"{prefix}{name}"))
+                # Nested defs are closures, not API surface: do not recurse.
+
+    yield_list: list[tuple[int, str, str]] = []
+    walk(tree, "", False)
+    yield from yield_list
+
+
+def check(roots: list[str]) -> int:
+    """Check every ``.py`` file under ``roots``; return the violation count."""
+    violations = 0
+    for root in roots:
+        base = Path(root)
+        if not base.exists():
+            print(f"error: root {root!r} does not exist", file=sys.stderr)
+            return 1
+        for path in sorted(base.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for lineno, code, symbol in _iter_violations(path, tree):
+                print(f"{path}:{lineno}: {code} missing docstring: {symbol}")
+                violations += 1
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: check the given roots (default ``src/repro``)."""
+    roots = argv[1:] or list(DEFAULT_ROOTS)
+    violations = check(roots)
+    if violations:
+        print(f"\n{violations} missing docstring(s)", file=sys.stderr)
+        return 1
+    print("docstring coverage: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
