@@ -87,6 +87,16 @@ def distributed_demo() -> None:
     print(f"coreset points merged     : {result.coreset_points}")
     print(f"total stored across shards: {coordinator.stored_points()}")
 
+    # The same shards on a real multi-core backend: bit-identical answers
+    # (routing, queues, and merge randomness are all deterministic).
+    with DistributedCoordinator(
+        StreamingConfig(k=6, seed=0), num_shards=4, backend="thread"
+    ) as parallel:
+        parallel.insert_many(points)
+        parallel_result = parallel.query()
+    match = bool(np.array_equal(result.centers, parallel_result.centers))
+    print(f"thread backend matches serial simulation bitwise: {match}")
+
 
 def main() -> None:
     """Run the k-median, drift, and distributed demos back to back."""

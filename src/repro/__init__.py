@@ -46,6 +46,7 @@ from .core import (
 from .coreset import Bucket, CoresetConfig, CoresetConstructor, WeightedPointSet
 from .data import PointStream, load_dataset
 from .kmeans import BatchKMeans, KMeansConfig, kmeans_cost, kmeanspp_seeding, weighted_kmeans
+from .parallel import ShardedEngine, ShardWorkerError
 from .queries import FixedIntervalSchedule, PoissonSchedule, QueryEngine, QueryStats
 
 __version__ = "1.0.0"
@@ -84,5 +85,7 @@ __all__ = [
     "PoissonSchedule",
     "QueryEngine",
     "QueryStats",
+    "ShardedEngine",
+    "ShardWorkerError",
     "__version__",
 ]

@@ -25,11 +25,15 @@ Two additional drivers exercise the query-serving pipeline beyond the paper:
   including the q=1 stress case);
 * :func:`multi_k_query_costs`      — a figure-4-style k-sweep answered by
   ONE batched multi-k query per algorithm instead of one full stream replay
-  per (algorithm, k) pair.
+  per (algorithm, k) pair;
+* :func:`scaling_profile`          — ingestion-throughput scaling of the
+  parallel sharded engine across shard counts and executor backends,
+  against the single-structure baseline.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 import numpy as np
@@ -57,6 +61,7 @@ __all__ = [
     "rcc_tradeoffs",
     "query_latency_profile",
     "multi_k_query_costs",
+    "scaling_profile",
 ]
 
 # The algorithm line-up of the paper's figures.
@@ -321,6 +326,84 @@ def multi_k_query_costs(
         for k in k_values:
             batch = weighted_kmeans(points, k, rng=np.random.default_rng(seed))
             results["kmeans++"][k] = kmeans_cost(points, batch.centers)
+    return results
+
+
+def scaling_profile(
+    points: np.ndarray,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    backends: tuple[str, ...] = ("thread",),
+    algorithm: str = "cc",
+    k: int = 20,
+    coreset_size: int | None = None,
+    routing: str = "round_robin",
+    seed: int = 0,
+    chunk_size: int = 4096,
+    repeats: int = 1,
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Ingestion-throughput scaling of the sharded engine vs. the 1-shard baseline.
+
+    The stream is ingested in ``chunk_size`` batches with no interleaved
+    queries; for parallel backends the timed region ends at the engine's
+    :meth:`~repro.parallel.engine.ShardedEngine.flush` barrier, so queued
+    work cannot be hidden.  The baseline (and the ``("serial", 1)`` cell) is
+    the plain single-structure clusterer, which is what the sharded engine
+    must beat; every other cell — including 1-shard cells of parallel
+    backends, which isolate pure queue/handoff overhead — runs a real
+    :class:`~repro.parallel.engine.ShardedEngine` on that backend.
+
+    Returns ``{backend: {shard_count: {"seconds", "points_per_second",
+    "speedup_vs_baseline"}}}``; best-of-``repeats`` wall-clock per cell.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    n = data.shape[0]
+    config = StreamingConfig(k=k, coreset_size=coreset_size, seed=seed)
+
+    def build(shards: int, backend: str):
+        if shards == 1 and backend == "serial":
+            return make_algorithm(algorithm, config)
+        from ..parallel.engine import ShardedEngine
+
+        return ShardedEngine(
+            config,
+            num_shards=shards,
+            backend=backend,
+            routing=routing,
+            structure=algorithm.lower(),
+        )
+
+    def measure(shards: int, backend: str) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            clusterer = build(shards, backend)
+            try:
+                start = time.perf_counter()
+                for offset in range(0, n, chunk_size):
+                    clusterer.insert_batch(data[offset : offset + chunk_size])
+                flush = getattr(clusterer, "flush", None)
+                if flush is not None:
+                    flush()
+                best = min(best, time.perf_counter() - start)
+            finally:
+                closer = getattr(clusterer, "close", None)
+                if closer is not None:
+                    closer()
+        return best
+
+    baseline_seconds = measure(1, "serial")
+    results: dict[str, dict[int, dict[str, float]]] = {}
+    for backend in backends:
+        results[backend] = {}
+        for shards in shard_counts:
+            if shards == 1 and backend == "serial":
+                seconds = baseline_seconds
+            else:
+                seconds = measure(shards, backend)
+            results[backend][shards] = {
+                "seconds": seconds,
+                "points_per_second": n / seconds if seconds > 0 else float("inf"),
+                "speedup_vs_baseline": baseline_seconds / seconds if seconds > 0 else 0.0,
+            }
     return results
 
 

@@ -62,6 +62,9 @@ def make_algorithm(
     config: StreamingConfig,
     nesting_depth: int = 3,
     switch_threshold: float = 1.2,
+    shards: int = 1,
+    backend: str = "serial",
+    routing: str = "round_robin",
 ) -> StreamingClusterer:
     """Instantiate a streaming clusterer by its paper name.
 
@@ -76,8 +79,32 @@ def make_algorithm(
         RCC nesting depth (ignored by other algorithms).
     switch_threshold:
         OnlineCC's fallback threshold alpha (ignored by other algorithms).
+    shards:
+        With ``shards > 1`` the coreset-tree algorithms (ct/cc/rcc) are run
+        on the parallel sharded engine: one structure per shard, routed
+        batches, merged-coreset queries.  Other algorithms reject sharding.
+    backend / routing:
+        Executor backend and routing policy for the sharded engine (see
+        :class:`~repro.parallel.engine.ShardedEngine`); ignored when
+        ``shards == 1``.
     """
     key = name.lower()
+    if shards > 1:
+        if key not in ("ct", "cc", "rcc"):
+            raise ValueError(
+                f"algorithm {name!r} does not support sharded ingestion; "
+                "use one of ct, cc, rcc"
+            )
+        from ..parallel.engine import ShardedEngine
+
+        return ShardedEngine(
+            config,
+            num_shards=shards,
+            backend=backend,
+            routing=routing,
+            structure=key,
+            nesting_depth=nesting_depth,
+        )
     if key == "sequential":
         return SequentialKMeans(config.k)
     if key in ("streamkm++", "streamkmpp"):
@@ -107,6 +134,9 @@ def collect_serving_stats(algorithm: StreamingClusterer) -> "ServingStats":
     cache = None
     if isinstance(structure, ClusteringStructure):
         cache = structure.cache_stats()
+    elif hasattr(algorithm, "cache_stats"):
+        # The sharded engine aggregates per-shard cache counters itself.
+        cache = algorithm.cache_stats()
     return ServingStats(
         warm_queries=engine.warm_queries if engine is not None else 0,
         cold_queries=engine.cold_queries if engine is not None else 0,
@@ -208,6 +238,10 @@ class StreamingExperiment:
     chunk_size:
         Optional cap on batch length in batch mode (None = one batch per
         inter-query segment).
+    shards / backend / routing:
+        With ``shards > 1`` the run uses the parallel sharded engine on the
+        chosen executor backend and routing policy (ct/cc/rcc only); the
+        engine is closed when the run finishes.
     """
 
     algorithm: str
@@ -218,6 +252,9 @@ class StreamingExperiment:
     track_query_costs: bool = False
     ingest_mode: str = "batch"
     chunk_size: int | None = None
+    shards: int = 1
+    backend: str = "serial"
+    routing: str = "round_robin"
 
 
 def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunResult:
@@ -235,7 +272,24 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         experiment.config,
         nesting_depth=experiment.nesting_depth,
         switch_threshold=experiment.switch_threshold,
+        shards=experiment.shards,
+        backend=experiment.backend,
+        routing=experiment.routing,
     )
+    try:
+        return _replay(experiment, algorithm, data)
+    finally:
+        closer = getattr(algorithm, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _replay(
+    experiment: StreamingExperiment,
+    algorithm: StreamingClusterer,
+    data: np.ndarray,
+) -> RunResult:
+    """Drive one already-constructed algorithm through the stream and schedule."""
     query_set = experiment.schedule.query_set(data.shape[0])
 
     timing = TimingBreakdown()
@@ -244,9 +298,20 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
     query_costs: list[float] = []
     query_latencies: list[float] = []
     num_queries = 0
+    # Parallel engines apply inserts asynchronously; drain the queued work
+    # under the update clock before timing a query, so backlog is billed as
+    # update time instead of inflating query latency.
+    flush = getattr(algorithm, "flush", None)
+
+    def drain_updates() -> None:
+        if flush is not None:
+            start = time.perf_counter()
+            flush()
+            timing.add_update(time.perf_counter() - start, 0)
 
     def run_query(position: int) -> None:
         nonlocal last_centers, num_queries, peak_points
+        drain_updates()
         start = time.perf_counter()
         result = algorithm.query()
         elapsed = time.perf_counter() - start
@@ -277,6 +342,7 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
     if last_centers is None:
         # No scheduled query fired (short stream): issue one final query so
         # that every run produces centers and a cost.
+        drain_updates()
         start = time.perf_counter()
         result = algorithm.query()
         elapsed = time.perf_counter() - start

@@ -59,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--query-interval", type=int, default=100)
     run.add_argument("--poisson", action="store_true", help="use a Poisson query schedule")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run ct/cc/rcc on the parallel sharded engine with this many shards",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="executor backend for the sharded engine (with --shards > 1)",
+    )
+    run.add_argument(
+        "--routing",
+        choices=("round_robin", "hash", "random"),
+        default="round_robin",
+        help="shard routing policy (with --shards > 1)",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=FIGURES)
@@ -83,13 +101,23 @@ def _command_run(args: argparse.Namespace) -> int:
         schedule = FixedIntervalSchedule(args.query_interval)
 
     result = run_experiment(
-        StreamingExperiment(algorithm=args.algorithm, config=config, schedule=schedule),
+        StreamingExperiment(
+            algorithm=args.algorithm,
+            config=config,
+            schedule=schedule,
+            shards=args.shards,
+            backend=args.backend,
+            routing=args.routing,
+        ),
         info.points,
     )
+    algorithm_label = args.algorithm
+    if args.shards > 1:
+        algorithm_label = f"{args.algorithm}x{args.shards}[{args.backend}]"
     rows = [
         {
             "dataset": info.name,
-            "algorithm": args.algorithm,
+            "algorithm": algorithm_label,
             "k": args.k,
             "points": info.num_points,
             "queries": result.num_queries,

@@ -65,6 +65,10 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         The clustering data structure ``D`` (CT, CC, or RCC).
     """
 
+    #: Registry name of the per-shard structure used by :meth:`sharded`
+    #: (subclasses override; see :data:`repro.parallel.shard.SHARD_STRUCTURES`).
+    shard_structure: str | None = None
+
     def __init__(self, config: StreamingConfig, structure: ClusteringStructure) -> None:
         self.config = config
         self._structure = structure
@@ -75,6 +79,42 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         self._rng = np.random.default_rng(config.seed)
         self._engine = config.make_query_engine()
         self._last_query_stats: QueryStats | None = None
+
+    @classmethod
+    def sharded(
+        cls,
+        config: StreamingConfig,
+        num_shards: int,
+        backend: str = "serial",
+        routing: str = "round_robin",
+        **kwargs,
+    ):
+        """Build a parallel sharded engine running this clusterer's structure.
+
+        The shards=-aware constructor path: instead of one structure fed by
+        one buffer, ``num_shards`` independent copies of this clusterer's
+        structure each consume a routed slice of the stream (on the chosen
+        executor backend) and queries merge one coreset per shard through
+        the same serving pipeline.  Returns a
+        :class:`~repro.parallel.engine.ShardedEngine`, which speaks the full
+        :class:`~repro.core.base.StreamingClusterer` contract.
+        """
+        if cls.shard_structure is None:
+            raise TypeError(
+                f"{cls.__name__} does not define a shard structure; "
+                "use CoresetTreeClusterer, CachedCoresetTreeClusterer, or "
+                "RecursiveCachedClusterer"
+            )
+        from ..parallel.engine import ShardedEngine
+
+        return ShardedEngine(
+            config,
+            num_shards=num_shards,
+            backend=backend,
+            routing=routing,
+            structure=cls.shard_structure,
+            **kwargs,
+        )
 
     @property
     def structure(self) -> ClusteringStructure:
@@ -188,6 +228,8 @@ class CoresetTreeClusterer(StreamClusterDriver):
     With ``merge_degree=2`` this is the streamkm++ algorithm.
     """
 
+    shard_structure = "ct"
+
     def __init__(self, config: StreamingConfig) -> None:
         constructor = config.make_constructor()
         structure = CoresetTree(constructor, merge_degree=config.merge_degree)
@@ -201,6 +243,8 @@ class CoresetTreeClusterer(StreamClusterDriver):
 
 class CachedCoresetTreeClusterer(StreamClusterDriver):
     """CC: coreset tree plus coreset cache behind the generic driver."""
+
+    shard_structure = "cc"
 
     def __init__(self, config: StreamingConfig) -> None:
         constructor = config.make_constructor()
@@ -219,6 +263,8 @@ class CachedCoresetTreeClusterer(StreamClusterDriver):
 
 class RecursiveCachedClusterer(StreamClusterDriver):
     """RCC: recursive coreset cache behind the generic driver."""
+
+    shard_structure = "rcc"
 
     def __init__(self, config: StreamingConfig, nesting_depth: int = 3) -> None:
         constructor = config.make_constructor()

@@ -1,112 +1,58 @@
 """Clustering over distributed / parallel streams.
 
 The paper's conclusion names "clustering on distributed and parallel streams"
-as an open question.  This module provides a simulation-friendly realisation:
-each logical stream shard runs its own CC structure locally (no coordination
-on the update path), and a coordinator answers global clustering queries by
-collecting one coreset per shard — exactly the cheap per-shard query the CC
-cache makes possible — merging them (Observation 1: a union of coresets is a
-coreset of the union), and running k-means++ on the merged summary.
+as an open question.  Historically this module carried a single-threaded
+simulation; it is now a thin facade over the real multi-core engine in
+:mod:`repro.parallel`: each stream shard runs its own CC structure locally
+(no coordination on the update path), and the coordinator answers global
+clustering queries by collecting one coreset per shard — exactly the cheap
+per-shard query the CC cache makes possible — merging them (Observation 1: a
+union of coresets is a coreset of the union), and extracting ``k`` centers
+from the merged summary through the warm-startable
+:class:`~repro.queries.serving.QueryEngine`.
 
-Routing policies cover the common deployment shapes:
+:class:`DistributedCoordinator` defaults to ``backend="serial"``, preserving
+the simulation semantics (deterministic, inline shard updates); pass
+``backend="thread"`` or ``backend="process"`` to run the same shards on real
+worker threads/processes.  Routing policies cover the common deployment
+shapes:
 
 * ``round_robin`` — load balancing, every shard sees a slice of everything;
-* ``hash`` — deterministic partitioning by point content;
+* ``hash`` — deterministic partitioning by point content (stable across
+  processes and batch boundaries);
 * ``random`` — seeded random assignment.
 """
 
 from __future__ import annotations
 
-from typing import Literal
-
-import numpy as np
-
-from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
-from ..core.base import (
-    QueryResult,
-    StreamingClusterer,
-    StreamingConfig,
-    coerce_batch,
-    require_dimension,
-)
-from ..core.buffer import BucketBuffer
-from ..core.cached_tree import CachedCoresetTree
-from ..coreset.construction import CoresetConstructor
-from ..kmeans.batch import weighted_kmeans
+from ..core.base import StreamingConfig
+from ..parallel.engine import ShardedEngine
+from ..parallel.routing import RoutingPolicy
+from ..parallel.shard import StreamShard
 
 __all__ = ["StreamShard", "DistributedCoordinator"]
 
-RoutingPolicy = Literal["round_robin", "hash", "random"]
 
-
-class StreamShard:
-    """One shard: a CC structure plus its partial base bucket."""
-
-    def __init__(self, config: StreamingConfig, shard_index: int) -> None:
-        self.shard_index = shard_index
-        self.config = config
-        seed = None if config.seed is None else config.seed + shard_index
-        self._constructor = CoresetConstructor(config.coreset_config(), seed=seed)
-        self._structure = CachedCoresetTree(
-            self._constructor, merge_degree=config.merge_degree
-        )
-        self._buffer = BucketBuffer(config.bucket_size)
-        self._dimension: int | None = None
-        self.points_seen = 0
-
-    def insert(self, point: np.ndarray) -> None:
-        """Add one point to this shard's local state."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
-        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
-        self._buffer.append(row)
-        self.points_seen += 1
-        if self._buffer.is_full:
-            index = self._structure.num_base_buckets + 1
-            data = WeightedPointSet.from_points(self._buffer.drain())
-            self._structure.insert_bucket(
-                Bucket(data=data, start=index, end=index, level=0)
-            )
-
-    def insert_batch(self, points: np.ndarray) -> None:
-        """Add a batch to this shard: full buckets are sliced, not looped."""
-        arr = coerce_batch(points)
-        if arr.shape[0] == 0:
-            return
-        self._dimension = require_dimension(self._dimension, arr.shape[1])
-        blocks = self._buffer.take_full_blocks(arr)
-        self.points_seen += arr.shape[0]
-        if blocks:
-            self._structure.insert_buckets(
-                make_base_buckets(blocks, self._structure.num_base_buckets + 1)
-            )
-
-    def local_coreset(self, dimension: int) -> WeightedPointSet:
-        """This shard's contribution to a global query (cached coreset + partial bucket)."""
-        coreset = self._structure.query_coreset()
-        if not self._buffer.is_empty:
-            partial = WeightedPointSet.from_points(self._buffer.snapshot())
-            coreset = coreset.union(partial) if coreset.size else partial
-        if coreset.size == 0:
-            return WeightedPointSet.empty(dimension)
-        return coreset
-
-    def stored_points(self) -> int:
-        """Points held by this shard (structure plus partial bucket)."""
-        return self._structure.stored_points() + self._buffer.size
-
-
-class DistributedCoordinator(StreamingClusterer):
+class DistributedCoordinator(ShardedEngine):
     """Routes a stream across shards and answers global clustering queries.
+
+    A :class:`~repro.parallel.engine.ShardedEngine` running CC shards, kept
+    as the extensions-facing name (and with the serial backend as default so
+    existing simulation workloads stay deterministic and dependency-free).
 
     Parameters
     ----------
     config:
         Shared streaming configuration applied to every shard.
     num_shards:
-        Number of parallel shards (simulated workers).
+        Number of parallel shards (simulated workers under ``serial``, real
+        workers under ``thread``/``process``).
     routing:
         How points are assigned to shards: ``"round_robin"`` (default),
         ``"hash"``, or ``"random"``.
+    backend:
+        Executor backend; the historical simulation behaviour is
+        ``"serial"`` (default).
     """
 
     def __init__(
@@ -114,112 +60,12 @@ class DistributedCoordinator(StreamingClusterer):
         config: StreamingConfig,
         num_shards: int = 4,
         routing: RoutingPolicy = "round_robin",
+        backend: str = "serial",
     ) -> None:
-        if num_shards <= 0:
-            raise ValueError("num_shards must be positive")
-        if routing not in ("round_robin", "hash", "random"):
-            raise ValueError(f"unknown routing policy {routing!r}")
-        self.config = config
-        self.routing = routing
-        self.shards = [StreamShard(config, index) for index in range(num_shards)]
-        self._next_shard = 0
-        self._points_seen = 0
-        self._dimension: int | None = None
-        self._rng = np.random.default_rng(config.seed)
-        self._route_rng = np.random.default_rng(
-            None if config.seed is None else config.seed + 10_007
+        super().__init__(
+            config,
+            num_shards=num_shards,
+            routing=routing,
+            backend=backend,
+            structure="cc",
         )
-
-    @property
-    def num_shards(self) -> int:
-        """Number of shards in the simulated cluster."""
-        return len(self.shards)
-
-    @property
-    def points_seen(self) -> int:
-        """Total number of points routed across all shards."""
-        return self._points_seen
-
-    def insert(self, point: np.ndarray) -> None:
-        """Route one point to a shard according to the routing policy."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
-        if self._dimension is None:
-            self._dimension = row.shape[0]
-        elif row.shape[0] != self._dimension:
-            raise ValueError(
-                f"point has dimension {row.shape[0]}, expected {self._dimension}"
-            )
-        self.shards[self._route(row)].insert(row)
-        self._points_seen += 1
-
-    def insert_batch(self, points: np.ndarray) -> None:
-        """Route a batch of points across the shards.
-
-        Round-robin routing is fully vectorized: the rows destined for shard
-        ``s`` form the strided slice ``arr[offset_s :: num_shards]`` (original
-        order preserved), so each shard ingests one batch with zero per-point
-        work.  Random routing partitions with one vectorized draw.  Hash
-        routing must inspect each row's bytes and falls back to the per-point
-        path.
-        """
-        arr = coerce_batch(points)
-        n = arr.shape[0]
-        if n == 0:
-            return
-        self._dimension = require_dimension(self._dimension, arr.shape[1])
-        num = len(self.shards)
-        if self.routing == "round_robin":
-            for shard_index in range(num):
-                offset = (shard_index - self._next_shard) % num
-                block = arr[offset::num]
-                if block.shape[0]:
-                    self.shards[shard_index].insert_batch(block)
-            self._next_shard = (self._next_shard + n) % num
-            self._points_seen += n
-        elif self.routing == "random":
-            assignments = self._route_rng.integers(0, num, size=n)
-            for shard_index in range(num):
-                block = arr[assignments == shard_index]
-                if block.shape[0]:
-                    self.shards[shard_index].insert_batch(block)
-            self._points_seen += n
-        else:  # hash routing inspects each row individually
-            for row in arr:
-                self.shards[self._route(row)].insert(row)
-                self._points_seen += 1
-
-    def query(self) -> QueryResult:
-        """Merge every shard's coreset and extract k centers globally."""
-        if self._points_seen == 0:
-            raise RuntimeError("cannot answer a clustering query before any point arrives")
-        dimension = self._dimension or 1
-        pieces = [shard.local_coreset(dimension) for shard in self.shards]
-        pieces = [piece for piece in pieces if piece.size > 0]
-        combined = WeightedPointSet.union_all(pieces)
-        result = weighted_kmeans(
-            combined.points,
-            self.config.k,
-            weights=combined.weights,
-            n_init=self.config.n_init,
-            max_iterations=self.config.lloyd_iterations,
-            rng=self._rng,
-        )
-        return QueryResult(centers=result.centers, coreset_points=combined.size, from_cache=True)
-
-    def stored_points(self) -> int:
-        """Total points held across all shards."""
-        return sum(shard.stored_points() for shard in self.shards)
-
-    def shard_loads(self) -> list[int]:
-        """Points routed to each shard (for load-balance inspection)."""
-        return [shard.points_seen for shard in self.shards]
-
-    def _route(self, point: np.ndarray) -> int:
-        if self.routing == "round_robin":
-            index = self._next_shard
-            self._next_shard = (self._next_shard + 1) % len(self.shards)
-            return index
-        if self.routing == "hash":
-            digest = hash(point.tobytes())
-            return digest % len(self.shards)
-        return int(self._route_rng.integers(0, len(self.shards)))

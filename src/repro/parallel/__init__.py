@@ -1,0 +1,44 @@
+"""Multi-core sharded ingestion engine for parallel streams.
+
+Observation 1 of the paper (a union of coresets is a coreset of the union)
+makes shard-local updates embarrassingly parallel with a cheap merge at query
+time.  This package turns the single-threaded simulation of
+:mod:`repro.extensions.distributed` into a real parallel engine:
+
+* :mod:`repro.parallel.routing` — the routing policies (round-robin, stable
+  content hash, seeded random) that partition a stream across shards, plus
+  the per-shard seed derivation;
+* :mod:`repro.parallel.shard` — the shard worker state (one clustering
+  structure plus its partial base bucket) and the snapshot it ships back to
+  the coordinator;
+* :mod:`repro.parallel.backends` — the three executor backends: ``serial``
+  (inline, deterministic debugging), ``thread`` (one worker thread per shard;
+  the vectorized hot loops release the GIL inside numpy), and ``process``
+  (one worker process per shard with shared-memory ndarray handoff, so point
+  batches are never pickled);
+* :mod:`repro.parallel.engine` — :class:`~repro.parallel.engine.ShardedEngine`,
+  the user-facing coordinator that routes batches, keeps the bounded work
+  queues fed, and answers queries by merging one coreset per shard through
+  the warm-startable :class:`~repro.queries.serving.QueryEngine`.
+"""
+
+from .backends import ShardWorkerError
+from .engine import ShardedEngine
+from .routing import (
+    RoutingPolicy,
+    make_router,
+    spawn_shard_seeds,
+    stable_row_hash,
+)
+from .shard import ShardSnapshot, StreamShard
+
+__all__ = [
+    "RoutingPolicy",
+    "ShardSnapshot",
+    "ShardWorkerError",
+    "ShardedEngine",
+    "StreamShard",
+    "make_router",
+    "spawn_shard_seeds",
+    "stable_row_hash",
+]

@@ -1,0 +1,591 @@
+"""Executor backends for the sharded ingestion engine.
+
+Three interchangeable executors implement the same small contract —
+``submit`` per-shard insert blocks (ordered, bounded), ``sync`` to a barrier,
+``collect`` per-shard coreset snapshots, ``close`` idempotently:
+
+* :class:`SerialBackend` — shards run inline in the caller's thread.  Fully
+  deterministic, zero overhead; the debugging/equivalence reference and the
+  semantics the simulation-era ``DistributedCoordinator`` had.
+* :class:`ThreadBackend` — one worker thread per shard, each behind a bounded
+  :class:`queue.Queue`.  Insert blocks are handed over by reference (zero
+  copy); the vectorized hot loops (GEMM, reductions, sampling) release the
+  GIL inside numpy, so shard merges overlap on multi-core machines.
+* :class:`ProcessBackend` — one worker process per shard.  Point batches are
+  copied into a per-shard shared-memory slab ring and announced with a tiny
+  ``(slab, slot, rows)`` message, so ndarray payloads are **never pickled**;
+  a semaphore over the ring's free slots is what bounds the work queue.
+  Only coreset snapshots (``m`` weighted points) travel back through a queue.
+
+Worker failures never hang the coordinator: a raised exception inside a shard
+is recorded (with its traceback) and re-raised as :class:`ShardWorkerError`
+at the next ``submit``/``sync``/``collect`` call, and ``close`` always leaves
+no live worker threads or processes behind.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.base import StreamingConfig
+from .shard import ShardSnapshot, StreamShard, make_shard
+
+__all__ = [
+    "BACKENDS",
+    "ShardWorkerError",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+# How long submit/sync/collect wait on a stalled worker before giving up.
+# Generous: it only triggers when a worker neither progresses nor reports an
+# error (e.g. it was killed externally), never on a merely busy worker.
+_STALL_TIMEOUT = 120.0
+
+ShardFactory = Callable[..., StreamShard]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the shard index and the worker traceback."""
+
+    def __init__(self, shard_index: int, detail: str) -> None:
+        super().__init__(f"shard {shard_index} worker failed: {detail}")
+        self.shard_index = shard_index
+        self.detail = detail
+
+
+@dataclass
+class _ShardSpec:
+    """Construction recipe for one shard (picklable for process workers).
+
+    ``factory`` receives ``(config, shard_index, seed, structure)`` plus
+    ``nesting_depth`` as a keyword (custom factories may ignore it via
+    ``**kwargs``).
+    """
+
+    config: StreamingConfig
+    shard_index: int
+    seed: int | None
+    structure: str
+    nesting_depth: int = 3
+    factory: ShardFactory = make_shard
+
+    def build(self) -> StreamShard:
+        return self.factory(
+            self.config,
+            self.shard_index,
+            self.seed,
+            self.structure,
+            nesting_depth=self.nesting_depth,
+        )
+
+
+class SerialBackend:
+    """Inline execution: every shard runs in the caller's thread."""
+
+    name = "serial"
+
+    def __init__(self, specs: Sequence[_ShardSpec], queue_depth: int = 8) -> None:
+        self._shards = [spec.build() for spec in specs]
+
+    @property
+    def shards(self) -> list[StreamShard]:
+        """The in-process shard objects (available for serial and thread)."""
+        return self._shards
+
+    def submit(self, shard_index: int, block: np.ndarray) -> None:
+        """Apply one insert block to a shard (inline, exceptions propagate)."""
+        self._shards[shard_index].insert_batch(block)
+
+    def sync(self) -> None:
+        """Barrier: trivially satisfied, inserts are applied synchronously."""
+
+    def collect(self, dimension: int) -> list[ShardSnapshot]:
+        """Snapshot every shard's coreset and counters."""
+        return [shard.snapshot(dimension) for shard in self._shards]
+
+    def stored_points(self) -> int:
+        """Total weighted points held across the shards."""
+        return sum(shard.stored_points() for shard in self._shards)
+
+    def close(self) -> None:
+        """Nothing to tear down (idempotent)."""
+
+
+@dataclass
+class _Request:
+    """A control message awaiting a reply from a thread worker."""
+
+    kind: str  # "collect" | "sync"
+    dimension: int = 1
+    event: threading.Event = field(default_factory=threading.Event)
+    snapshot: ShardSnapshot | None = None
+    error: str | None = None
+
+
+class _ShardThread(threading.Thread):
+    """One worker thread owning one shard behind a bounded task queue."""
+
+    _STOP = object()
+
+    def __init__(self, spec: _ShardSpec, queue_depth: int) -> None:
+        super().__init__(name=f"shard-{spec.shard_index}", daemon=True)
+        self.shard = spec.build()
+        self.shard_index = spec.shard_index
+        self.tasks: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.error: str | None = None
+
+    def run(self) -> None:
+        while True:
+            task = self.tasks.get()
+            if task is self._STOP:
+                return
+            if isinstance(task, _Request):
+                if self.error is not None:
+                    task.error = self.error
+                    task.event.set()
+                    continue
+                try:
+                    if task.kind == "collect":
+                        task.snapshot = self.shard.snapshot(task.dimension)
+                except BaseException:
+                    self.error = traceback.format_exc()
+                    task.error = self.error
+                task.event.set()
+                continue
+            if self.error is not None:
+                continue  # drain: keep the producer from blocking forever
+            try:
+                self.shard.insert_batch(task)
+            except BaseException:
+                self.error = traceback.format_exc()
+
+    def put(self, item) -> None:
+        """Enqueue with a stall deadline, surfacing worker errors early.
+
+        A failed worker keeps draining its queue, so ``put`` normally
+        succeeds and the error surfaces on the *next* call; the deadline only
+        fires if the worker thread died outright.
+        """
+        deadline = time.monotonic() + _STALL_TIMEOUT
+        while True:
+            if self.error is not None and not isinstance(item, _Request):
+                raise ShardWorkerError(self.shard_index, self.error)
+            try:
+                self.tasks.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                if not self.is_alive():
+                    raise ShardWorkerError(
+                        self.shard_index, self.error or "worker thread died"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"shard {self.shard_index} work queue stalled"
+                    ) from None
+
+
+class ThreadBackend:
+    """One worker thread per shard behind bounded queues."""
+
+    name = "thread"
+
+    def __init__(self, specs: Sequence[_ShardSpec], queue_depth: int = 8) -> None:
+        self._workers = [_ShardThread(spec, queue_depth) for spec in specs]
+        for worker in self._workers:
+            worker.start()
+        self._closed = False
+
+    @property
+    def shards(self) -> list[StreamShard]:
+        """The in-process shard objects (only safe to touch after ``sync``)."""
+        return [worker.shard for worker in self._workers]
+
+    def submit(self, shard_index: int, block: np.ndarray) -> None:
+        """Enqueue one insert block for a shard (bounded, ordered)."""
+        self._workers[shard_index].put(block)
+
+    def _roundtrip(self, kind: str, dimension: int = 1) -> list[_Request]:
+        requests = []
+        for worker in self._workers:
+            request = _Request(kind=kind, dimension=dimension)
+            worker.put(request)
+            requests.append(request)
+        for worker, request in zip(self._workers, requests):
+            if not request.event.wait(timeout=_STALL_TIMEOUT):
+                raise RuntimeError(f"shard {worker.shard_index} barrier stalled")
+            if request.error is not None:
+                raise ShardWorkerError(worker.shard_index, request.error)
+        return requests
+
+    def sync(self) -> None:
+        """Barrier: every queued insert has been applied when this returns."""
+        self._roundtrip("sync")
+
+    def collect(self, dimension: int) -> list[ShardSnapshot]:
+        """Snapshot every shard (the snapshots are computed in parallel)."""
+        requests = self._roundtrip("collect", dimension)
+        return [request.snapshot for request in requests]  # type: ignore[misc]
+
+    def stored_points(self) -> int:
+        """Total weighted points held (after a barrier, read directly)."""
+        self.sync()
+        return sum(worker.shard.stored_points() for worker in self._workers)
+
+    def close(self) -> None:
+        """Stop and join every worker thread (idempotent).
+
+        Workers drain their queue even after an error, so the stop sentinel
+        normally lands immediately; a dead worker with a full queue is the
+        only case where it cannot, and then there is nothing left to stop.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            deadline = time.monotonic() + _STALL_TIMEOUT
+            while True:
+                try:
+                    worker.tasks.put(_ShardThread._STOP, timeout=0.05)
+                    break
+                except queue.Full:
+                    if not worker.is_alive() or time.monotonic() > deadline:
+                        break
+        for worker in self._workers:
+            worker.join(timeout=_STALL_TIMEOUT)
+
+
+def _attach_shared_memory(name: str):
+    """Attach an existing shared-memory slab (worker side).
+
+    The creating (coordinator) process owns the segment's lifecycle and
+    unlinks it at ``close``; workers only map it.  The resource tracker is
+    shared across the fork/spawn tree, so the coordinator's registration
+    covers the attachment — no extra bookkeeping here.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> None:
+    """Worker-process main loop: build the shard, consume tasks until stopped."""
+    slabs: dict[str, object] = {}
+    index = spec.shard_index
+    try:
+        shard = spec.build()
+    except BaseException:
+        result_queue.put(("error", index, traceback.format_exc()))
+        return
+    try:
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            try:
+                if kind == "insert":
+                    _, name, offset_rows, nrows, dimension = message
+                    slab = slabs.get(name)
+                    if slab is None:
+                        slab = _attach_shared_memory(name)
+                        slabs[name] = slab
+                    view = np.ndarray(
+                        (nrows, dimension),
+                        dtype=np.float64,
+                        buffer=slab.buf,  # type: ignore[attr-defined]
+                        offset=offset_rows * dimension * 8,
+                    )
+                    # One copy out of the ring, then the slot is reusable; the
+                    # shard may alias `block` in its buckets indefinitely.
+                    block = np.array(view, dtype=np.float64, copy=True)
+                    free_slots.release()
+                    shard.insert_batch(block)
+                elif kind == "collect":
+                    result_queue.put(("snapshot", index, shard.snapshot(message[1])))
+                elif kind == "stats":
+                    # Accounting only: must not touch the shard's coresets or
+                    # sampling streams (keeps backends bit-equivalent).
+                    result_queue.put(("stats", index, shard.stored_points()))
+                elif kind == "sync":
+                    result_queue.put(("synced", index))
+            except BaseException:
+                result_queue.put(("error", index, traceback.format_exc()))
+                return
+    finally:
+        for slab in slabs.values():
+            slab.close()  # type: ignore[attr-defined]
+
+
+class _SlabRing:
+    """Coordinator-side shared-memory ring of fixed-size insert slots."""
+
+    def __init__(self, context, shard_index: int, slot_rows: int, depth: int, dimension: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.slot_rows = slot_rows
+        self.depth = depth
+        self.dimension = dimension
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=depth * slot_rows * dimension * 8
+        )
+        self.name = self._shm.name
+        self._view = np.ndarray(
+            (depth * slot_rows, dimension), dtype=np.float64, buffer=self._shm.buf
+        )
+        self._next_slot = 0
+
+    def write(self, chunk: np.ndarray) -> int:
+        """Copy ``chunk`` into the next slot; returns the slot's row offset."""
+        slot = self._next_slot
+        self._next_slot = (slot + 1) % self.depth
+        offset = slot * self.slot_rows
+        self._view[offset : offset + chunk.shape[0]] = chunk
+        return offset
+
+    def destroy(self) -> None:
+        """Release and unlink the segment (creator side)."""
+        self._view = None  # drop the exported buffer before closing
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+
+class ProcessBackend:
+    """One worker process per shard with shared-memory ndarray handoff."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        specs: Sequence[_ShardSpec],
+        queue_depth: int = 8,
+        slot_rows: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        import multiprocessing as mp
+
+        if start_method is None:
+            # fork is dramatically cheaper and keeps test-local shard
+            # factories picklable-by-inheritance; fall back where absent.
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        context = mp.get_context(start_method)
+        self._context = context
+        try:
+            # Start the parent's resource tracker BEFORE forking workers so
+            # every worker inherits it.  Otherwise each worker's slab attach
+            # spawns a private tracker that reports the (parent-owned,
+            # correctly unlinked) segment as leaked when the worker exits.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker API is semi-private
+            pass
+        self._queue_depth = queue_depth
+        self._slot_rows = slot_rows
+        self._results = context.Queue()
+        self._specs = list(specs)
+        self._tasks = []
+        self._semaphores = []
+        self._processes = []
+        self._rings: list[_SlabRing | None] = [None] * len(self._specs)
+        self._errors: dict[int, str] = {}
+        self._closed = False
+        for spec in self._specs:
+            tasks = context.Queue()
+            free_slots = context.Semaphore(queue_depth)
+            process = context.Process(
+                target=_process_worker,
+                args=(spec, tasks, self._results, free_slots),
+                daemon=True,
+            )
+            process.start()
+            self._tasks.append(tasks)
+            self._semaphores.append(free_slots)
+            self._processes.append(process)
+
+    @property
+    def shards(self) -> list[StreamShard]:
+        """Process workers own their shards; there is nothing to expose here."""
+        raise RuntimeError(
+            "shards live inside worker processes under backend='process'; "
+            "use collect()/snapshots instead"
+        )
+
+    # -- error plumbing ------------------------------------------------------
+
+    def _note(self, message) -> None:
+        if message[0] == "error":
+            self._errors[message[1]] = message[2]
+
+    def _drain_errors(self) -> None:
+        while True:
+            try:
+                self._note(self._results.get_nowait())
+            except queue.Empty:
+                return
+
+    def _raise_if_failed(self) -> None:
+        self._drain_errors()
+        if self._errors:
+            index = min(self._errors)
+            raise ShardWorkerError(index, self._errors[index])
+
+    # -- the backend contract ------------------------------------------------
+
+    def submit(self, shard_index: int, block: np.ndarray) -> None:
+        """Copy ``block`` into the shard's slab ring and announce the slots.
+
+        Blocks longer than one slot are split into slot-sized chunks; the
+        shard applies them in order, which yields the exact same shard state
+        (batch ingestion is split-invariant).  Acquiring a free slot is what
+        bounds the queue: the coordinator blocks here when the shard is
+        ``queue_depth`` slots behind.
+        """
+        self._raise_if_failed()
+        dimension = block.shape[1]
+        ring = self._rings[shard_index]
+        if ring is None:
+            slot_rows = self._slot_rows or max(1024, min(block.shape[0], 65536))
+            ring = _SlabRing(
+                self._context, shard_index, slot_rows, self._queue_depth, dimension
+            )
+            self._rings[shard_index] = ring
+        if ring.dimension != dimension:
+            raise ValueError(
+                f"points dimension is {dimension}, expected {ring.dimension}"
+            )
+        for start in range(0, block.shape[0], ring.slot_rows):
+            chunk = block[start : start + ring.slot_rows]
+            self._acquire_slot(shard_index)
+            offset_rows = ring.write(chunk)
+            self._tasks[shard_index].put(
+                ("insert", ring.name, offset_rows, chunk.shape[0], dimension)
+            )
+
+    def _acquire_slot(self, shard_index: int) -> None:
+        deadline = time.monotonic() + _STALL_TIMEOUT
+        while not self._semaphores[shard_index].acquire(timeout=0.05):
+            self._raise_if_failed()
+            if not self._processes[shard_index].is_alive():
+                raise ShardWorkerError(
+                    shard_index, self._errors.get(shard_index, "worker process died")
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"shard {shard_index} slab ring stalled")
+
+    def _await_replies(self, wanted: str) -> dict[int, object]:
+        replies: dict[int, object] = {}
+        deadline = time.monotonic() + _STALL_TIMEOUT
+        while len(replies) < len(self._specs):
+            missing = [
+                spec.shard_index
+                for spec in self._specs
+                if spec.shard_index not in replies
+            ]
+            try:
+                message = self._results.get(timeout=0.1)
+            except queue.Empty:
+                self._raise_if_failed()
+                for index in missing:
+                    if not self._processes[index].is_alive():
+                        raise ShardWorkerError(
+                            index, self._errors.get(index, "worker process died")
+                        )
+                if time.monotonic() > deadline:
+                    raise RuntimeError(f"shards {missing} barrier stalled")
+                continue
+            self._note(message)
+            if message[0] == "error":
+                raise ShardWorkerError(message[1], message[2])
+            if message[0] == wanted:
+                replies[message[1]] = message[2] if len(message) > 2 else None
+        return replies
+
+    def sync(self) -> None:
+        """Barrier: every announced insert slot has been consumed and applied."""
+        self._raise_if_failed()
+        for tasks in self._tasks:
+            tasks.put(("sync",))
+        self._await_replies("synced")
+
+    def collect(self, dimension: int) -> list[ShardSnapshot]:
+        """Gather one coreset snapshot per shard (computed in parallel)."""
+        self._raise_if_failed()
+        for tasks in self._tasks:
+            tasks.put(("collect", dimension))
+        replies = self._await_replies("snapshot")
+        return [replies[spec.shard_index] for spec in self._specs]  # type: ignore[misc]
+
+    def stored_points(self) -> int:
+        """Total weighted points held across the worker processes."""
+        self._raise_if_failed()
+        for tasks in self._tasks:
+            tasks.put(("stats",))
+        replies = self._await_replies("stats")
+        return sum(int(value) for value in replies.values())
+
+    def close(self) -> None:
+        """Stop workers, join them, and unlink every shared-memory slab.
+
+        Idempotent, and guaranteed to leave no live worker processes: a
+        worker that does not exit within the stall timeout is terminated.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for process, tasks in zip(self._processes, self._tasks):
+            if process.is_alive():
+                try:
+                    tasks.put(("stop",))
+                except (ValueError, OSError):  # pragma: no cover - closed queue
+                    pass
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5.0)
+        for ring in self._rings:
+            if ring is not None:
+                ring.destroy()
+        self._rings = [None] * len(self._specs)
+        for tasks in self._tasks:
+            tasks.close()
+            tasks.cancel_join_thread()
+        self._results.close()
+        self._results.cancel_join_thread()
+
+
+def make_backend(
+    name: str,
+    specs: Sequence[_ShardSpec],
+    queue_depth: int = 8,
+    slot_rows: int | None = None,
+    start_method: str | None = None,
+):
+    """Instantiate an executor backend by name (see :data:`BACKENDS`)."""
+    if name == "serial":
+        return SerialBackend(specs, queue_depth=queue_depth)
+    if name == "thread":
+        return ThreadBackend(specs, queue_depth=queue_depth)
+    if name == "process":
+        return ProcessBackend(
+            specs,
+            queue_depth=queue_depth,
+            slot_rows=slot_rows,
+            start_method=start_method,
+        )
+    raise ValueError(f"unknown backend {name!r}; available: {BACKENDS}")

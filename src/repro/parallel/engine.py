@@ -1,0 +1,315 @@
+"""The multi-core sharded ingestion engine.
+
+:class:`ShardedEngine` is the coordinator of the parallel answer to the
+paper's "clustering on distributed and parallel streams" open question.  Its
+dataflow::
+
+                      router (round_robin | hash | random)
+    insert_batch ──►  split into per-shard blocks (vectorized, zero copy)
+                      │
+                      ▼
+    bounded per-shard work queues ──► shard workers (serial | thread | process)
+                      each: BucketBuffer → CT/CC/RCC structure
+                      │
+    query ──────────► collect one coreset per shard (Observation 1)
+                      │
+                      ▼
+    union of shard coresets ──► QueryEngine (warm-start Lloyd / cold k-means++)
+
+Updates are coordination-free (each shard summarises only its own slice) and
+queries are cheap because each shard serves its *cached* coreset — exactly
+the decomposition that makes the union-of-coresets merge sound.  The engine
+speaks the standard :class:`~repro.core.base.StreamingClusterer` contract,
+including batched multi-k queries and per-query serving stats, so the
+harness, CLI, and benchmarks drive it like any single-structure clusterer.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Sequence
+
+import numpy as np
+
+from ..core.base import (
+    QueryResult,
+    StreamingClusterer,
+    StreamingConfig,
+    coerce_batch,
+    require_dimension,
+)
+from ..core.cache import CacheStats
+from ..core.serving_mixin import CoresetServingMixin
+from ..coreset.bucket import WeightedPointSet
+from ..queries.serving import QueryStats
+from .backends import BACKENDS, _ShardSpec, make_backend
+from .routing import ROUTING_POLICIES, make_router, spawn_shard_seeds
+from .shard import SHARD_STRUCTURES, ShardSnapshot, StreamShard, make_shard
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine(CoresetServingMixin, StreamingClusterer):
+    """Parallel sharded ingestion with merged coreset queries.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration applied to every shard.  ``config.seed``
+        also seeds the query-time randomness and (via
+        :func:`~repro.parallel.routing.spawn_shard_seeds`) each shard's
+        independent sampling stream.
+    num_shards:
+        Number of shard workers.
+    routing:
+        How points are assigned to shards: ``"round_robin"`` (default),
+        ``"hash"`` (content-stable), or ``"random"``.
+    backend:
+        Executor backend: ``"serial"`` (inline, deterministic), ``"thread"``
+        (one worker thread per shard), or ``"process"`` (one worker process
+        per shard with shared-memory batch handoff).
+    structure:
+        Clustering structure each shard runs: ``"ct"``, ``"cc"`` (default),
+        or ``"rcc"``.
+    nesting_depth:
+        RCC nesting depth for ``structure="rcc"`` shards (ignored otherwise).
+    queue_depth:
+        Bound of each shard's work queue (blocks the coordinator when a
+        shard falls this many submissions behind).
+    slot_rows:
+        Rows per shared-memory slot for the process backend (default: twice
+        the bucket size, at least 1024).  Ignored by other backends.
+    start_method:
+        Multiprocessing start method for the process backend (default:
+        ``"fork"`` where available, else ``"spawn"``).
+    shard_factory:
+        Test hook: replaces :func:`~repro.parallel.shard.make_shard` to build
+        custom shard objects (must be picklable for spawn-based workers).
+    """
+
+    def __init__(
+        self,
+        config: StreamingConfig,
+        num_shards: int = 4,
+        routing: str = "round_robin",
+        backend: str = "serial",
+        structure: str = "cc",
+        nesting_depth: int = 3,
+        queue_depth: int = 8,
+        slot_rows: int | None = None,
+        start_method: str | None = None,
+        shard_factory=None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; available: {ROUTING_POLICIES}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; available: {BACKENDS}")
+        if structure not in SHARD_STRUCTURES:
+            raise ValueError(
+                f"unknown shard structure {structure!r}; "
+                f"available: {tuple(SHARD_STRUCTURES)}"
+            )
+        self.config = config
+        self.routing = routing
+        self.backend_name = backend
+        self.structure_name = structure
+        self._router = make_router(routing, num_shards, seed=config.seed)
+        seeds = spawn_shard_seeds(config.seed, num_shards)
+        factory = shard_factory if shard_factory is not None else make_shard
+        specs = [
+            _ShardSpec(
+                config=config,
+                shard_index=index,
+                seed=seeds[index],
+                structure=structure,
+                nesting_depth=nesting_depth,
+                factory=factory,
+            )
+            for index in range(num_shards)
+        ]
+        if slot_rows is None:
+            slot_rows = max(1024, 2 * config.bucket_size)
+        self._backend = make_backend(
+            backend,
+            specs,
+            queue_depth=queue_depth,
+            slot_rows=slot_rows,
+            start_method=start_method,
+        )
+        # Safety net for engines dropped without close(): tears the workers
+        # (and any shared-memory slabs) down when the engine is collected.
+        # Referencing only the backend keeps the engine itself collectable.
+        self._finalizer = weakref.finalize(self, self._backend.close)
+        self._num_shards = num_shards
+        self._loads = [0] * num_shards
+        self._points_seen = 0
+        self._dimension: int | None = None
+        self._closed = False
+        self._rng = np.random.default_rng(config.seed)
+        self._engine = config.make_query_engine()
+        self._last_query_stats: QueryStats | None = None
+        self._last_snapshots: list[ShardSnapshot] | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the backend workers (idempotent; serial is a no-op)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Runs backend.close() exactly once and disarms the GC safety net.
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedEngine is closed")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard workers."""
+        return self._num_shards
+
+    @property
+    def points_seen(self) -> int:
+        """Total number of points routed across all shards."""
+        return self._points_seen
+
+    @property
+    def dimension(self) -> int | None:
+        """Dimensionality of the stream (None until the first point arrives)."""
+        return self._dimension
+
+    @property
+    def shards(self) -> list[StreamShard]:
+        """In-process shard objects (serial/thread only; process raises)."""
+        return self._backend.shards
+
+    def shard_loads(self) -> list[int]:
+        """Points routed to each shard (for load-balance inspection)."""
+        return list(self._loads)
+
+    def flush(self) -> None:
+        """Barrier: block until every queued insert has been applied."""
+        self._require_open()
+        self._backend.sync()
+
+    def last_snapshots(self) -> list[ShardSnapshot] | None:
+        """Per-shard snapshots gathered by the most recent query (None before one)."""
+        return self._last_snapshots
+
+    def cache_stats(self) -> CacheStats | None:
+        """Coreset-cache counters aggregated across shards (from the last query).
+
+        ``None`` for cache-less shard structures (CT) and before the first
+        query, mirroring :meth:`~repro.core.base.ClusteringStructure.cache_stats`.
+        """
+        if self.structure_name == "ct" or self._last_snapshots is None:
+            return None
+        total = CacheStats()
+        for snapshot in self._last_snapshots:
+            total = total.merged_with(
+                CacheStats(
+                    hits=snapshot.cache_hits,
+                    misses=snapshot.cache_misses,
+                    entries=snapshot.cache_entries,
+                )
+            )
+        return total
+
+    # -- ingestion -----------------------------------------------------------
+
+    def insert(self, point: np.ndarray) -> None:
+        """Route one point to its shard (same router state as batches).
+
+        The row is copied before submission, so the caller may freely reuse
+        its buffer — matching every other ``insert()`` in the package even
+        when the backend applies the row asynchronously.
+        """
+        self._require_open()
+        row = np.array(point, dtype=np.float64, copy=True).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
+        shard_index = self._router.route_point(row)
+        self._backend.submit(shard_index, row.reshape(1, -1))
+        self._loads[shard_index] += 1
+        self._points_seen += 1
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Partition a batch across the shards and enqueue the blocks.
+
+        Routing is fully vectorized for every policy (round-robin strided
+        slices, stable content hash, one random draw per batch).  With the
+        thread backend, blocks are handed over by reference — the caller
+        must not mutate the array afterwards (the same aliasing contract as
+        :meth:`~repro.core.driver.StreamClusterDriver.insert_batch`).
+        """
+        self._require_open()
+        arr = coerce_batch(points)
+        n = arr.shape[0]
+        if n == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        for shard_index, block in self._router.split_batch(arr):
+            self._backend.submit(shard_index, block)
+            self._loads[shard_index] += block.shape[0]
+        self._points_seen += n
+
+    # -- queries (through the shared serving pipeline) ------------------------
+
+    def query(self) -> QueryResult:
+        """Merge every shard's coreset and extract ``k`` centers globally."""
+        self._require_open()
+        return self._serve_query(self.config.k)
+
+    def query_multi_k(self, ks: Sequence[int]) -> dict[int, QueryResult]:
+        """Answer a batched k-sweep from ONE cross-shard coreset collection."""
+        self._require_open()
+        return self._serve_multi_k(ks)
+
+    def _coreset_pieces(self) -> WeightedPointSet:
+        """Collect one coreset per shard and union them (Observation 1)."""
+        dimension = self._dimension or 1
+        snapshots = self._backend.collect(dimension)
+        self._last_snapshots = snapshots
+        pieces = [
+            snapshot.coreset for snapshot in snapshots if snapshot.points.shape[0]
+        ]
+        return WeightedPointSet.union_all(pieces, dimension=dimension)
+
+    def _structure_cache_stats(self) -> CacheStats | None:
+        return self.cache_stats()
+
+    def _answered_from_cache(self) -> bool:
+        # CC/RCC shards serve their cached coresets — the merge never
+        # re-walks the full trees.  CT shards have no cache and re-merge.
+        return self.structure_name != "ct"
+
+    # -- accounting ----------------------------------------------------------
+
+    def stored_points(self) -> int:
+        """Total weighted points held across all shards."""
+        self._require_open()
+        return self._backend.stored_points()
+
+    # -- compatibility -------------------------------------------------------
+
+    def _route(self, point: np.ndarray) -> int:
+        """Shard index for one point (kept for the simulation-era API)."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        return self._router.route_point(row)

@@ -1,0 +1,202 @@
+"""The shard worker: one clustering structure plus its partial base bucket.
+
+A :class:`StreamShard` is the unit of work behind every backend: the serial
+backend calls it inline, the thread backend gives each shard its own worker
+thread, and the process backend builds one inside each worker process (the
+construction arguments — config, index, seed, structure name — are all
+picklable, so shards never cross process boundaries themselves).
+
+Shards communicate with the coordinator through :class:`ShardSnapshot`: the
+shard-local coreset (Observation 1: the union of per-shard coresets is a
+coreset of the union) plus the accounting counters the engine aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import StreamingConfig, coerce_batch, require_dimension
+from ..core.buffer import BucketBuffer
+from ..core.cached_tree import CachedCoresetTree
+from ..core.coreset_tree import CoresetTree
+from ..core.recursive_cache import RecursiveCachedTree
+from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
+from ..coreset.construction import CoresetConstructor
+
+__all__ = ["SHARD_STRUCTURES", "ShardSnapshot", "StreamShard", "make_shard"]
+
+
+def _make_ct(constructor: CoresetConstructor, config: StreamingConfig, nesting_depth: int):
+    return CoresetTree(constructor, merge_degree=config.merge_degree)
+
+
+def _make_cc(constructor: CoresetConstructor, config: StreamingConfig, nesting_depth: int):
+    return CachedCoresetTree(constructor, merge_degree=config.merge_degree)
+
+
+def _make_rcc(constructor: CoresetConstructor, config: StreamingConfig, nesting_depth: int):
+    return RecursiveCachedTree(constructor, nesting_depth=nesting_depth)
+
+
+# Structure factories by registry name; module-level functions so that shard
+# construction arguments stay picklable for the process backend.
+SHARD_STRUCTURES = {"ct": _make_ct, "cc": _make_cc, "rcc": _make_rcc}
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """What one shard ships back to the coordinator at a collection barrier.
+
+    Attributes
+    ----------
+    shard_index:
+        Which shard produced this snapshot.
+    points / weights:
+        The shard-local coreset (structure coreset unioned with the partial
+        base bucket); empty arrays when the shard has seen no points.
+    points_seen:
+        Stream points routed to this shard so far.
+    stored_points:
+        Weighted points held by the shard (structure plus partial bucket).
+    cache_hits / cache_misses / cache_entries:
+        The shard structure's coreset-cache counters (zero for CT shards).
+    """
+
+    shard_index: int
+    points: np.ndarray
+    weights: np.ndarray
+    points_seen: int
+    stored_points: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_entries: int = 0
+
+    @property
+    def coreset(self) -> WeightedPointSet:
+        """The shard-local coreset as a weighted point set."""
+        return WeightedPointSet(points=self.points, weights=self.weights)
+
+
+class StreamShard:
+    """One shard: a clustering structure plus its partial base bucket.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration (bucket size, coreset method, ...).
+    shard_index:
+        This shard's position in the engine (also used in diagnostics).
+    seed:
+        Sampling seed for this shard's coreset constructions.  Callers should
+        derive it via :func:`~repro.parallel.routing.spawn_shard_seeds`; when
+        omitted it falls back to that derivation from ``config.seed``.
+    structure:
+        Which clustering structure backs the shard: ``"ct"``, ``"cc"``
+        (default; the cheap cached per-shard query is what makes global
+        queries fast), or ``"rcc"``.
+    nesting_depth:
+        RCC nesting depth (ignored by CT/CC shards).
+    """
+
+    def __init__(
+        self,
+        config: StreamingConfig,
+        shard_index: int,
+        seed: int | None = None,
+        structure: str = "cc",
+        nesting_depth: int = 3,
+    ) -> None:
+        if structure not in SHARD_STRUCTURES:
+            raise ValueError(
+                f"unknown shard structure {structure!r}; "
+                f"available: {tuple(SHARD_STRUCTURES)}"
+            )
+        self.shard_index = shard_index
+        self.config = config
+        self.structure_name = structure
+        if seed is None and config.seed is not None:
+            from .routing import spawn_shard_seeds
+
+            seed = spawn_shard_seeds(config.seed, shard_index + 1)[shard_index]
+        self._constructor = CoresetConstructor(config.coreset_config(), seed=seed)
+        self._structure = SHARD_STRUCTURES[structure](
+            self._constructor, config, nesting_depth
+        )
+        self._buffer = BucketBuffer(config.bucket_size)
+        self._dimension: int | None = None
+        self.points_seen = 0
+
+    @property
+    def structure(self):
+        """The shard's clustering structure (exposed for tests)."""
+        return self._structure
+
+    def insert(self, point: np.ndarray) -> None:
+        """Add one point to this shard's local state."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
+        self._buffer.append(row)
+        self.points_seen += 1
+        if self._buffer.is_full:
+            index = self._structure.num_base_buckets + 1
+            data = WeightedPointSet.from_points(self._buffer.drain())
+            self._structure.insert_bucket(
+                Bucket(data=data, start=index, end=index, level=0)
+            )
+
+    def insert_batch(self, points: np.ndarray) -> None:
+        """Add a batch to this shard: full buckets are sliced, not looped."""
+        arr = coerce_batch(points)
+        if arr.shape[0] == 0:
+            return
+        self._dimension = require_dimension(self._dimension, arr.shape[1])
+        blocks = self._buffer.take_full_blocks(arr)
+        self.points_seen += arr.shape[0]
+        if blocks:
+            self._structure.insert_buckets(
+                make_base_buckets(blocks, self._structure.num_base_buckets + 1)
+            )
+
+    def local_coreset(self, dimension: int) -> WeightedPointSet:
+        """This shard's contribution to a global query (cached coreset + partial bucket)."""
+        coreset = self._structure.query_coreset()
+        if not self._buffer.is_empty:
+            partial = WeightedPointSet.from_points(self._buffer.snapshot())
+            coreset = coreset.union(partial) if coreset.size else partial
+        if coreset.size == 0:
+            return WeightedPointSet.empty(dimension)
+        return coreset
+
+    def stored_points(self) -> int:
+        """Points held by this shard (structure plus partial bucket)."""
+        return self._structure.stored_points() + self._buffer.size
+
+    def snapshot(self, dimension: int) -> ShardSnapshot:
+        """Materialise the shard's coreset and counters for the coordinator."""
+        coreset = self.local_coreset(dimension)
+        cache = self._structure.cache_stats()
+        return ShardSnapshot(
+            shard_index=self.shard_index,
+            points=coreset.points,
+            weights=coreset.weights,
+            points_seen=self.points_seen,
+            stored_points=self.stored_points(),
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
+            cache_entries=cache.entries if cache is not None else 0,
+        )
+
+
+def make_shard(
+    config: StreamingConfig,
+    shard_index: int,
+    seed: int | None,
+    structure: str,
+    nesting_depth: int = 3,
+) -> StreamShard:
+    """Default shard factory (module-level so it pickles for process workers)."""
+    return StreamShard(
+        config, shard_index, seed=seed, structure=structure, nesting_depth=nesting_depth
+    )

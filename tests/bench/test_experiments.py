@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     memory_table,
     poisson_queries,
     rcc_tradeoffs,
+    scaling_profile,
     threshold_sweep,
     time_vs_bucket_size,
     time_vs_query_interval,
@@ -182,3 +183,24 @@ class TestTables:
         assert rows[0]["outer_merge_degree"] == 2.0
         assert rows[1]["outer_merge_degree"] == 4.0
         assert all(row["stored_points"] > 0 for row in rows)
+
+
+class TestScalingProfile:
+    def test_structure_and_baseline(self, small_stream):
+        profile = scaling_profile(
+            small_stream,
+            shard_counts=(1, 2),
+            backends=("serial", "thread"),
+            k=4,
+            coreset_size=100,
+            seed=0,
+        )
+        assert set(profile) == {"serial", "thread"}
+        for backend in profile:
+            assert set(profile[backend]) == {1, 2}
+            for cell in profile[backend].values():
+                assert cell["seconds"] > 0
+                assert cell["points_per_second"] > 0
+                assert cell["speedup_vs_baseline"] > 0
+        # The 1-shard serial cell IS the baseline.
+        assert profile["serial"][1]["speedup_vs_baseline"] == pytest.approx(1.0)

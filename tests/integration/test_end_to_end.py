@@ -140,6 +140,44 @@ class TestDatasetsEndToEnd:
         assert result.memory.points_stored > 0
 
 
+class TestShardedQualityRegression:
+    """Observation 1 pinned empirically: sharding must not cost accuracy.
+
+    A union of per-shard coresets is a coreset of the union, so the
+    4-shard engine's query cost at equal ``m`` must stay within 1.10x of
+    the single-structure CC cost.  Individual (seed, dataset) ratios are
+    deterministic but wobble with k-means local optima in both directions,
+    so the bound is asserted on the geometric-mean ratio across seeds, with
+    a loose per-seed cap against catastrophic degradation.
+    """
+
+    @pytest.mark.parametrize("dataset", ["covtype", "drift"])
+    def test_sharded_cost_within_1_10x_of_single_cc(self, dataset):
+        from repro.parallel import ShardedEngine
+
+        info = load_dataset(dataset, num_points=6000, seed=0)
+        points = info.points
+        ratios = []
+        for seed in (0, 1, 2):
+            config = StreamingConfig(
+                k=10, coreset_size=200, n_init=5, lloyd_iterations=20, seed=seed
+            )
+            single = make_algorithm("cc", config)
+            single.insert_batch(points)
+            single_cost = kmeans_cost(points, single.query().centers)
+
+            with ShardedEngine(config, num_shards=4, routing="round_robin") as engine:
+                engine.insert_batch(points)
+                sharded_cost = kmeans_cost(points, engine.query().centers)
+
+            ratio = sharded_cost / single_cost
+            assert ratio <= 1.5, f"seed {seed}: sharded cost degraded {ratio:.2f}x"
+            ratios.append(ratio)
+
+        geomean = float(np.exp(np.mean(np.log(ratios))))
+        assert geomean <= 1.10, f"sharded/single cost geomean {geomean:.3f} > 1.10"
+
+
 class TestMemoryRelationships:
     def test_table4_ordering(self, mixture_stream, fast_config):
         """streamkm++ <= CC ≈ OnlineCC <= RCC in stored points (Table 4)."""

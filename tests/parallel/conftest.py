@@ -1,0 +1,57 @@
+"""Shared fixtures for the parallel-engine test battery.
+
+Two environment knobs keep CI runtime bounded (see ``.github/workflows/ci.yml``):
+
+* ``REPRO_TEST_BACKENDS`` — comma-separated subset of
+  ``serial,thread,process`` to exercise (default: all three);
+* ``REPRO_TEST_SHARDS`` — shard count used by the parametrized tests
+  (default: 3).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+
+
+def enabled_backends() -> tuple[str, ...]:
+    """The executor backends selected via ``REPRO_TEST_BACKENDS``."""
+    raw = os.environ.get("REPRO_TEST_BACKENDS", "serial,thread,process")
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    return names or ("serial",)
+
+
+def num_test_shards() -> int:
+    """The shard count selected via ``REPRO_TEST_SHARDS`` (default 3)."""
+    return max(2, int(os.environ.get("REPRO_TEST_SHARDS", "3")))
+
+
+@pytest.fixture(params=enabled_backends())
+def backend(request) -> str:
+    """Parametrized over every enabled executor backend."""
+    return request.param
+
+
+@pytest.fixture()
+def shards() -> int:
+    """Shard count for parametrized engine tests."""
+    return num_test_shards()
+
+
+@pytest.fixture()
+def parallel_config() -> StreamingConfig:
+    """Small, fast configuration shared across the parallel tests."""
+    return StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def stream_points() -> np.ndarray:
+    """A mixed 4-cluster stream (3000 x 5) used across the parallel tests."""
+    rng = np.random.default_rng(42)
+    centers = rng.normal(scale=15.0, size=(4, 5))
+    labels = rng.integers(0, 4, size=3000)
+    return centers[labels] + rng.normal(scale=1.0, size=(3000, 5))

@@ -1,0 +1,192 @@
+"""Unit tests for the sharded ingestion engine across backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import CachedCoresetTreeClusterer, StreamClusterDriver
+from repro.extensions.distributed import DistributedCoordinator
+from repro.kmeans.cost import kmeans_cost
+from repro.parallel import ShardedEngine
+
+
+class TestConstruction:
+    def test_invalid_parameters(self, parallel_config):
+        with pytest.raises(ValueError):
+            ShardedEngine(parallel_config, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedEngine(parallel_config, routing="broadcast")
+        with pytest.raises(ValueError):
+            ShardedEngine(parallel_config, backend="gpu")
+        with pytest.raises(ValueError):
+            ShardedEngine(parallel_config, structure="kdtree")
+
+    def test_query_before_points_raises(self, parallel_config, backend):
+        with ShardedEngine(parallel_config, num_shards=2, backend=backend) as engine:
+            with pytest.raises(RuntimeError):
+                engine.query()
+
+    def test_driver_sharded_constructor_path(self, parallel_config):
+        engine = CachedCoresetTreeClusterer.sharded(parallel_config, num_shards=2)
+        try:
+            assert isinstance(engine, ShardedEngine)
+            assert engine.structure_name == "cc"
+            assert engine.num_shards == 2
+        finally:
+            engine.close()
+
+    def test_generic_driver_has_no_shard_structure(self, parallel_config):
+        with pytest.raises(TypeError):
+            StreamClusterDriver.sharded(parallel_config, num_shards=2)
+
+    @pytest.mark.parametrize("structure", ["ct", "cc", "rcc"])
+    def test_all_shard_structures(self, parallel_config, stream_points, structure):
+        with ShardedEngine(
+            parallel_config, num_shards=2, structure=structure
+        ) as engine:
+            engine.insert_batch(stream_points[:500])
+            result = engine.query()
+            assert result.centers.shape == (parallel_config.k, 5)
+            # CT shards have no coreset cache; CC/RCC serve cached coresets.
+            assert result.from_cache == (structure != "ct")
+            assert (engine.cache_stats() is None) == (structure == "ct")
+
+    def test_rcc_shards_respect_nesting_depth(self, parallel_config):
+        with ShardedEngine(
+            parallel_config, num_shards=2, structure="rcc", nesting_depth=1
+        ) as engine:
+            assert all(
+                shard.structure.nesting_depth == 1 for shard in engine.shards
+            )
+
+
+class TestIngestion:
+    def test_round_robin_balances_load(self, parallel_config, stream_points, backend, shards):
+        with ShardedEngine(
+            parallel_config, num_shards=shards, backend=backend
+        ) as engine:
+            engine.insert_batch(stream_points[:1000])
+            loads = engine.shard_loads()
+            assert sum(loads) == 1000
+            assert max(loads) - min(loads) <= 1
+            assert engine.points_seen == 1000
+
+    def test_per_point_matches_batch_routing(self, parallel_config, stream_points):
+        batched = ShardedEngine(parallel_config, num_shards=3)
+        pointwise = ShardedEngine(parallel_config, num_shards=3)
+        batched.insert_batch(stream_points[:120])
+        for row in stream_points[:120]:
+            pointwise.insert(row)
+        assert batched.shard_loads() == pointwise.shard_loads()
+        for left, right in zip(batched.shards, pointwise.shards):
+            assert left.points_seen == right.points_seen
+        batched.close()
+        pointwise.close()
+
+    def test_dimension_mismatch(self, parallel_config, backend):
+        with ShardedEngine(parallel_config, num_shards=2, backend=backend) as engine:
+            engine.insert(np.zeros(4))
+            with pytest.raises(ValueError):
+                engine.insert(np.zeros(2))
+            with pytest.raises(ValueError):
+                engine.insert_batch(np.zeros((3, 6)))
+
+    def test_empty_batch_is_a_no_op(self, parallel_config):
+        with ShardedEngine(parallel_config, num_shards=2) as engine:
+            engine.insert_batch(np.empty((0, 4)))
+            assert engine.points_seen == 0
+
+    def test_flush_is_a_barrier(self, parallel_config, stream_points, backend):
+        with ShardedEngine(parallel_config, num_shards=2, backend=backend) as engine:
+            engine.insert_batch(stream_points[:700])
+            engine.flush()
+            # After the barrier every routed point is inside a shard.
+            assert engine.stored_points() > 0
+            assert sum(engine.shard_loads()) == 700
+
+
+class TestQueries:
+    def test_global_query_quality(self, parallel_config, stream_points, backend):
+        with ShardedEngine(
+            parallel_config, num_shards=4, backend=backend
+        ) as engine:
+            engine.insert_batch(stream_points)
+            result = engine.query()
+            assert result.centers.shape == (4, 5)
+            assert result.from_cache
+            cost = kmeans_cost(stream_points, result.centers)
+            assert np.isfinite(cost) and cost > 0
+
+    def test_warm_start_on_repeat_queries(self, parallel_config, stream_points):
+        with ShardedEngine(parallel_config, num_shards=2) as engine:
+            engine.insert_batch(stream_points[:1500])
+            first = engine.query()
+            second = engine.query()
+            assert not first.warm_start
+            assert second.warm_start
+            assert engine.query_engine.warm_queries >= 1
+
+    def test_query_stats_and_cache_aggregation(self, parallel_config, stream_points, backend):
+        with ShardedEngine(
+            parallel_config, num_shards=2, backend=backend
+        ) as engine:
+            engine.insert_batch(stream_points[:1200])
+            result = engine.query()
+            stats = result.stats
+            assert stats is not None
+            assert stats.coreset_points == result.coreset_points
+            snapshots = engine.last_snapshots()
+            assert snapshots is not None and len(snapshots) == 2
+            aggregated = engine.cache_stats()
+            assert aggregated is not None
+            assert aggregated.lookups == sum(
+                s.cache_hits + s.cache_misses for s in snapshots
+            )
+
+    def test_query_multi_k(self, parallel_config, stream_points, backend):
+        with ShardedEngine(
+            parallel_config, num_shards=2, backend=backend
+        ) as engine:
+            engine.insert_batch(stream_points[:1000])
+            sweep = engine.query_multi_k([2, 4])
+            assert set(sweep) == {2, 4}
+            assert sweep[2].centers.shape[0] == 2
+            assert sweep[4].centers.shape[0] == 4
+
+    def test_stored_points_matches_shard_sum(self, parallel_config, stream_points):
+        with ShardedEngine(parallel_config, num_shards=3) as engine:
+            engine.insert_batch(stream_points[:900])
+            per_shard = [shard.stored_points() for shard in engine.shards]
+            assert engine.stored_points() == sum(per_shard)
+            assert all(points > 0 for points in per_shard)
+
+
+class TestDistributedCoordinatorRebase:
+    def test_serial_default_and_api(self, parallel_config):
+        coordinator = DistributedCoordinator(parallel_config, num_shards=2)
+        assert coordinator.backend_name == "serial"
+        assert coordinator.structure_name == "cc"
+        assert isinstance(coordinator, ShardedEngine)
+
+    def test_coordinator_matches_engine_bitwise(self, parallel_config, stream_points):
+        """The rebased coordinator is exactly a serial CC ShardedEngine."""
+        coordinator = DistributedCoordinator(parallel_config, num_shards=3)
+        engine = ShardedEngine(parallel_config, num_shards=3, backend="serial")
+        for offset in range(0, 1500, 400):
+            block = stream_points[offset : offset + 400]
+            coordinator.insert_batch(block)
+            engine.insert_batch(block)
+        left = coordinator.query()
+        right = engine.query()
+        assert np.array_equal(left.centers, right.centers)
+        assert left.coreset_points == right.coreset_points
+
+    def test_coordinator_on_parallel_backend(self, parallel_config, stream_points, backend):
+        with DistributedCoordinator(
+            parallel_config, num_shards=2, backend=backend
+        ) as coordinator:
+            coordinator.insert_batch(stream_points[:800])
+            result = coordinator.query()
+            assert result.centers.shape == (4, 5)

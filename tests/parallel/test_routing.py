@@ -1,0 +1,175 @@
+"""Unit tests for routing policies and per-shard seed derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.routing import (
+    HashRouter,
+    RandomRouter,
+    RoundRobinRouter,
+    make_router,
+    spawn_shard_seeds,
+    stable_row_hash,
+)
+
+
+def _gather(blocks, num_shards):
+    """Per-shard row lists from a split_batch result."""
+    out = {index: [] for index in range(num_shards)}
+    for shard_index, block in blocks:
+        out[shard_index].append(block)
+    return {
+        index: (np.vstack(parts) if parts else np.empty((0,)))
+        for index, parts in out.items()
+    }
+
+
+class TestStableRowHash:
+    def test_deterministic_across_calls(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(64, 7))
+        assert np.array_equal(stable_row_hash(arr), stable_row_hash(arr))
+
+    def test_row_hash_matches_single_row(self):
+        rng = np.random.default_rng(1)
+        arr = rng.normal(size=(16, 3))
+        whole = stable_row_hash(arr)
+        each = np.array([stable_row_hash(row)[0] for row in arr])
+        assert np.array_equal(whole, each)
+
+    def test_distinct_rows_rarely_collide(self):
+        rng = np.random.default_rng(2)
+        arr = rng.normal(size=(512, 4))
+        assert len(set(stable_row_hash(arr).tolist())) == 512
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            stable_row_hash(np.zeros((2, 2, 2)))
+
+    def test_non_contiguous_input(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(32, 8))
+        strided = base[::2, ::2]
+        assert np.array_equal(
+            stable_row_hash(strided), stable_row_hash(np.ascontiguousarray(strided))
+        )
+
+
+class TestSpawnShardSeeds:
+    def test_none_propagates(self):
+        assert spawn_shard_seeds(None, 3) == [None, None, None]
+
+    def test_reproducible(self):
+        assert spawn_shard_seeds(7, 4) == spawn_shard_seeds(7, 4)
+
+    def test_independent_of_shard_count(self):
+        """Shard i's stream must not change when the cluster is resized."""
+        assert spawn_shard_seeds(7, 2) == spawn_shard_seeds(7, 8)[:2]
+
+    def test_distinct_within_an_engine(self):
+        seeds = spawn_shard_seeds(0, 16)
+        assert len(set(seeds)) == 16
+
+    def test_regression_no_cross_coordinator_collisions(self):
+        """The old ``seed + shard_index`` scheme made coordinator seed=0
+        shard 1 share its sampling stream with coordinator seed=1 shard 0."""
+        a = spawn_shard_seeds(0, 4)
+        b = spawn_shard_seeds(1, 4)
+        assert not set(a) & set(b)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_shard_seeds(0, 0)
+
+
+class TestRoundRobinRouter:
+    def test_balances_and_preserves_order(self):
+        router = RoundRobinRouter(3)
+        arr = np.arange(20.0).reshape(10, 2)
+        shards = _gather(router.split_batch(arr), 3)
+        sizes = sorted(block.shape[0] for block in shards.values())
+        assert sizes == [3, 3, 4]
+        for index, block in shards.items():
+            assert np.array_equal(block, arr[index::3])
+
+    def test_point_and_batch_share_the_cursor(self):
+        batch_router = RoundRobinRouter(3)
+        point_router = RoundRobinRouter(3)
+        arr = np.arange(14.0).reshape(7, 2)
+        batched = _gather(batch_router.split_batch(arr), 3)
+        point_wise = {index: [] for index in range(3)}
+        for row in arr:
+            point_wise[point_router.route_point(row)].append(row)
+        for index in range(3):
+            expected = np.vstack(point_wise[index]) if point_wise[index] else None
+            if expected is None:
+                assert batched[index].shape[0] == 0
+            else:
+                assert np.array_equal(batched[index], expected)
+        # The cursor carries over: the next point goes where the batch left off.
+        assert batch_router.route_point(arr[0]) == point_router.route_point(arr[0])
+
+
+class TestHashRouter:
+    def test_stateless_and_content_keyed(self):
+        router = HashRouter(4)
+        point = np.array([1.0, 2.0, 3.0])
+        assert router.route_point(point) == router.route_point(point)
+
+    def test_batch_matches_per_point(self):
+        router = HashRouter(4)
+        arr = np.random.default_rng(5).normal(size=(40, 3))
+        shards = _gather(router.split_batch(arr), 4)
+        for row in arr:
+            index = router.route_point(row)
+            assert any(np.array_equal(row, stored) for stored in shards[index])
+
+    def test_invariant_to_batch_boundaries(self):
+        arr = np.random.default_rng(6).normal(size=(60, 4))
+        one = _gather(HashRouter(3).split_batch(arr), 3)
+        router = HashRouter(3)
+        pieces = [arr[:13], arr[13:37], arr[37:]]
+        accumulated = {index: [] for index in range(3)}
+        for piece in pieces:
+            for shard_index, block in router.split_batch(piece):
+                accumulated[shard_index].append(block)
+        for index in range(3):
+            rebuilt = (
+                np.vstack(accumulated[index])
+                if accumulated[index]
+                else np.empty((0, 4))
+            )
+            if one[index].shape[0] == 0:
+                assert rebuilt.shape[0] == 0
+            else:
+                assert np.array_equal(one[index], rebuilt)
+
+
+class TestRandomRouter:
+    def test_seeded_reproducibility(self):
+        arr = np.random.default_rng(7).normal(size=(50, 3))
+        a = _gather(RandomRouter(4, seed=9).split_batch(arr), 4)
+        b = _gather(RandomRouter(4, seed=9).split_batch(arr), 4)
+        for index in range(4):
+            assert np.array_equal(a[index], b[index])
+
+    def test_covers_all_shards(self):
+        arr = np.random.default_rng(8).normal(size=(400, 2))
+        shards = _gather(RandomRouter(4, seed=0).split_batch(arr), 4)
+        assert all(block.shape[0] > 0 for block in shards.values())
+
+
+class TestMakeRouter:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_router("broadcast", 2)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            make_router("round_robin", 0)
+
+    @pytest.mark.parametrize("policy", ["round_robin", "hash", "random"])
+    def test_policy_attribute(self, policy):
+        assert make_router(policy, 2, seed=0).policy == policy

@@ -63,6 +63,51 @@ class TestCommands:
         assert "Run summary" in out
         assert "cc" in out
 
+    def test_run_command_sharded(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--algorithm",
+                "cc",
+                "--dataset",
+                "power",
+                "--k",
+                "4",
+                "--num-points",
+                "1200",
+                "--query-interval",
+                "600",
+                "--shards",
+                "2",
+                "--backend",
+                "thread",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Run summary" in out
+        assert "ccx2[thread]" in out
+
+    def test_run_sharded_rejects_non_tree_algorithms(self):
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "run",
+                    "--algorithm",
+                    "sequential",
+                    "--dataset",
+                    "power",
+                    "--num-points",
+                    "500",
+                    "--shards",
+                    "2",
+                ]
+            )
+
+    def test_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--shards", "2", "--backend", "gpu"])
+
     def test_run_command_poisson(self, capsys):
         exit_code = main(
             [
