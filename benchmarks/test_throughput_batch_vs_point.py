@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.bench.harness import StreamingExperiment, run_experiment
 from repro.core.base import StreamingConfig

@@ -16,7 +16,6 @@ Run with:  python examples/drift_monitoring.py
 
 from __future__ import annotations
 
-import numpy as np
 from _example_utils import scaled
 
 from repro import OnlineCCClusterer, StreamingConfig, kmeans_cost

@@ -9,8 +9,11 @@ Queries"* (Zhang, Tangwongsan, Tirthapura; ICDE 2017).  The package provides:
 * the substrates they depend on — k-means++/Lloyd, sensitivity-sampling
   coresets, merge-and-reduce buckets;
 * baselines (Sequential k-means, streamkm++, BIRCH, CluStream, STREAMLS);
-* dataset generators mirroring the paper's evaluation data; and
-* a benchmark harness that reproduces every figure and table of Section 5.
+* dataset generators mirroring the paper's evaluation data;
+* a benchmark harness that reproduces every figure and table of Section 5; and
+* checkpoint/restore of live clusterer state (:mod:`repro.checkpoint`):
+  ``clusterer.snapshot(path)`` / ``Class.restore(path)`` resume ingestion
+  bit-identically after a process restart.
 
 Quickstart::
 
@@ -28,6 +31,7 @@ from .baselines import (
     StreamKMpp,
     StreamLSClusterer,
 )
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .core import (
     CacheStats,
     CachedCoresetTree,
@@ -87,5 +91,8 @@ __all__ = [
     "QueryStats",
     "ShardedEngine",
     "ShardWorkerError",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
     "__version__",
 ]

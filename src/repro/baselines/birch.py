@@ -79,6 +79,8 @@ class BirchClusterer(StreamingClusterer):
         Seed for the query-time k-means.
     """
 
+    checkpoint_name = "birch"
+
     def __init__(
         self,
         k: int,
@@ -164,6 +166,59 @@ class BirchClusterer(StreamingClusterer):
     def stored_points(self) -> int:
         """Each CF stores the equivalent of one weighted point."""
         return len(self._features)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        # The distance threshold is *state*, not config: _compact doubles it
+        # as the stream grows, so it must not perturb the fingerprint.
+        return {"k": self.k, "max_features": self.max_features}
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        features = None
+        if self._features:
+            features = {
+                "counts": np.array([cf.count for cf in self._features]),
+                "linear_sums": np.vstack([cf.linear_sum for cf in self._features]),
+                "square_sums": np.array([cf.square_sum for cf in self._features]),
+            }
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "threshold": self.threshold,
+            "rng": rng_state(self._rng),
+            "features": features,
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint.state import rng_from_state
+
+        cls._reject_overrides(overrides)
+        config = manifest["config"]
+        clusterer = cls(
+            int(config["k"]),
+            threshold=float(state["threshold"]),
+            max_features=int(config["max_features"]),
+        )
+        clusterer._points_seen = int(state["points_seen"])
+        clusterer._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        clusterer._rng = rng_from_state(state["rng"])
+        features = state["features"]
+        if features is not None:
+            for count, linear_sum, square_sum in zip(
+                features["counts"], features["linear_sums"], features["square_sums"]
+            ):
+                cf = ClusteringFeature(linear_sum)  # placeholder stats, overwritten
+                cf.count = float(count)
+                cf.linear_sum = np.asarray(linear_sum, dtype=np.float64).copy()
+                cf.square_sum = float(square_sum)
+                clusterer._features.append(cf)
+        return clusterer
 
     def _compact(self) -> None:
         """Double the threshold and merge closest CF pairs until within capacity."""

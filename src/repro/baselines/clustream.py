@@ -87,6 +87,8 @@ class CluStreamClusterer(StreamingClusterer):
         Seed for the query-time k-means.
     """
 
+    checkpoint_name = "clustream"
+
     def __init__(
         self,
         k: int,
@@ -178,6 +180,72 @@ class CluStreamClusterer(StreamingClusterer):
     def stored_points(self) -> int:
         """Each microcluster stores the equivalent of one weighted point."""
         return len(self._clusters)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {
+            "k": self.k,
+            "num_microclusters": self.num_microclusters,
+            "boundary_factor": self.boundary_factor,
+            "recency_horizon": self.recency_horizon,
+        }
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        clusters = None
+        if self._clusters:
+            clusters = {
+                "counts": np.array([mc.count for mc in self._clusters]),
+                "linear_sums": np.vstack([mc.linear_sum for mc in self._clusters]),
+                "square_sums": np.array([mc.square_sum for mc in self._clusters]),
+                "time_sums": np.array([mc.time_sum for mc in self._clusters]),
+                "last_updates": np.array(
+                    [mc.last_update for mc in self._clusters], dtype=np.int64
+                ),
+            }
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "rng": rng_state(self._rng),
+            "clusters": clusters,
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint.state import rng_from_state
+
+        cls._reject_overrides(overrides)
+        config = manifest["config"]
+        clusterer = cls(
+            int(config["k"]),
+            num_microclusters=int(config["num_microclusters"]),
+            boundary_factor=float(config["boundary_factor"]),
+            recency_horizon=int(config["recency_horizon"]),
+        )
+        clusterer._points_seen = int(state["points_seen"])
+        clusterer._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        clusterer._rng = rng_from_state(state["rng"])
+        clusters = state["clusters"]
+        if clusters is not None:
+            for count, linear_sum, square_sum, time_sum, last_update in zip(
+                clusters["counts"],
+                clusters["linear_sums"],
+                clusters["square_sums"],
+                clusters["time_sums"],
+                clusters["last_updates"],
+            ):
+                mc = MicroCluster(linear_sum, 0)  # placeholder stats, overwritten
+                mc.count = float(count)
+                mc.linear_sum = np.asarray(linear_sum, dtype=np.float64).copy()
+                mc.square_sum = float(square_sum)
+                mc.time_sum = float(time_sum)
+                mc.last_update = int(last_update)
+                clusterer._clusters.append(mc)
+        return clusterer
 
     def _boundary(self, index: int, distances: np.ndarray) -> float:
         cluster = self._clusters[index]

@@ -27,6 +27,8 @@ class SequentialKMeans(StreamingClusterer):
         Number of cluster centers to maintain.
     """
 
+    checkpoint_name = "sequential"
+
     def __init__(self, k: int) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -84,3 +86,25 @@ class SequentialKMeans(StreamingClusterer):
     def stored_points(self) -> int:
         """Only the ``k`` centers are stored."""
         return self.k if self._state is not None else 0
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {"k": self.k}
+
+    def _state_tree(self) -> dict:
+        return {
+            "points_seen": self._points_seen,
+            "online": None if self._state is None else self._state.state_dict(),
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        cls._reject_overrides(overrides)
+        clusterer = cls(int(manifest["config"]["k"]))
+        clusterer._points_seen = int(state["points_seen"])
+        online = state["online"]
+        clusterer._state = (
+            None if online is None else SequentialKMeansState.from_state(online)
+        )
+        return clusterer

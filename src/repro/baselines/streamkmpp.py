@@ -28,5 +28,7 @@ class StreamKMpp(CoresetTreeClusterer):
     to 2, because that is what defines streamkm++.
     """
 
+    checkpoint_name = "streamkm++"
+
     def __init__(self, config: StreamingConfig) -> None:
         super().__init__(streamkmpp_config(config))

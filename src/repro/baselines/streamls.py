@@ -65,6 +65,8 @@ class StreamLSClusterer(StreamingClusterer):
         Seed for all internal k-means++ runs.
     """
 
+    checkpoint_name = "streamls"
+
     def __init__(
         self,
         k: int,
@@ -159,6 +161,52 @@ class StreamLSClusterer(StreamingClusterer):
         np.add.at(rep_weights, labels, weights)
         occupied = rep_weights > 0
         return result.centers[occupied], rep_weights[occupied]
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {"k": self.k, "chunk_size": self.chunk_size, "fanout": self.fanout}
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        levels = []
+        for level in self._levels:
+            points, weights = (None, None) if level.size == 0 else level.as_arrays()
+            levels.append(
+                {"dimension": level.dimension, "points": points, "weights": weights}
+            )
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "rng": rng_state(self._rng),
+            "levels": levels,
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint.state import rng_from_state
+
+        cls._reject_overrides(overrides)
+        config = manifest["config"]
+        clusterer = cls(
+            int(config["k"]),
+            chunk_size=int(config["chunk_size"]),
+            fanout=int(config["fanout"]),
+        )
+        clusterer._points_seen = int(state["points_seen"])
+        clusterer._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        clusterer._buffer.load_state(state["buffer"])
+        clusterer._rng = rng_from_state(state["rng"])
+        for entry in state["levels"]:
+            level = _WeightedLevel(int(entry["dimension"]))
+            if entry["points"] is not None:
+                level.extend(entry["points"], entry["weights"])
+            clusterer._levels.append(level)
+        return clusterer
 
     def _collect_all(self) -> tuple[np.ndarray, np.ndarray]:
         pieces: list[np.ndarray] = []

@@ -34,7 +34,6 @@ Two additional drivers exercise the query-serving pipeline beyond the paper:
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 
 import numpy as np
 

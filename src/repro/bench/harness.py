@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
 
 import numpy as np
 
@@ -200,6 +200,12 @@ class RunResult:
     serving:
         Warm/cold/drift and cache hit/miss counters from the serving
         pipeline (zeros for algorithms that bypass it).
+    checkpoints:
+        Paths of every checkpoint written during the run (mid-run interval
+        snapshots plus the optional final snapshot), in write order.
+    checkpoint_seconds:
+        Wall-clock seconds spent writing checkpoints (kept out of the
+        update/query timing so snapshots never skew paper measurements).
     """
 
     algorithm: str
@@ -211,6 +217,8 @@ class RunResult:
     query_costs: list[float] = field(default_factory=list)
     query_latencies: list[float] = field(default_factory=list)
     serving: ServingStats = field(default_factory=ServingStats)
+    checkpoints: list[Path] = field(default_factory=list)
+    checkpoint_seconds: float = 0.0
 
 
 @dataclass
@@ -242,6 +250,34 @@ class StreamingExperiment:
         With ``shards > 1`` the run uses the parallel sharded engine on the
         chosen executor backend and routing policy (ct/cc/rcc only); the
         engine is closed when the run finishes.
+    checkpoint_interval / checkpoint_dir:
+        With both set, the run snapshots the live clusterer into
+        ``checkpoint_dir/ckpt-<points>`` at least every
+        ``checkpoint_interval`` ingested points (aligned to ingestion block
+        boundaries).  Checkpoint time is recorded separately and never
+        counted as update or query time.
+    checkpoint_to:
+        Optional path for one final snapshot taken after the stream ends
+        (before the engine is closed).
+    resume_from:
+        Optional checkpoint to restore instead of building a fresh
+        algorithm.  The checkpoint's structure-config fingerprint must match
+        the configuration this experiment would build, otherwise
+        :class:`~repro.checkpoint.CheckpointError` is raised.  By default
+        the supplied ``points`` are treated as the *remaining* stream and
+        ingested in full.
+    resume_skip_ingested:
+        With ``resume_from``, treat ``points`` as the stream *from the
+        beginning* and skip the first ``points_seen`` rows the checkpoint
+        already ingested (the CLI uses this: datasets are regenerated
+        deterministically from the seed, so replaying from zero would
+        double-ingest).
+    stream_annotations:
+        Optional stream-identity dict (dataset name, generator seed, ...)
+        stored in every snapshot this run writes and *verified* on resume —
+        the structure fingerprint covers the algorithm config, annotations
+        cover the stream, so resuming against a different dataset or seed
+        fails fast instead of silently splicing two streams.
     """
 
     algorithm: str
@@ -255,6 +291,48 @@ class StreamingExperiment:
     shards: int = 1
     backend: str = "serial"
     routing: str = "round_robin"
+    checkpoint_interval: int | None = None
+    checkpoint_dir: str | Path | None = None
+    checkpoint_to: str | Path | None = None
+    resume_from: str | Path | None = None
+    resume_skip_ingested: bool = False
+    stream_annotations: dict | None = None
+
+
+def _resume_algorithm(experiment: StreamingExperiment) -> StreamingClusterer:
+    """Restore the experiment's algorithm from ``experiment.resume_from``.
+
+    The checkpoint's fingerprint is checked against the configuration this
+    experiment would otherwise build, so a resume with drifted CLI flags or
+    config fails fast with a :class:`~repro.checkpoint.CheckpointError`
+    instead of silently continuing a different experiment.
+    """
+    from ..checkpoint import fingerprint_for, load_checkpoint
+
+    # Build a throwaway instance only to learn the expected fingerprint (for
+    # sharded runs, on the serial backend: the backend is not fingerprinted).
+    probe = make_algorithm(
+        experiment.algorithm,
+        experiment.config,
+        nesting_depth=experiment.nesting_depth,
+        switch_threshold=experiment.switch_threshold,
+        shards=experiment.shards,
+        backend="serial",
+        routing=experiment.routing,
+    )
+    try:
+        expected = fingerprint_for(probe)
+    finally:
+        closer = getattr(probe, "close", None)
+        if closer is not None:
+            closer()
+    overrides = {"backend": experiment.backend} if experiment.shards > 1 else {}
+    return load_checkpoint(
+        experiment.resume_from,
+        expected_fingerprint=expected,
+        expected_annotations=experiment.stream_annotations,
+        **overrides,
+    )
 
 
 def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunResult:
@@ -266,16 +344,40 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         raise ValueError(
             f"ingest_mode must be 'batch' or 'point', got {experiment.ingest_mode!r}"
         )
+    if (experiment.checkpoint_interval is not None) != (
+        experiment.checkpoint_dir is not None
+    ):
+        raise ValueError(
+            "checkpoint_interval and checkpoint_dir must be set together"
+        )
+    if experiment.checkpoint_interval is not None and experiment.checkpoint_interval <= 0:
+        raise ValueError("checkpoint_interval must be positive")
 
-    algorithm = make_algorithm(
-        experiment.algorithm,
-        experiment.config,
-        nesting_depth=experiment.nesting_depth,
-        switch_threshold=experiment.switch_threshold,
-        shards=experiment.shards,
-        backend=experiment.backend,
-        routing=experiment.routing,
-    )
+    if experiment.resume_from is not None:
+        algorithm = _resume_algorithm(experiment)
+        if experiment.resume_skip_ingested:
+            already = min(algorithm.points_seen, data.shape[0])
+            data = data[already:]
+            if data.shape[0] == 0:
+                from ..checkpoint import CheckpointError
+
+                closer = getattr(algorithm, "close", None)
+                if closer is not None:
+                    closer()
+                raise CheckpointError(
+                    "checkpoint already covers the whole stream "
+                    f"({algorithm.points_seen} points ingested); supply more points"
+                )
+    else:
+        algorithm = make_algorithm(
+            experiment.algorithm,
+            experiment.config,
+            nesting_depth=experiment.nesting_depth,
+            switch_threshold=experiment.switch_threshold,
+            shards=experiment.shards,
+            backend=experiment.backend,
+            routing=experiment.routing,
+        )
     try:
         return _replay(experiment, algorithm, data)
     finally:
@@ -298,6 +400,37 @@ def _replay(
     query_costs: list[float] = []
     query_latencies: list[float] = []
     num_queries = 0
+    checkpoints: list[Path] = []
+    checkpoint_seconds = 0.0
+    next_checkpoint = (
+        algorithm.points_seen + experiment.checkpoint_interval
+        if experiment.checkpoint_interval is not None
+        else None
+    )
+
+    def write_checkpoint(target: Path) -> None:
+        nonlocal checkpoint_seconds
+        # Parallel engines quiesce inside snapshot(); drain the queued insert
+        # backlog under the update clock first (exactly as run_query does) so
+        # checkpoint_seconds measures only the snapshot itself.
+        drain_updates()
+        start = time.perf_counter()
+        checkpoints.append(
+            algorithm.snapshot(target, annotations=experiment.stream_annotations)
+        )
+        checkpoint_seconds += time.perf_counter() - start
+
+    def maybe_checkpoint() -> None:
+        nonlocal next_checkpoint
+        if next_checkpoint is None or algorithm.points_seen < next_checkpoint:
+            return
+        assert experiment.checkpoint_interval is not None
+        assert experiment.checkpoint_dir is not None
+        write_checkpoint(
+            Path(experiment.checkpoint_dir) / f"ckpt-{algorithm.points_seen:010d}"
+        )
+        while next_checkpoint <= algorithm.points_seen:
+            next_checkpoint += experiment.checkpoint_interval
     # Parallel engines apply inserts asynchronously; drain the queued work
     # under the update clock before timing a query, so backlog is billed as
     # update time instead of inflating query latency.
@@ -329,6 +462,7 @@ def _replay(
             start = time.perf_counter()
             algorithm.insert_batch(block)
             timing.add_batch_update(time.perf_counter() - start, block.shape[0])
+            maybe_checkpoint()
             if stream.position in query_set:
                 run_query(stream.position)
     else:
@@ -336,6 +470,7 @@ def _replay(
             start = time.perf_counter()
             algorithm.insert(data[index])
             timing.add_update(time.perf_counter() - start)
+            maybe_checkpoint()
             if index + 1 in query_set:
                 run_query(index + 1)
 
@@ -354,6 +489,9 @@ def _replay(
     peak_points = max(peak_points, algorithm.stored_points())
     final_cost = kmeans_cost(data, last_centers)
 
+    if experiment.checkpoint_to is not None:
+        write_checkpoint(Path(experiment.checkpoint_to))
+
     return RunResult(
         algorithm=experiment.algorithm,
         timing=timing,
@@ -364,4 +502,6 @@ def _replay(
         query_costs=query_costs,
         query_latencies=query_latencies,
         serving=collect_serving_stats(algorithm),
+        checkpoints=checkpoints,
+        checkpoint_seconds=checkpoint_seconds,
     )

@@ -1,0 +1,61 @@
+"""Registry mapping checkpoint algorithm names to clusterer classes.
+
+Every concrete :class:`~repro.core.base.StreamingClusterer` declares a
+``checkpoint_name``; this module is the single place that resolves those
+names back to classes at load time.  Imports happen lazily inside
+:func:`resolve_class` so the checkpoint package never creates import cycles
+with the algorithm modules it serialises.
+"""
+
+from __future__ import annotations
+
+from .store import CheckpointError
+
+__all__ = ["registered_classes", "resolve_class"]
+
+
+def registered_classes() -> dict[str, type]:
+    """All checkpointable clusterer classes keyed by their algorithm name."""
+    from ..baselines.birch import BirchClusterer
+    from ..baselines.clustream import CluStreamClusterer
+    from ..baselines.sequential import SequentialKMeans
+    from ..baselines.streamkmpp import StreamKMpp
+    from ..baselines.streamls import StreamLSClusterer
+    from ..core.driver import (
+        CachedCoresetTreeClusterer,
+        CoresetTreeClusterer,
+        RecursiveCachedClusterer,
+    )
+    from ..core.online_cc import OnlineCCClusterer
+    from ..extensions.decay import DecayedCoresetClusterer, SlidingWindowClusterer
+    from ..extensions.kmedian import KMedianCachedClusterer
+    from ..parallel.engine import ShardedEngine
+
+    classes = [
+        CoresetTreeClusterer,
+        CachedCoresetTreeClusterer,
+        RecursiveCachedClusterer,
+        OnlineCCClusterer,
+        StreamKMpp,
+        SequentialKMeans,
+        BirchClusterer,
+        CluStreamClusterer,
+        StreamLSClusterer,
+        DecayedCoresetClusterer,
+        SlidingWindowClusterer,
+        KMedianCachedClusterer,
+        ShardedEngine,
+    ]
+    return {cls.checkpoint_name: cls for cls in classes}
+
+
+def resolve_class(algorithm: str) -> type:
+    """Class registered under ``algorithm``, or a clear :class:`CheckpointError`."""
+    classes = registered_classes()
+    try:
+        return classes[algorithm]
+    except KeyError:
+        raise CheckpointError(
+            f"checkpoint algorithm {algorithm!r} is unknown to this build; "
+            f"available: {sorted(classes)}"
+        ) from None

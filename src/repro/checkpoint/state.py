@@ -1,0 +1,112 @@
+"""State-tree packing: nested Python/numpy state ↔ (JSON tree, array payload).
+
+A clusterer's live state is captured as a *state tree*: nested dicts and
+lists whose leaves are JSON scalars (int, float, str, bool, None) or numpy
+arrays.  :func:`pack_state` splits such a tree into a JSON-serialisable
+skeleton (arrays replaced by ``{"__ndarray__": key}`` placeholders) and a
+flat ``{key: array}`` payload destined for one ``.npz`` file;
+:func:`unpack_state` reverses the split.
+
+Arrays survive the round trip bit-for-bit (``.npz`` stores raw dtype bytes),
+which is what makes the ingest→snapshot→restore→ingest contract exact.
+
+Random-generator state travels as the :class:`numpy.random.BitGenerator`
+state dict — plain ints and strings, so it lives in the JSON manifest (the
+manifest is the durable record of "where every randomness stream was").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .store import CheckpointError
+
+__all__ = [
+    "ARRAY_MARKER",
+    "pack_state",
+    "unpack_state",
+    "rng_state",
+    "rng_from_state",
+]
+
+#: Placeholder key marking an array leaf in the packed JSON skeleton.
+ARRAY_MARKER = "__ndarray__"
+
+
+def pack_state(tree: object) -> tuple[object, dict[str, np.ndarray]]:
+    """Split a state tree into a JSON-able skeleton and an array payload.
+
+    Arrays are assigned sequential keys (``a0``, ``a1``, ...) in traversal
+    order; numpy scalars are converted to native Python scalars so the
+    skeleton serialises with the stdlib ``json`` module.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def walk(node: object) -> object:
+        if isinstance(node, np.ndarray):
+            key = f"a{len(arrays)}"
+            arrays[key] = node
+            return {ARRAY_MARKER: key}
+        if isinstance(node, dict):
+            if ARRAY_MARKER in node:
+                raise CheckpointError(
+                    f"state trees must not use the reserved key {ARRAY_MARKER!r}"
+                )
+            return {str(k): walk(v) for k, v in node.items()}
+        if isinstance(node, (list, tuple)):
+            return [walk(v) for v in node]
+        if isinstance(node, np.integer):
+            return int(node)
+        if isinstance(node, np.floating):
+            return float(node)
+        if isinstance(node, np.bool_):
+            return bool(node)
+        if node is None or isinstance(node, (bool, int, float, str)):
+            return node
+        raise CheckpointError(
+            f"cannot serialise state leaf of type {type(node).__name__}"
+        )
+
+    return walk(tree), arrays
+
+
+def unpack_state(tree: object, arrays: dict[str, np.ndarray]) -> object:
+    """Rebuild a state tree from its JSON skeleton and array payload."""
+
+    def walk(node: object) -> object:
+        if isinstance(node, dict):
+            if set(node) == {ARRAY_MARKER}:
+                key = node[ARRAY_MARKER]
+                if key not in arrays:
+                    raise CheckpointError(
+                        f"array payload is missing key {key!r} referenced by the manifest"
+                    )
+                return arrays[key]
+            return {k: walk(v) for k, v in node.items()}
+        if isinstance(node, list):
+            return [walk(v) for v in node]
+        return node
+
+    return walk(tree)
+
+
+def rng_state(generator: np.random.Generator) -> dict:
+    """JSON-able state of a numpy random generator (bit-generator state dict)."""
+    return generator.bit_generator.state
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a numpy random generator from :func:`rng_state` output.
+
+    The single RNG-restore path for every codec: any malformed state dict —
+    unknown bit-generator name, missing keys, wrong value shapes — surfaces
+    as :class:`CheckpointError`, never a bare numpy/attribute error.
+    """
+    try:
+        name = state["bit_generator"]
+        bit_generator = getattr(np.random, name)()
+        generator = np.random.Generator(bit_generator)
+        generator.bit_generator.state = state
+    except (TypeError, KeyError, AttributeError, ValueError, RuntimeError) as exc:
+        raise CheckpointError(f"invalid random-generator state: {exc}") from exc
+    return generator

@@ -6,6 +6,16 @@ Usage examples::
     python -m repro.cli run --algorithm cc --dataset covtype --k 20 \
         --num-points 10000 --query-interval 200
 
+    # Crash recovery: snapshot every 2000 points; after a crash, rerun with
+    # the SAME flags resuming from the newest interval snapshot — the
+    # already-ingested prefix is skipped and the remainder of the identical
+    # regenerated stream is consumed (all stream flags must match: datasets
+    # are not prefix-consistent across --num-points, so drift is refused)
+    python -m repro.cli run --algorithm cc --num-points 10000 \
+        --checkpoint-to run.ckpt --checkpoint-interval 2000
+    python -m repro.cli run --algorithm cc --num-points 10000 \
+        --resume-from run.ckpt.steps/ckpt-0000004000
+
     # Regenerate one of the paper's figures (reduced scale) and export its data
     python -m repro.cli figure fig4 --dataset power --num-points 6000 \
         --output fig4_power.json
@@ -32,6 +42,7 @@ from .bench.experiments import (
 )
 from .bench.harness import ALGORITHM_NAMES, StreamingExperiment, run_experiment
 from .bench.report import format_nested_series, format_series_table, format_table
+from .checkpoint import CheckpointError
 from .core.base import StreamingConfig
 from .data.loaders import dataset_names, load_dataset
 from .io.serialization import series_to_json
@@ -77,6 +88,33 @@ def build_parser() -> argparse.ArgumentParser:
         default="round_robin",
         help="shard routing policy (with --shards > 1)",
     )
+    run.add_argument(
+        "--checkpoint-to",
+        type=str,
+        default=None,
+        help="write a final snapshot of the live clusterer to this directory",
+    )
+    run.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help=(
+            "also snapshot mid-run every N ingested points, into "
+            "<checkpoint-to>.steps/ (requires --checkpoint-to)"
+        ),
+    )
+    run.add_argument(
+        "--resume-from",
+        type=str,
+        default=None,
+        help=(
+            "resume from a checkpoint directory instead of starting fresh; "
+            "the checkpoint's config fingerprint and stream identity "
+            "(--dataset/--seed/--num-points) must match the flags given, and "
+            "the first points_seen points of the (deterministically "
+            "regenerated) dataset are skipped rather than double-ingested"
+        ),
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=FIGURES)
@@ -91,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.checkpoint_interval is not None and args.checkpoint_to is None:
+        print("error: --checkpoint-interval requires --checkpoint-to", file=sys.stderr)
+        return 2
+    if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
+        print("error: --checkpoint-interval must be positive", file=sys.stderr)
+        return 2
     info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
     config = StreamingConfig(
         k=args.k, coreset_size=args.bucket_size, seed=args.seed
@@ -100,17 +144,41 @@ def _command_run(args: argparse.Namespace) -> int:
     else:
         schedule = FixedIntervalSchedule(args.query_interval)
 
-    result = run_experiment(
-        StreamingExperiment(
-            algorithm=args.algorithm,
-            config=config,
-            schedule=schedule,
-            shards=args.shards,
-            backend=args.backend,
-            routing=args.routing,
-        ),
-        info.points,
-    )
+    checkpoint_dir = None
+    if args.checkpoint_interval is not None:
+        checkpoint_dir = f"{args.checkpoint_to}.steps"
+    try:
+        result = run_experiment(
+            StreamingExperiment(
+                algorithm=args.algorithm,
+                config=config,
+                schedule=schedule,
+                shards=args.shards,
+                backend=args.backend,
+                routing=args.routing,
+                checkpoint_to=args.checkpoint_to,
+                checkpoint_interval=args.checkpoint_interval,
+                checkpoint_dir=checkpoint_dir,
+                resume_from=args.resume_from,
+                # Datasets are regenerated deterministically from the seed,
+                # so resuming must skip the points the checkpoint already
+                # ingested instead of double-ingesting them.  The annotations
+                # pin the full stream identity — dataset, seed, AND length
+                # (generation is not prefix-consistent across --num-points) —
+                # so resuming against any different stream is refused, never
+                # spliced.
+                resume_skip_ingested=True,
+                stream_annotations={
+                    "dataset": args.dataset,
+                    "stream_seed": args.seed,
+                    "num_points": args.num_points,
+                },
+            ),
+            info.points,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     algorithm_label = args.algorithm
     if args.shards > 1:
         algorithm_label = f"{args.algorithm}x{args.shards}[{args.backend}]"
@@ -130,6 +198,10 @@ def _command_run(args: argparse.Namespace) -> int:
         }
     ]
     print(format_table(rows, title="Run summary"))
+    if result.checkpoints:
+        print("\nCheckpoints written:")
+        for path in result.checkpoints:
+            print(f"  {path}")
     return 0
 
 

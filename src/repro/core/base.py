@@ -17,8 +17,9 @@ Two layers of abstraction mirror the paper's "driver" design (Algorithm 1):
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, ClassVar, Sequence
 
 import numpy as np
 
@@ -37,6 +38,8 @@ __all__ = [
     "coerce_batch",
     "require_dimension",
     "validate_base_buckets",
+    "streaming_config_to_dict",
+    "streaming_config_from_dict",
 ]
 
 
@@ -185,6 +188,16 @@ class StreamingConfig:
         )
 
 
+def streaming_config_to_dict(config: StreamingConfig) -> dict:
+    """JSON-able dict form of a :class:`StreamingConfig` (checkpoint manifests)."""
+    return asdict(config)
+
+
+def streaming_config_from_dict(data: dict) -> StreamingConfig:
+    """Rebuild a :class:`StreamingConfig` from :func:`streaming_config_to_dict` output."""
+    return StreamingConfig(**data)
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """Cluster centers returned by a clustering query.
@@ -273,7 +286,16 @@ class StreamingClusterer(ABC):
 
     Concrete algorithms: CT, CC, RCC (via the driver) and OnlineCC, plus the
     baselines in :mod:`repro.baselines`.
+
+    Every concrete algorithm is checkpointable: :meth:`snapshot` persists the
+    complete live state (structures, buffers, caches, warm-start serving
+    state, and all random-generator streams) and :meth:`restore` rebuilds it
+    so that continued ingestion is bit-identical to a process that never
+    stopped.  See :mod:`repro.checkpoint`.
     """
+
+    #: Registry name used by the checkpoint subsystem (set per concrete class).
+    checkpoint_name: ClassVar[str | None] = None
 
     @abstractmethod
     def insert(self, point: np.ndarray) -> None:
@@ -320,3 +342,84 @@ class StreamingClusterer(ABC):
     @abstractmethod
     def points_seen(self) -> int:
         """Total number of stream points observed so far (``n``)."""
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot(self, path: str | Path, annotations: dict | None = None) -> Path:
+        """Write this clusterer's full live state to a checkpoint directory.
+
+        Ingestion may continue afterwards; the snapshot is a consistent cut
+        of the stream (parallel engines quiesce their workers first).
+        ``annotations`` optionally records stream identity (dataset name,
+        generator seed, ...) for load-time verification.  Returns the
+        checkpoint directory path.
+        """
+        from ..checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path, annotations=annotations)
+
+    @classmethod
+    def restore(cls, path: str | Path, **overrides) -> "StreamingClusterer":
+        """Rebuild a clusterer from a checkpoint written by :meth:`snapshot`.
+
+        Called on a concrete class it validates that the checkpoint holds
+        that algorithm; called on :class:`StreamingClusterer` it restores
+        whatever algorithm the manifest names.  ``overrides`` are runtime
+        overrides (e.g. ``backend=`` for the sharded engine).  Raises
+        :class:`~repro.checkpoint.CheckpointError` on any invalid checkpoint.
+        """
+        from ..checkpoint import CheckpointError, load_checkpoint
+
+        clusterer = load_checkpoint(path, **overrides)
+        if not isinstance(clusterer, cls):
+            # Tear down before raising: a restored sharded engine already
+            # started its workers and must not leak them.
+            closer = getattr(clusterer, "close", None)
+            if closer is not None:
+                closer()
+            raise CheckpointError(
+                f"checkpoint at {path} holds a {type(clusterer).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return clusterer
+
+    # Checkpoint hooks implemented by every concrete algorithm.
+
+    @classmethod
+    def _reject_overrides(cls, overrides: dict) -> None:
+        """Shared restore guard: most algorithms accept no runtime overrides."""
+        if overrides:
+            from ..checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"{cls.__name__} accepts no restore overrides, got {sorted(overrides)}"
+            )
+
+    def _config_tree(self) -> dict:
+        """JSON-able structure configuration (fingerprinted in the manifest)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpointing"
+        )
+
+    def _runtime_tree(self) -> dict:
+        """JSON-able runtime knobs recorded but *not* fingerprinted."""
+        return {}
+
+    def _state_tree(self) -> dict:
+        """Full mutable state as a nested tree (JSON scalars + numpy arrays)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpointing"
+        )
+
+    def _shard_trees(self) -> "list[dict] | None":
+        """Per-shard state trees (sharded engines only; None otherwise)."""
+        return None
+
+    @classmethod
+    def _from_checkpoint(
+        cls, manifest: dict, state: dict, shards: "list[dict] | None", **overrides
+    ) -> "StreamingClusterer":
+        """Rebuild an instance from manifest + unpacked state trees."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement checkpointing"
+        )

@@ -140,6 +140,29 @@ class BucketBuffer:
         """Discard all buffered rows."""
         self._size = 0
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: capacity plus the currently buffered rows."""
+        return {
+            "capacity": self._capacity,
+            "rows": None if self._size == 0 else self._data[: self._size].copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore buffered rows from :meth:`state_dict` output (resets first)."""
+        if int(state["capacity"]) != self._capacity:
+            raise ValueError(
+                f"buffer capacity mismatch: checkpoint has {state['capacity']}, "
+                f"this buffer holds {self._capacity}"
+            )
+        self._size = 0
+        rows = state["rows"]
+        if rows is not None and rows.shape[0]:
+            if self._data is None or self._data.shape[1] != rows.shape[1]:
+                self._allocate(rows.shape[1])
+            self.fill(rows)
+
     # -- batch splitting -----------------------------------------------------
 
     def take_full_blocks(self, arr: np.ndarray) -> list[np.ndarray]:

@@ -155,3 +155,27 @@ class CoresetCache:
     def clear(self) -> None:
         """Remove every cached coreset (used when RCC resets inner structures)."""
         self._entries.clear()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: every cached coreset (with its key) plus counters."""
+        return {
+            "merge_degree": self._merge_degree,
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": [
+                {"key": key, "bucket": bucket.state_dict()}
+                for key, bucket in self._entries.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore cache contents and counters from :meth:`state_dict` output."""
+        self._merge_degree = int(state["merge_degree"])
+        self._hits = int(state["hits"])
+        self._misses = int(state["misses"])
+        self._entries = {
+            int(entry["key"]): Bucket.from_state(entry["bucket"])
+            for entry in state["entries"]
+        }

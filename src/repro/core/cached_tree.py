@@ -64,6 +64,11 @@ class CachedCoresetTree(ClusteringStructure):
         return self._tree.merge_degree
 
     @property
+    def constructor(self) -> CoresetConstructor:
+        """The shared coreset constructor (for checkpointing)."""
+        return self._constructor
+
+    @property
     def num_base_buckets(self) -> int:
         """Number of base buckets inserted so far (``N``)."""
         return self._tree.num_base_buckets
@@ -152,6 +157,24 @@ class CachedCoresetTree(ClusteringStructure):
             (bucket.level for bucket in self._cache.buckets()), default=0
         )
         return max(tree_level, cache_level)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: the tree, the cache, and the query counters."""
+        return {
+            "tree": self._tree.state_dict(),
+            "cache": self._cache.state_dict(),
+            "fallbacks": self._fallbacks,
+            "cached_answers": self._cached_answers,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output (constructor kept)."""
+        self._tree.load_state(state["tree"])
+        self._cache.load_state(state["cache"])
+        self._fallbacks = int(state["fallbacks"])
+        self._cached_answers = int(state["cached_answers"])
 
     def _dimension_hint(self) -> int:
         buckets = self._tree.active_buckets()

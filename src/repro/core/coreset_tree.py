@@ -49,6 +49,11 @@ class CoresetTree(ClusteringStructure):
         return self._merge_degree
 
     @property
+    def constructor(self) -> CoresetConstructor:
+        """The coreset constructor used for every merge (for checkpointing)."""
+        return self._constructor
+
+    @property
     def num_base_buckets(self) -> int:
         """Number of base buckets inserted so far (``N``)."""
         return self._num_base_buckets
@@ -153,6 +158,28 @@ class CoresetTree(ClusteringStructure):
             if buckets:
                 highest = level
         return highest
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: every active bucket per level plus the counters."""
+        return {
+            "merge_degree": self._merge_degree,
+            "num_base_buckets": self._num_base_buckets,
+            "merge_count": self._merge_count,
+            "levels": [
+                [bucket.state_dict() for bucket in level] for level in self._levels
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the tree from :meth:`state_dict` output (constructor kept)."""
+        self._merge_degree = int(state["merge_degree"])
+        self._num_base_buckets = int(state["num_base_buckets"])
+        self._merge_count = int(state["merge_count"])
+        self._levels = [
+            [Bucket.from_state(entry) for entry in level] for level in state["levels"]
+        ]
 
     def _ensure_level(self, level: int) -> None:
         while len(self._levels) <= level:

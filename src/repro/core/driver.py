@@ -38,6 +38,8 @@ from .base import (
     StreamingConfig,
     coerce_batch,
     require_dimension,
+    streaming_config_from_dict,
+    streaming_config_to_dict,
 )
 from .buffer import BucketBuffer
 from .cached_tree import CachedCoresetTree
@@ -221,6 +223,55 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
             return WeightedPointSet.empty(self._dimension or 1)
         return WeightedPointSet.from_points(self._buffer.snapshot())
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {"streaming": streaming_config_to_dict(self.config), **self._extra_config()}
+
+    def _extra_config(self) -> dict:
+        """Extra fingerprinted construction parameters (RCC adds nesting depth)."""
+        return {}
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "rng": rng_state(self._rng),
+            "constructor": self._structure.constructor.state_dict(),
+            "engine": self._engine.state_dict(),
+            "structure": self._structure.state_dict(),
+        }
+
+    def _load_state_tree(self, state: dict) -> None:
+        from ..checkpoint.state import rng_from_state
+
+        self._points_seen = int(state["points_seen"])
+        self._dimension = None if state["dimension"] is None else int(state["dimension"])
+        self._buffer.load_state(state["buffer"])
+        self._rng = rng_from_state(state["rng"])
+        self._structure.constructor.load_state(state["constructor"])
+        self._engine.load_state(state["engine"])
+        self._structure.load_state(state["structure"])
+
+    @classmethod
+    def _construct_for_restore(
+        cls, config: StreamingConfig, config_tree: dict
+    ) -> "StreamClusterDriver":
+        """Build a fresh instance for restore (subclasses add extra args)."""
+        return cls(config)
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        cls._reject_overrides(overrides)
+        config_tree = manifest["config"]
+        config = streaming_config_from_dict(config_tree["streaming"])
+        clusterer = cls._construct_for_restore(config, config_tree)
+        clusterer._load_state_tree(state)
+        return clusterer
+
 
 class CoresetTreeClusterer(StreamClusterDriver):
     """CT: the r-way merging coreset tree behind the generic driver.
@@ -229,6 +280,7 @@ class CoresetTreeClusterer(StreamClusterDriver):
     """
 
     shard_structure = "ct"
+    checkpoint_name = "ct"
 
     def __init__(self, config: StreamingConfig) -> None:
         constructor = config.make_constructor()
@@ -245,6 +297,7 @@ class CachedCoresetTreeClusterer(StreamClusterDriver):
     """CC: coreset tree plus coreset cache behind the generic driver."""
 
     shard_structure = "cc"
+    checkpoint_name = "cc"
 
     def __init__(self, config: StreamingConfig) -> None:
         constructor = config.make_constructor()
@@ -265,6 +318,7 @@ class RecursiveCachedClusterer(StreamClusterDriver):
     """RCC: recursive coreset cache behind the generic driver."""
 
     shard_structure = "rcc"
+    checkpoint_name = "rcc"
 
     def __init__(self, config: StreamingConfig, nesting_depth: int = 3) -> None:
         constructor = config.make_constructor()
@@ -275,3 +329,10 @@ class RecursiveCachedClusterer(StreamClusterDriver):
     def recursive_tree(self) -> RecursiveCachedTree:
         """The underlying recursive cached structure."""
         return self.structure  # type: ignore[return-value]
+
+    def _extra_config(self) -> dict:
+        return {"nesting_depth": self.recursive_tree.nesting_depth}
+
+    @classmethod
+    def _construct_for_restore(cls, config, config_tree):
+        return cls(config, nesting_depth=int(config_tree["nesting_depth"]))

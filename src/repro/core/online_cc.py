@@ -31,6 +31,8 @@ from .base import (
     StreamingConfig,
     coerce_batch,
     require_dimension,
+    streaming_config_from_dict,
+    streaming_config_to_dict,
 )
 from .buffer import BucketBuffer
 from .cached_tree import CachedCoresetTree
@@ -41,6 +43,11 @@ __all__ = ["OnlineCCClusterer"]
 
 class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
     """The OnlineCC streaming clusterer.
+
+    Checkpointable: snapshots capture the embedded CC structure *and* the
+    Algorithm 7 phase bookkeeping (online centers, ``phi_now``/``phi_prev``
+    bounds, fallback counters), so a restored instance makes the same
+    fast-path/fallback decisions as an uninterrupted one.
 
     Parameters
     ----------
@@ -54,6 +61,8 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
         The ``epsilon`` used when converting the coreset cost into the upper
         bound ``phi_now = phi_prev / (1 - epsilon)`` after a fallback.
     """
+
+    checkpoint_name = "onlinecc"
 
     def __init__(
         self,
@@ -246,3 +255,59 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
         if self._buffer.is_empty:
             return WeightedPointSet.empty(self._dimension or 1)
         return WeightedPointSet.from_points(self._buffer.snapshot())
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {
+            "streaming": streaming_config_to_dict(self.config),
+            "switch_threshold": self.switch_threshold,
+            "coreset_epsilon": self.coreset_epsilon,
+        }
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "rng": rng_state(self._rng),
+            "constructor": self._cc.constructor.state_dict(),
+            "engine": self._engine.state_dict(),
+            "cc": self._cc.state_dict(),
+            "online": None if self._online is None else self._online.state_dict(),
+            "phi_now": self._phi_now,
+            "phi_prev": self._phi_prev,
+            "fallback_count": self._fallback_count,
+            "fast_answers": self._fast_answers,
+        }
+
+    def _load_state_tree(self, state: dict) -> None:
+        from ..checkpoint.state import rng_from_state
+
+        self._points_seen = int(state["points_seen"])
+        self._dimension = None if state["dimension"] is None else int(state["dimension"])
+        self._buffer.load_state(state["buffer"])
+        self._rng = rng_from_state(state["rng"])
+        self._cc.constructor.load_state(state["constructor"])
+        self._engine.load_state(state["engine"])
+        self._cc.load_state(state["cc"])
+        online = state["online"]
+        self._online = None if online is None else SequentialKMeansState.from_state(online)
+        self._phi_now = float(state["phi_now"])
+        self._phi_prev = float(state["phi_prev"])
+        self._fallback_count = int(state["fallback_count"])
+        self._fast_answers = int(state["fast_answers"])
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        cls._reject_overrides(overrides)
+        config_tree = manifest["config"]
+        clusterer = cls(
+            streaming_config_from_dict(config_tree["streaming"]),
+            switch_threshold=float(config_tree["switch_threshold"]),
+            coreset_epsilon=float(config_tree["coreset_epsilon"]),
+        )
+        clusterer._load_state_tree(state)
+        return clusterer

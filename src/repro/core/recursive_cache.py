@@ -201,6 +201,38 @@ class _RccNode:
                     stats = stats.merged_with(child.cache_stats())
         return stats
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state of this node and, recursively, its inner structures."""
+        return {
+            "order": self.order,
+            "num_buckets": self.num_buckets,
+            "cache": self._cache.state_dict(),
+            "levels": [
+                [bucket.state_dict() for bucket in level] for level in self._levels
+            ],
+            "children": [
+                child.state_dict() if child is not None else None
+                for child in self._children
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, constructor: CoresetConstructor) -> "_RccNode":
+        """Rebuild a node tree from :meth:`state_dict` output (shared constructor)."""
+        node = cls(int(state["order"]), constructor)
+        node.num_buckets = int(state["num_buckets"])
+        node._cache.load_state(state["cache"])
+        node._levels = [
+            [Bucket.from_state(entry) for entry in level] for level in state["levels"]
+        ]
+        node._children = [
+            cls.from_state(child, constructor) if child is not None else None
+            for child in state["children"]
+        ]
+        return node
+
     # -- internals -----------------------------------------------------------
 
     def _ensure_level(self, level: int) -> None:
@@ -250,6 +282,11 @@ class RecursiveCachedTree(ClusteringStructure):
     def merge_degree(self) -> int:
         """Merge degree of the outermost structure (``2^(2^iota)``)."""
         return self._root.merge_degree
+
+    @property
+    def constructor(self) -> CoresetConstructor:
+        """The shared coreset constructor (for checkpointing)."""
+        return self._constructor
 
     @property
     def num_base_buckets(self) -> int:
@@ -305,3 +342,19 @@ class RecursiveCachedTree(ClusteringStructure):
     def max_level(self) -> int:
         """Maximum coreset level currently stored anywhere in the structure."""
         return self._root.max_level()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: the recursive node tree plus the bucket count."""
+        return {
+            "nesting_depth": self._nesting_depth,
+            "num_base_buckets": self._num_base_buckets,
+            "root": self._root.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output (constructor kept)."""
+        self._nesting_depth = int(state["nesting_depth"])
+        self._num_base_buckets = int(state["num_base_buckets"])
+        self._root = _RccNode.from_state(state["root"], self._constructor)

@@ -10,7 +10,7 @@ on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -61,6 +61,15 @@ class WeightedPointSet:
             points=np.empty((0, dimension), dtype=np.float64),
             weights=np.empty(0, dtype=np.float64),
         )
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: the two backing arrays, bit-exact."""
+        return {"points": self.points, "weights": self.weights}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WeightedPointSet":
+        """Rebuild from :meth:`state_dict` output."""
+        return cls(points=state["points"], weights=state["weights"])
 
     @property
     def size(self) -> int:
@@ -167,6 +176,25 @@ class Bucket:
     def size(self) -> int:
         """Number of stored points."""
         return self.data.size
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: span metadata plus the weighted point set."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "level": self.level,
+            "data": self.data.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Bucket":
+        """Rebuild from :meth:`state_dict` output."""
+        return cls(
+            data=WeightedPointSet.from_state(state["data"]),
+            start=int(state["start"]),
+            end=int(state["end"]),
+            level=int(state["level"]),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (

@@ -270,6 +270,22 @@ class CoresetConstructor:
             return data
         return self._builders[self.config.method](data, self.rng_for_span(level, start, end))
 
+    def state_dict(self) -> dict:
+        """Checkpoint state: the span-key entropy and the scratch-stream position."""
+        return {"entropy": self._entropy, "rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        """Restore randomness streams from :meth:`state_dict` output.
+
+        Restoring the entropy keeps span-keyed merges identical and restoring
+        the scratch generator keeps query-time builds identical, so a resumed
+        constructor produces bit-for-bit the coresets of an uninterrupted one.
+        """
+        from ..checkpoint.state import rng_from_state
+
+        self._entropy = int(state["entropy"])
+        self._rng = rng_from_state(state["rng"])
+
     def _build_sensitivity(
         self, data: WeightedPointSet, rng: np.random.Generator
     ) -> WeightedPointSet:

@@ -34,6 +34,8 @@ from ..core.base import (
     StreamingConfig,
     coerce_batch,
     require_dimension,
+    streaming_config_from_dict,
+    streaming_config_to_dict,
 )
 from ..core.buffer import BucketBuffer
 from ..kmeans.batch import weighted_kmeans
@@ -56,6 +58,8 @@ class DecayedCoresetClusterer(StreamingClusterer):
         dropped entirely, bounding memory at roughly
         ``log(min_weight) / log(decay)`` buckets.
     """
+
+    checkpoint_name = "decay"
 
     def __init__(
         self,
@@ -143,6 +147,54 @@ class DecayedCoresetClusterer(StreamingClusterer):
         aged.append((summary, 1.0))
         self._summaries = aged
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {
+            "streaming": streaming_config_to_dict(self.config),
+            "decay": self.decay,
+            "min_weight": self.min_weight,
+        }
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "rng": rng_state(self._rng),
+            "constructor": self._constructor.state_dict(),
+            "summaries": [
+                {"summary": summary.state_dict(), "multiplier": multiplier}
+                for summary, multiplier in self._summaries
+            ],
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint.state import rng_from_state
+
+        cls._reject_overrides(overrides)
+        config_tree = manifest["config"]
+        clusterer = cls(
+            streaming_config_from_dict(config_tree["streaming"]),
+            decay=float(config_tree["decay"]),
+            min_weight=float(config_tree["min_weight"]),
+        )
+        clusterer._points_seen = int(state["points_seen"])
+        clusterer._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        clusterer._buffer.load_state(state["buffer"])
+        clusterer._rng = rng_from_state(state["rng"])
+        clusterer._constructor.load_state(state["constructor"])
+        clusterer._summaries = deque(
+            (WeightedPointSet.from_state(entry["summary"]), float(entry["multiplier"]))
+            for entry in state["summaries"]
+        )
+        return clusterer
+
     def _decayed_union(self) -> WeightedPointSet:
         pieces: list[WeightedPointSet] = []
         for summary, multiplier in self._summaries:
@@ -168,6 +220,8 @@ class SlidingWindowClusterer(StreamingClusterer):
         window therefore covers ``window_buckets * m`` points (plus the
         partial bucket).
     """
+
+    checkpoint_name = "window"
 
     def __init__(self, config: StreamingConfig, window_buckets: int = 10) -> None:
         if window_buckets <= 0:
@@ -239,3 +293,44 @@ class SlidingWindowClusterer(StreamingClusterer):
     def stored_points(self) -> int:
         """Summary points in the window plus the partial bucket."""
         return sum(summary.size for summary in self._summaries) + len(self._buffer)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {
+            "streaming": streaming_config_to_dict(self.config),
+            "window_buckets": self.window_buckets,
+        }
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "rng": rng_state(self._rng),
+            "constructor": self._constructor.state_dict(),
+            "summaries": [summary.state_dict() for summary in self._summaries],
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint.state import rng_from_state
+
+        cls._reject_overrides(overrides)
+        config_tree = manifest["config"]
+        clusterer = cls(
+            streaming_config_from_dict(config_tree["streaming"]),
+            window_buckets=int(config_tree["window_buckets"]),
+        )
+        clusterer._points_seen = int(state["points_seen"])
+        clusterer._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        clusterer._buffer.load_state(state["buffer"])
+        clusterer._rng = rng_from_state(state["rng"])
+        clusterer._constructor.load_state(state["constructor"])
+        for entry in state["summaries"]:
+            clusterer._summaries.append(WeightedPointSet.from_state(entry))
+        return clusterer

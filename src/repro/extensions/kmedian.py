@@ -19,7 +19,7 @@ natural").  This module provides that extension:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -246,6 +246,17 @@ class _KMedianCoresetConstructor:
         rng = span_keyed_rng(self._entropy, level, start, end)
         return kmedian_sensitivity_coreset(data, self.k, self.coreset_size, rng)
 
+    def state_dict(self) -> dict:
+        """Checkpoint state: span-key entropy plus the scratch-stream position."""
+        return {"entropy": self._entropy, "rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        """Restore both randomness streams from :meth:`state_dict` output."""
+        from ..checkpoint.state import rng_from_state
+
+        self._entropy = int(state["entropy"])
+        self._rng = rng_from_state(state["rng"])
+
 
 @dataclass(frozen=True)
 class KMedianConfig:
@@ -278,6 +289,8 @@ class KMedianConfig:
 
 class KMedianCachedClusterer(StreamingClusterer):
     """CC-style streaming k-median clusterer (coreset tree + coreset cache)."""
+
+    checkpoint_name = "kmedian"
 
     def __init__(self, config: KMedianConfig) -> None:
         self.config = config
@@ -353,6 +366,41 @@ class KMedianCachedClusterer(StreamingClusterer):
     def stored_points(self) -> int:
         """Points held by the tree, the cache, and the partial bucket."""
         return self._tree.stored_points() + self._cache.stored_points() + self._buffer.size
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        return {"kmedian": asdict(self.config)}
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "rng": rng_state(self._rng),
+            "constructor": self._constructor.state_dict(),
+            "tree": self._tree.state_dict(),
+            "cache": self._cache.state_dict(),
+        }
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint.state import rng_from_state
+
+        cls._reject_overrides(overrides)
+        clusterer = cls(KMedianConfig(**manifest["config"]["kmedian"]))
+        clusterer._points_seen = int(state["points_seen"])
+        clusterer._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        clusterer._buffer.load_state(state["buffer"])
+        clusterer._rng = rng_from_state(state["rng"])
+        clusterer._constructor.load_state(state["constructor"])
+        clusterer._tree.load_state(state["tree"])
+        clusterer._cache.load_state(state["cache"])
+        return clusterer
 
     def _query_coreset(self) -> WeightedPointSet:
         """The CC query path (Algorithm 3) with the k-median constructor."""

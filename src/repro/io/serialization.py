@@ -30,23 +30,51 @@ __all__ = [
 ]
 
 
-def save_centers(path: str | Path, centers: np.ndarray) -> Path:
-    """Save a center matrix to an ``.npz`` file and return the path written."""
+def save_centers(
+    path: str | Path, centers: np.ndarray, weights: np.ndarray | None = None
+) -> Path:
+    """Save a center matrix (and optional per-center weights) to an ``.npz`` file.
+
+    The centers' dtype is preserved exactly as given (historically everything
+    was silently upcast to float64, corrupting float32 deployments that
+    compare serving output bit-for-bit).  ``weights`` — e.g. the cluster
+    weights a coreset query carries — are stored alongside when provided and
+    must have one entry per center.  Returns the path written.
+    """
     target = Path(path)
-    arr = np.asarray(centers, dtype=np.float64)
+    arr = np.asarray(centers)
     if arr.ndim != 2:
         raise ValueError(f"centers must be 2-D, got shape {arr.shape}")
+    payload: dict[str, np.ndarray] = {"centers": arr}
+    if weights is not None:
+        w = np.asarray(weights)
+        if w.ndim != 1 or w.shape[0] != arr.shape[0]:
+            raise ValueError(
+                f"weights must have shape ({arr.shape[0]},), got {w.shape}"
+            )
+        payload["weights"] = w
     target.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(target, centers=arr)
+    np.savez_compressed(target, **payload)
     return target if target.suffix == ".npz" else target.with_suffix(target.suffix + ".npz")
 
 
-def load_centers(path: str | Path) -> np.ndarray:
-    """Load a center matrix previously written by :func:`save_centers`."""
+def load_centers(
+    path: str | Path, with_weights: bool = False
+) -> np.ndarray | tuple[np.ndarray, np.ndarray | None]:
+    """Load a center matrix previously written by :func:`save_centers`.
+
+    Dtype is preserved (no float64 upcast).  With ``with_weights=True`` the
+    result is a ``(centers, weights)`` tuple, where ``weights`` is ``None``
+    for files written without a weights field.
+    """
     with np.load(Path(path)) as payload:
         if "centers" not in payload:
             raise KeyError(f"{path} does not contain a 'centers' array")
-        return np.asarray(payload["centers"], dtype=np.float64)
+        centers = payload["centers"]
+        if not with_weights:
+            return centers
+        weights = payload["weights"] if "weights" in payload else None
+        return centers, weights
 
 
 def save_query_result(path: str | Path, result: QueryResult) -> Path:

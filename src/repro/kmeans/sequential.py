@@ -77,6 +77,25 @@ class SequentialKMeansState:
             self._weights = np.maximum(w.copy(), 1.0)
         self._initialized = self.k
 
+    def state_dict(self) -> dict:
+        """Checkpoint state: centers, per-center weights, and the seed cursor."""
+        return {
+            "k": self.k,
+            "dimension": self.dimension,
+            "centers": self._centers,
+            "center_weights": self._weights,
+            "initialized": self._initialized,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SequentialKMeansState":
+        """Rebuild from :meth:`state_dict` output."""
+        obj = cls(int(state["k"]), int(state["dimension"]))
+        obj._centers = np.asarray(state["centers"], dtype=np.float64).copy()
+        obj._weights = np.asarray(state["center_weights"], dtype=np.float64).copy()
+        obj._initialized = int(state["initialized"])
+        return obj
+
     def update(self, point: np.ndarray) -> float:
         """Absorb one point and return its squared distance to the center it joined.
 

@@ -2,7 +2,8 @@
 
 Three interchangeable executors implement the same small contract —
 ``submit`` per-shard insert blocks (ordered, bounded), ``sync`` to a barrier,
-``collect`` per-shard coreset snapshots, ``close`` idempotently:
+``collect`` per-shard coreset snapshots, ``dump_states``/``load_states`` for
+checkpoint/restore of full shard state, ``close`` idempotently:
 
 * :class:`SerialBackend` — shards run inline in the caller's thread.  Fully
   deterministic, zero overhead; the debugging/equivalence reference and the
@@ -54,6 +55,13 @@ BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
 _STALL_TIMEOUT = 120.0
 
 ShardFactory = Callable[..., StreamShard]
+
+
+def _require_state_count(got: int, expected: int) -> None:
+    """Guard every backend's ``load_states``: zip truncation would silently
+    leave surplus shards with fresh empty state."""
+    if got != expected:
+        raise ValueError(f"expected {expected} shard state trees, got {got}")
 
 
 class ShardWorkerError(RuntimeError):
@@ -115,6 +123,16 @@ class SerialBackend:
         """Snapshot every shard's coreset and counters."""
         return [shard.snapshot(dimension) for shard in self._shards]
 
+    def dump_states(self) -> list[dict]:
+        """Checkpoint: capture every shard's full state tree."""
+        return [shard.state_dict() for shard in self._shards]
+
+    def load_states(self, states: list[dict]) -> None:
+        """Restore: apply one state tree per shard."""
+        _require_state_count(len(states), len(self._shards))
+        for shard, state in zip(self._shards, states):
+            shard.load_state(state)
+
     def stored_points(self) -> int:
         """Total weighted points held across the shards."""
         return sum(shard.stored_points() for shard in self._shards)
@@ -127,10 +145,11 @@ class SerialBackend:
 class _Request:
     """A control message awaiting a reply from a thread worker."""
 
-    kind: str  # "collect" | "sync"
+    kind: str  # "collect" | "sync" | "state_dump" | "state_load"
     dimension: int = 1
     event: threading.Event = field(default_factory=threading.Event)
     snapshot: ShardSnapshot | None = None
+    payload: dict | None = None  # state tree: reply of state_dump, input of state_load
     error: str | None = None
 
 
@@ -159,6 +178,10 @@ class _ShardThread(threading.Thread):
                 try:
                     if task.kind == "collect":
                         task.snapshot = self.shard.snapshot(task.dimension)
+                    elif task.kind == "state_dump":
+                        task.payload = self.shard.state_dict()
+                    elif task.kind == "state_load":
+                        self.shard.load_state(task.payload)
                 except BaseException:
                     self.error = traceback.format_exc()
                     task.error = self.error
@@ -238,6 +261,25 @@ class ThreadBackend:
         requests = self._roundtrip("collect", dimension)
         return [request.snapshot for request in requests]  # type: ignore[misc]
 
+    def dump_states(self) -> list[dict]:
+        """Checkpoint: capture every shard's state tree (inside its worker)."""
+        requests = self._roundtrip("state_dump")
+        return [request.payload for request in requests]  # type: ignore[misc]
+
+    def load_states(self, states: list[dict]) -> None:
+        """Restore: ship one state tree to each worker and wait for all."""
+        _require_state_count(len(states), len(self._workers))
+        requests = []
+        for worker, state in zip(self._workers, states):
+            request = _Request(kind="state_load", payload=state)
+            worker.put(request)
+            requests.append(request)
+        for worker, request in zip(self._workers, requests):
+            if not request.event.wait(timeout=_STALL_TIMEOUT):
+                raise RuntimeError(f"shard {worker.shard_index} restore stalled")
+            if request.error is not None:
+                raise ShardWorkerError(worker.shard_index, request.error)
+
     def stored_points(self) -> int:
         """Total weighted points held (after a barrier, read directly)."""
         self.sync()
@@ -314,6 +356,11 @@ def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> N
                     shard.insert_batch(block)
                 elif kind == "collect":
                     result_queue.put(("snapshot", index, shard.snapshot(message[1])))
+                elif kind == "state_dump":
+                    result_queue.put(("state", index, shard.state_dict()))
+                elif kind == "state_load":
+                    shard.load_state(message[1])
+                    result_queue.put(("state_loaded", index))
                 elif kind == "stats":
                     # Accounting only: must not touch the shard's coresets or
                     # sampling streams (keeps backends bit-equivalent).
@@ -529,6 +576,22 @@ class ProcessBackend:
             tasks.put(("collect", dimension))
         replies = self._await_replies("snapshot")
         return [replies[spec.shard_index] for spec in self._specs]  # type: ignore[misc]
+
+    def dump_states(self) -> list[dict]:
+        """Checkpoint: fetch every worker's shard state tree (pickled once)."""
+        self._raise_if_failed()
+        for tasks in self._tasks:
+            tasks.put(("state_dump",))
+        replies = self._await_replies("state")
+        return [replies[spec.shard_index] for spec in self._specs]  # type: ignore[misc]
+
+    def load_states(self, states: list[dict]) -> None:
+        """Restore: ship one state tree into each worker process."""
+        _require_state_count(len(states), len(self._specs))
+        self._raise_if_failed()
+        for tasks, state in zip(self._tasks, states):
+            tasks.put(("state_load", state))
+        self._await_replies("state_loaded")
 
     def stored_points(self) -> int:
         """Total weighted points held across the worker processes."""

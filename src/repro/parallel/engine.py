@@ -37,6 +37,8 @@ from ..core.base import (
     StreamingConfig,
     coerce_batch,
     require_dimension,
+    streaming_config_from_dict,
+    streaming_config_to_dict,
 )
 from ..core.cache import CacheStats
 from ..core.serving_mixin import CoresetServingMixin
@@ -87,6 +89,8 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         custom shard objects (must be picklable for spawn-based workers).
     """
 
+    checkpoint_name = "sharded"
+
     def __init__(
         self,
         config: StreamingConfig,
@@ -117,6 +121,9 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         self.routing = routing
         self.backend_name = backend
         self.structure_name = structure
+        self._nesting_depth = nesting_depth
+        self._queue_depth = queue_depth
+        self._start_method = start_method
         self._router = make_router(routing, num_shards, seed=config.seed)
         seeds = spawn_shard_seeds(config.seed, num_shards)
         factory = shard_factory if shard_factory is not None else make_shard
@@ -133,6 +140,7 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         ]
         if slot_rows is None:
             slot_rows = max(1024, 2 * config.bucket_size)
+        self._slot_rows = slot_rows
         self._backend = make_backend(
             backend,
             specs,
@@ -306,6 +314,94 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         """Total weighted points held across all shards."""
         self._require_open()
         return self._backend.stored_points()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _config_tree(self) -> dict:
+        # The executor backend is deliberately NOT part of the fingerprinted
+        # config: a snapshot taken on one backend restores onto any other.
+        return {
+            "streaming": streaming_config_to_dict(self.config),
+            "num_shards": self._num_shards,
+            "routing": self.routing,
+            "structure": self.structure_name,
+            "nesting_depth": self._nesting_depth,
+        }
+
+    def _runtime_tree(self) -> dict:
+        return {
+            "backend": self.backend_name,
+            "queue_depth": self._queue_depth,
+            "slot_rows": self._slot_rows,
+            "start_method": self._start_method,
+        }
+
+    def _state_tree(self) -> dict:
+        from ..checkpoint.state import rng_state
+
+        self._require_open()
+        # Quiesce: apply every queued insert before cutting the snapshot, so
+        # coordinator counters and shard states describe the same stream
+        # position.  (_shard_trees below captures the workers afterwards.)
+        self._backend.sync()
+        return {
+            "points_seen": self._points_seen,
+            "dimension": self._dimension,
+            "loads": list(self._loads),
+            "rng": rng_state(self._rng),
+            "engine": self._engine.state_dict(),
+            "router": self._router.state_dict(),
+        }
+
+    def _shard_trees(self) -> list[dict]:
+        self._require_open()
+        return self._backend.dump_states()
+
+    @classmethod
+    def _from_checkpoint(cls, manifest, state, shards, **overrides):
+        from ..checkpoint import CheckpointError
+        from ..checkpoint.state import rng_from_state
+
+        unknown = set(overrides) - {"backend"}
+        if unknown:
+            raise CheckpointError(
+                f"{cls.__name__} only supports the 'backend' restore override, "
+                f"got {sorted(unknown)}"
+            )
+        config_tree = manifest["config"]
+        runtime = manifest.get("runtime", {})
+        num_shards = int(config_tree["num_shards"])
+        if shards is None or len(shards) != num_shards:
+            raise CheckpointError(
+                f"checkpoint holds {0 if shards is None else len(shards)} shard "
+                f"sub-snapshots but the manifest declares {num_shards} shards"
+            )
+        backend = overrides.get("backend") or runtime.get("backend", "serial")
+        engine = cls(
+            streaming_config_from_dict(config_tree["streaming"]),
+            num_shards=num_shards,
+            routing=config_tree["routing"],
+            backend=backend,
+            structure=config_tree["structure"],
+            nesting_depth=int(config_tree["nesting_depth"]),
+            queue_depth=int(runtime.get("queue_depth", 8)),
+            slot_rows=runtime.get("slot_rows"),
+            start_method=runtime.get("start_method") if backend == "process" else None,
+        )
+        try:
+            engine._points_seen = int(state["points_seen"])
+            engine._dimension = (
+                None if state["dimension"] is None else int(state["dimension"])
+            )
+            engine._loads = [int(load) for load in state["loads"]]
+            engine._rng = rng_from_state(state["rng"])
+            engine._engine.load_state(state["engine"])
+            engine._router.load_state(state["router"])
+            engine._backend.load_states(shards)
+        except BaseException:
+            engine.close()
+            raise
+        return engine
 
     # -- compatibility -------------------------------------------------------
 

@@ -127,6 +127,13 @@ class Router:
         """
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Checkpoint state of the router (empty for stateless policies)."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore router state from :meth:`state_dict` output."""
+
     def _blocks_from_assignments(
         self, arr: np.ndarray, assignments: np.ndarray
     ) -> list[tuple[int, np.ndarray]]:
@@ -164,6 +171,14 @@ class RoundRobinRouter(Router):
                 blocks.append((shard_index, block))
         self._next = (self._next + n) % self.num_shards
         return blocks
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: the cycle cursor."""
+        return {"next": self._next}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the cycle cursor."""
+        self._next = int(state["next"]) % self.num_shards
 
 
 class HashRouter(Router):
@@ -205,6 +220,16 @@ class RandomRouter(Router):
         """One vectorized draw assigns the whole batch."""
         assignments = self._rng.integers(0, self.num_shards, size=arr.shape[0])
         return self._blocks_from_assignments(arr, assignments)
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: the routing generator's position."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the routing generator's position."""
+        from ..checkpoint.state import rng_from_state
+
+        self._rng = rng_from_state(state["rng"])
 
 
 def make_router(policy: str, num_shards: int, seed: int | None = None) -> Router:

@@ -173,6 +173,28 @@ class StreamShard:
         """Points held by this shard (structure plus partial bucket)."""
         return self._structure.stored_points() + self._buffer.size
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: structure, partial bucket, and sampling streams."""
+        return {
+            "points_seen": self.points_seen,
+            "dimension": self._dimension,
+            "buffer": self._buffer.state_dict(),
+            "constructor": self._constructor.state_dict(),
+            "structure": self._structure.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore this shard from :meth:`state_dict` output."""
+        self.points_seen = int(state["points_seen"])
+        self._dimension = (
+            None if state["dimension"] is None else int(state["dimension"])
+        )
+        self._buffer.load_state(state["buffer"])
+        self._constructor.load_state(state["constructor"])
+        self._structure.load_state(state["structure"])
+
     def snapshot(self, dimension: int) -> ShardSnapshot:
         """Materialise the shard's coreset and counters for the coordinator."""
         coreset = self.local_coreset(dimension)

@@ -209,6 +209,45 @@ class QueryEngine:
         """Drop all warm-start state (counters are preserved)."""
         self._states.clear()
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: per-k warm-start seeds plus the query counters."""
+        return {
+            "warm_queries": self._warm_queries,
+            "cold_queries": self._cold_queries,
+            "drift_fallbacks": self._drift_fallbacks,
+            "refreshes": self._refreshes,
+            "states": [
+                {
+                    "k": k,
+                    "centers": state.centers,
+                    "normalized_cost": state.normalized_cost,
+                    "streak": state.streak,
+                }
+                for k, state in self._states.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore warm-start seeds and counters from :meth:`state_dict` output.
+
+        The solver parameters (n_init, drift ratio, ...) are configuration,
+        not state — they come from the engine's constructor.
+        """
+        self._warm_queries = int(state["warm_queries"])
+        self._cold_queries = int(state["cold_queries"])
+        self._drift_fallbacks = int(state["drift_fallbacks"])
+        self._refreshes = int(state["refreshes"])
+        self._states = {
+            int(entry["k"]): _WarmState(
+                centers=entry["centers"],
+                normalized_cost=float(entry["normalized_cost"]),
+                streak=int(entry["streak"]),
+            )
+            for entry in state["states"]
+        }
+
     # -- solving ---------------------------------------------------------------
 
     def solve(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.streamkmpp import StreamKMpp, streamkmpp_config
 from repro.core.base import StreamingConfig

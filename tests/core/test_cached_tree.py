@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.cached_tree import CachedCoresetTree
-from repro.core.numeral import major, prefixsum
+from repro.core.numeral import prefixsum
 from repro.coreset.bucket import Bucket, WeightedPointSet
 from repro.coreset.construction import make_constructor
 

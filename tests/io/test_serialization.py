@@ -40,6 +40,31 @@ class TestCenters:
         save_centers(target, np.zeros((2, 2)))
         assert target.exists()
 
+    def test_preserves_dtype(self, tmp_path):
+        # Regression: centers used to be silently upcast to float64.
+        centers = np.random.default_rng(1).normal(size=(4, 2)).astype(np.float32)
+        loaded = load_centers(save_centers(tmp_path / "f32.npz", centers))
+        assert loaded.dtype == np.float32
+        np.testing.assert_array_equal(loaded, centers)
+
+    def test_weights_roundtrip(self, tmp_path):
+        # Regression: the weights a coreset query carries used to be dropped.
+        centers = np.random.default_rng(2).normal(size=(3, 2))
+        weights = np.array([1.5, 2.0, 0.25])
+        path = save_centers(tmp_path / "w.npz", centers, weights=weights)
+        loaded_centers, loaded_weights = load_centers(path, with_weights=True)
+        np.testing.assert_array_equal(loaded_centers, centers)
+        np.testing.assert_array_equal(loaded_weights, weights)
+
+    def test_weights_absent_returns_none(self, tmp_path):
+        path = save_centers(tmp_path / "nw.npz", np.zeros((2, 2)))
+        _, weights = load_centers(path, with_weights=True)
+        assert weights is None
+
+    def test_rejects_mismatched_weights(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_centers(tmp_path / "bad.npz", np.zeros((3, 2)), weights=np.ones(2))
+
 
 class TestQueryResult:
     def test_roundtrip(self, tmp_path):

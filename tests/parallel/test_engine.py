@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.base import StreamingConfig
 from repro.core.driver import CachedCoresetTreeClusterer, StreamClusterDriver
 from repro.extensions.distributed import DistributedCoordinator
 from repro.kmeans.cost import kmeans_cost

@@ -1,0 +1,124 @@
+"""Tests for the perf-regression gate (tools/check_bench_regression.py)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_bench_regression.py"
+
+
+def make_report(scale: float = 1.0, calibration: float = 0.02) -> dict:
+    """A synthetic quick-bench report; ``scale`` > 1 means that much slower."""
+    return {
+        "schema": 1,
+        "calibration_seconds": calibration,
+        "metrics": {
+            "cc_ingest_pts_per_s": {"value": 200_000.0 / scale, "higher_is_better": True},
+            "cc_query_median_us": {"value": 400.0 * scale, "higher_is_better": False},
+        },
+    }
+
+
+def run_checker(baseline_path, current_path, *extra):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--baseline", str(baseline_path),
+         "--current", str(current_path), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def write(path, report):
+    path.write_text(json.dumps(report))
+    return path
+
+
+class TestGate:
+    def test_identical_reports_pass(self, tmp_path):
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(tmp_path / "curr.json", make_report())
+        result = run_checker(base, curr)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no benchmark regressions" in result.stdout
+
+    def test_injected_2x_slowdown_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(tmp_path / "curr.json", make_report(scale=2.0))
+        result = run_checker(base, curr)
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+        assert "regression detected" in result.stdout
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(tmp_path / "curr.json", make_report(scale=1.2))
+        result = run_checker(base, curr)
+        assert result.returncode == 0, result.stdout
+
+    def test_improvement_never_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(tmp_path / "curr.json", make_report(scale=0.3))
+        result = run_checker(base, curr)
+        assert result.returncode == 0, result.stdout
+
+    def test_machine_speed_cancels(self, tmp_path):
+        # Same code on a machine 3x slower across the board (calibration and
+        # metrics alike) must NOT trip the gate.
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(
+            tmp_path / "curr.json", make_report(scale=3.0, calibration=0.06)
+        )
+        result = run_checker(base, curr)
+        assert result.returncode == 0, result.stdout
+
+    def test_missing_metric_fails(self, tmp_path):
+        base_report = make_report()
+        base = write(tmp_path / "base.json", base_report)
+        curr_report = make_report()
+        del curr_report["metrics"]["cc_query_median_us"]
+        curr = write(tmp_path / "curr.json", curr_report)
+        result = run_checker(base, curr)
+        assert result.returncode == 1
+        assert "missing from the current report" in result.stdout
+
+    def test_tolerance_flag(self, tmp_path):
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(tmp_path / "curr.json", make_report(scale=1.2))
+        result = run_checker(base, curr, "--tolerance", "0.10")
+        assert result.returncode == 1
+
+    def test_bad_schema_rejected(self, tmp_path):
+        report = make_report()
+        report["schema"] = 99
+        base = write(tmp_path / "base.json", make_report())
+        curr = write(tmp_path / "curr.json", report)
+        result = run_checker(base, curr)
+        assert result.returncode != 0
+        assert "schema" in result.stderr
+
+    def test_write_baseline(self, tmp_path):
+        curr = write(tmp_path / "curr.json", make_report())
+        target = tmp_path / "new" / "baseline.json"
+        result = run_checker(tmp_path / "unused.json", curr, "--write-baseline", str(target))
+        assert result.returncode == 0
+        assert json.loads(target.read_text())["schema"] == 1
+
+
+def test_committed_baseline_is_valid():
+    """The committed baseline parses and carries the headline metrics."""
+    baseline = json.loads(
+        (REPO_ROOT / "benchmarks" / "baselines" / "bench_baseline.json").read_text()
+    )
+    assert baseline["schema"] == 1
+    assert baseline["calibration_seconds"] > 0
+    for key in (
+        "cc_ingest_pts_per_s",
+        "cc_query_median_us",
+        "rcc_ingest_pts_per_s",
+        "rcc_query_median_us",
+    ):
+        assert key in baseline["metrics"]

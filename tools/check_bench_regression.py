@@ -1,0 +1,145 @@
+"""Compare a quick-bench report against the committed baseline with a tolerance band.
+
+The perf-regression CI gate.  Both files are produced by
+``tools/run_quick_bench.py``.  Every metric is first *normalised* by its
+report's calibration time (the wall-clock of a fixed numpy workload measured
+on the same machine, in the same run), which cancels most machine-speed
+differences between the baseline recorder and the CI runner:
+
+* throughput metrics (``higher_is_better``) compare
+  ``value * calibration_seconds`` — work done per calibration unit;
+* latency metrics compare ``value / calibration_seconds`` — cost in
+  calibration units.
+
+A metric regresses when its normalised value is more than ``--tolerance``
+(default 0.30, i.e. 30%; env override ``REPRO_BENCH_TOLERANCE``) worse than
+the baseline.  Any regression exits 1 with a per-metric report; improvements
+are reported but never fail the gate.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr4.json
+    python tools/check_bench_regression.py \
+        --baseline benchmarks/baselines/bench_baseline.json \
+        --current BENCH_pr4.json
+
+Refreshing the committed baseline after an intentional perf change::
+
+    python tools/check_bench_regression.py --current BENCH_pr4.json \
+        --write-baseline benchmarks/baselines/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+DEFAULT_TOLERANCE = 0.30
+DEFAULT_BASELINE = Path("benchmarks/baselines/bench_baseline.json")
+
+
+def load_report(path: Path) -> dict:
+    """Load and structurally validate one quick-bench JSON report."""
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read bench report {path}: {exc}")
+    if report.get("schema") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"error: {path} has schema {report.get('schema')!r}, expected {SCHEMA_VERSION}"
+        )
+    if not isinstance(report.get("metrics"), dict) or not report["metrics"]:
+        raise SystemExit(f"error: {path} contains no metrics")
+    if not (float(report.get("calibration_seconds", 0.0)) > 0.0):
+        raise SystemExit(f"error: {path} is missing a positive calibration_seconds")
+    return report
+
+
+def normalised(entry: dict, calibration: float) -> float:
+    """Machine-normalised metric value (see module docstring)."""
+    value = float(entry["value"])
+    if entry.get("higher_is_better", False):
+        return value * calibration
+    return value / calibration
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[str], bool]:
+    """Per-metric comparison lines plus an overall did-anything-regress flag."""
+    lines: list[str] = []
+    failed = False
+    base_cal = float(baseline["calibration_seconds"])
+    curr_cal = float(current["calibration_seconds"])
+    lines.append(
+        f"calibration: baseline {base_cal * 1e3:.1f} ms, current {curr_cal * 1e3:.1f} ms"
+    )
+    for name, base_entry in sorted(baseline["metrics"].items()):
+        curr_entry = current["metrics"].get(name)
+        if curr_entry is None:
+            failed = True
+            lines.append(f"FAIL {name}: missing from the current report")
+            continue
+        base_norm = normalised(base_entry, base_cal)
+        curr_norm = normalised(curr_entry, curr_cal)
+        higher = base_entry.get("higher_is_better", False)
+        # Positive ratio = how much worse the current run is, normalised.
+        if higher:
+            worse_by = (base_norm - curr_norm) / base_norm
+        else:
+            worse_by = (curr_norm - base_norm) / base_norm
+        status = "ok  "
+        if worse_by > tolerance:
+            status = "FAIL"
+            failed = True
+        lines.append(
+            f"{status} {name}: baseline {float(base_entry['value']):.1f}, "
+            f"current {float(curr_entry['value']):.1f} "
+            f"({'-' if worse_by > 0 else '+'}{abs(worse_by) * 100.0:.1f}% "
+            f"normalised, tolerance {tolerance * 100.0:.0f}%)"
+        )
+    return lines, failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exits 1 when any metric regresses past the tolerance."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed normalised slowdown before failing (fraction, default 0.30)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="copy the current report to this path as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_report(args.current)
+    if args.write_baseline is not None:
+        args.write_baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.write_baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.write_baseline}")
+        return 0
+
+    baseline = load_report(args.baseline)
+    lines, failed = compare(baseline, current, args.tolerance)
+    print("\n".join(lines))
+    if failed:
+        print("\nbenchmark regression detected (see FAIL lines above)")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Run the quick-scale benchmarks and write a machine-readable JSON report.
+
+The report feeds the ``bench-regression`` CI gate: a handful of headline
+metrics (batch-ingestion throughput in points/second and median warm query
+latency in microseconds, for the CC and RCC clusterers) plus a *calibration*
+measurement — the wall-clock of a fixed numpy workload shaped like the
+library's hot loops (GEMM + reduction + sampling).  The regression checker
+(``tools/check_bench_regression.py``) normalises every metric by the
+calibration time, so comparisons against a baseline recorded on a different
+machine measure the *code*, not the hardware.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.base import StreamingConfig  # noqa: E402
+from repro.core.driver import (  # noqa: E402
+    CachedCoresetTreeClusterer,
+    RecursiveCachedClusterer,
+)
+from repro.data.loaders import load_dataset  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Quick-scale workload: small enough for a CI smoke job, large enough that
+#: the vectorized paths (not fixed overheads) dominate.
+NUM_POINTS = 16_000
+NUM_QUERIES = 30
+K = 20
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed numpy workload shaped like the library's hot loops."""
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(4096, 54))
+    centers = rng.normal(size=(64, 54))
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(20):
+            d = pts @ centers.T
+            d -= 0.5 * np.einsum("ij,ij->i", centers, centers)[None, :]
+            labels = np.argmax(d, axis=1)
+            np.bincount(labels, minlength=centers.shape[0])
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(clusterer_factory, points: np.ndarray, repeats: int) -> tuple[float, float]:
+    """Best-of-``repeats`` (ingest points/s, median warm query latency in µs)."""
+    best_pts_per_s = 0.0
+    best_median_us = float("inf")
+    for _ in range(repeats):
+        clusterer = clusterer_factory()
+        start = time.perf_counter()
+        clusterer.insert_batch(points)
+        ingest_seconds = time.perf_counter() - start
+        best_pts_per_s = max(best_pts_per_s, points.shape[0] / ingest_seconds)
+
+        latencies = []
+        for _ in range(NUM_QUERIES):
+            start = time.perf_counter()
+            clusterer.query()
+            latencies.append(time.perf_counter() - start)
+        best_median_us = min(best_median_us, statistics.median(latencies) * 1e6)
+    return best_pts_per_s, best_median_us
+
+
+def run(repeats: int) -> dict:
+    """Execute the quick benchmark suite and return the report dict."""
+    points = load_dataset("covtype", num_points=NUM_POINTS, seed=0).points
+    config = StreamingConfig(k=K, seed=0)
+
+    metrics: dict[str, dict] = {}
+    for name, factory in (
+        ("cc", lambda: CachedCoresetTreeClusterer(config)),
+        ("rcc", lambda: RecursiveCachedClusterer(config)),
+    ):
+        pts_per_s, median_us = _measure(factory, points, repeats)
+        metrics[f"{name}_ingest_pts_per_s"] = {
+            "value": pts_per_s,
+            "higher_is_better": True,
+        }
+        metrics[f"{name}_query_median_us"] = {
+            "value": median_us,
+            "higher_is_better": False,
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "calibration_seconds": calibrate(),
+        "workload": {"num_points": NUM_POINTS, "num_queries": NUM_QUERIES, "k": K},
+        "metrics": metrics,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the suite and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_pr4.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    report = run(args.repeats)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"calibration: {report['calibration_seconds'] * 1e3:.1f} ms")
+    for name, entry in sorted(report["metrics"].items()):
+        print(f"{name}: {entry['value']:.1f}")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
