@@ -13,7 +13,11 @@ Queries"* (Zhang, Tangwongsan, Tirthapura; ICDE 2017).  The package provides:
 * a benchmark harness that reproduces every figure and table of Section 5; and
 * checkpoint/restore of live clusterer state (:mod:`repro.checkpoint`):
   ``clusterer.snapshot(path)`` / ``Class.restore(path)`` resume ingestion
-  bit-identically after a process restart.
+  bit-identically after a process restart; and
+* a compute-kernel layer (:mod:`repro.kernels`) behind every update-path hot
+  loop — pooled zero-allocation merge scratch, fused chunked distance
+  kernels, and an opt-in end-to-end float32 storage dtype
+  (``StreamingConfig(dtype="float32")``) with float64 cost accumulators.
 
 Quickstart::
 
@@ -49,6 +53,7 @@ from .core import (
 )
 from .coreset import Bucket, CoresetConfig, CoresetConstructor, WeightedPointSet
 from .data import PointStream, load_dataset
+from .kernels import SUPPORTED_DTYPES, Workspace, resolve_dtype
 from .kmeans import BatchKMeans, KMeansConfig, kmeans_cost, kmeanspp_seeding, weighted_kmeans
 from .parallel import ShardedEngine, ShardWorkerError
 from .queries import FixedIntervalSchedule, PoissonSchedule, QueryEngine, QueryStats
@@ -80,6 +85,9 @@ __all__ = [
     "WeightedPointSet",
     "PointStream",
     "load_dataset",
+    "SUPPORTED_DTYPES",
+    "Workspace",
+    "resolve_dtype",
     "BatchKMeans",
     "KMeansConfig",
     "kmeans_cost",

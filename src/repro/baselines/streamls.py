@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_dimension
 from ..core.buffer import BucketBuffer
+from ..kernels.scatter import weighted_bincount
 from ..kmeans.batch import weighted_kmeans
 from ..kmeans.cost import assign_points
 
@@ -157,8 +158,7 @@ class StreamLSClusterer(StreamingClusterer):
             points, self.k, weights=weights, n_init=2, rng=self._rng
         )
         labels, _ = assign_points(points, result.centers)
-        rep_weights = np.zeros(result.centers.shape[0], dtype=np.float64)
-        np.add.at(rep_weights, labels, weights)
+        rep_weights = weighted_bincount(labels, weights, result.centers.shape[0])
         occupied = rep_weights > 0
         return result.centers[occupied], rep_weights[occupied]
 

@@ -336,8 +336,14 @@ def _resume_algorithm(experiment: StreamingExperiment) -> StreamingClusterer:
 
 
 def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunResult:
-    """Replay ``points`` through the configured algorithm and schedule."""
-    data = np.asarray(points, dtype=np.float64)
+    """Replay ``points`` through the configured algorithm and schedule.
+
+    The stream is converted once up front to the configuration's storage
+    dtype (``config.dtype``), so with ``dtype="float32"`` every block the
+    algorithm ingests — and every slab the sharded engine ships — is single
+    precision end to end.
+    """
+    data = np.asarray(points, dtype=experiment.config.np_dtype)
     if data.ndim != 2 or data.shape[0] == 0:
         raise ValueError("points must be a non-empty 2-D array")
     if experiment.ingest_mode not in ("batch", "point"):
@@ -457,7 +463,10 @@ def _replay(
             query_costs.append(kmeans_cost(data[:position], result.centers))
 
     if experiment.ingest_mode == "batch":
-        stream = PointStream(data)
+        # Preserve the storage dtype: the default PointStream would upcast a
+        # float32 stream back to float64 and force a per-block re-cast inside
+        # the timed update loop.
+        stream = PointStream(data, dtype=data.dtype)
         for block in stream.iter_segments(query_set, chunk_size=experiment.chunk_size):
             start = time.perf_counter()
             algorithm.insert_batch(block)

@@ -71,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--poisson", action="store_true", help="use a Poisson query schedule")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help=(
+            "point storage dtype: float32 halves buffer/bucket/slab memory "
+            "bandwidth (costs and weights stay float64); float64 is the "
+            "bit-compatible default"
+        ),
+    )
+    run.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -137,7 +147,7 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
     config = StreamingConfig(
-        k=args.k, coreset_size=args.bucket_size, seed=args.seed
+        k=args.k, coreset_size=args.bucket_size, seed=args.seed, dtype=args.dtype
     )
     if args.poisson:
         schedule = PoissonSchedule.from_mean_interval(args.query_interval, seed=args.seed)

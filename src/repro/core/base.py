@@ -43,9 +43,14 @@ __all__ = [
 ]
 
 
-def coerce_batch(points: np.ndarray) -> np.ndarray:
-    """Coerce a batch of points to a 2-D float64 array (one validation per batch)."""
-    arr = np.asarray(points, dtype=np.float64)
+def coerce_batch(points: np.ndarray, dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """Coerce a batch of points to a 2-D float array (one validation per batch).
+
+    ``dtype`` is the clusterer's storage dtype: float64 by default, float32
+    for clusterers configured with ``StreamingConfig(dtype="float32")``.  A
+    batch already in the right dtype is passed through zero-copy.
+    """
+    arr = np.asarray(points, dtype=dtype)
     if arr.ndim == 1:
         # An empty 1-D input is an empty batch, not a single 0-dimensional
         # point: reshaping it to (1, 0) would defeat the callers' empty-batch
@@ -124,6 +129,14 @@ class StreamingConfig:
         queries the next query also runs the cold path (keeping the better
         answer), bounding how long a stable-but-suboptimal warm optimum can
         persist.  ``None`` disables the re-anchor.
+    dtype:
+        Storage dtype for point coordinates: ``"float64"`` (the default —
+        double precision throughout, with every equivalence contract of the
+        package proven at this dtype) or ``"float32"`` (halves the memory
+        bandwidth and footprint of buffers, buckets, and shared-memory
+        slabs; costs and weights are still accumulated in float64).  Part
+        of the checkpoint config fingerprint — a snapshot taken at one
+        dtype never silently restores at another.
     """
 
     k: int
@@ -136,10 +149,16 @@ class StreamingConfig:
     warm_start: bool = True
     warm_start_drift_ratio: float = 2.0
     warm_start_refresh_interval: int | None = 64
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
+        from ..kernels.dtypes import resolve_dtype
+
         if self.k <= 0:
             raise ValueError(f"k must be positive, got {self.k}")
+        # Normalise dtype-likes to the canonical name so that configs compare
+        # (and fingerprint) equal regardless of how the dtype was spelled.
+        object.__setattr__(self, "dtype", resolve_dtype(self.dtype).name)
         if self.merge_degree < 2:
             raise ValueError(f"merge_degree must be >= 2, got {self.merge_degree}")
         if self.coreset_size is not None and self.coreset_size <= 0:
@@ -157,6 +176,11 @@ class StreamingConfig:
     def bucket_size(self) -> int:
         """The base-bucket size ``m`` (defaults to ``20 * k``)."""
         return self.coreset_size if self.coreset_size is not None else 20 * self.k
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured storage dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
 
     def coreset_config(self) -> CoresetConfig:
         """The coreset-construction configuration implied by this config."""

@@ -31,6 +31,9 @@ class BucketBuffer:
         Dimensionality of the rows.  May be omitted and set lazily on the
         first append/fill (streams reveal their dimension with the first
         point).
+    dtype:
+        Storage dtype of the rows (float64 default, float32 opt-in); rows
+        appended or filled in another dtype are cast on copy.
 
     Notes
     -----
@@ -41,10 +44,16 @@ class BucketBuffer:
     are views into that input, not into the buffer.
     """
 
-    def __init__(self, capacity: int, dimension: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        dimension: int | None = None,
+        dtype: np.dtype | type | str = np.float64,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = int(capacity)
+        self._dtype = np.dtype(dtype)
         self._data: np.ndarray | None = None
         self._size = 0
         if dimension is not None:
@@ -53,7 +62,7 @@ class BucketBuffer:
     def _allocate(self, dimension: int) -> None:
         if dimension <= 0:
             raise ValueError(f"dimension must be positive, got {dimension}")
-        self._data = np.empty((self._capacity, dimension), dtype=np.float64)
+        self._data = np.empty((self._capacity, dimension), dtype=self._dtype)
 
     # -- properties ----------------------------------------------------------
 
@@ -61,6 +70,11 @@ class BucketBuffer:
     def capacity(self) -> int:
         """The bucket size ``m``."""
         return self._capacity
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the buffered rows."""
+        return self._dtype
 
     @property
     def dimension(self) -> int | None:
@@ -133,7 +147,7 @@ class BucketBuffer:
         """Copy of the filled region without resetting (for query-time unions)."""
         if self._data is None or self._size == 0:
             dim = self.dimension or 1
-            return np.empty((0, dim), dtype=np.float64)
+            return np.empty((0, dim), dtype=self._dtype)
         return self._data[: self._size].copy()
 
     def clear(self) -> None:

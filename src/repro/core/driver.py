@@ -75,7 +75,8 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         self.config = config
         self._structure = structure
         self._bucket_size = config.bucket_size
-        self._buffer = BucketBuffer(config.bucket_size)
+        self._dtype = config.np_dtype
+        self._buffer = BucketBuffer(config.bucket_size, dtype=self._dtype)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -140,7 +141,7 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         preallocated :class:`~repro.core.buffer.BucketBuffer` and a full
         buffer is handed to the structure as a base bucket.
         """
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        row = np.asarray(point, dtype=self._dtype).reshape(-1)
         self._require_dimension(row.shape[0], what="point")
         self._buffer.append(row)
         self._points_seen += 1
@@ -164,7 +165,7 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         intend to discard can pass copies to trade one memcpy for earlier
         reclamation.
         """
-        arr = coerce_batch(points)
+        arr = coerce_batch(points, dtype=self._dtype)
         if arr.shape[0] == 0:
             return
         self._require_dimension(arr.shape[1], what="points")
@@ -220,7 +221,7 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
 
     def _partial_bucket_points(self) -> WeightedPointSet:
         if self._buffer.is_empty:
-            return WeightedPointSet.empty(self._dimension or 1)
+            return WeightedPointSet.empty(self._dimension or 1, dtype=self._dtype)
         return WeightedPointSet.from_points(self._buffer.snapshot())
 
     # -- checkpointing -------------------------------------------------------

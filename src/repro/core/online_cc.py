@@ -86,7 +86,8 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
         self._engine = config.make_query_engine()
         self._last_query_stats: QueryStats | None = None
 
-        self._buffer = BucketBuffer(config.bucket_size)
+        self._dtype = config.np_dtype
+        self._buffer = BucketBuffer(config.bucket_size, dtype=self._dtype)
         self._points_seen = 0
         self._dimension: int | None = None
 
@@ -127,7 +128,7 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
 
     def insert(self, point: np.ndarray) -> None:
         """Process one stream point through both the online and the CC path."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        row = np.asarray(point, dtype=self._dtype).reshape(-1)
         if self._dimension is None:
             self._dimension = row.shape[0]
             self._online = SequentialKMeansState(self.config.k, self._dimension)
@@ -155,7 +156,7 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
         definition, so it loops — but over pre-coerced rows, with validation
         paid once per batch.
         """
-        arr = coerce_batch(points)
+        arr = coerce_batch(points, dtype=self._dtype)
         if arr.shape[0] == 0:
             return
         self._dimension = require_dimension(self._dimension, arr.shape[1])

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.dtypes import coerce_storage
+
 __all__ = ["WeightedPointSet", "Bucket", "make_base_buckets"]
 
 
@@ -24,16 +26,20 @@ class WeightedPointSet:
     Attributes
     ----------
     points:
-        Array of shape ``(n, d)``.
+        Array of shape ``(n, d)``.  Float32 coordinates are preserved (the
+        opt-in low-bandwidth storage dtype); any other dtype is coerced to
+        float64.
     weights:
-        Array of shape ``(n,)`` with positive weights.
+        Array of shape ``(n,)`` with positive weights — always float64, per
+        the dtype policy's honest-accumulator rule (weights are summed over
+        the whole stream).
     """
 
     points: np.ndarray
     weights: np.ndarray
 
     def __post_init__(self) -> None:
-        pts = np.asarray(self.points, dtype=np.float64)
+        pts = coerce_storage(self.points)
         if pts.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {pts.shape}")
         w = np.asarray(self.weights, dtype=np.float64)
@@ -48,17 +54,17 @@ class WeightedPointSet:
 
     @classmethod
     def from_points(cls, points: np.ndarray) -> "WeightedPointSet":
-        """Wrap raw points with unit weights."""
-        pts = np.asarray(points, dtype=np.float64)
+        """Wrap raw points with unit weights (float32 blocks stay float32)."""
+        pts = coerce_storage(points)
         if pts.ndim == 1:
             pts = pts.reshape(1, -1)
         return cls(points=pts, weights=np.ones(pts.shape[0], dtype=np.float64))
 
     @classmethod
-    def empty(cls, dimension: int) -> "WeightedPointSet":
+    def empty(cls, dimension: int, dtype: np.dtype | type = np.float64) -> "WeightedPointSet":
         """An empty weighted set of the given dimensionality."""
         return cls(
-            points=np.empty((0, dimension), dtype=np.float64),
+            points=np.empty((0, dimension), dtype=dtype),
             weights=np.empty(0, dtype=np.float64),
         )
 
@@ -209,7 +215,8 @@ def make_base_buckets(blocks: list[np.ndarray], start: int) -> list["Bucket"]:
     The shared tail of every batch-ingestion path: each ``(m, d)`` block from
     :meth:`~repro.core.buffer.BucketBuffer.take_full_blocks` becomes a
     level-0 bucket with the next base-bucket index, preserving zero-copy
-    (``WeightedPointSet.from_points`` does not copy float64 arrays).
+    (``WeightedPointSet.from_points`` copies neither float64 nor float32
+    arrays).
     """
     return [
         Bucket(

@@ -25,6 +25,9 @@ from typing import Callable, Literal
 
 import numpy as np
 
+from ..kernels.distance import pooled_row_norms
+from ..kernels.scatter import weighted_bincount
+from ..kernels.workspace import Workspace
 from ..kmeans.cost import assign_points
 from ..kmeans.kmeanspp import kmeanspp_seeding
 from .bucket import WeightedPointSet
@@ -104,6 +107,7 @@ def sensitivity_coreset(
     m: int,
     rng: np.random.Generator,
     seed_centers: int | None = None,
+    workspace: Workspace | None = None,
 ) -> WeightedPointSet:
     """Importance-sampling coreset of size ``m`` for the k-means metric.
 
@@ -116,6 +120,11 @@ def sensitivity_coreset(
     ``p(x) = s(x) / sum(s)`` and given weight ``w(x) / (m * p(x))`` so that
     the weighted cost of the sample is an unbiased estimator of the cost of
     the input for every candidate center set.
+
+    The merge hot path: with a ``workspace`` (every
+    :class:`CoresetConstructor` owns one) all seeding, assignment, and
+    sampling scratch is pooled, so a steady-state merge of fixed-shape
+    buckets allocates only its output arrays.
     """
     small = _passthrough_if_small(data, m)
     if small is not None:
@@ -123,41 +132,72 @@ def sensitivity_coreset(
 
     pts = data.points
     w = data.weights
+    n = data.size
     n_seeds = seed_centers if seed_centers is not None else k
-    n_seeds = min(n_seeds, data.size)
+    n_seeds = min(n_seeds, n)
 
-    centers = kmeanspp_seeding(pts, n_seeds, weights=w, rng=rng)
-    labels, sq = assign_points(pts, centers)
+    ws = workspace if workspace is not None else Workspace()
+    # One norm pass shared by the seeding rounds and the assignment, in the
+    # points' storage dtype (float32 merges run float32 matvecs).
+    pts_sq = pooled_row_norms(pts, ws, "sens.pts_sq")
 
-    weighted_sq = w * sq
+    # The seeding loop maintains each point's nearest seed and squared
+    # distance incrementally, so no separate assignment GEMM is needed.
+    centers, labels, sq = kmeanspp_seeding(
+        pts,
+        n_seeds,
+        weights=w,
+        rng=rng,
+        points_sq=pts_sq,
+        workspace=ws,
+        with_assignment=True,
+    )
+
+    weighted_sq = np.multiply(w, sq, out=ws.buffer("sens.weighted_sq", n))
     total_cost = float(np.sum(weighted_sq))
 
-    cluster_weight = np.zeros(centers.shape[0], dtype=np.float64)
-    np.add.at(cluster_weight, labels, w)
     # Every occupied cluster has positive weight; guard unoccupied ones anyway.
-    cluster_weight = np.maximum(cluster_weight, np.finfo(np.float64).tiny)
+    cluster_weight = weighted_bincount(labels, w, centers.shape[0])
+    np.maximum(cluster_weight, np.finfo(np.float64).tiny, out=cluster_weight)
 
+    share = np.take(cluster_weight, labels, out=ws.buffer("sens.share", n))
+    np.divide(w, share, out=share)
+    sensitivities = ws.buffer("sens.scores", n)
     if total_cost <= 0.0:
         # Degenerate case: every point coincides with a seed.  Sensitivities
         # collapse to the per-cluster share.
-        sensitivities = w / cluster_weight[labels]
+        sensitivities[:] = share
     else:
-        sensitivities = weighted_sq / total_cost + w / cluster_weight[labels]
+        np.divide(weighted_sq, total_cost, out=sensitivities)
+        sensitivities += share
 
-    cdf = np.cumsum(sensitivities)
-    probabilities = sensitivities / cdf[-1]
+    cdf = sensitivities.cumsum(out=ws.buffer("sens.cdf", n))
 
-    indices = _sample_from_cdf(rng, cdf, m)
+    indices = _sample_from_cdf(rng, cdf, m, workspace=ws)
     sample_points = pts[indices]
-    sample_weights = w[indices] / (m * probabilities[indices])
+    # w[indices] / (m * p[indices]) with p = sensitivities / cdf[-1].
+    sampled_p = np.take(sensitivities, indices, out=ws.buffer("sens.sampled_p", m))
+    sampled_p /= float(cdf[-1])
+    sample_weights = w[indices]
+    sample_weights /= m * sampled_p
 
     return WeightedPointSet(points=sample_points, weights=sample_weights)
 
 
-def _sample_from_cdf(rng: np.random.Generator, cdf: np.ndarray, size: int) -> np.ndarray:
+def _sample_from_cdf(
+    rng: np.random.Generator,
+    cdf: np.ndarray,
+    size: int,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
     """Draw ``size`` indices with replacement, proportional to the CDF increments."""
-    draws = np.searchsorted(cdf, rng.random(size) * cdf[-1], side="right")
-    return np.minimum(draws, cdf.shape[0] - 1)
+    if workspace is None:
+        u = rng.random(size)
+    else:
+        u = rng.random(out=workspace.buffer("sample.u", size))
+    u *= cdf[-1]
+    draws = cdf.searchsorted(u, side="right")
+    return np.minimum(draws, cdf.shape[0] - 1, out=draws)
 
 
 def uniform_coreset(
@@ -187,20 +227,26 @@ def kmeanspp_coreset(
     k: int,
     m: int,
     rng: np.random.Generator,
+    workspace: Workspace | None = None,
 ) -> WeightedPointSet:
     """Coreset of ``m`` k-means++ representatives carrying their cluster weights.
 
     This mirrors the construction used by streamkm++'s coreset trees: run
     k-means++ D² sampling to pick ``m`` representatives and move each input
-    point's weight onto its nearest representative.
+    point's weight onto its nearest representative (a ``bincount`` scatter).
     """
     small = _passthrough_if_small(data, m)
     if small is not None:
         return small
-    representatives = kmeanspp_seeding(data.points, m, weights=data.weights, rng=rng)
-    labels, _ = assign_points(data.points, representatives)
-    rep_weights = np.zeros(representatives.shape[0], dtype=np.float64)
-    np.add.at(rep_weights, labels, data.weights)
+    ws = workspace if workspace is not None else Workspace()
+    pts_sq = pooled_row_norms(data.points, ws, "kpc.pts_sq")
+    representatives = kmeanspp_seeding(
+        data.points, m, weights=data.weights, rng=rng, points_sq=pts_sq, workspace=ws
+    )
+    labels, _ = assign_points(
+        data.points, representatives, points_sq=pts_sq, workspace=ws
+    )
+    rep_weights = weighted_bincount(labels, data.weights, representatives.shape[0])
     occupied = rep_weights > 0
     return WeightedPointSet(
         points=representatives[occupied],
@@ -232,11 +278,21 @@ class CoresetConstructor:
         # fresh entropy once so that merge randomness is still internally
         # consistent for the lifetime of this constructor.
         self._entropy = int(np.random.SeedSequence().entropy) if seed is None else int(seed)
+        # Scratch pool shared by every merge this constructor performs: merge
+        # inputs have bounded shape (<= r*m points), so after the first merge
+        # the steady state allocates only output arrays.  Pure scratch — it
+        # never appears in state_dict() and never crosses process boundaries.
+        self._workspace = Workspace()
         self._builders: dict[str, Callable[..., WeightedPointSet]] = {
             "sensitivity": self._build_sensitivity,
             "uniform": self._build_uniform,
             "kmeanspp": self._build_kmeanspp,
         }
+
+    @property
+    def workspace(self) -> Workspace:
+        """The constructor's scratch-buffer pool (instrumentation/tests)."""
+        return self._workspace
 
     @property
     def coreset_size(self) -> int:
@@ -295,6 +351,7 @@ class CoresetConstructor:
             self.config.coreset_size,
             rng,
             seed_centers=self.config.seed_centers,
+            workspace=self._workspace,
         )
 
     def _build_uniform(
@@ -305,7 +362,10 @@ class CoresetConstructor:
     def _build_kmeanspp(
         self, data: WeightedPointSet, rng: np.random.Generator
     ) -> WeightedPointSet:
-        return kmeanspp_coreset(data, self.config.k, self.config.coreset_size, rng)
+        return kmeanspp_coreset(
+            data, self.config.k, self.config.coreset_size, rng,
+            workspace=self._workspace,
+        )
 
 
 def make_constructor(

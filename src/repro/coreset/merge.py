@@ -10,6 +10,8 @@ approximation error compounds with the level.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .bucket import Bucket, WeightedPointSet
 from .construction import CoresetConstructor
 
@@ -47,6 +49,37 @@ def union_buckets(buckets: list[Bucket]) -> Bucket:
     )
 
 
+def _pooled_union(buckets: list[Bucket], constructor: CoresetConstructor) -> WeightedPointSet | None:
+    """Union bucket data into the constructor's scratch pool, when safe.
+
+    The union feeding a merge is consumed by the coreset construction and
+    discarded, so its backing arrays can come from the constructor's
+    workspace instead of a fresh ``vstack`` per merge.  Only taken when the
+    construction is guaranteed to *sample* (union strictly larger than the
+    target size ``m``): a passthrough would otherwise retain pool-backed
+    arrays inside the tree.  Returns ``None`` when the fallback copying
+    union must be used (mixed dtypes, empty inputs, small unions).
+    """
+    ws = getattr(constructor, "workspace", None)
+    if ws is None:
+        return None
+    sets = [b.data for b in buckets if b.data.size > 0]
+    if len(sets) < 2:
+        return None
+    total = sum(s.size for s in sets)
+    if total <= constructor.coreset_size:
+        return None
+    dtype = sets[0].points.dtype
+    if any(s.points.dtype != dtype for s in sets):
+        return None
+    dimension = sets[0].dimension
+    points = ws.buffer("merge.union_points", (total, dimension), dtype)
+    weights = ws.buffer("merge.union_weights", total)
+    np.concatenate([s.points for s in sets], axis=0, out=points)
+    np.concatenate([s.weights for s in sets], out=weights)
+    return WeightedPointSet(points=points, weights=weights)
+
+
 def merge_buckets(buckets: list[Bucket], constructor: CoresetConstructor) -> Bucket:
     """Merge contiguous buckets into a single coreset bucket one level higher.
 
@@ -55,22 +88,21 @@ def merge_buckets(buckets: list[Bucket], constructor: CoresetConstructor) -> Buc
     than the maximum input level (Definition 2).  The construction randomness
     is keyed by the merged span and level, so the result depends only on the
     inputs — batch and per-point ingestion therefore produce identical trees.
+
+    The union of the inputs is staged in the constructor's workspace
+    whenever the construction is guaranteed to sample from it (the common
+    case), so a steady-state merge performs no union-sized allocations.
     """
     if not buckets:
         raise ValueError("merge_buckets requires at least one bucket")
-    combined = union_buckets(buckets)
-    summary = constructor.build_for_span(
-        combined.data,
-        level=combined.level + 1,
-        start=combined.start,
-        end=combined.end,
-    )
-    return Bucket(
-        data=summary,
-        start=combined.start,
-        end=combined.end,
-        level=combined.level + 1,
-    )
+    ordered = _validate_contiguous(buckets)
+    start, end = ordered[0].start, ordered[-1].end
+    level = max(b.level for b in ordered) + 1
+    data = _pooled_union(ordered, constructor)
+    if data is None:
+        data = WeightedPointSet.union_all([b.data for b in ordered])
+    summary = constructor.build_for_span(data, level=level, start=start, end=end)
+    return Bucket(data=summary, start=start, end=end, level=level)
 
 
 def reduce_bucket(bucket: Bucket, constructor: CoresetConstructor) -> Bucket:

@@ -37,6 +37,11 @@ class PointStream:
         When True, a seeded permutation is applied once up front.
     seed:
         Seed for the shuffle permutation.
+    dtype:
+        Storage dtype the stream replays in (``"float64"`` default,
+        ``"float32"`` for the low-bandwidth pipeline).  The conversion
+        happens once up front, so every block handed to a clusterer is
+        already in its storage dtype — zero-copy end to end.
     """
 
     def __init__(
@@ -44,8 +49,9 @@ class PointStream:
         points: np.ndarray,
         shuffle: bool = False,
         seed: int | None = None,
+        dtype: np.dtype | type | str = np.float64,
     ) -> None:
-        arr = np.asarray(points, dtype=np.float64)
+        arr = np.asarray(points, dtype=np.dtype(dtype))
         if arr.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {arr.shape}")
         if shuffle:
@@ -58,6 +64,11 @@ class PointStream:
     def num_points(self) -> int:
         """Total number of points in the stream."""
         return int(self._points.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the replayed points."""
+        return self._points.dtype
 
     @property
     def dimension(self) -> int:

@@ -30,6 +30,7 @@ from ..core.base import QueryResult, StreamingClusterer, coerce_batch, require_d
 from ..core.buffer import BucketBuffer
 from ..core.cache import CoresetCache
 from ..core.coreset_tree import CoresetTree
+from ..kernels.scatter import weighted_bincount
 from ..core.numeral import major
 from ..kmeans.cost import pairwise_squared_distances
 
@@ -199,8 +200,7 @@ def kmedian_sensitivity_coreset(
 
     weighted_dist = w * nearest
     total_cost = float(np.sum(weighted_dist))
-    cluster_weight = np.zeros(seeds.shape[0], dtype=np.float64)
-    np.add.at(cluster_weight, labels, w)
+    cluster_weight = weighted_bincount(labels, w, seeds.shape[0])
     cluster_weight = np.maximum(cluster_weight, np.finfo(np.float64).tiny)
 
     if total_cost <= 0.0:
@@ -226,10 +226,17 @@ class _KMedianCoresetConstructor:
     """
 
     def __init__(self, k: int, coreset_size: int, seed: int | None = None) -> None:
+        from ..kernels.workspace import Workspace
+
         self.k = k
         self.coreset_size = coreset_size
         self._rng = np.random.default_rng(seed)
         self._entropy = int(np.random.SeedSequence().entropy) if seed is None else int(seed)
+        # Scratch pool, part of the constructor duck type: merge_buckets
+        # stages each union here (kmedian_sensitivity_coreset samples
+        # whenever the union exceeds coreset_size, so pooled unions never
+        # leak into the tree).  Never checkpointed.
+        self.workspace = Workspace()
 
     def build(self, data: WeightedPointSet) -> WeightedPointSet:
         if data.size == 0:

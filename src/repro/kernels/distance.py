@@ -1,0 +1,192 @@
+"""Fused, chunked squared-distance kernels.
+
+Every distance in the package is the expansion
+``||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2``: one BLAS product plus cheap
+rank-1 corrections.  The kernels here fuse the corrections into preallocated
+workspace buffers (no temporaries) and *tile* the point axis so the
+``(chunk, k)`` scratch block stays cache-resident instead of materialising an
+``(n, k)`` float64 array per call.
+
+Dtype policy (see :mod:`~repro.kernels.dtypes`): the BLAS product runs in the
+points' storage dtype — float32 inputs use float32 GEMMs, halving bandwidth —
+while the squared-distance *outputs* handed to cost accumulation and sampling
+are always float64.
+
+On the float64 path every kernel is bit-identical to the naive expression it
+replaces: fusion only flips ``a - 2b`` into ``(-2b) + a`` (exact in IEEE
+arithmetic) and reductions return the same element the gather returned.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .workspace import Workspace
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "assign_chunked",
+    "chunk_rows_for",
+    "min_sq_update",
+    "pooled_row_norms",
+    "sq_distances_to_center",
+]
+
+#: Target size of the per-tile ``(chunk, k)`` scratch block.  256 KiB keeps
+#: the block comfortably inside a typical per-core L2 cache while leaving the
+#: BLAS product enough rows to amortise its call overhead.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+_ENV_CHUNK_ROWS = "REPRO_KERNEL_CHUNK_ROWS"
+
+def _override_from_env() -> int | None:
+    """Parse the env override leniently: a typo must not break ``import repro``."""
+    raw = os.environ.get(_ENV_CHUNK_ROWS)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"ignoring invalid {_ENV_CHUNK_ROWS}={raw!r} (expected an integer)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+#: Read once at import: the env override sits on the per-merge hot path, and
+#: ``os.environ.get`` is measurable there.  Use :func:`set_chunk_rows_override`
+#: (tests, tuning) to change it at runtime.
+_chunk_rows_override: int | None = _override_from_env()
+
+
+def set_chunk_rows_override(rows: int | None) -> None:
+    """Force every tile to ``rows`` rows (``None`` restores auto-sizing)."""
+    global _chunk_rows_override
+    _chunk_rows_override = None if rows is None else max(1, int(rows))
+
+
+def chunk_rows_for(num_centers: int, itemsize: int, chunk_bytes: int | None = None) -> int:
+    """Rows per tile so the ``(rows, k)`` scratch fits the chunk budget.
+
+    The ``REPRO_KERNEL_CHUNK_ROWS`` environment variable (read at import) or
+    :func:`set_chunk_rows_override` overrides the computed value (tuning
+    knob; see ``docs/performance.md``).
+    """
+    if _chunk_rows_override is not None:
+        return _chunk_rows_override
+    budget = DEFAULT_CHUNK_BYTES if chunk_bytes is None else chunk_bytes
+    return max(64, budget // max(1, num_centers * itemsize))
+
+
+def pooled_row_norms(points: np.ndarray, workspace: Workspace, name: str) -> np.ndarray:
+    """Row-wise ``||x||^2`` into a pooled buffer, in the points' storage dtype.
+
+    The internal pipeline's norm primitive: unlike the public
+    :func:`~repro.kmeans.cost.squared_norms` (which always returns float64
+    for cost accumulation), this keeps float32 norms float32 so the
+    seeding/assignment kernels never touch a casting ufunc loop.
+    """
+    return np.einsum(
+        "ij,ij->i",
+        points,
+        points,
+        out=workspace.buffer(name, points.shape[0], points.dtype),
+    )
+
+
+def sq_distances_to_center(
+    points: np.ndarray,
+    center: np.ndarray,
+    points_sq: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Squared distances from every point to ONE center, into ``out``.
+
+    ``out`` must have shape ``(n,)`` and the points' dtype.  This is the
+    k-means++ round primitive: one matvec plus three in-place corrections,
+    zero temporaries.
+    """
+    np.dot(points, center, out=out)
+    out *= -2.0
+    out += points_sq
+    # float(...) keeps weak scalar promotion: adding a float64 *array scalar*
+    # to a float32 buffer would silently upcast the whole operation.
+    out += float(np.dot(center, center))
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def min_sq_update(closest_sq: np.ndarray, candidate_sq: np.ndarray) -> np.ndarray:
+    """Fold a new center's distances into the running per-point minimum."""
+    return np.minimum(closest_sq, candidate_sq, out=closest_sq)
+
+
+def assign_chunked(
+    points: np.ndarray,
+    centers: np.ndarray,
+    points_sq: np.ndarray,
+    workspace: Workspace | None = None,
+    out_labels: np.ndarray | None = None,
+    out_sq: np.ndarray | None = None,
+    chunk_bytes: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-center labels and float64 squared distances, tiled.
+
+    The argmin of ``||x - c||^2`` over centers needs only the partial
+    distances ``||c||^2 - 2 x.c`` (the ``||x||^2`` term is constant per
+    point); the per-point norm is added back afterwards to recover true
+    squared distances.  Work proceeds in row tiles whose ``(rows, k)``
+    scratch block is bounded by ``chunk_bytes`` and pooled in ``workspace``.
+
+    Parameters
+    ----------
+    points / centers:
+        ``(n, d)`` and ``(k, d)`` arrays of the same dtype.
+    points_sq:
+        Precomputed ``||x||^2`` of shape ``(n,)``, in either the points'
+        storage dtype (the internal pipeline keeps per-point norms native)
+        or float64; the returned distances are float64 regardless.
+    workspace:
+        Scratch pool; ``None`` allocates fresh buffers (reference mode).
+    out_labels / out_sq:
+        Optional destinations of shape ``(n,)`` (``intp`` / float64).  When
+        omitted they are drawn from the workspace under the ``assign.*``
+        names, so callers that hold results across *another* ``assign_chunked``
+        call must pass their own.
+    """
+    ws = workspace if workspace is not None else Workspace()
+    n, _ = points.shape
+    k = centers.shape[0]
+    if out_labels is None:
+        out_labels = ws.buffer("assign.labels", n, np.intp)
+    if out_sq is None:
+        out_sq = ws.buffer("assign.sq", n, np.float64)
+
+    c_sq = ws.buffer("assign.center_sq", k, centers.dtype)
+    np.einsum("ij,ij->i", centers, centers, out=c_sq)
+
+    rows = min(n, chunk_rows_for(k, points.itemsize, chunk_bytes)) or 1
+    partial_full = ws.buffer("assign.partial", (rows, k), points.dtype)
+    min_full = ws.buffer("assign.min", rows, points.dtype)
+    for start in range(0, n, rows):
+        stop = min(start + rows, n)
+        span = stop - start
+        partial = partial_full[:span]
+        np.matmul(points[start:stop], centers.T, out=partial)
+        partial *= -2.0
+        partial += c_sq
+        partial.argmin(axis=1, out=out_labels[start:stop])
+        # The minimum IS the value at the argmin: same element, bit-exact,
+        # and a reduction avoids a fancy-indexed gather (and its arange).
+        min_part = min_full[:span]
+        partial.min(axis=1, out=min_part)
+        sq_part = out_sq[start:stop]
+        np.add(min_part, points_sq[start:stop], out=sq_part)
+        np.maximum(sq_part, 0.0, out=sq_part)
+    return out_labels, out_sq

@@ -1,0 +1,72 @@
+"""The compute-dtype policy shared by every kernel and data structure.
+
+Two storage dtypes are supported for point coordinates:
+
+* ``float64`` (the default) — bit-compatible with the original
+  implementation; every intermediate is double precision.
+* ``float32`` — opt-in via ``StreamingConfig(dtype="float32")`` or the CLI's
+  ``--dtype float32``.  Point blocks, coreset buckets, shared-memory slabs,
+  and the GEMM/matvec inputs are all single precision, halving the memory
+  bandwidth of the update path.
+
+Regardless of the storage dtype, *accumulators are always float64*: squared
+distances handed to cost sums, sampling CDFs, per-cluster weights, and
+k-means costs.  A float32 coordinate read is cheap; a float32 running sum
+over a long stream is silently lossy, so the policy keeps the former and
+forbids the latter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "coerce_storage",
+    "resolve_dtype",
+    "storage_dtype_of",
+]
+
+#: Storage dtype used when nothing was requested explicitly.
+DEFAULT_DTYPE = np.dtype(np.float64)
+
+#: Point-coordinate dtypes the kernel layer accepts.
+SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def resolve_dtype(dtype: str | np.dtype | type | None) -> np.dtype:
+    """Validate and normalise a requested storage dtype.
+
+    Accepts ``None`` (the default), dtype-likes, and the strings
+    ``"float32"`` / ``"float64"``.  Anything outside
+    :data:`SUPPORTED_DTYPES` raises ``ValueError`` — integer or float16
+    streams must be converted by the caller so precision loss is explicit.
+    """
+    if dtype is None:
+        return DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported point dtype {resolved.name!r}; "
+            f"supported: {', '.join(d.name for d in SUPPORTED_DTYPES)}"
+        )
+    return resolved
+
+
+def storage_dtype_of(points: np.ndarray) -> np.dtype:
+    """The storage dtype an array should keep: float32 stays, all else is float64."""
+    return points.dtype if points.dtype in SUPPORTED_DTYPES else DEFAULT_DTYPE
+
+
+def coerce_storage(points) -> np.ndarray:
+    """``asarray`` that applies the storage-dtype policy in one place.
+
+    float32 and float64 arrays pass through zero-copy; every other dtype
+    (ints, float16, ...) is cast to float64.  The single point of change if
+    the policy ever grows another dtype.
+    """
+    arr = np.asarray(points)
+    if arr.dtype not in SUPPORTED_DTYPES:
+        arr = arr.astype(DEFAULT_DTYPE)
+    return arr

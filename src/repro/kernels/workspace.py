@@ -1,0 +1,105 @@
+"""Reusable scratch-buffer pool for the update- and query-path kernels.
+
+A coreset merge works on inputs of bounded shape — at most ``r * m`` weighted
+points of dimension ``d`` — yet the pre-kernel implementation re-allocated
+every scratch array (distance vectors, score CDFs, label buffers, sampled
+indices) on every merge.  :class:`Workspace` removes that: each call site
+asks for a buffer by *name*, and the pool hands back a view into a grow-only
+backing array, so the steady state (same shapes merge after merge) performs
+zero new scratch allocations.
+
+Design constraints:
+
+* **Correctness over sharing** — buffers are keyed by name, and two live
+  buffers with different names never alias.  A kernel that needs three
+  scratch vectors asks for three names.
+* **No state leakage** — buffers are handed out *uninitialised* (the first
+  write wins); kernels must fully overwrite what they read.  The property
+  suite interleaves pooled and fresh-allocation runs to prove outputs are
+  identical.
+* **Not a checkpointable object** — a workspace is pure scratch.  It is
+  deliberately excluded from every ``state_dict`` and never crosses process
+  boundaries.
+* **Single-owner** — one workspace belongs to one structure (a constructor,
+  a query engine); it is not thread-safe and must not be shared across
+  shards.
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Keyed pool of reusable scratch arrays.
+
+    ``buffer(name, shape, dtype)`` returns an array of exactly the requested
+    shape backed by a per-``(name, dtype)`` flat pool.  The pool only ever
+    grows: requesting a larger size re-allocates the backing once, after
+    which every request at or below that size is allocation-free.
+    """
+
+    __slots__ = ("_pools",)
+
+    def __init__(self) -> None:
+        # name -> [backing, dtype.char, shape, view]; the cached view makes
+        # the steady-state call (same name, same shape, same dtype) a dict
+        # lookup plus two comparisons — no array-object churn on hot paths.
+        self._pools: dict[str, list] = {}
+
+    def buffer(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """A scratch array of ``shape`` — contents are undefined until written.
+
+        Repeated requests under the same ``name`` and dtype return views of
+        the same backing memory, so a buffer must not be expected to survive
+        the next request for its name.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        dt = np.dtype(dtype)
+        entry = self._pools.get(name)
+        if entry is not None and entry[1] == dt.char and entry[2] == shape:
+            return entry[3]
+        size = prod(shape)
+        backing = entry[0] if entry is not None and entry[1] == dt.char else None
+        if backing is None or backing.size < size:
+            backing = np.empty(max(size, 1), dtype=dt)
+        view = backing[:size]
+        if len(shape) != 1:
+            view = view.reshape(shape)
+        self._pools[name] = [backing, dt.char, shape, view]
+        return view
+
+    def zeros(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """Like :meth:`buffer` but cleared to zero before returning."""
+        out = self.buffer(name, shape, dtype)
+        out.fill(0)
+        return out
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Total bytes currently held by the pool (for instrumentation)."""
+        return sum(entry[0].nbytes for entry in self._pools.values())
+
+    @property
+    def pooled_buffers(self) -> int:
+        """Number of distinct named pools currently allocated."""
+        return len(self._pools)
+
+    def clear(self) -> None:
+        """Drop every pooled backing array (buffers handed out stay valid)."""
+        self._pools.clear()

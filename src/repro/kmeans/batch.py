@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .cost import kmeans_cost, squared_norms
+from ..kernels.dtypes import coerce_storage
+from ..kernels.workspace import Workspace
+from .cost import kmeans_cost
 from .kmeanspp import kmeanspp_seeding
 from .lloyd import lloyd_iterations
 
@@ -72,6 +74,7 @@ def weighted_kmeans(
     tolerance: float = 1e-7,
     rng: np.random.Generator | None = None,
     points_sq: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> KMeansResult:
     """Cluster a weighted point set with k-means++ + Lloyd, keeping the best run.
 
@@ -82,9 +85,11 @@ def weighted_kmeans(
 
     The squared point norms are computed once and shared across all
     ``n_init`` seedings and every Lloyd iteration (pass ``points_sq`` to
-    share them across *calls* as well, as the multi-k query path does).
+    share them across *calls* as well, as the multi-k query path does), and
+    ``workspace`` lets repeated queries reuse all assignment/seeding scratch.
+    Float32 point sets stay float32 through every BLAS product.
     """
-    pts = np.asarray(points, dtype=np.float64)
+    pts = coerce_storage(points)
     if pts.ndim != 2:
         raise ValueError(f"points must be 2-D, got shape {pts.shape}")
     if rng is None:
@@ -102,11 +107,17 @@ def weighted_kmeans(
             restarts=0,
         )
 
-    pts_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq, dtype=np.float64)
+    pts_sq = (
+        np.einsum("ij,ij->i", pts, pts)
+        if points_sq is None
+        else np.asarray(points_sq)
+    )
 
     best: KMeansResult | None = None
     for restart in range(n_init):
-        seeds = kmeanspp_seeding(pts, k, weights=weights, rng=rng, points_sq=pts_sq)
+        seeds = kmeanspp_seeding(
+            pts, k, weights=weights, rng=rng, points_sq=pts_sq, workspace=workspace
+        )
         refined = lloyd_iterations(
             pts,
             seeds,
@@ -114,6 +125,7 @@ def weighted_kmeans(
             max_iterations=max_iterations,
             tolerance=tolerance,
             points_sq=pts_sq,
+            workspace=workspace,
         )
         candidate = KMeansResult(
             centers=refined.centers,

@@ -7,11 +7,22 @@ within-cluster sum of squares (SSQ):
 
 All functions here operate on dense numpy arrays and accept optional
 per-point weights, because coresets are weighted point sets.
+
+Numeric work is delegated to the fused chunked kernels in
+:mod:`repro.kernels`: points may be stored in float32 or float64 (the BLAS
+products run in the storage dtype), while squared distances, costs, and
+cluster weights are always accumulated in float64.  Hot callers pass a
+:class:`~repro.kernels.Workspace` so repeated calls reuse their scratch.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..kernels.distance import assign_chunked
+from ..kernels.dtypes import coerce_storage
+from ..kernels.scatter import weighted_bincount, weighted_label_sums
+from ..kernels.workspace import Workspace
 
 __all__ = [
     "squared_norms",
@@ -25,8 +36,12 @@ __all__ = [
 
 
 def _as_2d(points: np.ndarray) -> np.ndarray:
-    """Return ``points`` as a 2-D float64 array of shape (n, d)."""
-    arr = np.asarray(points, dtype=np.float64)
+    """Return ``points`` as a 2-D float array of shape (n, d).
+
+    float32 inputs keep their dtype (the opt-in low-bandwidth path);
+    everything else is coerced to float64.
+    """
+    arr = coerce_storage(points)
     if arr.ndim == 1:
         arr = arr.reshape(1, -1)
     if arr.ndim != 2:
@@ -34,15 +49,17 @@ def _as_2d(points: np.ndarray) -> np.ndarray:
     return arr
 
 
-def squared_norms(points: np.ndarray) -> np.ndarray:
-    """Row-wise squared Euclidean norms ``||x||^2``, shape ``(n,)``.
+def squared_norms(points: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Row-wise squared Euclidean norms ``||x||^2``, shape ``(n,)``, float64.
 
     The query-serving pipeline computes these once per coreset and reuses
     them across every k-means++ restart, Lloyd iteration, and multi-k sweep
-    (each of which otherwise pays one ``O(nd)`` pass per call).
+    (each of which otherwise pays one ``O(nd)`` pass per call).  Float32
+    points are accumulated in float64 (the dtype policy's honest-accumulator
+    rule); ``out`` optionally receives the result without allocating.
     """
     pts = _as_2d(points)
-    return np.einsum("ij,ij->i", pts, pts)
+    return np.einsum("ij,ij->i", pts, pts, dtype=np.float64, out=out)
 
 
 def pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
@@ -61,6 +78,12 @@ def pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.nd
         Array of shape ``(n, k)`` where entry ``(i, j)`` is
         ``||points[i] - centers[j]||^2``.  Values are clipped at zero to
         guard against tiny negative values from floating-point cancellation.
+
+    Notes
+    -----
+    This *materialises* the full ``(n, k)`` matrix, which is exactly what
+    the update path avoids; use :func:`assign_points` when only the nearest
+    center matters.
     """
     pts = _as_2d(points)
     ctr = _as_2d(centers)
@@ -70,8 +93,8 @@ def pairwise_squared_distances(points: np.ndarray, centers: np.ndarray) -> np.nd
             f"centers have d={ctr.shape[1]}"
         )
     # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed via BLAS.
-    p_sq = np.einsum("ij,ij->i", pts, pts)
-    c_sq = np.einsum("ij,ij->i", ctr, ctr)
+    p_sq = np.einsum("ij,ij->i", pts, pts, dtype=np.float64)
+    c_sq = np.einsum("ij,ij->i", ctr, ctr, dtype=np.float64)
     cross = pts @ ctr.T
     dist = p_sq[:, None] - 2.0 * cross + c_sq[None, :]
     np.maximum(dist, 0.0, out=dist)
@@ -82,29 +105,36 @@ def assign_points(
     points: np.ndarray,
     centers: np.ndarray,
     points_sq: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Assign each point to its nearest center in one matrix multiply.
+    """Assign each point to its nearest center via the chunked fused kernel.
 
     The nearest center of ``x`` minimizes ``||c||^2 - 2 x.c`` (the ``||x||^2``
     term is constant per point), so the argmin needs only the cross-product
-    GEMM plus the center norms; the per-point ``||x||^2`` is added back just
-    for the ``n`` winning entries to recover true squared distances.
+    GEMM plus the center norms; the per-point ``||x||^2`` is added back to
+    recover true squared distances.  Work is tiled so the scratch block stays
+    bounded (see :func:`repro.kernels.assign_chunked`).
 
     Parameters
     ----------
     points:
         Array of shape ``(n, d)``.
     centers:
-        Array of shape ``(k, d)``.
+        Array of shape ``(k, d)``; coerced to the points' storage dtype.
     points_sq:
         Optional precomputed :func:`squared_norms` of ``points``; pass it when
         calling repeatedly on the same points (Lloyd iterations, restarts).
+    workspace:
+        Optional scratch pool.  **The returned arrays are views into it** —
+        callers that hold results across another workspace-backed call must
+        copy them (the library's internal callers are ordered so they never
+        need to).
 
     Returns
     -------
     (labels, sq_distances):
         ``labels`` has shape ``(n,)`` with the index of the nearest center,
-        ``sq_distances`` has shape ``(n,)`` with the squared distance to it.
+        ``sq_distances`` has shape ``(n,)`` float64 with the squared distance.
     """
     pts = _as_2d(points)
     ctr = _as_2d(centers)
@@ -113,16 +143,13 @@ def assign_points(
             f"dimension mismatch: points have d={pts.shape[1]}, "
             f"centers have d={ctr.shape[1]}"
         )
-    p_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq, dtype=np.float64)
-    c_sq = np.einsum("ij,ij->i", ctr, ctr)
-    # Partial distances: ||c||^2 - 2 x.c  (same argmin as the full distance).
-    partial = pts @ ctr.T
-    partial *= -2.0
-    partial += c_sq[None, :]
-    labels = np.argmin(partial, axis=1)
-    sq = partial[np.arange(partial.shape[0]), labels] + p_sq
-    np.maximum(sq, 0.0, out=sq)
-    return labels, sq
+    if ctr.dtype != pts.dtype:
+        ctr = ctr.astype(pts.dtype)
+    # points_sq may arrive in the storage dtype (the internal pipeline keeps
+    # per-point norms native); the kernel's returned distances are float64
+    # either way.
+    p_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq)
+    return assign_chunked(pts, ctr, p_sq, workspace=workspace)
 
 
 def weighted_cluster_sums(
@@ -130,6 +157,7 @@ def weighted_cluster_sums(
     labels: np.ndarray,
     weights: np.ndarray,
     k: int,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Weighted per-cluster coordinate sums and total weights in one pass.
 
@@ -148,6 +176,8 @@ def weighted_cluster_sums(
         Non-negative per-point weights, shape ``(n,)``.
     k:
         Number of clusters.
+    workspace:
+        Optional scratch pool for the ``(n, d)`` intermediates.
 
     Returns
     -------
@@ -156,14 +186,7 @@ def weighted_cluster_sums(
         ``cluster_weight`` has shape ``(k,)`` holding ``sum_i w_i``.
     """
     pts = _as_2d(points)
-    n, d = pts.shape
-    weighted = pts * weights[:, None]
-    flat_index = labels[:, None] * d + np.arange(d)[None, :]
-    sums = np.bincount(
-        flat_index.ravel(), weights=weighted.ravel(), minlength=k * d
-    ).reshape(k, d)
-    cluster_weight = np.bincount(labels, weights=weights, minlength=k)
-    return sums, cluster_weight
+    return weighted_label_sums(pts, labels, weights, k, workspace=workspace)
 
 
 def kmeans_cost(
@@ -171,8 +194,9 @@ def kmeans_cost(
     centers: np.ndarray,
     weights: np.ndarray | None = None,
     points_sq: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> float:
-    """Weighted k-means cost of ``points`` against ``centers``.
+    """Weighted k-means cost of ``points`` against ``centers`` (float64).
 
     Parameters
     ----------
@@ -184,11 +208,13 @@ def kmeans_cost(
         Optional array of shape ``(n,)``; defaults to all ones.
     points_sq:
         Optional precomputed :func:`squared_norms` of ``points``.
+    workspace:
+        Optional scratch pool shared with the caller's other kernel calls.
     """
     pts = _as_2d(points)
     if pts.shape[0] == 0:
         return 0.0
-    _, sq = assign_points(pts, centers, points_sq=points_sq)
+    _, sq = assign_points(pts, centers, points_sq=points_sq, workspace=workspace)
     if weights is None:
         return float(np.sum(sq))
     w = np.asarray(weights, dtype=np.float64)
@@ -208,16 +234,14 @@ def per_cluster_cost(
     pts = _as_2d(points)
     ctr = _as_2d(centers)
     k = ctr.shape[0]
-    out = np.zeros(k, dtype=np.float64)
     if pts.shape[0] == 0:
-        return out
+        return np.zeros(k, dtype=np.float64)
     labels, sq = assign_points(pts, ctr)
     if weights is None:
         contributions = sq
     else:
         contributions = sq * np.asarray(weights, dtype=np.float64)
-    np.add.at(out, labels, contributions)
-    return out
+    return weighted_bincount(labels, contributions, k)
 
 
 def cluster_sizes(
@@ -229,13 +253,11 @@ def cluster_sizes(
     pts = _as_2d(points)
     ctr = _as_2d(centers)
     k = ctr.shape[0]
-    out = np.zeros(k, dtype=np.float64)
     if pts.shape[0] == 0:
-        return out
+        return np.zeros(k, dtype=np.float64)
     labels, _ = assign_points(pts, ctr)
     if weights is None:
         w = np.ones(pts.shape[0], dtype=np.float64)
     else:
         w = np.asarray(weights, dtype=np.float64)
-    np.add.at(out, labels, w)
-    return out
+    return weighted_bincount(labels, w, k)

@@ -5,11 +5,30 @@ coreset (Theorem 1) and, internally, as the sampling backbone of coreset
 construction.  Coresets are weighted point sets, so the seeding procedure here
 supports per-point weights: a point is chosen with probability proportional to
 ``w(x) * D^2(x, chosen_centers)``.
+
+This loop dominates every coreset merge on the stream's update path, so it is
+written against the kernel layer: every round is one fused matvec into a
+pooled distance buffer (:func:`repro.kernels.sq_distances_to_center`), the
+score CDF is accumulated in place, and with a caller-supplied
+:class:`~repro.kernels.Workspace` a steady-state call performs no scratch
+allocations at all.  Per-point quantities — distances, norms, scores — are
+computed in the points' storage dtype (float32 stays float32); the sampling
+CDFs are always *accumulated* in float64 so probabilities stay honest over
+long score vectors.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..kernels.distance import (
+    assign_chunked,
+    min_sq_update,
+    pooled_row_norms,
+    sq_distances_to_center,
+)
+from ..kernels.dtypes import coerce_storage
+from ..kernels.workspace import Workspace
 
 __all__ = ["kmeanspp_seeding"]
 
@@ -19,7 +38,7 @@ def _validate_inputs(
     k: int,
     weights: np.ndarray | None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    pts = np.asarray(points, dtype=np.float64)
+    pts = coerce_storage(points)
     if pts.ndim != 2:
         raise ValueError(f"points must be 2-D, got shape {pts.shape}")
     n = pts.shape[0]
@@ -46,13 +65,16 @@ def kmeanspp_seeding(
     weights: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
     points_sq: np.ndarray | None = None,
-) -> np.ndarray:
+    workspace: Workspace | None = None,
+    with_assignment: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Select ``k`` initial centers using weighted D² sampling.
 
     Parameters
     ----------
     points:
-        Array of shape ``(n, d)``.
+        Array of shape ``(n, d)`` (float32 or float64; other dtypes are
+        coerced to float64).
     k:
         Number of centers to select.  If ``k >= n`` the unique points are
         returned (padded by repeating points if necessary), matching the
@@ -64,15 +86,29 @@ def kmeanspp_seeding(
     points_sq:
         Optional precomputed squared norms ``||x||^2`` of shape ``(n,)``
         (see :func:`~repro.kmeans.cost.squared_norms`); shared across the
-        restarts of one query by the serving pipeline.
+        restarts of one query by the serving pipeline and across the seeding
+        and assignment passes of one coreset merge.
+    workspace:
+        Optional scratch pool (``kpp.*`` buffer names).  A constructor that
+        merges fixed-shape buckets reuses every distance, score, and CDF
+        buffer across merges.
+    with_assignment:
+        When True, also return the nearest-center label and squared distance
+        of every input point — the seeding loop maintains both incrementally
+        anyway, so the caller (sensitivity sampling) skips an entire
+        assignment GEMM per merge.  The returned arrays are workspace views;
+        consume them before the next pooled seeding call.
 
     Returns
     -------
-    numpy.ndarray
-        Array of shape ``(min(k, n) <= k, d)`` holding the selected centers.
-        When the input has fewer distinct points than ``k`` the result may
-        contain fewer than ``k`` rows; callers that require exactly ``k``
-        centers should handle that case (the library's estimators do).
+    numpy.ndarray or (centers, labels, sq)
+        Array of shape ``(min(k, n) <= k, d)`` holding the selected centers,
+        in the points' storage dtype.  When the input has fewer distinct
+        points than ``k`` the result may contain fewer than ``k`` rows;
+        callers that require exactly ``k`` centers should handle that case
+        (the library's estimators do).  With ``with_assignment=True`` a
+        3-tuple is returned: the centers plus per-point labels ``(n,)`` and
+        squared distances ``(n,)`` (in the storage dtype, clipped at zero).
     """
     pts, w = _validate_inputs(points, k, weights)
     if rng is None:
@@ -80,49 +116,87 @@ def kmeanspp_seeding(
     n = pts.shape[0]
 
     if k >= n:
-        return pts.copy()
+        centers = pts.copy()
+        if not with_assignment:
+            return centers
+        ws = workspace if workspace is not None else Workspace()
+        if points_sq is None:
+            points_sq = pooled_row_norms(pts, ws, "kpp.pts_sq")
+        labels, sq = assign_chunked(pts, centers, np.asarray(points_sq), workspace=ws)
+        return centers, labels, sq
 
-    centers = np.empty((k, pts.shape[1]), dtype=np.float64)
+    ws = workspace if workspace is not None else Workspace()
+    centers = np.empty((k, pts.shape[1]), dtype=pts.dtype)
 
     # Precompute ||x||^2 once: each round then needs only one matrix-vector
-    # product against the newly chosen center instead of a full pairwise call
-    # (this loop dominates every coreset merge on the stream's update path).
+    # product against the newly chosen center instead of a full pairwise call.
+    # Per-point norms, scores, and weights run in the points' storage dtype —
+    # mixing float32 distance buffers with float64 operands would route every
+    # round through slow casting ufunc loops — while both sampling CDFs are
+    # float64-accumulated regardless (honest-accumulator rule).
     if points_sq is None:
-        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        pts_sq = pooled_row_norms(pts, ws, "kpp.pts_sq")
     else:
-        pts_sq = np.asarray(points_sq, dtype=np.float64)
-    weight_cdf = np.cumsum(w)
+        pts_sq = np.asarray(points_sq)
+        if pts_sq.dtype != pts.dtype:
+            native = ws.buffer("kpp.pts_sq", n, pts.dtype)
+            native[:] = pts_sq
+            pts_sq = native
+    if w.dtype == pts.dtype:
+        w_native = w
+    else:
+        w_native = ws.buffer("kpp.w_native", n, pts.dtype)
+        w_native[:] = w
+    weight_cdf = w.cumsum(out=ws.buffer("kpp.weight_cdf", n))
 
-    def sq_to_center(center: np.ndarray) -> np.ndarray:
-        dist = pts_sq - 2.0 * (pts @ center) + float(center @ center)
-        np.maximum(dist, 0.0, out=dist)
-        return dist
+    # One uniform per selected center, drawn in a single generator call: the
+    # bit stream is identical to per-round ``rng.random()`` draws, without
+    # the per-round Python dispatch.
+    uniforms = rng.random(out=ws.buffer("kpp.uniforms", k))
 
     # First center: sampled proportionally to weight (inverse-CDF sampling;
     # equivalent to rng.choice(p=...) but without rebuilding the distribution
     # object on every draw).
-    first = _inverse_cdf_sample(rng, weight_cdf)
+    first = _pick_from_cdf(uniforms[0], weight_cdf)
     centers[0] = pts[first]
 
-    # Maintain the squared distance from each point to its nearest center.
-    closest_sq = sq_to_center(centers[0])
+    # Maintain the squared distance from each point to its nearest center
+    # (and, when requested, which center that is — the comparison mask falls
+    # out of the same min-update the sampling loop already performs).
+    closest_sq = sq_distances_to_center(
+        pts, centers[0], pts_sq, out=ws.buffer("kpp.closest", n, pts.dtype)
+    )
+    dist = ws.buffer("kpp.dist", n, pts.dtype)
+    scores = ws.buffer("kpp.scores", n, pts.dtype)
+    score_cdf = ws.buffer("kpp.score_cdf", n)
+    labels = mask = None
+    if with_assignment:
+        labels = ws.buffer("kpp.labels", n, np.intp)
+        labels.fill(0)
+        mask = ws.buffer("kpp.mask", n, np.bool_)
 
     for i in range(1, k):
-        scores = w * closest_sq
-        score_cdf = np.cumsum(scores)
+        np.multiply(w_native, closest_sq, out=scores)
+        scores.cumsum(out=score_cdf)
         if score_cdf[-1] <= 0.0:
             # All remaining mass sits exactly on already-chosen centers:
             # fall back to weighted uniform sampling.
-            idx = _inverse_cdf_sample(rng, weight_cdf)
+            idx = _pick_from_cdf(uniforms[i], weight_cdf)
         else:
-            idx = _inverse_cdf_sample(rng, score_cdf)
+            idx = _pick_from_cdf(uniforms[i], score_cdf)
         centers[i] = pts[idx]
-        np.minimum(closest_sq, sq_to_center(centers[i]), out=closest_sq)
+        sq_distances_to_center(pts, centers[i], pts_sq, out=dist)
+        if with_assignment:
+            # Strict `<` keeps the first of tied centers, matching argmin.
+            np.less(dist, closest_sq, out=mask)
+            labels[mask] = i
+        min_sq_update(closest_sq, dist)
 
+    if with_assignment:
+        return centers, labels, closest_sq
     return centers
 
 
-def _inverse_cdf_sample(rng: np.random.Generator, cdf: np.ndarray) -> int:
-    """Draw one index with probability proportional to the CDF's increments."""
-    u = rng.random() * cdf[-1]
-    return min(int(np.searchsorted(cdf, u, side="right")), cdf.shape[0] - 1)
+def _pick_from_cdf(u: float, cdf: np.ndarray) -> int:
+    """Index of the CDF increment containing ``u * cdf[-1]`` (u uniform in [0,1))."""
+    return min(int(cdf.searchsorted(u * cdf[-1], side="right")), cdf.shape[0] - 1)

@@ -4,13 +4,18 @@ The paper's evaluation pipeline runs k-means++ seeding followed by up to 20
 Lloyd iterations to refine the centers extracted from a coreset (Section 5.2).
 This module provides that refinement step for weighted point sets.
 
-The iteration is fully vectorized: each round costs one GEMM (the point ×
-center cross product inside :func:`~repro.kmeans.cost.assign_points`) plus a
-flat-``bincount`` scatter for the center update
+The iteration is fully vectorized: each round costs one tiled GEMM (the point
+× center cross product inside :func:`~repro.kmeans.cost.assign_points`) plus
+a flat-``bincount`` scatter for the center update
 (:func:`~repro.kmeans.cost.weighted_cluster_sums`).  Callers that refine the
 same point set repeatedly — k-means++ restarts, warm-started queries, multi-k
 sweeps — pass precomputed squared norms so no per-call ``O(nd)`` norm pass is
-repeated.
+repeated, and a shared :class:`~repro.kernels.Workspace` so assignment and
+scatter scratch is reused across iterations and calls.
+
+Centers are maintained and returned in float64 (they are weighted means —
+accumulator territory); the assignment GEMM casts them to the points' storage
+dtype per iteration, so float32 point sets still run float32 products.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.dtypes import coerce_storage
+from ..kernels.workspace import Workspace
 from .cost import assign_points, kmeans_cost, squared_norms, weighted_cluster_sums
 
 __all__ = ["LloydResult", "lloyd_iterations"]
@@ -54,6 +61,7 @@ def lloyd_iterations(
     max_iterations: int = 20,
     tolerance: float = 1e-7,
     points_sq: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> LloydResult:
     """Refine ``centers`` with weighted Lloyd iterations.
 
@@ -65,7 +73,7 @@ def lloyd_iterations(
     Parameters
     ----------
     points:
-        Array of shape ``(n, d)``.
+        Array of shape ``(n, d)`` (float32 or float64).
     centers:
         Initial centers of shape ``(k, d)``; not modified in place.
     weights:
@@ -77,8 +85,10 @@ def lloyd_iterations(
     points_sq:
         Optional precomputed :func:`~repro.kmeans.cost.squared_norms` of
         ``points``, shared across restarts by the query-serving pipeline.
+    workspace:
+        Optional scratch pool shared with the caller's other kernel calls.
     """
-    pts = np.asarray(points, dtype=np.float64)
+    pts = coerce_storage(points)
     ctr = np.array(centers, dtype=np.float64, copy=True)
     if pts.ndim != 2 or ctr.ndim != 2:
         raise ValueError("points and centers must both be 2-D arrays")
@@ -94,19 +104,21 @@ def lloyd_iterations(
     if n == 0 or max_iterations <= 0:
         return LloydResult(
             centers=ctr,
-            cost=kmeans_cost(pts, ctr, w if n else None),
+            cost=kmeans_cost(pts, ctr, w if n else None, workspace=workspace),
             iterations=0,
             converged=True,
         )
 
-    p_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq, dtype=np.float64)
+    p_sq = squared_norms(pts) if points_sq is None else np.asarray(points_sq)
 
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        labels, sq = assign_points(pts, ctr, points_sq=p_sq)
+        labels, sq = assign_points(pts, ctr, points_sq=p_sq, workspace=workspace)
 
-        new_centers, cluster_weight = weighted_cluster_sums(pts, labels, w, k)
+        new_centers, cluster_weight = weighted_cluster_sums(
+            pts, labels, w, k, workspace=workspace
+        )
 
         empty = cluster_weight <= 0.0
         occupied = ~empty
@@ -129,7 +141,7 @@ def lloyd_iterations(
 
     return LloydResult(
         centers=ctr,
-        cost=kmeans_cost(pts, ctr, w, points_sq=p_sq),
+        cost=kmeans_cost(pts, ctr, w, points_sq=p_sq, workspace=workspace),
         iterations=iterations,
         converged=converged,
     )

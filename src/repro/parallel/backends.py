@@ -338,20 +338,21 @@ def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> N
                 return
             try:
                 if kind == "insert":
-                    _, name, offset_rows, nrows, dimension = message
+                    _, name, offset_rows, nrows, dimension, dtype_name = message
                     slab = slabs.get(name)
                     if slab is None:
                         slab = _attach_shared_memory(name)
                         slabs[name] = slab
+                    dtype = np.dtype(dtype_name)
                     view = np.ndarray(
                         (nrows, dimension),
-                        dtype=np.float64,
+                        dtype=dtype,
                         buffer=slab.buf,  # type: ignore[attr-defined]
-                        offset=offset_rows * dimension * 8,
+                        offset=offset_rows * dimension * dtype.itemsize,
                     )
                     # One copy out of the ring, then the slot is reusable; the
                     # shard may alias `block` in its buckets indefinitely.
-                    block = np.array(view, dtype=np.float64, copy=True)
+                    block = np.array(view, dtype=dtype, copy=True)
                     free_slots.release()
                     shard.insert_batch(block)
                 elif kind == "collect":
@@ -376,20 +377,33 @@ def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> N
 
 
 class _SlabRing:
-    """Coordinator-side shared-memory ring of fixed-size insert slots."""
+    """Coordinator-side shared-memory ring of fixed-size insert slots.
 
-    def __init__(self, context, shard_index: int, slot_rows: int, depth: int, dimension: int) -> None:
+    The slab stores rows in the stream's storage dtype: float32 streams halve
+    the segment footprint and the per-batch copy bandwidth.
+    """
+
+    def __init__(
+        self,
+        context,
+        shard_index: int,
+        slot_rows: int,
+        depth: int,
+        dimension: int,
+        dtype: np.dtype = np.dtype(np.float64),
+    ) -> None:
         from multiprocessing import shared_memory
 
         self.slot_rows = slot_rows
         self.depth = depth
         self.dimension = dimension
+        self.dtype = np.dtype(dtype)
         self._shm = shared_memory.SharedMemory(
-            create=True, size=depth * slot_rows * dimension * 8
+            create=True, size=depth * slot_rows * dimension * self.dtype.itemsize
         )
         self.name = self._shm.name
         self._view = np.ndarray(
-            (depth * slot_rows, dimension), dtype=np.float64, buffer=self._shm.buf
+            (depth * slot_rows, dimension), dtype=self.dtype, buffer=self._shm.buf
         )
         self._next_slot = 0
 
@@ -508,19 +522,28 @@ class ProcessBackend:
         if ring is None:
             slot_rows = self._slot_rows or max(1024, min(block.shape[0], 65536))
             ring = _SlabRing(
-                self._context, shard_index, slot_rows, self._queue_depth, dimension
+                self._context,
+                shard_index,
+                slot_rows,
+                self._queue_depth,
+                dimension,
+                dtype=block.dtype,
             )
             self._rings[shard_index] = ring
         if ring.dimension != dimension:
             raise ValueError(
                 f"points dimension is {dimension}, expected {ring.dimension}"
             )
+        if ring.dtype != block.dtype:
+            raise ValueError(
+                f"points dtype is {block.dtype}, expected {ring.dtype}"
+            )
         for start in range(0, block.shape[0], ring.slot_rows):
             chunk = block[start : start + ring.slot_rows]
             self._acquire_slot(shard_index)
             offset_rows = ring.write(chunk)
             self._tasks[shard_index].put(
-                ("insert", ring.name, offset_rows, chunk.shape[0], dimension)
+                ("insert", ring.name, offset_rows, chunk.shape[0], dimension, ring.dtype.name)
             )
 
     def _acquire_slot(self, shard_index: int) -> None:

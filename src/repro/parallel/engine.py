@@ -251,7 +251,7 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         when the backend applies the row asynchronously.
         """
         self._require_open()
-        row = np.array(point, dtype=np.float64, copy=True).reshape(-1)
+        row = np.array(point, dtype=self.config.np_dtype, copy=True).reshape(-1)
         self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
         shard_index = self._router.route_point(row)
         self._backend.submit(shard_index, row.reshape(1, -1))
@@ -268,7 +268,7 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         :meth:`~repro.core.driver.StreamClusterDriver.insert_batch`).
         """
         self._require_open()
-        arr = coerce_batch(points)
+        arr = coerce_batch(points, dtype=self.config.np_dtype)
         n = arr.shape[0]
         if n == 0:
             return

@@ -124,7 +124,8 @@ class StreamShard:
         self._structure = SHARD_STRUCTURES[structure](
             self._constructor, config, nesting_depth
         )
-        self._buffer = BucketBuffer(config.bucket_size)
+        self._dtype = config.np_dtype
+        self._buffer = BucketBuffer(config.bucket_size, dtype=self._dtype)
         self._dimension: int | None = None
         self.points_seen = 0
 
@@ -135,7 +136,7 @@ class StreamShard:
 
     def insert(self, point: np.ndarray) -> None:
         """Add one point to this shard's local state."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        row = np.asarray(point, dtype=self._dtype).reshape(-1)
         self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
         self._buffer.append(row)
         self.points_seen += 1
@@ -148,7 +149,7 @@ class StreamShard:
 
     def insert_batch(self, points: np.ndarray) -> None:
         """Add a batch to this shard: full buckets are sliced, not looped."""
-        arr = coerce_batch(points)
+        arr = coerce_batch(points, dtype=self._dtype)
         if arr.shape[0] == 0:
             return
         self._dimension = require_dimension(self._dimension, arr.shape[1])
@@ -166,7 +167,7 @@ class StreamShard:
             partial = WeightedPointSet.from_points(self._buffer.snapshot())
             coreset = coreset.union(partial) if coreset.size else partial
         if coreset.size == 0:
-            return WeightedPointSet.empty(dimension)
+            return WeightedPointSet.empty(dimension, dtype=self._dtype)
         return coreset
 
     def stored_points(self) -> int:

@@ -43,8 +43,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..coreset.bucket import WeightedPointSet
+from ..kernels.distance import pooled_row_norms
+from ..kernels.workspace import Workspace
 from ..kmeans.batch import weighted_kmeans
-from ..kmeans.cost import squared_norms
 from ..kmeans.lloyd import lloyd_iterations
 
 __all__ = ["QueryStats", "Solution", "QueryEngine"]
@@ -177,6 +178,11 @@ class QueryEngine:
         self._cold_queries = 0
         self._drift_fallbacks = 0
         self._refreshes = 0
+        # Scratch pool shared by every query this engine serves: consecutive
+        # queries have near-identical coreset shapes, so seeding, assignment,
+        # and Lloyd scratch is steady-state allocation-free.  Never part of
+        # the checkpoint state.
+        self._workspace = Workspace()
 
     # -- instrumentation -----------------------------------------------------
 
@@ -278,8 +284,9 @@ class QueryEngine:
         """
         if coreset.size == 0:
             raise ValueError("cannot solve a query on an empty coreset")
-        pts_sq = squared_norms(coreset.points)
-        return self._solve_prepared(coreset, k, rng, pts_sq, force_cold=force_cold)
+        return self._solve_prepared(
+            coreset, k, rng, self._norms_for(coreset), force_cold=force_cold
+        )
 
     def solve_multi(
         self,
@@ -297,10 +304,19 @@ class QueryEngine:
             raise ValueError("cannot solve a query on an empty coreset")
         if not ks:
             raise ValueError("ks must contain at least one value")
-        pts_sq = squared_norms(coreset.points)
+        pts_sq = self._norms_for(coreset)
         return {int(k): self._solve_prepared(coreset, int(k), rng, pts_sq) for k in ks}
 
     # -- internals ---------------------------------------------------------------
+
+    def _norms_for(self, coreset: WeightedPointSet) -> np.ndarray:
+        """One pooled ``||x||^2`` pass per query, in the coreset's storage dtype.
+
+        float64 coresets get the classic float64 norms; float32 coresets keep
+        their norms float32 so the seeding/assignment kernels never touch a
+        casting ufunc loop (costs are still accumulated in float64).
+        """
+        return pooled_row_norms(coreset.points, self._workspace, "engine.pts_sq")
 
     def _solve_prepared(
         self,
@@ -339,6 +355,7 @@ class QueryEngine:
                 max_iterations=self._max_iterations,
                 tolerance=self._tolerance,
                 points_sq=pts_sq,
+                workspace=self._workspace,
             )
             warm_normalized = warm_result.cost / total_weight if total_weight > 0 else 0.0
             guard_ok = warm_normalized <= self._drift_ratio * state.normalized_cost
@@ -369,6 +386,7 @@ class QueryEngine:
             tolerance=self._tolerance,
             rng=rng,
             points_sq=pts_sq if pts.shape[0] > k else None,
+            workspace=self._workspace,
         )
         self._cold_queries += 1
 

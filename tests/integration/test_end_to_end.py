@@ -101,16 +101,27 @@ class TestInterleavedQueries:
         per-query coreset assembly + from-scratch k-means++ extraction cost
         (Section 4), which warm starts deliberately bypass in steady state
         (that speedup has its own tests and benchmarks).
+
+        Query totals are tens of milliseconds here, so the comparison is
+        retried with fresh best-of-3 measurements (up to three attempts):
+        a real regression fails every attempt, a scheduler hiccup on the
+        loaded 1-core CI box does not.  All attempts are recorded in the
+        failure message.
         """
         from dataclasses import replace
 
         config = replace(fast_config, warm_start=False)
         schedule = FixedIntervalSchedule(160)
-        ct_seconds = self._best_query_seconds("ct", mixture_stream, config, schedule)
-        cc_seconds = self._best_query_seconds("cc", mixture_stream, config, schedule)
-        # CC merges at most r buckets per query; CT merges every active
-        # bucket.  Allow slack to stay robust on slow CI.
-        assert cc_seconds <= ct_seconds * 1.25
+        attempts: list[tuple[float, float]] = []
+        for _ in range(3):
+            ct_seconds = self._best_query_seconds("ct", mixture_stream, config, schedule)
+            cc_seconds = self._best_query_seconds("cc", mixture_stream, config, schedule)
+            attempts.append((cc_seconds, ct_seconds))
+            # CC merges at most r buckets per query; CT merges every active
+            # bucket.  Allow slack to stay robust on slow CI.
+            if cc_seconds <= ct_seconds * 1.25:
+                return
+        assert False, f"cc never beat ct*1.25 in {len(attempts)} attempts: {attempts}"
 
     def test_onlinecc_query_time_is_smallest(self, mixture_stream, fast_config):
         from dataclasses import replace

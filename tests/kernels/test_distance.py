@@ -1,0 +1,164 @@
+"""Fused chunked distance kernels: reference equivalence and tiling invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.distance import (
+    assign_chunked,
+    chunk_rows_for,
+    min_sq_update,
+    set_chunk_rows_override,
+    sq_distances_to_center,
+)
+from repro.kernels.workspace import Workspace
+from repro.kmeans.cost import pairwise_squared_distances
+
+
+@pytest.fixture(autouse=True)
+def _restore_chunk_override():
+    yield
+    set_chunk_rows_override(None)
+
+
+def _reference_assign(points, centers):
+    dist = pairwise_squared_distances(points, centers)
+    labels = np.argmin(dist, axis=1)
+    return labels, dist[np.arange(points.shape[0]), labels]
+
+
+class TestSqDistancesToCenter:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_matches_naive_expansion(self, dtype):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(200, 9)).astype(dtype)
+        center = pts[17].copy()
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        out = np.empty(200, dtype=dtype)
+        sq_distances_to_center(pts, center, pts_sq, out)
+        expected = np.maximum(
+            pts_sq - 2.0 * (pts @ center) + center @ center, 0.0
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-5 if dtype == np.float32 else 1e-12)
+        # The point equal to the center must come out exactly clipped at 0
+        # for float64 (cancellation is caught by the clip).
+        assert out[17] >= 0.0
+
+    def test_float64_is_bitwise_fused(self):
+        """The fused order (-2b) + a + c must equal a - 2b + c bit for bit."""
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(333, 13))
+        center = rng.normal(size=13)
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        out = np.empty(333)
+        sq_distances_to_center(pts, center, pts_sq, out)
+        reference = pts_sq - 2.0 * (pts @ center) + float(center @ center)
+        np.maximum(reference, 0.0, out=reference)
+        np.testing.assert_array_equal(out, reference)
+
+    def test_min_sq_update_in_place(self):
+        a = np.array([3.0, 1.0, 2.0])
+        b = np.array([2.0, 5.0, 2.0])
+        result = min_sq_update(a, b)
+        assert result is a
+        np.testing.assert_array_equal(a, [2.0, 1.0, 2.0])
+
+
+class TestAssignChunked:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        k=st.integers(min_value=1, max_value=12),
+        d=st.integers(min_value=1, max_value=10),
+        dtype=st.sampled_from([np.float64, np.float32]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_matches_reference(self, n, k, d, dtype, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(n, d)).astype(dtype)
+        ctr = rng.normal(size=(k, d)).astype(dtype)
+        pts_sq = np.einsum("ij,ij->i", pts, pts, dtype=np.float64)
+        labels, sq = assign_chunked(pts, ctr, pts_sq, workspace=Workspace())
+        ref_labels, ref_sq = _reference_assign(
+            pts.astype(np.float64), ctr.astype(np.float64)
+        )
+        assert sq.dtype == np.float64
+        tol = 1e-3 if dtype == np.float32 else 1e-8
+        # Labels may differ only where two centers are within tolerance.
+        disagree = labels != ref_labels
+        if np.any(disagree):
+            np.testing.assert_allclose(
+                sq[disagree], ref_sq[disagree], rtol=tol, atol=tol
+            )
+        np.testing.assert_allclose(sq, ref_sq, rtol=tol, atol=tol)
+
+    def test_chunking_is_invariant(self):
+        """Every forced tile size yields the same assignment.
+
+        Distances may shift by BLAS last-ulp rounding across tile sizes (the
+        GEMM kernel choice depends on the tile's row count), so they are
+        compared at float-epsilon tolerance; the tile size itself is a pure
+        function of ``(k, itemsize)``, never of ingestion mode, so the
+        bit-identity contracts all compare runs with identical tiling.
+        """
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(257, 8))
+        ctr = rng.normal(size=(5, 8))
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        set_chunk_rows_override(None)
+        base_labels, base_sq = assign_chunked(pts, ctr, pts_sq)
+        base_labels, base_sq = base_labels.copy(), base_sq.copy()
+        for rows in (1, 7, 64, 256, 10_000):
+            set_chunk_rows_override(rows)
+            labels, sq = assign_chunked(pts, ctr, pts_sq, workspace=Workspace())
+            np.testing.assert_array_equal(labels, base_labels)
+            np.testing.assert_allclose(sq, base_sq, rtol=1e-12, atol=1e-12)
+
+    def test_same_tiling_is_bitwise_deterministic(self):
+        """Two runs with identical shapes and tiling agree bit for bit —
+        the property every equivalence contract actually relies on."""
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(300, 10))
+        ctr = rng.normal(size=(6, 10))
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        l1, s1 = assign_chunked(pts, ctr, pts_sq, workspace=Workspace())
+        l1, s1 = l1.copy(), s1.copy()
+        l2, s2 = assign_chunked(pts, ctr, pts_sq, workspace=Workspace())
+        np.testing.assert_array_equal(l1, l2)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_outputs_into_caller_buffers(self):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(size=(50, 3))
+        ctr = rng.normal(size=(4, 3))
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        out_labels = np.empty(50, dtype=np.intp)
+        out_sq = np.empty(50)
+        labels, sq = assign_chunked(
+            pts, ctr, pts_sq, out_labels=out_labels, out_sq=out_sq
+        )
+        assert labels is out_labels and sq is out_sq
+
+    def test_distances_clipped_non_negative(self):
+        pts = np.ones((10, 4))
+        ctr = np.ones((2, 4))
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        _, sq = assign_chunked(pts, ctr, pts_sq)
+        assert np.all(sq >= 0.0)
+
+
+class TestChunkRowsFor:
+    def test_budget_shrinks_with_k(self):
+        assert chunk_rows_for(10, 8) > chunk_rows_for(1000, 8)
+
+    def test_floor_of_64_rows(self):
+        assert chunk_rows_for(10_000_000, 8) == 64
+
+    def test_env_style_override_wins(self):
+        set_chunk_rows_override(17)
+        assert chunk_rows_for(10, 8) == 17
+        set_chunk_rows_override(None)
+        assert chunk_rows_for(10, 8) != 17

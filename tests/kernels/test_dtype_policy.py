@@ -1,0 +1,159 @@
+"""The end-to-end float32 compute path: opt-in, honest, and checkpoint-safe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import StreamingConfig
+from repro.core.buffer import BucketBuffer
+from repro.core.driver import CachedCoresetTreeClusterer, CoresetTreeClusterer
+from repro.coreset.bucket import WeightedPointSet
+from repro.data.stream import PointStream
+from repro.data.synthetic import GaussianMixtureSpec, generate_mixture
+from repro.kernels.dtypes import DEFAULT_DTYPE, resolve_dtype
+from repro.kmeans.cost import kmeans_cost
+
+
+class TestResolveDtype:
+    def test_default_is_float64(self):
+        assert resolve_dtype(None) == DEFAULT_DTYPE == np.float64
+
+    @pytest.mark.parametrize("spec", ["float32", np.float32, "<f4"])
+    def test_float32_spellings(self, spec):
+        assert resolve_dtype(spec) == np.float32
+
+    @pytest.mark.parametrize("bad", ["float16", np.int32, "int64", "complex128"])
+    def test_unsupported_dtypes_rejected(self, bad):
+        with pytest.raises(ValueError, match="unsupported point dtype"):
+            resolve_dtype(bad)
+
+    def test_config_normalises_and_rejects(self):
+        assert StreamingConfig(k=2, dtype=np.float32).dtype == "float32"
+        with pytest.raises(ValueError):
+            StreamingConfig(k=2, dtype="int8")
+
+
+class TestStorageDtypePropagation:
+    def test_weighted_point_set_keeps_float32_points_float64_weights(self):
+        wps = WeightedPointSet.from_points(np.ones((3, 2), dtype=np.float32))
+        assert wps.points.dtype == np.float32
+        assert wps.weights.dtype == np.float64
+        assert wps.union(wps).points.dtype == np.float32
+
+    def test_weighted_point_set_coerces_other_dtypes(self):
+        wps = WeightedPointSet.from_points(np.ones((3, 2), dtype=np.int64))
+        assert wps.points.dtype == np.float64
+
+    def test_bucket_buffer_dtype(self):
+        buf = BucketBuffer(4, dtype=np.float32)
+        buf.fill(np.ones((4, 3)))
+        block = buf.drain()
+        assert block.dtype == np.float32
+        assert buf.snapshot().dtype == np.float32
+
+    def test_point_stream_dtype(self):
+        stream = PointStream(np.ones((10, 2)), dtype="float32")
+        assert stream.dtype == np.float32
+        assert stream.take(4).dtype == np.float32
+
+    def test_driver_stores_float32_buckets(self):
+        config = StreamingConfig(k=2, coreset_size=8, dtype="float32", seed=0)
+        clusterer = CoresetTreeClusterer(config)
+        clusterer.insert_batch(np.random.default_rng(0).normal(size=(40, 3)))
+        for level in clusterer.tree.levels:
+            for bucket in level:
+                assert bucket.data.points.dtype == np.float32
+                assert bucket.data.weights.dtype == np.float64
+
+    def test_float64_default_unchanged(self):
+        clusterer = CoresetTreeClusterer(StreamingConfig(k=2, coreset_size=8, seed=0))
+        clusterer.insert_batch(np.random.default_rng(0).normal(size=(40, 3)))
+        for level in clusterer.tree.levels:
+            for bucket in level:
+                assert bucket.data.points.dtype == np.float64
+
+
+class TestFloat32TracksFloat64:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_query_cost_within_tolerance(self, seed):
+        """Same stream, same seeds: the float32 clusterer's final query cost
+        must track the float64 one within a small relative tolerance."""
+        points, _ = generate_mixture(
+            GaussianMixtureSpec(num_clusters=4, dimension=6),
+            num_points=600,
+            rng=np.random.default_rng(seed),
+        )
+        costs = {}
+        for dtype in ("float64", "float32"):
+            config = StreamingConfig(
+                k=4, coreset_size=40, seed=seed % 10_000, dtype=dtype, warm_start=False
+            )
+            clusterer = CachedCoresetTreeClusterer(config)
+            clusterer.insert_batch(points.astype(config.np_dtype))
+            centers = clusterer.query().centers
+            costs[dtype] = kmeans_cost(points, centers)
+        assert costs["float32"] <= costs["float64"] * 1.10 + 1e-9
+        assert costs["float64"] <= costs["float32"] * 1.10 + 1e-9
+
+    def test_costs_accumulate_in_float64(self):
+        points = np.full((64, 2), 1e4, dtype=np.float32)
+        cost = kmeans_cost(points, np.zeros((1, 2), dtype=np.float32))
+        assert isinstance(cost, float)
+        # 64 * 2 * 1e8 with float64 accumulation, exact to relative 1e-6.
+        assert cost == pytest.approx(64 * 2 * 1e8, rel=1e-6)
+
+
+class TestFloat32BatchPointEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_batch_equals_point_at_float32(self, n, seed):
+        points = np.random.default_rng(seed).normal(size=(n, 3)).astype(np.float32)
+        config = StreamingConfig(k=2, coreset_size=10, seed=seed, dtype="float32")
+        by_batch = CachedCoresetTreeClusterer(config)
+        by_batch.insert_batch(points)
+        by_point = CachedCoresetTreeClusterer(config)
+        for row in points:
+            by_point.insert(row)
+        assert by_batch.points_seen == by_point.points_seen
+        batch_coreset = by_batch.structure.query_coreset()
+        point_coreset = by_point.structure.query_coreset()
+        np.testing.assert_array_equal(batch_coreset.points, point_coreset.points)
+        np.testing.assert_array_equal(batch_coreset.weights, point_coreset.weights)
+
+
+class TestFloat32Checkpoints:
+    def test_snapshot_roundtrip_bit_identical(self, tmp_path):
+        points = np.random.default_rng(3).normal(size=(500, 4)).astype(np.float32)
+        config = StreamingConfig(k=3, coreset_size=25, seed=9, dtype="float32")
+        live = CachedCoresetTreeClusterer(config)
+        live.insert_batch(points[:300])
+        live.snapshot(tmp_path / "ckpt")
+        restored = CachedCoresetTreeClusterer.restore(tmp_path / "ckpt")
+        live.insert_batch(points[300:])
+        restored.insert_batch(points[300:])
+        a, b = live.query(), restored.query()
+        np.testing.assert_array_equal(a.centers, b.centers)
+        # Stored buckets stay float32 through the npz roundtrip.
+        for level in restored.cached_tree.tree.levels:
+            for bucket in level:
+                assert bucket.data.points.dtype == np.float32
+
+    def test_dtype_is_fingerprinted(self, tmp_path):
+        from repro.checkpoint import CheckpointError, fingerprint_for, load_checkpoint
+
+        config32 = StreamingConfig(k=3, coreset_size=25, seed=9, dtype="float32")
+        live = CachedCoresetTreeClusterer(config32)
+        live.insert_batch(np.ones((30, 2), dtype=np.float32))
+        live.snapshot(tmp_path / "ckpt")
+        probe64 = CachedCoresetTreeClusterer(
+            StreamingConfig(k=3, coreset_size=25, seed=9)
+        )
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            load_checkpoint(tmp_path / "ckpt", expected_fingerprint=fingerprint_for(probe64))

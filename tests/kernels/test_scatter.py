@@ -1,0 +1,73 @@
+"""Bincount scatters: bit-parity with the ``np.add.at`` loops they replaced.
+
+This is the micro-regression suite for the scatter swap: every replaced
+``np.add.at`` site (Lloyd's center update, sensitivity cluster weights,
+k-means++-coreset representative weights) must produce bit-identical float64
+accumulations, because both primitives add contributions in label-array order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.scatter import weighted_bincount, weighted_label_sums
+from repro.kernels.workspace import Workspace
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=400),
+    k=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_weighted_bincount_matches_add_at_bitwise(n, k, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, k, size=n)
+    weights = rng.uniform(0.0, 3.0, size=n)
+    expected = np.zeros(k, dtype=np.float64)
+    np.add.at(expected, labels, weights)
+    np.testing.assert_array_equal(weighted_bincount(labels, weights, k), expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    k=st.integers(min_value=1, max_value=10),
+    d=st.integers(min_value=1, max_value=8),
+    dtype=st.sampled_from([np.float64, np.float32]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_weighted_label_sums_matches_add_at(n, k, d, dtype, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, d)).astype(dtype)
+    labels = rng.integers(0, k, size=n)
+    weights = rng.uniform(0.1, 2.0, size=n)
+    sums, cluster_weight = weighted_label_sums(
+        points, labels, weights, k, workspace=Workspace()
+    )
+    expected_sums = np.zeros((k, d), dtype=np.float64)
+    np.add.at(expected_sums, labels, points * weights[:, None])
+    expected_weight = np.zeros(k, dtype=np.float64)
+    np.add.at(expected_weight, labels, weights)
+    np.testing.assert_array_equal(sums, expected_sums)
+    np.testing.assert_array_equal(cluster_weight, expected_weight)
+    assert sums.dtype == np.float64 and cluster_weight.dtype == np.float64
+
+
+def test_empty_input_yields_zeros():
+    sums, cw = weighted_label_sums(
+        np.empty((0, 3)), np.empty(0, dtype=np.intp), np.empty(0), 4
+    )
+    assert sums.shape == (4, 3) and not np.any(sums)
+    assert cw.shape == (4,) and not np.any(cw)
+
+
+def test_unoccupied_clusters_stay_zero():
+    points = np.ones((3, 2))
+    labels = np.array([0, 0, 2])
+    weights = np.array([1.0, 2.0, 4.0])
+    sums, cw = weighted_label_sums(points, labels, weights, 5)
+    np.testing.assert_array_equal(cw, [3.0, 0.0, 4.0, 0.0, 0.0])
+    np.testing.assert_array_equal(sums[1], [0.0, 0.0])

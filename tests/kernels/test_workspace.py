@@ -1,0 +1,237 @@
+"""Workspace pool: reuse semantics, no cross-call state leaks, zero-alloc merges."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coreset.bucket import WeightedPointSet
+from repro.coreset.construction import (
+    CoresetConfig,
+    CoresetConstructor,
+    sensitivity_coreset,
+    span_keyed_rng,
+)
+from repro.kernels.workspace import Workspace
+from repro.kmeans.batch import weighted_kmeans
+from repro.kmeans.lloyd import lloyd_iterations
+
+
+class TestWorkspaceBuffer:
+    def test_same_name_same_shape_reuses_memory(self):
+        ws = Workspace()
+        a = ws.buffer("x", 100)
+        a[:] = 7.0
+        b = ws.buffer("x", 100)
+        assert a is b
+
+    def test_growth_reallocates_shrink_reuses(self):
+        ws = Workspace()
+        small = ws.buffer("x", 10)
+        big = ws.buffer("x", 1000)
+        assert big.shape == (1000,)
+        again_small = ws.buffer("x", 10)
+        assert again_small.shape == (10,)
+        # After growing, the small view shares the big backing array.
+        assert again_small.base is big.base or again_small.base is big
+        del small
+
+    def test_distinct_names_never_alias(self):
+        ws = Workspace()
+        a = ws.buffer("a", 50)
+        b = ws.buffer("b", 50)
+        a.fill(1.0)
+        b.fill(2.0)
+        assert float(a[0]) == 1.0 and float(b[0]) == 2.0
+
+    def test_2d_shapes_and_dtypes(self):
+        ws = Workspace()
+        m = ws.buffer("m", (4, 8), np.float32)
+        assert m.shape == (4, 8) and m.dtype == np.float32
+        i = ws.buffer("i", 16, np.intp)
+        assert i.dtype == np.intp
+
+    def test_dtype_switch_reallocates(self):
+        ws = Workspace()
+        a64 = ws.buffer("x", 32, np.float64)
+        a32 = ws.buffer("x", 32, np.float32)
+        assert a64.dtype == np.float64 and a32.dtype == np.float32
+
+    def test_zeros_cleared(self):
+        ws = Workspace()
+        ws.buffer("z", 8).fill(5.0)
+        assert not np.any(ws.zeros("z", 8))
+
+    def test_clear_drops_pools(self):
+        ws = Workspace()
+        ws.buffer("x", 128)
+        assert ws.pooled_buffers == 1 and ws.pooled_bytes >= 128 * 8
+        ws.clear()
+        assert ws.pooled_buffers == 0 and ws.pooled_bytes == 0
+
+
+def _random_weighted_set(rng: np.random.Generator, n: int, d: int, dtype) -> WeightedPointSet:
+    points = rng.normal(size=(n, d)).astype(dtype)
+    weights = rng.uniform(0.5, 2.0, size=n)
+    return WeightedPointSet(points=points, weights=weights)
+
+
+class TestPooledMatchesFresh:
+    """Pooled scratch must be observationally identical to fresh allocation."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.integers(min_value=41, max_value=160),  # n (> m, so sampling runs)
+                st.integers(min_value=1, max_value=7),  # d
+                st.sampled_from([np.float64, np.float32]),
+                st.integers(min_value=0, max_value=2**31 - 1),  # per-step seed
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_interleaved_merges_and_queries_share_one_pool(self, steps):
+        """Interleave differently-shaped merges and query solves through ONE
+        shared workspace; every output must equal the fresh-allocation run."""
+        shared = Workspace()
+        k, m = 3, 40
+        for n, d, dtype, seed in steps:
+            rng = np.random.default_rng(seed)
+            data = _random_weighted_set(rng, n, d, dtype)
+            pooled = sensitivity_coreset(
+                data, k, m, np.random.default_rng(seed), workspace=shared
+            )
+            fresh = sensitivity_coreset(
+                data, k, m, np.random.default_rng(seed), workspace=None
+            )
+            np.testing.assert_array_equal(pooled.points, fresh.points)
+            np.testing.assert_array_equal(pooled.weights, fresh.weights)
+
+            # Query-style solve through the same shared pool.
+            solve_pooled = weighted_kmeans(
+                data.points,
+                k,
+                weights=data.weights,
+                n_init=1,
+                max_iterations=3,
+                rng=np.random.default_rng(seed + 1),
+                workspace=shared,
+            )
+            solve_fresh = weighted_kmeans(
+                data.points,
+                k,
+                weights=data.weights,
+                n_init=1,
+                max_iterations=3,
+                rng=np.random.default_rng(seed + 1),
+            )
+            np.testing.assert_array_equal(solve_pooled.centers, solve_fresh.centers)
+            assert solve_pooled.cost == solve_fresh.cost
+
+    def test_constructor_merges_match_standalone(self):
+        """A constructor's pooled span-keyed merges equal direct fresh calls."""
+        config = CoresetConfig(k=4, coreset_size=50)
+        constructor = CoresetConstructor(config, seed=123)
+        rng = np.random.default_rng(0)
+        for level, (start, end) in enumerate([(1, 2), (3, 4), (1, 4)], start=1):
+            data = _random_weighted_set(rng, 130 + 7 * level, 5, np.float64)
+            pooled = constructor.build_for_span(data, level=level, start=start, end=end)
+            fresh = sensitivity_coreset(
+                data, 4, 50, span_keyed_rng(123, level, start, end), workspace=None
+            )
+            np.testing.assert_array_equal(pooled.points, fresh.points)
+            np.testing.assert_array_equal(pooled.weights, fresh.weights)
+
+    def test_lloyd_with_shared_pool_matches_fresh(self):
+        rng = np.random.default_rng(7)
+        data = _random_weighted_set(rng, 90, 6, np.float64)
+        seeds = data.points[:5].copy()
+        shared = Workspace()
+        a = lloyd_iterations(data.points, seeds, weights=data.weights, workspace=shared)
+        # Dirty the pool with a different-shaped problem, then re-run.
+        other = _random_weighted_set(rng, 33, 2, np.float32)
+        lloyd_iterations(other.points, other.points[:3].copy(), weights=other.weights, workspace=shared)
+        b = lloyd_iterations(data.points, seeds, weights=data.weights, workspace=shared)
+        c = lloyd_iterations(data.points, seeds, weights=data.weights)
+        np.testing.assert_array_equal(a.centers, b.centers)
+        np.testing.assert_array_equal(a.centers, c.centers)
+        assert a.cost == b.cost == c.cost
+
+
+class TestSteadyStateAllocations:
+    """After warmup, a merge of fixed shape performs no new pool allocations
+    and its transient (peak) footprint collapses to near the output size."""
+
+    @staticmethod
+    def _merge_inputs(seed: int, n: int = 400, d: int = 20):
+        rng = np.random.default_rng(seed)
+        return _random_weighted_set(rng, n, d, np.float64)
+
+    def test_no_new_workspace_allocations_after_warmup(self):
+        constructor = CoresetConstructor(CoresetConfig(k=5, coreset_size=100), seed=0)
+        for i in range(3):  # warm every pool at the steady-state shape
+            constructor.build_for_span(self._merge_inputs(i), level=1, start=i + 1, end=i + 1)
+
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for i in range(10):
+                constructor.build_for_span(
+                    self._merge_inputs(100 + i), level=1, start=50 + i, end=50 + i
+                )
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+
+        workspace_file = tracemalloc.Filter(True, "*kernels/workspace.py")
+        grown = sum(
+            stat.size_diff
+            for stat in after.filter_traces([workspace_file]).compare_to(
+                before.filter_traces([workspace_file]), "filename"
+            )
+        )
+        assert grown <= 0, f"workspace pool grew by {grown} bytes across steady-state merges"
+
+    def test_peak_scratch_collapses_vs_fresh_allocation(self):
+        constructor = CoresetConstructor(CoresetConfig(k=5, coreset_size=100), seed=0)
+        data = self._merge_inputs(1)
+        constructor.build_for_span(data, level=1, start=1, end=1)  # warm
+
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            constructor.build_for_span(data, level=1, start=2, end=2)
+            current, pooled_peak = tracemalloc.get_traced_memory()
+            pooled_delta = pooled_peak - current
+
+            tracemalloc.reset_peak()
+            sensitivity_coreset(data, 5, 100, span_keyed_rng(0, 1, 3, 3), workspace=None)
+            current, fresh_peak = tracemalloc.get_traced_memory()
+            fresh_delta = fresh_peak - current
+        finally:
+            tracemalloc.stop()
+
+        # Fresh mode allocates every scratch vector per call; pooled mode only
+        # touches outputs.  Require a decisive (not borderline) separation.
+        assert pooled_delta < fresh_delta / 2, (
+            f"pooled transient {pooled_delta}B vs fresh {fresh_delta}B"
+        )
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_workspace_outputs_are_copies_not_views(dtype):
+    """Coreset outputs must never alias the pool (they live on in the tree)."""
+    constructor = CoresetConstructor(CoresetConfig(k=3, coreset_size=20), seed=5)
+    rng = np.random.default_rng(2)
+    data = _random_weighted_set(rng, 64, 4, dtype)
+    out = constructor.build_for_span(data, level=1, start=1, end=2)
+    pooled_backings = {id(entry[0]) for entry in constructor.workspace._pools.values()}
+    for arr in (out.points, out.weights):
+        base = arr.base if arr.base is not None else arr
+        assert id(base) not in pooled_backings

@@ -1,17 +1,20 @@
 """Run the quick-scale benchmarks and write a machine-readable JSON report.
 
 The report feeds the ``bench-regression`` CI gate: a handful of headline
-metrics (batch-ingestion throughput in points/second and median warm query
-latency in microseconds, for the CC and RCC clusterers) plus a *calibration*
-measurement — the wall-clock of a fixed numpy workload shaped like the
-library's hot loops (GEMM + reduction + sampling).  The regression checker
+metrics — batch-ingestion throughput in points/second and median warm query
+latency in microseconds for the CC and RCC clusterers, an update-path
+*coreset-merge* microbenchmark (merges/second on a fixed ``(r*m, d)`` input,
+isolating the kernel layer from driver overhead), and float32 variants of
+the ingest and merge paths — plus a *calibration* measurement: the
+wall-clock of a fixed numpy workload shaped like the library's hot loops
+(GEMM + reduction + sampling).  The regression checker
 (``tools/check_bench_regression.py``) normalises every metric by the
 calibration time, so comparisons against a baseline recorded on a different
 machine measure the *code*, not the hardware.
 
 Usage::
 
-    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr4.json
+    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr5.json
 """
 
 from __future__ import annotations
@@ -33,6 +36,8 @@ from repro.core.driver import (  # noqa: E402
     CachedCoresetTreeClusterer,
     RecursiveCachedClusterer,
 )
+from repro.coreset.bucket import WeightedPointSet  # noqa: E402
+from repro.coreset.construction import CoresetConfig, CoresetConstructor  # noqa: E402
 from repro.data.loaders import load_dataset  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -42,6 +47,8 @@ SCHEMA_VERSION = 1
 NUM_POINTS = 16_000
 NUM_QUERIES = 30
 K = 20
+#: Merges timed per repeat of the update-path microbenchmark.
+MERGE_COUNT = 60
 
 
 def calibrate(repeats: int = 3) -> float:
@@ -81,6 +88,35 @@ def _measure(clusterer_factory, points: np.ndarray, repeats: int) -> tuple[float
     return best_pts_per_s, best_median_us
 
 
+def _measure_merges(points: np.ndarray, dtype: str, repeats: int) -> float:
+    """Best-of-``repeats`` coreset merges/second on a fixed ``(2m, d)`` input.
+
+    Times ``CoresetConstructor.build_for_span`` directly — the hot kernel of
+    every tree carry — on a steady-state-shaped input (one ``r * m`` union of
+    two base buckets), with distinct span keys so each merge draws its own
+    randomness exactly like the live tree.
+    """
+    m = StreamingConfig(k=K, seed=0).bucket_size
+    data = WeightedPointSet.from_points(
+        np.ascontiguousarray(points[: 2 * m], dtype=np.dtype(dtype))
+    )
+    best = 0.0
+    for _ in range(repeats):
+        constructor = CoresetConstructor(
+            CoresetConfig(k=K, coreset_size=m), seed=0
+        )
+        for i in range(3):  # warm the workspace pools
+            constructor.build_for_span(data, level=1, start=2 * i + 1, end=2 * i + 2)
+        start = time.perf_counter()
+        for i in range(MERGE_COUNT):
+            constructor.build_for_span(
+                data, level=1, start=2 * i + 101, end=2 * i + 102
+            )
+        elapsed = time.perf_counter() - start
+        best = max(best, MERGE_COUNT / elapsed)
+    return best
+
+
 def run(repeats: int) -> dict:
     """Execute the quick benchmark suite and return the report dict."""
     points = load_dataset("covtype", num_points=NUM_POINTS, seed=0).points
@@ -101,6 +137,28 @@ def run(repeats: int) -> dict:
             "higher_is_better": False,
         }
 
+    # Opt-in float32 ingest path (the stream is cast once, outside the clock,
+    # exactly as the harness does for dtype="float32" runs).
+    config32 = StreamingConfig(k=K, seed=0, dtype="float32")
+    points32 = points.astype(np.float32)
+    pts_per_s, _ = _measure(
+        lambda: CachedCoresetTreeClusterer(config32), points32, repeats
+    )
+    metrics["cc_ingest_pts_per_s_float32"] = {
+        "value": pts_per_s,
+        "higher_is_better": True,
+    }
+
+    # Update-path merge microbenchmark, both dtypes.
+    metrics["merge_updates_per_s"] = {
+        "value": _measure_merges(points, "float64", repeats),
+        "higher_is_better": True,
+    }
+    metrics["merge_updates_per_s_float32"] = {
+        "value": _measure_merges(points, "float32", repeats),
+        "higher_is_better": True,
+    }
+
     return {
         "schema": SCHEMA_VERSION,
         "calibration_seconds": calibrate(),
@@ -117,7 +175,7 @@ def run(repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run the suite and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_pr4.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_pr5.json"))
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
 
