@@ -81,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--sketch-dim",
+        type=int,
+        default=None,
+        help=(
+            "opt-in Johnson-Lindenstrauss sketching: project points to this "
+            "many dimensions at ingest and run merge/query inner loops in "
+            "the sketched space (reported centers and costs stay exact via "
+            "top-2 re-ranking); off by default"
+        ),
+    )
+    run.add_argument(
+        "--sketch-kind",
+        choices=("gaussian", "countsketch"),
+        default="gaussian",
+        help="JL transform used with --sketch-dim: dense gaussian or sparse countsketch",
+    )
+    run.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -147,7 +164,12 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
     config = StreamingConfig(
-        k=args.k, coreset_size=args.bucket_size, seed=args.seed, dtype=args.dtype
+        k=args.k,
+        coreset_size=args.bucket_size,
+        seed=args.seed,
+        dtype=args.dtype,
+        sketch_dim=args.sketch_dim,
+        sketch_kind=args.sketch_kind,
     )
     if args.poisson:
         schedule = PoissonSchedule.from_mean_interval(args.query_interval, seed=args.seed)

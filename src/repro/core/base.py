@@ -137,6 +137,18 @@ class StreamingConfig:
         slabs; costs and weights are still accumulated in float64).  Part
         of the checkpoint config fingerprint — a snapshot taken at one
         dtype never silently restores at another.
+    sketch_dim:
+        Opt-in Johnson–Lindenstrauss sketching (see
+        :mod:`repro.kernels.sketch`): points are projected into this many
+        dimensions once at ingest, the merge/query inner loops run in the
+        sketched space, and an exact top-2 re-rank keeps reported centers
+        and costs full-precision.  ``None`` (default) disables sketching;
+        streams whose dimension is ``<= sketch_dim`` are never projected.
+        Part of the checkpoint config fingerprint, like ``dtype``.
+    sketch_kind:
+        Which JL transform to use when ``sketch_dim`` is set: ``"gaussian"``
+        (dense, default) or ``"countsketch"`` (sparse ±1).  Also
+        fingerprinted.
     """
 
     k: int
@@ -150,15 +162,24 @@ class StreamingConfig:
     warm_start_drift_ratio: float = 2.0
     warm_start_refresh_interval: int | None = 64
     dtype: str = "float64"
+    sketch_dim: int | None = None
+    sketch_kind: str = "gaussian"
 
     def __post_init__(self) -> None:
         from ..kernels.dtypes import resolve_dtype
+        from ..kernels.sketch import SKETCH_KINDS
 
         if self.k <= 0:
             raise ValueError(f"k must be positive, got {self.k}")
         # Normalise dtype-likes to the canonical name so that configs compare
         # (and fingerprint) equal regardless of how the dtype was spelled.
         object.__setattr__(self, "dtype", resolve_dtype(self.dtype).name)
+        if self.sketch_dim is not None and self.sketch_dim <= 0:
+            raise ValueError("sketch_dim must be positive when given")
+        if self.sketch_kind not in SKETCH_KINDS:
+            raise ValueError(
+                f"unknown sketch kind {self.sketch_kind!r}; available: {SKETCH_KINDS}"
+            )
         if self.merge_degree < 2:
             raise ValueError(f"merge_degree must be >= 2, got {self.merge_degree}")
         if self.coreset_size is not None and self.coreset_size <= 0:
@@ -188,6 +209,8 @@ class StreamingConfig:
             k=self.k,
             coreset_size=self.bucket_size,
             method=self.coreset_method,
+            sketch_dim=self.sketch_dim,
+            sketch_kind=self.sketch_kind,
         )
 
     def make_constructor(self, seed: int | None = None) -> CoresetConstructor:

@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
+from ..kernels.sketch import sketch_for
 from ..queries.serving import QueryStats
 from .base import (
     ClusteringStructure,
@@ -82,6 +83,9 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         self._rng = np.random.default_rng(config.seed)
         self._engine = config.make_query_engine()
         self._last_query_stats: QueryStats | None = None
+        # The structure's constructor owns the sketcher (its entropy keys the
+        # projection); the driver just projects each completed bucket with it.
+        self._sketcher = getattr(structure.constructor, "sketcher", None)
 
     @classmethod
     def sharded(
@@ -173,7 +177,11 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
         self._points_seen += arr.shape[0]
         if blocks:
             self._structure.insert_buckets(
-                make_base_buckets(blocks, self._structure.num_base_buckets + 1)
+                make_base_buckets(
+                    blocks,
+                    self._structure.num_base_buckets + 1,
+                    sketcher=self._sketcher,
+                )
             )
 
     def _require_dimension(self, dimension: int, what: str = "point") -> None:
@@ -216,13 +224,15 @@ class StreamClusterDriver(CoresetServingMixin, StreamingClusterer):
 
     def _flush_buffer(self) -> None:
         index = self._structure.num_base_buckets + 1
-        data = WeightedPointSet.from_points(self._buffer.drain())
+        block = self._buffer.drain()
+        data = WeightedPointSet.from_points(block, sketch=sketch_for(self._sketcher, block))
         self._structure.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
 
     def _partial_bucket_points(self) -> WeightedPointSet:
         if self._buffer.is_empty:
             return WeightedPointSet.empty(self._dimension or 1, dtype=self._dtype)
-        return WeightedPointSet.from_points(self._buffer.snapshot())
+        block = self._buffer.snapshot()
+        return WeightedPointSet.from_points(block, sketch=sketch_for(self._sketcher, block))
 
     # -- checkpointing -------------------------------------------------------
 

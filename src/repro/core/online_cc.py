@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
+from ..kernels.sketch import sketch_for
 from ..kmeans.sequential import SequentialKMeansState
 from ..queries.serving import QueryStats
 from .base import (
@@ -82,6 +83,7 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
 
         constructor = config.make_constructor()
         self._cc = CachedCoresetTree(constructor, merge_degree=config.merge_degree)
+        self._sketcher = constructor.sketcher
         self._rng = np.random.default_rng(config.seed)
         self._engine = config.make_query_engine()
         self._last_query_stats: QueryStats | None = None
@@ -172,7 +174,9 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
         self._points_seen += arr.shape[0]
         if blocks:
             self._cc.insert_buckets(
-                make_base_buckets(blocks, self._cc.num_base_buckets + 1)
+                make_base_buckets(
+                    blocks, self._cc.num_base_buckets + 1, sketcher=self._sketcher
+                )
             )
 
     # -- queries ---------------------------------------------------------------
@@ -249,13 +253,15 @@ class OnlineCCClusterer(CoresetServingMixin, StreamingClusterer):
 
     def _flush_buffer(self) -> None:
         index = self._cc.num_base_buckets + 1
-        data = WeightedPointSet.from_points(self._buffer.drain())
+        block = self._buffer.drain()
+        data = WeightedPointSet.from_points(block, sketch=sketch_for(self._sketcher, block))
         self._cc.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
 
     def _partial_bucket_points(self) -> WeightedPointSet:
         if self._buffer.is_empty:
             return WeightedPointSet.empty(self._dimension or 1)
-        return WeightedPointSet.from_points(self._buffer.snapshot())
+        block = self._buffer.snapshot()
+        return WeightedPointSet.from_points(block, sketch=sketch_for(self._sketcher, block))
 
     # -- checkpointing -------------------------------------------------------
 

@@ -11,10 +11,15 @@ on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..kernels.dtypes import coerce_storage
+from ..kernels.sketch import sketch_for
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..kernels.sketch import Sketcher
 
 __all__ = ["WeightedPointSet", "Bucket", "make_base_buckets"]
 
@@ -33,10 +38,19 @@ class WeightedPointSet:
         Array of shape ``(n,)`` with positive weights — always float64, per
         the dtype policy's honest-accumulator rule (weights are summed over
         the whole stream).
+    sketch:
+        Optional ``(n, s)`` sketched view of ``points`` (``s < d``), carried
+        alongside the exact coordinates when the owning constructor sketches
+        (see :mod:`repro.kernels.sketch`).  Row ``i`` of the sketch is the
+        projection of row ``i`` of ``points``, always float32 (the JL
+        distortion dwarfs float32 rounding, so the approximate view takes
+        the low-bandwidth dtype unconditionally); merges gather sketch rows
+        by sampled index, so a point is projected exactly once, at ingest.
     """
 
     points: np.ndarray
     weights: np.ndarray
+    sketch: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         pts = coerce_storage(self.points)
@@ -49,16 +63,30 @@ class WeightedPointSet:
             )
         if np.any(w < 0):
             raise ValueError("weights must be non-negative")
+        sk = self.sketch
+        if sk is not None:
+            sk = np.asarray(sk, dtype=np.float32)
+            if sk.ndim != 2 or sk.shape[0] != pts.shape[0]:
+                raise ValueError(
+                    f"sketch must have shape ({pts.shape[0]}, s), got {sk.shape}"
+                )
         object.__setattr__(self, "points", pts)
         object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "sketch", sk)
 
     @classmethod
-    def from_points(cls, points: np.ndarray) -> "WeightedPointSet":
+    def from_points(
+        cls, points: np.ndarray, sketch: np.ndarray | None = None
+    ) -> "WeightedPointSet":
         """Wrap raw points with unit weights (float32 blocks stay float32)."""
         pts = coerce_storage(points)
         if pts.ndim == 1:
             pts = pts.reshape(1, -1)
-        return cls(points=pts, weights=np.ones(pts.shape[0], dtype=np.float64))
+        return cls(
+            points=pts,
+            weights=np.ones(pts.shape[0], dtype=np.float64),
+            sketch=sketch,
+        )
 
     @classmethod
     def empty(cls, dimension: int, dtype: np.dtype | type = np.float64) -> "WeightedPointSet":
@@ -69,13 +97,22 @@ class WeightedPointSet:
         )
 
     def state_dict(self) -> dict:
-        """Checkpoint state: the two backing arrays, bit-exact."""
-        return {"points": self.points, "weights": self.weights}
+        """Checkpoint state: the backing arrays (sketch included), bit-exact.
+
+        Persisting the sketch rows — rather than re-projecting on restore —
+        guarantees the restored set is bit-identical regardless of BLAS call
+        shapes, at a storage cost of ``s/d`` relative to the points.
+        """
+        return {"points": self.points, "weights": self.weights, "sketch": self.sketch}
 
     @classmethod
     def from_state(cls, state: dict) -> "WeightedPointSet":
-        """Rebuild from :meth:`state_dict` output."""
-        return cls(points=state["points"], weights=state["weights"])
+        """Rebuild from :meth:`state_dict` output (pre-sketch states load cleanly)."""
+        return cls(
+            points=state["points"],
+            weights=state["weights"],
+            sketch=state.get("sketch"),
+        )
 
     @property
     def size(self) -> int:
@@ -93,7 +130,12 @@ class WeightedPointSet:
         return float(np.sum(self.weights))
 
     def union(self, other: "WeightedPointSet") -> "WeightedPointSet":
-        """Multiset union of two weighted point sets."""
+        """Multiset union of two weighted point sets.
+
+        The sketched view survives the union only when *both* sides carry a
+        compatible sketch (all-or-nothing): a half-sketched union would force
+        downstream kernels to mix spaces, so it degrades to exact instead.
+        """
         if self.size == 0:
             return other
         if other.size == 0:
@@ -105,6 +147,7 @@ class WeightedPointSet:
         return WeightedPointSet(
             points=np.vstack([self.points, other.points]),
             weights=np.concatenate([self.weights, other.weights]),
+            sketch=_union_sketches([self.sketch, other.sketch]),
         )
 
     @staticmethod
@@ -135,7 +178,17 @@ class WeightedPointSet:
         return WeightedPointSet(
             points=np.vstack([s.points for s in non_empty]),
             weights=np.concatenate([s.weights for s in non_empty]),
+            sketch=_union_sketches([s.sketch for s in non_empty]),
         )
+
+
+def _union_sketches(sketches: list[np.ndarray | None]) -> np.ndarray | None:
+    """Stack per-set sketches, all-or-nothing: any missing/mismatched → None."""
+    if any(sk is None for sk in sketches):
+        return None
+    if len({sk.shape[1] for sk in sketches}) != 1:  # type: ignore[union-attr]
+        return None
+    return np.vstack(sketches)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -209,18 +262,22 @@ class Bucket:
         )
 
 
-def make_base_buckets(blocks: list[np.ndarray], start: int) -> list["Bucket"]:
+def make_base_buckets(
+    blocks: list[np.ndarray], start: int, sketcher: "Sketcher | None" = None
+) -> list["Bucket"]:
     """Wrap point blocks as consecutive base buckets starting at index ``start``.
 
     The shared tail of every batch-ingestion path: each ``(m, d)`` block from
     :meth:`~repro.core.buffer.BucketBuffer.take_full_blocks` becomes a
     level-0 bucket with the next base-bucket index, preserving zero-copy
     (``WeightedPointSet.from_points`` copies neither float64 nor float32
-    arrays).
+    arrays).  With a ``sketcher`` each block is also projected — exactly once
+    per point, here at ingest — and the sketched view rides along in the
+    bucket's :class:`WeightedPointSet`.
     """
     return [
         Bucket(
-            data=WeightedPointSet.from_points(block),
+            data=WeightedPointSet.from_points(block, sketch=sketch_for(sketcher, block)),
             start=start + offset,
             end=start + offset,
             level=0,

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..kernels.distance import pooled_row_norms
 from ..kernels.scatter import weighted_bincount
+from ..kernels.sketch import SKETCH_KINDS, Sketcher
 from ..kernels.workspace import Workspace
 from ..kmeans.cost import assign_points
 from ..kmeans.kmeanspp import kmeanspp_seeding
@@ -76,12 +77,24 @@ class CoresetConfig:
     seed_centers:
         Number of centers used for the bicriteria solution inside sensitivity
         sampling.  Defaults to ``k`` when None.
+    sketch_dim:
+        Opt-in Johnson–Lindenstrauss sketching: when set, ingest projects
+        every point into this many dimensions and the construction's seeding,
+        assignment, and sensitivity scoring run in the sketched space (the
+        sampled output points stay exact).  ``None`` (default) disables
+        sketching; streams whose dimension is ``<= sketch_dim`` are never
+        projected.
+    sketch_kind:
+        Which JL transform to use: ``"gaussian"`` (dense, default) or
+        ``"countsketch"`` (sparse ±1).  See :mod:`repro.kernels.sketch`.
     """
 
     k: int
     coreset_size: int
     method: CoresetMethod = "sensitivity"
     seed_centers: int | None = None
+    sketch_dim: int | None = None
+    sketch_kind: str = "gaussian"
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -92,6 +105,12 @@ class CoresetConfig:
             raise ValueError(f"unknown coreset method {self.method!r}")
         if self.seed_centers is not None and self.seed_centers <= 0:
             raise ValueError("seed_centers must be positive when given")
+        if self.sketch_dim is not None and self.sketch_dim <= 0:
+            raise ValueError("sketch_dim must be positive when given")
+        if self.sketch_kind not in SKETCH_KINDS:
+            raise ValueError(
+                f"unknown sketch kind {self.sketch_kind!r}; available: {SKETCH_KINDS}"
+            )
 
 
 def _passthrough_if_small(data: WeightedPointSet, m: int) -> WeightedPointSet | None:
@@ -125,12 +144,21 @@ def sensitivity_coreset(
     :class:`CoresetConstructor` owns one) all seeding, assignment, and
     sampling scratch is pooled, so a steady-state merge of fixed-shape
     buckets allocates only its output arrays.
+
+    When ``data`` carries a sketched view, the bicriteria seeding and the
+    sensitivity scores are computed in the sketched space (the JL transform
+    approximately preserves the squared distances the scores are built from)
+    — but the *sampled output points stay exact*, and the ``w/(m·p)``
+    re-weighting keeps the weighted sample an unbiased cost estimator under
+    *any* sampling distribution, so sketching perturbs only the variance of
+    the estimate, never its expectation.
     """
     small = _passthrough_if_small(data, m)
     if small is not None:
         return small
 
     pts = data.points
+    solve = data.sketch if data.sketch is not None else pts
     w = data.weights
     n = data.size
     n_seeds = seed_centers if seed_centers is not None else k
@@ -139,12 +167,12 @@ def sensitivity_coreset(
     ws = workspace if workspace is not None else Workspace()
     # One norm pass shared by the seeding rounds and the assignment, in the
     # points' storage dtype (float32 merges run float32 matvecs).
-    pts_sq = pooled_row_norms(pts, ws, "sens.pts_sq")
+    pts_sq = pooled_row_norms(solve, ws, "sens.pts_sq")
 
     # The seeding loop maintains each point's nearest seed and squared
     # distance incrementally, so no separate assignment GEMM is needed.
     centers, labels, sq = kmeanspp_seeding(
-        pts,
+        solve,
         n_seeds,
         weights=w,
         rng=rng,
@@ -181,7 +209,11 @@ def sensitivity_coreset(
     sample_weights = w[indices]
     sample_weights /= m * sampled_p
 
-    return WeightedPointSet(points=sample_points, weights=sample_weights)
+    return WeightedPointSet(
+        points=sample_points,
+        weights=sample_weights,
+        sketch=data.sketch[indices] if data.sketch is not None else None,
+    )
 
 
 def _sample_from_cdf(
@@ -219,7 +251,11 @@ def uniform_coreset(
         indices = _sample_from_cdf(rng, np.cumsum(w), m)
     sample_points = data.points[indices]
     sample_weights = np.full(m, data.total_weight / m, dtype=np.float64)
-    return WeightedPointSet(points=sample_points, weights=sample_weights)
+    return WeightedPointSet(
+        points=sample_points,
+        weights=sample_weights,
+        sketch=data.sketch[indices] if data.sketch is not None else None,
+    )
 
 
 def kmeanspp_coreset(
@@ -234,11 +270,33 @@ def kmeanspp_coreset(
     This mirrors the construction used by streamkm++'s coreset trees: run
     k-means++ D² sampling to pick ``m`` representatives and move each input
     point's weight onto its nearest representative (a ``bincount`` scatter).
+
+    Every representative IS an input row, so the sketched variant selects
+    and assigns in the sketched space but emits the *exact* rows the chosen
+    sketch rows came from (``with_indices`` maps one to the other).
     """
     small = _passthrough_if_small(data, m)
     if small is not None:
         return small
     ws = workspace if workspace is not None else Workspace()
+    if data.sketch is not None:
+        solve = data.sketch
+        pts_sq = pooled_row_norms(solve, ws, "kpc.pts_sq")
+        representatives, rep_indices = kmeanspp_seeding(
+            solve, m, weights=data.weights, rng=rng, points_sq=pts_sq,
+            workspace=ws, with_indices=True,
+        )
+        labels, _ = assign_points(
+            solve, representatives, points_sq=pts_sq, workspace=ws
+        )
+        rep_weights = weighted_bincount(labels, data.weights, representatives.shape[0])
+        occupied = rep_weights > 0
+        chosen = rep_indices[occupied]
+        return WeightedPointSet(
+            points=data.points[chosen],
+            weights=rep_weights[occupied],
+            sketch=solve[chosen],
+        )
     pts_sq = pooled_row_norms(data.points, ws, "kpc.pts_sq")
     representatives = kmeanspp_seeding(
         data.points, m, weights=data.weights, rng=rng, points_sq=pts_sq, workspace=ws
@@ -283,6 +341,14 @@ class CoresetConstructor:
         # the steady state allocates only output arrays.  Pure scratch — it
         # never appears in state_dict() and never crosses process boundaries.
         self._workspace = Workspace()
+        # The sketcher's matrix is a pure function of (entropy, dimension),
+        # so it carries no checkpoint state of its own: restoring the
+        # entropy below rebuilds bit-identical projections.
+        self._sketcher = (
+            Sketcher(config.sketch_dim, kind=config.sketch_kind, entropy=self._entropy)
+            if config.sketch_dim is not None
+            else None
+        )
         self._builders: dict[str, Callable[..., WeightedPointSet]] = {
             "sensitivity": self._build_sensitivity,
             "uniform": self._build_uniform,
@@ -293,6 +359,11 @@ class CoresetConstructor:
     def workspace(self) -> Workspace:
         """The constructor's scratch-buffer pool (instrumentation/tests)."""
         return self._workspace
+
+    @property
+    def sketcher(self) -> Sketcher | None:
+        """The JL sketcher ingest paths project with (None when sketching is off)."""
+        return self._sketcher
 
     @property
     def coreset_size(self) -> int:
@@ -341,6 +412,8 @@ class CoresetConstructor:
 
         self._entropy = int(state["entropy"])
         self._rng = rng_from_state(state["rng"])
+        if self._sketcher is not None:
+            self._sketcher.reseed(self._entropy)
 
     def _build_sensitivity(
         self, data: WeightedPointSet, rng: np.random.Generator

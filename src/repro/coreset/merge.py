@@ -72,12 +72,26 @@ def _pooled_union(buckets: list[Bucket], constructor: CoresetConstructor) -> Wei
     dtype = sets[0].points.dtype
     if any(s.points.dtype != dtype for s in sets):
         return None
+    # Sketches pool all-or-nothing, like the copying union: a mixed batch
+    # falls back so the degrade-to-exact rule has one implementation.
+    sketched = [s.sketch is not None for s in sets]
+    if any(sketched) and not all(sketched):
+        return None
+    sketch = None
+    if all(sketched):
+        sketch_dims = {s.sketch.shape[1] for s in sets}  # type: ignore[union-attr]
+        if len(sketch_dims) != 1:
+            return None
+        sketch = ws.buffer(
+            "merge.union_sketch", (total, sketch_dims.pop()), np.float32
+        )
+        np.concatenate([s.sketch for s in sets], axis=0, out=sketch)
     dimension = sets[0].dimension
     points = ws.buffer("merge.union_points", (total, dimension), dtype)
     weights = ws.buffer("merge.union_weights", total)
     np.concatenate([s.points for s in sets], axis=0, out=points)
     np.concatenate([s.weights for s in sets], out=weights)
-    return WeightedPointSet(points=points, weights=weights)
+    return WeightedPointSet(points=points, weights=weights, sketch=sketch)
 
 
 def merge_buckets(buckets: list[Bucket], constructor: CoresetConstructor) -> Bucket:

@@ -31,6 +31,7 @@ from ..core.buffer import BucketBuffer
 from ..core.cache import CoresetCache
 from ..core.coreset_tree import CoresetTree
 from ..kernels.scatter import weighted_bincount
+from ..kernels.sketch import SKETCH_KINDS, Sketcher, sketch_for
 from ..core.numeral import major
 from ..kmeans.cost import pairwise_squared_distances
 
@@ -189,12 +190,19 @@ def kmedian_sensitivity_coreset(
     m: int,
     rng: np.random.Generator,
 ) -> WeightedPointSet:
-    """Importance-sampling coreset for the k-median metric (distance, not squared)."""
+    """Importance-sampling coreset for the k-median metric (distance, not squared).
+
+    Like the k-means construction, a sketched input is seeded and scored in
+    the sketched space (JL preserves the Euclidean distances the scores are
+    built from, up to ``1 ± eps``) while the sampled output rows stay exact;
+    the re-weighting keeps the estimator unbiased under any distribution.
+    """
     if data.size <= m:
         return data
     pts, w = data.points, data.weights
-    seeds = kmedian_seeding(pts, min(k, data.size), weights=w, rng=rng)
-    dist = _distances(pts, seeds)
+    solve = data.sketch if data.sketch is not None else pts
+    seeds = kmedian_seeding(solve, min(k, data.size), weights=w, rng=rng)
+    dist = _distances(solve, seeds)
     labels = np.argmin(dist, axis=1)
     nearest = dist[np.arange(dist.shape[0]), labels]
 
@@ -213,6 +221,7 @@ def kmedian_sensitivity_coreset(
     return WeightedPointSet(
         points=pts[indices],
         weights=w[indices] / (m * probabilities[indices]),
+        sketch=data.sketch[indices] if data.sketch is not None else None,
     )
 
 
@@ -225,13 +234,27 @@ class _KMedianCoresetConstructor:
     (so batch and per-point ingestion produce identical trees).
     """
 
-    def __init__(self, k: int, coreset_size: int, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        k: int,
+        coreset_size: int,
+        seed: int | None = None,
+        sketch_dim: int | None = None,
+        sketch_kind: str = "gaussian",
+    ) -> None:
         from ..kernels.workspace import Workspace
 
         self.k = k
         self.coreset_size = coreset_size
         self._rng = np.random.default_rng(seed)
         self._entropy = int(np.random.SeedSequence().entropy) if seed is None else int(seed)
+        # Part of the constructor duck type (see CoresetConstructor.sketcher):
+        # the clusterer's ingest sites project with it.
+        self.sketcher = (
+            Sketcher(sketch_dim, kind=sketch_kind, entropy=self._entropy)
+            if sketch_dim is not None
+            else None
+        )
         # Scratch pool, part of the constructor duck type: merge_buckets
         # stages each union here (kmedian_sensitivity_coreset samples
         # whenever the union exceeds coreset_size, so pooled unions never
@@ -263,6 +286,8 @@ class _KMedianCoresetConstructor:
 
         self._entropy = int(state["entropy"])
         self._rng = rng_from_state(state["rng"])
+        if self.sketcher is not None:
+            self.sketcher.reseed(self._entropy)
 
 
 @dataclass(frozen=True)
@@ -279,6 +304,8 @@ class KMedianConfig:
     n_init: int = 3
     max_iterations: int = 15
     seed: int | None = None
+    sketch_dim: int | None = None
+    sketch_kind: str = "gaussian"
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -287,6 +314,12 @@ class KMedianConfig:
             raise ValueError("merge_degree must be >= 2")
         if self.coreset_size is not None and self.coreset_size <= 0:
             raise ValueError("coreset_size must be positive when given")
+        if self.sketch_dim is not None and self.sketch_dim <= 0:
+            raise ValueError("sketch_dim must be positive when given")
+        if self.sketch_kind not in SKETCH_KINDS:
+            raise ValueError(
+                f"unknown sketch kind {self.sketch_kind!r}; available: {SKETCH_KINDS}"
+            )
 
     @property
     def bucket_size(self) -> int:
@@ -302,7 +335,11 @@ class KMedianCachedClusterer(StreamingClusterer):
     def __init__(self, config: KMedianConfig) -> None:
         self.config = config
         self._constructor = _KMedianCoresetConstructor(
-            config.k, config.bucket_size, seed=config.seed
+            config.k,
+            config.bucket_size,
+            seed=config.seed,
+            sketch_dim=config.sketch_dim,
+            sketch_kind=config.sketch_kind,
         )
         self._tree = CoresetTree(self._constructor, merge_degree=config.merge_degree)
         self._cache = CoresetCache(config.merge_degree)
@@ -334,7 +371,10 @@ class KMedianCachedClusterer(StreamingClusterer):
         self._points_seen += 1
         if self._buffer.is_full:
             index = self._tree.num_base_buckets + 1
-            data = WeightedPointSet.from_points(self._buffer.drain())
+            block = self._buffer.drain()
+            data = WeightedPointSet.from_points(
+                block, sketch=sketch_for(self._constructor.sketcher, block)
+            )
             self._tree.insert_bucket(Bucket(data=data, start=index, end=index, level=0))
 
     def insert_batch(self, points: np.ndarray) -> None:
@@ -347,14 +387,21 @@ class KMedianCachedClusterer(StreamingClusterer):
         self._points_seen += arr.shape[0]
         if blocks:
             self._tree.insert_buckets(
-                make_base_buckets(blocks, self._tree.num_base_buckets + 1)
+                make_base_buckets(
+                    blocks,
+                    self._tree.num_base_buckets + 1,
+                    sketcher=self._constructor.sketcher,
+                )
             )
 
     def query(self) -> QueryResult:
         """Return k median centers from the cached coreset plus the partial bucket."""
         coreset = self._query_coreset()
         if not self._buffer.is_empty:
-            partial = WeightedPointSet.from_points(self._buffer.snapshot())
+            block = self._buffer.snapshot()
+            partial = WeightedPointSet.from_points(
+                block, sketch=sketch_for(self._constructor.sketcher, block)
+            )
             coreset = coreset.union(partial) if coreset.size else partial
         if coreset.size == 0:
             raise RuntimeError("cannot answer a clustering query before any point arrives")

@@ -15,6 +15,11 @@ in the same three numeric primitives, and this package is their single home:
 * :mod:`~repro.kernels.scatter` — ``np.bincount``-based weighted scatters
   (per-cluster sums, weights, costs) replacing every ``np.add.at`` (which
   falls back to a per-element ufunc inner loop).
+* :mod:`~repro.kernels.sketch` — opt-in seeded Johnson–Lindenstrauss
+  projections (dense Gaussian or CountSketch).  Points are projected once at
+  ingest and the merge/query inner loops run in the sketched space; sampled
+  outputs, centers, and reported costs stay full-precision via an exact
+  top-2 re-rank.
 * :mod:`~repro.kernels.dtypes` — the compute-dtype policy.  Points may be
   stored and multiplied in ``float32`` (halving memory bandwidth end to end),
   but costs, weights, and CDF accumulators always use ``float64`` so quality
@@ -38,18 +43,23 @@ from .distance import (
     sq_distances_to_center,
 )
 from .scatter import weighted_bincount, weighted_label_sums
+from .sketch import SKETCH_KINDS, Sketcher, sketch_for, top2_chunked
 from .workspace import Workspace
 
 __all__ = [
     "DEFAULT_DTYPE",
+    "SKETCH_KINDS",
     "SUPPORTED_DTYPES",
+    "Sketcher",
     "Workspace",
     "assign_chunked",
     "chunk_rows_for",
     "min_sq_update",
     "pooled_row_norms",
     "resolve_dtype",
+    "sketch_for",
     "sq_distances_to_center",
+    "top2_chunked",
     "weighted_bincount",
     "weighted_label_sums",
 ]

@@ -71,8 +71,20 @@ def set_chunk_rows_override(rows: int | None) -> None:
     _chunk_rows_override = None if rows is None else max(1, int(rows))
 
 
-def chunk_rows_for(num_centers: int, itemsize: int, chunk_bytes: int | None = None) -> int:
-    """Rows per tile so the ``(rows, k)`` scratch fits the chunk budget.
+def chunk_rows_for(
+    num_centers: int,
+    itemsize: int,
+    chunk_bytes: int | None = None,
+    dim: int | None = None,
+) -> int:
+    """Rows per tile so the per-tile working set fits the chunk budget.
+
+    A tile touches ``rows * num_centers`` scratch cells *plus* the
+    ``rows * dim`` point block the GEMM streams through, so the budget is
+    divided by ``(num_centers + dim) * itemsize`` when the caller supplies
+    the point dimensionality — otherwise high-dimensional batches (d >> k)
+    would overshoot the budget by ``d / k``.  ``dim=None`` preserves the
+    scratch-only sizing for callers that tile something other than points.
 
     The ``REPRO_KERNEL_CHUNK_ROWS`` environment variable (read at import) or
     :func:`set_chunk_rows_override` overrides the computed value (tuning
@@ -81,7 +93,8 @@ def chunk_rows_for(num_centers: int, itemsize: int, chunk_bytes: int | None = No
     if _chunk_rows_override is not None:
         return _chunk_rows_override
     budget = DEFAULT_CHUNK_BYTES if chunk_bytes is None else chunk_bytes
-    return max(64, budget // max(1, num_centers * itemsize))
+    per_row = num_centers + (int(dim) if dim is not None else 0)
+    return max(64, budget // max(1, per_row * itemsize))
 
 
 def pooled_row_norms(points: np.ndarray, workspace: Workspace, name: str) -> np.ndarray:
@@ -171,7 +184,7 @@ def assign_chunked(
     c_sq = ws.buffer("assign.center_sq", k, centers.dtype)
     np.einsum("ij,ij->i", centers, centers, out=c_sq)
 
-    rows = min(n, chunk_rows_for(k, points.itemsize, chunk_bytes)) or 1
+    rows = min(n, chunk_rows_for(k, points.itemsize, chunk_bytes, dim=points.shape[1])) or 1
     partial_full = ws.buffer("assign.partial", (rows, k), points.dtype)
     min_full = ws.buffer("assign.min", rows, points.dtype)
     for start in range(0, n, rows):

@@ -1,0 +1,218 @@
+"""Seeded Johnson–Lindenstrauss sketching for the merge/query hot path.
+
+Every hot loop in the package — k-means++ seeding, Lloyd assignment,
+sensitivity scoring — is a dense distance computation whose cost scales
+linearly with the point dimensionality ``d``.  A JL projection into
+``s << d`` dimensions preserves pairwise squared distances (and therefore
+k-means costs) up to a ``1 ± eps`` factor with ``s = O(log(k) / eps^2)``, so
+those loops can run entirely in the sketched space while the *outputs* —
+sampled coreset points, reported centers and costs — stay full-precision in
+the original space.
+
+Two oblivious transforms are provided:
+
+* ``"gaussian"`` — a dense ``(d, s)`` matrix of i.i.d. normals scaled by
+  ``1/sqrt(s)`` (the classical JL construction); and
+* ``"countsketch"`` — the sparse CountSketch map (one ``±1`` per input
+  dimension, hashed to a single output column), materialised as the same
+  dense ``(d, s)`` matrix so projections share the one-GEMM code path.
+
+Determinism contract: the projection matrix for a given input dimension is a
+pure function of ``(entropy, kind, sketch_dim, d)``, where ``entropy`` is the
+owning :class:`~repro.coreset.construction.CoresetConstructor`'s span-key
+entropy.  The entropy is already checkpointed, so a restored constructor
+rebuilds bit-identical matrices with no new checkpoint state; the 3-element
+seed key cannot collide with the 4-element span keys used for merge
+randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .workspace import Workspace
+
+__all__ = ["SKETCH_KINDS", "Sketcher", "sketch_for", "top2_chunked"]
+
+#: Supported sketch transforms, in the order shown by ``--help``.
+SKETCH_KINDS = ("gaussian", "countsketch")
+
+#: Domain-separation tag for the matrix seed key (second entropy word), so
+#: sketch randomness can never collide with another 3-word derived stream.
+_MATRIX_STREAM_TAG = 0x534B4554  # "SKET"
+
+
+class Sketcher:
+    """A seeded JL transform with per-dimension matrix caching.
+
+    Parameters
+    ----------
+    sketch_dim:
+        Target dimensionality ``s``.  Streams whose dimension is ``<= s``
+        are left unprojected (:meth:`active_for` returns False), so a single
+        configuration is safe across datasets of any width.
+    kind:
+        ``"gaussian"`` or ``"countsketch"`` (see module docstring).
+    entropy:
+        Root entropy the projection matrices are derived from.  Owners pass
+        their checkpointed span-key entropy so snapshot→restore rebuilds
+        bit-identical matrices.
+    """
+
+    def __init__(self, sketch_dim: int, kind: str = "gaussian", entropy: int = 0) -> None:
+        if int(sketch_dim) <= 0:
+            raise ValueError(f"sketch_dim must be positive, got {sketch_dim}")
+        if kind not in SKETCH_KINDS:
+            raise ValueError(
+                f"unknown sketch kind {kind!r}; available: {SKETCH_KINDS}"
+            )
+        self.sketch_dim = int(sketch_dim)
+        self.kind = kind
+        self._entropy = int(entropy)
+        # (d, dtype.name) -> projection matrix.  A process sees a handful of
+        # dimensions, and matrices are read-only, so the cache is tiny.
+        self._matrices: dict[tuple[int, str], np.ndarray] = {}
+
+    @property
+    def entropy(self) -> int:
+        """The root entropy the matrices are derived from."""
+        return self._entropy
+
+    def reseed(self, entropy: int) -> None:
+        """Re-derive matrices from new root entropy (checkpoint restore)."""
+        entropy = int(entropy)
+        if entropy != self._entropy:
+            self._entropy = entropy
+            self._matrices.clear()
+
+    def active_for(self, dimension: int) -> bool:
+        """Whether points of this dimensionality are actually projected."""
+        return int(dimension) > self.sketch_dim
+
+    def matrix(self, dimension: int, dtype: np.dtype | type = np.float64) -> np.ndarray:
+        """The ``(dimension, sketch_dim)`` projection matrix, cached per dtype.
+
+        The float64 matrix is the master; narrower dtypes are cast from it,
+        so float32 and float64 streams sketch through numerically consistent
+        (rounded, not re-drawn) transforms.
+        """
+        d = int(dimension)
+        name = np.dtype(dtype).name
+        cached = self._matrices.get((d, name))
+        if cached is not None:
+            return cached
+        master = self._matrices.get((d, "float64"))
+        if master is None:
+            master = self._build_matrix(d)
+            master.setflags(write=False)
+            self._matrices[(d, "float64")] = master
+        if name == "float64":
+            return master
+        narrowed = master.astype(np.dtype(dtype))
+        narrowed.setflags(write=False)
+        self._matrices[(d, name)] = narrowed
+        return narrowed
+
+    def _build_matrix(self, d: int) -> np.ndarray:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=[self._entropy, _MATRIX_STREAM_TAG, d])
+        )
+        s = self.sketch_dim
+        if self.kind == "gaussian":
+            return rng.standard_normal((d, s)) / np.sqrt(s)
+        # CountSketch: every input dimension lands in exactly one output
+        # column with a random sign.  Dense representation so projection is
+        # the same single GEMM as the Gaussian variant.
+        matrix = np.zeros((d, s), dtype=np.float64)
+        columns = rng.integers(0, s, size=d)
+        signs = rng.integers(0, 2, size=d) * 2.0 - 1.0
+        matrix[np.arange(d), columns] = signs
+        return matrix
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Project ``(n, d)`` points to ``(n, sketch_dim)``, always float32.
+
+        The sketch is approximate by construction (the JL distortion dwarfs
+        float32 rounding), so half-width storage halves sketch-slab memory
+        and routes the sketched seeding/Lloyd loops through the float32
+        kernels — all while the exact coordinates keep their own dtype.
+        """
+        mat = self.matrix(points.shape[1], np.float32)
+        return np.asarray(points, dtype=np.float32) @ mat
+
+
+def sketch_for(sketcher: "Sketcher | None", points: np.ndarray) -> np.ndarray | None:
+    """The sketched view of ``points`` — or None when sketching is off/inactive.
+
+    The shared ingest-site helper: every path that wraps raw stream blocks
+    into :class:`~repro.coreset.bucket.WeightedPointSet` instances calls this
+    so the project-once-per-point rule has a single implementation.
+    """
+    if sketcher is None or points.shape[0] == 0 or not sketcher.active_for(points.shape[1]):
+        return None
+    return sketcher.project(points)
+
+
+def top2_chunked(
+    points: np.ndarray,
+    centers: np.ndarray,
+    points_sq: np.ndarray,
+    workspace: Workspace | None = None,
+    out_first: np.ndarray | None = None,
+    out_second: np.ndarray | None = None,
+    out_first_sq: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Nearest and second-nearest center per point, tiled like ``assign_chunked``.
+
+    The candidate-generation kernel of the exact re-rank: distances are
+    computed in the (sketched) space of ``points``/``centers`` and only the
+    two best center indices per point survive, for the caller to re-score
+    with exact full-width coordinates.  Returns ``(first, second, first_sq)``
+    where ``first_sq`` is the float64 squared distance to the nearest center
+    (used for worst-served empty-cluster re-seeding).  With ``k == 1`` the
+    second candidate equals the first.
+    """
+    from .distance import chunk_rows_for
+
+    ws = workspace if workspace is not None else Workspace()
+    n, d = points.shape
+    k = centers.shape[0]
+    if out_first is None:
+        out_first = ws.buffer("top2.first", n, np.intp)
+    if out_second is None:
+        out_second = ws.buffer("top2.second", n, np.intp)
+    if out_first_sq is None:
+        out_first_sq = ws.buffer("top2.first_sq", n, np.float64)
+
+    ctr = centers if centers.dtype == points.dtype else centers.astype(points.dtype)
+    c_sq = ws.buffer("top2.center_sq", k, points.dtype)
+    np.einsum("ij,ij->i", ctr, ctr, out=c_sq)
+
+    rows = min(n, chunk_rows_for(k, points.itemsize, dim=d)) or 1
+    partial_full = ws.buffer("top2.partial", (rows, k), points.dtype)
+    min_full = ws.buffer("top2.min", rows, points.dtype)
+    for start in range(0, n, rows):
+        stop = min(start + rows, n)
+        span = stop - start
+        partial = partial_full[:span]
+        np.matmul(points[start:stop], ctr.T, out=partial)
+        partial *= -2.0
+        partial += c_sq
+        first = out_first[start:stop]
+        partial.argmin(axis=1, out=first)
+        min_part = min_full[:span]
+        partial.min(axis=1, out=min_part)
+        sq_part = out_first_sq[start:stop]
+        np.add(min_part, points_sq[start:stop], out=sq_part)
+        np.maximum(sq_part, 0.0, out=sq_part)
+        if k < 2:
+            out_second[start:stop] = first
+            continue
+        # Mask the winner and argmin again: exact second-best, and ties keep
+        # the lowest index (matching argmin's convention).
+        span_rows = np.arange(span)
+        winners = partial[span_rows, first].copy()
+        partial[span_rows, first] = np.inf
+        partial.argmin(axis=1, out=out_second[start:stop])
+        partial[span_rows, first] = winners
+    return out_first, out_second, out_first_sq

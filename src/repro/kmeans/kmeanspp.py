@@ -67,7 +67,8 @@ def kmeanspp_seeding(
     points_sq: np.ndarray | None = None,
     workspace: Workspace | None = None,
     with_assignment: bool = False,
-) -> np.ndarray | tuple[np.ndarray, np.ndarray, np.ndarray]:
+    with_indices: bool = False,
+) -> np.ndarray | tuple[np.ndarray, ...]:
     """Select ``k`` initial centers using weighted D² sampling.
 
     Parameters
@@ -98,17 +99,23 @@ def kmeanspp_seeding(
         anyway, so the caller (sensitivity sampling) skips an entire
         assignment GEMM per merge.  The returned arrays are workspace views;
         consume them before the next pooled seeding call.
+    with_indices:
+        When True, also return the input-row index of every selected center
+        (``centers[i] == points[indices[i]]``).  Sketched constructions need
+        this to map centers chosen in the sketched space back to the exact
+        rows they correspond to.  The array is a workspace view.
 
     Returns
     -------
-    numpy.ndarray or (centers, labels, sq)
+    numpy.ndarray or tuple
         Array of shape ``(min(k, n) <= k, d)`` holding the selected centers,
         in the points' storage dtype.  When the input has fewer distinct
         points than ``k`` the result may contain fewer than ``k`` rows;
         callers that require exactly ``k`` centers should handle that case
-        (the library's estimators do).  With ``with_assignment=True`` a
-        3-tuple is returned: the centers plus per-point labels ``(n,)`` and
-        squared distances ``(n,)`` (in the storage dtype, clipped at zero).
+        (the library's estimators do).  With ``with_assignment=True`` the
+        centers are followed by per-point labels ``(n,)`` and squared
+        distances ``(n,)`` (in the storage dtype, clipped at zero); with
+        ``with_indices=True`` the selected row indices come last.
     """
     pts, w = _validate_inputs(points, k, weights)
     if rng is None:
@@ -117,13 +124,18 @@ def kmeanspp_seeding(
 
     if k >= n:
         centers = pts.copy()
-        if not with_assignment:
+        if not (with_assignment or with_indices):
             return centers
         ws = workspace if workspace is not None else Workspace()
-        if points_sq is None:
-            points_sq = pooled_row_norms(pts, ws, "kpp.pts_sq")
-        labels, sq = assign_chunked(pts, centers, np.asarray(points_sq), workspace=ws)
-        return centers, labels, sq
+        extras: list[np.ndarray] = []
+        if with_assignment:
+            if points_sq is None:
+                points_sq = pooled_row_norms(pts, ws, "kpp.pts_sq")
+            labels, sq = assign_chunked(pts, centers, np.asarray(points_sq), workspace=ws)
+            extras += [labels, sq]
+        if with_indices:
+            extras.append(np.arange(n, dtype=np.intp))
+        return (centers, *extras)
 
     ws = workspace if workspace is not None else Workspace()
     centers = np.empty((k, pts.shape[1]), dtype=pts.dtype)
@@ -174,6 +186,10 @@ def kmeanspp_seeding(
         labels = ws.buffer("kpp.labels", n, np.intp)
         labels.fill(0)
         mask = ws.buffer("kpp.mask", n, np.bool_)
+    indices = None
+    if with_indices:
+        indices = ws.buffer("kpp.indices", k, np.intp)
+        indices[0] = first
 
     for i in range(1, k):
         np.multiply(w_native, closest_sq, out=scores)
@@ -185,6 +201,8 @@ def kmeanspp_seeding(
         else:
             idx = _pick_from_cdf(uniforms[i], score_cdf)
         centers[i] = pts[idx]
+        if indices is not None:
+            indices[i] = idx
         sq_distances_to_center(pts, centers[i], pts_sq, out=dist)
         if with_assignment:
             # Strict `<` keeps the first of tied centers, matching argmin.
@@ -192,8 +210,13 @@ def kmeanspp_seeding(
             labels[mask] = i
         min_sq_update(closest_sq, dist)
 
+    extras = []
     if with_assignment:
-        return centers, labels, closest_sq
+        extras += [labels, closest_sq]
+    if with_indices:
+        extras.append(indices)
+    if extras:
+        return (centers, *extras)
     return centers
 
 

@@ -24,6 +24,7 @@ from ..core.coreset_tree import CoresetTree
 from ..core.recursive_cache import RecursiveCachedTree
 from ..coreset.bucket import Bucket, WeightedPointSet, make_base_buckets
 from ..coreset.construction import CoresetConstructor
+from ..kernels.sketch import sketch_for
 
 __all__ = ["SHARD_STRUCTURES", "ShardSnapshot", "StreamShard", "make_shard"]
 
@@ -121,6 +122,9 @@ class StreamShard:
 
             seed = spawn_shard_seeds(config.seed, shard_index + 1)[shard_index]
         self._constructor = CoresetConstructor(config.coreset_config(), seed=seed)
+        # Per-shard sketcher keyed by the shard's own spawned seed; sketches
+        # stay shard-local (ShardSnapshot ships only exact points/weights).
+        self._sketcher = self._constructor.sketcher
         self._structure = SHARD_STRUCTURES[structure](
             self._constructor, config, nesting_depth
         )
@@ -142,7 +146,10 @@ class StreamShard:
         self.points_seen += 1
         if self._buffer.is_full:
             index = self._structure.num_base_buckets + 1
-            data = WeightedPointSet.from_points(self._buffer.drain())
+            block = self._buffer.drain()
+            data = WeightedPointSet.from_points(
+                block, sketch=sketch_for(self._sketcher, block)
+            )
             self._structure.insert_bucket(
                 Bucket(data=data, start=index, end=index, level=0)
             )
@@ -157,14 +164,21 @@ class StreamShard:
         self.points_seen += arr.shape[0]
         if blocks:
             self._structure.insert_buckets(
-                make_base_buckets(blocks, self._structure.num_base_buckets + 1)
+                make_base_buckets(
+                    blocks,
+                    self._structure.num_base_buckets + 1,
+                    sketcher=self._sketcher,
+                )
             )
 
     def local_coreset(self, dimension: int) -> WeightedPointSet:
         """This shard's contribution to a global query (cached coreset + partial bucket)."""
         coreset = self._structure.query_coreset()
         if not self._buffer.is_empty:
-            partial = WeightedPointSet.from_points(self._buffer.snapshot())
+            block = self._buffer.snapshot()
+            partial = WeightedPointSet.from_points(
+                block, sketch=sketch_for(self._sketcher, block)
+            )
             coreset = coreset.union(partial) if coreset.size else partial
         if coreset.size == 0:
             return WeightedPointSet.empty(dimension, dtype=self._dtype)

@@ -44,6 +44,8 @@ import numpy as np
 
 from ..coreset.bucket import WeightedPointSet
 from ..kernels.distance import pooled_row_norms
+from ..kernels.scatter import weighted_label_sums
+from ..kernels.sketch import top2_chunked
 from ..kernels.workspace import Workspace
 from ..kmeans.batch import weighted_kmeans
 from ..kmeans.lloyd import lloyd_iterations
@@ -117,11 +119,17 @@ class QueryStats:
 
 @dataclass
 class _WarmState:
-    """Warm-start seed for one ``k``: previous centers, cost scale, warm streak."""
+    """Warm-start seed for one ``k``: previous centers, cost scale, warm streak.
+
+    ``sketch_centers`` additionally holds the previous solution's centers in
+    the sketched space (None when the last solve for this ``k`` ran exact):
+    a sketched warm start must seed Lloyd where Lloyd will run.
+    """
 
     centers: np.ndarray
     normalized_cost: float
     streak: int = 0
+    sketch_centers: np.ndarray | None = None
 
 
 class QueryEngine:
@@ -230,6 +238,7 @@ class QueryEngine:
                     "centers": state.centers,
                     "normalized_cost": state.normalized_cost,
                     "streak": state.streak,
+                    "sketch_centers": state.sketch_centers,
                 }
                 for k, state in self._states.items()
             ],
@@ -250,6 +259,8 @@ class QueryEngine:
                 centers=entry["centers"],
                 normalized_cost=float(entry["normalized_cost"]),
                 streak=int(entry["streak"]),
+                # .get: pre-sketch checkpoints carry no sketched seed.
+                sketch_centers=entry.get("sketch_centers"),
             )
             for entry in state["states"]
         }
@@ -314,9 +325,12 @@ class QueryEngine:
 
         float64 coresets get the classic float64 norms; float32 coresets keep
         their norms float32 so the seeding/assignment kernels never touch a
-        casting ufunc loop (costs are still accumulated in float64).
+        casting ufunc loop (costs are still accumulated in float64).  Sketched
+        coresets take their norms in the sketched space — that is where every
+        seeding/assignment pass of the solve runs.
         """
-        return pooled_row_norms(coreset.points, self._workspace, "engine.pts_sq")
+        solve = coreset.sketch if coreset.sketch is not None else coreset.points
+        return pooled_row_norms(solve, self._workspace, "engine.pts_sq")
 
     def _solve_prepared(
         self,
@@ -329,6 +343,11 @@ class QueryEngine:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         pts = coreset.points
+        if coreset.sketch is not None and pts.shape[0] > k:
+            # ``pts_sq`` is sketch-space (see _norms_for).  With n <= k the
+            # exact fallthrough below never touches it: the warm path is
+            # unusable and the cold solve recomputes norms itself.
+            return self._solve_sketched(coreset, k, rng, pts_sq, force_cold=force_cold)
         weights = coreset.weights
         total_weight = float(np.sum(weights))
 
@@ -405,9 +424,200 @@ class QueryEngine:
             drift_fallback=drift_fallback,
         )
 
+    def _solve_sketched(
+        self,
+        coreset: WeightedPointSet,
+        k: int,
+        rng: np.random.Generator,
+        sketch_sq: np.ndarray,
+        force_cold: bool = False,
+    ) -> Solution:
+        """The sketched twin of :meth:`_solve_prepared`.
+
+        Seeding and every Lloyd iteration run on the coreset's sketched view;
+        each candidate solution is then *finalized* in the original space
+        (:meth:`_finalize_sketched`), so the centers stored, remembered, and
+        returned — and every cost the drift guard compares — are exact.  The
+        warm/cold/drift/refresh control flow and counters mirror the exact
+        path one for one.
+        """
+        pts = coreset.points
+        sketch = coreset.sketch
+        assert sketch is not None
+        weights = coreset.weights
+        total_weight = float(np.sum(weights))
+
+        state = self._states.get(k)
+        warm_usable = (
+            self._warm_start
+            and state is not None
+            and state.sketch_centers is not None
+            and state.sketch_centers.shape[1] == sketch.shape[1]
+            and state.centers.shape[1] == pts.shape[1]
+        )
+
+        warm_final = None
+        warm_sketch_centers = None
+        drift_fallback = False
+        if warm_usable:
+            assert state is not None and state.sketch_centers is not None
+            needs_refresh = (
+                self._refresh_interval is not None
+                and state.streak >= self._refresh_interval
+            )
+            warm_lloyd = lloyd_iterations(
+                sketch,
+                state.sketch_centers,
+                weights=weights,
+                max_iterations=self._max_iterations,
+                tolerance=self._tolerance,
+                points_sq=sketch_sq,
+                workspace=self._workspace,
+            )
+            warm_sketch_centers = warm_lloyd.centers
+            warm_final = self._finalize_sketched(
+                pts, sketch, weights, warm_sketch_centers, sketch_sq
+            )
+            warm_normalized = warm_final[1] / total_weight if total_weight > 0 else 0.0
+            guard_ok = warm_normalized <= self._drift_ratio * state.normalized_cost
+            if guard_ok and not needs_refresh and not force_cold:
+                self._warm_queries += 1
+                self._remember(
+                    k,
+                    warm_final[0],
+                    warm_normalized,
+                    streak=state.streak + 1,
+                    sketch_centers=warm_sketch_centers,
+                )
+                return Solution(
+                    centers=warm_final[0],
+                    cost=warm_final[1],
+                    warm_start=True,
+                    drift_fallback=False,
+                )
+            if not guard_ok:
+                drift_fallback = True
+                self._drift_fallbacks += 1
+            elif needs_refresh and not force_cold:
+                self._refreshes += 1
+
+        cold = weighted_kmeans(
+            sketch,
+            k,
+            weights=weights,
+            n_init=self._n_init,
+            max_iterations=self._max_iterations,
+            tolerance=self._tolerance,
+            rng=rng,
+            points_sq=sketch_sq,
+            workspace=self._workspace,
+        )
+        self._cold_queries += 1
+
+        centers, cost = self._finalize_sketched(
+            pts, sketch, weights, cold.centers, sketch_sq
+        )
+        sketch_centers = cold.centers
+        if warm_final is not None and warm_final[1] < cost:
+            centers, cost = warm_final
+            sketch_centers = warm_sketch_centers
+
+        normalized = cost / total_weight if total_weight > 0 else 0.0
+        self._remember(k, centers, normalized, sketch_centers=sketch_centers)
+        return Solution(
+            centers=centers,
+            cost=cost,
+            warm_start=False,
+            drift_fallback=drift_fallback,
+        )
+
+    def _finalize_sketched(
+        self,
+        pts: np.ndarray,
+        sketch: np.ndarray,
+        weights: np.ndarray,
+        sketch_centers: np.ndarray,
+        sketch_sq: np.ndarray,
+    ) -> tuple[np.ndarray, float]:
+        """Exact centers and cost from a sketched-space solution.
+
+        The JL guarantee makes sketched distance *comparisons* reliable up to
+        near-ties, so the true nearest exact center of a point is almost
+        always among its two nearest sketched centers.  Finalization therefore
+        (1) takes each point's top-2 sketched candidates, (2) forms exact
+        centroids under the sketched assignment, (3) re-ranks the two
+        candidates per point with exact full-width distances, and (4) rebuilds
+        centroids and the cost from the re-ranked labels.  Everything here is
+        O(n·d) on the *coreset* (n ≤ r·m), not the stream — the 2-candidate
+        re-rank costs what two Lloyd iterations in exact space would, while
+        the solve's many iterations all ran sketched.
+        """
+        ws = self._workspace
+        n = pts.shape[0]
+        k = sketch_centers.shape[0]
+        first = ws.buffer("fin.first", n, np.intp)
+        second = ws.buffer("fin.second", n, np.intp)
+        first_sq = ws.buffer("fin.first_sq", n, np.float64)
+        top2_chunked(
+            sketch,
+            sketch_centers,
+            sketch_sq,
+            workspace=ws,
+            out_first=first,
+            out_second=second,
+            out_first_sq=first_sq,
+        )
+
+        # Provisional exact centroids under the sketched assignment.
+        centroids, cluster_weight = weighted_label_sums(pts, first, weights, k, workspace=ws)
+        occupied = cluster_weight > 0
+        centroids[occupied] /= cluster_weight[occupied, None]
+        empty = np.flatnonzero(~occupied)
+        if empty.size:
+            # Lloyd's worst-served re-seed, scored with sketched distances.
+            weighted_sq = np.multiply(
+                weights, first_sq, out=ws.buffer("fin.weighted_sq", n)
+            )
+            order = np.argsort(weighted_sq)[::-1]
+            for cursor, idx in enumerate(empty):
+                centroids[idx] = pts[order[cursor % n]]
+
+        # Exact re-rank between each point's two sketched candidates.  The
+        # float64 gathered-difference form is the honest-accumulator choice:
+        # these distances decide the labels behind the reported centers/cost.
+        d_first = _exact_sq_to(pts, centroids, first)
+        d_second = _exact_sq_to(pts, centroids, second)
+        labels = np.where(d_second < d_first, second, first)
+
+        final_centers, final_weight = weighted_label_sums(
+            pts, labels, weights, k, workspace=ws
+        )
+        occ = final_weight > 0
+        final_centers[occ] /= final_weight[occ, None]
+        # A cluster emptied by the re-rank keeps its provisional centroid.
+        final_centers[~occ] = centroids[~occ]
+
+        delta = pts - final_centers[labels]
+        cost = float(np.dot(weights, np.einsum("ij,ij->i", delta, delta)))
+        return final_centers, cost
+
     def _remember(
-        self, k: int, centers: np.ndarray, normalized_cost: float, streak: int = 0
+        self,
+        k: int,
+        centers: np.ndarray,
+        normalized_cost: float,
+        streak: int = 0,
+        sketch_centers: np.ndarray | None = None,
     ) -> None:
         self._states[k] = _WarmState(
-            centers=centers.copy(), normalized_cost=normalized_cost, streak=streak
+            centers=centers.copy(),
+            normalized_cost=normalized_cost,
+            streak=streak,
+            sketch_centers=None if sketch_centers is None else sketch_centers.copy(),
         )
+
+
+def _exact_sq_to(pts: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Exact squared distance of each point to its labelled center, float64."""
+    delta = pts - centers[labels]
+    return np.einsum("ij,ij->i", delta, delta)

@@ -33,9 +33,20 @@ from repro.extensions.kmedian import KMedianCachedClusterer, KMedianConfig
 
 
 def small_streaming_config(seed: int = 17) -> StreamingConfig:
-    """A small, fast configuration shared by the checkpoint tests."""
+    """A small, fast configuration shared by the checkpoint tests.
+
+    ``REPRO_TEST_SKETCH`` (CI knob) enables JL sketching so every round-trip
+    property — snapshot→restore bit-identity in particular — also covers the
+    sketched slabs and the sketcher's entropy re-derivation.
+    """
     return StreamingConfig(
-        k=3, coreset_size=40, merge_degree=2, n_init=2, lloyd_iterations=4, seed=seed
+        k=3,
+        coreset_size=40,
+        merge_degree=2,
+        n_init=2,
+        lloyd_iterations=4,
+        seed=seed,
+        sketch_dim=3 if os.environ.get("REPRO_TEST_SKETCH") else None,
     )
 
 

@@ -162,3 +162,27 @@ class TestChunkRowsFor:
         assert chunk_rows_for(10, 8) == 17
         set_chunk_rows_override(None)
         assert chunk_rows_for(10, 8) != 17
+
+    def test_budget_accounts_for_point_dimension(self):
+        """The d=500 regression: a tile's working set includes the point
+        block the GEMM streams through, not just the (rows, k) scratch, so
+        high-dimensional points (d >> k) must shrink the tile accordingly."""
+        k, itemsize, d = 20, 8, 500
+        rows = chunk_rows_for(k, itemsize, dim=d)
+        assert rows * (k + d) * itemsize <= 256 * 1024 or rows == 64
+        # Ignoring d would overshoot the 256 KiB budget by ~d/k here.
+        assert rows < chunk_rows_for(k, itemsize)
+
+    def test_dim_none_keeps_scratch_only_sizing(self):
+        assert chunk_rows_for(20, 8) == chunk_rows_for(20, 8, dim=None)
+
+    def test_assign_chunked_d500_matches_reference(self):
+        """End-to-end at d=500: the dim-aware tiling still assigns correctly."""
+        rng = np.random.default_rng(11)
+        pts = rng.normal(size=(400, 500))
+        ctr = rng.normal(size=(7, 500))
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        labels, sq = assign_chunked(pts, ctr, pts_sq, workspace=Workspace())
+        ref_labels, ref_sq = _reference_assign(pts, ctr)
+        np.testing.assert_array_equal(labels, ref_labels)
+        np.testing.assert_allclose(sq, ref_sq, rtol=1e-10, atol=1e-10)

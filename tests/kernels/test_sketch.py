@@ -1,0 +1,255 @@
+"""JL sketching: determinism, structure, exact-space contracts, cost envelope."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.base import StreamingConfig
+from repro.core.driver import CachedCoresetTreeClusterer
+from repro.coreset.bucket import WeightedPointSet
+from repro.coreset.construction import CoresetConfig, CoresetConstructor
+from repro.kernels.sketch import SKETCH_KINDS, Sketcher, sketch_for, top2_chunked
+from repro.kernels.workspace import Workspace
+from repro.kmeans.cost import kmeans_cost, pairwise_squared_distances
+
+
+def _mixture(n: int, d: int, clusters: int, seed: int) -> np.ndarray:
+    """A well-separated Gaussian mixture stream (the regime JL preserves)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=15.0, size=(clusters, d))
+    labels = rng.integers(0, clusters, size=n)
+    return centers[labels] + rng.normal(scale=1.0, size=(n, d))
+
+
+class TestSketcher:
+    def test_matrix_is_deterministic_per_entropy(self):
+        a = Sketcher(8, entropy=123).matrix(64)
+        b = Sketcher(8, entropy=123).matrix(64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_reseed_changes_matrix_and_clears_cache(self):
+        sketcher = Sketcher(8, entropy=1)
+        before = sketcher.matrix(32).copy()
+        sketcher.reseed(2)
+        assert not np.array_equal(before, sketcher.matrix(32))
+        sketcher.reseed(1)
+        np.testing.assert_array_equal(before, sketcher.matrix(32))
+
+    def test_kinds_draw_independent_streams(self):
+        gaussian = Sketcher(8, kind="gaussian", entropy=5).matrix(32)
+        count = Sketcher(8, kind="countsketch", entropy=5).matrix(32)
+        assert not np.array_equal(gaussian, count)
+
+    def test_narrow_matrix_is_cast_from_master(self):
+        sketcher = Sketcher(6, entropy=9)
+        master = sketcher.matrix(40, np.float64)
+        np.testing.assert_array_equal(
+            sketcher.matrix(40, np.float32), master.astype(np.float32)
+        )
+
+    def test_countsketch_one_signed_entry_per_input_dim(self):
+        matrix = Sketcher(7, kind="countsketch", entropy=3).matrix(100)
+        nonzero = matrix != 0.0
+        np.testing.assert_array_equal(nonzero.sum(axis=1), np.ones(100))
+        values = matrix[nonzero]
+        assert set(np.unique(values)) <= {-1.0, 1.0}
+
+    def test_inactive_below_sketch_dim(self):
+        sketcher = Sketcher(16)
+        assert not sketcher.active_for(16)
+        assert not sketcher.active_for(8)
+        assert sketcher.active_for(17)
+
+    def test_projection_is_float32(self):
+        sketcher = Sketcher(4, entropy=2)
+        out = sketcher.project(np.random.default_rng(0).normal(size=(10, 20)))
+        assert out.dtype == np.float32 and out.shape == (10, 4)
+
+    def test_sketch_for_gates_on_activity(self):
+        sketcher = Sketcher(8, entropy=1)
+        pts = np.zeros((5, 8))
+        assert sketch_for(None, pts) is None
+        assert sketch_for(sketcher, pts) is None  # d == s: inactive
+        assert sketch_for(sketcher, np.zeros((0, 20))) is None  # empty
+        assert sketch_for(sketcher, np.zeros((5, 20))).shape == (5, 8)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Sketcher(0)
+        with pytest.raises(ValueError):
+            Sketcher(4, kind="fourier")
+
+
+class TestTop2Chunked:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        k=st.integers(min_value=1, max_value=9),
+        d=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_matches_brute_force(self, n, k, d, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(n, d))
+        ctr = rng.normal(size=(k, d))
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        first, second, first_sq = top2_chunked(
+            pts, ctr, pts_sq, workspace=Workspace()
+        )
+        dist = pairwise_squared_distances(pts, ctr)
+        ref_first = np.argmin(dist, axis=1)
+        np.testing.assert_array_equal(first, ref_first)
+        np.testing.assert_allclose(
+            first_sq, dist[np.arange(n), ref_first], rtol=1e-9, atol=1e-9
+        )
+        assert np.all(first_sq >= 0.0)
+        if k == 1:
+            np.testing.assert_array_equal(second, ref_first)
+        else:
+            masked = dist.copy()
+            masked[np.arange(n), ref_first] = np.inf
+            np.testing.assert_array_equal(second, np.argmin(masked, axis=1))
+
+    def test_centers_cast_to_point_dtype(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(50, 6)).astype(np.float32)
+        ctr = rng.normal(size=(4, 6))  # float64 Lloyd centers
+        pts_sq = np.einsum("ij,ij->i", pts, pts)
+        first, second, first_sq = top2_chunked(pts, ctr, pts_sq)
+        assert first_sq.dtype == np.float64
+        assert first.shape == second.shape == (50,)
+
+
+class TestSketchedCoresetContracts:
+    def _constructor(self, sketch_dim, kind="gaussian", seed=0):
+        return CoresetConstructor(
+            CoresetConfig(k=4, coreset_size=30, sketch_dim=sketch_dim, sketch_kind=kind),
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("kind", SKETCH_KINDS)
+    def test_output_points_are_exact_input_rows(self, kind):
+        """Sketching may only change WHICH points are sampled, never their
+        coordinates: every output row must be an exact input row, and its
+        sketch row must be that same input's sketch (gathered, not
+        re-projected)."""
+        constructor = self._constructor(sketch_dim=4, kind=kind)
+        block = _mixture(120, 16, clusters=4, seed=7)
+        data = WeightedPointSet.from_points(
+            block, sketch=sketch_for(constructor.sketcher, block)
+        )
+        result = constructor.build_for_span(data, level=1, start=1, end=2)
+        matches = (result.points[:, None, :] == block[None, :, :]).all(axis=2)
+        assert matches.any(axis=1).all()
+        assert result.sketch is not None and result.sketch.dtype == np.float32
+        row_of = matches.argmax(axis=1)
+        np.testing.assert_array_equal(result.sketch, data.sketch[row_of])
+
+    def test_sketch_inactive_is_bitwise_noop(self):
+        """sketch_dim >= d never projects, so the run must be bitwise
+        identical to sketching switched off — ingest, queries, everything."""
+        points = _mixture(900, 6, clusters=4, seed=3)
+        for kind in SKETCH_KINDS:
+            off = CachedCoresetTreeClusterer(StreamingConfig(k=4, coreset_size=40, seed=1))
+            on = CachedCoresetTreeClusterer(
+                StreamingConfig(
+                    k=4, coreset_size=40, seed=1, sketch_dim=6, sketch_kind=kind
+                )
+            )
+            off.insert_batch(points)
+            on.insert_batch(points)
+            np.testing.assert_array_equal(off.query().centers, on.query().centers)
+
+    def test_batch_equals_pointwise_with_sketch(self):
+        points = _mixture(700, 12, clusters=4, seed=5)
+        config = StreamingConfig(k=4, coreset_size=40, seed=2, sketch_dim=4)
+        batched = CachedCoresetTreeClusterer(config)
+        looped = CachedCoresetTreeClusterer(config)
+        batched.insert_batch(points)
+        for row in points:
+            looped.insert(row)
+        np.testing.assert_array_equal(batched.query().centers, looped.query().centers)
+
+    def test_float32_stream_composes_with_sketch(self):
+        points = _mixture(800, 12, clusters=4, seed=9).astype(np.float32)
+        config = StreamingConfig(
+            k=4, coreset_size=40, seed=3, dtype="float32", sketch_dim=4
+        )
+        clusterer = CachedCoresetTreeClusterer(config)
+        clusterer.insert_batch(points)
+        result = clusterer.query()
+        assert result.centers.dtype == np.float64
+        assert np.isfinite(result.centers).all()
+        exact = CachedCoresetTreeClusterer(
+            StreamingConfig(k=4, coreset_size=40, seed=3, dtype="float32")
+        )
+        exact.insert_batch(points)
+        pts64 = points.astype(np.float64)
+        cost_sketch = kmeans_cost(pts64, result.centers)
+        cost_exact = kmeans_cost(pts64, exact.query().centers)
+        assert cost_sketch <= 1.05 * cost_exact
+
+    def test_checkpoint_roundtrip_bitwise_with_sketch(self, tmp_path):
+        points = _mixture(1000, 10, clusters=4, seed=11)
+        config = StreamingConfig(k=4, coreset_size=40, seed=4, sketch_dim=4)
+        reference = CachedCoresetTreeClusterer(config)
+        candidate = CachedCoresetTreeClusterer(config)
+        reference.insert_batch(points)
+        candidate.insert_batch(points[:600])
+        restored = load_checkpoint(save_checkpoint(candidate, tmp_path / "ckpt"))
+        restored.insert_batch(points[600:])
+        np.testing.assert_array_equal(
+            reference.query().centers, restored.query().centers
+        )
+
+    def test_mixed_sketch_union_degrades_to_exact(self):
+        sketcher = Sketcher(4, entropy=1)
+        block = _mixture(40, 12, clusters=2, seed=13)
+        sketched = WeightedPointSet.from_points(block, sketch=sketch_for(sketcher, block))
+        plain = WeightedPointSet.from_points(block)
+        assert sketched.union(plain).sketch is None
+        assert sketched.union(sketched).sketch is not None
+
+
+class TestCostEnvelope:
+    """The acceptance envelope: sketched clustering cost within 5% of exact.
+
+    ``derandomize=True`` pins the example set: the envelope is a statistical
+    property of the (seeded) pipeline, so CI must replay the same examples
+    rather than sample new ones per run.
+    """
+
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    @given(
+        d=st.sampled_from([64, 96, 128]),
+        kind=st.sampled_from(SKETCH_KINDS),
+        dtype=st.sampled_from(["float64", "float32"]),
+        seed=st.integers(min_value=0, max_value=31),
+    )
+    def test_sketched_cost_within_envelope(self, d, kind, dtype, seed):
+        points = _mixture(2500, d, clusters=8, seed=seed)
+        if dtype == "float32":
+            points = points.astype(np.float32)
+        sketch_dim = d // 4
+        exact = CachedCoresetTreeClusterer(
+            StreamingConfig(k=8, seed=seed, dtype=dtype)
+        )
+        sketched = CachedCoresetTreeClusterer(
+            StreamingConfig(
+                k=8, seed=seed, dtype=dtype, sketch_dim=sketch_dim, sketch_kind=kind
+            )
+        )
+        exact.insert_batch(points)
+        sketched.insert_batch(points)
+        pts64 = points.astype(np.float64)
+        cost_exact = kmeans_cost(pts64, exact.query().centers)
+        cost_sketched = kmeans_cost(pts64, sketched.query().centers)
+        assert cost_sketched <= 1.05 * cost_exact, (
+            f"sketched cost {cost_sketched:.6g} exceeds 1.05x exact "
+            f"{cost_exact:.6g} (d={d}, s={sketch_dim}, kind={kind}, "
+            f"dtype={dtype}, seed={seed})"
+        )

@@ -5,7 +5,11 @@ Two environment knobs keep CI runtime bounded (see ``.github/workflows/ci.yml``)
 * ``REPRO_TEST_BACKENDS`` — comma-separated subset of
   ``serial,thread,process`` to exercise (default: all three);
 * ``REPRO_TEST_SHARDS`` — shard count used by the parametrized tests
-  (default: 3).
+  (default: 3);
+* ``REPRO_TEST_SKETCH`` — when truthy, the shared configuration enables JL
+  sketching (``sketch_dim=3`` against the 5-dimensional stream), so the whole
+  battery — cross-backend equivalence, snapshots, global queries — exercises
+  the sketched slabs instead of the exact-only path.
 """
 
 from __future__ import annotations
@@ -45,7 +49,15 @@ def shards() -> int:
 @pytest.fixture()
 def parallel_config() -> StreamingConfig:
     """Small, fast configuration shared across the parallel tests."""
-    return StreamingConfig(k=4, coreset_size=50, n_init=2, lloyd_iterations=5, seed=11)
+    sketch_dim = 3 if os.environ.get("REPRO_TEST_SKETCH") else None
+    return StreamingConfig(
+        k=4,
+        coreset_size=50,
+        n_init=2,
+        lloyd_iterations=5,
+        seed=11,
+        sketch_dim=sketch_dim,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,142 @@
+"""Print the calibration-normalised trajectory of every committed bench report.
+
+Each PR commits a ``BENCH_pr<N>.json`` produced by ``tools/run_quick_bench.py``.
+This tool reads all of them (repo root by default), normalises every metric by
+its own report's calibration time — the same machine-speed cancellation the
+regression gate uses (see ``tools/check_bench_regression.py``) — and renders a
+per-metric markdown table of the trajectory across PRs, plus each metric's
+cumulative change relative to the first report that recorded it.
+
+Metrics appear and disappear over time (new workloads are added, old ones
+retired); missing cells render as ``-`` rather than failing, so the table is
+always buildable from whatever history is committed.
+
+Usage::
+
+    python tools/bench_trend.py                  # print to stdout
+    python tools/bench_trend.py --output bench_trend.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+_REPORT_PATTERN = re.compile(r"^BENCH_pr(\d+)\.json$")
+
+
+def discover_reports(root: Path) -> list[tuple[str, Path]]:
+    """``(label, path)`` for every ``BENCH_pr<N>.json`` in ``root``, by PR number."""
+    found = []
+    for path in root.glob("BENCH_pr*.json"):
+        match = _REPORT_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [(f"pr{number}", path) for number, path in sorted(found)]
+
+
+def load_normalised(path: Path) -> dict[str, float]:
+    """Metric name -> calibration-normalised value for one report.
+
+    Throughput metrics are multiplied by the calibration time (work per
+    calibration unit), latency metrics divided by it (cost in calibration
+    units) — identical to the regression gate's normalisation, so the two
+    tools can never disagree about what "faster" means.
+    """
+    report = json.loads(path.read_text())
+    if report.get("schema") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"error: {path} has schema {report.get('schema')!r}, expected {SCHEMA_VERSION}"
+        )
+    calibration = float(report["calibration_seconds"])
+    if not calibration > 0.0:
+        raise SystemExit(f"error: {path} is missing a positive calibration_seconds")
+    normalised = {}
+    for name, entry in report["metrics"].items():
+        value = float(entry["value"])
+        if entry.get("higher_is_better", False):
+            normalised[name] = value * calibration
+        else:
+            normalised[name] = value / calibration
+    return normalised
+
+
+def render_table(reports: list[tuple[str, dict[str, float]]]) -> str:
+    """Markdown trajectory table: one row per metric, one column per report.
+
+    The final column is the cumulative change versus the first report that
+    recorded the metric, signed so positive is always an improvement for
+    throughput metrics and a slowdown is explicit for latency ones (the
+    normalised value's meaning — bigger-is-more-work vs bigger-is-slower —
+    is carried by the metric name's ``_us`` suffix convention upstream; here
+    the delta is reported on the normalised scale, so the reader compares
+    like with like).
+    """
+    names = sorted({name for _, metrics in reports for name in metrics})
+    header = ["metric", *(label for label, _ in reports), "vs first"]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    for name in names:
+        cells = [name]
+        series = [(label, metrics.get(name)) for label, metrics in reports]
+        for _, value in series:
+            cells.append("-" if value is None else f"{value:.4g}")
+        recorded = [value for _, value in series if value is not None]
+        if len(recorded) >= 2 and recorded[0] != 0.0:
+            change = (recorded[-1] - recorded[0]) / recorded[0] * 100.0
+            cells.append(f"{change:+.1f}%")
+        else:
+            cells.append("-")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: discover reports, render the trajectory, write/print it."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory scanned for BENCH_pr<N>.json reports (default: repo root)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the markdown table to this path",
+    )
+    args = parser.parse_args(argv)
+
+    discovered = discover_reports(args.root)
+    if not discovered:
+        print(f"error: no BENCH_pr<N>.json reports found under {args.root}", file=sys.stderr)
+        return 1
+    reports = [(label, load_normalised(path)) for label, path in discovered]
+
+    table = render_table(reports)
+    body = (
+        "# Benchmark trajectory (calibration-normalised)\n\n"
+        + f"Reports: {', '.join(label for label, _ in reports)}. "
+        + "Values are normalised by each report's own calibration time; "
+        + "throughput rows read higher-is-better, ``_us`` latency rows "
+        + "lower-is-better.\n\n"
+        + table
+        + "\n"
+    )
+    print(body)
+    if args.output is not None:
+        args.output.write_text(body)
+        print(f"trend written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

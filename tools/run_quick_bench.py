@@ -4,17 +4,18 @@ The report feeds the ``bench-regression`` CI gate: a handful of headline
 metrics — batch-ingestion throughput in points/second and median warm query
 latency in microseconds for the CC and RCC clusterers, an update-path
 *coreset-merge* microbenchmark (merges/second on a fixed ``(r*m, d)`` input,
-isolating the kernel layer from driver overhead), and float32 variants of
-the ingest and merge paths — plus a *calibration* measurement: the
-wall-clock of a fixed numpy workload shaped like the library's hot loops
-(GEMM + reduction + sampling).  The regression checker
+isolating the kernel layer from driver overhead), float32 variants of the
+ingest and merge paths, and a high-dimensional (d=128, k=50) workload with
+and without JL sketching — plus a *calibration* measurement: the wall-clock of
+a fixed numpy workload shaped like the library's hot loops (GEMM +
+reduction + sampling).  The regression checker
 (``tools/check_bench_regression.py``) normalises every metric by the
 calibration time, so comparisons against a baseline recorded on a different
 machine measure the *code*, not the hardware.
 
 Usage::
 
-    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr5.json
+    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr6.json
 """
 
 from __future__ import annotations
@@ -39,6 +40,8 @@ from repro.core.driver import (  # noqa: E402
 from repro.coreset.bucket import WeightedPointSet  # noqa: E402
 from repro.coreset.construction import CoresetConfig, CoresetConstructor  # noqa: E402
 from repro.data.loaders import load_dataset  # noqa: E402
+from repro.data.synthetic import GaussianMixtureSpec, generate_mixture  # noqa: E402
+from repro.kernels.sketch import sketch_for  # noqa: E402
 
 SCHEMA_VERSION = 1
 
@@ -49,6 +52,20 @@ NUM_QUERIES = 30
 K = 20
 #: Merges timed per repeat of the update-path microbenchmark.
 MERGE_COUNT = 60
+#: High-dimensional sketch workload: dimensionality, cluster count, and the
+#: target dimensionality it is sketched down to.  The higher k matters as much
+#: as the higher d: every extra seeding round adds one more (n, d) pass that
+#: sketching shrinks to (n, s), so the d-independent per-merge overheads
+#: (sampling, cumsums, dispatch) are amortised and the GEMM ratio shows
+#: through.  At k=20 the same d=128 stream is overhead-bound and the sketch
+#: win is under 2x — which is exactly the regime the gate is not about.
+#: s = d/4 keeps the clustering cost within a fraction of a percent of the
+#: exact path on this mixture (s = 8 is measurably too coarse to separate
+#: 20 clusters); see ``tests/kernels/test_sketch.py`` for the property-tested
+#: envelope.
+HIGH_DIM = 128
+HIGH_K = 50
+SKETCH_DIM = 32
 
 
 def calibrate(repeats: int = 3) -> float:
@@ -88,22 +105,53 @@ def _measure(clusterer_factory, points: np.ndarray, repeats: int) -> tuple[float
     return best_pts_per_s, best_median_us
 
 
-def _measure_merges(points: np.ndarray, dtype: str, repeats: int) -> float:
+def _measure_ingest_pair(
+    factories: list, points: np.ndarray, repeats: int
+) -> list[float]:
+    """Interleaved best-of ingest throughput for paired variants.
+
+    The d=128 gate is a *ratio* between the exact and sketched variants, so
+    the two must be timed back-to-back within each repeat: measuring one
+    variant's repeats en bloc and the other's a minute later lets thermal /
+    contention drift land entirely on one side of the ratio.
+    """
+    best = [0.0] * len(factories)
+    for _ in range(repeats):
+        for i, factory in enumerate(factories):
+            clusterer = factory()
+            start = time.perf_counter()
+            clusterer.insert_batch(points)
+            elapsed = time.perf_counter() - start
+            best[i] = max(best[i], points.shape[0] / elapsed)
+    return best
+
+
+def _measure_merges(
+    points: np.ndarray,
+    dtype: str,
+    repeats: int,
+    sketch_dim: int | None = None,
+    k: int = K,
+) -> float:
     """Best-of-``repeats`` coreset merges/second on a fixed ``(2m, d)`` input.
 
     Times ``CoresetConstructor.build_for_span`` directly — the hot kernel of
     every tree carry — on a steady-state-shaped input (one ``r * m`` union of
     two base buckets), with distinct span keys so each merge draws its own
-    randomness exactly like the live tree.
+    randomness exactly like the live tree.  With ``sketch_dim`` the input
+    carries its sketched view, built outside the clock: in a live run every
+    point is projected exactly once, at ingest, so the projection is part of
+    the ingest metric, not the per-merge cost.
     """
-    m = StreamingConfig(k=K, seed=0).bucket_size
-    data = WeightedPointSet.from_points(
-        np.ascontiguousarray(points[: 2 * m], dtype=np.dtype(dtype))
-    )
+    m = StreamingConfig(k=k, seed=0).bucket_size
+    block = np.ascontiguousarray(points[: 2 * m], dtype=np.dtype(dtype))
     best = 0.0
     for _ in range(repeats):
         constructor = CoresetConstructor(
-            CoresetConfig(k=K, coreset_size=m), seed=0
+            CoresetConfig(k=k, coreset_size=m, sketch_dim=sketch_dim), seed=0
+        )
+        data = WeightedPointSet.from_points(
+            block, sketch=sketch_for(constructor.sketcher, block)
         )
         for i in range(3):  # warm the workspace pools
             constructor.build_for_span(data, level=1, start=2 * i + 1, end=2 * i + 2)
@@ -159,10 +207,66 @@ def run(repeats: int) -> dict:
         "higher_is_better": True,
     }
 
+    # High-dimensional, higher-k workload, exact vs JL-sketched: per-merge
+    # distance math scales with k * n * d, so this is where sketching pays.
+    # Same synthetic mixture for both variants; the sketched ingest metric
+    # includes the per-batch projection cost (points are projected once, at
+    # ingest).
+    hd_points, _ = generate_mixture(
+        GaussianMixtureSpec(dimension=HIGH_DIM, num_clusters=K),
+        NUM_POINTS,
+        rng=np.random.default_rng(7),
+    )
+    hd_config = StreamingConfig(k=HIGH_K, seed=0)
+    sketch_config = StreamingConfig(k=HIGH_K, seed=0, sketch_dim=SKETCH_DIM)
+    exact_rate, sketch_rate = _measure_ingest_pair(
+        [
+            lambda: CachedCoresetTreeClusterer(hd_config),
+            lambda: CachedCoresetTreeClusterer(sketch_config),
+        ],
+        hd_points,
+        repeats,
+    )
+    metrics[f"cc_ingest_pts_per_s_d{HIGH_DIM}"] = {
+        "value": exact_rate,
+        "higher_is_better": True,
+    }
+    metrics[f"cc_ingest_pts_per_s_d{HIGH_DIM}_sketch"] = {
+        "value": sketch_rate,
+        "higher_is_better": True,
+    }
+    # Same interleaving for the merge microbenchmark pair.
+    merge_exact = merge_sketch = 0.0
+    for _ in range(repeats):
+        merge_exact = max(
+            merge_exact, _measure_merges(hd_points, "float64", 1, k=HIGH_K)
+        )
+        merge_sketch = max(
+            merge_sketch,
+            _measure_merges(
+                hd_points, "float64", 1, sketch_dim=SKETCH_DIM, k=HIGH_K
+            ),
+        )
+    metrics[f"merge_updates_per_s_d{HIGH_DIM}"] = {
+        "value": merge_exact,
+        "higher_is_better": True,
+    }
+    metrics[f"merge_updates_per_s_d{HIGH_DIM}_sketch"] = {
+        "value": merge_sketch,
+        "higher_is_better": True,
+    }
+
     return {
         "schema": SCHEMA_VERSION,
         "calibration_seconds": calibrate(),
-        "workload": {"num_points": NUM_POINTS, "num_queries": NUM_QUERIES, "k": K},
+        "workload": {
+            "num_points": NUM_POINTS,
+            "num_queries": NUM_QUERIES,
+            "k": K,
+            "high_dim": HIGH_DIM,
+            "high_dim_k": HIGH_K,
+            "sketch_dim": SKETCH_DIM,
+        },
         "metrics": metrics,
         "meta": {
             "python": platform.python_version(),
@@ -175,7 +279,7 @@ def run(repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run the suite and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_pr5.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_pr6.json"))
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
 
