@@ -21,6 +21,7 @@ import pytest
 
 from repro.bench.experiments import time_vs_bucket_size
 from repro.bench.report import format_nested_series
+from repro.metrics.timing import timing_assertions_enabled
 
 from _bench_utils import emit
 
@@ -103,4 +104,10 @@ def test_fig7_runtime_vs_bucket_size(benchmark, dataset, request):
         )
 
     violations = _shape_violations(results)
+    if not timing_assertions_enabled():
+        # Single-core (or explicitly opted-out) machine: the measurements
+        # above were still taken and emitted, but wall-clock comparisons on
+        # a contended core measure the scheduler, not the algorithms (see
+        # docs/benchmarks.md).
+        return
     assert not violations, f"median of {len(runs)} runs still violates: {violations}"

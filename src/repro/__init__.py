@@ -17,7 +17,11 @@ Queries"* (Zhang, Tangwongsan, Tirthapura; ICDE 2017).  The package provides:
 * a compute-kernel layer (:mod:`repro.kernels`) behind every update-path hot
   loop — pooled zero-allocation merge scratch, fused chunked distance
   kernels, and an opt-in end-to-end float32 storage dtype
-  (``StreamingConfig(dtype="float32")``) with float64 cost accumulators.
+  (``StreamingConfig(dtype="float32")``) with float64 cost accumulators; and
+* a concurrent serving plane (:mod:`repro.serving`): RCU-style snapshot
+  publication splits ingest from queries, reader threads serve lock-free
+  from immutable versioned coresets, and an asyncio TCP front end
+  (``repro serve``) adds query batching, admission control, and drain.
 
 Quickstart::
 
@@ -57,6 +61,15 @@ from .kernels import SUPPORTED_DTYPES, Workspace, resolve_dtype
 from .kmeans import BatchKMeans, KMeansConfig, kmeans_cost, kmeanspp_seeding, weighted_kmeans
 from .parallel import ShardedEngine, ShardWorkerError
 from .queries import FixedIntervalSchedule, PoissonSchedule, QueryEngine, QueryStats
+from .serving import (
+    CoresetSnapshot,
+    PlaneReader,
+    ServedResult,
+    ServingPlane,
+    ServingServer,
+    SnapshotPublisher,
+    SnapshotUnavailable,
+)
 
 __version__ = "1.0.0"
 
@@ -102,5 +115,12 @@ __all__ = [
     "CheckpointError",
     "load_checkpoint",
     "save_checkpoint",
+    "CoresetSnapshot",
+    "PlaneReader",
+    "ServedResult",
+    "ServingPlane",
+    "ServingServer",
+    "SnapshotPublisher",
+    "SnapshotUnavailable",
     "__version__",
 ]

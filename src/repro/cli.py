@@ -20,6 +20,11 @@ Usage examples::
     python -m repro.cli figure fig4 --dataset power --num-points 6000 \
         --output fig4_power.json
 
+    # Serve a live stream over TCP (newline-delimited JSON; Ctrl-C drains):
+    # ingest keeps publishing snapshots while reader workers answer queries
+    python -m repro.cli serve --dataset covtype --k 20 --port 8765
+    python -m repro.cli serve --resume-from run.ckpt   # restore, then serve
+
     # List the available datasets and algorithms
     python -m repro.cli list
 
@@ -150,6 +155,56 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--k", type=int, default=20)
     figure.add_argument("--seed", type=int, default=0)
     figure.add_argument("--output", type=str, default=None, help="write series data to JSON")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve concurrent clustering queries over TCP against a live stream",
+    )
+    serve.add_argument("--dataset", choices=dataset_names(), default="covtype")
+    serve.add_argument("--num-points", type=int, default=20_000)
+    serve.add_argument("--k", type=int, default=20)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    serve.add_argument(
+        "--workers", type=int, default=2, help="reader workers (one warm engine each)"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission-queue depth; requests beyond it are shed with a 429 error",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="ingest through the parallel sharded engine with this many shards",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="executor backend for the sharded ingest plane (with --shards > 1)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=500, help="writer-plane ingest batch size"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="serve for this many seconds then drain and exit (0 = until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--resume-from",
+        type=str,
+        default=None,
+        help=(
+            "restore the ingest plane from a checkpoint directory; the restored "
+            "stream position is republished before the first query is accepted"
+        ),
+    )
 
     subparsers.add_parser("list", help="list available datasets and algorithms")
     return parser
@@ -291,6 +346,70 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.driver import CachedCoresetTreeClusterer
+    from .serving.loadgen import IngestLoop
+    from .serving.plane import ServingPlane
+    from .serving.server import ServerThread
+
+    info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
+    try:
+        if args.resume_from is not None:
+            plane = ServingPlane.restore(args.resume_from)
+        else:
+            config = StreamingConfig(k=args.k, seed=args.seed)
+            if args.shards > 1:
+                clusterer = CachedCoresetTreeClusterer.sharded(
+                    config, num_shards=args.shards, backend=args.backend
+                )
+            else:
+                clusterer = CachedCoresetTreeClusterer(config)
+            plane = ServingPlane(clusterer)
+            # Publish before accepting connections so the first query never
+            # races the first batch.
+            plane.ingest(info.points[: args.batch_size].copy())
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    with plane:
+        ingest = IngestLoop(plane, info.points, batch_size=args.batch_size)
+        ingest.start()
+        server = ServerThread(
+            plane,
+            host=args.host,
+            port=args.port,
+            num_workers=args.workers,
+            max_pending=args.max_pending,
+        )
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(workers={args.workers}, max_pending={args.max_pending}); "
+            "protocol: newline-delimited JSON, see docs/serving.md"
+        )
+        try:
+            if args.duration > 0:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            ingest.stop()
+            server.stop(drain=True)
+        stats = server.server.stats
+        behind, seconds = plane.staleness()
+        print(
+            f"drained: served={stats.served} shed={stats.shed} "
+            f"bad_requests={stats.bad_requests} version={plane.version} "
+            f"points={plane.points_ingested} staleness={behind}pts/{seconds * 1e3:.1f}ms"
+        )
+    return 0
+
+
 def _command_list(_: argparse.Namespace) -> int:
     print("Datasets  :", ", ".join(dataset_names()))
     print("Algorithms:", ", ".join(ALGORITHM_NAMES))
@@ -306,6 +425,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_list(args)
 
 

@@ -83,6 +83,28 @@ class CoresetServingMixin:
             raise RuntimeError("cannot answer a clustering query before any point arrives")
         return combined, elapsed
 
+    def collect_serving_snapshot(self) -> tuple[WeightedPointSet, "CacheStats | None"]:
+        """Assemble the query coreset and cache counters for snapshot publication.
+
+        The writer-plane half of the concurrent serving split (see
+        :mod:`repro.serving`): coreset assembly may mutate structure caches,
+        so it must run on the ingest thread; the returned pieces are what a
+        :class:`~repro.serving.plane.ServingPlane` freezes into an immutable
+        published :class:`~repro.serving.snapshot.CoresetSnapshot`.
+        """
+        return self._coreset_pieces(), self._structure_cache_stats()
+
+    def serving_plane(self, **kwargs):
+        """Wrap this clusterer in a :class:`~repro.serving.plane.ServingPlane`.
+
+        Convenience for the concurrent serving split: ``clusterer.
+        serving_plane()`` gives the writer handle whose :meth:`~repro.serving.
+        plane.ServingPlane.reader` hands out lock-free query readers.
+        """
+        from ..serving.plane import ServingPlane
+
+        return ServingPlane(self, **kwargs)
+
     def _serve_query(self, k: int, force_cold: bool = False) -> QueryResult:
         """Answer one single-k query through the serving pipeline.
 

@@ -2,7 +2,7 @@
 
 from .accuracy import center_set_distance, cost_ratio, sse
 from .memory import BYTES_PER_VALUE, MemoryUsage, peak
-from .timing import Stopwatch, TimingBreakdown
+from .timing import Stopwatch, TimingBreakdown, timing_assertions_enabled
 
 __all__ = [
     "center_set_distance",
@@ -13,4 +13,5 @@ __all__ = [
     "peak",
     "Stopwatch",
     "TimingBreakdown",
+    "timing_assertions_enabled",
 ]

@@ -7,11 +7,37 @@ queries), each reported both in total over the stream and averaged per point.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["TimingBreakdown", "Stopwatch"]
+__all__ = ["TimingBreakdown", "Stopwatch", "timing_assertions_enabled"]
+
+
+def timing_assertions_enabled() -> bool:
+    """Whether wall-clock *assertions* should be enforced on this machine.
+
+    The benchmark suite always measures and records timings, but comparisons
+    of wall-clock numbers ("CC is faster than CT", "p99 within 2x") are only
+    meaningful when the machine can actually run the two sides comparably.
+    On a single-core box, readers, writers, and the measurement loop itself
+    all contend for the same CPU, so such comparisons measure the scheduler,
+    not the code.  Tests gate their final ``assert`` on this helper — never
+    the measurement itself, so results are still exercised and emitted.
+
+    ``REPRO_TIMING_ASSERTS=1`` forces assertions on, ``=0`` forces them off;
+    otherwise they are enabled when at least two CPU cores are available to
+    this process.
+    """
+    override = os.environ.get("REPRO_TIMING_ASSERTS")
+    if override is not None and override.strip() in {"0", "1"}:
+        return override.strip() == "1"
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    return cores >= 2
 
 
 @dataclass

@@ -300,6 +300,16 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         ]
         return WeightedPointSet.union_all(pieces, dimension=dimension)
 
+    def collect_serving_snapshot(self) -> tuple[WeightedPointSet, CacheStats | None]:
+        """Writer-plane snapshot assembly (union of per-shard coresets).
+
+        ``collect`` is a worker barrier on the thread/process backends, so
+        the published snapshot reflects every insert submitted before the
+        publish — the serving plane's ingest lock keeps this writer-only.
+        """
+        self._require_open()
+        return super().collect_serving_snapshot()
+
     def _structure_cache_stats(self) -> CacheStats | None:
         return self.cache_stats()
 

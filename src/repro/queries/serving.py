@@ -192,6 +192,22 @@ class QueryEngine:
         # the checkpoint state.
         self._workspace = Workspace()
 
+    def fork(self) -> "QueryEngine":
+        """A fresh engine with identical solver parameters and no shared state.
+
+        Warm-start state (and the scratch workspace) is mutable, so an engine
+        must never be shared across threads; the serving plane forks one
+        engine per reader thread instead.  Counters start at zero.
+        """
+        return QueryEngine(
+            n_init=self._n_init,
+            max_iterations=self._max_iterations,
+            warm_start=self._warm_start,
+            drift_ratio=self._drift_ratio,
+            refresh_interval=self._refresh_interval,
+            tolerance=self._tolerance,
+        )
+
     # -- instrumentation -----------------------------------------------------
 
     @property

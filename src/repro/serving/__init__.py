@@ -1,0 +1,42 @@
+"""The concurrent serving plane: lock-free queries against a live stream.
+
+This package splits the library's single thread of control into two planes:
+
+* **Ingest plane** — one writer drives a clusterer (``StreamClusterDriver``
+  or ``ShardedEngine``) and, after every batch settles, publishes an
+  immutable versioned :class:`~repro.serving.snapshot.CoresetSnapshot`
+  through an RCU-style atomic reference swap
+  (:class:`~repro.serving.snapshot.SnapshotPublisher`).
+* **Reader plane** — any number of :class:`~repro.serving.plane.PlaneReader`
+  threads answer ``query`` / ``query_multi_k`` from the latest published
+  snapshot through their own warm-start
+  :class:`~repro.queries.serving.QueryEngine`, never touching the ingest
+  lock.  Retired snapshots are reclaimed by the garbage collector when their
+  last reader drops them.
+
+On top sits :class:`~repro.serving.server.ServingServer`, a thin asyncio
+TCP front end (newline-delimited JSON) with k-sweep query batching, bounded
+admission control (shed-with-429), and graceful drain, plus the load
+generator in :mod:`repro.serving.loadgen` / ``tools/loadgen.py``.
+
+See ``docs/serving.md`` for the architecture, snapshot lifecycle, protocol
+spec, and tuning guidance.
+"""
+
+from .plane import PlaneReader, ServedResult, ServingPlane, SnapshotUnavailable
+from .snapshot import CoresetSnapshot, SnapshotPublisher
+from .loadgen import LoadgenConfig, LoadReport, run_plane_loadgen
+from .server import ServingServer
+
+__all__ = [
+    "CoresetSnapshot",
+    "SnapshotPublisher",
+    "ServingPlane",
+    "PlaneReader",
+    "ServedResult",
+    "SnapshotUnavailable",
+    "ServingServer",
+    "LoadgenConfig",
+    "LoadReport",
+    "run_plane_loadgen",
+]

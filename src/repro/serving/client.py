@@ -1,0 +1,69 @@
+"""A small blocking client for the serving protocol (tests, CLI probes).
+
+One connection, synchronous request/response over newline-delimited JSON.
+The load generator uses raw asyncio connections instead (thousands of
+concurrent clients); this class is the convenient single-caller handle::
+
+    with ServingClient("127.0.0.1", port) as client:
+        response = client.query(k=20)
+        sweep = client.query_multi_k([10, 20, 30])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Sequence
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """Blocking newline-delimited-JSON client for :class:`ServingServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object and block for its response object."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> dict:
+        """Liveness probe."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        """Server counters plus snapshot version/staleness."""
+        return self.request({"op": "stats"})
+
+    def query(self, k: int | None = None, include_centers: bool = True) -> dict:
+        """One clustering query (server default ``k`` when omitted)."""
+        payload: dict = {"op": "query", "include_centers": include_centers}
+        if k is not None:
+            payload["k"] = k
+        return self.request(payload)
+
+    def query_multi_k(self, ks: Sequence[int], include_centers: bool = True) -> dict:
+        """One batched k-sweep."""
+        return self.request(
+            {"op": "query_multi_k", "ks": list(ks), "include_centers": include_centers}
+        )
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

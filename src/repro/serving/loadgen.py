@@ -1,0 +1,365 @@
+"""Load generation against the serving plane: Poisson/bursty query traffic.
+
+The measurement core behind ``tools/loadgen.py`` and the latency SLO bench
+gate.  Two modes share one report format:
+
+* :func:`run_plane_loadgen` — in-process: ``readers`` threads (one
+  :class:`~repro.serving.plane.PlaneReader` each) issue queries with
+  Poisson inter-arrivals while an :class:`IngestLoop` thread keeps the
+  writer plane busy.  This is the pure plane-split measurement (no network,
+  no event loop) the bench gate records.
+* :func:`run_tcp_loadgen` — over the wire: ``clients`` concurrent asyncio
+  connections replay the same arrival process against a
+  :class:`~repro.serving.server.ServingServer`, counting sheds (429s) and
+  errors along with latency.  This is how thousands of simulated clients
+  are cheap: one task per client, not one thread.
+
+Latency is reported as p50/p99/p999 in microseconds; staleness both in
+points (ingested but not yet visible in the served snapshot) and in
+milliseconds (age of the served snapshot).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .plane import ServingPlane, SnapshotUnavailable
+
+__all__ = [
+    "LoadgenConfig",
+    "LoadReport",
+    "IngestLoop",
+    "run_plane_loadgen",
+    "run_tcp_loadgen",
+]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run.
+
+    Attributes
+    ----------
+    seconds:
+        Wall-clock duration of the run.
+    rate:
+        Target total query arrivals per second (Poisson process).  ``None``
+        runs closed-loop (each client issues its next query immediately).
+    ks:
+        The ``k`` values clients draw from, uniformly.
+    burst:
+        Bursty traffic: the arrival rate alternates between
+        ``burst_factor * rate`` and ``rate / 4`` every ``burst_period``
+        seconds instead of staying constant.
+    burst_factor / burst_period:
+        Shape of the bursts.
+    seed:
+        Seed for arrival times and k choices.
+    include_centers:
+        TCP mode: ask the server to include center coordinates in responses
+        (heavier payloads; off by default so latency measures serving, not
+        JSON size).
+    """
+
+    seconds: float = 5.0
+    rate: float | None = 200.0
+    ks: tuple[int, ...] = (10, 20, 30)
+    burst: bool = False
+    burst_factor: float = 4.0
+    burst_period: float = 1.0
+    seed: int = 0
+    include_centers: bool = False
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generation run."""
+
+    issued: int = 0
+    served: int = 0
+    shed: int = 0
+    errors: int = 0
+    duration_seconds: float = 0.0
+    p50_us: float = 0.0
+    p99_us: float = 0.0
+    p999_us: float = 0.0
+    mean_us: float = 0.0
+    staleness_points_mean: float = 0.0
+    staleness_points_p99: float = 0.0
+    staleness_ms_mean: float = 0.0
+    staleness_ms_p99: float = 0.0
+    latencies_us: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+
+    @property
+    def qps(self) -> float:
+        """Served queries per second."""
+        return self.served / self.duration_seconds if self.duration_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (without the raw latency array)."""
+        return {
+            "issued": self.issued,
+            "served": self.served,
+            "shed": self.shed,
+            "errors": self.errors,
+            "qps": self.qps,
+            "duration_seconds": self.duration_seconds,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "mean_us": self.mean_us,
+            "staleness_points_mean": self.staleness_points_mean,
+            "staleness_points_p99": self.staleness_points_p99,
+            "staleness_ms_mean": self.staleness_ms_mean,
+            "staleness_ms_p99": self.staleness_ms_p99,
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-screen report."""
+        lines = [
+            f"queries : issued={self.issued} served={self.served} "
+            f"shed={self.shed} errors={self.errors} ({self.qps:.0f} qps)",
+            f"latency : p50={self.p50_us:.0f}us p99={self.p99_us:.0f}us "
+            f"p999={self.p999_us:.0f}us mean={self.mean_us:.0f}us",
+            f"staleness: mean={self.staleness_points_mean:.0f}pts/"
+            f"{self.staleness_ms_mean:.1f}ms "
+            f"p99={self.staleness_points_p99:.0f}pts/{self.staleness_ms_p99:.1f}ms",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _Samples:
+    """One worker's raw measurements (merged lock-free at the end)."""
+
+    latencies: list = field(default_factory=list)
+    staleness_points: list = field(default_factory=list)
+    staleness_ms: list = field(default_factory=list)
+    issued: int = 0
+    served: int = 0
+    shed: int = 0
+    errors: int = 0
+
+
+def _build_report(samples: list[_Samples], duration: float) -> LoadReport:
+    report = LoadReport(duration_seconds=duration)
+    latencies: list = []
+    stale_pts: list = []
+    stale_ms: list = []
+    for sample in samples:
+        report.issued += sample.issued
+        report.served += sample.served
+        report.shed += sample.shed
+        report.errors += sample.errors
+        latencies.extend(sample.latencies)
+        stale_pts.extend(sample.staleness_points)
+        stale_ms.extend(sample.staleness_ms)
+    if latencies:
+        arr = np.asarray(latencies) * 1e6
+        report.latencies_us = arr
+        report.p50_us = float(np.percentile(arr, 50))
+        report.p99_us = float(np.percentile(arr, 99))
+        report.p999_us = float(np.percentile(arr, 99.9))
+        report.mean_us = float(arr.mean())
+    if stale_pts:
+        pts = np.asarray(stale_pts, dtype=np.float64)
+        report.staleness_points_mean = float(pts.mean())
+        report.staleness_points_p99 = float(np.percentile(pts, 99))
+    if stale_ms:
+        ms = np.asarray(stale_ms, dtype=np.float64)
+        report.staleness_ms_mean = float(ms.mean())
+        report.staleness_ms_p99 = float(np.percentile(ms, 99))
+    return report
+
+
+def _arrival_delay(cfg: LoadgenConfig, per_worker_rate: float | None, elapsed: float,
+                   rng: np.random.Generator) -> float:
+    """Exponential inter-arrival delay honouring the burst schedule (0 = closed loop)."""
+    if per_worker_rate is None or per_worker_rate <= 0:
+        return 0.0
+    rate = per_worker_rate
+    if cfg.burst:
+        phase = elapsed % (2.0 * cfg.burst_period)
+        rate = rate * cfg.burst_factor if phase < cfg.burst_period else rate / 4.0
+    return float(rng.exponential(1.0 / rate))
+
+
+class IngestLoop(threading.Thread):
+    """Writer-plane driver: replays a point set through the plane in a loop.
+
+    Wraps around the array indefinitely (the coreset tree happily absorbs a
+    repeating stream), so the publish path stays hot for as long as the
+    load run needs.  ``pause`` / ``resume`` gate ingestion without killing
+    the thread — the SLO comparison measures read latency in both states.
+    """
+
+    def __init__(
+        self, plane: ServingPlane, points: np.ndarray, batch_size: int = 500
+    ) -> None:
+        super().__init__(name="repro-ingest-loop", daemon=True)
+        self._plane = plane
+        self._points = points
+        self._batch_size = batch_size
+        self._halt = threading.Event()
+        self._go = threading.Event()
+        self._go.set()
+        self.batches_ingested = 0
+
+    def run(self) -> None:
+        """Feed batches while running, blocking while paused."""
+        cursor = 0
+        n = self._points.shape[0]
+        while not self._halt.is_set():
+            if not self._go.wait(timeout=0.05):
+                continue
+            end = min(cursor + self._batch_size, n)
+            # Copy: insert_batch zero-copies full buckets, and the loop
+            # re-reads the same array on wrap-around.
+            self._plane.ingest(self._points[cursor:end].copy())
+            self.batches_ingested += 1
+            cursor = end % n
+
+    def pause(self) -> None:
+        """Stop feeding the plane (the thread stays alive)."""
+        self._go.clear()
+
+    def resume(self) -> None:
+        """Resume feeding the plane."""
+        self._go.set()
+
+    def stop(self) -> None:
+        """Terminate the loop and join the thread."""
+        self._halt.set()
+        self._go.set()
+        self.join(timeout=10.0)
+
+
+def run_plane_loadgen(
+    plane: ServingPlane, cfg: LoadgenConfig, readers: int = 4
+) -> LoadReport:
+    """In-process load run: ``readers`` threads query the plane directly."""
+    per_worker = None if cfg.rate is None else cfg.rate / readers
+    samples = [_Samples() for _ in range(readers)]
+    start = time.monotonic()
+    stop_at = start + cfg.seconds
+
+    def worker(index: int) -> None:
+        reader = plane.reader(seed=cfg.seed + 1000 * (index + 1))
+        rng = np.random.default_rng(cfg.seed + index)
+        sink = samples[index]
+        while True:
+            now = time.monotonic()
+            if now >= stop_at:
+                return
+            delay = _arrival_delay(cfg, per_worker, now - start, rng)
+            if delay:
+                time.sleep(min(delay, stop_at - now))
+                if time.monotonic() >= stop_at:
+                    return
+            k = int(rng.choice(cfg.ks))
+            sink.issued += 1
+            begin = time.perf_counter()
+            try:
+                result = reader.query(k)
+            except SnapshotUnavailable:
+                sink.errors += 1
+                time.sleep(0.01)
+                continue
+            sink.latencies.append(time.perf_counter() - begin)
+            sink.served += 1
+            sink.staleness_points.append(result.staleness_points)
+            sink.staleness_ms.append(result.staleness_seconds * 1e3)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return _build_report(samples, time.monotonic() - start)
+
+
+async def _tcp_client(
+    host: str,
+    port: int,
+    cfg: LoadgenConfig,
+    per_client_rate: float | None,
+    start: float,
+    stop_at: float,
+    sink: _Samples,
+    rng: np.random.Generator,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        while True:
+            now = time.monotonic()
+            if now >= stop_at:
+                return
+            delay = _arrival_delay(cfg, per_client_rate, now - start, rng)
+            if delay:
+                await asyncio.sleep(min(delay, stop_at - now))
+                if time.monotonic() >= stop_at:
+                    return
+            k = int(rng.choice(cfg.ks))
+            request = {"op": "query", "k": k, "include_centers": cfg.include_centers}
+            sink.issued += 1
+            begin = time.perf_counter()
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            elapsed = time.perf_counter() - begin
+            if not line:
+                sink.errors += 1
+                return
+            response = json.loads(line)
+            if response.get("ok"):
+                sink.served += 1
+                sink.latencies.append(elapsed)
+                sink.staleness_points.append(response.get("staleness_points", 0))
+                sink.staleness_ms.append(response.get("staleness_seconds", 0.0) * 1e3)
+            elif response.get("code") == 429:
+                sink.shed += 1
+            else:
+                sink.errors += 1
+    finally:
+        writer.close()
+
+
+async def _tcp_run(host: str, port: int, cfg: LoadgenConfig, clients: int) -> LoadReport:
+    per_client = None if cfg.rate is None else cfg.rate / clients
+    samples = [_Samples() for _ in range(clients)]
+    start = time.monotonic()
+    stop_at = start + cfg.seconds
+    tasks = [
+        _tcp_client(
+            host,
+            port,
+            cfg,
+            per_client,
+            start,
+            stop_at,
+            samples[index],
+            np.random.default_rng(cfg.seed + index),
+        )
+        for index in range(clients)
+    ]
+    outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, Exception):
+            samples[index].errors += 1
+    return _build_report(samples, time.monotonic() - start)
+
+
+def run_tcp_loadgen(
+    host: str, port: int, cfg: LoadgenConfig, clients: int = 100
+) -> LoadReport:
+    """Network load run: ``clients`` concurrent connections against a server."""
+    return asyncio.run(_tcp_run(host, port, cfg, clients))

@@ -1,0 +1,464 @@
+"""The asyncio query front end: JSON over TCP, batching, admission, drain.
+
+:class:`ServingServer` puts a thin network face on a
+:class:`~repro.serving.plane.ServingPlane`.  Protocol: newline-delimited
+JSON requests over TCP (see ``docs/serving.md`` for the full spec)::
+
+    {"op": "query", "k": 20}
+    {"op": "query_multi_k", "ks": [10, 20, 30]}
+    {"op": "ping"}   {"op": "stats"}
+
+Design points, each of which the fault-injection battery exercises:
+
+* **Admission control** — requests beyond ``max_pending`` queued solves are
+  shed immediately with the documented overload error
+  (``{"ok": false, "code": 429, "error": "overloaded"}``) instead of
+  building an unbounded backlog.
+* **Query batching** — each worker drains whatever compatible requests are
+  already queued (up to ``batch_limit``) and folds their ``k`` values into
+  ONE :meth:`~repro.serving.plane.PlaneReader.query_multi_k` sweep, so a
+  k-sweep window of requests costs one coreset-norms pass and every
+  response in the batch reflects the *same* snapshot version.
+* **Per-reader state** — each worker owns a private
+  :class:`~repro.serving.plane.PlaneReader` (warm-start state is mutable),
+  and runs its solves in the executor so the event loop never blocks.
+* **Slow-client isolation** — every response write is bounded by
+  ``write_timeout_s``; a client that stops reading gets its connection
+  aborted without affecting any other connection.
+* **Graceful drain** — :meth:`ServingServer.stop` stops accepting, answers
+  every in-flight query, then closes connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .plane import PlaneReader, ServedResult, ServingPlane, SnapshotUnavailable
+
+__all__ = ["ServingServer", "ServerThread", "ServerStats"]
+
+#: Max request line length (a k-sweep request is tiny; 1 MiB is generous).
+_LINE_LIMIT = 1 << 20
+
+
+class _SlowClientError(Exception):
+    """Internal: a response write exceeded the write timeout."""
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters exposed by the ``stats`` op."""
+
+    served: int = 0
+    batched: int = 0
+    shed: int = 0
+    bad_requests: int = 0
+    internal_errors: int = 0
+    slow_client_disconnects: int = 0
+    connections: int = 0
+
+    def as_dict(self) -> dict:
+        """Counters as a plain dict (the ``stats`` op's payload)."""
+        return dict(vars(self))
+
+
+@dataclass
+class _Job:
+    """One admitted query awaiting a worker."""
+
+    ks: tuple[int, ...]
+    multi: bool
+    include_centers: bool
+    future: asyncio.Future = field(repr=False)
+
+
+class ServingServer:
+    """Asyncio TCP front end over one serving plane.
+
+    Parameters
+    ----------
+    plane:
+        The serving plane to answer from.
+    host / port:
+        Bind address; port 0 picks a free port (read :attr:`port` after
+        :meth:`start`).
+    num_workers:
+        Reader workers (one private :class:`PlaneReader` each).
+    max_pending:
+        Admission bound: requests arriving while this many jobs are queued
+        are shed with the 429 overload error.
+    batch_limit:
+        Max requests one worker folds into a single ``query_multi_k`` sweep.
+    write_timeout_s:
+        Per-response write budget; a client that cannot absorb a response
+        within it is disconnected (others are unaffected).
+    reader_factory:
+        Test hook (the ``shard_factory`` pattern): builds each worker's
+        reader; defaults to :meth:`ServingPlane.reader`.
+    sndbuf:
+        Optional SO_SNDBUF size for accepted sockets — small values make
+        the write timeout observable in tests; leave ``None`` in production.
+    """
+
+    def __init__(
+        self,
+        plane: ServingPlane,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        num_workers: int = 2,
+        max_pending: int = 64,
+        batch_limit: int = 8,
+        write_timeout_s: float = 5.0,
+        reader_factory: Callable[[ServingPlane], PlaneReader] | None = None,
+        sndbuf: int | None = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if batch_limit <= 0:
+            raise ValueError("batch_limit must be positive")
+        self._plane = plane
+        self._host = host
+        self._requested_port = port
+        self._num_workers = num_workers
+        self._max_pending = max_pending
+        self._batch_limit = batch_limit
+        self._write_timeout_s = write_timeout_s
+        self._reader_factory = reader_factory or (lambda p: p.reader())
+        self._sndbuf = sndbuf
+        self.stats = ServerStats()
+        self._queue: asyncio.Queue[_Job] | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._workers: list[asyncio.Task] = []
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._inflight = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`stop` has begun."""
+        return self._draining
+
+    async def start(self) -> "ServingServer":
+        """Bind the listener and spawn the reader workers."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue()
+        self._workers = [
+            asyncio.ensure_future(self._worker()) for _ in range(self._num_workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._requested_port,
+            limit=_LINE_LIMIT,
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (call :meth:`start` first)."""
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, close.
+
+        With ``drain`` every admitted query is answered (and its response
+        flushed) before connections close; without it queued work is
+        abandoned.  ``timeout`` bounds the drain wait.
+        """
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        if drain and self._queue is not None:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + timeout
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), max(deadline - loop.time(), 0.001)
+                )
+            except asyncio.TimeoutError:
+                pass
+            # Responses are written by the connection handlers after their
+            # futures resolve; wait for those flushes too.
+            while self._inflight > 0 and loop.time() < deadline:
+                await asyncio.sleep(0.005)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for writer in list(self._connections):
+            writer.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self._sndbuf)
+            writer.transport.set_write_buffer_limits(high=self._sndbuf)
+        self.stats.connections += 1
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Oversized line: the stream cannot be resynchronised.
+                    await self._send(
+                        writer,
+                        _error(400, f"request line exceeds {_LINE_LIMIT} bytes"),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                await self._send(writer, response)
+        except (
+            _SlowClientError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _send(self, writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write(json.dumps(response, separators=(",", ":")).encode() + b"\n")
+        try:
+            await asyncio.wait_for(writer.drain(), self._write_timeout_s)
+        except asyncio.TimeoutError:
+            # This client stopped reading; abort it without touching others.
+            self.stats.slow_client_disconnects += 1
+            writer.transport.abort()
+            raise _SlowClientError from None
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.stats.bad_requests += 1
+            return _error(400, f"malformed request: {exc.msg}")
+        if not isinstance(request, dict):
+            self.stats.bad_requests += 1
+            return _error(400, "malformed request: expected a JSON object")
+
+        op = request.get("op", "query")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            behind, seconds = self._plane.staleness()
+            return {
+                "ok": True,
+                "op": "stats",
+                "version": self._plane.version,
+                "points_ingested": self._plane.points_ingested,
+                "staleness_points": behind,
+                "staleness_seconds": seconds,
+                "stats": self.stats.as_dict(),
+            }
+        if op not in ("query", "query_multi_k"):
+            self.stats.bad_requests += 1
+            return _error(400, f"unknown op {op!r}")
+
+        try:
+            ks, multi = _parse_ks(request, op, default_k=self._plane.config.k)
+        except ValueError as exc:
+            self.stats.bad_requests += 1
+            return _error(400, str(exc))
+
+        if self._draining:
+            return _error(503, "draining: server is shutting down")
+        assert self._queue is not None
+        if self._queue.qsize() >= self._max_pending:
+            self.stats.shed += 1
+            return _error(429, "overloaded: admission queue is full, retry later")
+
+        job = _Job(
+            ks=ks,
+            multi=multi,
+            include_centers=bool(request.get("include_centers", True)),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._inflight += 1
+        try:
+            self._queue.put_nowait(job)
+            return await job.future
+        finally:
+            self._inflight -= 1
+
+    # -- workers -------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        reader = self._reader_factory(self._plane)
+        loop = asyncio.get_running_loop()
+        assert self._queue is not None
+        while True:
+            jobs = [await self._queue.get()]
+            while len(jobs) < self._batch_limit:
+                try:
+                    jobs.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            ks = sorted({k for job in jobs for k in job.ks})
+            try:
+                results = await loop.run_in_executor(None, reader.query_multi_k, ks)
+            except SnapshotUnavailable as exc:
+                self._resolve(jobs, _error(503, str(exc)))
+            except Exception as exc:  # noqa: BLE001 - the server must survive
+                self.stats.internal_errors += 1
+                self._resolve(jobs, _error(500, f"internal error: {type(exc).__name__}: {exc}"))
+            else:
+                self.stats.served += len(jobs)
+                if len(jobs) > 1:
+                    self.stats.batched += len(jobs)
+                for job in jobs:
+                    self._resolve([job], _format_response(job, results, len(jobs)))
+
+    def _resolve(self, jobs: list[_Job], response: dict) -> None:
+        assert self._queue is not None
+        for job in jobs:
+            if not job.future.done():
+                job.future.set_result(response)
+            self._queue.task_done()
+
+
+def _error(code: int, message: str) -> dict:
+    return {"ok": False, "code": code, "error": message}
+
+
+def _parse_ks(request: dict, op: str, default_k: int) -> tuple[tuple[int, ...], bool]:
+    """Validate and normalise the requested k values; raises ValueError."""
+    if op == "query":
+        k = request.get("k", default_k)
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        return (k,), False
+    ks = request.get("ks")
+    if not isinstance(ks, list) or not ks:
+        raise ValueError("ks must be a non-empty list of positive integers")
+    for k in ks:
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise ValueError(f"ks must contain positive integers, got {k!r}")
+    return tuple(dict.fromkeys(ks)), True
+
+
+def _result_payload(result: ServedResult, include_centers: bool) -> dict:
+    payload = {
+        "k": result.k,
+        "cost": result.cost,
+        "version": result.version,
+        "snapshot_points": result.snapshot_points,
+        "staleness_points": result.staleness_points,
+        "staleness_seconds": result.staleness_seconds,
+        "warm_start": result.warm_start,
+        "coreset_points": result.coreset_points,
+    }
+    if include_centers:
+        payload["centers"] = result.centers.tolist()
+    return payload
+
+
+def _format_response(job: _Job, results: dict[int, ServedResult], batch: int) -> dict:
+    if job.multi:
+        return {
+            "ok": True,
+            "op": "query_multi_k",
+            "batched": batch,
+            "results": {
+                str(k): _result_payload(results[k], job.include_centers) for k in job.ks
+            },
+        }
+    result = results[job.ks[0]]
+    return {
+        "ok": True,
+        "op": "query",
+        "batched": batch,
+        **_result_payload(result, job.include_centers),
+    }
+
+
+class ServerThread:
+    """Run a :class:`ServingServer` on a private event loop in a daemon thread.
+
+    The blocking-world adapter used by ``repro serve``, ``tools/loadgen.py``
+    and the tests: construct, read :attr:`port`, serve traffic, then
+    :meth:`stop`.
+    """
+
+    def __init__(self, plane: ServingPlane, **server_kwargs) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.server = ServingServer(plane, **server_kwargs)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to the creator
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        """The server's bound port."""
+        return self.server.port
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Drain and stop the server, then join the loop thread."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain, timeout=timeout), self._loop
+        )
+        try:
+            future.result(timeout=timeout + 5.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,183 @@
+"""RCU-style publication of immutable, versioned coreset snapshots.
+
+The ingest plane summarises the stream into a coreset; the reader plane
+solves k-means on it.  The only state the two planes share is one reference:
+:attr:`SnapshotPublisher.latest`.  Publication follows the classic
+read-copy-update discipline, leaning on CPython's memory model:
+
+* the writer builds a fully-formed immutable :class:`CoresetSnapshot` and
+  then *swaps one attribute reference* — an operation the GIL makes atomic,
+  so a reader loading ``publisher.latest`` always observes either the old
+  snapshot or the new one, never a torn mix;
+* readers never take a lock: they load the reference once per query and keep
+  the snapshot alive simply by holding it;
+* a replaced snapshot *retires* — the publisher only keeps a weak reference
+  to it, so the moment the last reader drops theirs the garbage collector
+  reclaims it.  :meth:`SnapshotPublisher.live_retired` counts retired
+  snapshots still alive, which is exactly the leak-accounting hook the soak
+  tests assert on.
+
+Snapshot versions increase monotonically, so any reader observing versions
+``v1 <= v2 <= ...`` across queries is guaranteed a consistent
+(prefix-ordered) view of the stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..coreset.bucket import WeightedPointSet
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.cache import CacheStats
+
+__all__ = ["CoresetSnapshot", "SnapshotPublisher", "freeze_pointset"]
+
+
+def _read_only(arr: np.ndarray) -> np.ndarray:
+    """A read-only O(1) view of ``arr`` (the base array stays writeable)."""
+    view = arr.view()
+    view.setflags(write=False)
+    return view
+
+
+def freeze_pointset(data: WeightedPointSet) -> WeightedPointSet:
+    """Re-wrap a weighted point set with read-only array views.
+
+    Published snapshots are shared by every reader thread; freezing the
+    views turns any accidental in-place mutation into an immediate
+    ``ValueError`` instead of a cross-thread data race.  The underlying
+    buffers are not copied (``coerce_storage`` passes float arrays through
+    zero-copy) and the writer's own arrays stay writeable.
+    """
+    return WeightedPointSet(
+        points=_read_only(data.points),
+        weights=_read_only(data.weights),
+        sketch=None if data.sketch is None else _read_only(data.sketch),
+    )
+
+
+@dataclass(frozen=True)
+class CoresetSnapshot:
+    """One immutable published view of the stream, served lock-free.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing publication counter (1 for the first
+        publish after construction or restore).
+    coreset:
+        The assembled query coreset (structure coreset ∪ partial bucket for
+        a driver; union of per-shard coresets for a sharded engine), with
+        read-only array views.
+    points_seen:
+        Stream position this snapshot summarises — queries served from it
+        reflect exactly the first ``points_seen`` points.
+    dimension:
+        Stream dimensionality.
+    published_at:
+        ``time.monotonic()`` at publication, for staleness accounting.
+    cache_stats:
+        Coreset-cache counters of the backing structure at publication
+        (``None`` for cache-less structures).
+    """
+
+    version: int
+    coreset: WeightedPointSet
+    points_seen: int
+    dimension: int
+    published_at: float
+    cache_stats: "CacheStats | None" = None
+
+    @property
+    def size(self) -> int:
+        """Number of weighted points in the snapshot's coreset."""
+        return self.coreset.size
+
+
+@dataclass
+class SnapshotPublisher:
+    """The single shared cell between the ingest plane and all readers.
+
+    Only one thread publishes (the plane's ingest lock enforces that); any
+    number of threads read :attr:`latest` concurrently without
+    synchronisation.  ``_retired`` holds weak references to superseded
+    snapshots purely for leak accounting — the publisher never extends a
+    retired snapshot's lifetime.
+    """
+
+    _latest: CoresetSnapshot | None = None
+    _version: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _retired: list = field(default_factory=list)
+    _subscribers: list = field(default_factory=list)
+
+    @property
+    def latest(self) -> CoresetSnapshot | None:
+        """The current snapshot (lock-free single reference load)."""
+        return self._latest
+
+    @property
+    def version(self) -> int:
+        """Version of the most recent publication (0 before the first)."""
+        return self._version
+
+    def subscribe(self, callback: Callable[[CoresetSnapshot], None]) -> None:
+        """Register a callback invoked (on the writer thread) at each publish.
+
+        Test hook: the linearizability battery subscribes to retain every
+        published version for replay.  Callbacks run under the publish lock,
+        so they must be fast and must not publish reentrantly.
+        """
+        self._subscribers.append(callback)
+
+    def publish(
+        self,
+        coreset: WeightedPointSet,
+        points_seen: int,
+        dimension: int,
+        cache_stats: "CacheStats | None" = None,
+    ) -> CoresetSnapshot:
+        """Publish a new snapshot, retiring the previous one.
+
+        Called only by the writer.  The snapshot is fully constructed (and
+        frozen) *before* the single reference swap, so concurrent readers
+        can never observe a partially built snapshot.
+        """
+        with self._lock:
+            previous = self._latest
+            self._version += 1
+            snapshot = CoresetSnapshot(
+                version=self._version,
+                coreset=freeze_pointset(coreset),
+                points_seen=points_seen,
+                dimension=dimension,
+                published_at=time.monotonic(),
+                cache_stats=cache_stats,
+            )
+            # The RCU swap: one GIL-atomic attribute store.  Everything a
+            # reader can reach from the new reference is already immutable.
+            self._latest = snapshot
+            if previous is not None:
+                self._retired.append(weakref.ref(previous))
+                if len(self._retired) > 256:
+                    self._retired = [ref for ref in self._retired if ref() is not None]
+            for callback in self._subscribers:
+                callback(snapshot)
+            return snapshot
+
+    def live_retired(self) -> int:
+        """Number of *retired* snapshots still reachable somewhere.
+
+        Zero means every superseded snapshot has been reclaimed — the
+        invariant the soak test asserts after readers drop their references
+        (run ``gc.collect()`` first; reference cycles through numpy views
+        may need a collection pass).
+        """
+        return sum(1 for ref in self._retired if ref() is not None)

@@ -1,0 +1,86 @@
+"""The serving SLO: reader p99 under live ingest within 2x of ingest-paused.
+
+This is the acceptance gate of the concurrent plane: publication must not
+stall readers.  The measurement always runs and always prints both p99s (the
+bench gate records the same numbers in BENCH_pr7.json); the comparison
+itself is asserted only where wall-clock comparisons are meaningful
+(``timing_assertions_enabled()`` — on a contended single core the two
+measurements share one CPU with the writer, so the ratio measures the
+scheduler, not snapshot publication).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import CachedCoresetTreeClusterer
+from repro.metrics.timing import timing_assertions_enabled
+from repro.serving.loadgen import IngestLoop
+from repro.serving.plane import ServingPlane
+
+from serving_helpers import make_stream
+
+CONFIG = StreamingConfig(k=4, coreset_size=40, n_init=1, lloyd_iterations=4, seed=31)
+
+WARMUP_QUERIES = 25
+MEASURE_QUERIES = 150
+
+
+def measure_p99_us(reader, rng, queries: int) -> tuple[float, float]:
+    """(p99 latency us, mean staleness points) over ``queries`` solves."""
+    latencies = np.empty(queries)
+    staleness = np.empty(queries)
+    for index in range(queries):
+        k = int(rng.choice((2, 3, 4)))
+        start = time.perf_counter()
+        result = reader.query(k)
+        latencies[index] = time.perf_counter() - start
+        staleness[index] = result.staleness_points
+    return float(np.percentile(latencies, 99) * 1e6), float(staleness.mean())
+
+
+def test_reader_p99_within_2x_of_paused_ingest(capsys):
+    plane = ServingPlane(CachedCoresetTreeClusterer(CONFIG))
+    points = make_stream(num_points=8000, dimension=4, seed=41)
+    try:
+        plane.ingest(points[:500])
+        ingest = IngestLoop(plane, points, batch_size=250)
+        ingest.start()
+        try:
+            reader = plane.reader(seed=77)
+            rng = np.random.default_rng(7)
+            measure_p99_us(reader, rng, WARMUP_QUERIES)  # warm caches and engine
+
+            ingest.pause()
+            time.sleep(0.05)  # let any in-flight batch settle
+            paused_p99, _ = measure_p99_us(reader, rng, MEASURE_QUERIES)
+
+            ingest.resume()
+            time.sleep(0.05)  # make sure publication churn is live again
+            live_p99, live_staleness = measure_p99_us(reader, rng, MEASURE_QUERIES)
+        finally:
+            ingest.stop()
+    finally:
+        plane.close()
+
+    # Always record the measurement, whether or not the gate is armed.
+    with capsys.disabled():
+        print(
+            f"\n[serving SLO] p99 paused={paused_p99:.0f}us live={live_p99:.0f}us "
+            f"ratio={live_p99 / max(paused_p99, 1e-9):.2f} "
+            f"mean staleness={live_staleness:.0f}pts "
+            f"(asserted={timing_assertions_enabled()})"
+        )
+
+    assert paused_p99 > 0.0 and live_p99 > 0.0
+    assert live_staleness >= 0.0
+    if not timing_assertions_enabled():
+        return
+    assert live_p99 <= 2.0 * paused_p99, (
+        f"reader p99 under live ingest ({live_p99:.0f}us) exceeds 2x the "
+        f"ingest-paused p99 ({paused_p99:.0f}us)"
+    )

@@ -1,0 +1,167 @@
+"""Load-generator correctness: arrival process, reports, smoke runs, CLI."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import CachedCoresetTreeClusterer
+from repro.serving.loadgen import (
+    IngestLoop,
+    LoadgenConfig,
+    _arrival_delay,
+    _build_report,
+    _Samples,
+    run_plane_loadgen,
+    run_tcp_loadgen,
+)
+from repro.serving.plane import ServingPlane
+from repro.serving.server import ServerThread
+
+from serving_helpers import make_stream
+
+CONFIG = StreamingConfig(k=4, coreset_size=40, n_init=1, lloyd_iterations=4, seed=21)
+
+
+@pytest.fixture
+def warm_plane():
+    plane = ServingPlane(CachedCoresetTreeClusterer(CONFIG))
+    plane.ingest(make_stream(num_points=1000, dimension=4, seed=5))
+    yield plane
+    plane.close()
+
+
+class TestArrivalProcess:
+    def test_closed_loop_never_waits(self):
+        cfg = LoadgenConfig(rate=None)
+        rng = np.random.default_rng(0)
+        assert _arrival_delay(cfg, None, elapsed=0.0, rng=rng) == 0.0
+
+    def test_steady_rate_matches_mean(self):
+        cfg = LoadgenConfig(rate=100.0)
+        rng = np.random.default_rng(1)
+        delays = [_arrival_delay(cfg, 100.0, 0.0, rng) for _ in range(4000)]
+        assert all(delay >= 0.0 for delay in delays)
+        assert np.mean(delays) == pytest.approx(1.0 / 100.0, rel=0.1)
+
+    def test_burst_schedule_alternates_fast_and_slow_phases(self):
+        cfg = LoadgenConfig(rate=100.0, burst=True, burst_factor=4.0, burst_period=1.0)
+        rng = np.random.default_rng(2)
+        burst = np.mean([_arrival_delay(cfg, 100.0, 0.5, rng) for _ in range(2000)])
+        lull = np.mean([_arrival_delay(cfg, 100.0, 1.5, rng) for _ in range(2000)])
+        # Burst phase: 4x the rate (shorter gaps); lull phase: rate/4.
+        assert burst == pytest.approx(1.0 / 400.0, rel=0.15)
+        assert lull == pytest.approx(4.0 / 100.0, rel=0.15)
+        assert burst < lull
+
+
+class TestReport:
+    def test_build_report_aggregates_and_percentiles(self):
+        fast = _Samples(latencies=[0.001] * 99, staleness_points=[10] * 99,
+                        staleness_ms=[1.0] * 99, issued=100, served=99, shed=1)
+        slow = _Samples(latencies=[0.1], staleness_points=[500],
+                        staleness_ms=[40.0], issued=2, served=1, errors=1)
+        report = _build_report([fast, slow], duration=2.0)
+        assert report.issued == 102 and report.served == 100
+        assert report.shed == 1 and report.errors == 1
+        assert report.qps == pytest.approx(50.0)
+        assert report.p50_us == pytest.approx(1000.0)
+        assert report.p99_us > report.p50_us
+        assert report.p999_us >= report.p99_us
+        assert report.staleness_points_p99 >= report.staleness_points_mean
+        payload = report.as_dict()
+        for key in ("p50_us", "p99_us", "p999_us", "qps",
+                    "staleness_points_p99", "staleness_ms_p99"):
+            assert key in payload
+        assert "latencies_us" not in payload  # raw array stays out of JSON
+        text = report.summary()
+        assert "p99" in text and "staleness" in text
+
+    def test_empty_report_is_all_zero(self):
+        report = _build_report([_Samples()], duration=1.0)
+        assert report.served == 0 and report.p99_us == 0.0 and report.qps == 0.0
+
+
+class TestIngestLoop:
+    def test_pause_and_resume_gate_ingestion(self, warm_plane):
+        loop = IngestLoop(warm_plane, make_stream(2000, 4, seed=6), batch_size=200)
+        loop.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while loop.batches_ingested < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert loop.batches_ingested >= 2
+
+            loop.pause()
+            settled = loop.batches_ingested
+            time.sleep(0.25)
+            # At most one already-started batch can land after pause().
+            assert loop.batches_ingested <= settled + 1
+
+            loop.resume()
+            resumed_at = loop.batches_ingested
+            deadline = time.monotonic() + 10.0
+            while loop.batches_ingested == resumed_at and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert loop.batches_ingested > resumed_at
+        finally:
+            loop.stop()
+        assert not loop.is_alive()
+
+
+class TestLoadRuns:
+    def test_plane_mode_smoke(self, warm_plane):
+        cfg = LoadgenConfig(seconds=0.8, rate=None, ks=(2, 3), seed=1)
+        report = run_plane_loadgen(warm_plane, cfg, readers=2)
+        assert report.served > 0 and report.errors == 0
+        assert report.issued >= report.served
+        assert report.p99_us > 0.0
+        assert report.duration_seconds == pytest.approx(0.8, abs=0.5)
+
+    def test_tcp_mode_smoke(self, warm_plane):
+        cfg = LoadgenConfig(seconds=0.8, rate=None, ks=(2, 3), seed=2)
+        with ServerThread(warm_plane, num_workers=2) as server:
+            report = run_tcp_loadgen("127.0.0.1", server.port, cfg, clients=5)
+        assert report.served > 0 and report.errors == 0
+        assert report.p99_us > 0.0
+
+
+def _load_loadgen_tool():
+    """Import ``tools/loadgen.py`` as a module (it is a script, not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "tools" / "loadgen.py"
+    spec = importlib.util.spec_from_file_location("loadgen_tool", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLoadgenCli:
+    def test_plane_mode_cli_writes_json_report(self, tmp_path, capsys):
+        loadgen_tool = _load_loadgen_tool()
+
+        out = tmp_path / "report.json"
+        code = loadgen_tool.main(
+            [
+                "--mode", "plane",
+                "--seconds", "0.6",
+                "--readers", "2",
+                "--rate", "0",
+                "--num-points", "1500",
+                "--k", "4",
+                "--ks", "2", "3",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["served"] > 0
+        assert report["p99_us"] > 0.0
+        stdout = capsys.readouterr().out
+        assert "latency" in stdout and "staleness" in stdout

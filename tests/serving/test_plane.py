@@ -1,0 +1,218 @@
+"""Serving-plane behaviour: publication, readers, staleness, restore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.plane import ServingPlane, SnapshotUnavailable
+
+from serving_helpers import build_plane
+
+
+class TestConstruction:
+    def test_requires_coreset_backed_clusterer(self):
+        with pytest.raises(TypeError, match="CoresetServingMixin"):
+            ServingPlane(object())
+
+    def test_serving_plane_factory_on_clusterer(self, serving_config, stream_points):
+        from repro.core.driver import CachedCoresetTreeClusterer
+
+        clusterer = CachedCoresetTreeClusterer(serving_config)
+        plane = clusterer.serving_plane()
+        assert plane.clusterer is clusterer
+        assert plane.config is serving_config
+        plane.close()
+
+    def test_wrapping_warm_clusterer_publishes_immediately(
+        self, serving_config, stream_points
+    ):
+        from repro.core.driver import CachedCoresetTreeClusterer
+
+        clusterer = CachedCoresetTreeClusterer(serving_config)
+        clusterer.insert_batch(stream_points[:500])
+        with ServingPlane(clusterer) as plane:
+            assert plane.version == 1
+            assert plane.publisher.latest.points_seen == 500
+
+
+class TestPublication:
+    def test_no_snapshot_before_first_point(self, plane):
+        assert plane.version == 0
+        assert plane.publish() is None
+        with pytest.raises(SnapshotUnavailable):
+            plane.reader(seed=0).query()
+
+    def test_ingest_publishes_a_version_per_batch(self, plane, stream_points):
+        for step in range(3):
+            snapshot = plane.ingest(stream_points[step * 300 : (step + 1) * 300])
+            assert snapshot is not None
+            assert snapshot.version == step + 1
+            assert snapshot.points_seen == (step + 1) * 300
+        assert plane.version == 3
+        assert plane.points_ingested == 900
+        assert plane.staleness() == (0, 0.0)
+
+    def test_snapshot_coreset_is_frozen_and_consistent(self, plane, stream_points):
+        snapshot = plane.ingest(stream_points[:600])
+        with pytest.raises(ValueError):
+            snapshot.coreset.points[:] = 0.0
+        assert snapshot.dimension == stream_points.shape[1]
+        assert snapshot.size == snapshot.coreset.size > 0
+        # The published coreset is what the writer would assemble right now.
+        coreset, _ = plane.clusterer.collect_serving_snapshot()
+        assert np.array_equal(snapshot.coreset.points, coreset.points)
+        assert np.array_equal(snapshot.coreset.weights, coreset.weights)
+
+    def test_republish_without_new_points_keeps_version(self, plane, stream_points):
+        first = plane.ingest(stream_points[:400])
+        again = plane.publish()
+        assert again is first
+        assert plane.version == 1
+
+    def test_manual_publication_cadence(self, serving_config, plane_kind, stream_points):
+        plane = build_plane(serving_config, plane_kind, auto_publish=False)
+        try:
+            assert plane.ingest(stream_points[:300]) is None
+            assert plane.version == 0
+            snapshot = plane.publish()
+            assert snapshot.version == 1
+            # More ingest without publication: snapshot goes stale.
+            plane.ingest(stream_points[300:600])
+            behind, _ = plane.staleness()
+            assert behind == 300
+            result = plane.reader(seed=1).query()
+            assert result.version == 1
+            assert result.snapshot_points == 300
+            assert result.staleness_points == 300
+            assert result.staleness_seconds > 0.0
+        finally:
+            plane.close()
+
+
+class TestReaders:
+    def test_result_matches_direct_solve_on_snapshot(self, plane, stream_points):
+        snapshot = plane.ingest(stream_points[:800])
+        result = plane.reader(seed=42).query(3)
+        engine = plane.clusterer.query_engine.fork()
+        expected = engine.solve(snapshot.coreset, 3, np.random.default_rng(42))
+        assert np.array_equal(result.centers, expected.centers)
+        assert result.cost == expected.cost
+        assert result.k == 3
+        assert result.version == snapshot.version
+        assert result.coreset_points == snapshot.size
+        assert result.solve_seconds >= 0.0
+
+    def test_same_seed_readers_are_identical(self, plane, stream_points):
+        plane.ingest(stream_points[:800])
+        first, second = plane.reader(seed=5), plane.reader(seed=5)
+        for k in (3, 4, 3, 5):
+            a, b = first.query(k), second.query(k)
+            assert np.array_equal(a.centers, b.centers)
+            assert a.cost == b.cost
+        assert first.queries_served == second.queries_served == 4
+
+    def test_default_reader_seeds_are_deterministic(
+        self, serving_config, plane_kind, stream_points
+    ):
+        results = []
+        for _ in range(2):
+            plane = build_plane(serving_config, plane_kind)
+            try:
+                plane.ingest(stream_points[:600])
+                reader = plane.reader()  # first default-seeded reader
+                results.append(reader.query(4).centers)
+            finally:
+                plane.close()
+        assert np.array_equal(results[0], results[1])
+
+    def test_readers_do_not_perturb_each_other(
+        self, serving_config, plane_kind, stream_points
+    ):
+        # Reader A on a quiet plane vs. reader A interleaved with a noisy
+        # reader B on an identical plane: A's answers must be identical.
+        def run(noisy: bool):
+            plane = build_plane(serving_config, plane_kind)
+            try:
+                plane.ingest(stream_points[:700])
+                target = plane.reader(seed=8)
+                other = plane.reader(seed=9)
+                outputs = []
+                for k in (3, 4, 5):
+                    if noisy:
+                        other.query(k + 1)
+                        other.query_multi_k([2, 3])
+                    outputs.append(target.query(k).centers)
+                return outputs
+            finally:
+                plane.close()
+
+        quiet, noisy = run(False), run(True)
+        for a, b in zip(quiet, noisy):
+            assert np.array_equal(a, b)
+
+    def test_multi_k_serves_one_consistent_snapshot(self, plane, stream_points):
+        plane.ingest(stream_points[:500])
+        reader = plane.reader(seed=2)
+        results = reader.query_multi_k([2, 3, 4])
+        assert sorted(results) == [2, 3, 4]
+        versions = {result.version for result in results.values()}
+        positions = {result.snapshot_points for result in results.values()}
+        assert len(versions) == 1 and len(positions) == 1
+        for k, result in results.items():
+            assert result.centers.shape == (k, stream_points.shape[1])
+        assert reader.queries_served == 3
+        assert reader.last_version == plane.version
+
+    def test_reader_sees_newer_snapshot_after_ingest(self, plane, stream_points):
+        plane.ingest(stream_points[:300])
+        reader = plane.reader(seed=3)
+        first = reader.query(3)
+        plane.ingest(stream_points[300:700])
+        second = reader.query(3)
+        assert second.version > first.version
+        assert second.snapshot_points > first.snapshot_points
+
+
+class TestCheckpointRestore:
+    def test_restore_republishes_the_checkpointed_stream(
+        self, serving_config, plane_kind, stream_points, tmp_path
+    ):
+        plane = build_plane(serving_config, plane_kind)
+        original_points = None
+        try:
+            plane.ingest(stream_points[:900])
+            original = plane.publisher.latest
+            original_points = (
+                np.array(original.coreset.points), np.array(original.coreset.weights)
+            )
+            path = plane.snapshot(tmp_path / "ckpt")
+        finally:
+            plane.close()
+
+        overrides = {}
+        if plane_kind.startswith("sharded-"):
+            overrides["backend"] = plane_kind.split("-", 1)[1]
+        restored = ServingPlane.restore(path, **overrides)
+        try:
+            # Versions are a serving-session property: restored planes start at 1.
+            assert restored.version == 1
+            snapshot = restored.publisher.latest
+            assert snapshot.points_seen == 900
+            assert np.array_equal(snapshot.coreset.points, original_points[0])
+            assert np.array_equal(snapshot.coreset.weights, original_points[1])
+            result = restored.reader(seed=4).query(3)
+            assert result.version == 1
+            assert result.staleness_points == 0
+        finally:
+            restored.close()
+
+    def test_restore_refuses_non_serving_checkpoints(self, tmp_path):
+        from repro.baselines import SequentialKMeans
+        from repro.checkpoint import save_checkpoint
+
+        baseline = SequentialKMeans(3)
+        baseline.insert_batch(np.random.default_rng(0).normal(size=(50, 3)))
+        path = save_checkpoint(baseline, tmp_path / "baseline")
+        with pytest.raises(TypeError, match="cannot serve"):
+            ServingPlane.restore(path)

@@ -1,0 +1,311 @@
+"""Fault injection against the asyncio front end.
+
+Every design point of the server gets an adversarial test: malformed and
+oversized requests, overload shedding (429), a reader that raises (500 but
+the server survives), a client that stops reading (write timeout, abort,
+others unaffected), and graceful drain (in-flight answered, newcomers
+refused).  Misbehaving readers are injected through the ``reader_factory``
+hook — the same pattern the parallel stress suite uses for failing shards.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.driver import CachedCoresetTreeClusterer
+from repro.serving.client import ServingClient
+from repro.serving.plane import ServingPlane
+from repro.serving.server import ServerThread
+
+from serving_helpers import make_stream
+
+CONFIG = StreamingConfig(k=4, coreset_size=40, n_init=1, lloyd_iterations=4, seed=9)
+
+
+class SlowReader:
+    """Reader that dawdles before every sweep (holds a worker busy)."""
+
+    def __init__(self, plane: ServingPlane, delay: float) -> None:
+        self._reader = plane.reader(seed=123)
+        self._delay = delay
+
+    def query_multi_k(self, ks):
+        time.sleep(self._delay)
+        return self._reader.query_multi_k(ks)
+
+
+class FailingReader:
+    """Reader whose every sweep raises (the injected internal fault)."""
+
+    def __init__(self, plane: ServingPlane) -> None:
+        del plane
+
+    def query_multi_k(self, ks):
+        raise RuntimeError("injected reader failure")
+
+
+@pytest.fixture
+def served_plane():
+    plane = ServingPlane(CachedCoresetTreeClusterer(CONFIG))
+    plane.ingest(make_stream(num_points=1200, dimension=4, seed=3))
+    yield plane
+    plane.close()
+
+
+def raw_request(port: int, payload: bytes, timeout: float = 10.0) -> dict | None:
+    """Send raw bytes on a fresh connection; return the decoded reply line."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        handle = sock.makefile("rb")
+        line = handle.readline()
+    return json.loads(line) if line else None
+
+
+class TestProtocol:
+    def test_ping_query_sweep_and_stats(self, served_plane):
+        with ServerThread(served_plane) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                assert client.ping() == {"ok": True, "op": "ping"}
+
+                response = client.query(k=3)
+                assert response["ok"] and response["k"] == 3
+                assert response["version"] >= 1
+                assert np.asarray(response["centers"]).shape == (3, 4)
+
+                sweep = client.query_multi_k([2, 3])
+                assert sweep["ok"] and sorted(sweep["results"]) == ["2", "3"]
+                versions = {r["version"] for r in sweep["results"].values()}
+                assert len(versions) == 1
+
+                lean = client.query(k=2, include_centers=False)
+                assert lean["ok"] and "centers" not in lean
+
+                stats = client.stats()
+                assert stats["ok"] and stats["version"] >= 1
+                assert stats["stats"]["served"] >= 3
+                assert stats["stats"]["connections"] >= 1
+
+    def test_query_without_k_uses_config_default(self, served_plane):
+        with ServerThread(served_plane) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                response = client.query()
+                assert response["ok"] and response["k"] == CONFIG.k
+
+
+class TestMalformedRequests:
+    def test_bad_payloads_get_400_and_connection_survives(self, served_plane):
+        bad_payloads = [
+            {"op": "bogus"},
+            {"op": "query", "k": 0},
+            {"op": "query", "k": True},
+            {"op": "query", "k": "many"},
+            {"op": "query_multi_k", "ks": []},
+            {"op": "query_multi_k", "ks": [3, "x"]},
+            {"op": "query_multi_k"},
+        ]
+        with ServerThread(served_plane) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                for payload in bad_payloads:
+                    response = client.request(payload)
+                    assert response["ok"] is False and response["code"] == 400
+                # The same connection still serves real queries.
+                assert client.ping()["ok"]
+                assert client.query(k=2)["ok"]
+            assert server.server.stats.bad_requests == len(bad_payloads)
+
+    def test_non_json_and_non_object_lines(self, served_plane):
+        with ServerThread(served_plane) as server:
+            response = raw_request(server.port, b"{this is not json\n")
+            assert response["code"] == 400 and "malformed" in response["error"]
+            response = raw_request(server.port, b"[1, 2, 3]\n")
+            assert response["code"] == 400 and "object" in response["error"]
+
+    def test_oversized_line_rejected(self, served_plane):
+        with ServerThread(served_plane) as server:
+            blob = b"x" * (2 << 20)  # 2 MiB, over the 1 MiB line limit
+            response = raw_request(server.port, blob + b"\n")
+            assert response is not None and response["code"] == 400
+            assert "exceeds" in response["error"]
+
+    def test_empty_plane_yields_503(self):
+        plane = ServingPlane(CachedCoresetTreeClusterer(CONFIG))
+        try:
+            with ServerThread(plane) as server:
+                with ServingClient("127.0.0.1", server.port) as client:
+                    response = client.query(k=3)
+                    assert response["ok"] is False and response["code"] == 503
+        finally:
+            plane.close()
+
+
+class TestOverload:
+    def test_admission_queue_sheds_with_429(self, served_plane):
+        responses: list[dict] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def fire():
+            barrier.wait()
+            with ServingClient("127.0.0.1", port) as client:
+                response = client.query(k=3)
+            with lock:
+                responses.append(response)
+
+        with ServerThread(
+            served_plane,
+            num_workers=1,
+            batch_limit=1,
+            max_pending=1,
+            reader_factory=lambda plane: SlowReader(plane, delay=0.4),
+        ) as server:
+            port = server.port
+            threads = [threading.Thread(target=fire) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            assert len(responses) == 8
+            shed = [r for r in responses if not r["ok"]]
+            ok = [r for r in responses if r["ok"]]
+            assert ok, "at least one admitted query must be served"
+            assert shed, "with max_pending=1 and 8 concurrent clients, some must shed"
+            assert all(r["code"] == 429 for r in shed)
+            assert all("overloaded" in r["error"] for r in shed)
+            assert server.server.stats.shed == len(shed)
+
+    def test_batching_coalesces_queued_requests(self, served_plane):
+        responses: list[dict] = []
+        lock = threading.Lock()
+
+        def fire(k: int):
+            with ServingClient("127.0.0.1", port) as client:
+                response = client.query(k=k)
+            with lock:
+                responses.append(response)
+
+        with ServerThread(
+            served_plane,
+            num_workers=1,
+            batch_limit=8,
+            max_pending=64,
+            reader_factory=lambda plane: SlowReader(plane, delay=0.5),
+        ) as server:
+            port = server.port
+            # First query occupies the single worker for 0.5s...
+            head = threading.Thread(target=fire, args=(2,))
+            head.start()
+            time.sleep(0.15)
+            # ...so these queue up and are drained as ONE multi-k sweep.
+            tail = [threading.Thread(target=fire, args=(k,)) for k in (2, 3, 4, 3)]
+            for thread in tail:
+                thread.start()
+            for thread in [head, *tail]:
+                thread.join(timeout=30.0)
+
+            assert len(responses) == 5 and all(r["ok"] for r in responses)
+            assert max(r["batched"] for r in responses) >= 2
+            assert server.server.stats.batched >= 2
+
+
+class TestInjectedFaults:
+    def test_reader_exception_is_500_and_server_survives(self, served_plane):
+        with ServerThread(
+            served_plane, num_workers=1, reader_factory=FailingReader
+        ) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                for _ in range(3):
+                    response = client.query(k=3)
+                    assert response["ok"] is False and response["code"] == 500
+                    assert "internal error" in response["error"]
+                    assert "RuntimeError" in response["error"]
+                assert client.ping()["ok"]  # the connection and server live on
+            assert server.server.stats.internal_errors == 3
+
+    def test_slow_client_is_aborted_others_unaffected(self, served_plane):
+        with ServerThread(
+            served_plane,
+            num_workers=2,
+            write_timeout_s=0.4,
+            sndbuf=2048,
+        ) as server:
+            hog = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            hog.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+            hog.connect(("127.0.0.1", server.port))
+            try:
+                # Many requests, never reading a byte back: the response
+                # stream backs up until the write timeout fires.
+                request = json.dumps({"op": "query", "k": 4}).encode() + b"\n"
+                hog.sendall(request * 400)
+
+                deadline = time.monotonic() + 15.0
+                with ServingClient("127.0.0.1", server.port) as polite:
+                    while time.monotonic() < deadline:
+                        assert polite.query(k=3)["ok"]  # others keep being served
+                        if server.server.stats.slow_client_disconnects:
+                            break
+                        time.sleep(0.05)
+                assert server.server.stats.slow_client_disconnects == 1
+            finally:
+                hog.close()
+
+
+class TestDrain:
+    def test_drain_answers_inflight_then_refuses_new_connections(self, served_plane):
+        outcome: dict = {}
+
+        def slow_query():
+            with ServingClient("127.0.0.1", port, timeout=30.0) as client:
+                outcome["response"] = client.query(k=3)
+
+        server = ServerThread(
+            served_plane,
+            num_workers=1,
+            reader_factory=lambda plane: SlowReader(plane, delay=0.6),
+        )
+        port = server.port
+        inflight = threading.Thread(target=slow_query)
+        inflight.start()
+        time.sleep(0.2)  # the query is admitted and solving
+        server.stop(drain=True)
+        inflight.join(timeout=30.0)
+
+        assert outcome["response"]["ok"], "drained shutdown must answer in-flight work"
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=2.0)
+
+    def test_stop_without_drain_and_double_stop(self, served_plane):
+        server = ServerThread(served_plane)
+        server.stop(drain=False)
+        server.stop()  # idempotent
+
+
+class TestCliServe:
+    def test_cli_serve_runs_and_drains(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve",
+                "--duration",
+                "0.6",
+                "--port",
+                "0",
+                "--num-points",
+                "1500",
+                "--k",
+                "4",
+                "--dataset",
+                "covtype",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving" in output.lower()

@@ -1,0 +1,104 @@
+"""Unit tests for RCU snapshot publication: immutability, retirement, hooks."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.coreset.bucket import WeightedPointSet
+from repro.serving.snapshot import SnapshotPublisher, freeze_pointset
+
+
+def make_pointset(seed: int = 0, size: int = 16, dimension: int = 3) -> WeightedPointSet:
+    rng = np.random.default_rng(seed)
+    return WeightedPointSet(
+        points=rng.normal(size=(size, dimension)),
+        weights=rng.uniform(0.5, 2.0, size=size),
+    )
+
+
+class TestFreezePointset:
+    def test_views_are_read_only(self):
+        data = make_pointset()
+        frozen = freeze_pointset(data)
+        with pytest.raises(ValueError):
+            frozen.points[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            frozen.weights[0] = 1.0
+
+    def test_zero_copy_and_writer_unaffected(self):
+        data = make_pointset()
+        frozen = freeze_pointset(data)
+        assert np.shares_memory(frozen.points, data.points)
+        assert np.shares_memory(frozen.weights, data.weights)
+        # The writer's own arrays stay writeable: freezing is view-only.
+        data.points[0, 0] = 42.0
+        assert frozen.points[0, 0] == 42.0
+
+    def test_values_preserved(self):
+        data = make_pointset(seed=3)
+        frozen = freeze_pointset(data)
+        assert np.array_equal(frozen.points, data.points)
+        assert np.array_equal(frozen.weights, data.weights)
+        assert frozen.size == data.size
+
+
+class TestSnapshotPublisher:
+    def test_versions_monotonic_and_latest_tracks(self):
+        publisher = SnapshotPublisher()
+        assert publisher.latest is None
+        assert publisher.version == 0
+        seen = []
+        for step in range(1, 4):
+            snapshot = publisher.publish(
+                make_pointset(seed=step), points_seen=100 * step, dimension=3
+            )
+            seen.append(snapshot.version)
+            assert publisher.latest is snapshot
+            assert snapshot.points_seen == 100 * step
+        assert seen == [1, 2, 3]
+        assert publisher.version == 3
+
+    def test_published_snapshot_is_frozen(self):
+        publisher = SnapshotPublisher()
+        snapshot = publisher.publish(make_pointset(), points_seen=5, dimension=3)
+        with pytest.raises(ValueError):
+            snapshot.coreset.points[:] = 0.0
+
+    def test_subscribe_sees_every_publication(self):
+        publisher = SnapshotPublisher()
+        retained = {}
+        publisher.subscribe(lambda snapshot: retained.__setitem__(snapshot.version, snapshot))
+        for step in range(1, 5):
+            publisher.publish(make_pointset(seed=step), points_seen=step, dimension=3)
+        assert sorted(retained) == [1, 2, 3, 4]
+        assert retained[4] is publisher.latest
+
+    def test_live_retired_counts_only_reachable_snapshots(self):
+        publisher = SnapshotPublisher()
+        first = publisher.publish(make_pointset(seed=1), points_seen=1, dimension=3)
+        publisher.publish(make_pointset(seed=2), points_seen=2, dimension=3)
+        # ``first`` is retired but still referenced here.
+        assert publisher.live_retired() == 1
+        del first
+        gc.collect()
+        assert publisher.live_retired() == 0
+
+    def test_latest_never_counts_as_retired(self):
+        publisher = SnapshotPublisher()
+        publisher.publish(make_pointset(), points_seen=1, dimension=3)
+        gc.collect()
+        assert publisher.latest is not None
+        assert publisher.live_retired() == 0
+
+    def test_retired_bookkeeping_stays_bounded(self):
+        publisher = SnapshotPublisher()
+        for step in range(300):
+            publisher.publish(make_pointset(size=4), points_seen=step + 1, dimension=3)
+        gc.collect()
+        assert publisher.live_retired() == 0
+        # The weakref list is trimmed as dead references accumulate; it must
+        # not grow linearly with publication count.
+        assert len(publisher._retired) < 299
