@@ -65,6 +65,9 @@ def make_algorithm(
     shards: int = 1,
     backend: str = "serial",
     routing: str = "round_robin",
+    auto_recover: bool = False,
+    recovery_interval: int = 4096,
+    max_restarts: int = 2,
 ) -> StreamingClusterer:
     """Instantiate a streaming clusterer by its paper name.
 
@@ -87,6 +90,9 @@ def make_algorithm(
         Executor backend and routing policy for the sharded engine (see
         :class:`~repro.parallel.engine.ShardedEngine`); ignored when
         ``shards == 1``.
+    auto_recover / recovery_interval / max_restarts:
+        Crash-recovery knobs of the sharded engine (journaled replay of
+        killed workers); ignored when ``shards == 1``.
     """
     key = name.lower()
     if shards > 1:
@@ -104,6 +110,9 @@ def make_algorithm(
             routing=routing,
             structure=key,
             nesting_depth=nesting_depth,
+            auto_recover=auto_recover,
+            recovery_interval=recovery_interval,
+            max_restarts=max_restarts,
         )
     if key == "sequential":
         return SequentialKMeans(config.k)
@@ -206,6 +215,12 @@ class RunResult:
     checkpoint_seconds:
         Wall-clock seconds spent writing checkpoints (kept out of the
         update/query timing so snapshots never skew paper measurements).
+    reshards:
+        :class:`~repro.parallel.elastic.ReshardReport` for every live
+        reshard the run performed (``reshard_at``), in stream order.
+    recoveries:
+        :class:`~repro.parallel.elastic.RecoveryEvent` for every automatic
+        worker recovery the engine performed during the run.
     """
 
     algorithm: str
@@ -219,6 +234,8 @@ class RunResult:
     serving: ServingStats = field(default_factory=ServingStats)
     checkpoints: list[Path] = field(default_factory=list)
     checkpoint_seconds: float = 0.0
+    reshards: list = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
 
 
 @dataclass
@@ -278,6 +295,18 @@ class StreamingExperiment:
         the structure fingerprint covers the algorithm config, annotations
         cover the stream, so resuming against a different dataset or seed
         fails fast instead of silently splicing two streams.
+    reshard_at:
+        Optional ``{points: new_num_shards}`` schedule of live reshards:
+        once ``points_seen`` reaches a threshold (aligned to ingestion
+        block boundaries, exactly like checkpoints), the sharded engine is
+        resharded to the mapped shard count.  Requires ``shards > 1``; the
+        reports land in :attr:`RunResult.reshards`.
+    auto_recover / recovery_interval / max_restarts:
+        Crash-recovery knobs forwarded to the sharded engine: journal
+        routed blocks, refresh each shard's recovery point every
+        ``recovery_interval`` points, and transparently restart a dead
+        worker up to ``max_restarts`` times (recoveries land in
+        :attr:`RunResult.recoveries`).
     """
 
     algorithm: str
@@ -297,6 +326,10 @@ class StreamingExperiment:
     resume_from: str | Path | None = None
     resume_skip_ingested: bool = False
     stream_annotations: dict | None = None
+    reshard_at: dict[int, int] | None = None
+    auto_recover: bool = False
+    recovery_interval: int = 4096
+    max_restarts: int = 2
 
 
 def _resume_algorithm(experiment: StreamingExperiment) -> StreamingClusterer:
@@ -358,6 +391,14 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         )
     if experiment.checkpoint_interval is not None and experiment.checkpoint_interval <= 0:
         raise ValueError("checkpoint_interval must be positive")
+    if experiment.reshard_at:
+        if experiment.shards <= 1:
+            raise ValueError("reshard_at requires a sharded run (shards > 1)")
+        for at, target in experiment.reshard_at.items():
+            if int(at) <= 0 or int(target) <= 0:
+                raise ValueError(
+                    f"reshard_at entries must be positive, got {at}: {target}"
+                )
 
     if experiment.resume_from is not None:
         algorithm = _resume_algorithm(experiment)
@@ -383,6 +424,9 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
             shards=experiment.shards,
             backend=experiment.backend,
             routing=experiment.routing,
+            auto_recover=experiment.auto_recover,
+            recovery_interval=experiment.recovery_interval,
+            max_restarts=experiment.max_restarts,
         )
     try:
         return _replay(experiment, algorithm, data)
@@ -437,6 +481,25 @@ def _replay(
         )
         while next_checkpoint <= algorithm.points_seen:
             next_checkpoint += experiment.checkpoint_interval
+
+    # Live reshards fire at stream thresholds, aligned (like checkpoints) to
+    # ingestion block boundaries.  Reshard time is the engine's quiesce pause,
+    # reported per event; it is never billed as update or query time.
+    pending_reshards = sorted(
+        (int(at), int(target)) for at, target in (experiment.reshard_at or {}).items()
+    )
+    reshard_reports: list = []
+
+    def maybe_reshard() -> None:
+        while pending_reshards and algorithm.points_seen >= pending_reshards[0][0]:
+            _, target = pending_reshards.pop(0)
+            resharder = getattr(algorithm, "reshard", None)
+            if resharder is None:
+                raise ValueError(
+                    f"algorithm {experiment.algorithm!r} does not support live resharding"
+                )
+            drain_updates()
+            reshard_reports.append(resharder(target))
     # Parallel engines apply inserts asynchronously; drain the queued work
     # under the update clock before timing a query, so backlog is billed as
     # update time instead of inflating query latency.
@@ -471,6 +534,7 @@ def _replay(
             start = time.perf_counter()
             algorithm.insert_batch(block)
             timing.add_batch_update(time.perf_counter() - start, block.shape[0])
+            maybe_reshard()
             maybe_checkpoint()
             if stream.position in query_set:
                 run_query(stream.position)
@@ -479,6 +543,7 @@ def _replay(
             start = time.perf_counter()
             algorithm.insert(data[index])
             timing.add_update(time.perf_counter() - start)
+            maybe_reshard()
             maybe_checkpoint()
             if index + 1 in query_set:
                 run_query(index + 1)
@@ -513,4 +578,6 @@ def _replay(
         serving=collect_serving_stats(algorithm),
         checkpoints=checkpoints,
         checkpoint_seconds=checkpoint_seconds,
+        reshards=reshard_reports,
+        recoveries=list(getattr(algorithm, "recovery_events", ())),
     )

@@ -121,6 +121,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard routing policy (with --shards > 1)",
     )
     run.add_argument(
+        "--reshard-at",
+        action="append",
+        default=None,
+        metavar="POINTS:SHARDS",
+        help=(
+            "live-reshard the sharded engine to SHARDS shards once POINTS "
+            "stream points have been ingested (repeatable; requires "
+            "--shards > 1)"
+        ),
+    )
+    run.add_argument(
+        "--auto-recover",
+        action="store_true",
+        help=(
+            "journal routed blocks and transparently restart a crashed shard "
+            "worker from its last recovery point (with --shards > 1 on the "
+            "thread/process backends)"
+        ),
+    )
+    run.add_argument(
+        "--recovery-interval",
+        type=int,
+        default=4096,
+        help="refresh each shard's recovery point every N routed points (with --auto-recover)",
+    )
+    run.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="give up (surface the worker error) after this many restarts of one shard",
+    )
+    run.add_argument(
         "--checkpoint-to",
         type=str,
         default=None,
@@ -210,12 +242,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_reshard_at(specs: Sequence[str] | None) -> dict[int, int]:
+    """Parse repeated ``--reshard-at POINTS:SHARDS`` flags into a schedule."""
+    schedule: dict[int, int] = {}
+    for spec in specs or ():
+        at, sep, target = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            points, shards = int(at), int(target)
+        except ValueError:
+            raise ValueError(
+                f"--reshard-at expects POINTS:SHARDS, got {spec!r}"
+            ) from None
+        if points <= 0 or shards <= 0:
+            raise ValueError(
+                f"--reshard-at POINTS and SHARDS must be positive, got {spec!r}"
+            )
+        schedule[points] = shards
+    return schedule
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if args.checkpoint_interval is not None and args.checkpoint_to is None:
         print("error: --checkpoint-interval requires --checkpoint-to", file=sys.stderr)
         return 2
     if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
         print("error: --checkpoint-interval must be positive", file=sys.stderr)
+        return 2
+    try:
+        reshard_at = _parse_reshard_at(args.reshard_at)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if reshard_at and args.shards <= 1:
+        print("error: --reshard-at requires --shards > 1", file=sys.stderr)
         return 2
     info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
     config = StreamingConfig(
@@ -243,6 +304,10 @@ def _command_run(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 backend=args.backend,
                 routing=args.routing,
+                reshard_at=reshard_at or None,
+                auto_recover=args.auto_recover,
+                recovery_interval=args.recovery_interval,
+                max_restarts=args.max_restarts,
                 checkpoint_to=args.checkpoint_to,
                 checkpoint_interval=args.checkpoint_interval,
                 checkpoint_dir=checkpoint_dir,
@@ -285,6 +350,21 @@ def _command_run(args: argparse.Namespace) -> int:
         }
     ]
     print(format_table(rows, title="Run summary"))
+    if result.reshards:
+        print("\nReshards:")
+        for report in result.reshards:
+            print(
+                f"  at {report.points_represented} points: "
+                f"{report.old_num_shards} -> {report.new_num_shards} shards "
+                f"(pause {report.pause_seconds * 1e3:.1f} ms)"
+            )
+    if result.recoveries:
+        print("\nWorker recoveries:")
+        for event in result.recoveries:
+            print(
+                f"  shard {event.shard_index}: restart #{event.restarts}, "
+                f"replayed {event.replayed_blocks} blocks / {event.replayed_points} points"
+            )
     if result.checkpoints:
         print("\nCheckpoints written:")
         for path in result.checkpoints:

@@ -77,7 +77,7 @@ class DecayedCoresetClusterer(StreamingClusterer):
         self._constructor: CoresetConstructor = config.make_constructor()
         # Each entry: (summary, current decay multiplier).
         self._summaries: deque[tuple[WeightedPointSet, float]] = deque()
-        self._buffer = BucketBuffer(config.bucket_size)
+        self._buffer = BucketBuffer(config.bucket_size, dtype=config.np_dtype)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -94,13 +94,8 @@ class DecayedCoresetClusterer(StreamingClusterer):
 
     def insert(self, point: np.ndarray) -> None:
         """Buffer a point; on a full bucket, decay existing summaries and add a new one."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
-        if self._dimension is None:
-            self._dimension = row.shape[0]
-        elif row.shape[0] != self._dimension:
-            raise ValueError(
-                f"point has dimension {row.shape[0]}, expected {self._dimension}"
-            )
+        row = np.asarray(point, dtype=self.config.np_dtype).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
         self._buffer.append(row)
         self._points_seen += 1
         if self._buffer.is_full:
@@ -108,7 +103,7 @@ class DecayedCoresetClusterer(StreamingClusterer):
 
     def insert_batch(self, points: np.ndarray) -> None:
         """Insert a batch: completed buckets are zero-copy slices of the input."""
-        arr = coerce_batch(points)
+        arr = coerce_batch(points, dtype=self.config.np_dtype)
         if arr.shape[0] == 0:
             return
         self._dimension = require_dimension(self._dimension, arr.shape[1])
@@ -230,7 +225,7 @@ class SlidingWindowClusterer(StreamingClusterer):
         self.window_buckets = window_buckets
         self._constructor: CoresetConstructor = config.make_constructor()
         self._summaries: deque[WeightedPointSet] = deque(maxlen=window_buckets)
-        self._buffer = BucketBuffer(config.bucket_size)
+        self._buffer = BucketBuffer(config.bucket_size, dtype=config.np_dtype)
         self._points_seen = 0
         self._dimension: int | None = None
         self._rng = np.random.default_rng(config.seed)
@@ -247,13 +242,8 @@ class SlidingWindowClusterer(StreamingClusterer):
 
     def insert(self, point: np.ndarray) -> None:
         """Buffer a point; on a full bucket, summarise it and slide the window."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
-        if self._dimension is None:
-            self._dimension = row.shape[0]
-        elif row.shape[0] != self._dimension:
-            raise ValueError(
-                f"point has dimension {row.shape[0]}, expected {self._dimension}"
-            )
+        row = np.asarray(point, dtype=self.config.np_dtype).reshape(-1)
+        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
         self._buffer.append(row)
         self._points_seen += 1
         if self._buffer.is_full:
@@ -261,7 +251,7 @@ class SlidingWindowClusterer(StreamingClusterer):
 
     def insert_batch(self, points: np.ndarray) -> None:
         """Insert a batch: completed window buckets are zero-copy slices."""
-        arr = coerce_batch(points)
+        arr = coerce_batch(points, dtype=self.config.np_dtype)
         if arr.shape[0] == 0:
             return
         self._dimension = require_dimension(self._dimension, arr.shape[1])

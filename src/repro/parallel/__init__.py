@@ -19,10 +19,23 @@ time.  This package turns the single-threaded simulation of
 * :mod:`repro.parallel.engine` — :class:`~repro.parallel.engine.ShardedEngine`,
   the user-facing coordinator that routes batches, keeps the bounded work
   queues fed, and answers queries by merging one coreset per shard through
-  the warm-startable :class:`~repro.queries.serving.QueryEngine`.
+  the warm-startable :class:`~repro.queries.serving.QueryEngine`;
+* :mod:`repro.parallel.elastic` — elasticity primitives: the
+  :class:`~repro.parallel.elastic.RebalancePolicy` behind load-driven shard
+  migration, the reports returned by live resharding
+  (:meth:`~repro.parallel.engine.ShardedEngine.reshard`), migration, and
+  automatic crash recovery, and the exact apportionment that keeps
+  ``points_seen`` accounting lossless through N→M reshard chains.
 """
 
 from .backends import ShardWorkerError
+from .elastic import (
+    MigrationReport,
+    RebalancePolicy,
+    RecoveryEvent,
+    ReshardReport,
+    apportion_points,
+)
 from .engine import ShardedEngine
 from .routing import (
     RoutingPolicy,
@@ -33,11 +46,16 @@ from .routing import (
 from .shard import ShardSnapshot, StreamShard
 
 __all__ = [
+    "MigrationReport",
+    "RebalancePolicy",
+    "RecoveryEvent",
+    "ReshardReport",
     "RoutingPolicy",
     "ShardSnapshot",
     "ShardWorkerError",
     "ShardedEngine",
     "StreamShard",
+    "apportion_points",
     "make_router",
     "spawn_shard_seeds",
     "stable_row_hash",

@@ -16,12 +16,24 @@ checkpoint/restore of full shard state, ``close`` idempotently:
   copied into a per-shard shared-memory slab ring and announced with a tiny
   ``(slab, slot, rows)`` message, so ndarray payloads are **never pickled**;
   a semaphore over the ring's free slots is what bounds the work queue.
-  Only coreset snapshots (``m`` weighted points) travel back through a queue.
+  Only coreset snapshots (``m`` weighted points) travel back, over one
+  reply pipe per worker — never a queue shared across workers, whose
+  single write lock a killed worker could leave held forever.
 
 Worker failures never hang the coordinator: a raised exception inside a shard
 is recorded (with its traceback) and re-raised as :class:`ShardWorkerError`
 at the next ``submit``/``sync``/``collect`` call, and ``close`` always leaves
 no live worker threads or processes behind.
+
+Since the elastic-sharding work the contract also has per-shard control ops —
+``dump_state(i)``/``load_state(i, state)`` (single-shard checkpoint
+sub-snapshots), ``adopt(i, payload)`` (hand a shard an inherited coreset
+piece during reshard/migration), and ``restart_shard(i)`` (tear down one
+failed worker and start a fresh one from the original spec; the engine's
+recovery supervisor then restores state and replays the lost queue tail).
+Process-backend control replies are tagged with a per-op sequence number so
+replies from a pre-restart worker incarnation can never satisfy a later
+barrier.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import queue
 import threading
 import time
 import traceback
+from multiprocessing import connection
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -73,6 +86,16 @@ class ShardWorkerError(RuntimeError):
         self.detail = detail
 
 
+def _apply_adopt(shard: StreamShard, payload: dict) -> None:
+    """Apply one ``adopt`` control payload to a shard (shared by all backends)."""
+    from ..coreset.bucket import WeightedPointSet
+
+    piece = WeightedPointSet(points=payload["points"], weights=payload["weights"])
+    shard.adopt(
+        piece, int(payload["represented"]), reset=bool(payload.get("reset", False))
+    )
+
+
 @dataclass
 class _ShardSpec:
     """Construction recipe for one shard (picklable for process workers).
@@ -105,7 +128,8 @@ class SerialBackend:
     name = "serial"
 
     def __init__(self, specs: Sequence[_ShardSpec], queue_depth: int = 8) -> None:
-        self._shards = [spec.build() for spec in specs]
+        self._specs = list(specs)
+        self._shards = [spec.build() for spec in self._specs]
 
     @property
     def shards(self) -> list[StreamShard]:
@@ -133,6 +157,22 @@ class SerialBackend:
         for shard, state in zip(self._shards, states):
             shard.load_state(state)
 
+    def dump_state(self, shard_index: int) -> dict:
+        """Checkpoint one shard's state tree."""
+        return self._shards[shard_index].state_dict()
+
+    def load_state(self, shard_index: int, state: dict) -> None:
+        """Restore one shard from its state tree."""
+        self._shards[shard_index].load_state(state)
+
+    def adopt(self, shard_index: int, payload: dict) -> None:
+        """Hand one shard an inherited coreset piece (reshard/migration)."""
+        _apply_adopt(self._shards[shard_index], payload)
+
+    def restart_shard(self, shard_index: int) -> None:
+        """Rebuild one shard fresh from its spec (inline; nothing to kill)."""
+        self._shards[shard_index] = self._specs[shard_index].build()
+
     def stored_points(self) -> int:
         """Total weighted points held across the shards."""
         return sum(shard.stored_points() for shard in self._shards)
@@ -145,11 +185,11 @@ class SerialBackend:
 class _Request:
     """A control message awaiting a reply from a thread worker."""
 
-    kind: str  # "collect" | "sync" | "state_dump" | "state_load"
+    kind: str  # "collect" | "sync" | "state_dump" | "state_load" | "adopt"
     dimension: int = 1
     event: threading.Event = field(default_factory=threading.Event)
     snapshot: ShardSnapshot | None = None
-    payload: dict | None = None  # state tree: reply of state_dump, input of state_load
+    payload: dict | None = None  # reply of state_dump; input of state_load/adopt
     error: str | None = None
 
 
@@ -182,6 +222,8 @@ class _ShardThread(threading.Thread):
                         task.payload = self.shard.state_dict()
                     elif task.kind == "state_load":
                         self.shard.load_state(task.payload)
+                    elif task.kind == "adopt":
+                        _apply_adopt(self.shard, task.payload)
                 except BaseException:
                     self.error = traceback.format_exc()
                     task.error = self.error
@@ -225,7 +267,9 @@ class ThreadBackend:
     name = "thread"
 
     def __init__(self, specs: Sequence[_ShardSpec], queue_depth: int = 8) -> None:
-        self._workers = [_ShardThread(spec, queue_depth) for spec in specs]
+        self._specs = list(specs)
+        self._queue_depth = queue_depth
+        self._workers = [_ShardThread(spec, queue_depth) for spec in self._specs]
         for worker in self._workers:
             worker.start()
         self._closed = False
@@ -261,10 +305,55 @@ class ThreadBackend:
         requests = self._roundtrip("collect", dimension)
         return [request.snapshot for request in requests]  # type: ignore[misc]
 
+    def _roundtrip_one(
+        self, shard_index: int, kind: str, dimension: int = 1, payload: dict | None = None
+    ) -> _Request:
+        worker = self._workers[shard_index]
+        request = _Request(kind=kind, dimension=dimension, payload=payload)
+        worker.put(request)
+        if not request.event.wait(timeout=_STALL_TIMEOUT):
+            raise RuntimeError(f"shard {shard_index} barrier stalled")
+        if request.error is not None:
+            raise ShardWorkerError(shard_index, request.error)
+        return request
+
     def dump_states(self) -> list[dict]:
         """Checkpoint: capture every shard's state tree (inside its worker)."""
         requests = self._roundtrip("state_dump")
         return [request.payload for request in requests]  # type: ignore[misc]
+
+    def dump_state(self, shard_index: int) -> dict:
+        """Checkpoint one shard's state tree (a single-worker barrier)."""
+        return self._roundtrip_one(shard_index, "state_dump").payload  # type: ignore[return-value]
+
+    def load_state(self, shard_index: int, state: dict) -> None:
+        """Restore one shard from its state tree."""
+        self._roundtrip_one(shard_index, "state_load", payload=state)
+
+    def adopt(self, shard_index: int, payload: dict) -> None:
+        """Hand one shard an inherited coreset piece (reshard/migration)."""
+        self._roundtrip_one(shard_index, "adopt", payload=payload)
+
+    def restart_shard(self, shard_index: int) -> None:
+        """Replace one worker thread with a fresh one built from its spec.
+
+        The old worker keeps draining its (now orphaned) queue until the stop
+        sentinel lands, so an errored worker exits promptly; its per-request
+        events were all set when it errored, so nothing can block on it.
+        """
+        old = self._workers[shard_index]
+        deadline = time.monotonic() + _STALL_TIMEOUT
+        while True:
+            try:
+                old.tasks.put(_ShardThread._STOP, timeout=0.05)
+                break
+            except queue.Full:  # pragma: no cover - errored workers drain fast
+                if not old.is_alive() or time.monotonic() > deadline:
+                    break
+        worker = _ShardThread(self._specs[shard_index], self._queue_depth)
+        worker.start()
+        self._workers[shard_index] = worker
+        old.join(timeout=_STALL_TIMEOUT)
 
     def load_states(self, states: list[dict]) -> None:
         """Restore: ship one state tree to each worker and wait for all."""
@@ -321,14 +410,31 @@ def _attach_shared_memory(name: str):
     return shared_memory.SharedMemory(name=name)
 
 
-def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> None:
-    """Worker-process main loop: build the shard, consume tasks until stopped."""
+def _process_worker(spec: _ShardSpec, task_queue, result_conn, free_slots) -> None:
+    """Worker-process main loop: build the shard, consume tasks until stopped.
+
+    Control messages carry a coordinator-issued sequence number that is
+    echoed in every reply (insert messages carry none; they never reply).
+    The coordinator drops replies whose sequence number does not match the
+    op in flight, so a restarted shard's predecessor can never satisfy a
+    barrier with stale data.
+
+    Replies travel over a per-worker pipe, NOT a queue shared across
+    workers: a shared queue serializes writers through one cross-process
+    lock, and a worker killed inside that critical section (crash, SIGKILL,
+    fault-injection `terminate()`) would leave the lock held forever,
+    wedging every *other* shard's replies.  With one pipe per worker a
+    kill at any instant can only corrupt that worker's own channel, which
+    ``restart_shard`` replaces wholesale.  Sends happen from this (main)
+    thread — no feeder thread, so there is no window where a reply has
+    been delivered but a lock is still held.
+    """
     slabs: dict[str, object] = {}
     index = spec.shard_index
     try:
         shard = spec.build()
     except BaseException:
-        result_queue.put(("error", index, traceback.format_exc()))
+        result_conn.send(("error", index, -1, traceback.format_exc()))
         return
     try:
         while True:
@@ -336,6 +442,7 @@ def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> N
             kind = message[0]
             if kind == "stop":
                 return
+            seq = -1 if kind == "insert" else message[1]
             try:
                 if kind == "insert":
                     _, name, offset_rows, nrows, dimension, dtype_name = message
@@ -356,22 +463,28 @@ def _process_worker(spec: _ShardSpec, task_queue, result_queue, free_slots) -> N
                     free_slots.release()
                     shard.insert_batch(block)
                 elif kind == "collect":
-                    result_queue.put(("snapshot", index, shard.snapshot(message[1])))
+                    result_conn.send(
+                        ("snapshot", index, seq, shard.snapshot(message[2]))
+                    )
                 elif kind == "state_dump":
-                    result_queue.put(("state", index, shard.state_dict()))
+                    result_conn.send(("state", index, seq, shard.state_dict()))
                 elif kind == "state_load":
-                    shard.load_state(message[1])
-                    result_queue.put(("state_loaded", index))
+                    shard.load_state(message[2])
+                    result_conn.send(("state_loaded", index, seq, None))
+                elif kind == "adopt":
+                    _apply_adopt(shard, message[2])
+                    result_conn.send(("adopted", index, seq, None))
                 elif kind == "stats":
                     # Accounting only: must not touch the shard's coresets or
                     # sampling streams (keeps backends bit-equivalent).
-                    result_queue.put(("stats", index, shard.stored_points()))
+                    result_conn.send(("stats", index, seq, shard.stored_points()))
                 elif kind == "sync":
-                    result_queue.put(("synced", index))
+                    result_conn.send(("synced", index, seq, None))
             except BaseException:
-                result_queue.put(("error", index, traceback.format_exc()))
+                result_conn.send(("error", index, seq, traceback.format_exc()))
                 return
     finally:
+        result_conn.close()
         for slab in slabs.values():
             slab.close()  # type: ignore[attr-defined]
 
@@ -457,26 +570,46 @@ class ProcessBackend:
             pass
         self._queue_depth = queue_depth
         self._slot_rows = slot_rows
-        self._results = context.Queue()
         self._specs = list(specs)
         self._tasks = []
         self._semaphores = []
         self._processes = []
+        # One reply pipe per worker (parent keeps the read end).  A queue
+        # shared across workers funnels every reply through one
+        # cross-process write lock, so a worker killed mid-send poisons
+        # the lock and stalls all OTHER shards' barriers; a per-worker
+        # pipe confines kill-at-any-instant damage to the dead worker's
+        # own channel, which restart_shard discards.
+        self._result_conns: list = []
         self._rings: list[_SlabRing | None] = [None] * len(self._specs)
         self._errors: dict[int, str] = {}
+        self._op_seq = 0
         self._closed = False
         for spec in self._specs:
-            tasks = context.Queue()
-            free_slots = context.Semaphore(queue_depth)
-            process = context.Process(
-                target=_process_worker,
-                args=(spec, tasks, self._results, free_slots),
-                daemon=True,
-            )
-            process.start()
+            tasks, free_slots, conn, process = self._start_worker(spec)
             self._tasks.append(tasks)
             self._semaphores.append(free_slots)
+            self._result_conns.append(conn)
             self._processes.append(process)
+
+    def _start_worker(self, spec: _ShardSpec):
+        tasks = self._context.Queue()
+        free_slots = self._context.Semaphore(self._queue_depth)
+        recv_conn, send_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_process_worker,
+            args=(spec, tasks, send_conn, free_slots),
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the write end so a dead worker reads
+        # as EOF instead of a silent hang.
+        send_conn.close()
+        return tasks, free_slots, recv_conn, process
+
+    def _next_seq(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
 
     @property
     def shards(self) -> list[StreamShard]:
@@ -490,14 +623,21 @@ class ProcessBackend:
 
     def _note(self, message) -> None:
         if message[0] == "error":
-            self._errors[message[1]] = message[2]
+            self._errors[message[1]] = message[3]
 
     def _drain_errors(self) -> None:
-        while True:
-            try:
-                self._note(self._results.get_nowait())
-            except queue.Empty:
-                return
+        for index, conn in enumerate(self._result_conns):
+            while conn is not None and conn.poll(0):
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died; whatever it sent before dying has been
+                    # received above.  Retire the conn so an EOF-ready pipe
+                    # cannot spin poll().
+                    conn.close()
+                    self._result_conns[index] = None
+                    break
+                self._note(message)
 
     def _raise_if_failed(self) -> None:
         self._drain_errors()
@@ -557,18 +697,25 @@ class ProcessBackend:
             if time.monotonic() > deadline:
                 raise RuntimeError(f"shard {shard_index} slab ring stalled")
 
-    def _await_replies(self, wanted: str) -> dict[int, object]:
+    def _await_replies(
+        self, wanted: str, seq: int, indices: Sequence[int] | None = None
+    ) -> dict[int, object]:
+        targets = (
+            [spec.shard_index for spec in self._specs]
+            if indices is None
+            else list(indices)
+        )
         replies: dict[int, object] = {}
         deadline = time.monotonic() + _STALL_TIMEOUT
-        while len(replies) < len(self._specs):
-            missing = [
-                spec.shard_index
-                for spec in self._specs
-                if spec.shard_index not in replies
-            ]
-            try:
-                message = self._results.get(timeout=0.1)
-            except queue.Empty:
+        while len(replies) < len(targets):
+            missing = [index for index in targets if index not in replies]
+            live = {
+                index: conn
+                for index, conn in enumerate(self._result_conns)
+                if conn is not None
+            }
+            ready = connection.wait(list(live.values()), timeout=0.1) if live else []
+            if not ready:
                 self._raise_if_failed()
                 for index in missing:
                     if not self._processes[index].is_alive():
@@ -578,50 +725,120 @@ class ProcessBackend:
                 if time.monotonic() > deadline:
                     raise RuntimeError(f"shards {missing} barrier stalled")
                 continue
-            self._note(message)
-            if message[0] == "error":
-                raise ShardWorkerError(message[1], message[2])
-            if message[0] == wanted:
-                replies[message[1]] = message[2] if len(message) > 2 else None
+            for conn in ready:
+                index = next(i for i, c in live.items() if c is conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Dead worker (possibly killed mid-send, leaving a torn
+                    # message in its own pipe — never anyone else's).  The
+                    # liveness check above surfaces it as ShardWorkerError.
+                    conn.close()
+                    self._result_conns[index] = None
+                    continue
+                self._note(message)
+                if message[0] == "error":
+                    raise ShardWorkerError(message[1], message[3])
+                # Replies from a superseded op (or a pre-restart worker
+                # incarnation) carry an older seq and are discarded here.
+                if message[0] == wanted and message[2] == seq and message[1] in missing:
+                    replies[message[1]] = message[3]
         return replies
 
     def sync(self) -> None:
         """Barrier: every announced insert slot has been consumed and applied."""
         self._raise_if_failed()
+        seq = self._next_seq()
         for tasks in self._tasks:
-            tasks.put(("sync",))
-        self._await_replies("synced")
+            tasks.put(("sync", seq))
+        self._await_replies("synced", seq)
 
     def collect(self, dimension: int) -> list[ShardSnapshot]:
         """Gather one coreset snapshot per shard (computed in parallel)."""
         self._raise_if_failed()
+        seq = self._next_seq()
         for tasks in self._tasks:
-            tasks.put(("collect", dimension))
-        replies = self._await_replies("snapshot")
+            tasks.put(("collect", seq, dimension))
+        replies = self._await_replies("snapshot", seq)
         return [replies[spec.shard_index] for spec in self._specs]  # type: ignore[misc]
 
     def dump_states(self) -> list[dict]:
         """Checkpoint: fetch every worker's shard state tree (pickled once)."""
         self._raise_if_failed()
+        seq = self._next_seq()
         for tasks in self._tasks:
-            tasks.put(("state_dump",))
-        replies = self._await_replies("state")
+            tasks.put(("state_dump", seq))
+        replies = self._await_replies("state", seq)
         return [replies[spec.shard_index] for spec in self._specs]  # type: ignore[misc]
 
     def load_states(self, states: list[dict]) -> None:
         """Restore: ship one state tree into each worker process."""
         _require_state_count(len(states), len(self._specs))
         self._raise_if_failed()
+        seq = self._next_seq()
         for tasks, state in zip(self._tasks, states):
-            tasks.put(("state_load", state))
-        self._await_replies("state_loaded")
+            tasks.put(("state_load", seq, state))
+        self._await_replies("state_loaded", seq)
+
+    def dump_state(self, shard_index: int) -> dict:
+        """Checkpoint one worker's shard state tree (single-shard barrier)."""
+        self._raise_if_failed()
+        seq = self._next_seq()
+        self._tasks[shard_index].put(("state_dump", seq))
+        return self._await_replies("state", seq, indices=(shard_index,))[shard_index]  # type: ignore[return-value]
+
+    def load_state(self, shard_index: int, state: dict) -> None:
+        """Restore one worker's shard from its state tree."""
+        self._raise_if_failed()
+        seq = self._next_seq()
+        self._tasks[shard_index].put(("state_load", seq, state))
+        self._await_replies("state_loaded", seq, indices=(shard_index,))
+
+    def adopt(self, shard_index: int, payload: dict) -> None:
+        """Hand one worker an inherited coreset piece (reshard/migration)."""
+        self._raise_if_failed()
+        seq = self._next_seq()
+        self._tasks[shard_index].put(("adopt", seq, payload))
+        self._await_replies("adopted", seq, indices=(shard_index,))
+
+    def restart_shard(self, shard_index: int) -> None:
+        """Replace one dead/failed worker process with a fresh incarnation.
+
+        The old process is terminated, its slab ring destroyed (undelivered
+        slots die with the worker — the engine's recovery journal replays
+        them), pending result messages are drained, and the shard's recorded
+        error is cleared.  The fresh worker starts from the original spec;
+        the caller restores state and replays the lost tail.
+        """
+        process = self._processes[shard_index]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=10.0)
+        self._drain_errors()
+        self._errors.pop(shard_index, None)
+        ring = self._rings[shard_index]
+        if ring is not None:
+            ring.destroy()
+            self._rings[shard_index] = None
+        old_tasks = self._tasks[shard_index]
+        old_conn = self._result_conns[shard_index]
+        tasks, free_slots, conn, fresh = self._start_worker(self._specs[shard_index])
+        self._tasks[shard_index] = tasks
+        self._semaphores[shard_index] = free_slots
+        self._result_conns[shard_index] = conn
+        self._processes[shard_index] = fresh
+        old_tasks.close()
+        old_tasks.cancel_join_thread()
+        if old_conn is not None:
+            old_conn.close()
 
     def stored_points(self) -> int:
         """Total weighted points held across the worker processes."""
         self._raise_if_failed()
+        seq = self._next_seq()
         for tasks in self._tasks:
-            tasks.put(("stats",))
-        replies = self._await_replies("stats")
+            tasks.put(("stats", seq))
+        replies = self._await_replies("stats", seq)
         return sum(int(value) for value in replies.values())
 
     def close(self) -> None:
@@ -651,8 +868,9 @@ class ProcessBackend:
         for tasks in self._tasks:
             tasks.close()
             tasks.cancel_join_thread()
-        self._results.close()
-        self._results.cancel_join_thread()
+        for conn in self._result_conns:
+            if conn is not None:
+                conn.close()
 
 
 def make_backend(

@@ -26,8 +26,10 @@ harness, CLI, and benchmarks drive it like any single-structure clusterer.
 
 from __future__ import annotations
 
+import threading
+import time
 import weakref
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -44,7 +46,14 @@ from ..core.cache import CacheStats
 from ..core.serving_mixin import CoresetServingMixin
 from ..coreset.bucket import WeightedPointSet
 from ..queries.serving import QueryStats
-from .backends import BACKENDS, _ShardSpec, make_backend
+from .backends import BACKENDS, ShardWorkerError, _ShardSpec, make_backend
+from .elastic import (
+    MigrationReport,
+    RebalancePolicy,
+    RecoveryEvent,
+    ReshardReport,
+    apportion_points,
+)
 from .routing import ROUTING_POLICIES, make_router, spawn_shard_seeds
 from .shard import SHARD_STRUCTURES, ShardSnapshot, StreamShard, make_shard
 
@@ -87,6 +96,26 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
     shard_factory:
         Test hook: replaces :func:`~repro.parallel.shard.make_shard` to build
         custom shard objects (must be picklable for spawn-based workers).
+    rebalance:
+        Optional :class:`~repro.parallel.elastic.RebalancePolicy`.  When set,
+        the engine watches per-shard routed points since the last rebalance
+        and migrates a slice of the hottest shard's coreset to the coldest
+        shard (at a quiesce point) whenever the policy triggers.
+    auto_recover:
+        Opt-in crash recovery.  The engine keeps a per-shard recovery point
+        (the shard's checkpoint sub-snapshot) plus a journal of the blocks
+        submitted since, and on a :class:`~repro.parallel.backends.
+        ShardWorkerError` restarts the failed worker, restores the recovery
+        point, and replays the journal tail instead of surfacing the error.
+        The serial backend runs shards inline and is not covered (a failure
+        there is a plain exception in the caller, not a lost worker).
+    recovery_interval:
+        Points routed to a shard between recovery-point refreshes (each
+        refresh is a single-shard state dump; the journal tail is truncated).
+    max_restarts:
+        Per-shard restart budget; a shard that keeps failing past it (e.g. a
+        deterministic bug replayed from the journal) surfaces its
+        ``ShardWorkerError`` as before.
     """
 
     checkpoint_name = "sharded"
@@ -103,6 +132,10 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         slot_rows: int | None = None,
         start_method: str | None = None,
         shard_factory=None,
+        rebalance: RebalancePolicy | None = None,
+        auto_recover: bool = False,
+        recovery_interval: int = 4096,
+        max_restarts: int = 2,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -117,6 +150,10 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
                 f"unknown shard structure {structure!r}; "
                 f"available: {tuple(SHARD_STRUCTURES)}"
             )
+        if recovery_interval <= 0:
+            raise ValueError("recovery_interval must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
         self.config = config
         self.routing = routing
         self.backend_name = backend
@@ -124,20 +161,11 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         self._nesting_depth = nesting_depth
         self._queue_depth = queue_depth
         self._start_method = start_method
+        self._shard_factory = (
+            shard_factory if shard_factory is not None else make_shard
+        )
         self._router = make_router(routing, num_shards, seed=config.seed)
-        seeds = spawn_shard_seeds(config.seed, num_shards)
-        factory = shard_factory if shard_factory is not None else make_shard
-        specs = [
-            _ShardSpec(
-                config=config,
-                shard_index=index,
-                seed=seeds[index],
-                structure=structure,
-                nesting_depth=nesting_depth,
-                factory=factory,
-            )
-            for index in range(num_shards)
-        ]
+        specs = self._build_specs(num_shards)
         if slot_rows is None:
             slot_rows = max(1024, 2 * config.bucket_size)
         self._slot_rows = slot_rows
@@ -161,6 +189,44 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         self._engine = config.make_query_engine()
         self._last_query_stats: QueryStats | None = None
         self._last_snapshots: list[ShardSnapshot] | None = None
+        # Elasticity: one re-entrant lock serializes ingest/queries against
+        # reshard/migration/recovery, so a serving plane (or any concurrent
+        # caller) always observes the engine either fully before or fully
+        # after an elastic operation.
+        self._elastic_lock = threading.RLock()
+        self._rebalance = rebalance
+        self._window_loads = [0] * num_shards
+        self._reshard_history: list[ReshardReport] = []
+        self._migration_history: list[MigrationReport] = []
+        self._recovery_events: list[RecoveryEvent] = []
+        self._restarts = [0] * num_shards
+        self._auto_recover = bool(auto_recover)
+        self._recovery_interval = int(recovery_interval)
+        self._max_restarts = int(max_restarts)
+        self._journal: list[list[np.ndarray]] | None = None
+        self._journal_points: list[int] = []
+        self._shard_states: list[dict] = []
+        if self._auto_recover:
+            self._init_recovery_points()
+
+    def _build_specs(self, num_shards: int) -> list[_ShardSpec]:
+        seeds = spawn_shard_seeds(self.config.seed, num_shards)
+        return [
+            _ShardSpec(
+                config=self.config,
+                shard_index=index,
+                seed=seeds[index],
+                structure=self.structure_name,
+                nesting_depth=self._nesting_depth,
+                factory=self._shard_factory,
+            )
+            for index in range(num_shards)
+        ]
+
+    def _init_recovery_points(self) -> None:
+        self._journal = [[] for _ in range(self._num_shards)]
+        self._journal_points = [0] * self._num_shards
+        self._shard_states = self._backend.dump_states()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -215,8 +281,9 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
 
     def flush(self) -> None:
         """Barrier: block until every queued insert has been applied."""
-        self._require_open()
-        self._backend.sync()
+        with self._elastic_lock:
+            self._require_open()
+            self._with_recovery(self._backend.sync)
 
     def last_snapshots(self) -> list[ShardSnapshot] | None:
         """Per-shard snapshots gathered by the most recent query (None before one)."""
@@ -250,13 +317,17 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         its buffer — matching every other ``insert()`` in the package even
         when the backend applies the row asynchronously.
         """
-        self._require_open()
-        row = np.array(point, dtype=self.config.np_dtype, copy=True).reshape(-1)
-        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
-        shard_index = self._router.route_point(row)
-        self._backend.submit(shard_index, row.reshape(1, -1))
-        self._loads[shard_index] += 1
-        self._points_seen += 1
+        with self._elastic_lock:
+            self._require_open()
+            row = np.array(point, dtype=self.config.np_dtype, copy=True).reshape(-1)
+            self._dimension = require_dimension(
+                self._dimension, row.shape[0], what="point"
+            )
+            shard_index = self._router.route_point(row)
+            self._submit_block(shard_index, row.reshape(1, -1))
+            self._loads[shard_index] += 1
+            self._window_loads[shard_index] += 1
+            self._points_seen += 1
 
     def insert_batch(self, points: np.ndarray) -> None:
         """Partition a batch across the shards and enqueue the blocks.
@@ -267,38 +338,302 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         must not mutate the array afterwards (the same aliasing contract as
         :meth:`~repro.core.driver.StreamClusterDriver.insert_batch`).
         """
-        self._require_open()
-        arr = coerce_batch(points, dtype=self.config.np_dtype)
-        n = arr.shape[0]
-        if n == 0:
+        with self._elastic_lock:
+            self._require_open()
+            arr = coerce_batch(points, dtype=self.config.np_dtype)
+            n = arr.shape[0]
+            if n == 0:
+                return
+            self._dimension = require_dimension(self._dimension, arr.shape[1])
+            for shard_index, block in self._router.split_batch(arr):
+                self._submit_block(shard_index, block)
+                self._loads[shard_index] += block.shape[0]
+                self._window_loads[shard_index] += block.shape[0]
+            self._points_seen += n
+            if self._rebalance is not None:
+                self._maybe_rebalance()
+
+    # -- elasticity: crash recovery -------------------------------------------
+
+    def _submit_block(self, shard_index: int, block: np.ndarray) -> None:
+        """Submit one routed block, journaling it after the submit succeeds.
+
+        Journal-after-success makes replay exactly-once: a block whose submit
+        failed is not yet journaled, so recovery replays only the previously
+        accepted tail and the failed block is then retried on the fresh
+        worker by :meth:`_with_recovery`.
+        """
+        self._with_recovery(lambda: self._backend.submit(shard_index, block))
+        if self._journal is None:
             return
-        self._dimension = require_dimension(self._dimension, arr.shape[1])
-        for shard_index, block in self._router.split_batch(arr):
-            self._backend.submit(shard_index, block)
-            self._loads[shard_index] += block.shape[0]
-        self._points_seen += n
+        self._journal[shard_index].append(block)
+        self._journal_points[shard_index] += block.shape[0]
+        if self._journal_points[shard_index] >= self._recovery_interval:
+            self._refresh_recovery_point(shard_index)
+
+    def _refresh_recovery_point(self, shard_index: int) -> None:
+        """Advance one shard's recovery point and truncate its journal tail."""
+        state = self._with_recovery(lambda: self._backend.dump_state(shard_index))
+        self._shard_states[shard_index] = state
+        self._journal[shard_index].clear()
+        self._journal_points[shard_index] = 0
+
+    def _with_recovery(self, op: Callable):
+        """Run one backend op, transparently recovering failed workers.
+
+        Each :class:`ShardWorkerError` triggers at most ``max_restarts``
+        recoveries per shard; a shard that fails deterministically (the
+        replayed journal re-triggers the fault) exhausts its budget and the
+        error surfaces exactly as it did before auto-recovery existed.
+        """
+        while True:
+            try:
+                return op()
+            except ShardWorkerError as exc:
+                self._recover_from(exc)
+
+    def _recover_from(self, exc: ShardWorkerError) -> None:
+        """Restart the failed worker from its recovery point, or re-raise."""
+        index = exc.shard_index
+        if (
+            self._journal is None
+            or self.backend_name == "serial"
+            or not hasattr(self._backend, "restart_shard")
+            or not 0 <= index < self._num_shards
+            or self._restarts[index] >= self._max_restarts
+        ):
+            raise exc
+        self._restarts[index] += 1
+        self._backend.restart_shard(index)
+        self._backend.load_state(index, self._shard_states[index])
+        blocks = list(self._journal[index])
+        for block in blocks:
+            self._backend.submit(index, block)
+        self._recovery_events.append(
+            RecoveryEvent(
+                shard_index=index,
+                restarts=self._restarts[index],
+                replayed_blocks=len(blocks),
+                replayed_points=int(sum(block.shape[0] for block in blocks)),
+            )
+        )
+
+    @property
+    def recovery_events(self) -> list[RecoveryEvent]:
+        """Automatic worker recoveries performed so far (oldest first)."""
+        return list(self._recovery_events)
+
+    # -- elasticity: live resharding ------------------------------------------
+
+    def reshard(self, new_num_shards: int) -> ReshardReport:
+        """Live-reshard N→M shards at a quiesce point, losslessly.
+
+        Quiesces via the ``sync`` barrier, collects every shard's local
+        coreset (structure coreset ∪ partial-bucket tail — nothing in flight
+        is lost), unions them (Observation 1), tears the old backend down,
+        and deals the union back out to ``new_num_shards`` fresh shards as
+        inherited mass, splitting round-robin so every piece carries a
+        cross-section of the stream.  The router is rebuilt for the new
+        count (``spawn_shard_seeds`` is shard-count-stable, so shard ``i``'s
+        sampling stream is the same one it would have had in a fresh
+        M-shard engine) and ``points_seen`` is re-apportioned exactly across
+        the new shards in proportion to inherited coreset weight.
+        """
+        with self._elastic_lock:
+            self._require_open()
+            if new_num_shards <= 0:
+                raise ValueError("new_num_shards must be positive")
+            start = time.perf_counter()
+            old_num_shards = self._num_shards
+            self._with_recovery(self._backend.sync)
+            dimension = self._dimension if self._dimension is not None else 1
+            snapshots = self._with_recovery(
+                lambda: self._backend.collect(dimension)
+            )
+            union = WeightedPointSet.union_all(
+                [s.coreset for s in snapshots if s.points.shape[0]],
+                dimension=dimension,
+            )
+            self._finalizer.detach()
+            self._backend.close()
+            self._backend = make_backend(
+                self.backend_name,
+                self._build_specs(new_num_shards),
+                queue_depth=self._queue_depth,
+                slot_rows=self._slot_rows,
+                start_method=self._start_method,
+            )
+            self._finalizer = weakref.finalize(self, self._backend.close)
+            self._router = make_router(
+                self.routing, new_num_shards, seed=self.config.seed
+            )
+            self._num_shards = new_num_shards
+            pieces = [
+                WeightedPointSet(
+                    points=union.points[index::new_num_shards],
+                    weights=union.weights[index::new_num_shards],
+                )
+                for index in range(new_num_shards)
+            ]
+            counts = apportion_points(
+                [piece.total_weight for piece in pieces], self._points_seen
+            )
+            for index, (piece, represented) in enumerate(zip(pieces, counts)):
+                if piece.size == 0 and represented == 0:
+                    continue
+                self._backend.adopt(
+                    index,
+                    {
+                        "points": piece.points,
+                        "weights": piece.weights,
+                        "represented": represented,
+                        "reset": False,
+                    },
+                )
+            self._loads = list(counts)
+            self._window_loads = [0] * new_num_shards
+            self._restarts = [0] * new_num_shards
+            self._last_snapshots = None
+            if self._auto_recover:
+                self._init_recovery_points()
+            report = ReshardReport(
+                old_num_shards=old_num_shards,
+                new_num_shards=new_num_shards,
+                coreset_points=union.size,
+                points_represented=self._points_seen,
+                pause_seconds=time.perf_counter() - start,
+            )
+            self._reshard_history.append(report)
+            return report
+
+    @property
+    def reshard_history(self) -> list[ReshardReport]:
+        """Reports of every :meth:`reshard` performed (oldest first)."""
+        return list(self._reshard_history)
+
+    # -- elasticity: load-driven migration ------------------------------------
+
+    def migrate(
+        self, source: int, dest: int, fraction: float = 0.5
+    ) -> MigrationReport:
+        """Move a slice of ``source``'s coreset mass to ``dest`` at a quiesce.
+
+        The slice is an evenly strided ``fraction`` of the source shard's
+        local coreset (so it carries a cross-section, not a time-prefix).
+        The source is reset and re-adopts its kept slice; the destination
+        adopts the moved slice on top of its own state; ``points_seen``
+        moves between the two ledgers proportionally to coreset weight, so
+        totals are preserved exactly.  Hash routing also reassigns virtual
+        buckets so *future* points follow the moved mass.
+        """
+        with self._elastic_lock:
+            self._require_open()
+            if not 0 <= source < self._num_shards:
+                raise ValueError(f"source shard {source} out of range")
+            if not 0 <= dest < self._num_shards:
+                raise ValueError(f"dest shard {dest} out of range")
+            if source == dest:
+                raise ValueError("source and dest must differ")
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+            start = time.perf_counter()
+            self._with_recovery(self._backend.sync)
+            dimension = self._dimension if self._dimension is not None else 1
+            snapshots = self._with_recovery(
+                lambda: self._backend.collect(dimension)
+            )
+            coreset = snapshots[source].coreset
+            move = np.zeros(coreset.size, dtype=bool)
+            target = int(round(coreset.size * fraction))
+            if target > 0 and coreset.size > 0:
+                move[
+                    np.unique(
+                        np.linspace(0, coreset.size - 1, target)
+                        .round()
+                        .astype(np.intp)
+                    )
+                ] = True
+            moved_weight = float(np.sum(coreset.weights[move]))
+            kept_weight = float(np.sum(coreset.weights[~move]))
+            source_points = snapshots[source].points_seen
+            moved_represented, kept_represented = apportion_points(
+                [moved_weight, kept_weight], source_points
+            )
+            self._backend.adopt(
+                source,
+                {
+                    "points": coreset.points[~move],
+                    "weights": coreset.weights[~move],
+                    "represented": kept_represented,
+                    "reset": True,
+                },
+            )
+            self._backend.adopt(
+                dest,
+                {
+                    "points": coreset.points[move],
+                    "weights": coreset.weights[move],
+                    "represented": moved_represented,
+                    "reset": False,
+                },
+            )
+            slots = self._router.reassign(source, dest, fraction)
+            self._loads[source] -= moved_represented
+            self._loads[dest] += moved_represented
+            self._window_loads = [0] * self._num_shards
+            self._last_snapshots = None
+            if self._journal is not None:
+                for index in (source, dest):
+                    self._refresh_recovery_point(index)
+            report = MigrationReport(
+                source=source,
+                dest=dest,
+                moved_coreset_points=int(np.count_nonzero(move)),
+                moved_points_represented=moved_represented,
+                router_slots_moved=slots,
+                pause_seconds=time.perf_counter() - start,
+            )
+            self._migration_history.append(report)
+            return report
+
+    def _maybe_rebalance(self) -> None:
+        decision = self._rebalance.decide(self._window_loads)
+        if decision is None:
+            return
+        source, dest = decision
+        self.migrate(source, dest, fraction=self._rebalance.fraction)
+
+    @property
+    def migration_history(self) -> list[MigrationReport]:
+        """Reports of every migration performed (oldest first)."""
+        return list(self._migration_history)
 
     # -- queries (through the shared serving pipeline) ------------------------
 
     def query(self) -> QueryResult:
         """Merge every shard's coreset and extract ``k`` centers globally."""
-        self._require_open()
-        return self._serve_query(self.config.k)
+        with self._elastic_lock:
+            self._require_open()
+            return self._serve_query(self.config.k)
 
     def query_multi_k(self, ks: Sequence[int]) -> dict[int, QueryResult]:
         """Answer a batched k-sweep from ONE cross-shard coreset collection."""
-        self._require_open()
-        return self._serve_multi_k(ks)
+        with self._elastic_lock:
+            self._require_open()
+            return self._serve_multi_k(ks)
 
     def _coreset_pieces(self) -> WeightedPointSet:
         """Collect one coreset per shard and union them (Observation 1)."""
-        dimension = self._dimension or 1
-        snapshots = self._backend.collect(dimension)
-        self._last_snapshots = snapshots
-        pieces = [
-            snapshot.coreset for snapshot in snapshots if snapshot.points.shape[0]
-        ]
-        return WeightedPointSet.union_all(pieces, dimension=dimension)
+        with self._elastic_lock:
+            dimension = self._dimension or 1
+            snapshots = self._with_recovery(
+                lambda: self._backend.collect(dimension)
+            )
+            self._last_snapshots = snapshots
+            pieces = [
+                snapshot.coreset for snapshot in snapshots if snapshot.points.shape[0]
+            ]
+            return WeightedPointSet.union_all(pieces, dimension=dimension)
 
     def collect_serving_snapshot(self) -> tuple[WeightedPointSet, CacheStats | None]:
         """Writer-plane snapshot assembly (union of per-shard coresets).
@@ -306,9 +641,13 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
         ``collect`` is a worker barrier on the thread/process backends, so
         the published snapshot reflects every insert submitted before the
         publish — the serving plane's ingest lock keeps this writer-only.
+        The elastic lock additionally serializes it against a concurrent
+        :meth:`reshard`/:meth:`migrate`, so a mid-reshard engine is never
+        observed half-built.
         """
-        self._require_open()
-        return super().collect_serving_snapshot()
+        with self._elastic_lock:
+            self._require_open()
+            return super().collect_serving_snapshot()
 
     def _structure_cache_stats(self) -> CacheStats | None:
         return self.cache_stats()
@@ -322,8 +661,9 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
 
     def stored_points(self) -> int:
         """Total weighted points held across all shards."""
-        self._require_open()
-        return self._backend.stored_points()
+        with self._elastic_lock:
+            self._require_open()
+            return self._with_recovery(self._backend.stored_points)
 
     # -- checkpointing -------------------------------------------------------
 
@@ -349,23 +689,25 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
     def _state_tree(self) -> dict:
         from ..checkpoint.state import rng_state
 
-        self._require_open()
-        # Quiesce: apply every queued insert before cutting the snapshot, so
-        # coordinator counters and shard states describe the same stream
-        # position.  (_shard_trees below captures the workers afterwards.)
-        self._backend.sync()
-        return {
-            "points_seen": self._points_seen,
-            "dimension": self._dimension,
-            "loads": list(self._loads),
-            "rng": rng_state(self._rng),
-            "engine": self._engine.state_dict(),
-            "router": self._router.state_dict(),
-        }
+        with self._elastic_lock:
+            self._require_open()
+            # Quiesce: apply every queued insert before cutting the snapshot,
+            # so coordinator counters and shard states describe the same
+            # stream position.  (_shard_trees below captures the workers.)
+            self._with_recovery(self._backend.sync)
+            return {
+                "points_seen": self._points_seen,
+                "dimension": self._dimension,
+                "loads": list(self._loads),
+                "rng": rng_state(self._rng),
+                "engine": self._engine.state_dict(),
+                "router": self._router.state_dict(),
+            }
 
     def _shard_trees(self) -> list[dict]:
-        self._require_open()
-        return self._backend.dump_states()
+        with self._elastic_lock:
+            self._require_open()
+            return self._with_recovery(self._backend.dump_states)
 
     @classmethod
     def _from_checkpoint(cls, manifest, state, shards, **overrides):
@@ -416,6 +758,13 @@ class ShardedEngine(CoresetServingMixin, StreamingClusterer):
     # -- compatibility -------------------------------------------------------
 
     def _route(self, point: np.ndarray) -> int:
-        """Shard index for one point (kept for the simulation-era API)."""
-        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        """Shard index for one point (kept for the simulation-era API).
+
+        The row is coerced to the configured storage dtype BEFORE routing —
+        the same coercion :meth:`insert` applies — so under
+        ``dtype="float32"`` with hash routing this names the shard the point
+        actually lands on (hashing the raw float64 row could disagree with
+        the quantized row's hash).
+        """
+        row = np.asarray(point, dtype=self.config.np_dtype).reshape(-1)
         return self._router.route_point(row)

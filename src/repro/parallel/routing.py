@@ -47,6 +47,11 @@ ROUTING_POLICIES: tuple[str, ...] = ("round_robin", "hash", "random")
 # against the simulation-era DistributedCoordinator).
 _ROUTE_SEED_OFFSET = 10_007
 
+# Virtual buckets per shard for hash routing.  The identity-mod default table
+# makes `table[h % (n*slots)] == h % n`, so the slot count is invisible until
+# a migration moves buckets; 16 gives migrations ~6% granularity per slot.
+_VIRTUAL_SLOTS_PER_SHARD = 16
+
 _FNV_OFFSET = np.uint64(0xCBF29CE484222325)
 _FNV_PRIME = np.uint64(0x100000001B3)
 _MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -134,6 +139,16 @@ class Router:
     def load_state(self, state: dict) -> None:
         """Restore router state from :meth:`state_dict` output."""
 
+    def reassign(self, source: int, dest: int, fraction: float) -> int:
+        """Shift a fraction of ``source``'s future routing share to ``dest``.
+
+        Returns how many internal assignment slots moved.  The default is 0:
+        round-robin and random routing balance load by construction, so a
+        migration needs no routing change — only content-hash routing, whose
+        assignment is pinned to point values, overrides this.
+        """
+        return 0
+
     def _blocks_from_assignments(
         self, arr: np.ndarray, assignments: np.ndarray
     ) -> list[tuple[int, np.ndarray]]:
@@ -182,23 +197,55 @@ class RoundRobinRouter(Router):
 
 
 class HashRouter(Router):
-    """Stateless content-hash partitioning via :func:`stable_row_hash`.
+    """Content-hash partitioning via :func:`stable_row_hash` and virtual buckets.
 
-    The assignment of a point depends only on its coordinates and the shard
-    count, so routing is invariant to batch boundaries: the same points split
-    into different batches always land on the same shards.
+    The hash picks one of ``num_shards * _VIRTUAL_SLOTS_PER_SHARD`` virtual
+    buckets; an assignment table maps virtual buckets to shards.  The default
+    table is the identity-mod layout, under which ``table[h % (n*s)]`` equals
+    the historical ``h % n`` — so a fresh router reproduces the pre-elastic
+    assignment bit-for-bit, routing stays invariant to batch boundaries, and
+    only :meth:`reassign` (shard migration) ever bends the map.
     """
 
     policy = "hash"
 
+    def __init__(self, num_shards: int) -> None:
+        super().__init__(num_shards)
+        self._table = (
+            np.arange(num_shards * _VIRTUAL_SLOTS_PER_SHARD, dtype=np.intp)
+            % num_shards
+        )
+
     def route_point(self, row: np.ndarray) -> int:
-        """Shard keyed by the point's content hash (stateless)."""
-        return int(stable_row_hash(row)[0] % np.uint64(self.num_shards))
+        """Shard keyed by the point's content hash through the bucket table."""
+        bucket = int(stable_row_hash(row)[0] % np.uint64(self._table.shape[0]))
+        return int(self._table[bucket])
 
     def split_batch(self, arr: np.ndarray) -> list[tuple[int, np.ndarray]]:
         """One vectorized hash pass, then a boolean-mask block per shard."""
-        assignments = (stable_row_hash(arr) % np.uint64(self.num_shards)).astype(np.intp)
-        return self._blocks_from_assignments(arr, assignments)
+        buckets = (
+            stable_row_hash(arr) % np.uint64(self._table.shape[0])
+        ).astype(np.intp)
+        return self._blocks_from_assignments(arr, self._table[buckets])
+
+    def reassign(self, source: int, dest: int, fraction: float) -> int:
+        """Move ``fraction`` of ``source``'s virtual buckets to ``dest``."""
+        owned = np.flatnonzero(self._table == source)
+        moved = min(int(np.ceil(owned.shape[0] * fraction)), owned.shape[0])
+        if moved <= 0:
+            return 0
+        self._table[owned[:moved]] = dest
+        return moved
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: the virtual-bucket assignment table."""
+        return {"table": self._table.tolist()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the table (pre-elastic checkpoints keep the identity map)."""
+        table = state.get("table")
+        if table is not None:
+            self._table = np.asarray(table, dtype=np.intp)
 
 
 class RandomRouter(Router):

@@ -117,6 +117,7 @@ class StreamShard:
         self.shard_index = shard_index
         self.config = config
         self.structure_name = structure
+        self._nesting_depth = nesting_depth
         if seed is None and config.seed is not None:
             from .routing import spawn_shard_seeds
 
@@ -132,6 +133,12 @@ class StreamShard:
         self._buffer = BucketBuffer(config.bucket_size, dtype=self._dtype)
         self._dimension: int | None = None
         self.points_seen = 0
+        # Coreset mass adopted from elsewhere (reshard split pieces, migrated
+        # hot-shard slices).  Inherited points are exact weighted points — no
+        # sketch, because each shard's JL projection is keyed to its own seed
+        # and cross-shard sketches would mix projection spaces.
+        self._inherited: WeightedPointSet | None = None
+        self._inherited_points = 0
 
     @property
     def structure(self):
@@ -180,28 +187,86 @@ class StreamShard:
                 block, sketch=sketch_for(self._sketcher, block)
             )
             coreset = coreset.union(partial) if coreset.size else partial
+        if self._inherited is not None and self._inherited.size:
+            coreset = coreset.union(self._inherited) if coreset.size else self._inherited
         if coreset.size == 0:
             return WeightedPointSet.empty(dimension, dtype=self._dtype)
         return coreset
 
     def stored_points(self) -> int:
-        """Points held by this shard (structure plus partial bucket)."""
-        return self._structure.stored_points() + self._buffer.size
+        """Points held by this shard (structure, partial bucket, inherited mass)."""
+        inherited = self._inherited.size if self._inherited is not None else 0
+        return self._structure.stored_points() + self._buffer.size + inherited
+
+    # -- elasticity ----------------------------------------------------------
+
+    def adopt(
+        self, piece: WeightedPointSet, points_represented: int, reset: bool = False
+    ) -> None:
+        """Take ownership of a coreset piece built elsewhere (reshard/migration).
+
+        The piece joins this shard's query contribution as inherited mass —
+        sound by Observation 1, since the union of coresets is a coreset of
+        the union.  ``points_represented`` is the number of stream points the
+        piece stands for; it is added to :attr:`points_seen` so cross-shard
+        accounting stays exact through reshards.  With ``reset=True`` the
+        shard's own stream state (structure, partial bucket, previously
+        inherited mass) is discarded first — the migration-source case, where
+        the kept slice of the shard's coreset arrives back as ``piece``.
+        """
+        if reset:
+            self.reset()
+        if piece.size:
+            self._dimension = require_dimension(self._dimension, piece.dimension)
+            if piece.points.dtype != self._dtype or piece.sketch is not None:
+                piece = WeightedPointSet(
+                    points=np.asarray(piece.points, dtype=self._dtype),
+                    weights=piece.weights,
+                )
+            if self._inherited is None or self._inherited.size == 0:
+                self._inherited = piece
+            else:
+                self._inherited = self._inherited.union(piece)
+        self._inherited_points += int(points_represented)
+        self.points_seen += int(points_represented)
+
+    def reset(self) -> None:
+        """Discard all stream state; keep config, seed, and sampling position.
+
+        The constructor (and its RNG position) is retained so the shard's
+        sampling stream continues rather than replays — a reset shard is a
+        fresh structure fed by the same entropy source.
+        """
+        self._structure = SHARD_STRUCTURES[self.structure_name](
+            self._constructor, self.config, self._nesting_depth
+        )
+        self._buffer = BucketBuffer(self.config.bucket_size, dtype=self._dtype)
+        self._inherited = None
+        self._inherited_points = 0
+        self.points_seen = 0
 
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> dict:
         """Checkpoint state: structure, partial bucket, and sampling streams."""
-        return {
+        state = {
             "points_seen": self.points_seen,
             "dimension": self._dimension,
             "buffer": self._buffer.state_dict(),
             "constructor": self._constructor.state_dict(),
             "structure": self._structure.state_dict(),
         }
+        if self._inherited is not None and self._inherited.size:
+            state["inherited"] = self._inherited.state_dict()
+            state["inherited_points"] = self._inherited_points
+        return state
 
     def load_state(self, state: dict) -> None:
-        """Restore this shard from :meth:`state_dict` output."""
+        """Restore this shard from :meth:`state_dict` output.
+
+        Pre-elastic state trees carry no ``inherited`` key and load as
+        shards without inherited mass.
+        """
         self.points_seen = int(state["points_seen"])
         self._dimension = (
             None if state["dimension"] is None else int(state["dimension"])
@@ -209,6 +274,11 @@ class StreamShard:
         self._buffer.load_state(state["buffer"])
         self._constructor.load_state(state["constructor"])
         self._structure.load_state(state["structure"])
+        inherited = state.get("inherited")
+        self._inherited = (
+            None if inherited is None else WeightedPointSet.from_state(inherited)
+        )
+        self._inherited_points = int(state.get("inherited_points", 0))
 
     def snapshot(self, dimension: int) -> ShardSnapshot:
         """Materialise the shard's coreset and counters for the coordinator."""

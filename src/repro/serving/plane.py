@@ -177,6 +177,28 @@ class ServingPlane:
         with self._ingest_lock:
             return self._publish_locked()
 
+    def reshard(self, new_num_shards: int):
+        """Reshard the wrapped engine in place without dropping readers.
+
+        Takes the ingest lock for the duration of the quiesce so no batch
+        races the backend teardown, then republishes.  The redistributed
+        union coreset represents the same stream position, so readers see
+        either the pre- or post-reshard snapshot — both summarise identical
+        data — and never an intermediate state.  Only sharded engines
+        expose :meth:`~repro.parallel.engine.ShardedEngine.reshard`; other
+        clusterers raise ``TypeError``.
+        """
+        resharder = getattr(self._clusterer, "reshard", None)
+        if resharder is None:
+            raise TypeError(
+                f"{type(self._clusterer).__name__} does not support resharding; "
+                "wrap a ShardedEngine to use ServingPlane.reshard"
+            )
+        with self._ingest_lock:
+            report = resharder(int(new_num_shards))
+            self._publish_locked()
+        return report
+
     def _publish_locked(self) -> CoresetSnapshot | None:
         if self._clusterer.points_seen == 0:
             return None

@@ -132,3 +132,63 @@ class TestSlidingWindowClusterer:
         clusterer = SlidingWindowClusterer(config)
         clusterer.insert_many(blob_points[:91])
         assert clusterer.points_seen == 91
+
+
+class TestStorageDtypePolicy:
+    """Regression: both clusterers must honour ``config.dtype`` end to end.
+
+    Before the fix, ``insert`` coerced every row to float64 regardless of the
+    configured storage dtype and ``insert_batch`` dropped ``config.dtype`` on
+    the floor, so a ``dtype="float32"`` configuration silently buffered,
+    summarised, and clustered in double precision.
+    """
+
+    CLUSTERERS = (DecayedCoresetClusterer, SlidingWindowClusterer)
+
+    @staticmethod
+    def _f32_config() -> StreamingConfig:
+        return StreamingConfig(
+            k=2, coreset_size=20, n_init=1, lloyd_iterations=2, seed=0, dtype="float32"
+        )
+
+    @staticmethod
+    def _summaries(clusterer) -> list:
+        if isinstance(clusterer, DecayedCoresetClusterer):
+            return [summary for summary, _ in clusterer._summaries]
+        return list(clusterer._summaries)
+
+    @pytest.mark.parametrize("cls", CLUSTERERS)
+    def test_insert_keeps_float32_storage(self, cls):
+        clusterer = cls(self._f32_config())
+        rng = np.random.default_rng(0)
+        for row in rng.normal(size=(50, 3)):  # 2 full buckets + a 10-point tail
+            clusterer.insert(row)
+        assert clusterer._buffer.snapshot().dtype == np.float32
+        summaries = self._summaries(clusterer)
+        assert summaries and all(s.points.dtype == np.float32 for s in summaries)
+
+    @pytest.mark.parametrize("cls", CLUSTERERS)
+    def test_insert_batch_keeps_float32_storage(self, cls):
+        clusterer = cls(self._f32_config())
+        clusterer.insert_batch(np.random.default_rng(1).normal(size=(50, 3)))
+        assert clusterer._buffer.snapshot().dtype == np.float32
+        summaries = self._summaries(clusterer)
+        assert summaries and all(s.points.dtype == np.float32 for s in summaries)
+
+    @pytest.mark.parametrize("cls", CLUSTERERS)
+    def test_point_and_batch_paths_bit_identical(self, cls):
+        """Same stream via insert() and insert_batch() yields identical centers."""
+        points = np.random.default_rng(2).normal(size=(90, 3))
+        one = cls(self._f32_config())
+        for row in points:
+            one.insert(row)
+        batched = cls(self._f32_config())
+        batched.insert_batch(points)
+        np.testing.assert_array_equal(one.query().centers, batched.query().centers)
+
+    @pytest.mark.parametrize("cls", CLUSTERERS)
+    def test_dimension_mismatch_uses_shared_message(self, cls):
+        clusterer = cls(self._f32_config())
+        clusterer.insert(np.zeros(3))
+        with pytest.raises(ValueError, match="point dimension is 4, expected 3"):
+            clusterer.insert(np.zeros(4))

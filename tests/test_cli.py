@@ -157,3 +157,68 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "Figure 11" in capsys.readouterr().out
+
+
+class TestElasticFlags:
+    def test_run_command_with_reshard_at(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--algorithm",
+                "cc",
+                "--dataset",
+                "power",
+                "--k",
+                "4",
+                "--num-points",
+                "1500",
+                "--query-interval",
+                "500",
+                "--shards",
+                "2",
+                "--backend",
+                "thread",
+                "--reshard-at",
+                "600:4",
+                "--auto-recover",
+                "--recovery-interval",
+                "512",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Reshards:" in out
+        assert "2 -> 4 shards" in out
+
+    def test_reshard_at_requires_sharded_run(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--dataset",
+                "power",
+                "--num-points",
+                "500",
+                "--reshard-at",
+                "100:2",
+            ]
+        )
+        assert exit_code == 2
+        assert "--shards > 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["600", "0:4", "600:0", "x:y"])
+    def test_reshard_at_rejects_malformed_specs(self, spec, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--dataset",
+                "power",
+                "--num-points",
+                "500",
+                "--shards",
+                "2",
+                "--reshard-at",
+                spec,
+            ]
+        )
+        assert exit_code == 2
+        assert "--reshard-at" in capsys.readouterr().err

@@ -6,9 +6,10 @@ latency in microseconds for the CC and RCC clusterers, an update-path
 *coreset-merge* microbenchmark (merges/second on a fixed ``(r*m, d)`` input,
 isolating the kernel layer from driver overhead), float32 variants of the
 ingest and merge paths, a high-dimensional (d=128, k=50) workload with
-and without JL sketching, and a serving-plane workload (reader p99 latency
-under live ingest and with ingest paused, plus mean snapshot staleness) —
-plus a *calibration* measurement: the wall-clock of
+and without JL sketching, a serving-plane workload (reader p99 latency
+under live ingest and with ingest paused, plus mean snapshot staleness),
+and the elastic plane's live-reshard pause (quiesce-to-resume wall time of
+a 4→8 reshard on the thread backend) — plus a *calibration* measurement: the wall-clock of
 a fixed numpy workload shaped like the library's hot loops (GEMM +
 reduction + sampling).  The regression checker
 (``tools/check_bench_regression.py``) normalises every metric by the
@@ -17,7 +18,7 @@ machine measure the *code*, not the hardware.
 
 Usage::
 
-    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr7.json
+    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr8.json
 """
 
 from __future__ import annotations
@@ -71,6 +72,10 @@ SKETCH_DIM = 32
 #: Serving workload: queries per latency pass and writer batch size.
 SERVING_QUERIES = 100
 SERVING_BATCH = 400
+#: Elastic workload: shard counts and stream size for the reshard-pause gate.
+RESHARD_FROM = 4
+RESHARD_TO = 8
+RESHARD_POINTS = 8_000
 
 
 def calibrate(repeats: int = 3) -> float:
@@ -228,6 +233,31 @@ def _measure_serving(points: np.ndarray, repeats: int) -> dict[str, float]:
     }
 
 
+def _measure_reshard_pause(points: np.ndarray, repeats: int) -> float:
+    """Best-of-``repeats`` live-reshard pause in ms (4→8 shards, thread backend).
+
+    The pause is the engine-reported quiesce-to-resume window during which
+    ingest is blocked: the sync barrier, the cross-shard coreset collect, the
+    backend teardown/rebuild, and the adoption of the redistributed pieces.
+    This is the elastic plane's headline latency — a regression here means
+    live reshards stall the writer.
+    """
+    from repro.parallel import ShardedEngine
+
+    best = float("inf")
+    for _ in range(repeats):
+        with ShardedEngine(
+            StreamingConfig(k=K, seed=0),
+            num_shards=RESHARD_FROM,
+            backend="thread",
+        ) as engine:
+            engine.insert_batch(points[:RESHARD_POINTS])
+            engine.flush()
+            report = engine.reshard(RESHARD_TO)
+        best = min(best, report.pause_seconds * 1e3)
+    return best
+
+
 def run(repeats: int) -> dict:
     """Execute the quick benchmark suite and return the report dict."""
     points = load_dataset("covtype", num_points=NUM_POINTS, seed=0).points
@@ -324,6 +354,12 @@ def run(repeats: int) -> dict:
     for name, value in _measure_serving(points, repeats).items():
         metrics[name] = {"value": value, "higher_is_better": False}
 
+    # Elastic plane: quiesce-to-resume pause of a live 4→8 reshard.
+    metrics["reshard_pause_ms"] = {
+        "value": _measure_reshard_pause(points, repeats),
+        "higher_is_better": False,
+    }
+
     return {
         "schema": SCHEMA_VERSION,
         "calibration_seconds": calibrate(),
@@ -336,6 +372,9 @@ def run(repeats: int) -> dict:
             "sketch_dim": SKETCH_DIM,
             "serving_queries": SERVING_QUERIES,
             "serving_batch": SERVING_BATCH,
+            "reshard_from": RESHARD_FROM,
+            "reshard_to": RESHARD_TO,
+            "reshard_points": RESHARD_POINTS,
         },
         "metrics": metrics,
         "meta": {
@@ -349,7 +388,7 @@ def run(repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run the suite and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_pr7.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_pr8.json"))
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
 
