@@ -28,7 +28,13 @@ Two additional drivers exercise the query-serving pipeline beyond the paper:
   per (algorithm, k) pair;
 * :func:`scaling_profile`          — ingestion-throughput scaling of the
   parallel sharded engine across shard counts and executor backends,
-  against the single-structure baseline.
+  against the single-structure baseline;
+* :func:`drift_adaptation_curve`   — trailing-window cost of the full-history
+  algorithms vs. the sliding-window and decayed clusterers over a drifting
+  stream (the "window" figure);
+* :func:`soft_membership_profile`  — membership sharpness (entropy, max
+  membership) and hard cost of the soft clusterer across fuzziness exponents
+  (the "soft" figure).
 """
 
 from __future__ import annotations
@@ -61,6 +67,8 @@ __all__ = [
     "query_latency_profile",
     "multi_k_query_costs",
     "scaling_profile",
+    "drift_adaptation_curve",
+    "soft_membership_profile",
 ]
 
 # The algorithm line-up of the paper's figures.
@@ -403,6 +411,82 @@ def scaling_profile(
                 "points_per_second": n / seconds if seconds > 0 else float("inf"),
                 "speedup_vs_baseline": baseline_seconds / seconds if seconds > 0 else 0.0,
             }
+    return results
+
+
+def drift_adaptation_curve(
+    points: np.ndarray,
+    algorithms: tuple[str, ...] = ("cc", "window", "decay"),
+    k: int = 10,
+    query_interval: int = 500,
+    trailing_points: int = 1000,
+    seed: int = 0,
+    algorithm_options: dict[str, dict] | None = None,
+) -> dict[str, dict[int, float]]:
+    """Trailing-window cost along a (drifting) stream, per algorithm.
+
+    Replays ``points`` in order, querying every ``query_interval`` points and
+    scoring each answer's centers against only the most recent
+    ``trailing_points`` of the stream — the regime where full-history
+    algorithms pay for remembering stale clusters and the window/decay
+    clusterers adapt.  Returns ``{algorithm: {stream position: trailing
+    cost}}``.  Per-algorithm option overrides come through
+    ``algorithm_options`` (e.g. ``{"window": {"window_buckets": 4}}``).
+    """
+    data = np.asarray(points, dtype=np.float64)
+    options = algorithm_options or {}
+    results: dict[str, dict[int, float]] = {}
+    for name in algorithms:
+        config = StreamingConfig(k=k, seed=seed)
+        algorithm = make_algorithm(name, config, **options.get(name, {}))
+        curve: dict[int, float] = {}
+        try:
+            for position in range(query_interval, data.shape[0] + 1, query_interval):
+                algorithm.insert_batch(data[position - query_interval : position])
+                centers = algorithm.query().centers
+                recent = data[max(0, position - trailing_points) : position]
+                curve[position] = kmeans_cost(recent, centers)
+        finally:
+            closer = getattr(algorithm, "close", None)
+            if closer is not None:
+                closer()
+        results[name] = curve
+    return results
+
+
+def soft_membership_profile(
+    points: np.ndarray,
+    fuzziness_values: tuple[float, ...] = (1.2, 1.5, 2.0, 3.0),
+    k: int = 10,
+    seed: int = 0,
+) -> dict[float, dict[str, float]]:
+    """Membership sharpness vs. the fuzziness exponent of the soft clusterer.
+
+    Ingests the stream once per exponent, queries, and summarises the fuzzy
+    solution over the query coreset: mean membership entropy (nats; 0 =
+    perfectly hard, ``log k`` = uniform), mean max membership, the fuzzy
+    objective, and the hard k-means cost of the served centers over the whole
+    stream.  Returns ``{fuzziness: {...}}``.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    results: dict[float, dict[str, float]] = {}
+    for fuzziness in fuzziness_values:
+        config = StreamingConfig(k=k, seed=seed)
+        clusterer = make_algorithm("soft", config, fuzziness=fuzziness)
+        clusterer.insert_batch(data)
+        result = clusterer.query()
+        soft = clusterer.last_soft
+        memberships = soft.memberships
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.where(memberships > 0, np.log(memberships), 0.0)
+        entropy = float(-(memberships * logs).sum(axis=1).mean())
+        results[float(fuzziness)] = {
+            "mean_entropy": entropy,
+            "mean_max_membership": float(memberships.max(axis=1).mean()),
+            "soft_cost": float(soft.cost),
+            "hard_cost": kmeans_cost(data, result.centers),
+            "iterations": float(soft.iterations),
+        }
     return results
 
 

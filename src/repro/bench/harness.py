@@ -9,9 +9,12 @@ the query schedule says a query is due, the clusterer is asked for centers;
 update time (per point *and* per batch), query time, memory, and the final
 clustering cost are recorded.
 
-Algorithm construction goes through a small registry of named factories so
-that benchmarks, examples, and tests refer to algorithms by the same names the
-paper uses ("sequential", "streamkm++", "cc", "rcc", "onlinecc").
+Algorithm construction goes through the
+:class:`~repro.core.registry.AlgorithmRegistry` so that benchmarks, examples,
+and tests refer to algorithms by the same names the paper uses
+("sequential", "streamkm++", "cc", "rcc", "onlinecc", ...).
+:func:`make_algorithm` is a thin back-compat shim over
+:meth:`~repro.core.registry.AlgorithmRegistry.create`.
 """
 
 from __future__ import annotations
@@ -22,16 +25,9 @@ from pathlib import Path
 
 import numpy as np
 
-from ..baselines.sequential import SequentialKMeans
-from ..baselines.streamkmpp import StreamKMpp
 from ..core.base import ClusteringStructure, StreamingClusterer, StreamingConfig
+from ..core.registry import default_registry
 from ..data.stream import PointStream
-from ..core.driver import (
-    CachedCoresetTreeClusterer,
-    CoresetTreeClusterer,
-    RecursiveCachedClusterer,
-)
-from ..core.online_cc import OnlineCCClusterer
 from ..kmeans.cost import kmeans_cost
 from ..metrics.memory import MemoryUsage
 from ..metrics.timing import TimingBreakdown
@@ -47,14 +43,8 @@ __all__ = [
     "run_experiment",
 ]
 
-ALGORITHM_NAMES: tuple[str, ...] = (
-    "sequential",
-    "streamkm++",
-    "ct",
-    "cc",
-    "rcc",
-    "onlinecc",
-)
+#: Canonical algorithm names, in registry order (derived, not hand-kept).
+ALGORITHM_NAMES: tuple[str, ...] = default_registry().names()
 
 
 def make_algorithm(
@@ -68,14 +58,23 @@ def make_algorithm(
     auto_recover: bool = False,
     recovery_interval: int = 4096,
     max_restarts: int = 2,
+    **options,
 ) -> StreamingClusterer:
     """Instantiate a streaming clusterer by its paper name.
+
+    Back-compat shim over :meth:`~repro.core.registry.AlgorithmRegistry.
+    create`: the legacy ``nesting_depth`` / ``switch_threshold`` keywords are
+    forwarded only to the algorithms whose options declare those fields
+    (matching the old "ignored by other algorithms" contract), and any
+    additional keyword becomes a typed option override (``window_buckets=4``,
+    ``fuzziness=1.5``, ...) validated by the registry.
 
     Parameters
     ----------
     name:
-        One of ``"sequential"``, ``"streamkm++"``, ``"ct"``, ``"cc"``,
-        ``"rcc"``, ``"onlinecc"`` (case-insensitive).
+        A registered algorithm name — ``"sequential"``, ``"streamkm++"``,
+        ``"ct"``, ``"cc"``, ``"rcc"``, ``"onlinecc"``, ``"window"``,
+        ``"decay"``, or ``"soft"`` (case-insensitive).
     config:
         Shared streaming configuration (k, bucket size, merge degree, seed).
     nesting_depth:
@@ -94,39 +93,28 @@ def make_algorithm(
         Crash-recovery knobs of the sharded engine (journaled replay of
         killed workers); ignored when ``shards == 1``.
     """
-    key = name.lower()
-    if shards > 1:
-        if key not in ("ct", "cc", "rcc"):
-            raise ValueError(
-                f"algorithm {name!r} does not support sharded ingestion; "
-                "use one of ct, cc, rcc"
-            )
-        from ..parallel.engine import ShardedEngine
-
-        return ShardedEngine(
-            config,
-            num_shards=shards,
-            backend=backend,
-            routing=routing,
-            structure=key,
-            nesting_depth=nesting_depth,
-            auto_recover=auto_recover,
-            recovery_interval=recovery_interval,
-            max_restarts=max_restarts,
-        )
-    if key == "sequential":
-        return SequentialKMeans(config.k)
-    if key in ("streamkm++", "streamkmpp"):
-        return StreamKMpp(config)
-    if key == "ct":
-        return CoresetTreeClusterer(config)
-    if key == "cc":
-        return CachedCoresetTreeClusterer(config)
-    if key == "rcc":
-        return RecursiveCachedClusterer(config, nesting_depth=nesting_depth)
-    if key == "onlinecc":
-        return OnlineCCClusterer(config, switch_threshold=switch_threshold)
-    raise KeyError(f"unknown algorithm {name!r}; available: {ALGORITHM_NAMES}")
+    registry = default_registry()
+    spec = registry.get(name)
+    option_fields = {f.name for f in spec.option_fields}
+    # The legacy keywords carry defaults, so they only count as overrides for
+    # algorithms that actually declare the field (old call sites pass them
+    # unconditionally and expect other algorithms to ignore them).
+    legacy = {"nesting_depth": nesting_depth, "switch_threshold": switch_threshold}
+    merged = dict(options)
+    for key, value in legacy.items():
+        if key in option_fields and key not in merged:
+            merged[key] = value
+    return registry.create(
+        spec.name,
+        config,
+        shards=shards,
+        backend=backend,
+        routing=routing,
+        auto_recover=auto_recover,
+        recovery_interval=recovery_interval,
+        max_restarts=max_restarts,
+        **merged,
+    )
 
 
 def collect_serving_stats(algorithm: StreamingClusterer) -> "ServingStats":
@@ -253,6 +241,10 @@ class StreamingExperiment:
         default).
     nesting_depth / switch_threshold:
         Forwarded to :func:`make_algorithm`.
+    algorithm_options:
+        Extra per-algorithm option overrides (``{"window_buckets": 4}``,
+        ``{"fuzziness": 1.5}``, ...) forwarded to the registry and validated
+        against the algorithm's typed options dataclass.
     track_query_costs:
         When True, the k-means cost of every query answer is evaluated over
         the points seen so far (slow; used only by accuracy-focused tests).
@@ -314,6 +306,7 @@ class StreamingExperiment:
     schedule: QuerySchedule = field(default_factory=lambda: FixedIntervalSchedule(100))
     nesting_depth: int = 3
     switch_threshold: float = 1.2
+    algorithm_options: dict = field(default_factory=dict)
     track_query_costs: bool = False
     ingest_mode: str = "batch"
     chunk_size: int | None = None
@@ -352,6 +345,7 @@ def _resume_algorithm(experiment: StreamingExperiment) -> StreamingClusterer:
         shards=experiment.shards,
         backend="serial",
         routing=experiment.routing,
+        **experiment.algorithm_options,
     )
     try:
         expected = fingerprint_for(probe)
@@ -427,6 +421,7 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
             auto_recover=experiment.auto_recover,
             recovery_interval=experiment.recovery_interval,
             max_restarts=experiment.max_restarts,
+            **experiment.algorithm_options,
         )
     try:
         return _replay(experiment, algorithm, data)

@@ -29,6 +29,7 @@ def registered_classes() -> dict[str, type]:
     from ..core.online_cc import OnlineCCClusterer
     from ..extensions.decay import DecayedCoresetClusterer, SlidingWindowClusterer
     from ..extensions.kmedian import KMedianCachedClusterer
+    from ..extensions.soft import SoftClusteringClusterer
     from ..parallel.engine import ShardedEngine
 
     classes = [
@@ -43,6 +44,7 @@ def registered_classes() -> dict[str, type]:
         StreamLSClusterer,
         DecayedCoresetClusterer,
         SlidingWindowClusterer,
+        SoftClusteringClusterer,
         KMedianCachedClusterer,
         ShardedEngine,
     ]

@@ -40,8 +40,10 @@ from typing import Sequence
 
 from .bench.experiments import (
     cost_vs_k,
+    drift_adaptation_curve,
     memory_table,
     poisson_queries,
+    soft_membership_profile,
     threshold_sweep,
     time_vs_query_interval,
 )
@@ -49,13 +51,27 @@ from .bench.harness import ALGORITHM_NAMES, StreamingExperiment, run_experiment
 from .bench.report import format_nested_series, format_series_table, format_table
 from .checkpoint import CheckpointError
 from .core.base import StreamingConfig
+from .core.registry import default_registry
 from .data.loaders import dataset_names, load_dataset
+from .data.stress import load_stress_stream, stress_stream_names
 from .io.serialization import series_to_json
 from .queries.schedule import FixedIntervalSchedule, PoissonSchedule
 
 __all__ = ["main", "build_parser"]
 
-FIGURES = ("fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "table4")
+FIGURES = ("fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "table4", "window", "soft")
+
+
+def _stream_choices() -> list[str]:
+    """Table 3 datasets plus the stress streams (drift/expiry scenarios)."""
+    return dataset_names() + stress_stream_names()
+
+
+def _load_stream(name: str, num_points: int, seed: int):
+    """Load a Table 3 dataset or a stress stream by name."""
+    if name.lower() in stress_stream_names():
+        return load_stress_stream(name, num_points=num_points, seed=seed)
+    return load_dataset(name, num_points=num_points, seed=seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,7 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one algorithm over one dataset")
     run.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="cc")
-    run.add_argument("--dataset", choices=dataset_names(), default="covtype")
+    run.add_argument("--dataset", choices=_stream_choices(), default="covtype")
+    # Per-algorithm option flags (--nesting-depth, --window-buckets,
+    # --fuzziness, ...) are generated from the registry's typed options
+    # dataclasses; registering a new algorithm adds its flags automatically.
+    default_registry().add_cli_flags(run)
     run.add_argument("--k", type=int, default=30)
     run.add_argument("--num-points", type=int, default=10_000)
     run.add_argument("--bucket-size", type=int, default=None)
@@ -182,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=FIGURES)
-    figure.add_argument("--dataset", choices=dataset_names(), default="covtype")
+    figure.add_argument("--dataset", choices=_stream_choices(), default="covtype")
     figure.add_argument("--num-points", type=int, default=6_000)
     figure.add_argument("--k", type=int, default=20)
     figure.add_argument("--seed", type=int, default=0)
@@ -192,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve concurrent clustering queries over TCP against a live stream",
     )
-    serve.add_argument("--dataset", choices=dataset_names(), default="covtype")
+    serve.add_argument("--dataset", choices=_stream_choices(), default="covtype")
     serve.add_argument("--num-points", type=int, default=20_000)
     serve.add_argument("--k", type=int, default=20)
     serve.add_argument("--seed", type=int, default=0)
@@ -278,7 +298,7 @@ def _command_run(args: argparse.Namespace) -> int:
     if reshard_at and args.shards <= 1:
         print("error: --reshard-at requires --shards > 1", file=sys.stderr)
         return 2
-    info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
+    info = _load_stream(args.dataset, num_points=args.num_points, seed=args.seed)
     config = StreamingConfig(
         k=args.k,
         coreset_size=args.bucket_size,
@@ -301,6 +321,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 algorithm=args.algorithm,
                 config=config,
                 schedule=schedule,
+                algorithm_options=default_registry().cli_overrides(args.algorithm, args),
                 shards=args.shards,
                 backend=args.backend,
                 routing=args.routing,
@@ -373,11 +394,31 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_figure(args: argparse.Namespace) -> int:
-    info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
+    info = _load_stream(args.dataset, num_points=args.num_points, seed=args.seed)
     points = info.points
     name = args.name
 
-    if name == "fig4":
+    if name == "window":
+        series = drift_adaptation_curve(points, k=args.k, seed=args.seed)
+        print(
+            format_series_table(
+                series,
+                x_label="stream position",
+                title=f"Drift adaptation ({info.name}): trailing-window cost",
+            )
+        )
+    elif name == "soft":
+        profile = soft_membership_profile(points, k=args.k, seed=args.seed)
+        rows = [
+            {"fuzziness": fuzziness, **entry}
+            for fuzziness, entry in sorted(profile.items())
+        ]
+        print(format_table(rows, title=f"Soft membership profile ({info.name})"))
+        series = {
+            metric: {fuzziness: entry[metric] for fuzziness, entry in profile.items()}
+            for metric in ("mean_entropy", "mean_max_membership", "hard_cost")
+        }
+    elif name == "fig4":
         series = cost_vs_k(
             points, k_values=(10, 20, 30), query_interval=200, seed=args.seed
         )
@@ -434,7 +475,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     from .serving.plane import ServingPlane
     from .serving.server import ServerThread
 
-    info = load_dataset(args.dataset, num_points=args.num_points, seed=args.seed)
+    info = _load_stream(args.dataset, num_points=args.num_points, seed=args.seed)
     try:
         if args.resume_from is not None:
             plane = ServingPlane.restore(args.resume_from)
@@ -492,6 +533,7 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 def _command_list(_: argparse.Namespace) -> int:
     print("Datasets  :", ", ".join(dataset_names()))
+    print("Stress    :", ", ".join(stress_stream_names()))
     print("Algorithms:", ", ".join(ALGORITHM_NAMES))
     print("Figures   :", ", ".join(FIGURES))
     return 0

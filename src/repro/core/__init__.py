@@ -14,6 +14,19 @@ from .driver import (
 from .numeral import digits, major, minor, num_nonzero_digits, prefixsum
 from .online_cc import OnlineCCClusterer
 from .recursive_cache import RecursiveCachedTree, merge_degree_for_order
+from .registry import (
+    AlgorithmOptions,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    DecayOptions,
+    NoOptions,
+    OnlineCCOptions,
+    RccOptions,
+    SoftOptions,
+    WindowOptions,
+    default_registry,
+)
+from .windowed import DecayedBucketStructure, SlidingWindowStructure
 
 __all__ = [
     "ClusteringStructure",
@@ -37,4 +50,16 @@ __all__ = [
     "OnlineCCClusterer",
     "RecursiveCachedTree",
     "merge_degree_for_order",
+    "AlgorithmOptions",
+    "AlgorithmRegistry",
+    "AlgorithmSpec",
+    "DecayOptions",
+    "NoOptions",
+    "OnlineCCOptions",
+    "RccOptions",
+    "SoftOptions",
+    "WindowOptions",
+    "default_registry",
+    "DecayedBucketStructure",
+    "SlidingWindowStructure",
 ]

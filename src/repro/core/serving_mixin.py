@@ -58,6 +58,18 @@ class CoresetServingMixin:
         """Whether this query reused cached coresets (CC overrides)."""
         return False
 
+    def _refine_solution(
+        self, coreset: WeightedPointSet, k: int, solution: Solution
+    ) -> Solution:
+        """Post-solve refinement hook, run inside the timed solve section.
+
+        The default is the identity.  Soft clustering overrides it to run a
+        fuzzy c-means descent seeded from the engine's (hard) centers; the
+        engine's warm-start state deliberately keeps the *hard* solution, so
+        refinement never feeds back into the warm/cold/drift accounting.
+        """
+        return solution
+
     # -- shared flow ---------------------------------------------------------
 
     @property
@@ -115,6 +127,7 @@ class CoresetServingMixin:
         combined, assembly_seconds = self._assemble_coreset()
         start = time.perf_counter()
         solution = self._engine.solve(combined, k, self._rng, force_cold=force_cold)
+        solution = self._refine_solution(combined, k, solution)
         solve_seconds = time.perf_counter() - start
         stats = self._record_stats(combined.size, assembly_seconds, solve_seconds, solution)
         return QueryResult(
@@ -130,6 +143,10 @@ class CoresetServingMixin:
         combined, assembly_seconds = self._assemble_coreset()
         start = time.perf_counter()
         solutions = self._engine.solve_multi(combined, tuple(int(k) for k in ks), self._rng)
+        solutions = {
+            k: self._refine_solution(combined, k, solution)
+            for k, solution in solutions.items()
+        }
         solve_seconds = time.perf_counter() - start
         from_cache = self._answered_from_cache()
         share = 1.0 / max(len(solutions), 1)

@@ -1,0 +1,263 @@
+"""Sliding-window and time-decayed clustering structures.
+
+Both structures implement the :class:`~repro.core.base.ClusteringStructure`
+contract, so the generic :class:`~repro.core.driver.StreamClusterDriver`
+drives them exactly like CT/CC/RCC: batch ingestion slices base buckets of
+``m`` points, queries assemble a coreset through the shared serving pipeline
+(warm-start :class:`~repro.queries.serving.QueryEngine`, multi-k sweeps,
+cache-stat accounting), and checkpointing rides the driver's state tree.
+
+* :class:`SlidingWindowStructure` keeps the ``window_buckets`` most recent
+  base buckets, each summarised independently (Braverman et al.'s
+  sliding-window coreset framework, arXiv:1504.05553, in the exact-expiry
+  regime): because buckets are never merged across their boundaries, a bucket
+  that leaves the window is dropped *exactly* — no residue of expired points
+  survives in any retained summary.  Memory is ``O(window_buckets * m)``.
+  Per-bucket summaries are built through the constructor's span-keyed path;
+  since a base bucket holds exactly ``m = coreset_size`` points the
+  construction is a verbatim passthrough that consumes no randomness, which
+  makes the post-expiry coreset *bit-equal* to a fresh run over the
+  surviving suffix of the stream (the property test in
+  ``tests/property/test_window_soft_properties.py`` pins this down).
+
+* :class:`DecayedBucketStructure` ages every retained bucket's weight
+  multiplier by ``decay`` each time a new base bucket completes, and drops
+  buckets whose multiplier falls below ``min_weight`` — an exponential
+  forgetting horizon of roughly ``m / (1 - decay)`` points with memory
+  bounded at ``O(m * log(min_weight) / log(decay))``.
+
+Neither structure supports sharded ingestion: expiry and aging are ordered by
+the *global* base-bucket index, and shard routing does not preserve that
+order (each shard's buckets fill at ``1/S`` of the stream rate, so per-shard
+windows cover different time spans than the global window).  The clusterers
+built on these structures refuse sharding with a clear error instead of
+silently changing semantics; see ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..coreset.bucket import Bucket, WeightedPointSet
+from ..coreset.construction import CoresetConstructor
+from .base import ClusteringStructure, validate_base_buckets
+
+__all__ = ["SlidingWindowStructure", "DecayedBucketStructure"]
+
+
+class SlidingWindowStructure(ClusteringStructure):
+    """Exact-expiry sliding window over per-bucket coreset summaries.
+
+    Parameters
+    ----------
+    constructor:
+        The span-keyed coreset constructor shared with the driver (its
+        sketcher, if any, projects buckets at ingest).
+    window_buckets:
+        Number of most-recent base buckets that participate in queries.
+    """
+
+    def __init__(self, constructor: CoresetConstructor, window_buckets: int) -> None:
+        if window_buckets <= 0:
+            raise ValueError("window_buckets must be positive")
+        self.constructor = constructor
+        self.window_buckets = int(window_buckets)
+        # Each entry: (global base-bucket index, per-bucket summary).
+        self._entries: deque[tuple[int, WeightedPointSet]] = deque()
+        self._num_inserted = 0
+        self._dimension: int | None = None
+
+    @property
+    def num_base_buckets(self) -> int:
+        """Total base buckets ever inserted (monotonic; expiry never rewinds it)."""
+        return self._num_inserted
+
+    @property
+    def retained_buckets(self) -> int:
+        """Number of unexpired buckets currently inside the window."""
+        return len(self._entries)
+
+    @property
+    def window_span(self) -> tuple[int, int] | None:
+        """Inclusive ``(first, last)`` base-bucket indices inside the window."""
+        if not self._entries:
+            return None
+        return (self._entries[0][0], self._entries[-1][0])
+
+    def summaries(self) -> list[WeightedPointSet]:
+        """The retained per-bucket summaries, oldest first."""
+        return [summary for _, summary in self._entries]
+
+    def insert_bucket(self, bucket: Bucket) -> None:
+        """Insert one base bucket, then expire everything that left the window."""
+        self.insert_buckets([bucket])
+
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Insert consecutive base buckets with a single expiry pass at the end."""
+        if not buckets:
+            return
+        validate_base_buckets(buckets, self._num_inserted + 1, type(self).__name__)
+        self._dimension = buckets[0].data.dimension
+        for bucket in buckets:
+            self._num_inserted += 1
+            # A base bucket holds exactly m points, so the span-keyed build is
+            # a verbatim passthrough (no sampling, no RNG) — kept on the
+            # constructor path so a future sub-m summary size keeps working.
+            summary = self.constructor.build_for_span(
+                bucket.data, level=0, start=bucket.start, end=bucket.end
+            )
+            self._entries.append((bucket.start, summary))
+        self._expire()
+
+    def _expire(self) -> None:
+        horizon = self._num_inserted - self.window_buckets
+        while self._entries and self._entries[0][0] <= horizon:
+            self._entries.popleft()
+
+    def query_coreset(self) -> WeightedPointSet:
+        """Union of every unexpired bucket summary, oldest first."""
+        if not self._entries:
+            return WeightedPointSet.empty(self._dimension or 1)
+        return WeightedPointSet.union_all([summary for _, summary in self._entries])
+
+    def stored_points(self) -> int:
+        """Summary points currently retained inside the window."""
+        return sum(summary.size for _, summary in self._entries)
+
+    def max_level(self) -> int:
+        """Always 0: window buckets are never merged across boundaries."""
+        return 0
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: insertion counter plus the retained summaries."""
+        return {
+            "num_inserted": self._num_inserted,
+            "dimension": self._dimension,
+            "entries": [
+                {"index": index, "summary": summary.state_dict()}
+                for index, summary in self._entries
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        self._num_inserted = int(state["num_inserted"])
+        self._dimension = None if state["dimension"] is None else int(state["dimension"])
+        self._entries = deque(
+            (int(entry["index"]), WeightedPointSet.from_state(entry["summary"]))
+            for entry in state["entries"]
+        )
+
+
+class DecayedBucketStructure(ClusteringStructure):
+    """Exponentially time-decayed weights over per-bucket coreset summaries.
+
+    Parameters
+    ----------
+    constructor:
+        The span-keyed coreset constructor shared with the driver.
+    decay:
+        Per-bucket decay factor ``gamma`` in (0, 1]; ``1.0`` disables decay.
+    min_weight:
+        Buckets whose accumulated multiplier falls below this threshold are
+        dropped entirely, bounding memory.
+    """
+
+    def __init__(
+        self, constructor: CoresetConstructor, decay: float, min_weight: float
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if not 0.0 < min_weight < 1.0:
+            raise ValueError("min_weight must be in (0, 1)")
+        self.constructor = constructor
+        self.decay = float(decay)
+        self.min_weight = float(min_weight)
+        # Each entry: (summary, current decay multiplier).
+        self._entries: deque[tuple[WeightedPointSet, float]] = deque()
+        self._num_inserted = 0
+        self._dimension: int | None = None
+
+    @property
+    def num_base_buckets(self) -> int:
+        """Total base buckets ever inserted."""
+        return self._num_inserted
+
+    @property
+    def retained_buckets(self) -> int:
+        """Number of summaries whose decayed weight still exceeds ``min_weight``."""
+        return len(self._entries)
+
+    def summaries(self) -> list[tuple[WeightedPointSet, float]]:
+        """The retained ``(summary, multiplier)`` pairs, oldest first."""
+        return list(self._entries)
+
+    def insert_bucket(self, bucket: Bucket) -> None:
+        """Insert one base bucket, aging all existing summaries by one step."""
+        self.insert_buckets([bucket])
+
+    def insert_buckets(self, buckets: list[Bucket]) -> None:
+        """Insert consecutive base buckets; each one ages every prior summary."""
+        if not buckets:
+            return
+        validate_base_buckets(buckets, self._num_inserted + 1, type(self).__name__)
+        self._dimension = buckets[0].data.dimension
+        for bucket in buckets:
+            self._num_inserted += 1
+            aged: deque[tuple[WeightedPointSet, float]] = deque()
+            for summary, multiplier in self._entries:
+                new_multiplier = multiplier * self.decay
+                if new_multiplier >= self.min_weight:
+                    aged.append((summary, new_multiplier))
+            summary = self.constructor.build_for_span(
+                bucket.data, level=0, start=bucket.start, end=bucket.end
+            )
+            aged.append((summary, 1.0))
+            self._entries = aged
+
+    def query_coreset(self) -> WeightedPointSet:
+        """Union of the retained summaries with decay-scaled weights."""
+        if not self._entries:
+            return WeightedPointSet.empty(self._dimension or 1)
+        return WeightedPointSet.union_all(
+            [
+                WeightedPointSet(
+                    points=summary.points,
+                    weights=summary.weights * multiplier,
+                    sketch=summary.sketch,
+                )
+                for summary, multiplier in self._entries
+            ]
+        )
+
+    def stored_points(self) -> int:
+        """Summary points currently retained."""
+        return sum(summary.size for summary, _ in self._entries)
+
+    def max_level(self) -> int:
+        """Always 0: decayed buckets are never merged."""
+        return 0
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint state: insertion counter plus retained (summary, weight)."""
+        return {
+            "num_inserted": self._num_inserted,
+            "dimension": self._dimension,
+            "entries": [
+                {"summary": summary.state_dict(), "multiplier": multiplier}
+                for summary, multiplier in self._entries
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        self._num_inserted = int(state["num_inserted"])
+        self._dimension = None if state["dimension"] is None else int(state["dimension"])
+        self._entries = deque(
+            (WeightedPointSet.from_state(entry["summary"]), float(entry["multiplier"]))
+            for entry in state["entries"]
+        )

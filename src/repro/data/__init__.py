@@ -12,6 +12,14 @@ from .loaders import (
     load_power,
 )
 from .stream import PointStream
+from .stress import (
+    generate_driftburst,
+    generate_expiry,
+    load_driftburst,
+    load_expiry,
+    load_stress_stream,
+    stress_stream_names,
+)
 from .synthetic import GaussianMixtureSpec, add_uniform_outliers, generate_mixture
 
 __all__ = [
@@ -26,6 +34,12 @@ __all__ = [
     "load_intrusion",
     "load_power",
     "PointStream",
+    "generate_driftburst",
+    "generate_expiry",
+    "load_driftburst",
+    "load_expiry",
+    "load_stress_stream",
+    "stress_stream_names",
     "GaussianMixtureSpec",
     "add_uniform_outliers",
     "generate_mixture",

@@ -1,0 +1,169 @@
+"""Drift and expiry stress streams for the window/decay/soft scenarios.
+
+These are *adversarial* synthetic streams, deliberately kept out of the Table
+3 dataset registry (:mod:`repro.data.loaders`): they do not correspond to any
+paper dataset, and their temporal structure is the whole point — they are
+replayed in order, never shuffled.
+
+* ``driftburst`` — a regime-shift stream: the stream is split into equal
+  segments, each drawn from a Gaussian mixture whose centers are re-drawn
+  from scratch at every boundary (abrupt concept shift, no gradual morphing).
+  Full-history algorithms keep serving centers that straddle the old and new
+  regimes; the sliding-window and decayed clusterers re-converge within one
+  window/horizon of a shift.  This is the stream behind the ``window``
+  figure's adaptation curves and the CI ``scenarios`` job.
+
+* ``expiry`` — a poisoned-prefix stream: the first ``poison_fraction`` of
+  the stream comes from far-away "stale" clusters (shifted by a large
+  constant offset), the remainder from a clean mixture near the origin.
+  Once the prefix leaves a sliding window, *exact* bucket expiry means no
+  residue of the poison survives in any retained summary — the property the
+  hypothesis suite pins down bit-for-bit.
+
+Both generators are pure functions of ``(num_points, seed)`` plus their shape
+parameters, so CI runs and resumed checkpoints see identical streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .loaders import DatasetInfo
+from .synthetic import GaussianMixtureSpec, generate_mixture
+
+__all__ = [
+    "generate_driftburst",
+    "generate_expiry",
+    "load_driftburst",
+    "load_expiry",
+    "stress_stream_names",
+    "load_stress_stream",
+]
+
+
+def generate_driftburst(
+    num_points: int,
+    seed: int = 0,
+    dimension: int = 8,
+    num_segments: int = 4,
+    num_clusters: int = 5,
+    center_spread: float = 10.0,
+) -> np.ndarray:
+    """Regime-shift stream: cluster centers are re-drawn at every segment boundary.
+
+    Returns ``(num_points, dimension)`` float64 points in temporal order; the
+    ``num_segments`` segments have equal length (the last absorbs the
+    remainder) and independent mixtures keyed off ``seed``.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    if num_segments <= 0:
+        raise ValueError("num_segments must be positive")
+    rng = np.random.default_rng(seed)
+    per_segment = num_points // num_segments
+    pieces: list[np.ndarray] = []
+    for segment in range(num_segments):
+        n = per_segment if segment < num_segments - 1 else num_points - per_segment * (
+            num_segments - 1
+        )
+        if n <= 0:
+            continue
+        spec = GaussianMixtureSpec(
+            dimension=dimension,
+            num_clusters=num_clusters,
+            center_spread=center_spread,
+        )
+        # One independent child generator per segment: centers, weights, and
+        # noise all re-draw at the boundary (abrupt shift, not a morph).
+        segment_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        points, _ = generate_mixture(spec, n, segment_rng)
+        pieces.append(points)
+    return np.concatenate(pieces, axis=0)
+
+
+def generate_expiry(
+    num_points: int,
+    seed: int = 0,
+    dimension: int = 6,
+    num_clusters: int = 4,
+    poison_fraction: float = 0.3,
+    poison_offset: float = 100.0,
+) -> np.ndarray:
+    """Poisoned-prefix stream: a far-away stale regime followed by clean data.
+
+    The first ``poison_fraction`` of the stream is a mixture shifted by
+    ``poison_offset`` in every coordinate; the rest is a clean mixture near
+    the origin.  Returns points in temporal order.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    if not 0.0 < poison_fraction < 1.0:
+        raise ValueError("poison_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n_poison = max(1, int(num_points * poison_fraction))
+    n_clean = num_points - n_poison
+    spec = GaussianMixtureSpec(dimension=dimension, num_clusters=num_clusters)
+    poison_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+    clean_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+    poison, _ = generate_mixture(spec, n_poison, poison_rng)
+    poison = poison + poison_offset
+    clean, _ = generate_mixture(spec, n_clean, clean_rng)
+    return np.concatenate([poison, clean], axis=0)
+
+
+def load_driftburst(
+    num_points: int | None = None, seed: int = 0, scale: str = "default"
+) -> DatasetInfo:
+    """The ``driftburst`` stress stream wrapped as a :class:`DatasetInfo`."""
+    n = num_points if num_points is not None else 20_000
+    points = generate_driftburst(n, seed=seed)
+    return DatasetInfo(
+        name="DriftBurst",
+        points=points,
+        description="Regime-shift stress stream: abrupt center re-draws (not in Table 3)",
+        paper_num_points=n,
+        paper_dimension=points.shape[1],
+    )
+
+
+def load_expiry(
+    num_points: int | None = None, seed: int = 0, scale: str = "default"
+) -> DatasetInfo:
+    """The ``expiry`` stress stream wrapped as a :class:`DatasetInfo`."""
+    n = num_points if num_points is not None else 20_000
+    points = generate_expiry(n, seed=seed)
+    return DatasetInfo(
+        name="Expiry",
+        points=points,
+        description="Poisoned-prefix stress stream: stale far-away regime then clean data",
+        paper_num_points=n,
+        paper_dimension=points.shape[1],
+    )
+
+
+_STRESS_LOADERS: dict[str, Callable[..., DatasetInfo]] = {
+    "driftburst": load_driftburst,
+    "expiry": load_expiry,
+}
+
+
+def stress_stream_names() -> list[str]:
+    """Names of the registered stress streams (disjoint from Table 3 datasets)."""
+    return list(_STRESS_LOADERS)
+
+
+def load_stress_stream(
+    name: str, num_points: int | None = None, seed: int | None = None, scale: str = "default"
+) -> DatasetInfo:
+    """Load a stress stream by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _STRESS_LOADERS:
+        raise KeyError(
+            f"unknown stress stream {name!r}; available: {sorted(_STRESS_LOADERS)}"
+        )
+    loader = _STRESS_LOADERS[key]
+    if seed is None:
+        return loader(num_points=num_points, scale=scale)
+    return loader(num_points=num_points, seed=seed, scale=scale)

@@ -4,13 +4,18 @@ The paper's conclusion lists three natural follow-ups, all implemented here:
 
 * streaming k-median with coreset caching (:mod:`repro.extensions.kmedian`),
 * time-decaying weights and sliding windows for concept drift
-  (:mod:`repro.extensions.decay`),
-* clustering over distributed / parallel streams
-  (:mod:`repro.extensions.distributed`).
+  (:mod:`repro.extensions.decay`), plus soft (fuzzy c-means) serving
+  (:mod:`repro.extensions.soft`),
+* clustering over distributed / parallel streams (the parallel sharded
+  engine, :mod:`repro.parallel`; the old :mod:`repro.extensions.distributed`
+  wrapper is deprecated and slated for removal).
+
+All extension algorithms are registered in the
+:class:`~repro.core.registry.AlgorithmRegistry` under the names ``window``,
+``decay``, and ``soft``.
 """
 
 from .decay import DecayedCoresetClusterer, SlidingWindowClusterer
-from .distributed import DistributedCoordinator, StreamShard
 from .kmedian import (
     KMedianCachedClusterer,
     KMedianConfig,
@@ -19,10 +24,12 @@ from .kmedian import (
     kmedian_sensitivity_coreset,
     weighted_kmedian,
 )
+from .soft import SoftClusteringClusterer
 
 __all__ = [
     "DecayedCoresetClusterer",
     "SlidingWindowClusterer",
+    "SoftClusteringClusterer",
     "DistributedCoordinator",
     "StreamShard",
     "KMedianCachedClusterer",
@@ -32,3 +39,13 @@ __all__ = [
     "kmedian_sensitivity_coreset",
     "weighted_kmedian",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated names import lazily so `import repro.extensions` does not
+    # fire the DeprecationWarning for users who never touch them.
+    if name in ("DistributedCoordinator", "StreamShard"):
+        from . import distributed
+
+        return getattr(distributed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,49 +1,67 @@
-"""Time-decayed and sliding-window streaming clustering.
+"""Time-decayed and sliding-window streaming clustering, on the full stack.
 
 The paper's conclusion lists "improved handling of concept drift, through the
 use of time-decaying weights" as an open direction.  This module provides two
-such mechanisms built on the same bucket machinery as the main algorithms:
+such mechanisms as *first-class* algorithms: both are
+:class:`~repro.core.driver.StreamClusterDriver` subclasses whose clustering
+structures live in :mod:`repro.core.windowed`, so they inherit the entire
+serving stack — vectorized batch ingestion, the warm-start
+:class:`~repro.queries.serving.QueryEngine`, batched ``query_multi_k``
+sweeps, per-query :class:`~repro.queries.serving.QueryStats`, checkpoint /
+restore, and :class:`~repro.serving.plane.ServingPlane` publication.
+(Historically they called ``weighted_kmeans`` directly and bypassed all of
+it, which made ``collect_serving_stats`` silently report zeros.)
 
-* :class:`DecayedCoresetClusterer` — every time a new base bucket is
-  completed, the weights of all previously stored buckets are multiplied by a
-  decay factor ``gamma`` (0 < gamma <= 1).  A bucket completed ``t`` buckets
-  ago therefore carries weight ``gamma^t``, i.e. an exponential forgetting
-  horizon of roughly ``m / (1 - gamma)`` points.
+* :class:`DecayedCoresetClusterer` — every completed base bucket multiplies
+  the weights of all previously stored buckets by a decay factor ``gamma``
+  (0 < gamma <= 1): a bucket completed ``t`` buckets ago carries weight
+  ``gamma^t``, an exponential forgetting horizon of roughly
+  ``m / (1 - gamma)`` points.
 
 * :class:`SlidingWindowClusterer` — only the most recent ``window_buckets``
-  base buckets participate in queries.  Buckets are kept individually (no
-  cross-bucket merging) so expired ones can be dropped exactly; each bucket is
-  summarised to at most ``m`` points, so memory is
+  base buckets participate in queries, with *exact* Braverman-style bucket
+  expiry (buckets are kept individually, never merged across boundaries, so
+  an expired bucket vanishes completely).  Memory is
   ``O(window_buckets * m)``.
 
-Both return k-means++ centers of the (decayed / windowed) coreset at query
-time, so the accuracy machinery of the main library carries over.
+Neither algorithm supports sharded ingestion: expiry and aging are keyed to
+the global base-bucket index, which shard routing does not preserve.  Both
+raise a clear error instead of silently changing semantics (see
+``docs/scenarios.md``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-import numpy as np
-
-from ..coreset.bucket import WeightedPointSet
-from ..coreset.construction import CoresetConstructor
-from ..core.base import (
-    QueryResult,
-    StreamingClusterer,
-    StreamingConfig,
-    coerce_batch,
-    require_dimension,
-    streaming_config_from_dict,
-    streaming_config_to_dict,
-)
-from ..core.buffer import BucketBuffer
-from ..kmeans.batch import weighted_kmeans
+from ..core.base import StreamingConfig
+from ..core.driver import StreamClusterDriver
+from ..core.windowed import DecayedBucketStructure, SlidingWindowStructure
 
 __all__ = ["DecayedCoresetClusterer", "SlidingWindowClusterer"]
 
+_SHARDING_REFUSAL = (
+    "does not support sharded ingestion; use one of ct, cc, rcc "
+    "({reason}: per-shard buckets fill at 1/S of the stream rate, so "
+    "shard-local {what} would cover a different time span than the global one)"
+)
 
-class DecayedCoresetClusterer(StreamingClusterer):
+
+class _UnshardableDriverMixin:
+    """Refuses :meth:`sharded` with a semantics-specific error message."""
+
+    #: Filled in by subclasses: why sharding would change semantics.
+    _sharding_reason = ("time-ordered semantics", "state")
+
+    @classmethod
+    def sharded(cls, config, num_shards, backend="serial", routing="round_robin", **kwargs):
+        """Always raises: this algorithm's semantics do not shard."""
+        reason, what = cls._sharding_reason
+        raise ValueError(
+            f"algorithm {cls.checkpoint_name!r} "
+            + _SHARDING_REFUSAL.format(reason=reason, what=what)
+        )
+
+
+class DecayedCoresetClusterer(_UnshardableDriverMixin, StreamClusterDriver):
     """Exponentially time-decayed clustering over bucket summaries.
 
     Parameters
@@ -60,6 +78,8 @@ class DecayedCoresetClusterer(StreamingClusterer):
     """
 
     checkpoint_name = "decay"
+    shard_structure = None
+    _sharding_reason = ("decay aging is ordered by global bucket index", "aging")
 
     def __init__(
         self,
@@ -67,143 +87,45 @@ class DecayedCoresetClusterer(StreamingClusterer):
         decay: float = 0.95,
         min_weight: float = 1e-3,
     ) -> None:
-        if not 0.0 < decay <= 1.0:
-            raise ValueError(f"decay must be in (0, 1], got {decay}")
-        if not 0.0 < min_weight < 1.0:
-            raise ValueError("min_weight must be in (0, 1)")
-        self.config = config
-        self.decay = decay
-        self.min_weight = min_weight
-        self._constructor: CoresetConstructor = config.make_constructor()
-        # Each entry: (summary, current decay multiplier).
-        self._summaries: deque[tuple[WeightedPointSet, float]] = deque()
-        self._buffer = BucketBuffer(config.bucket_size, dtype=config.np_dtype)
-        self._points_seen = 0
-        self._dimension: int | None = None
-        self._rng = np.random.default_rng(config.seed)
+        constructor = config.make_constructor()
+        structure = DecayedBucketStructure(constructor, decay=decay, min_weight=min_weight)
+        super().__init__(config, structure)
 
     @property
-    def points_seen(self) -> int:
-        """Total number of stream points observed so far."""
-        return self._points_seen
+    def decayed_structure(self) -> DecayedBucketStructure:
+        """The underlying decayed-bucket structure."""
+        return self.structure  # type: ignore[return-value]
+
+    @property
+    def decay(self) -> float:
+        """The per-bucket decay factor ``gamma``."""
+        return self.decayed_structure.decay
+
+    @property
+    def min_weight(self) -> float:
+        """The drop threshold for decayed bucket multipliers."""
+        return self.decayed_structure.min_weight
 
     @property
     def num_summaries(self) -> int:
         """Number of decayed bucket summaries currently retained."""
-        return len(self._summaries)
-
-    def insert(self, point: np.ndarray) -> None:
-        """Buffer a point; on a full bucket, decay existing summaries and add a new one."""
-        row = np.asarray(point, dtype=self.config.np_dtype).reshape(-1)
-        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
-        self._buffer.append(row)
-        self._points_seen += 1
-        if self._buffer.is_full:
-            self._complete_bucket(self._buffer.drain())
-
-    def insert_batch(self, points: np.ndarray) -> None:
-        """Insert a batch: completed buckets are zero-copy slices of the input."""
-        arr = coerce_batch(points, dtype=self.config.np_dtype)
-        if arr.shape[0] == 0:
-            return
-        self._dimension = require_dimension(self._dimension, arr.shape[1])
-        self._points_seen += arr.shape[0]
-        for block in self._buffer.take_full_blocks(arr):
-            self._complete_bucket(block)
-
-    def query(self) -> QueryResult:
-        """k-means++ over the decay-weighted union of summaries and the partial bucket."""
-        combined = self._decayed_union()
-        if combined.size == 0:
-            raise RuntimeError("cannot answer a clustering query before any point arrives")
-        result = weighted_kmeans(
-            combined.points,
-            self.config.k,
-            weights=combined.weights,
-            n_init=self.config.n_init,
-            max_iterations=self.config.lloyd_iterations,
-            rng=self._rng,
-        )
-        return QueryResult(centers=result.centers, coreset_points=combined.size, from_cache=False)
-
-    def stored_points(self) -> int:
-        """Summary points plus the partial bucket."""
-        return sum(summary.size for summary, _ in self._summaries) + self._buffer.size
-
-    def _complete_bucket(self, block: np.ndarray) -> None:
-        data = WeightedPointSet.from_points(block)
-        summary = self._constructor.build(data)
-        # Age every existing summary by one bucket and drop the negligible ones.
-        aged: deque[tuple[WeightedPointSet, float]] = deque()
-        for existing, multiplier in self._summaries:
-            new_multiplier = multiplier * self.decay
-            if new_multiplier >= self.min_weight:
-                aged.append((existing, new_multiplier))
-        aged.append((summary, 1.0))
-        self._summaries = aged
+        return self.decayed_structure.retained_buckets
 
     # -- checkpointing -------------------------------------------------------
 
-    def _config_tree(self) -> dict:
-        return {
-            "streaming": streaming_config_to_dict(self.config),
-            "decay": self.decay,
-            "min_weight": self.min_weight,
-        }
-
-    def _state_tree(self) -> dict:
-        from ..checkpoint.state import rng_state
-
-        return {
-            "points_seen": self._points_seen,
-            "dimension": self._dimension,
-            "buffer": self._buffer.state_dict(),
-            "rng": rng_state(self._rng),
-            "constructor": self._constructor.state_dict(),
-            "summaries": [
-                {"summary": summary.state_dict(), "multiplier": multiplier}
-                for summary, multiplier in self._summaries
-            ],
-        }
+    def _extra_config(self) -> dict:
+        return {"decay": self.decay, "min_weight": self.min_weight}
 
     @classmethod
-    def _from_checkpoint(cls, manifest, state, shards, **overrides):
-        from ..checkpoint.state import rng_from_state
-
-        cls._reject_overrides(overrides)
-        config_tree = manifest["config"]
-        clusterer = cls(
-            streaming_config_from_dict(config_tree["streaming"]),
+    def _construct_for_restore(cls, config, config_tree):
+        return cls(
+            config,
             decay=float(config_tree["decay"]),
             min_weight=float(config_tree["min_weight"]),
         )
-        clusterer._points_seen = int(state["points_seen"])
-        clusterer._dimension = (
-            None if state["dimension"] is None else int(state["dimension"])
-        )
-        clusterer._buffer.load_state(state["buffer"])
-        clusterer._rng = rng_from_state(state["rng"])
-        clusterer._constructor.load_state(state["constructor"])
-        clusterer._summaries = deque(
-            (WeightedPointSet.from_state(entry["summary"]), float(entry["multiplier"]))
-            for entry in state["summaries"]
-        )
-        return clusterer
-
-    def _decayed_union(self) -> WeightedPointSet:
-        pieces: list[WeightedPointSet] = []
-        for summary, multiplier in self._summaries:
-            pieces.append(
-                WeightedPointSet(points=summary.points, weights=summary.weights * multiplier)
-            )
-        if not self._buffer.is_empty:
-            pieces.append(WeightedPointSet.from_points(self._buffer.snapshot()))
-        if not pieces:
-            return WeightedPointSet.empty(self._dimension or 1)
-        return WeightedPointSet.union_all(pieces)
 
 
-class SlidingWindowClusterer(StreamingClusterer):
+class SlidingWindowClusterer(_UnshardableDriverMixin, StreamClusterDriver):
     """Clustering over the most recent ``window_buckets`` base buckets only.
 
     Parameters
@@ -217,110 +139,42 @@ class SlidingWindowClusterer(StreamingClusterer):
     """
 
     checkpoint_name = "window"
+    shard_structure = None
+    _sharding_reason = ("window expiry is ordered by global bucket index", "windows")
 
     def __init__(self, config: StreamingConfig, window_buckets: int = 10) -> None:
-        if window_buckets <= 0:
-            raise ValueError("window_buckets must be positive")
-        self.config = config
-        self.window_buckets = window_buckets
-        self._constructor: CoresetConstructor = config.make_constructor()
-        self._summaries: deque[WeightedPointSet] = deque(maxlen=window_buckets)
-        self._buffer = BucketBuffer(config.bucket_size, dtype=config.np_dtype)
-        self._points_seen = 0
-        self._dimension: int | None = None
-        self._rng = np.random.default_rng(config.seed)
+        constructor = config.make_constructor()
+        structure = SlidingWindowStructure(constructor, window_buckets=window_buckets)
+        super().__init__(config, structure)
 
     @property
-    def points_seen(self) -> int:
-        """Total number of stream points observed so far."""
-        return self._points_seen
+    def window_structure(self) -> SlidingWindowStructure:
+        """The underlying sliding-window structure."""
+        return self.structure  # type: ignore[return-value]
+
+    @property
+    def window_buckets(self) -> int:
+        """Number of base buckets the window covers."""
+        return self.window_structure.window_buckets
+
+    @property
+    def num_summaries(self) -> int:
+        """Number of unexpired bucket summaries currently retained."""
+        return self.window_structure.retained_buckets
 
     @property
     def window_points(self) -> int:
         """Number of stream points currently covered by the window."""
-        return len(self._summaries) * self.config.bucket_size + self._buffer.size
-
-    def insert(self, point: np.ndarray) -> None:
-        """Buffer a point; on a full bucket, summarise it and slide the window."""
-        row = np.asarray(point, dtype=self.config.np_dtype).reshape(-1)
-        self._dimension = require_dimension(self._dimension, row.shape[0], what="point")
-        self._buffer.append(row)
-        self._points_seen += 1
-        if self._buffer.is_full:
-            self._summarise_bucket(self._buffer.drain())
-
-    def insert_batch(self, points: np.ndarray) -> None:
-        """Insert a batch: completed window buckets are zero-copy slices."""
-        arr = coerce_batch(points, dtype=self.config.np_dtype)
-        if arr.shape[0] == 0:
-            return
-        self._dimension = require_dimension(self._dimension, arr.shape[1])
-        self._points_seen += arr.shape[0]
-        for block in self._buffer.take_full_blocks(arr):
-            self._summarise_bucket(block)
-
-    def _summarise_bucket(self, block: np.ndarray) -> None:
-        self._summaries.append(self._constructor.build(WeightedPointSet.from_points(block)))
-
-    def query(self) -> QueryResult:
-        """k-means++ over the window's bucket summaries plus the partial bucket."""
-        pieces = list(self._summaries)
-        if not self._buffer.is_empty:
-            pieces.append(WeightedPointSet.from_points(self._buffer.snapshot()))
-        if not pieces:
-            raise RuntimeError("cannot answer a clustering query before any point arrives")
-        combined = WeightedPointSet.union_all(pieces)
-        result = weighted_kmeans(
-            combined.points,
-            self.config.k,
-            weights=combined.weights,
-            n_init=self.config.n_init,
-            max_iterations=self.config.lloyd_iterations,
-            rng=self._rng,
+        return (
+            self.window_structure.retained_buckets * self.config.bucket_size
+            + self._buffer.size
         )
-        return QueryResult(centers=result.centers, coreset_points=combined.size, from_cache=False)
-
-    def stored_points(self) -> int:
-        """Summary points in the window plus the partial bucket."""
-        return sum(summary.size for summary in self._summaries) + len(self._buffer)
 
     # -- checkpointing -------------------------------------------------------
 
-    def _config_tree(self) -> dict:
-        return {
-            "streaming": streaming_config_to_dict(self.config),
-            "window_buckets": self.window_buckets,
-        }
-
-    def _state_tree(self) -> dict:
-        from ..checkpoint.state import rng_state
-
-        return {
-            "points_seen": self._points_seen,
-            "dimension": self._dimension,
-            "buffer": self._buffer.state_dict(),
-            "rng": rng_state(self._rng),
-            "constructor": self._constructor.state_dict(),
-            "summaries": [summary.state_dict() for summary in self._summaries],
-        }
+    def _extra_config(self) -> dict:
+        return {"window_buckets": self.window_buckets}
 
     @classmethod
-    def _from_checkpoint(cls, manifest, state, shards, **overrides):
-        from ..checkpoint.state import rng_from_state
-
-        cls._reject_overrides(overrides)
-        config_tree = manifest["config"]
-        clusterer = cls(
-            streaming_config_from_dict(config_tree["streaming"]),
-            window_buckets=int(config_tree["window_buckets"]),
-        )
-        clusterer._points_seen = int(state["points_seen"])
-        clusterer._dimension = (
-            None if state["dimension"] is None else int(state["dimension"])
-        )
-        clusterer._buffer.load_state(state["buffer"])
-        clusterer._rng = rng_from_state(state["rng"])
-        clusterer._constructor.load_state(state["constructor"])
-        for entry in state["summaries"]:
-            clusterer._summaries.append(WeightedPointSet.from_state(entry))
-        return clusterer
+    def _construct_for_restore(cls, config, config_tree):
+        return cls(config, window_buckets=int(config_tree["window_buckets"]))

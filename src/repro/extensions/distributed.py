@@ -1,29 +1,24 @@
-"""Clustering over distributed / parallel streams.
+"""DEPRECATED facade over the parallel sharded engine.
 
-The paper's conclusion names "clustering on distributed and parallel streams"
-as an open question.  Historically this module carried a single-threaded
-simulation; it is now a thin facade over the real multi-core engine in
-:mod:`repro.parallel`: each stream shard runs its own CC structure locally
-(no coordination on the update path), and the coordinator answers global
-clustering queries by collecting one coreset per shard — exactly the cheap
-per-shard query the CC cache makes possible — merging them (Observation 1: a
-union of coresets is a coreset of the union), and extracting ``k`` centers
-from the merged summary through the warm-startable
-:class:`~repro.queries.serving.QueryEngine`.
+.. deprecated::
+    This module is deprecated and will be removed in a future release.
+    Construct sharded clusterers through the algorithm registry instead —
+    ``default_registry().create("cc", config, shards=4)`` or the legacy shim
+    ``make_algorithm("cc", config, shards=4)`` — or use
+    :class:`repro.parallel.ShardedEngine` directly.  They expose the same
+    engine with every backend/routing/recovery knob.
 
-:class:`DistributedCoordinator` defaults to ``backend="serial"``, preserving
-the simulation semantics (deterministic, inline shard updates); pass
-``backend="thread"`` or ``backend="process"`` to run the same shards on real
-worker threads/processes.  Routing policies cover the common deployment
-shapes:
-
-* ``round_robin`` — load balancing, every shard sees a slice of everything;
-* ``hash`` — deterministic partitioning by point content (stable across
-  processes and batch boundaries);
-* ``random`` — seeded random assignment.
+Historically this module carried a single-threaded simulation of distributed
+clustering; PR 5 replaced it with a thin subclass of the real multi-core
+:class:`~repro.parallel.engine.ShardedEngine`, and the registry has since
+absorbed its one remaining job (spelling "CC shards, serial backend").  The
+class is kept importable for one deprecation cycle so existing scripts keep
+running; constructing it emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..core.base import StreamingConfig
 from ..parallel.engine import ShardedEngine
@@ -34,25 +29,12 @@ __all__ = ["StreamShard", "DistributedCoordinator"]
 
 
 class DistributedCoordinator(ShardedEngine):
-    """Routes a stream across shards and answers global clustering queries.
+    """Deprecated alias for a CC-sharded :class:`ShardedEngine`.
 
-    A :class:`~repro.parallel.engine.ShardedEngine` running CC shards, kept
-    as the extensions-facing name (and with the serial backend as default so
-    existing simulation workloads stay deterministic and dependency-free).
-
-    Parameters
-    ----------
-    config:
-        Shared streaming configuration applied to every shard.
-    num_shards:
-        Number of parallel shards (simulated workers under ``serial``, real
-        workers under ``thread``/``process``).
-    routing:
-        How points are assigned to shards: ``"round_robin"`` (default),
-        ``"hash"``, or ``"random"``.
-    backend:
-        Executor backend; the historical simulation behaviour is
-        ``"serial"`` (default).
+    Use ``default_registry().create("cc", config, shards=n)`` (or
+    ``make_algorithm("cc", config, shards=n)``) instead; this wrapper only
+    pins ``structure="cc"`` and ``backend="serial"`` defaults and will be
+    removed in a future release.
     """
 
     def __init__(
@@ -62,6 +44,14 @@ class DistributedCoordinator(ShardedEngine):
         routing: RoutingPolicy = "round_robin",
         backend: str = "serial",
     ) -> None:
+        warnings.warn(
+            "DistributedCoordinator is deprecated and will be removed; build "
+            "the sharded engine through the algorithm registry instead: "
+            'default_registry().create("cc", config, shards=n) or '
+            'make_algorithm("cc", config, shards=n)',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             config,
             num_shards=num_shards,

@@ -1,0 +1,122 @@
+"""Streaming soft (fuzzy c-means) clustering on the coreset substrate.
+
+:class:`SoftClusteringClusterer` ingests exactly like CC — a cached coreset
+tree behind the generic :class:`~repro.core.driver.StreamClusterDriver` — but
+serves *fuzzy membership weights* instead of a hard partition.  It plugs into
+the shared serving pipeline through the
+:meth:`~repro.core.serving_mixin.CoresetServingMixin._refine_solution` hook:
+the warm-start :class:`~repro.queries.serving.QueryEngine` first produces a
+hard solution (warm Lloyd or cold k-means++ restarts, exactly as for CC),
+then a deterministic fuzzy c-means descent (:func:`repro.kmeans.soft_lloyd`)
+refines those centers against the same coreset.  The engine's warm-start
+state keeps the *hard* solution, so warm/cold/drift accounting is identical
+to CC's; the refinement consumes no randomness.
+
+After any query, :attr:`SoftClusteringClusterer.last_soft` holds the full
+:class:`~repro.kmeans.SoftSolution` over the query coreset, and
+:meth:`SoftClusteringClusterer.membership` projects arbitrary points onto the
+current centers (rows sum to 1 within 1e-9).
+
+Sharded ingestion is refused: a
+:class:`~repro.parallel.engine.ShardedEngine` serves through its own engine
+and would silently drop the soft refinement, so ``sharded()`` raises instead
+of changing semantics (see ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.base import StreamingConfig
+from ..core.driver import CachedCoresetTreeClusterer
+from ..coreset.bucket import WeightedPointSet
+from ..kmeans import kmeans_cost
+from ..kmeans.soft import SoftSolution, soft_assignments, soft_lloyd
+from ..queries.serving import Solution
+
+__all__ = ["SoftClusteringClusterer"]
+
+
+class SoftClusteringClusterer(CachedCoresetTreeClusterer):
+    """CC-backed streaming clusterer that serves fuzzy membership weights.
+
+    Parameters
+    ----------
+    config:
+        Shared streaming configuration (k, bucket size, query-time settings).
+    fuzziness:
+        The fuzzy c-means exponent ``f > 1``; ``f -> 1`` recovers hard
+        assignment, larger values blur the partition.  2.0 is conventional.
+    """
+
+    checkpoint_name = "soft"
+    shard_structure = None
+
+    def __init__(self, config: StreamingConfig, fuzziness: float = 2.0) -> None:
+        if fuzziness <= 1.0:
+            raise ValueError(f"fuzziness must exceed 1.0, got {fuzziness}")
+        super().__init__(config)
+        self.fuzziness = float(fuzziness)
+        self._last_soft: SoftSolution | None = None
+
+    @classmethod
+    def sharded(cls, config, num_shards, backend="serial", routing="round_robin", **kwargs):
+        """Always raises: sharded serving would bypass the soft refinement."""
+        raise ValueError(
+            "algorithm 'soft' does not support sharded ingestion; use one of "
+            "ct, cc, rcc (the sharded engine serves hard solutions through "
+            "its own query engine, silently dropping fuzzy memberships)"
+        )
+
+    @property
+    def last_soft(self) -> SoftSolution | None:
+        """The fuzzy solution of the most recent query (None before one).
+
+        Its ``memberships`` rows correspond to the query coreset's points (in
+        coreset order) and each sums to 1; use :meth:`membership` to project
+        arbitrary points instead.
+        """
+        return self._last_soft
+
+    def membership(self, points: np.ndarray) -> np.ndarray:
+        """Fuzzy memberships of ``points`` against the latest query's centers.
+
+        Returns an ``(n, k)`` float64 array whose rows sum to 1 (within
+        1e-9).  Requires at least one prior query.
+        """
+        if self._last_soft is None:
+            raise RuntimeError("no query has been served yet; call query() first")
+        return soft_assignments(points, self._last_soft.centers, self.fuzziness)
+
+    def _refine_solution(
+        self, coreset: WeightedPointSet, k: int, solution: Solution
+    ) -> Solution:
+        """Run the fuzzy descent seeded from the engine's hard centers.
+
+        The returned (served) solution carries the refined centers and their
+        hard k-means cost over the coreset; the engine's warm-start state
+        keeps the pre-refinement solution, so drift detection and warm/cold
+        counters behave exactly as for CC.
+        """
+        refined = soft_lloyd(
+            coreset.points,
+            k,
+            weights=coreset.weights,
+            fuzziness=self.fuzziness,
+            initial_centers=solution.centers,
+            max_iterations=self.config.lloyd_iterations,
+        )
+        self._last_soft = refined
+        cost = kmeans_cost(coreset.points, refined.centers, weights=coreset.weights)
+        return dataclasses.replace(solution, centers=refined.centers, cost=cost)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _extra_config(self) -> dict:
+        return {"fuzziness": self.fuzziness}
+
+    @classmethod
+    def _construct_for_restore(cls, config, config_tree):
+        return cls(config, fuzziness=float(config_tree["fuzziness"]))

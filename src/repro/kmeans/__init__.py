@@ -13,6 +13,7 @@ from .cost import (
 from .kmeanspp import kmeanspp_seeding
 from .lloyd import LloydResult, lloyd_iterations
 from .sequential import SequentialKMeansState
+from .soft import SoftSolution, soft_assignments, soft_cost, soft_lloyd
 
 __all__ = [
     "BatchKMeans",
@@ -30,4 +31,8 @@ __all__ = [
     "LloydResult",
     "lloyd_iterations",
     "SequentialKMeansState",
+    "SoftSolution",
+    "soft_assignments",
+    "soft_cost",
+    "soft_lloyd",
 ]

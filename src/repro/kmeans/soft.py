@@ -1,0 +1,186 @@
+"""Soft (fuzzy c-means) clustering primitives over weighted point sets.
+
+The streaming soft-clustering algorithm serves *fuzzy membership weights*
+instead of a hard partition: every point belongs to every center with a
+membership in ``[0, 1]``, and each point's memberships sum to exactly 1.  The
+update rules are the classic fuzzy c-means iteration (Bezdek), applied to a
+weighted coreset:
+
+* memberships: ``u_ij = 1 / sum_l (d_ij / d_lj)^(2 / (f - 1))`` where
+  ``d_ij`` is the distance from point ``j`` to center ``i`` and ``f > 1`` is
+  the *fuzziness* exponent (``f -> 1`` recovers hard assignment, larger ``f``
+  blurs the partition);
+* centers: ``c_i = sum_j w_j u_ij^f x_j / sum_j w_j u_ij^f`` — the
+  membership-weighted mean, folding in the coreset weights ``w_j``.
+
+All accumulation happens in float64 regardless of the storage dtype, per the
+library's honest-accumulator rule.  :func:`soft_lloyd` is deterministic given
+its inputs — it consumes no randomness — so it composes with the span-keyed
+coreset machinery without perturbing any RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cost import pairwise_squared_distances
+
+__all__ = ["SoftSolution", "soft_assignments", "soft_cost", "soft_lloyd"]
+
+
+@dataclass(frozen=True)
+class SoftSolution:
+    """Result of a fuzzy c-means descent over a weighted point set.
+
+    Attributes
+    ----------
+    centers:
+        Array of shape ``(k, d)``: the membership-weighted means.
+    memberships:
+        Array of shape ``(n, k)``: row ``j`` holds point ``j``'s memberships
+        across all ``k`` centers and sums to 1 (within 1e-9).
+    cost:
+        The fuzzy objective ``sum_j w_j sum_i u_ij^f d2_ij`` at the final
+        centers.
+    iterations:
+        Number of update iterations actually performed.
+    """
+
+    centers: np.ndarray
+    memberships: np.ndarray
+    cost: float
+    iterations: int
+
+
+def soft_assignments(
+    points: np.ndarray, centers: np.ndarray, fuzziness: float = 2.0
+) -> np.ndarray:
+    """Fuzzy membership matrix of ``points`` against ``centers``.
+
+    Returns an ``(n, k)`` float64 array whose rows sum to 1.  A point that
+    coincides exactly with one or more centers puts all of its membership on
+    those centers (split evenly), the standard singularity rule.
+    """
+    if fuzziness <= 1.0:
+        raise ValueError(f"fuzziness must exceed 1.0, got {fuzziness}")
+    pts = np.asarray(points, dtype=np.float64)
+    ctr = np.asarray(centers, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    d2 = np.maximum(pairwise_squared_distances(pts, ctr), 0.0)
+    # u_ij ∝ d2_ij^(-1/(f-1)).  Dividing each row by its minimum first keeps
+    # every reciprocal power in (0, 1] — the raw form overflows to inf (and
+    # the row normalisation to NaN) whenever a distance is tiny and the
+    # exponent large, e.g. a near-duplicate point under low fuzziness.
+    power = 1.0 / (fuzziness - 1.0)
+    row_min = d2.min(axis=1, keepdims=True)
+    zero_rows = (row_min <= 0.0).ravel()
+    ratio = d2 / np.where(row_min > 0.0, row_min, 1.0)
+    # Zero rows still hold exact zeros here (their inv is inf); they are
+    # replaced by the even-split rule below, so only silence the warnings.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = ratio**-power
+        memberships = inv / inv.sum(axis=1, keepdims=True)
+    if zero_rows.any():
+        exact = (d2[zero_rows] <= 0.0).astype(np.float64)
+        memberships[zero_rows] = exact / exact.sum(axis=1, keepdims=True)
+    # One explicit renormalisation bounds the row-sum error at ~1 ulp even for
+    # extreme fuzziness exponents.
+    memberships /= memberships.sum(axis=1, keepdims=True)
+    return memberships
+
+
+def soft_cost(
+    points: np.ndarray,
+    centers: np.ndarray,
+    memberships: np.ndarray,
+    fuzziness: float = 2.0,
+    weights: np.ndarray | None = None,
+) -> float:
+    """The fuzzy c-means objective ``sum_j w_j sum_i u_ij^f d2_ij``."""
+    pts = np.asarray(points, dtype=np.float64)
+    d2 = np.maximum(pairwise_squared_distances(pts, np.asarray(centers, np.float64)), 0.0)
+    um = memberships**fuzziness
+    per_point = np.einsum("jk,jk->j", um, d2)
+    if weights is not None:
+        per_point = per_point * np.asarray(weights, dtype=np.float64)
+    return float(per_point.sum())
+
+
+def soft_lloyd(
+    points: np.ndarray,
+    k: int,
+    weights: np.ndarray | None = None,
+    fuzziness: float = 2.0,
+    initial_centers: np.ndarray | None = None,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+    rng: np.random.Generator | None = None,
+) -> SoftSolution:
+    """Fuzzy c-means descent, seeded from ``initial_centers``.
+
+    Parameters
+    ----------
+    points / weights:
+        The weighted point set (coreset) to cluster; weights default to 1.
+    k:
+        Number of centers.
+    fuzziness:
+        The exponent ``f > 1``; 2.0 is the conventional default.
+    initial_centers:
+        Seed centers of shape ``(k, d)``.  When omitted, ``k`` points are
+        k-means++-seeded with ``rng`` (the streaming clusterer always passes
+        the warm/cold centers its query engine produced, keeping this
+        function RNG-free on the serving path).
+    max_iterations / tolerance:
+        Stop after ``max_iterations`` updates or when the largest center
+        displacement falls below ``tolerance`` (relative to the data scale).
+    """
+    if fuzziness <= 1.0:
+        raise ValueError(f"fuzziness must exceed 1.0, got {fuzziness}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    if pts.shape[0] == 0:
+        raise ValueError("cannot run soft clustering on an empty point set")
+    w = (
+        np.ones(pts.shape[0], dtype=np.float64)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+    if initial_centers is None:
+        from .kmeanspp import kmeanspp_seeding
+
+        centers = kmeanspp_seeding(
+            pts, k, weights=w, rng=rng if rng is not None else np.random.default_rng()
+        )
+    else:
+        centers = np.asarray(initial_centers, dtype=np.float64).copy()
+    if centers.shape[0] != k:
+        raise ValueError(f"initial_centers must have {k} rows, got {centers.shape[0]}")
+
+    scale = max(float(np.abs(pts).max(initial=0.0)), 1.0)
+    memberships = soft_assignments(pts, centers, fuzziness)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        um = (memberships**fuzziness) * w[:, None]
+        denom = um.sum(axis=0)
+        new_centers = centers.copy()
+        occupied = denom > 0.0
+        if occupied.any():
+            new_centers[occupied] = (um.T @ pts)[occupied] / denom[occupied, None]
+        shift = float(np.abs(new_centers - centers).max(initial=0.0))
+        centers = new_centers
+        memberships = soft_assignments(pts, centers, fuzziness)
+        if shift <= tolerance * scale:
+            break
+    return SoftSolution(
+        centers=centers,
+        memberships=memberships,
+        cost=soft_cost(pts, centers, memberships, fuzziness, weights=w),
+        iterations=iterations,
+    )

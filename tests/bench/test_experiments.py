@@ -9,10 +9,12 @@ from repro.bench.experiments import (
     cost_vs_bucket_size,
     cost_vs_k,
     dataset_table,
+    drift_adaptation_curve,
     memory_table,
     poisson_queries,
     rcc_tradeoffs,
     scaling_profile,
+    soft_membership_profile,
     threshold_sweep,
     time_vs_bucket_size,
     time_vs_query_interval,
@@ -204,3 +206,55 @@ class TestScalingProfile:
                 assert cell["speedup_vs_baseline"] > 0
         # The 1-shard serial cell IS the baseline.
         assert profile["serial"][1]["speedup_vs_baseline"] == pytest.approx(1.0)
+
+
+class TestDriftAdaptationCurve:
+    def test_structure(self, small_stream):
+        curves = drift_adaptation_curve(
+            small_stream,
+            algorithms=("cc", "window"),
+            k=4,
+            query_interval=1000,
+            trailing_points=800,
+            algorithm_options={"window": {"window_buckets": 4}},
+        )
+        assert set(curves) == {"cc", "window"}
+        for curve in curves.values():
+            assert sorted(curve) == [1000, 2000, 3000]
+            assert all(cost > 0 for cost in curve.values())
+
+    def test_window_adapts_after_regime_shift(self):
+        from repro.data.stress import generate_driftburst
+
+        points = generate_driftburst(4000, seed=0, num_segments=2)
+        curves = drift_adaptation_curve(
+            points,
+            algorithms=("cc", "window"),
+            k=5,
+            query_interval=1000,
+            trailing_points=800,
+            algorithm_options={"window": {"window_buckets": 4}},
+        )
+        # After the shift at 2000 the window forgets the old regime while the
+        # full-history clusterer keeps straddling both.
+        final = max(curves["window"])
+        assert curves["window"][final] < curves["cc"][final]
+
+
+class TestSoftMembershipProfile:
+    def test_structure_and_monotone_blur(self, small_stream):
+        profile = soft_membership_profile(
+            small_stream[:1500], fuzziness_values=(1.2, 3.0), k=4
+        )
+        assert set(profile) == {1.2, 3.0}
+        for row in profile.values():
+            assert set(row) == {
+                "mean_entropy",
+                "mean_max_membership",
+                "soft_cost",
+                "hard_cost",
+                "iterations",
+            }
+        # Larger exponents blur the partition: entropy up, peak membership down.
+        assert profile[3.0]["mean_entropy"] > profile[1.2]["mean_entropy"]
+        assert profile[3.0]["mean_max_membership"] < profile[1.2]["mean_max_membership"]

@@ -30,6 +30,7 @@ from repro.core.driver import (
 from repro.core.online_cc import OnlineCCClusterer
 from repro.extensions.decay import DecayedCoresetClusterer, SlidingWindowClusterer
 from repro.extensions.kmedian import KMedianCachedClusterer, KMedianConfig
+from repro.extensions.soft import SoftClusteringClusterer
 
 
 def small_streaming_config(seed: int = 17) -> StreamingConfig:
@@ -70,6 +71,9 @@ ALGORITHM_FACTORIES = {
     ),
     "window": lambda seed: SlidingWindowClusterer(
         small_streaming_config(seed), window_buckets=4
+    ),
+    "soft": lambda seed: SoftClusteringClusterer(
+        small_streaming_config(seed), fuzziness=1.8
     ),
     "kmedian": lambda seed: KMedianCachedClusterer(
         KMedianConfig(k=3, coreset_size=40, n_init=2, max_iterations=4, seed=seed)

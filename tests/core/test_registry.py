@@ -1,0 +1,226 @@
+"""Unit tests for the algorithm registry and its typed options plumbing."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.core.base import StreamingConfig
+from repro.core.registry import (
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    DecayOptions,
+    NoOptions,
+    OnlineCCOptions,
+    RccOptions,
+    SoftOptions,
+    WindowOptions,
+    default_registry,
+)
+
+
+@pytest.fixture()
+def config() -> StreamingConfig:
+    return StreamingConfig(k=3, coreset_size=40, n_init=2, lloyd_iterations=3, seed=0)
+
+
+class TestDefaultRegistry:
+    def test_registration_order_is_stable(self):
+        assert default_registry().names() == (
+            "sequential",
+            "streamkm++",
+            "ct",
+            "cc",
+            "rcc",
+            "onlinecc",
+            "window",
+            "decay",
+            "soft",
+        )
+
+    def test_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_lookup_is_case_insensitive_and_alias_aware(self):
+        registry = default_registry()
+        assert registry.get("CC").name == "cc"
+        assert registry.get("streamkmpp").name == "streamkm++"
+        assert "RCC" in registry
+        assert "dbscan" not in registry
+
+    def test_unknown_name_raises_keyerror_listing_names(self):
+        with pytest.raises(KeyError, match="unknown algorithm 'dbscan'"):
+            default_registry().get("dbscan")
+
+    def test_shard_structures(self):
+        registry = default_registry()
+        assert registry.get("ct").shard_structure == "ct"
+        assert registry.get("cc").shard_structure == "cc"
+        assert registry.get("rcc").shard_structure == "rcc"
+        for name in ("sequential", "streamkm++", "onlinecc", "window", "decay", "soft"):
+            assert registry.get(name).shard_structure is None
+
+
+class TestOptionsValidation:
+    def test_defaults(self):
+        assert RccOptions().nesting_depth == 3
+        assert OnlineCCOptions().switch_threshold == 1.2
+        assert WindowOptions().window_buckets == 10
+        assert DecayOptions() == DecayOptions(decay=0.95, min_weight=1e-3)
+        assert SoftOptions().fuzziness == 2.0
+
+    @pytest.mark.parametrize(
+        ("options_type", "kwargs"),
+        [
+            (RccOptions, {"nesting_depth": 0}),
+            (OnlineCCOptions, {"switch_threshold": 1.0}),
+            (WindowOptions, {"window_buckets": 0}),
+            (DecayOptions, {"decay": 0.0}),
+            (DecayOptions, {"decay": 1.5}),
+            (DecayOptions, {"min_weight": 0.0}),
+            (DecayOptions, {"min_weight": 1.0}),
+            (SoftOptions, {"fuzziness": 1.0}),
+        ],
+    )
+    def test_out_of_range_values_rejected(self, options_type, kwargs):
+        with pytest.raises(ValueError):
+            options_type(**kwargs)
+
+    def test_options_for_builds_typed_instance(self):
+        options = default_registry().options_for("rcc", nesting_depth=2)
+        assert options == RccOptions(nesting_depth=2)
+
+    def test_options_for_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="does not accept option"):
+            default_registry().options_for("cc", nesting_depth=2)
+        with pytest.raises(TypeError, match="window_buckets"):
+            default_registry().options_for("window", fuzziness=2.0)
+
+
+class TestCreate:
+    def test_create_with_defaults(self, config):
+        for name in default_registry().names():
+            algorithm = default_registry().create(name, config)
+            assert algorithm is not None
+
+    def test_create_with_keyword_overrides(self, config):
+        rcc = default_registry().create("rcc", config, nesting_depth=1)
+        assert rcc.recursive_tree.nesting_depth == 1
+        window = default_registry().create("window", config, window_buckets=2)
+        assert window.window_buckets == 2
+        soft = default_registry().create("soft", config, fuzziness=1.5)
+        assert soft.fuzziness == 1.5
+
+    def test_create_with_options_instance(self, config):
+        rcc = default_registry().create("rcc", config, options=RccOptions(nesting_depth=2))
+        assert rcc.recursive_tree.nesting_depth == 2
+
+    def test_create_rejects_options_and_overrides_together(self, config):
+        with pytest.raises(TypeError, match="not both"):
+            default_registry().create(
+                "rcc", config, options=RccOptions(), nesting_depth=2
+            )
+
+    def test_create_rejects_wrong_options_type(self, config):
+        with pytest.raises(TypeError, match="expects RccOptions"):
+            default_registry().create("rcc", config, options=WindowOptions())
+
+    def test_sharded_create_for_tree_algorithms(self, config):
+        engine = default_registry().create("cc", config, shards=2)
+        try:
+            assert engine.num_shards == 2
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("name", ["sequential", "onlinecc", "window", "decay", "soft"])
+    def test_sharded_create_refused_for_unshardable(self, config, name):
+        with pytest.raises(ValueError, match="does not support sharded ingestion"):
+            default_registry().create(name, config, shards=2)
+
+
+class TestCliIntegration:
+    def test_add_cli_flags_generates_every_option_flag(self):
+        parser = argparse.ArgumentParser()
+        default_registry().add_cli_flags(parser)
+        args = parser.parse_args([])
+        for field in (
+            "nesting_depth",
+            "switch_threshold",
+            "window_buckets",
+            "decay",
+            "min_weight",
+            "fuzziness",
+        ):
+            assert getattr(args, field) is None  # default = use dataclass default
+
+    def test_flag_types(self):
+        parser = argparse.ArgumentParser()
+        default_registry().add_cli_flags(parser)
+        args = parser.parse_args(
+            ["--nesting-depth", "2", "--fuzziness", "1.5", "--window-buckets", "7"]
+        )
+        assert args.nesting_depth == 2 and isinstance(args.nesting_depth, int)
+        assert args.fuzziness == 1.5 and isinstance(args.fuzziness, float)
+        assert args.window_buckets == 7 and isinstance(args.window_buckets, int)
+
+    def test_cli_overrides_picks_only_explicit_values(self):
+        parser = argparse.ArgumentParser()
+        default_registry().add_cli_flags(parser)
+        args = parser.parse_args(["--window-buckets", "5"])
+        assert default_registry().cli_overrides("window", args) == {"window_buckets": 5}
+        assert default_registry().cli_overrides("cc", args) == {}
+        # Flags belonging to other algorithms are ignored for this one.
+        assert default_registry().cli_overrides("soft", args) == {}
+
+    def test_scenarios_doc_flag_table_in_sync(self):
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parents[2] / "docs" / "scenarios.md"
+        text = doc.read_text()
+        begin, end = "<!-- flag-table:begin -->", "<!-- flag-table:end -->"
+        embedded = text.split(begin)[1].split(end)[0].strip()
+        assert embedded == default_registry().render_flag_table().strip()
+
+    def test_render_flag_table_lists_all_flags(self):
+        table = default_registry().render_flag_table()
+        for flag in (
+            "--nesting-depth",
+            "--switch-threshold",
+            "--window-buckets",
+            "--decay",
+            "--min-weight",
+            "--fuzziness",
+        ):
+            assert flag in table
+
+
+class TestCustomRegistry:
+    def test_register_rejects_duplicate_names(self):
+        registry = AlgorithmRegistry()
+        spec = AlgorithmSpec(name="x", summary="", factory=lambda c, o: None)
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(AlgorithmSpec(name="X", summary="", factory=lambda c, o: None))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(
+                AlgorithmSpec(name="y", summary="", factory=lambda c, o: None, aliases=("x",))
+            )
+
+    def test_third_party_registration_flows_through(self, config):
+        registry = AlgorithmRegistry()
+
+        class Dummy:
+            def __init__(self, cfg):
+                self.k = cfg.k
+
+        registry.register(
+            AlgorithmSpec(
+                name="dummy",
+                summary="test-only",
+                factory=lambda cfg, options: Dummy(cfg),
+                options_type=NoOptions,
+            )
+        )
+        assert registry.names() == ("dummy",)
+        assert registry.create("dummy", config).k == config.k

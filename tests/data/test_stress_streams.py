@@ -1,0 +1,80 @@
+"""Unit tests for the drift/expiry stress streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import dataset_names
+from repro.data.stress import (
+    generate_driftburst,
+    generate_expiry,
+    load_stress_stream,
+    stress_stream_names,
+)
+
+
+class TestDriftburst:
+    def test_shape_and_determinism(self):
+        a = generate_driftburst(1000, seed=3)
+        b = generate_driftburst(1000, seed=3)
+        assert a.shape == (1000, 8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, generate_driftburst(1000, seed=4))
+
+    def test_segments_occupy_distinct_regions(self):
+        points = generate_driftburst(2000, seed=0, num_segments=4)
+        segment_means = [points[i * 500 : (i + 1) * 500].mean(axis=0) for i in range(4)]
+        # Centers re-draw at every boundary, so consecutive segment means
+        # should be well separated relative to within-segment noise.
+        gaps = [
+            float(np.linalg.norm(segment_means[i + 1] - segment_means[i]))
+            for i in range(3)
+        ]
+        assert min(gaps) > 1.0
+
+    def test_remainder_absorbed_by_last_segment(self):
+        assert generate_driftburst(1003, num_segments=4).shape[0] == 1003
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_driftburst(0)
+        with pytest.raises(ValueError):
+            generate_driftburst(100, num_segments=0)
+
+
+class TestExpiry:
+    def test_poison_prefix_is_offset(self):
+        points = generate_expiry(1000, seed=1, poison_fraction=0.3, poison_offset=100.0)
+        assert points.shape == (1000, 6)
+        prefix, suffix = points[:300], points[300:]
+        assert float(prefix.mean()) > 50.0
+        assert abs(float(suffix.mean())) < 50.0
+
+    def test_determinism(self):
+        np.testing.assert_array_equal(generate_expiry(500, seed=2), generate_expiry(500, seed=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_expiry(0)
+        with pytest.raises(ValueError):
+            generate_expiry(100, poison_fraction=1.0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert stress_stream_names() == ["driftburst", "expiry"]
+
+    def test_disjoint_from_table3_datasets(self):
+        assert not set(stress_stream_names()) & set(dataset_names())
+
+    def test_load_by_name_case_insensitive(self):
+        info = load_stress_stream("DriftBurst", num_points=400, seed=5)
+        assert info.points.shape == (400, 8)
+        assert info.name == "DriftBurst"
+        info = load_stress_stream("expiry", num_points=400)
+        assert info.points.shape == (400, 6)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown stress stream"):
+            load_stress_stream("nope")

@@ -134,6 +134,45 @@ class TestSlidingWindowClusterer:
         assert clusterer.points_seen == 91
 
 
+class TestServingPipelineIntegration:
+    """Regression: window/decay must serve through the shared query pipeline.
+
+    Historically both clusterers called ``weighted_kmeans`` directly and
+    bypassed the QueryEngine entirely, so ``collect_serving_stats`` silently
+    reported all-zero warm/cold counters.  As StreamClusterDriver subclasses
+    they now inherit the real serving path.
+    """
+
+    @pytest.mark.parametrize("cls", (DecayedCoresetClusterer, SlidingWindowClusterer))
+    def test_serving_counters_are_populated(self, config, cls):
+        from repro.bench.harness import collect_serving_stats
+
+        clusterer = cls(config)
+        rng = np.random.default_rng(5)
+        clusterer.insert_many(rng.normal(size=(600, 3)))
+        for _ in range(4):
+            clusterer.query()
+        stats = collect_serving_stats(clusterer)
+        assert stats.warm_queries + stats.cold_queries == 4
+        assert stats.cold_queries >= 1  # the first query is always cold
+        assert clusterer.last_query_stats is not None
+        assert clusterer.last_query_stats.solve_seconds >= 0.0
+
+    @pytest.mark.parametrize("cls", (DecayedCoresetClusterer, SlidingWindowClusterer))
+    def test_query_multi_k_served_from_one_assembly(self, config, cls):
+        clusterer = cls(config)
+        clusterer.insert_many(np.random.default_rng(6).normal(size=(400, 3)))
+        sweep = clusterer.query_multi_k((2, 3, 4))
+        assert set(sweep) == {2, 3, 4}
+        for k, result in sweep.items():
+            assert result.centers.shape == (k, 3)
+
+    @pytest.mark.parametrize("cls", (DecayedCoresetClusterer, SlidingWindowClusterer))
+    def test_sharded_construction_refused(self, config, cls):
+        with pytest.raises(ValueError, match="does not support sharded ingestion"):
+            cls.sharded(config, num_shards=2)
+
+
 class TestStorageDtypePolicy:
     """Regression: both clusterers must honour ``config.dtype`` end to end.
 
@@ -154,8 +193,8 @@ class TestStorageDtypePolicy:
     @staticmethod
     def _summaries(clusterer) -> list:
         if isinstance(clusterer, DecayedCoresetClusterer):
-            return [summary for summary, _ in clusterer._summaries]
-        return list(clusterer._summaries)
+            return [summary for summary, _ in clusterer.decayed_structure.summaries()]
+        return list(clusterer.window_structure.summaries())
 
     @pytest.mark.parametrize("cls", CLUSTERERS)
     def test_insert_keeps_float32_storage(self, cls):

@@ -1,0 +1,129 @@
+"""Unit tests for the streaming soft (fuzzy c-means) clusterer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import collect_serving_stats
+from repro.core.base import StreamingConfig
+from repro.extensions.soft import SoftClusteringClusterer
+
+
+@pytest.fixture()
+def config() -> StreamingConfig:
+    return StreamingConfig(k=3, coreset_size=50, n_init=2, lloyd_iterations=5, seed=0)
+
+
+def _stream(n: int = 600, d: int = 4, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=10.0, size=(3, d))
+    labels = rng.integers(0, 3, size=n)
+    return centers[labels] + rng.normal(size=(n, d))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("fuzziness", [1.0, 0.5, -2.0])
+    def test_invalid_fuzziness(self, config, fuzziness):
+        with pytest.raises(ValueError, match="fuzziness must exceed 1.0"):
+            SoftClusteringClusterer(config, fuzziness=fuzziness)
+
+    def test_fuzziness_stored_as_float(self, config):
+        assert SoftClusteringClusterer(config, fuzziness=2).fuzziness == 2.0
+
+    def test_sharded_construction_refused(self, config):
+        with pytest.raises(ValueError, match="does not support sharded ingestion"):
+            SoftClusteringClusterer.sharded(config, num_shards=2)
+
+
+class TestMembershipApi:
+    def test_membership_before_query_raises(self, config):
+        clusterer = SoftClusteringClusterer(config)
+        clusterer.insert_batch(_stream(200))
+        with pytest.raises(RuntimeError, match="call query"):
+            clusterer.membership(np.zeros((2, 4)))
+
+    def test_last_soft_none_before_query(self, config):
+        assert SoftClusteringClusterer(config).last_soft is None
+
+    def test_query_populates_last_soft(self, config):
+        clusterer = SoftClusteringClusterer(config)
+        clusterer.insert_batch(_stream())
+        result = clusterer.query()
+        soft = clusterer.last_soft
+        assert soft is not None
+        assert soft.centers.shape == (3, 4)
+        np.testing.assert_array_equal(result.centers, soft.centers)
+        # Coreset-row memberships each sum to one.
+        np.testing.assert_allclose(soft.memberships.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_membership_rows_sum_to_one(self, config):
+        clusterer = SoftClusteringClusterer(config)
+        clusterer.insert_batch(_stream())
+        clusterer.query()
+        probes = np.random.default_rng(1).normal(scale=12.0, size=(64, 4))
+        u = clusterer.membership(probes)
+        assert u.shape == (64, 3)
+        assert np.all((u >= 0.0) & (u <= 1.0))
+        np.testing.assert_allclose(u.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_fuzzier_exponent_blurs_partition(self, config):
+        points = _stream()
+        probes = points[:128]
+        peaks = {}
+        for fuzziness in (1.2, 3.0):
+            clusterer = SoftClusteringClusterer(config, fuzziness=fuzziness)
+            clusterer.insert_batch(points)
+            clusterer.query()
+            peaks[fuzziness] = float(clusterer.membership(probes).max(axis=1).mean())
+        assert peaks[1.2] > peaks[3.0]
+
+
+class TestServingIntegration:
+    def test_refinement_is_deterministic(self, config):
+        points = _stream()
+        first = SoftClusteringClusterer(config)
+        first.insert_batch(points)
+        second = SoftClusteringClusterer(config)
+        second.insert_batch(points)
+        np.testing.assert_array_equal(first.query().centers, second.query().centers)
+        np.testing.assert_array_equal(
+            first.last_soft.memberships, second.last_soft.memberships
+        )
+
+    def test_warm_cold_accounting_matches_cc(self, config):
+        clusterer = SoftClusteringClusterer(config)
+        clusterer.insert_batch(_stream())
+        for _ in range(4):
+            clusterer.query()
+        stats = collect_serving_stats(clusterer)
+        assert stats.warm_queries + stats.cold_queries == 4
+        assert stats.cold_queries >= 1
+
+    def test_query_multi_k_refines_every_k(self, config):
+        clusterer = SoftClusteringClusterer(config)
+        clusterer.insert_batch(_stream())
+        sweep = clusterer.query_multi_k((2, 3, 4))
+        assert set(sweep) == {2, 3, 4}
+        for k, result in sweep.items():
+            assert result.centers.shape == (k, 4)
+        # last_soft reflects the final k served in the sweep.
+        assert clusterer.last_soft is not None
+
+    def test_last_soft_cost_consistent_with_coreset(self, config):
+        from repro.kmeans.soft import soft_cost
+
+        clusterer = SoftClusteringClusterer(config)
+        clusterer.insert_batch(_stream())
+        result = clusterer.query()
+        coreset = clusterer.structure.query_coreset()
+        soft = clusterer.last_soft
+        assert soft.memberships.shape == (coreset.points.shape[0], 3)
+        expected = soft_cost(
+            coreset.points,
+            result.centers,
+            soft.memberships,
+            fuzziness=clusterer.fuzziness,
+            weights=coreset.weights,
+        )
+        assert soft.cost == pytest.approx(expected)

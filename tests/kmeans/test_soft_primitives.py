@@ -1,0 +1,102 @@
+"""Unit tests for the fuzzy c-means primitives in ``repro.kmeans.soft``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kmeans.soft import soft_assignments, soft_cost, soft_lloyd
+
+
+def _blobs(seed: int = 0, n: int = 300, d: int = 3):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=8.0, size=(3, d))
+    labels = rng.integers(0, 3, size=n)
+    return centers[labels] + rng.normal(scale=0.5, size=(n, d)), centers
+
+
+class TestSoftAssignments:
+    def test_rows_sum_to_one(self):
+        points, centers = _blobs()
+        u = soft_assignments(points, centers, fuzziness=2.0)
+        assert u.shape == (300, 3)
+        np.testing.assert_allclose(u.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_invalid_fuzziness(self):
+        points, centers = _blobs()
+        with pytest.raises(ValueError, match="fuzziness must exceed 1.0"):
+            soft_assignments(points, centers, fuzziness=1.0)
+
+    def test_point_on_center_gets_full_membership(self):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0]])
+        u = soft_assignments(np.array([[0.0, 0.0]]), centers)
+        np.testing.assert_allclose(u, [[1.0, 0.0]])
+
+    def test_point_on_two_coincident_centers_splits_evenly(self):
+        centers = np.array([[0.0, 0.0], [0.0, 0.0], [10.0, 0.0]])
+        u = soft_assignments(np.array([[0.0, 0.0]]), centers)
+        np.testing.assert_allclose(u, [[0.5, 0.5, 0.0]])
+
+    def test_single_point_input_reshaped(self):
+        _, centers = _blobs()
+        u = soft_assignments(np.zeros(3), centers)
+        assert u.shape == (1, 3)
+
+    def test_low_fuzziness_approaches_hard_assignment(self):
+        points, centers = _blobs()
+        u = soft_assignments(points, centers, fuzziness=1.01)
+        assert float(u.max(axis=1).min()) > 0.999
+
+
+class TestSoftLloyd:
+    def test_deterministic_given_seed_centers(self):
+        points, centers = _blobs()
+        a = soft_lloyd(points, 3, initial_centers=centers)
+        b = soft_lloyd(points, 3, initial_centers=centers)
+        np.testing.assert_array_equal(a.centers, b.centers)
+        np.testing.assert_array_equal(a.memberships, b.memberships)
+        assert a.cost == b.cost and a.iterations == b.iterations
+
+    def test_descent_does_not_increase_cost(self):
+        points, centers = _blobs()
+        seeded = centers + np.random.default_rng(1).normal(scale=2.0, size=centers.shape)
+        u0 = soft_assignments(points, seeded)
+        start = soft_cost(points, seeded, u0)
+        solution = soft_lloyd(points, 3, initial_centers=seeded, max_iterations=10)
+        assert solution.cost <= start + 1e-9
+
+    def test_recovers_well_separated_blobs(self):
+        points, true_centers = _blobs(n=600)
+        solution = soft_lloyd(points, 3, initial_centers=true_centers, max_iterations=20)
+        # Each true center should have a fitted center within the noise scale.
+        dists = np.linalg.norm(
+            solution.centers[:, None, :] - true_centers[None, :, :], axis=2
+        )
+        assert float(dists.min(axis=0).max()) < 1.0
+
+    def test_weights_shift_centers(self):
+        points = np.array([[0.0], [0.0], [10.0]])
+        heavy_right = soft_lloyd(
+            points, 1, weights=np.array([1.0, 1.0, 100.0]), initial_centers=np.array([[5.0]])
+        )
+        heavy_left = soft_lloyd(
+            points, 1, weights=np.array([100.0, 100.0, 1.0]), initial_centers=np.array([[5.0]])
+        )
+        assert heavy_right.centers[0, 0] > heavy_left.centers[0, 0]
+
+    def test_validation(self):
+        points, _ = _blobs()
+        with pytest.raises(ValueError, match="fuzziness"):
+            soft_lloyd(points, 3, fuzziness=1.0)
+        with pytest.raises(ValueError, match="k must be positive"):
+            soft_lloyd(points, 0)
+        with pytest.raises(ValueError, match="empty point set"):
+            soft_lloyd(np.empty((0, 3)), 3)
+        with pytest.raises(ValueError, match="initial_centers must have 3 rows"):
+            soft_lloyd(points, 3, initial_centers=np.zeros((2, 3)))
+
+    def test_seeding_without_initial_centers_uses_rng(self):
+        points, _ = _blobs()
+        a = soft_lloyd(points, 3, rng=np.random.default_rng(5))
+        b = soft_lloyd(points, 3, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.centers, b.centers)

@@ -1,0 +1,98 @@
+"""Property-based tests for the PR's two new first-class algorithms.
+
+1. **Exact bucket expiry** — the sliding-window clusterer's served coreset
+   after any stream is *bit-equal* to a fresh clusterer's coreset over just
+   the surviving suffix (the retained full buckets plus the partial-bucket
+   tail).  This is the Braverman-style exactness claim: expired buckets
+   vanish completely, and because base-bucket summaries are verbatim
+   passthrough blocks the bucket-index offset between the two runs cannot
+   leak into the stored bytes.
+
+2. **Soft membership normalization** — every membership row produced by
+   :func:`repro.kmeans.soft.soft_assignments` sums to 1 within 1e-9, for any
+   points/centers geometry and any fuzziness exponent, including points that
+   coincide exactly with one or more centers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import StreamingConfig
+from repro.extensions.decay import SlidingWindowClusterer
+from repro.kmeans.soft import soft_assignments
+
+
+@st.composite
+def window_stream(draw):
+    n = draw(st.integers(min_value=1, max_value=400))
+    d = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=4, max_value=20))
+    window = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    points = np.random.default_rng(seed).normal(size=(n, d))
+    config = StreamingConfig(
+        k=2, coreset_size=m, n_init=1, lloyd_iterations=2, seed=seed
+    )
+    return points, config, window
+
+
+@settings(max_examples=40, deadline=None)
+@given(window_stream())
+def test_window_expiry_is_exact(case):
+    """Post-expiry coreset is bit-equal to a fresh run over the suffix."""
+    points, config, window = case
+    full = SlidingWindowClusterer(config, window_buckets=window)
+    full.insert_batch(points)
+
+    m = config.bucket_size
+    surviving = full.window_structure.retained_buckets * m + full._buffer.size
+    fresh = SlidingWindowClusterer(config, window_buckets=window)
+    if surviving:
+        fresh.insert_batch(points[-surviving:])
+
+    assert fresh.window_structure.retained_buckets == full.window_structure.retained_buckets
+    full_coreset = full._coreset_pieces()
+    fresh_coreset = fresh._coreset_pieces()
+    np.testing.assert_array_equal(full_coreset.points, fresh_coreset.points)
+    np.testing.assert_array_equal(full_coreset.weights, fresh_coreset.weights)
+
+
+@settings(max_examples=40, deadline=None)
+@given(window_stream())
+def test_window_memory_bound(case):
+    """Stored points never exceed the window plus one partial bucket."""
+    points, config, window = case
+    clusterer = SlidingWindowClusterer(config, window_buckets=window)
+    clusterer.insert_batch(points)
+    assert clusterer.stored_points() <= (window + 1) * config.bucket_size
+    assert clusterer.points_seen == points.shape[0]
+
+
+@st.composite
+def membership_case(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    k = draw(st.integers(min_value=1, max_value=6))
+    d = draw(st.integers(min_value=1, max_value=5))
+    fuzziness = draw(st.floats(min_value=1.01, max_value=8.0))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    scale = draw(st.sampled_from([1e-3, 1.0, 1e3]))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(scale=scale, size=(n, d))
+    centers = rng.normal(scale=scale, size=(k, d))
+    # Sometimes pin a point exactly onto a center to hit the singularity rule.
+    if draw(st.booleans()) and n >= 1:
+        points[0] = centers[draw(st.integers(min_value=0, max_value=k - 1))]
+    return points, centers, fuzziness
+
+
+@settings(max_examples=60, deadline=None)
+@given(membership_case())
+def test_soft_membership_rows_sum_to_one(case):
+    points, centers, fuzziness = case
+    u = soft_assignments(points, centers, fuzziness)
+    assert u.shape == (points.shape[0], centers.shape[0])
+    assert np.all(u >= 0.0)
+    np.testing.assert_allclose(u.sum(axis=1), 1.0, atol=1e-9)

@@ -8,8 +8,10 @@ isolating the kernel layer from driver overhead), float32 variants of the
 ingest and merge paths, a high-dimensional (d=128, k=50) workload with
 and without JL sketching, a serving-plane workload (reader p99 latency
 under live ingest and with ingest paused, plus mean snapshot staleness),
-and the elastic plane's live-reshard pause (quiesce-to-resume wall time of
-a 4→8 reshard on the thread backend) — plus a *calibration* measurement: the wall-clock of
+the elastic plane's live-reshard pause (quiesce-to-resume wall time of
+a 4→8 reshard on the thread backend), and the scenario algorithms
+(sliding-window ingest throughput with live bucket expiry, and the soft
+clusterer's fuzzy-refined query latency) — plus a *calibration* measurement: the wall-clock of
 a fixed numpy workload shaped like the library's hot loops (GEMM +
 reduction + sampling).  The regression checker
 (``tools/check_bench_regression.py``) normalises every metric by the
@@ -18,7 +20,7 @@ machine measure the *code*, not the hardware.
 
 Usage::
 
-    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr8.json
+    PYTHONPATH=src python tools/run_quick_bench.py --output BENCH_pr9.json
 """
 
 from __future__ import annotations
@@ -44,6 +46,8 @@ from repro.coreset.bucket import WeightedPointSet  # noqa: E402
 from repro.coreset.construction import CoresetConfig, CoresetConstructor  # noqa: E402
 from repro.data.loaders import load_dataset  # noqa: E402
 from repro.data.synthetic import GaussianMixtureSpec, generate_mixture  # noqa: E402
+from repro.extensions.decay import SlidingWindowClusterer  # noqa: E402
+from repro.extensions.soft import SoftClusteringClusterer  # noqa: E402
 from repro.kernels.sketch import sketch_for  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -349,6 +353,16 @@ def run(repeats: int) -> dict:
         "higher_is_better": True,
     }
 
+    # Scenario algorithms: window ingest exercises live bucket expiry on
+    # every bucket past the horizon; soft queries pay the engine's hard
+    # solve plus the fuzzy c-means refinement over the same coreset.
+    window_rate, _ = _measure(
+        lambda: SlidingWindowClusterer(config, window_buckets=20), points, repeats
+    )
+    metrics["window_ingest_pts_s"] = {"value": window_rate, "higher_is_better": True}
+    _, soft_us = _measure(lambda: SoftClusteringClusterer(config), points, repeats)
+    metrics["soft_query_us"] = {"value": soft_us, "higher_is_better": False}
+
     # Serving plane: reader-observed p99 with the writer publishing vs
     # paused, plus the snapshot-freshness cost of the publish cadence.
     for name, value in _measure_serving(points, repeats).items():
@@ -388,7 +402,7 @@ def run(repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run the suite and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_pr8.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_pr9.json"))
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
 
