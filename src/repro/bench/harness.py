@@ -265,6 +265,13 @@ class StreamingExperiment:
         ``checkpoint_interval`` ingested points (aligned to ingestion block
         boundaries).  Checkpoint time is recorded separately and never
         counted as update or query time.
+    checkpoint_keep_last:
+        With ``checkpoint_keep_last=N`` set alongside interval snapshots,
+        older interval snapshots are pruned after each write so at most the
+        newest ``N`` remain on disk (a corrupt-only tail is never pruned to
+        zero good snapshots; see
+        :func:`repro.checkpoint.prune_checkpoints`).  Pruned paths stay
+        listed in :attr:`RunResult.checkpoints` for accounting.
     checkpoint_to:
         Optional path for one final snapshot taken after the stream ends
         (before the engine is closed).
@@ -315,6 +322,7 @@ class StreamingExperiment:
     routing: str = "round_robin"
     checkpoint_interval: int | None = None
     checkpoint_dir: str | Path | None = None
+    checkpoint_keep_last: int | None = None
     checkpoint_to: str | Path | None = None
     resume_from: str | Path | None = None
     resume_skip_ingested: bool = False
@@ -385,6 +393,11 @@ def run_experiment(experiment: StreamingExperiment, points: np.ndarray) -> RunRe
         )
     if experiment.checkpoint_interval is not None and experiment.checkpoint_interval <= 0:
         raise ValueError("checkpoint_interval must be positive")
+    if experiment.checkpoint_keep_last is not None:
+        if experiment.checkpoint_dir is None:
+            raise ValueError("checkpoint_keep_last requires checkpoint_dir")
+        if experiment.checkpoint_keep_last < 1:
+            raise ValueError("checkpoint_keep_last must be >= 1")
     if experiment.reshard_at:
         if experiment.shards <= 1:
             raise ValueError("reshard_at requires a sharded run (shards > 1)")
@@ -474,6 +487,12 @@ def _replay(
         write_checkpoint(
             Path(experiment.checkpoint_dir) / f"ckpt-{algorithm.points_seen:010d}"
         )
+        if experiment.checkpoint_keep_last is not None:
+            from ..checkpoint import prune_checkpoints
+
+            prune_checkpoints(
+                Path(experiment.checkpoint_dir), experiment.checkpoint_keep_last
+            )
         while next_checkpoint <= algorithm.points_seen:
             next_checkpoint += experiment.checkpoint_interval
 

@@ -29,14 +29,23 @@ from typing import TYPE_CHECKING
 from .registry import registered_classes, resolve_class
 from .state import pack_state, rng_from_state, rng_state, unpack_state
 from .store import (
+    CHECKPOINT_PREFIX,
     FORMAT_VERSION,
     MANIFEST_NAME,
     STATE_NAME,
     CheckpointError,
+    CheckpointStore,
+    Filesystem,
+    active_filesystem,
     config_fingerprint,
+    latest_good_checkpoint,
+    list_checkpoints,
     load_arrays,
+    prune_checkpoints,
     read_manifest,
     shard_file_name,
+    use_filesystem,
+    validate_checkpoint,
     write_checkpoint_dir,
 )
 
@@ -44,10 +53,19 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..core.base import StreamingClusterer
 
 __all__ = [
+    "CHECKPOINT_PREFIX",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "STATE_NAME",
     "CheckpointError",
+    "CheckpointStore",
+    "Filesystem",
+    "active_filesystem",
+    "use_filesystem",
+    "validate_checkpoint",
+    "list_checkpoints",
+    "latest_good_checkpoint",
+    "prune_checkpoints",
     "config_fingerprint",
     "checkpoint_fingerprint",
     "fingerprint_for",

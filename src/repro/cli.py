@@ -188,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--checkpoint-keep-last",
+        type=int,
+        default=None,
+        help=(
+            "retention for interval snapshots: keep only the newest N under "
+            "<checkpoint-to>.steps/ (never pruning the only good one); "
+            "default keeps everything"
+        ),
+    )
+    run.add_argument(
         "--resume-from",
         type=str,
         default=None,
@@ -257,6 +267,56 @@ def build_parser() -> argparse.ArgumentParser:
             "stream position is republished before the first query is accepted"
         ),
     )
+    serve.add_argument(
+        "--checkpoint-to",
+        type=str,
+        default=None,
+        help=(
+            "durable mode: journal every accepted batch to a write-ahead log "
+            "and rotate retained checkpoints under this directory; a restarted "
+            "server resumes from checkpoint + journal replay, bit-identical "
+            "(see docs/operations.md, 'Durable ingest')"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-keep-last",
+        type=int,
+        default=3,
+        help="retained snapshots in durable mode (never prunes the only good one)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=25_000,
+        help=(
+            "durable mode: checkpoint (and truncate the journal) roughly every "
+            "N ingested points"
+        ),
+    )
+    serve.add_argument(
+        "--wal-dir",
+        type=str,
+        default=None,
+        help="journal directory for durable mode (default: <checkpoint-to>/wal)",
+    )
+    serve.add_argument(
+        "--fsync-every",
+        type=int,
+        default=8,
+        help=(
+            "fsync the journal every N batches (1 = every batch is power-loss "
+            "durable, 0 = leave syncing to the OS); the durability/throughput knob"
+        ),
+    )
+    serve.add_argument(
+        "--staleness-ceiling",
+        type=float,
+        default=None,
+        help=(
+            "degraded-mode bound: answer 503 once the served snapshot is older "
+            "than this many seconds (default: serve stale data forever, annotated)"
+        ),
+    )
 
     subparsers.add_parser("list", help="list available datasets and algorithms")
     return parser
@@ -290,6 +350,16 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
         print("error: --checkpoint-interval must be positive", file=sys.stderr)
         return 2
+    if args.checkpoint_keep_last is not None:
+        if args.checkpoint_interval is None:
+            print(
+                "error: --checkpoint-keep-last requires --checkpoint-interval",
+                file=sys.stderr,
+            )
+            return 2
+        if args.checkpoint_keep_last < 1:
+            print("error: --checkpoint-keep-last must be >= 1", file=sys.stderr)
+            return 2
     try:
         reshard_at = _parse_reshard_at(args.reshard_at)
     except ValueError as exc:
@@ -332,6 +402,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 checkpoint_to=args.checkpoint_to,
                 checkpoint_interval=args.checkpoint_interval,
                 checkpoint_dir=checkpoint_dir,
+                checkpoint_keep_last=args.checkpoint_keep_last,
                 resume_from=args.resume_from,
                 # Datasets are regenerated deterministically from the seed,
                 # so resuming must skip the points the checkpoint already
@@ -468,35 +539,83 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    import time
+    import os
+    import signal
+    import threading
 
+    from .checkpoint.store import CheckpointStore
     from .core.driver import CachedCoresetTreeClusterer
+    from .resilience.supervisor import DurableIngestLoop, IngestSupervisor
     from .serving.loadgen import IngestLoop
     from .serving.plane import ServingPlane
     from .serving.server import ServerThread
 
+    if args.fsync_every < 0:
+        print("error: --fsync-every must be >= 0", file=sys.stderr)
+        return 2
+    if args.checkpoint_interval <= 0:
+        print("error: --checkpoint-interval must be positive", file=sys.stderr)
+        return 2
+    durable = args.checkpoint_to is not None
     info = _load_stream(args.dataset, num_points=args.num_points, seed=args.seed)
+    config = StreamingConfig(k=args.k, seed=args.seed)
+
+    def build_clusterer():
+        if args.shards > 1:
+            return CachedCoresetTreeClusterer.sharded(
+                config, num_shards=args.shards, backend=args.backend
+            )
+        return CachedCoresetTreeClusterer(config)
+
+    supervisor = None
     try:
         if args.resume_from is not None:
             plane = ServingPlane.restore(args.resume_from)
         else:
-            config = StreamingConfig(k=args.k, seed=args.seed)
-            if args.shards > 1:
-                clusterer = CachedCoresetTreeClusterer.sharded(
-                    config, num_shards=args.shards, backend=args.backend
+            plane = ServingPlane(build_clusterer())
+        if durable:
+            wal_dir = args.wal_dir or os.path.join(args.checkpoint_to, "wal")
+            supervisor = IngestSupervisor(
+                plane,
+                CheckpointStore(args.checkpoint_to, keep_last=args.checkpoint_keep_last),
+                wal_dir,
+                clusterer_factory=None if args.resume_from else build_clusterer,
+                checkpoint_every_batches=max(
+                    1, args.checkpoint_interval // args.batch_size
+                ),
+                fsync_every=args.fsync_every,
+                annotations={
+                    "dataset": args.dataset,
+                    "stream_seed": args.seed,
+                    "num_points": args.num_points,
+                },
+            )
+            resumed = supervisor.resume()
+            if resumed is not None:
+                print(
+                    f"resumed from {resumed.restored_from or 'journal only'} "
+                    f"(+{resumed.replayed_records} journaled batches, "
+                    f"{resumed.replayed_points} points) -> "
+                    f"position {plane.points_ingested}",
+                    flush=True,
                 )
-            else:
-                clusterer = CachedCoresetTreeClusterer(config)
-            plane = ServingPlane(clusterer)
+        if plane.publisher.latest is None:
             # Publish before accepting connections so the first query never
             # races the first batch.
-            plane.ingest(info.points[: args.batch_size].copy())
+            first = info.points[: args.batch_size].copy()
+            if supervisor is not None:
+                supervisor.ingest(first)
+            else:
+                plane.ingest(first)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     with plane:
-        ingest = IngestLoop(plane, info.points, batch_size=args.batch_size)
+        if supervisor is not None:
+            ingest = DurableIngestLoop(supervisor, info.points, batch_size=args.batch_size)
+        else:
+            ingest = IngestLoop(plane, info.points, batch_size=args.batch_size)
         ingest.start()
         server = ServerThread(
             plane,
@@ -504,29 +623,52 @@ def _command_serve(args: argparse.Namespace) -> int:
             port=args.port,
             num_workers=args.workers,
             max_pending=args.max_pending,
+            staleness_ceiling_s=args.staleness_ceiling,
+            health_source=(lambda: supervisor.health().value) if supervisor else None,
         )
+        # Graceful shutdown on SIGTERM as well as Ctrl-C: drain the server,
+        # write a final checkpoint, truncate the journal, exit 0.  Handlers
+        # are installed before the ready banner so an operator reacting to
+        # the banner can never hit the default (killing) disposition.
+        stop_event = threading.Event()
+        previous_handlers = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(
+                signum, lambda *_: stop_event.set()
+            )
         print(
             f"serving on {args.host}:{server.port} "
-            f"(workers={args.workers}, max_pending={args.max_pending}); "
-            "protocol: newline-delimited JSON, see docs/serving.md"
+            f"(workers={args.workers}, max_pending={args.max_pending}"
+            + (
+                f", durable journal at {wal_dir}, keep_last={args.checkpoint_keep_last}"
+                if durable
+                else ""
+            )
+            + "); protocol: newline-delimited JSON, see docs/serving.md",
+            flush=True,
         )
         try:
-            if args.duration > 0:
-                time.sleep(args.duration)
-            else:
-                while True:
-                    time.sleep(3600)
-        except KeyboardInterrupt:
-            pass
+            stop_event.wait(timeout=args.duration if args.duration > 0 else None)
         finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
             ingest.stop()
             server.stop(drain=True)
         stats = server.server.stats
         behind, seconds = plane.staleness()
+        if supervisor is not None:
+            final = supervisor.close(final_checkpoint=True)
+            print(
+                f"final checkpoint: {final if final is not None else '(none: empty stream)'} "
+                f"(recoveries={supervisor.stats.recoveries}, "
+                f"checkpoints={supervisor.stats.checkpoints_written})",
+                flush=True,
+            )
         print(
             f"drained: served={stats.served} shed={stats.shed} "
             f"bad_requests={stats.bad_requests} version={plane.version} "
-            f"points={plane.points_ingested} staleness={behind}pts/{seconds * 1e3:.1f}ms"
+            f"points={plane.points_ingested} staleness={behind}pts/{seconds * 1e3:.1f}ms",
+            flush=True,
         )
     return 0
 

@@ -1,0 +1,59 @@
+"""Durability and degraded operation: WAL, supervised recovery, chaos.
+
+The layer that keeps the serving system answering *through* failures, not
+just between them:
+
+* :mod:`repro.resilience.wal` — the write-ahead ingest journal.  Checkpoint
+  + journal replay reconstructs the clusterer bit-identically to an
+  uninterrupted run, with crash-at-any-byte torn-tail detection.
+* :mod:`repro.resilience.supervisor` — :class:`IngestSupervisor` wires the
+  journal, the rotating checkpoint store, and the serving plane into a
+  self-healing writer with budgeted jittered restarts and
+  ``LIVE / DEGRADED / RECOVERING / DOWN`` health states.
+* :mod:`repro.resilience.chaos` — the deterministic seeded fault-schedule
+  DSL (torn writes, worker kills, disk-full snapshots, corrupted
+  checkpoints, flaky connections) behind ``tests/resilience/``.
+
+See ``docs/operations.md`` ("Durable ingest") for formats and runbooks.
+"""
+
+from .chaos import (
+    ChaosController,
+    ChaosSchedule,
+    Fault,
+    FlakyProxy,
+    SimulatedCrash,
+    chaos_seed_from_env,
+    corrupt_file,
+)
+from .supervisor import (
+    DurableIngestLoop,
+    HealthState,
+    IngestSupervisor,
+    RecoveryEvent,
+    RestartPolicy,
+    SupervisorError,
+)
+from .wal import WalCorruption, WalError, WalRecord, WriteAheadLog, replay_wal, wal_segments
+
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "WalError",
+    "WalCorruption",
+    "replay_wal",
+    "wal_segments",
+    "IngestSupervisor",
+    "DurableIngestLoop",
+    "HealthState",
+    "RestartPolicy",
+    "RecoveryEvent",
+    "SupervisorError",
+    "ChaosSchedule",
+    "ChaosController",
+    "Fault",
+    "FlakyProxy",
+    "SimulatedCrash",
+    "corrupt_file",
+    "chaos_seed_from_env",
+]

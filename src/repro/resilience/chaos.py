@@ -1,0 +1,390 @@
+"""Deterministic fault injection: one seeded schedule, many failure modes.
+
+Every robustness test in ``tests/resilience/`` speaks this small DSL
+instead of hand-rolling monkeypatches.  A :class:`ChaosSchedule` is a list
+of :class:`Fault` records — *kill the process worker at batch 7, tear the
+WAL record at batch 12 after 9 bytes, fail the batch-20 snapshot with
+ENOSPC* — generated either explicitly or by :meth:`ChaosSchedule.storm`
+from a seed (the CI matrix varies ``REPRO_CHAOS_SEED``).  A
+:class:`ChaosController` then drives a supervised ingest run, arming each
+fault through the seams the production code already exposes:
+
+========================  ====================================================
+fault kind                injection seam
+========================  ====================================================
+``crash_before_insert``   :class:`WriteAheadLog` ``write_hook`` (full record
+                          durable, then :class:`SimulatedCrash`)
+``torn_wal``              ``write_hook`` truncating the record mid-byte, then
+                          :class:`SimulatedCrash`
+``kill_worker``           caller-provided callback (e.g. terminate a process
+                          backend shard)
+``disk_full``             :class:`~repro.checkpoint.store.Filesystem` shim
+                          raising ``ENOSPC`` during the snapshot
+``corrupt_checkpoint``    flips bytes in the newest snapshot's payload after
+                          the step (recovery must fall back past it)
+========================  ====================================================
+
+Client-connection faults (drop / delay) are injected at the socket layer by
+:class:`FlakyProxy`, a tiny TCP proxy the serving tests put between client
+and server.
+
+Everything is deterministic given the schedule: same seed → same faults at
+the same batches → bit-identical recovery, which is what the equivalence
+properties assert.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..checkpoint.store import (
+    STATE_NAME,
+    Filesystem,
+    list_checkpoints,
+    use_filesystem,
+)
+
+__all__ = [
+    "SimulatedCrash",
+    "Fault",
+    "ChaosSchedule",
+    "ChaosController",
+    "FlakyProxy",
+    "corrupt_file",
+    "chaos_seed_from_env",
+]
+
+#: The fault kinds :class:`ChaosController` understands.
+FAULT_KINDS = (
+    "crash_before_insert",
+    "torn_wal",
+    "kill_worker",
+    "disk_full",
+    "corrupt_checkpoint",
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected stand-in for a whole-process death at a chosen instant."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled failure.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at_batch:
+        0-based index of the ingest batch the fault fires on.
+    detail:
+        Kind-specific parameter: bytes of the record to keep for
+        ``torn_wal`` (-1 = all but the last byte), the shard index for
+        ``kill_worker``, the payload byte to flip for ``corrupt_checkpoint``.
+    """
+
+    kind: str
+    at_batch: int
+    detail: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_batch < 0:
+            raise ValueError(f"at_batch must be >= 0, got {self.at_batch}")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered, immutable set of faults for one run."""
+
+    faults: tuple[Fault, ...]
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "ChaosSchedule":
+        """Build a schedule from explicit faults."""
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def storm(
+        cls,
+        seed: int,
+        num_batches: int,
+        *,
+        faults_per_kind: int = 2,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        num_shards: int = 2,
+    ) -> "ChaosSchedule":
+        """A randomized-but-deterministic fault storm.
+
+        Draws ``faults_per_kind`` faults of each requested kind at distinct
+        batches of ``[1, num_batches)`` (batch 0 is spared so every run has
+        at least one clean publication to degrade onto).  The same
+        ``seed`` always yields the same storm — the CI matrix's
+        ``REPRO_CHAOS_SEED`` is fed straight in here.
+        """
+        rng = np.random.default_rng(seed)
+        batches = list(range(1, max(num_batches, 2)))
+        faults: list[Fault] = []
+        for kind in kinds:
+            for _ in range(faults_per_kind):
+                if not batches:
+                    break
+                at = int(batches.pop(int(rng.integers(len(batches)))))
+                if kind == "torn_wal":
+                    detail = int(rng.integers(1, 64))
+                elif kind == "kill_worker":
+                    detail = int(rng.integers(num_shards))
+                elif kind == "corrupt_checkpoint":
+                    detail = int(rng.integers(64, 512))
+                else:
+                    detail = -1
+                faults.append(Fault(kind=kind, at_batch=at, detail=detail))
+        return cls(faults=tuple(sorted(faults, key=lambda f: f.at_batch)))
+
+    def at(self, batch: int) -> list[Fault]:
+        """Faults scheduled for ``batch``."""
+        return [fault for fault in self.faults if fault.at_batch == batch]
+
+
+class _DiskFullFilesystem(Filesystem):
+    """Checkpoint filesystem that has run out of space."""
+
+    def savez(self, path: Path, arrays: dict) -> None:
+        """Refuse every payload write with ENOSPC."""
+        raise OSError(errno.ENOSPC, "no space left on device (injected)", str(path))
+
+
+def corrupt_file(path: str | Path, offset: int = 128) -> None:
+    """Flip one byte of ``path`` in place (checkpoint-corruption primitive)."""
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        return
+    index = min(max(offset, 0), len(data) - 1)
+    data[index] ^= 0xFF
+    target.write_bytes(bytes(data))
+
+
+@dataclass
+class ChaosController:
+    """Arms a :class:`ChaosSchedule` against one supervised ingest run.
+
+    Use :meth:`wal_write_hook` as the supervisor's ``wal_write_hook`` and
+    drive batches through :meth:`step`; the controller fires each batch's
+    faults exactly once and records what it did in :attr:`fired`.
+
+    Attributes
+    ----------
+    schedule:
+        The faults to inject.
+    kill_worker:
+        Callback for ``kill_worker`` faults (receives the shard index);
+        ``None`` skips those faults (recorded as skipped).
+    """
+
+    schedule: ChaosSchedule
+    kill_worker: object = None
+    fired: list[str] = field(default_factory=list)
+    _current_batch: int = field(default=-1, repr=False)
+    _armed_wal: Fault | None = field(default=None, repr=False)
+
+    def wal_write_hook(
+        self, seq: int, record_bytes: bytes
+    ) -> tuple[bytes, BaseException | None]:
+        """The :class:`WriteAheadLog` seam: tear or crash the armed append."""
+        fault = self._armed_wal
+        if fault is None:
+            return record_bytes, None
+        self._armed_wal = None
+        if fault.kind == "torn_wal":
+            keep = fault.detail if fault.detail >= 0 else len(record_bytes) - 1
+            keep = min(max(keep, 0), len(record_bytes) - 1)
+            self.fired.append(f"torn_wal@{fault.at_batch}:{keep}B")
+            return record_bytes[:keep], SimulatedCrash(
+                f"torn WAL write at batch {fault.at_batch} ({keep} bytes kept)"
+            )
+        self.fired.append(f"crash_before_insert@{fault.at_batch}")
+        return record_bytes, SimulatedCrash(
+            f"crash after durable append at batch {fault.at_batch}"
+        )
+
+    def step(self, supervisor, batch_index: int, batch: np.ndarray) -> None:
+        """Ingest one batch with this batch's faults armed.
+
+        ``crash_before_insert`` and ``torn_wal`` crash the writer *inside*
+        the supervisor, which recovers in place — so a completed
+        :meth:`step` always means the batch is durably applied (the
+        zero-lost-batches assertion of the soak gate).
+        """
+        faults = self.schedule.at(batch_index)
+        self._current_batch = batch_index
+        self._armed_wal = next(
+            (f for f in faults if f.kind in ("crash_before_insert", "torn_wal")),
+            None,
+        )
+        for fault in faults:
+            if fault.kind == "kill_worker":
+                if self.kill_worker is None:
+                    self.fired.append(f"kill_worker@{fault.at_batch}:skipped")
+                else:
+                    self.kill_worker(fault.detail)
+                    self.fired.append(f"kill_worker@{fault.at_batch}:{fault.detail}")
+        disk_full = any(f.kind == "disk_full" for f in faults)
+        context = (
+            use_filesystem(_DiskFullFilesystem())
+            if disk_full
+            else contextlib.nullcontext()
+        )
+        if disk_full:
+            self.fired.append(f"disk_full@{batch_index}")
+        with context:
+            supervisor.ingest(batch)
+        self._armed_wal = None
+        for fault in faults:
+            if fault.kind == "corrupt_checkpoint":
+                snapshots = list_checkpoints(supervisor.store.root)
+                if snapshots:
+                    corrupt_file(snapshots[-1] / STATE_NAME, offset=fault.detail)
+                    self.fired.append(
+                        f"corrupt_checkpoint@{batch_index}:{snapshots[-1].name}"
+                    )
+                else:
+                    self.fired.append(f"corrupt_checkpoint@{batch_index}:skipped")
+
+    def drive(self, supervisor, batches) -> int:
+        """Run a whole batch sequence through :meth:`step`; returns batch count."""
+        count = 0
+        for index, batch in enumerate(batches):
+            self.step(supervisor, index, batch)
+            count += 1
+        return count
+
+
+class FlakyProxy:
+    """A deterministic TCP chokepoint between a client and the server.
+
+    Accepts connections on its own port and forwards byte streams to the
+    upstream server, injecting per-connection faults from a seeded RNG:
+    with probability ``drop_rate`` a connection is accepted then severed
+    mid-flight (after ``drop_after_bytes`` of response), and each forwarded
+    chunk is delayed by ``delay_s``.  This exercises the client's
+    timeout-then-reconnect-and-retry path without ever touching server
+    internals.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        drop_after_bytes: int = 0,
+        delay_s: float = 0.0,
+    ) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._rng = np.random.default_rng(seed)
+        self._drop_rate = drop_rate
+        self._drop_after_bytes = drop_after_bytes
+        self._delay_s = delay_s
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._halt = threading.Event()
+        self.connections = 0
+        self.dropped = 0
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-flaky-proxy", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._halt.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            doomed = bool(self._rng.random() < self._drop_rate)
+            worker = threading.Thread(
+                target=self._serve, args=(client, doomed), daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve(self, client: socket.socket, doomed: bool) -> None:
+        try:
+            upstream = socket.create_connection(self._upstream, timeout=5.0)
+        except OSError:
+            client.close()
+            return
+        if doomed:
+            self.dropped += 1
+        halt = threading.Event()
+
+        def pump(src: socket.socket, dst: socket.socket, meter: bool) -> None:
+            moved = 0
+            try:
+                while not halt.is_set():
+                    src.settimeout(0.2)
+                    try:
+                        chunk = src.recv(4096)
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        break
+                    if not chunk:
+                        break
+                    if self._delay_s:
+                        time.sleep(self._delay_s)
+                    if meter and doomed and moved + len(chunk) > self._drop_after_bytes:
+                        break  # sever mid-response
+                    dst.sendall(chunk)
+                    moved += len(chunk)
+            finally:
+                halt.set()
+                for sock in (src, dst):
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    sock.close()
+
+        up = threading.Thread(target=pump, args=(client, upstream, False), daemon=True)
+        down = threading.Thread(target=pump, args=(upstream, client, True), daemon=True)
+        up.start()
+        down.start()
+
+    def close(self) -> None:
+        """Stop accepting and tear down the proxy."""
+        self._halt.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FlakyProxy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def chaos_seed_from_env(default: int = 0) -> int:
+    """The CI matrix's ``REPRO_CHAOS_SEED`` (or ``default``)."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", default))

@@ -1,0 +1,443 @@
+"""The write-ahead ingest journal: length-prefixed, CRC-checked segment files.
+
+The coreset structures make durability cheap: the state worth persisting is
+a few megabytes of merge-and-reduce summary (checkpoints, PR 4), so the only
+thing a whole-process crash can lose is the *batches accepted since the last
+checkpoint*.  This module journals exactly those.  The contract is the one
+the checkpoint layer already proved, extended to crash-at-any-byte:
+
+> **checkpoint + WAL replay ≡ uninterrupted run.**  Batch ingestion is
+> split-invariant and bit-identical to per-point ingestion, so replaying the
+> journaled batches (in order, from the checkpoint's stream position)
+> reconstructs the clusterer *bit for bit* — coresets, RNG streams,
+> warm-start state — no matter where in a record the crash landed.
+
+On-disk layout: a directory of segment files ``wal-<index>.log``, each
+
+.. code-block:: text
+
+    8-byte segment header:  b"RWAL" + <u16 version> + <u16 reserved>
+    record:                 <u32 payload length> <u32 CRC32(payload)> <payload>
+    record: ...
+
+and each payload is one batch::
+
+    <u64 sequence> <u64 points_before> <u32 rows> <u32 cols> <8s dtype> <raw C-order bytes>
+
+Records never straddle segments.  Appends go to the newest segment only;
+reopening a directory after a crash always starts a *fresh* segment (the old
+tail is never patched), which is what makes torn-tail detection sound: a
+truncated or CRC-invalid *final* record of a segment is a torn write and is
+discarded on replay, while a bad record *followed by more bytes in the same
+segment* can only be real corruption and raises :class:`WalCorruption`.
+
+Durability knob: ``fsync_every`` batches appends between ``fsync`` calls
+(the classic durability/throughput trade — see ``docs/operations.md``).
+Every append is flushed to the OS regardless; ``fsync_every=1`` makes each
+batch power-loss durable, ``fsync_every=0`` leaves syncing to the OS.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "WalError",
+    "WalCorruption",
+    "WalRecord",
+    "WriteAheadLog",
+    "replay_wal",
+    "wal_segments",
+]
+
+#: Segment header: magic + format version (u16) + reserved (u16).
+_SEGMENT_MAGIC = b"RWAL"
+_SEGMENT_VERSION = 1
+_SEGMENT_HEADER = _SEGMENT_MAGIC + struct.pack("<HH", _SEGMENT_VERSION, 0)
+#: Per-record frame: payload length + CRC32 of the payload.
+_FRAME = struct.Struct("<II")
+#: Payload header: sequence, points_before, rows, cols, dtype (8-byte ascii).
+_PAYLOAD = struct.Struct("<QQII8s")
+#: Hard cap on a single record payload (a routed batch is far smaller).
+_MAX_PAYLOAD = 1 << 31
+
+
+class WalError(RuntimeError):
+    """A journal could not be written, rotated, truncated, or replayed."""
+
+
+class WalCorruption(WalError):
+    """A journal record failed its CRC *before* the tail — real corruption.
+
+    A bad final record is a torn write (tolerated, discarded); a bad record
+    with valid bytes after it in the same segment cannot be explained by a
+    crash mid-append and is refused so a silently damaged journal is never
+    replayed into a serving clusterer.
+    """
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journaled batch, as appended and as recovered.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic append sequence (informational; survives for debugging).
+    points_before:
+        The writer's stream position when the batch was accepted — replay
+        uses it to skip records a checkpoint already covers and to verify
+        the journal is gap-free.
+    batch:
+        The journaled points, bit-identical to what was accepted
+        (shape ``(rows, cols)``, original dtype).
+    """
+
+    seq: int
+    points_before: int
+    batch: np.ndarray
+
+    @property
+    def points_after(self) -> int:
+        """Stream position after this batch is applied."""
+        return self.points_before + self.batch.shape[0]
+
+
+def _segment_name(index: int) -> str:
+    """File name of segment ``index``."""
+    return f"wal-{index:08d}.log"
+
+
+def wal_segments(directory: str | Path) -> list[Path]:
+    """Existing segment files under ``directory``, in append order."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("wal-*.log"))
+
+
+def _encode_header(seq: int, points_before: int, batch: np.ndarray) -> bytes:
+    """Serialise one batch's record metadata into the payload header."""
+    dtype_tag = batch.dtype.str.encode("ascii")
+    if len(dtype_tag) > 8:
+        raise WalError(f"cannot journal dtype {batch.dtype} (tag longer than 8 bytes)")
+    return _PAYLOAD.pack(
+        seq,
+        points_before,
+        batch.shape[0],
+        batch.shape[1],
+        dtype_tag.ljust(8, b"\x00"),
+    )
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    """Rebuild a :class:`WalRecord` from a CRC-verified payload."""
+    if len(payload) < _PAYLOAD.size:
+        raise WalCorruption("journal record payload is shorter than its header")
+    seq, points_before, rows, cols, dtype_tag = _PAYLOAD.unpack_from(payload)
+    try:
+        dtype = np.dtype(dtype_tag.rstrip(b"\x00").decode("ascii"))
+    except (TypeError, UnicodeDecodeError) as exc:
+        raise WalCorruption(f"journal record carries an invalid dtype tag: {exc}") from exc
+    expected = _PAYLOAD.size + rows * cols * dtype.itemsize
+    if len(payload) != expected:
+        raise WalCorruption(
+            f"journal record payload is {len(payload)} bytes, expected {expected}"
+        )
+    batch = np.frombuffer(payload, dtype=dtype, offset=_PAYLOAD.size)
+    return WalRecord(
+        seq=seq,
+        points_before=points_before,
+        batch=batch.reshape(rows, cols).copy(),
+    )
+
+
+class WriteAheadLog:
+    """Appender for the ingest journal (one writer; readers use :func:`replay_wal`).
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if missing).  Existing segments are left
+        untouched — appends always open a fresh segment, so a torn tail from
+        a previous incarnation stays where replay knows to expect it.
+    fsync_every:
+        ``fsync`` after every N appends (and at rotation/close).  1 makes
+        every batch power-loss durable; 0 never calls fsync (flush-only).
+    segment_max_bytes:
+        Rotate to a new segment once the current one exceeds this size.
+    write_hook:
+        Fault-injection seam (chaos harness): called with the encoded record
+        bytes before they are written and may return a *truncated* prefix to
+        write instead, plus an exception to raise after writing — a
+        deterministic torn write.  ``None`` in production.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync_every: int = 8,
+        segment_max_bytes: int = 32 << 20,
+        write_hook: Callable[[int, bytes], tuple[bytes, BaseException | None]] | None = None,
+    ) -> None:
+        if fsync_every < 0:
+            raise ValueError(f"fsync_every must be >= 0, got {fsync_every}")
+        if segment_max_bytes <= len(_SEGMENT_HEADER):
+            raise ValueError("segment_max_bytes is too small for the segment header")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._fsync_every = fsync_every
+        self._segment_max_bytes = segment_max_bytes
+        self._write_hook = write_hook
+        existing = wal_segments(self._directory)
+        self._next_index = (
+            int(existing[-1].stem.split("-")[1]) + 1 if existing else 0
+        )
+        self._file: io.BufferedWriter | None = None
+        self._segment_bytes = 0
+        self._appends_since_sync = 0
+        self.next_seq = 0
+        self.appended_records = 0
+        self.appended_bytes = 0
+        self.syncs = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The journal directory."""
+        return self._directory
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (or before the first append)."""
+        return self._file is None
+
+    def segments(self) -> list[Path]:
+        """Current segment files, oldest first."""
+        return wal_segments(self._directory)
+
+    # -- append path ---------------------------------------------------------
+
+    def _open_segment(self) -> None:
+        path = self._directory / _segment_name(self._next_index)
+        self._next_index += 1
+        try:
+            self._file = open(path, "xb")
+            self._file.write(_SEGMENT_HEADER)
+            self._file.flush()
+        except OSError as exc:
+            raise WalError(f"cannot open journal segment {path}: {exc}") from exc
+        self._segment_bytes = len(_SEGMENT_HEADER)
+        self._appends_since_sync = 0
+
+    def append(self, batch: np.ndarray, points_before: int) -> WalRecord:
+        """Journal one accepted batch; returns the durable record's metadata.
+
+        Called *before* the batch is applied to the clusterer (write-ahead):
+        a crash at any later instant replays the batch; a crash mid-append
+        leaves a torn tail that replay discards — in which case the batch
+        was never applied either, so the journal and the state agree.
+        """
+        data = np.ascontiguousarray(batch)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise WalError("journal batches must be non-empty 2-D arrays")
+        if points_before < 0:
+            raise WalError(f"points_before must be >= 0, got {points_before}")
+        header = _encode_header(self.next_seq, points_before, data)
+        body = memoryview(data).cast("B")
+        payload_len = len(header) + len(body)
+        if payload_len > _MAX_PAYLOAD:
+            raise WalError(f"journal batch of {payload_len} bytes exceeds the record cap")
+        # CRC and write the frame/header/body as separate buffers: the batch
+        # is the overwhelming share of the record, and never copying it is
+        # what keeps the append cost a single-digit share of ingest.
+        crc = zlib.crc32(body, zlib.crc32(header))
+        frame = _FRAME.pack(payload_len, crc)
+        record_len = len(frame) + payload_len
+        if self._file is None or self._segment_bytes + record_len > self._segment_max_bytes:
+            self.rotate()
+        fault: BaseException | None = None
+        if self._write_hook is not None:
+            record_bytes, fault = self._write_hook(
+                self.next_seq, frame + header + bytes(body)
+            )
+            chunks: tuple[bytes | memoryview, ...] = (record_bytes,)
+            record_len = len(record_bytes)
+        else:
+            chunks = (frame, header, body)
+        assert self._file is not None
+        try:
+            for chunk in chunks:
+                self._file.write(chunk)
+            self._file.flush()
+        except OSError as exc:
+            raise WalError(f"cannot append to journal segment: {exc}") from exc
+        self._segment_bytes += record_len
+        if fault is not None:
+            # Torn write: the truncated bytes are on disk, the caller's
+            # simulated crash propagates before the record is accounted.
+            raise fault
+        record = WalRecord(
+            seq=self.next_seq, points_before=points_before, batch=data
+        )
+        self.next_seq += 1
+        self.appended_records += 1
+        self.appended_bytes += record_len
+        self._appends_since_sync += 1
+        if self._fsync_every and self._appends_since_sync >= self._fsync_every:
+            self.sync()
+        return record
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage (fsync)."""
+        if self._file is None:
+            return
+        try:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise WalError(f"cannot fsync journal segment: {exc}") from exc
+        self._appends_since_sync = 0
+        self.syncs += 1
+
+    def rotate(self) -> None:
+        """Seal the current segment (fsync) and start a fresh one."""
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+        self._open_segment()
+
+    def truncate_through(self, points_seen: int) -> int:
+        """Drop every segment fully covered by a checkpoint at ``points_seen``.
+
+        Called after a successful checkpoint: any segment whose records all
+        end at or before the checkpointed stream position is redundant (the
+        snapshot already contains those batches) and is deleted.  The active
+        segment is sealed first, so the common case — checkpoint at the
+        current position — empties the journal entirely and appends continue
+        in a fresh segment.  Returns the number of segments deleted.
+        """
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+        dropped = 0
+        for segment in wal_segments(self._directory):
+            last_end = _segment_last_end(segment)
+            if last_end is None or last_end <= points_seen:
+                try:
+                    segment.unlink()
+                except OSError as exc:
+                    raise WalError(f"cannot drop journal segment {segment}: {exc}") from exc
+                dropped += 1
+            else:
+                break
+        return dropped
+
+    def close(self) -> None:
+        """Seal and close the active segment (idempotent)."""
+        if self._file is not None:
+            try:
+                self.sync()
+            finally:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _segment_last_end(segment: Path) -> int | None:
+    """Stream position after the last intact record, ``None`` if none exist.
+
+    A ``None`` segment (empty, or nothing but a torn tail) contributes no
+    records to replay, so truncation may always drop it.
+    """
+    last: WalRecord | None = None
+    for record in _iter_segment(segment):
+        last = record
+    return last.points_after if last is not None else None
+
+
+def _iter_segment(segment: Path) -> Iterator[WalRecord]:
+    """Yield the intact records of one segment, discarding a torn tail.
+
+    Raises :class:`WalCorruption` only for damage that a crash mid-append
+    cannot explain: a bad record *followed by more bytes*, or a mangled
+    segment header.
+    """
+    try:
+        data = segment.read_bytes()
+    except OSError as exc:
+        raise WalError(f"cannot read journal segment {segment}: {exc}") from exc
+    if len(data) < len(_SEGMENT_HEADER) or data[:4] != _SEGMENT_MAGIC:
+        if len(data) == 0:
+            return  # crash between open and header write: an empty tail
+        raise WalCorruption(f"journal segment {segment} has a mangled header")
+    version = struct.unpack_from("<H", data, 4)[0]
+    if version != _SEGMENT_VERSION:
+        raise WalError(
+            f"journal segment {segment} has version {version}, "
+            f"this build reads version {_SEGMENT_VERSION}"
+        )
+    offset = len(_SEGMENT_HEADER)
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return  # torn frame header at the tail
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD:
+            raise WalCorruption(
+                f"journal segment {segment} declares an impossible record length {length}"
+            )
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            return  # torn payload at the tail
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            if end == len(data):
+                return  # CRC-invalid final record: a torn (partial) write
+            raise WalCorruption(
+                f"journal segment {segment} has a corrupt record at byte {offset}"
+            )
+        yield _decode_payload(payload)
+        offset = end
+
+
+def replay_wal(
+    directory: str | Path, *, start_points: int = 0
+) -> Iterator[WalRecord]:
+    """Replay the journal in order, from stream position ``start_points``.
+
+    Records a checkpoint already covers (``points_after <= start_points``)
+    are skipped; the remainder must form a gap-free chain from
+    ``start_points`` — a record that *straddles* the checkpoint position or
+    leaves a hole means the journal and the checkpoint disagree and raises
+    :class:`WalError` rather than replaying an inconsistent stream.
+    """
+    position = start_points
+    for segment in wal_segments(directory):
+        for record in _iter_segment(segment):
+            if record.points_after <= position:
+                continue  # already inside the checkpoint
+            if record.points_before != position:
+                raise WalError(
+                    f"journal is not contiguous: expected a record at stream "
+                    f"position {position}, found one at {record.points_before} "
+                    f"(segment {segment.name})"
+                )
+            yield record
+            position = record.points_after

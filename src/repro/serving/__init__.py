@@ -23,10 +23,11 @@ See ``docs/serving.md`` for the architecture, snapshot lifecycle, protocol
 spec, and tuning guidance.
 """
 
+from .client import DeadlineExceeded, ServingClient
 from .plane import PlaneReader, ServedResult, ServingPlane, SnapshotUnavailable
 from .snapshot import CoresetSnapshot, SnapshotPublisher
-from .loadgen import LoadgenConfig, LoadReport, run_plane_loadgen
-from .server import ServingServer
+from .loadgen import IngestLoop, LoadgenConfig, LoadReport, run_plane_loadgen
+from .server import ServerThread, ServingServer
 
 __all__ = [
     "CoresetSnapshot",
@@ -36,6 +37,10 @@ __all__ = [
     "ServedResult",
     "SnapshotUnavailable",
     "ServingServer",
+    "ServerThread",
+    "ServingClient",
+    "DeadlineExceeded",
+    "IngestLoop",
     "LoadgenConfig",
     "LoadReport",
     "run_plane_loadgen",

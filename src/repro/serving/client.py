@@ -1,10 +1,22 @@
 """A small blocking client for the serving protocol (tests, CLI probes).
 
-One connection, synchronous request/response over newline-delimited JSON.
+One connection, synchronous request/response over newline-delimited JSON,
+with production-client semantics layered on top:
+
+* **per-request deadlines** — every request is bounded by ``deadline_s``
+  (overridable per call); an exhausted deadline raises
+  :class:`DeadlineExceeded` rather than blocking a caller forever;
+* **retry with jittered exponential backoff** — *only* on the two
+  retry-safe outcomes: 429 admission sheds and socket timeouts.  400
+  (caller bug) and 500/503 (a retry would just re-ask a broken or stale
+  server) are returned/raised immediately.  Backoff sleeps are
+  deterministic given ``retry_seed``, and every retry counts into
+  :attr:`ServingClient.retries` so load reports stay honest.
+
 The load generator uses raw asyncio connections instead (thousands of
 concurrent clients); this class is the convenient single-caller handle::
 
-    with ServingClient("127.0.0.1", port) as client:
+    with ServingClient("127.0.0.1", port, max_retries=3) as client:
         response = client.query(k=20)
         sweep = client.query_multi_k([10, 20, 30])
 """
@@ -12,21 +24,103 @@ concurrent clients); this class is the convenient single-caller handle::
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Sequence
 
-__all__ = ["ServingClient"]
+__all__ = ["ServingClient", "DeadlineExceeded"]
+
+#: Response codes a retry can help with: admission sheds only.  A timeout
+#: (socket.timeout) is the other retryable outcome.
+_RETRYABLE_CODES = frozenset({429})
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request (including its retries) exhausted its deadline."""
 
 
 class ServingClient:
-    """Blocking newline-delimited-JSON client for :class:`ServingServer`."""
+    """Blocking newline-delimited-JSON client for :class:`ServingServer`.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    timeout:
+        Socket timeout for connect and each read/write.
+    deadline_s:
+        Default per-request deadline covering every attempt *and* backoff
+        sleep; ``None`` bounds each attempt only by the socket timeout.
+    max_retries:
+        Extra attempts after the first, spent only on 429 responses and
+        socket timeouts.  0 disables retrying.
+    backoff_base_s / backoff_cap_s:
+        Jittered exponential backoff: attempt ``n`` sleeps a uniform draw
+        from ``[0, min(cap, base * 2**n)]`` (full jitter — decorrelates
+        clients that were shed by the same overload spike).
+    retry_seed:
+        Seeds the jitter RNG for deterministic tests; ``None`` draws from
+        the system RNG.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        *,
+        deadline_s: float | None = None,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        retry_seed: int | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._deadline_s = deadline_s
+        self._max_retries = max_retries
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._jitter = random.Random(retry_seed)
+        self.retries = 0
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._close_socket()
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         self._file = self._sock.makefile("rwb")
 
-    def request(self, payload: dict) -> dict:
-        """Send one request object and block for its response object."""
+    def _close_socket(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _attempt(self, payload: dict, budget: float | None) -> dict:
+        """One request/response round trip, bounded by ``budget`` seconds."""
+        if self._file is None:
+            self._connect()
+        assert self._sock is not None and self._file is not None
+        if budget is not None:
+            self._sock.settimeout(max(min(budget, self._timeout), 1e-3))
+        else:
+            self._sock.settimeout(self._timeout)
         self._file.write(json.dumps(payload).encode() + b"\n")
         self._file.flush()
         line = self._file.readline()
@@ -34,33 +128,100 @@ class ServingClient:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
 
+    def request(self, payload: dict, deadline_s: float | None = None) -> dict:
+        """Send one request, retrying 429/timeout within the deadline.
+
+        ``deadline_s`` overrides the client default for this call.  Raises
+        :class:`DeadlineExceeded` when the deadline runs out (whether on a
+        slow attempt or between backoff sleeps) and ``ConnectionError`` when
+        the server goes away; non-retryable error responses (400/500/503)
+        are returned to the caller as-is.
+        """
+        deadline = deadline_s if deadline_s is not None else self._deadline_s
+        started = time.monotonic()
+
+        def _budget() -> float | None:
+            if deadline is None:
+                return None
+            remaining = deadline - (time.monotonic() - started)
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"request deadline of {deadline:.3f}s exhausted"
+                )
+            return remaining
+
+        attempt = 0
+        while True:
+            budget = _budget()
+            try:
+                response = self._attempt(payload, budget)
+            except TimeoutError:
+                # The TCP stream is desynchronised (the response may still
+                # arrive later); the connection must be rebuilt either way.
+                self._close_socket()
+                if attempt >= self._max_retries:
+                    if deadline is not None:
+                        raise DeadlineExceeded(
+                            f"request timed out after {attempt + 1} attempt(s)"
+                        ) from None
+                    raise
+            else:
+                code = response.get("code")
+                if response.get("ok") or code not in _RETRYABLE_CODES:
+                    return response
+                if attempt >= self._max_retries:
+                    return response
+            attempt += 1
+            self.retries += 1
+            pause = self._jitter.uniform(
+                0.0,
+                min(self._backoff_cap_s, self._backoff_base_s * (2.0 ** attempt)),
+            )
+            budget = _budget()
+            if budget is not None:
+                pause = min(pause, budget)
+            if pause > 0:
+                time.sleep(pause)
+
     def ping(self) -> dict:
         """Liveness probe."""
         return self.request({"op": "ping"})
+
+    def health(self) -> dict:
+        """Ingest-pipeline health: state, snapshot age, staleness ceiling."""
+        return self.request({"op": "health"})
 
     def stats(self) -> dict:
         """Server counters plus snapshot version/staleness."""
         return self.request({"op": "stats"})
 
-    def query(self, k: int | None = None, include_centers: bool = True) -> dict:
+    def query(
+        self,
+        k: int | None = None,
+        include_centers: bool = True,
+        deadline_s: float | None = None,
+    ) -> dict:
         """One clustering query (server default ``k`` when omitted)."""
         payload: dict = {"op": "query", "include_centers": include_centers}
         if k is not None:
             payload["k"] = k
-        return self.request(payload)
+        return self.request(payload, deadline_s=deadline_s)
 
-    def query_multi_k(self, ks: Sequence[int], include_centers: bool = True) -> dict:
+    def query_multi_k(
+        self,
+        ks: Sequence[int],
+        include_centers: bool = True,
+        deadline_s: float | None = None,
+    ) -> dict:
         """One batched k-sweep."""
         return self.request(
-            {"op": "query_multi_k", "ks": list(ks), "include_centers": include_centers}
+            {"op": "query_multi_k", "ks": list(ks), "include_centers": include_centers},
+            deadline_s=deadline_s,
         )
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._close_socket()
 
     def __enter__(self) -> "ServingClient":
         return self

@@ -65,6 +65,15 @@ class LoadgenConfig:
         TCP mode: ask the server to include center coordinates in responses
         (heavier payloads; off by default so latency measures serving, not
         JSON size).
+    max_retries:
+        TCP mode: retry a query up to this many times when the server sheds
+        it (429), with full-jitter exponential backoff.  ``0`` (default)
+        keeps the historical behaviour of counting every shed immediately.
+        Retried-then-served queries report the full client-perceived span
+        (including backoff sleeps) as their latency.
+    retry_backoff_s:
+        Base of the full-jitter backoff between retries: attempt ``n``
+        sleeps ``uniform(0, retry_backoff_s * 2**n)`` (capped at 1s).
     """
 
     seconds: float = 5.0
@@ -75,6 +84,8 @@ class LoadgenConfig:
     burst_period: float = 1.0
     seed: int = 0
     include_centers: bool = False
+    max_retries: int = 0
+    retry_backoff_s: float = 0.02
 
 
 @dataclass
@@ -85,6 +96,7 @@ class LoadReport:
     served: int = 0
     shed: int = 0
     errors: int = 0
+    retries: int = 0
     duration_seconds: float = 0.0
     p50_us: float = 0.0
     p99_us: float = 0.0
@@ -108,6 +120,7 @@ class LoadReport:
             "served": self.served,
             "shed": self.shed,
             "errors": self.errors,
+            "retries": self.retries,
             "qps": self.qps,
             "duration_seconds": self.duration_seconds,
             "p50_us": self.p50_us,
@@ -124,7 +137,8 @@ class LoadReport:
         """Human-readable one-screen report."""
         lines = [
             f"queries : issued={self.issued} served={self.served} "
-            f"shed={self.shed} errors={self.errors} ({self.qps:.0f} qps)",
+            f"shed={self.shed} errors={self.errors} retries={self.retries} "
+            f"({self.qps:.0f} qps)",
             f"latency : p50={self.p50_us:.0f}us p99={self.p99_us:.0f}us "
             f"p999={self.p999_us:.0f}us mean={self.mean_us:.0f}us",
             f"staleness: mean={self.staleness_points_mean:.0f}pts/"
@@ -145,6 +159,7 @@ class _Samples:
     served: int = 0
     shed: int = 0
     errors: int = 0
+    retries: int = 0
 
 
 def _build_report(samples: list[_Samples], duration: float) -> LoadReport:
@@ -157,6 +172,7 @@ def _build_report(samples: list[_Samples], duration: float) -> LoadReport:
         report.served += sample.served
         report.shed += sample.shed
         report.errors += sample.errors
+        report.retries += sample.retries
         latencies.extend(sample.latencies)
         stale_pts.extend(sample.staleness_points)
         stale_ms.extend(sample.staleness_ms)
@@ -310,25 +326,39 @@ async def _tcp_client(
                     return
             k = int(rng.choice(cfg.ks))
             request = {"op": "query", "k": k, "include_centers": cfg.include_centers}
+            payload = json.dumps(request).encode() + b"\n"
             sink.issued += 1
             begin = time.perf_counter()
-            writer.write(json.dumps(request).encode() + b"\n")
-            await writer.drain()
-            line = await reader.readline()
-            elapsed = time.perf_counter() - begin
-            if not line:
-                sink.errors += 1
-                return
-            response = json.loads(line)
-            if response.get("ok"):
-                sink.served += 1
-                sink.latencies.append(elapsed)
-                sink.staleness_points.append(response.get("staleness_points", 0))
-                sink.staleness_ms.append(response.get("staleness_seconds", 0.0) * 1e3)
-            elif response.get("code") == 429:
-                sink.shed += 1
-            else:
-                sink.errors += 1
+            attempt = 0
+            while True:
+                writer.write(payload)
+                await writer.drain()
+                line = await reader.readline()
+                elapsed = time.perf_counter() - begin
+                if not line:
+                    sink.errors += 1
+                    return
+                response = json.loads(line)
+                if response.get("ok"):
+                    sink.served += 1
+                    sink.latencies.append(elapsed)
+                    sink.staleness_points.append(response.get("staleness_points", 0))
+                    sink.staleness_ms.append(
+                        response.get("staleness_seconds", 0.0) * 1e3
+                    )
+                elif response.get("code") == 429:
+                    # Only sheds are retried: they are the one transient
+                    # outcome the protocol promises may succeed on re-send.
+                    if attempt < cfg.max_retries and time.monotonic() < stop_at:
+                        sink.retries += 1
+                        attempt += 1
+                        ceiling = min(1.0, cfg.retry_backoff_s * (2.0 ** attempt))
+                        await asyncio.sleep(float(rng.uniform(0.0, ceiling)))
+                        continue
+                    sink.shed += 1
+                else:
+                    sink.errors += 1
+                break
     finally:
         writer.close()
 

@@ -112,6 +112,10 @@ class ServingPlane:
         # order on two identical planes draw identical randomness.
         self._reader_seeds = np.random.SeedSequence(clusterer.config.seed)
         self._readers_created = 0
+        # Stream position of the wrapped clusterer's last coreset assembly.
+        # Tracked per clusterer (reset by adopt) so the publish dedupe never
+        # skips an assembly the recovery-equivalence contract requires.
+        self._published_points: int | None = None
         if clusterer.points_seen > 0:
             # Wrapping a clusterer that already holds stream state (warm
             # construction or a checkpoint restore): publish immediately so
@@ -153,6 +157,20 @@ class ServingPlane:
         behind = self._clusterer.points_seen - snapshot.points_seen
         seconds = time.monotonic() - snapshot.published_at if behind > 0 else 0.0
         return behind, seconds
+
+    def snapshot_age(self) -> float:
+        """Wall-clock seconds since the latest snapshot was published.
+
+        Unlike :meth:`staleness` — which reports 0.0 whenever the writer has
+        nothing newer, so a *dead* writer looks perfectly current — this is
+        the raw age of what readers are serving.  It is the signal the
+        staleness ceiling in degraded mode keys on.  ``inf`` before the
+        first publication.
+        """
+        snapshot = self._publisher.latest
+        if snapshot is None:
+            return float("inf")
+        return time.monotonic() - snapshot.published_at
 
     # -- writer plane --------------------------------------------------------
 
@@ -199,19 +217,60 @@ class ServingPlane:
             self._publish_locked()
         return report
 
+    def adopt(self, clusterer: CoresetServingMixin) -> None:
+        """Swap in a replacement clusterer (crash recovery) without publishing.
+
+        The supervisor's seam: after a writer crash it restores a fresh
+        clusterer from the last good checkpoint and adopts it here, so the
+        plane object — and every server/reader holding it — survives the
+        incident.  Readers keep answering from the last published snapshot;
+        the adopted instance's own ingests publish as soon as they *reach*
+        that position (publication is monotonic in stream position, so a
+        mid-replay plane never serves older data than it already has).  No
+        coreset is assembled here: the checkpointed state already reflects
+        an assembly at its position, and an extra one would break the
+        bit-identical recovery-equivalence contract.  The replaced
+        clusterer is closed best-effort (its workers may already be dead).
+        """
+        if not isinstance(clusterer, CoresetServingMixin):
+            raise TypeError(
+                "ServingPlane.adopt requires a coreset-backed clusterer "
+                f"(CoresetServingMixin), got {type(clusterer).__name__}"
+            )
+        with self._ingest_lock:
+            retired = self._clusterer
+            self._clusterer = clusterer
+            self._published_points = None
+        if retired is not clusterer:
+            closer = getattr(retired, "close", None)
+            if closer is not None:
+                try:
+                    closer()
+                except Exception:  # noqa: BLE001 - the old engine may be half-dead
+                    pass
+
     def _publish_locked(self) -> CoresetSnapshot | None:
-        if self._clusterer.points_seen == 0:
+        points = self._clusterer.points_seen
+        if points == 0:
             return None
         latest = self._publisher.latest
-        if latest is not None and latest.points_seen == self._clusterer.points_seen:
-            # Nothing settled since the last publish; keep the version (and
+        if self._published_points == points and latest is not None:
+            # Nothing settled since the last assembly; keep the version (and
             # the readers' warm caches) stable instead of re-assembling.
             return latest
         coreset, cache_stats = self._clusterer.collect_serving_snapshot()
+        self._published_points = points
+        if latest is not None and points < latest.points_seen:
+            # A recovering writer replaying the journal behind the last
+            # pre-crash publication: the assembly ran (the clusterer's state
+            # evolution must match an uninterrupted run exactly), but the
+            # publisher keeps the newer snapshot — readers never see stream
+            # position go backwards.
+            return None
         dimension = self._clusterer.dimension or int(coreset.points.shape[1])
         return self._publisher.publish(
             coreset,
-            points_seen=self._clusterer.points_seen,
+            points_seen=points,
             dimension=dimension,
             cache_stats=cache_stats,
         )

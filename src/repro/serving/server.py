@@ -57,6 +57,8 @@ class ServerStats:
     served: int = 0
     batched: int = 0
     shed: int = 0
+    stale_rejections: int = 0
+    degraded_served: int = 0
     bad_requests: int = 0
     internal_errors: int = 0
     slow_client_disconnects: int = 0
@@ -103,6 +105,18 @@ class ServingServer:
     sndbuf:
         Optional SO_SNDBUF size for accepted sockets — small values make
         the write timeout observable in tests; leave ``None`` in production.
+    staleness_ceiling_s:
+        Degraded-mode bound: once the published snapshot is older than this
+        many seconds (a dead or wedged writer — see
+        :meth:`ServingPlane.snapshot_age`), queries are refused with a 503
+        ``stale`` error instead of silently serving arbitrarily old answers.
+        ``None`` (default) serves stale data forever, annotated.
+    health_source:
+        Callable returning the ingest pipeline's health state (one of
+        ``live / degraded / recovering / down`` — the supervisor wires its
+        :class:`~repro.resilience.supervisor.HealthState` in here).  Drives
+        the ``health`` op and the per-response ``degraded`` annotation;
+        ``None`` reports ``live`` whenever a snapshot exists.
     """
 
     def __init__(
@@ -117,6 +131,8 @@ class ServingServer:
         write_timeout_s: float = 5.0,
         reader_factory: Callable[[ServingPlane], PlaneReader] | None = None,
         sndbuf: int | None = None,
+        staleness_ceiling_s: float | None = None,
+        health_source: Callable[[], str] | None = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -133,6 +149,10 @@ class ServingServer:
         self._write_timeout_s = write_timeout_s
         self._reader_factory = reader_factory or (lambda p: p.reader())
         self._sndbuf = sndbuf
+        if staleness_ceiling_s is not None and staleness_ceiling_s <= 0:
+            raise ValueError("staleness_ceiling_s must be positive (or None)")
+        self._staleness_ceiling_s = staleness_ceiling_s
+        self._health_source = health_source
         self.stats = ServerStats()
         self._queue: asyncio.Queue[_Job] | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -257,6 +277,48 @@ class ServingServer:
             writer.transport.abort()
             raise _SlowClientError from None
 
+    # -- health / degraded mode ----------------------------------------------
+
+    def _health_state(self) -> str:
+        """The ingest pipeline's health label (lower-case)."""
+        if self._health_source is not None:
+            return str(self._health_source()).lower()
+        return "live" if self._plane.publisher.latest is not None else "down"
+
+    def _health_payload(self) -> dict:
+        """Payload of the ``health`` op (also the CLI health probe's output)."""
+        state = self._health_state()
+        age = self._plane.snapshot_age()
+        behind, _ = self._plane.staleness()
+        return {
+            "ok": True,
+            "op": "health",
+            "state": state,
+            "degraded": state != "live",
+            "version": self._plane.version,
+            "points_ingested": self._plane.points_ingested,
+            "staleness_points": behind,
+            "snapshot_age_s": round(age, 3) if age != float("inf") else None,
+            "staleness_ceiling_s": self._staleness_ceiling_s,
+        }
+
+    def _annotate_degraded(self, response: dict) -> dict:
+        """Stamp a successful answer served while ingest is not LIVE.
+
+        Copies the response first: worker results and error objects are
+        shared across every job folded into one batch.
+        """
+        state = self._health_state()
+        if not response.get("ok") or state == "live":
+            return response
+        self.stats.degraded_served += 1
+        annotated = dict(response)
+        annotated["degraded"] = True
+        annotated["health"] = state
+        age = self._plane.snapshot_age()
+        annotated["snapshot_age_s"] = round(age, 3) if age != float("inf") else None
+        return annotated
+
     # -- request dispatch ----------------------------------------------------
 
     async def _dispatch(self, line: bytes) -> dict:
@@ -272,6 +334,8 @@ class ServingServer:
         op = request.get("op", "query")
         if op == "ping":
             return {"ok": True, "op": "ping"}
+        if op == "health":
+            return self._health_payload()
         if op == "stats":
             behind, seconds = self._plane.staleness()
             return {
@@ -295,6 +359,16 @@ class ServingServer:
 
         if self._draining:
             return _error(503, "draining: server is shutting down")
+        if self._staleness_ceiling_s is not None:
+            age = self._plane.snapshot_age()
+            if age > self._staleness_ceiling_s:
+                self.stats.stale_rejections += 1
+                return _error(
+                    503,
+                    "stale: published snapshot is "
+                    f"{'unavailable' if age == float('inf') else f'{age:.1f}s old'}, "
+                    f"ceiling is {self._staleness_ceiling_s:.1f}s",
+                )
         assert self._queue is not None
         if self._queue.qsize() >= self._max_pending:
             self.stats.shed += 1
@@ -309,7 +383,7 @@ class ServingServer:
         self._inflight += 1
         try:
             self._queue.put_nowait(job)
-            return await job.future
+            return self._annotate_degraded(await job.future)
         finally:
             self._inflight -= 1
 

@@ -155,6 +155,44 @@ class TestHarnessIntegration:
                 checkpoint_stream[:200],
             )
 
+    def test_keep_last_prunes_interval_snapshots(self, tmp_path, checkpoint_stream):
+        result = run_experiment(
+            StreamingExperiment(
+                "cc",
+                small_streaming_config(13),
+                schedule=FixedIntervalSchedule(400),
+                checkpoint_interval=200,
+                checkpoint_dir=tmp_path,
+                checkpoint_keep_last=2,
+            ),
+            checkpoint_stream[:1000],
+        )
+        on_disk = sorted(p.name for p in tmp_path.iterdir() if p.name.startswith("ckpt-"))
+        assert len(on_disk) == 2
+        # RunResult still records every write, including the pruned ones.
+        assert len(result.checkpoints) > 2
+        assert sorted(p.name for p in result.checkpoints[-2:]) == on_disk
+
+    def test_keep_last_validation(self, tmp_path, checkpoint_stream):
+        with pytest.raises(ValueError, match="requires checkpoint_dir"):
+            run_experiment(
+                StreamingExperiment(
+                    "cc", small_streaming_config(13), checkpoint_keep_last=2
+                ),
+                checkpoint_stream[:200],
+            )
+        with pytest.raises(ValueError, match=">= 1"):
+            run_experiment(
+                StreamingExperiment(
+                    "cc",
+                    small_streaming_config(13),
+                    checkpoint_interval=200,
+                    checkpoint_dir=tmp_path,
+                    checkpoint_keep_last=0,
+                ),
+                checkpoint_stream[:200],
+            )
+
     def test_sharded_resume(self, tmp_path, checkpoint_stream):
         config = small_streaming_config(13)
         # The schedule restarts relative to the resumed stream, so the split

@@ -1,0 +1,138 @@
+"""Rotating checkpoint store: retention, validation, corrupt-fallback.
+
+The store's promise to the supervisor: pruning never deletes the only
+restorable snapshot, and ``latest_good`` silently walks past a corrupt
+newest one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.checkpoint.store import (
+    STATE_NAME,
+    CheckpointStore,
+    checkpoint_position,
+    latest_good_checkpoint,
+    list_checkpoints,
+    prune_checkpoints,
+    validate_checkpoint,
+)
+
+from _checkpoint_utils import ALGORITHM_FACTORIES, make_checkpoint_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_checkpoint_stream()
+
+
+def _clusterer_at(stream, points):
+    clusterer = ALGORITHM_FACTORIES["cc"](17)
+    clusterer.insert_batch(stream[:points])
+    return clusterer
+
+
+def _corrupt(snapshot_dir, offset=200):
+    payload = snapshot_dir / STATE_NAME
+    data = bytearray(payload.read_bytes())
+    data[min(offset, len(data) - 1)] ^= 0xFF
+    payload.write_bytes(bytes(data))
+
+
+class TestNaming:
+    def test_checkpoint_position_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.path_for(12345)
+        assert path.name == "ckpt-0000012345"
+        assert checkpoint_position(path) == 12345
+
+    @pytest.mark.parametrize("name", ["snapshot", "ckpt-abc", "ckpt-"])
+    def test_checkpoint_position_rejects_foreign_names(self, tmp_path, name):
+        with pytest.raises(CheckpointError):
+            checkpoint_position(tmp_path / name)
+
+    def test_list_ignores_staging_leftovers(self, tmp_path, stream):
+        store = CheckpointStore(tmp_path)
+        store.save(_clusterer_at(stream, 100), 100)
+        (tmp_path / "ckpt-0000000200.tmp-x").mkdir()
+        (tmp_path / "ckpt-0000000300.old-x").mkdir()
+        (tmp_path / "unrelated").mkdir()
+        assert [p.name for p in store.list()] == ["ckpt-0000000100"]
+
+
+class TestRetention:
+    def test_save_prunes_beyond_keep_last(self, tmp_path, stream):
+        store = CheckpointStore(tmp_path, keep_last=2)
+        for points in (100, 200, 300, 400):
+            store.save(_clusterer_at(stream, points), points)
+        assert [checkpoint_position(p) for p in store.list()] == [300, 400]
+
+    def test_prune_returns_deleted_paths(self, tmp_path, stream):
+        for points in (100, 200, 300):
+            save_checkpoint(
+                _clusterer_at(stream, points),
+                CheckpointStore(tmp_path).path_for(points),
+            )
+        deleted = prune_checkpoints(tmp_path, 1)
+        assert [checkpoint_position(p) for p in deleted] == [100, 200]
+        assert prune_checkpoints(tmp_path, 1) == []
+
+    def test_prune_rejects_zero_keep(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep_last"):
+            prune_checkpoints(tmp_path, 0)
+        with pytest.raises(CheckpointError, match="keep_last"):
+            CheckpointStore(tmp_path, keep_last=0)
+
+    def test_prune_never_deletes_the_only_good_snapshot(self, tmp_path, stream):
+        store = CheckpointStore(tmp_path, keep_last=1)
+        good = save_checkpoint(_clusterer_at(stream, 100), store.path_for(100))
+        bad = save_checkpoint(_clusterer_at(stream, 200), store.path_for(200))
+        _corrupt(bad)
+        deleted = prune_checkpoints(tmp_path, 1)
+        # The newest (retained) snapshot is corrupt, so the good older one
+        # is spared even though retention would normally drop it.
+        assert deleted == []
+        assert good in list_checkpoints(tmp_path)
+        assert latest_good_checkpoint(tmp_path) == good
+
+
+class TestValidation:
+    def test_validate_accepts_a_fresh_snapshot(self, tmp_path, stream):
+        path = save_checkpoint(_clusterer_at(stream, 150), tmp_path / "ckpt-0000000150")
+        manifest = validate_checkpoint(path)
+        assert manifest["algorithm"] == "cc"
+        assert "fingerprint" in manifest
+
+    def test_validate_rejects_payload_bitflips(self, tmp_path, stream):
+        path = save_checkpoint(_clusterer_at(stream, 150), tmp_path / "ckpt-0000000150")
+        _corrupt(path)
+        with pytest.raises(CheckpointError):
+            validate_checkpoint(path)
+
+    def test_latest_good_walks_past_corrupt_newest(self, tmp_path, stream):
+        store = CheckpointStore(tmp_path, keep_last=5)
+        for points in (100, 200, 300):
+            store.save(_clusterer_at(stream, points), points)
+        _corrupt(store.path_for(300))
+        good = store.latest_good()
+        assert good is not None and checkpoint_position(good) == 200
+        restored = load_checkpoint(good)
+        assert restored.points_seen == 200
+
+    def test_latest_good_is_none_when_everything_is_bad(self, tmp_path, stream):
+        store = CheckpointStore(tmp_path)
+        store.save(_clusterer_at(stream, 100), 100)
+        _corrupt(store.path_for(100))
+        assert store.latest_good() is None
+        assert latest_good_checkpoint(tmp_path / "never") is None
+
+    def test_latest_good_respects_fingerprint(self, tmp_path, stream):
+        store = CheckpointStore(tmp_path)
+        store.save(_clusterer_at(stream, 100), 100)
+        assert store.latest_good(expected_fingerprint="not-a-real-print") is None

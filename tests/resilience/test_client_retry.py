@@ -1,0 +1,231 @@
+"""Client deadlines and retry policy: retry 429/timeout, nothing else.
+
+A scripted fake server pins the retry matrix exactly (which codes retry,
+which return immediately); :class:`FlakyProxy` then proves the
+timeout-then-reconnect path against the real asyncio server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.resilience import FlakyProxy
+from repro.serving.client import DeadlineExceeded, ServingClient
+from repro.serving.plane import ServingPlane
+from repro.serving.server import ServerThread
+
+from _resilience_utils import make_factory
+
+
+class ScriptedServer:
+    """A newline-JSON server replaying a fixed response script.
+
+    Each entry is a response dict, the string ``"stall"`` (read the request
+    but never answer), or ``"close"`` (drop the connection).  The script
+    position is shared across connections, so reconnect-and-retry sequences
+    consume it in order.
+    """
+
+    def __init__(self, script):
+        self._script = list(script)
+        self._index = 0
+        self._lock = threading.Lock()
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._halt = threading.Event()
+        self.requests = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _next(self):
+        with self._lock:
+            if self._index >= len(self._script):
+                return {"ok": True, "op": "query", "exhausted": True}
+            entry = self._script[self._index]
+            self._index += 1
+            return entry
+
+    def _loop(self):
+        while not self._halt.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,), daemon=True).start()
+
+    def _serve(self, conn):
+        file = conn.makefile("rwb")
+        try:
+            while not self._halt.is_set():
+                line = file.readline()
+                if not line:
+                    return
+                self.requests += 1
+                entry = self._next()
+                if entry == "close":
+                    return
+                if entry == "stall":
+                    self._halt.wait(5.0)
+                    return
+                file.write(json.dumps(entry).encode() + b"\n")
+                file.flush()
+        except OSError:
+            pass
+        finally:
+            file.close()
+            conn.close()
+
+    def close(self):
+        self._halt.set()
+        self._listener.close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+SHED = {"ok": False, "code": 429, "error": "overloaded"}
+OK = {"ok": True, "op": "query", "centers": []}
+BAD = {"ok": False, "code": 400, "error": "bad request"}
+BROKEN = {"ok": False, "code": 500, "error": "internal"}
+
+
+class TestRetryMatrix:
+    def test_429_is_retried_until_success(self):
+        with ScriptedServer([SHED, SHED, OK]) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, max_retries=3,
+                backoff_base_s=0.001, retry_seed=0,
+            ) as client:
+                response = client.query(k=3)
+                assert response["ok"]
+                assert client.retries == 2
+            assert server.requests == 3
+
+    def test_429_returned_when_retries_exhausted(self):
+        with ScriptedServer([SHED, SHED, SHED]) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, max_retries=1,
+                backoff_base_s=0.001, retry_seed=0,
+            ) as client:
+                response = client.query(k=3)
+                assert response["code"] == 429
+                assert client.retries == 1
+
+    @pytest.mark.parametrize("terminal", [BAD, BROKEN])
+    def test_client_errors_are_never_retried(self, terminal):
+        with ScriptedServer([terminal, OK]) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, max_retries=5,
+                backoff_base_s=0.001, retry_seed=0,
+            ) as client:
+                response = client.query(k=3)
+                assert response["code"] == terminal["code"]
+                assert client.retries == 0
+            assert server.requests == 1
+
+    def test_zero_retries_is_the_default(self):
+        with ScriptedServer([SHED, OK]) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                assert client.query(k=3)["code"] == 429
+                assert client.retries == 0
+
+
+class TestDeadlines:
+    def test_stalled_server_raises_deadline_exceeded(self):
+        with ScriptedServer(["stall"]) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, timeout=5.0, deadline_s=0.3
+            ) as client:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceeded):
+                    client.query(k=3)
+                assert time.monotonic() - started < 2.0
+
+    def test_timeout_retry_reconnects_then_succeeds(self):
+        # First attempt stalls (timeout -> reconnect), second is answered.
+        with ScriptedServer(["stall", OK]) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, timeout=0.2, max_retries=2,
+                backoff_base_s=0.001, retry_seed=0,
+            ) as client:
+                response = client.query(k=3)
+                assert response["ok"]
+                assert client.retries == 1
+
+    def test_per_call_deadline_overrides_default(self):
+        with ScriptedServer(["stall"]) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, timeout=5.0, deadline_s=30.0
+            ) as client:
+                with pytest.raises(DeadlineExceeded):
+                    client.query(k=3, deadline_s=0.2)
+
+    def test_deadline_bounds_retry_backoff_total(self):
+        with ScriptedServer([SHED] * 50) as server:
+            with ServingClient(
+                "127.0.0.1", server.port, max_retries=50, deadline_s=0.4,
+                backoff_base_s=0.2, backoff_cap_s=0.5, retry_seed=1,
+            ) as client:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceeded):
+                    client.query(k=3)
+                assert time.monotonic() - started < 2.0
+
+    def test_invalid_max_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ServingClient("127.0.0.1", 1, max_retries=-1)
+
+
+class TestAgainstRealServer:
+    @pytest.fixture
+    def served_plane(self, stream_batches):
+        plane = ServingPlane(make_factory(seed=7)())
+        for batch in stream_batches[:3]:
+            plane.ingest(batch.copy())
+        with ServerThread(plane, num_workers=1) as server:
+            yield server
+        plane.close()
+
+    def test_flaky_proxy_drop_recovers_via_retry(self, served_plane):
+        """A severed response surfaces as a timeout; the retry reconnects."""
+        with FlakyProxy(
+            "127.0.0.1", served_plane.port, seed=0, drop_rate=1.0,
+            drop_after_bytes=0,
+        ) as proxy:
+            with ServingClient(
+                "127.0.0.1", proxy.port, timeout=0.3, max_retries=0,
+            ) as client:
+                with pytest.raises((TimeoutError, ConnectionError)):
+                    client.query(k=3)
+            assert proxy.dropped >= 1
+
+        # Same fault, but the client is allowed to retry straight to the
+        # real server once the flaky path is gone.
+        with ServingClient(
+            "127.0.0.1", served_plane.port, timeout=2.0, max_retries=2,
+            backoff_base_s=0.001, retry_seed=0,
+        ) as client:
+            assert client.query(k=3)["ok"]
+
+    def test_delayed_proxy_still_within_deadline(self, served_plane):
+        with FlakyProxy(
+            "127.0.0.1", served_plane.port, seed=0, delay_s=0.05
+        ) as proxy:
+            with ServingClient(
+                "127.0.0.1", proxy.port, timeout=5.0, deadline_s=4.0
+            ) as client:
+                assert client.ping()["ok"]
+                assert client.query(k=3)["ok"]
+            assert proxy.connections == 1

@@ -1,0 +1,207 @@
+"""Property: crash anywhere, recover, and the state is bit-identical.
+
+Hypothesis drives the crash batch, the fault flavour (torn append vs crash
+after the durable append), the torn-byte count, and the seed — across
+ct/cc/rcc, float32/float64, and (for the sharded engine) every executor
+backend ``REPRO_TEST_BACKENDS`` enables.  The reference is always an
+uninterrupted :class:`~repro.serving.plane.ServingPlane` run over the same
+batches; equality is the packed state tree, array for array, bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import pack_state
+from repro.checkpoint.store import CheckpointStore
+from repro.resilience import (
+    ChaosController,
+    ChaosSchedule,
+    Fault,
+    HealthState,
+    IngestSupervisor,
+    RestartPolicy,
+)
+from repro.serving.plane import ServingPlane
+
+from _resilience_utils import (
+    assert_states_equal,
+    capture_state,
+    make_batches,
+    make_factory,
+    reference_state,
+)
+
+NUM_BATCHES = 10
+
+_SETTINGS = dict(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _run_supervised(tmp_path, factory, batches, schedule, restore_overrides=None):
+    """Drive ``batches`` under ``schedule``; returns the surviving plane."""
+    plane = ServingPlane(factory())
+    chaos = ChaosController(schedule=schedule)
+    supervisor = IngestSupervisor(
+        plane,
+        CheckpointStore(tmp_path / "ckpts", keep_last=3),
+        tmp_path / "wal",
+        clusterer_factory=factory,
+        checkpoint_every_batches=3,
+        fsync_every=0,
+        policy=RestartPolicy(
+            seed=1, max_restarts=50, backoff_base_s=0.0, backoff_cap_s=0.0
+        ),
+        wal_write_hook=chaos.wal_write_hook,
+        restore_overrides=restore_overrides,
+    )
+    chaos.drive(supervisor, batches)
+    assert supervisor.health() is HealthState.LIVE
+    supervisor.close(final_checkpoint=False)
+    return plane
+
+
+@pytest.mark.parametrize("algorithm", ["ct", "cc", "rcc"])
+@settings(**_SETTINGS)
+@given(
+    crash_batch=st.integers(min_value=1, max_value=NUM_BATCHES - 1),
+    durable_append=st.booleans(),
+    torn_keep=st.integers(min_value=0, max_value=180),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_crash_at_any_batch_recovers_bit_identically(
+    algorithm, crash_batch, durable_append, torn_keep, seed, tmp_path_factory
+):
+    """ct/cc/rcc: a crash at any batch — torn or durably appended — is invisible."""
+    tmp_path = tmp_path_factory.mktemp("crash")
+    factory = make_factory(algorithm, seed=7)
+    batches = make_batches(NUM_BATCHES, batch_size=50, seed=seed % 1000)
+    expected = reference_state(factory, batches)
+    fault = (
+        Fault("crash_before_insert", at_batch=crash_batch)
+        if durable_append
+        else Fault("torn_wal", at_batch=crash_batch, detail=torn_keep)
+    )
+    plane = _run_supervised(tmp_path, factory, batches, ChaosSchedule.of(fault))
+    try:
+        assert_states_equal(capture_state(plane), expected)
+    finally:
+        plane.close()
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+@settings(**_SETTINGS)
+@given(
+    crash_batch=st.integers(min_value=1, max_value=NUM_BATCHES - 1),
+    torn_keep=st.integers(min_value=0, max_value=180),
+)
+def test_torn_final_record_recovers_across_dtypes(
+    dtype, crash_batch, torn_keep, tmp_path_factory
+):
+    """The torn *final* WAL record case, at both storage dtypes."""
+    tmp_path = tmp_path_factory.mktemp("dtype")
+    factory = make_factory("cc", seed=7, dtype=dtype)
+    batches = make_batches(NUM_BATCHES, batch_size=50, seed=5)
+    expected = reference_state(factory, batches)
+    schedule = ChaosSchedule.of(Fault("torn_wal", at_batch=crash_batch, detail=torn_keep))
+    plane = _run_supervised(tmp_path, factory, batches, schedule)
+    try:
+        state = capture_state(plane)
+        assert_states_equal(state, expected)
+        # The recovered arrays really are at the configured dtype.
+        assert any(
+            arr.dtype == np.dtype(dtype)
+            for arr in state[1].values()
+            if arr.dtype.kind == "f"
+        )
+    finally:
+        plane.close()
+
+
+@settings(**_SETTINGS)
+@given(
+    crash_batch=st.integers(min_value=1, max_value=NUM_BATCHES - 1),
+    durable_append=st.booleans(),
+)
+def test_sharded_crash_recovers_bit_identically(
+    backend, crash_batch, durable_append, tmp_path_factory
+):
+    """2-shard engine on every enabled backend: crash, restore, replay, equal."""
+    tmp_path = tmp_path_factory.mktemp("sharded")
+    factory = make_factory(seed=7, shards=2, backend=backend)
+    batches = make_batches(NUM_BATCHES, batch_size=50, seed=9)
+    expected = reference_state(factory, batches)
+    kind = "crash_before_insert" if durable_append else "torn_wal"
+    plane = _run_supervised(
+        tmp_path,
+        factory,
+        batches,
+        ChaosSchedule.of(Fault(kind, at_batch=crash_batch)),
+        restore_overrides={"backend": backend},
+    )
+    try:
+        assert_states_equal(capture_state(plane), expected)
+    finally:
+        plane.close()
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(crash_batch=st.integers(min_value=6, max_value=NUM_BATCHES - 1))
+def test_sharded_reshard_then_crash(backend, crash_batch, tmp_path_factory):
+    """Reshard mid-stream, checkpoint the new shape, crash later: still equal.
+
+    Recovery restores the *post-reshard* checkpoint (it is the newest good
+    one), so replay continues on the resharded engine — the reshard itself
+    is a checkpointed state transition, not a journaled batch.
+    """
+    tmp_path = tmp_path_factory.mktemp("reshard")
+    factory = make_factory(seed=7, shards=2, backend=backend)
+    batches = make_batches(NUM_BATCHES, batch_size=50, seed=11)
+    reshard_after = 4  # batches ingested before growing to 3 shards
+
+    reference = ServingPlane(factory())
+    try:
+        for index, batch in enumerate(batches):
+            if index == reshard_after:
+                reference.reshard(3)
+            reference.ingest(batch.copy())
+        expected = pack_state(reference.clusterer._state_tree())
+    finally:
+        reference.close()
+
+    plane = ServingPlane(factory())
+    chaos = ChaosController(
+        schedule=ChaosSchedule.of(Fault("torn_wal", at_batch=crash_batch))
+    )
+    supervisor = IngestSupervisor(
+        plane,
+        CheckpointStore(tmp_path / "ckpts", keep_last=3),
+        tmp_path / "wal",
+        clusterer_factory=factory,
+        checkpoint_every_batches=None,
+        fsync_every=0,
+        policy=RestartPolicy(
+            seed=1, max_restarts=50, backoff_base_s=0.0, backoff_cap_s=0.0
+        ),
+        wal_write_hook=chaos.wal_write_hook,
+        restore_overrides={"backend": backend},
+    )
+    try:
+        for index, batch in enumerate(batches):
+            if index == reshard_after:
+                plane.reshard(3)
+                supervisor.checkpoint()  # pin the new shape before crashing
+            chaos.step(supervisor, index, batch)
+        assert supervisor.health() is HealthState.LIVE
+        assert supervisor.stats.recoveries == 1
+        assert_states_equal(capture_state(plane), expected)
+    finally:
+        supervisor.close(final_checkpoint=False)
+        plane.close()

@@ -1,0 +1,166 @@
+"""Degraded-mode serving: answer from the last snapshot, say so, bound it.
+
+When the writer dies, the server must keep answering from the last
+published :class:`CoresetSnapshot` — annotated ``degraded`` with the
+snapshot's age — until the configured staleness ceiling, past which
+answers flip to 503 ``stale``.  The ``health`` op exposes the supervisor's
+state the whole time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.checkpoint.store import CheckpointStore
+from repro.resilience import (
+    ChaosController,
+    ChaosSchedule,
+    Fault,
+    HealthState,
+    IngestSupervisor,
+    RestartPolicy,
+    SupervisorError,
+)
+from repro.serving.client import ServingClient
+from repro.serving.plane import ServingPlane
+from repro.serving.server import ServerThread
+
+from _resilience_utils import make_batches, make_factory
+
+
+@pytest.fixture
+def live_plane(stream_batches):
+    plane = ServingPlane(make_factory(seed=7)())
+    for batch in stream_batches[:3]:
+        plane.ingest(batch.copy())
+    yield plane
+    plane.close()
+
+
+class TestHealthOp:
+    def test_health_reports_live_by_default(self, live_plane):
+        with ServerThread(live_plane, num_workers=1) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                payload = client.health()
+        assert payload["ok"] and payload["op"] == "health"
+        assert payload["state"] == "live"
+        assert payload["degraded"] is False
+        assert payload["version"] == live_plane.version
+        assert payload["snapshot_age_s"] is not None
+        assert payload["staleness_ceiling_s"] is None
+
+    def test_health_source_drives_the_state(self, live_plane):
+        with ServerThread(
+            live_plane, num_workers=1, health_source=lambda: "DEGRADED"
+        ) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                payload = client.health()
+        assert payload["state"] == "degraded"
+        assert payload["degraded"] is True
+
+    def test_health_reports_down_before_first_snapshot(self):
+        plane = ServingPlane(make_factory(seed=7)())
+        try:
+            with ServerThread(plane, num_workers=1) as server:
+                with ServingClient("127.0.0.1", server.port) as client:
+                    payload = client.health()
+            assert payload["state"] == "down"
+            assert payload["snapshot_age_s"] is None
+        finally:
+            plane.close()
+
+
+class TestDegradedAnnotation:
+    def test_queries_keep_working_and_are_annotated(self, live_plane):
+        with ServerThread(
+            live_plane, num_workers=1, health_source=lambda: "degraded"
+        ) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                response = client.query(k=3)
+            stats = server.server.stats
+        assert response["ok"]
+        assert response["degraded"] is True
+        assert response["health"] == "degraded"
+        assert response["snapshot_age_s"] >= 0.0
+        assert len(response["centers"]) == 3
+        assert stats.degraded_served == 1
+
+    def test_live_responses_carry_no_annotation(self, live_plane):
+        with ServerThread(live_plane, num_workers=1) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                response = client.query(k=3)
+            stats = server.server.stats
+        assert response["ok"]
+        assert "degraded" not in response
+        assert stats.degraded_served == 0
+
+
+class TestStalenessCeiling:
+    def test_fresh_snapshot_is_served_then_old_one_rejected(self, live_plane):
+        with ServerThread(
+            live_plane,
+            num_workers=1,
+            staleness_ceiling_s=0.4,
+            health_source=lambda: "degraded",
+        ) as server:
+            with ServingClient("127.0.0.1", server.port) as client:
+                live_plane.ingest(make_batches(1, 30)[0])  # refresh published_at
+                fresh = client.query(k=3)
+                time.sleep(0.6)  # outlive the ceiling with a dead writer
+                stale = client.query(k=3)
+                health = client.health()
+            stats = server.server.stats
+        assert fresh["ok"] and fresh["degraded"] is True
+        assert not stale["ok"]
+        assert stale["code"] == 503
+        assert "stale" in stale["error"]
+        assert stats.stale_rejections == 1
+        # The health probe still answers (it is not a query).
+        assert health["ok"] and health["snapshot_age_s"] > 0.4
+
+    def test_ceiling_validation(self, live_plane):
+        with pytest.raises(ValueError, match="staleness_ceiling_s"):
+            ServerThread(live_plane, num_workers=1, staleness_ceiling_s=0.0)
+
+
+class TestSupervisedIntegration:
+    def test_degraded_supervisor_keeps_serving(self, tmp_path, stream_batches):
+        """End-to-end: budget-exhausted supervisor, server still answers."""
+        factory = make_factory(seed=7)
+        plane = ServingPlane(factory())
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(
+                *[Fault("torn_wal", at_batch=b) for b in range(1, 4)]
+            )
+        )
+        supervisor = IngestSupervisor(
+            plane,
+            CheckpointStore(tmp_path / "ckpts", keep_last=2),
+            tmp_path / "wal",
+            clusterer_factory=factory,
+            policy=RestartPolicy(
+                seed=1, max_restarts=0, backoff_base_s=0.0, backoff_cap_s=0.0
+            ),
+            wal_write_hook=chaos.wal_write_hook,
+        )
+        try:
+            supervisor.ingest(stream_batches[0].copy())
+            with pytest.raises(SupervisorError):
+                chaos.step(supervisor, 1, stream_batches[1])
+            assert supervisor.health() is HealthState.DEGRADED
+            with ServerThread(
+                plane,
+                num_workers=1,
+                health_source=lambda: supervisor.health().value,
+            ) as server:
+                with ServingClient("127.0.0.1", server.port) as client:
+                    health = client.health()
+                    response = client.query(k=3)
+            assert health["state"] == "degraded"
+            assert response["ok"] and response["degraded"] is True
+            assert response["version"] == 1  # the pre-crash publication
+        finally:
+            supervisor.close(final_checkpoint=False)
+            plane.close()

@@ -1,0 +1,138 @@
+"""``repro serve`` process lifecycle: SIGTERM drains, checkpoints, exits 0.
+
+Real subprocesses (no mocks): the regression here is an operator's
+``kill <pid>`` during a rolling restart — it must produce a final
+checkpoint, a truncated journal, exit code 0, and a directory the next
+incarnation resumes from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn_serve(tmp_path, *extra):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--dataset", "power", "--num-points", "1500",
+            "--batch-size", "150", "--port", "0", "--duration", "0",
+            "--checkpoint-to", str(tmp_path / "durable"),
+            "--checkpoint-interval", "450",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _wait_for_line(process, needle, timeout_s=60.0):
+    """Read stdout lines until one contains ``needle`` (collected lines back)."""
+    lines = []
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                break
+            continue
+        lines.append(line)
+        if needle in line:
+            return lines
+    raise AssertionError(
+        f"never saw {needle!r} in serve output:\n{''.join(lines)}"
+    )
+
+
+def _port_from_banner(lines):
+    banner = next(line for line in lines if "serving on" in line)
+    return int(banner.split("serving on ", 1)[1].split()[0].rsplit(":", 1)[1])
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_checkpoints_and_exits_zero(tmp_path, signum):
+    process = _spawn_serve(tmp_path)
+    try:
+        lines = _wait_for_line(process, "serving on")
+        time.sleep(1.0)  # let some batches through
+        process.send_signal(signum)
+        out, _ = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 0, out
+    assert "final checkpoint:" in out
+    assert "drained:" in out
+    root = tmp_path / "durable"
+    checkpoints = sorted(p for p in root.iterdir() if p.name.startswith("ckpt-"))
+    assert checkpoints, "graceful exit wrote no checkpoint"
+    # The final checkpoint truncated the journal: whatever segments remain
+    # only cover positions past an older retained snapshot.
+    assert (root / "wal").is_dir()
+    assert lines  # the banner was seen before the signal
+
+
+def test_second_incarnation_resumes_from_the_first(tmp_path):
+    first = _spawn_serve(tmp_path)
+    try:
+        _wait_for_line(first, "serving on")
+        time.sleep(1.0)
+        first.send_signal(signal.SIGTERM)
+        out, _ = first.communicate(timeout=60)
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.communicate()
+    assert first.returncode == 0, out
+
+    second = _spawn_serve(tmp_path)
+    try:
+        lines = _wait_for_line(second, "serving on")
+        resumed = [line for line in lines if line.startswith("resumed from")]
+        assert resumed, f"no resume banner in: {''.join(lines)}"
+        assert "ckpt-" in resumed[0]
+        second.send_signal(signal.SIGTERM)
+        out, _ = second.communicate(timeout=60)
+    finally:
+        if second.poll() is None:
+            second.kill()
+            second.communicate()
+    assert second.returncode == 0, out
+
+
+def test_live_health_probe_over_tcp(tmp_path):
+    """The serve process answers the ``health`` op while durable."""
+    process = _spawn_serve(tmp_path, "--staleness-ceiling", "60")
+    try:
+        lines = _wait_for_line(process, "serving on")
+        port = _port_from_banner(lines)
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            file = conn.makefile("rwb")
+            file.write(b'{"op": "health"}\n')
+            file.flush()
+            payload = json.loads(file.readline())
+        assert payload["ok"]
+        assert payload["state"] == "live"
+        assert payload["staleness_ceiling_s"] == 60.0
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=60)
+        assert process.returncode == 0, out
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()

@@ -1,0 +1,330 @@
+"""Supervisor behaviour: checkpoints, retention, recovery, budgets, resume.
+
+The bitwise equivalence *properties* live in ``test_crash_property.py``;
+this file pins the supervisor's observable mechanics — what gets written
+where, which events are recorded, and how the health state moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint.store import STATE_NAME, CheckpointStore
+from repro.resilience import (
+    ChaosController,
+    ChaosSchedule,
+    Fault,
+    HealthState,
+    IngestSupervisor,
+    RestartPolicy,
+    SupervisorError,
+    corrupt_file,
+    replay_wal,
+    wal_segments,
+)
+from repro.serving.plane import ServingPlane
+
+from _resilience_utils import (
+    assert_states_equal,
+    capture_state,
+    make_factory,
+    make_supervisor,
+    reference_state,
+)
+
+
+class TestCheckpointing:
+    def test_interval_checkpoints_and_retention(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, checkpoint_every_batches=2, keep_last=3
+        )
+        for batch in stream_batches:
+            supervisor.ingest(batch.copy())
+        retained = supervisor.store.list()
+        assert len(retained) == 3  # 8 written, retention keeps the newest 3
+        assert supervisor.stats.checkpoints_written == 8
+        assert retained[-1].name == f"ckpt-{plane.points_ingested:010d}"
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_truncation_keeps_journal_past_the_newest_snapshot(
+        self, tmp_path, stream_batches
+    ):
+        factory = make_factory(seed=7)
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, checkpoint_every_batches=2
+        )
+        for batch in stream_batches:
+            supervisor.ingest(batch.copy())
+        # The journal must still reach back to the *previous* retained
+        # snapshot: the newest one is never a single point of failure.
+        retained = supervisor.store.list()
+        fallback_position = int(retained[-2].name.split("-")[1])
+        replayed = list(replay_wal(tmp_path / "wal", start_points=fallback_position))
+        assert replayed and replayed[0].points_before == fallback_position
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_disk_full_checkpoint_is_not_fatal(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("disk_full", at_batch=3))
+        )
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, chaos=chaos, checkpoint_every_batches=2
+        )
+        chaos.drive(supervisor, stream_batches[:8])
+        assert supervisor.stats.checkpoint_failures == 1
+        assert "checkpoint failed" in supervisor.last_error
+        assert supervisor.health() is HealthState.LIVE
+        assert plane.points_ingested == sum(b.shape[0] for b in stream_batches[:8])
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_close_writes_final_checkpoint_and_truncates(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, checkpoint_every_batches=None
+        )
+        for batch in stream_batches[:3]:
+            supervisor.ingest(batch.copy())
+        path = supervisor.close(final_checkpoint=True)
+        assert path is not None and path.exists()
+        assert supervisor.wal.closed
+        plane.close()
+
+
+class TestRecovery:
+    def test_torn_wal_recovers_bit_identically(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        expected = reference_state(factory, stream_batches)
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("torn_wal", at_batch=5, detail=9))
+        )
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, chaos=chaos, checkpoint_every_batches=3
+        )
+        chaos.drive(supervisor, stream_batches)
+        assert supervisor.stats.recoveries == 1
+        (event,) = supervisor.stats.events
+        assert event.reapplied_inflight  # torn record -> batch re-journaled
+        assert event.restored_from is not None
+        assert_states_equal(capture_state(plane), expected)
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_crash_after_durable_append_does_not_double_apply(
+        self, tmp_path, stream_batches
+    ):
+        factory = make_factory(seed=7)
+        expected = reference_state(factory, stream_batches)
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("crash_before_insert", at_batch=5))
+        )
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, chaos=chaos, checkpoint_every_batches=3
+        )
+        chaos.drive(supervisor, stream_batches)
+        (event,) = supervisor.stats.events
+        assert not event.reapplied_inflight  # replay already applied it
+        assert_states_equal(capture_state(plane), expected)
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        expected = reference_state(factory, stream_batches)
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(
+                Fault("corrupt_checkpoint", at_batch=6, detail=100),
+                Fault("torn_wal", at_batch=7, detail=5),
+            )
+        )
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, chaos=chaos, checkpoint_every_batches=3
+        )
+        chaos.drive(supervisor, stream_batches)
+        (event,) = supervisor.stats.events
+        corrupted = supervisor.store.list()[-1]
+        assert event.restored_from != str(corrupted)
+        assert_states_equal(capture_state(plane), expected)
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_cold_recovery_without_any_checkpoint(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        expected = reference_state(factory, stream_batches[:6])
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("torn_wal", at_batch=4))
+        )
+        supervisor, plane = make_supervisor(
+            tmp_path, factory, chaos=chaos, checkpoint_every_batches=None
+        )
+        chaos.drive(supervisor, stream_batches[:6])
+        (event,) = supervisor.stats.events
+        assert event.restored_from is None  # replayed the whole journal
+        assert event.replayed_records == 4
+        assert_states_equal(capture_state(plane), expected)
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_restart_budget_exhaustion_degrades(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        plane = ServingPlane(factory())
+        always_torn = ChaosController(
+            schedule=ChaosSchedule.of(
+                *[Fault("torn_wal", at_batch=b) for b in range(1, 10)]
+            )
+        )
+        supervisor = IngestSupervisor(
+            plane,
+            CheckpointStore(tmp_path / "ckpts", keep_last=3),
+            tmp_path / "wal",
+            clusterer_factory=factory,
+            policy=RestartPolicy(
+                seed=1, max_restarts=0, backoff_base_s=0.0, backoff_cap_s=0.0
+            ),
+            wal_write_hook=always_torn.wal_write_hook,
+        )
+        supervisor.ingest(stream_batches[0].copy())
+        with pytest.raises(SupervisorError, match="budget exhausted"):
+            always_torn.step(supervisor, 1, stream_batches[1])
+        assert supervisor.health() is HealthState.DEGRADED
+        # The plane still serves the last published snapshot.
+        result = plane.reader(seed=0).query()
+        assert result.centers.shape[0] >= 1
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_down_when_degraded_before_any_publication(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        plane = ServingPlane(factory())
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("torn_wal", at_batch=0))
+        )
+        supervisor = IngestSupervisor(
+            plane,
+            CheckpointStore(tmp_path / "ckpts", keep_last=3),
+            tmp_path / "wal",
+            clusterer_factory=factory,
+            policy=RestartPolicy(
+                seed=1, max_restarts=0, backoff_base_s=0.0, backoff_cap_s=0.0
+            ),
+            wal_write_hook=chaos.wal_write_hook,
+        )
+        with pytest.raises(SupervisorError):
+            chaos.step(supervisor, 0, stream_batches[0])
+        assert supervisor.health() is HealthState.DOWN
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_recovery_requires_factory_or_checkpoint(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        plane = ServingPlane(factory())
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("torn_wal", at_batch=0))
+        )
+        supervisor = IngestSupervisor(
+            plane,
+            CheckpointStore(tmp_path / "ckpts", keep_last=3),
+            tmp_path / "wal",
+            clusterer_factory=None,  # no cold-recovery seam
+            policy=RestartPolicy(
+                seed=1, max_restarts=3, backoff_base_s=0.0, backoff_cap_s=0.0
+            ),
+            wal_write_hook=chaos.wal_write_hook,
+        )
+        with pytest.raises(SupervisorError):
+            chaos.step(supervisor, 0, stream_batches[0])
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+
+class TestResume:
+    def test_blank_store_resume_is_noop(self, tmp_path):
+        supervisor, plane = make_supervisor(tmp_path, make_factory(seed=7))
+        assert supervisor.resume() is None
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_resume_restores_checkpoint_plus_journal_tail(
+        self, tmp_path, stream_batches
+    ):
+        factory = make_factory(seed=7)
+        expected = reference_state(factory, stream_batches[:6])
+        # First incarnation: checkpoint at batch 4, journal through batch 6,
+        # then vanish without close() — as a killed process would.
+        first, first_plane = make_supervisor(
+            tmp_path, factory, checkpoint_every_batches=4
+        )
+        for batch in stream_batches[:6]:
+            first.ingest(batch.copy())
+        first_plane.close()
+        del first
+
+        second, second_plane = make_supervisor(tmp_path, factory)
+        event = second.resume()
+        assert event is not None and event.cause == "startup resume"
+        assert event.replayed_records == 2  # batches 5 and 6 came from the WAL
+        assert_states_equal(capture_state(second_plane), expected)
+        # The resumed pipeline continues ingesting normally.
+        second.ingest(stream_batches[6].copy())
+        assert second_plane.points_ingested == sum(
+            b.shape[0] for b in stream_batches[:7]
+        )
+        second.close(final_checkpoint=False)
+        second_plane.close()
+
+    def test_resume_falls_back_past_corrupt_newest_snapshot(
+        self, tmp_path, stream_batches
+    ):
+        factory = make_factory(seed=7)
+        expected = reference_state(factory, stream_batches[:6])
+        first, first_plane = make_supervisor(
+            tmp_path, factory, checkpoint_every_batches=2
+        )
+        for batch in stream_batches[:6]:
+            first.ingest(batch.copy())
+        first_plane.close()
+        newest = first.store.list()[-1]
+        corrupt_file(newest / STATE_NAME, offset=100)
+
+        second, second_plane = make_supervisor(tmp_path, factory)
+        event = second.resume()
+        assert event is not None
+        assert event.restored_from != str(newest)
+        assert event.replayed_records > 0
+        assert_states_equal(capture_state(second_plane), expected)
+        second.close(final_checkpoint=False)
+        second_plane.close()
+
+
+class TestWalHousekeeping:
+    def test_recovery_reopens_a_fresh_segment(self, tmp_path, stream_batches):
+        factory = make_factory(seed=7)
+        chaos = ChaosController(
+            schedule=ChaosSchedule.of(Fault("torn_wal", at_batch=2))
+        )
+        supervisor, plane = make_supervisor(tmp_path, factory, chaos=chaos)
+        old_wal = supervisor.wal
+        chaos.drive(supervisor, stream_batches[:4])
+        assert supervisor.wal is not old_wal  # process-restart semantics
+        assert len(wal_segments(tmp_path / "wal")) == 2
+        # The full journal still replays the whole accepted stream.
+        total = sum(r.batch.shape[0] for r in replay_wal(tmp_path / "wal"))
+        assert total == plane.points_ingested
+        supervisor.close(final_checkpoint=False)
+        plane.close()
+
+    def test_invalid_construction(self, tmp_path):
+        factory = make_factory(seed=7)
+        plane = ServingPlane(factory())
+        with pytest.raises(ValueError, match="checkpoint_every_batches"):
+            IngestSupervisor(
+                plane,
+                CheckpointStore(tmp_path / "c"),
+                tmp_path / "w",
+                checkpoint_every_batches=0,
+            )
+        plane.close()

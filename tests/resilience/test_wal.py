@@ -1,0 +1,207 @@
+"""Unit and property tests for the write-ahead journal's on-disk format.
+
+The format contract: a crash at *any byte* of an append leaves a journal
+that replays every previously accounted record and silently discards the
+torn tail — while damage a crash cannot explain (a bad record *followed by
+more bytes*) is loudly :class:`~repro.resilience.WalCorruption`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import (
+    WalCorruption,
+    WalError,
+    WriteAheadLog,
+    replay_wal,
+    wal_segments,
+)
+
+
+def _batches(count: int, rows: int = 5, cols: int = 3, dtype=np.float64):
+    rng = np.random.default_rng(42)
+    return [rng.normal(size=(rows, cols)).astype(dtype) for _ in range(count)]
+
+
+def _fill(directory, batches, **kwargs):
+    """Append ``batches`` contiguously and return the WAL (left open)."""
+    wal = WriteAheadLog(directory, **kwargs)
+    position = 0
+    for batch in batches:
+        wal.append(batch, position)
+        position += batch.shape[0]
+    return wal
+
+
+class TestRoundTrip:
+    def test_append_then_replay_is_identity(self, tmp_path):
+        batches = _batches(6)
+        with _fill(tmp_path, batches) as wal:
+            assert wal.appended_records == 6
+        records = list(replay_wal(tmp_path))
+        assert [r.seq for r in records] == list(range(6))
+        position = 0
+        for record, batch in zip(records, batches):
+            assert record.points_before == position
+            np.testing.assert_array_equal(record.batch, batch)
+            assert record.batch.dtype == batch.dtype
+            position = record.points_after
+        assert position == 30
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_dtype_and_shape_survive(self, tmp_path, dtype):
+        batch = np.arange(12, dtype=dtype).reshape(3, 4)
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(batch, 0)
+        (record,) = replay_wal(tmp_path)
+        assert record.batch.dtype == np.dtype(dtype)
+        assert record.batch.shape == (3, 4)
+        np.testing.assert_array_equal(record.batch, batch)
+
+    def test_replay_skips_checkpointed_prefix(self, tmp_path):
+        with _fill(tmp_path, _batches(6)):
+            pass
+        records = list(replay_wal(tmp_path, start_points=15))
+        assert [r.points_before for r in records] == [15, 20, 25]
+
+    def test_replay_rejects_straddling_checkpoint_position(self, tmp_path):
+        with _fill(tmp_path, _batches(4)):
+            pass
+        with pytest.raises(WalError, match="not contiguous"):
+            list(replay_wal(tmp_path, start_points=7))
+
+    def test_replay_rejects_gap(self, tmp_path):
+        with _fill(tmp_path, _batches(4), segment_max_bytes=256):
+            pass
+        segments = wal_segments(tmp_path)
+        assert len(segments) >= 3
+        segments[1].unlink()
+        with pytest.raises(WalError, match="not contiguous"):
+            list(replay_wal(tmp_path))
+
+    def test_empty_and_missing_directory_replay_nothing(self, tmp_path):
+        assert list(replay_wal(tmp_path)) == []
+        assert list(replay_wal(tmp_path / "never-created")) == []
+
+    def test_append_rejects_bad_batches(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            with pytest.raises(WalError, match="non-empty 2-D"):
+                wal.append(np.empty((0, 3)), 0)
+            with pytest.raises(WalError, match="non-empty 2-D"):
+                wal.append(np.ones(3), 0)
+            with pytest.raises(WalError, match="points_before"):
+                wal.append(np.ones((1, 3)), -1)
+
+
+class TestRotationAndTruncation:
+    def test_rotation_splits_segments_and_replay_spans_them(self, tmp_path):
+        batches = _batches(8)
+        with _fill(tmp_path, batches, segment_max_bytes=300):
+            pass
+        assert len(wal_segments(tmp_path)) > 1
+        records = list(replay_wal(tmp_path))
+        assert [r.seq for r in records] == list(range(8))
+
+    def test_truncate_through_drops_covered_segments(self, tmp_path):
+        wal = _fill(tmp_path, _batches(8), segment_max_bytes=300)
+        before = len(wal_segments(tmp_path))
+        dropped = wal.truncate_through(20)  # 4 batches x 5 rows
+        assert 0 < dropped < before
+        # Everything after position 20 is still replayable.
+        records = list(replay_wal(tmp_path, start_points=20))
+        assert [r.points_before for r in records] == [20, 25, 30, 35]
+        wal.close()
+
+    def test_truncate_at_current_position_empties_the_journal(self, tmp_path):
+        wal = _fill(tmp_path, _batches(4), segment_max_bytes=300)
+        wal.truncate_through(20)
+        assert wal_segments(tmp_path) == []
+        # Appends after truncation continue in a fresh segment.
+        wal.append(np.ones((5, 3)), 20)
+        (record,) = replay_wal(tmp_path, start_points=20)
+        assert record.points_before == 20
+        wal.close()
+
+    def test_fsync_policy_counters(self, tmp_path):
+        with _fill(tmp_path, _batches(6), fsync_every=2) as wal:
+            assert wal.syncs == 3
+        with _fill(tmp_path / "b", _batches(6), fsync_every=0) as wal:
+            assert wal.syncs == 0
+        assert wal.syncs == 1  # close() seals with one fsync
+
+
+def _tail_segment_bytes(directory) -> tuple[object, bytes]:
+    segment = wal_segments(directory)[-1]
+    return segment, segment.read_bytes()
+
+
+class TestTornTail:
+    @settings(max_examples=30, deadline=None)
+    @given(cut=st.integers(min_value=1, max_value=200))
+    def test_crash_at_any_byte_of_final_record_discards_only_it(self, tmp_path_factory, cut):
+        directory = tmp_path_factory.mktemp("wal")
+        batches = _batches(4)
+        with _fill(directory, batches):
+            pass
+        segment, data = _tail_segment_bytes(directory)
+        # Chop up to `cut` bytes off the tail — never into the 3rd record.
+        record_size = (len(data) - 8) // 4
+        segment.write_bytes(data[: len(data) - min(cut, record_size)])
+        records = list(replay_wal(directory))
+        assert len(records) == (4 if cut == 0 else 3)
+        for record, batch in zip(records, batches):
+            np.testing.assert_array_equal(record.batch, batch)
+
+    def test_crc_flip_in_final_record_reads_as_torn(self, tmp_path):
+        with _fill(tmp_path, _batches(3)):
+            pass
+        segment, data = _tail_segment_bytes(tmp_path)
+        segment.write_bytes(data[:-4] + bytes(b ^ 0xFF for b in data[-4:]))
+        assert [r.seq for r in list(replay_wal(tmp_path))] == [0, 1]
+
+    def test_crc_flip_mid_segment_is_corruption(self, tmp_path):
+        with _fill(tmp_path, _batches(3)):
+            pass
+        segment, data = _tail_segment_bytes(tmp_path)
+        mutated = bytearray(data)
+        mutated[len(data) // 2] ^= 0xFF  # inside record 1, records follow
+        segment.write_bytes(bytes(mutated))
+        with pytest.raises(WalCorruption, match="corrupt record"):
+            list(replay_wal(tmp_path))
+
+    def test_mangled_header_is_corruption(self, tmp_path):
+        with _fill(tmp_path, _batches(1)):
+            pass
+        segment, data = _tail_segment_bytes(tmp_path)
+        segment.write_bytes(b"XXXX" + data[4:])
+        with pytest.raises(WalCorruption, match="mangled header"):
+            list(replay_wal(tmp_path))
+
+    def test_future_version_is_refused(self, tmp_path):
+        with _fill(tmp_path, _batches(1)):
+            pass
+        segment, data = _tail_segment_bytes(tmp_path)
+        segment.write_bytes(data[:4] + struct.pack("<HH", 99, 0) + data[8:])
+        with pytest.raises(WalError, match="version 99"):
+            list(replay_wal(tmp_path))
+
+    def test_empty_segment_file_is_tolerated(self, tmp_path):
+        with _fill(tmp_path, _batches(2)):
+            pass
+        (tmp_path / "wal-00000001.log").write_bytes(b"")  # crash before header
+        assert len(list(replay_wal(tmp_path))) == 2
+
+    def test_reopen_never_appends_to_an_old_tail(self, tmp_path):
+        with _fill(tmp_path, _batches(2)):
+            pass
+        wal = WriteAheadLog(tmp_path)
+        wal.append(np.ones((5, 3)), 10)
+        wal.close()
+        assert len(wal_segments(tmp_path)) == 2
+        assert [r.seq for r in replay_wal(tmp_path)] == [0, 1, 0]

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import socket
+import threading
 import time
 
 import numpy as np
@@ -62,24 +64,27 @@ class TestArrivalProcess:
 class TestReport:
     def test_build_report_aggregates_and_percentiles(self):
         fast = _Samples(latencies=[0.001] * 99, staleness_points=[10] * 99,
-                        staleness_ms=[1.0] * 99, issued=100, served=99, shed=1)
+                        staleness_ms=[1.0] * 99, issued=100, served=99, shed=1,
+                        retries=3)
         slow = _Samples(latencies=[0.1], staleness_points=[500],
                         staleness_ms=[40.0], issued=2, served=1, errors=1)
         report = _build_report([fast, slow], duration=2.0)
         assert report.issued == 102 and report.served == 100
         assert report.shed == 1 and report.errors == 1
+        assert report.retries == 3
         assert report.qps == pytest.approx(50.0)
         assert report.p50_us == pytest.approx(1000.0)
         assert report.p99_us > report.p50_us
         assert report.p999_us >= report.p99_us
         assert report.staleness_points_p99 >= report.staleness_points_mean
         payload = report.as_dict()
-        for key in ("p50_us", "p99_us", "p999_us", "qps",
+        for key in ("p50_us", "p99_us", "p999_us", "qps", "retries",
                     "staleness_points_p99", "staleness_ms_p99"):
             assert key in payload
         assert "latencies_us" not in payload  # raw array stays out of JSON
         text = report.summary()
         assert "p99" in text and "staleness" in text
+        assert "retries=3" in text
 
     def test_empty_report_is_all_zero(self):
         report = _build_report([_Samples()], duration=1.0)
@@ -128,6 +133,89 @@ class TestLoadRuns:
             report = run_tcp_loadgen("127.0.0.1", server.port, cfg, clients=5)
         assert report.served > 0 and report.errors == 0
         assert report.p99_us > 0.0
+
+
+class _SheddingServer:
+    """Newline-JSON fake that sheds (429) every odd-numbered request.
+
+    With a single closed-loop client the strict alternation means each
+    query needs exactly one retry to land, which pins the retry counters.
+    """
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._halt = threading.Event()
+        self._lock = threading.Lock()
+        self.requests = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._halt.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,), daemon=True).start()
+
+    def _serve(self, conn):
+        file = conn.makefile("rwb")
+        try:
+            while not self._halt.is_set():
+                if not file.readline():
+                    return
+                with self._lock:
+                    self.requests += 1
+                    shed = self.requests % 2 == 1
+                if shed:
+                    response = {"ok": False, "code": 429, "error": "overloaded"}
+                else:
+                    response = {"ok": True, "op": "query", "centers": [],
+                                "staleness_points": 0, "staleness_seconds": 0.0}
+                file.write(json.dumps(response).encode() + b"\n")
+                file.flush()
+        except OSError:
+            pass
+        finally:
+            file.close()
+            conn.close()
+
+    def close(self):
+        self._halt.set()
+        self._listener.close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class TestTcpRetry:
+    def test_sheds_are_retried_and_counted(self):
+        cfg = LoadgenConfig(seconds=0.5, rate=None, ks=(3,), seed=4,
+                            max_retries=2, retry_backoff_s=0.001)
+        with _SheddingServer() as server:
+            report = run_tcp_loadgen("127.0.0.1", server.port, cfg, clients=1)
+        assert report.served > 0 and report.errors == 0
+        # Every served query burned exactly one retry on the alternating
+        # shed; at most the final in-flight query may have run out of clock
+        # mid-retry and been recorded as shed instead.
+        assert report.retries >= report.served
+        assert report.shed <= 1
+        assert report.as_dict()["retries"] == report.retries
+
+    def test_retries_default_off(self):
+        cfg = LoadgenConfig(seconds=0.3, rate=None, ks=(3,), seed=4)
+        with _SheddingServer() as server:
+            report = run_tcp_loadgen("127.0.0.1", server.port, cfg, clients=1)
+        assert report.retries == 0
+        assert report.shed > 0 and report.served > 0 and report.errors == 0
 
 
 def _load_loadgen_tool():

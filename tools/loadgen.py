@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-pending", type=int, default=64,
                         help="server admission-queue depth (tcp mode)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry shed (429) queries up to N times with "
+                             "full-jitter backoff (tcp mode)")
+    parser.add_argument("--retry-backoff", type=float, default=0.02,
+                        help="base seconds of the full-jitter retry backoff")
     parser.add_argument("--json", type=Path, default=None,
                         help="also write the report as JSON to this path")
     return parser
@@ -84,6 +89,8 @@ def main(argv: list[str] | None = None) -> int:
         ks=tuple(args.ks),
         burst=args.burst,
         seed=args.seed,
+        max_retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
     )
 
     with ServingPlane(clusterer) as plane:
